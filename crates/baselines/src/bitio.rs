@@ -1,0 +1,120 @@
+//! Bit-level I/O for the entropy coders.
+
+/// Writes bits MSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Append one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.bit == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("just pushed");
+            *last |= 0x80 >> self.bit;
+        }
+        self.bit = (self.bit + 1) % 8;
+    }
+
+    /// Append the low `count` bits of `value`, most significant first.
+    pub fn push_bits(&mut self, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            self.push_bit(value >> i & 1 != 0);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + self.bit as usize
+        }
+    }
+
+    /// Finish, padding the last byte with zero bits.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read from the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Next bit, or `None` at end of input.
+    pub fn next_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = byte >> (7 - self.pos % 8) & 1 != 0;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Next `count` bits as an integer (MSB first).
+    pub fn next_bits(&mut self, count: u32) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..count {
+            v = v << 1 | u32::from(self.next_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(0b1011, 4);
+        w.push_bits(0xABCD, 16);
+        assert_eq!(w.bit_len(), 21);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.next_bit(), Some(true));
+        assert_eq!(r.next_bits(4), Some(0b1011));
+        assert_eq!(r.next_bits(16), Some(0xABCD));
+        assert_eq!(r.bit_pos(), 21);
+    }
+
+    #[test]
+    fn end_of_input_is_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.next_bits(8), Some(0xFF));
+        assert_eq!(r.next_bit(), None);
+        assert_eq!(r.next_bits(1), None);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x80]);
+    }
+}

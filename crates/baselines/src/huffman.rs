@@ -1,0 +1,324 @@
+//! Canonical Huffman coding over an arbitrary symbol alphabet.
+//!
+//! This is §4's fixed-to-variable strawman: optimal per-symbol code
+//! lengths, but decoding must "examine the program representation one bit
+//! at a time", which is why the paper flips to variable-to-fixed codes.
+//! The coder is also the entropy stage of the gzip stand-in
+//! ([`crate::lzsshuff`]).
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// A canonical Huffman code: one length and codeword per symbol.
+#[derive(Debug, Clone)]
+pub struct Code {
+    /// Code length in bits per symbol (0 = symbol unused).
+    pub lengths: Vec<u8>,
+    /// Canonical codewords, aligned with `lengths`.
+    pub words: Vec<u32>,
+}
+
+/// Maximum code length (canonical codes are depth-limited for table
+/// decoders; 15 matches DEFLATE).
+pub const MAX_BITS: u8 = 15;
+
+impl Code {
+    /// Build a length-limited canonical code from symbol frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn from_freqs(freqs: &[u64]) -> Code {
+        assert!(!freqs.is_empty());
+        let lengths = code_lengths(freqs);
+        let words = canonical_words(&lengths);
+        Code { lengths, words }
+    }
+
+    /// Encode one symbol.
+    pub fn write(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        w.push_bits(self.words[symbol], u32::from(len));
+    }
+
+    /// Total encoded bits for a frequency histogram (for size planning).
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * u64::from(l))
+            .sum()
+    }
+
+    /// Serialized header size in bytes: one length byte per symbol (a
+    /// real format would pack these; one byte is a fair, simple charge).
+    pub fn header_bytes(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Build a decoder for this code.
+    pub fn decoder(&self) -> Decoder {
+        Decoder::new(&self.lengths)
+    }
+}
+
+/// Huffman code lengths via the standard two-queue/heap algorithm, then
+/// depth-limiting by frequency flattening if anything exceeds
+/// [`MAX_BITS`].
+fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let n = freqs.len();
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // (freq, node id); internal nodes get ids >= n.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = used
+        .iter()
+        .map(|&i| std::cmp::Reverse((freqs[i], i)))
+        .collect();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut internal_parent: Vec<usize> = Vec::new();
+    let mut next_id = n;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        let id = next_id;
+        next_id += 1;
+        internal_parent.push(usize::MAX);
+        for child in [a, b] {
+            if child < n {
+                parent[child] = id;
+            } else {
+                internal_parent[child - n] = id;
+            }
+        }
+        heap.push(std::cmp::Reverse((fa + fb, id)));
+    }
+    for &i in &used {
+        let mut depth = 0u32;
+        let mut node = parent[i];
+        while node != usize::MAX {
+            depth += 1;
+            node = internal_parent[node - n];
+        }
+        lengths[i] = depth as u8;
+    }
+
+    // Depth-limit by flattening the distribution and retrying.
+    if lengths.iter().any(|&l| l > MAX_BITS) {
+        let squashed: Vec<u64> = freqs
+            .iter()
+            .map(|&f| if f > 0 { 1 + f / 4 } else { 0 })
+            .collect();
+        return code_lengths(&squashed);
+    }
+    lengths
+}
+
+/// Canonical codewords from lengths (shorter codes first, then symbol
+/// order).
+fn canonical_words(lengths: &[u8]) -> Vec<u32> {
+    let mut pairs: Vec<(u8, usize)> = lengths
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l > 0)
+        .map(|(i, &l)| (l, i))
+        .collect();
+    pairs.sort_unstable();
+    let mut words = vec![0u32; lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for (len, sym) in pairs {
+        code <<= len - prev_len;
+        words[sym] = code;
+        code += 1;
+        prev_len = len;
+    }
+    words
+}
+
+/// A bit-at-a-time canonical decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `(length, codeword, symbol)` sorted for linear-scan decoding.
+    table: Vec<(u8, u32, usize)>,
+}
+
+impl Decoder {
+    fn new(lengths: &[u8]) -> Decoder {
+        let words = canonical_words(lengths);
+        let mut table: Vec<(u8, u32, usize)> = lengths
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > 0)
+            .map(|(i, &l)| (l, words[i], i))
+            .collect();
+        table.sort_unstable();
+        Decoder { table }
+    }
+
+    /// Decode one symbol.
+    pub fn read(&self, r: &mut BitReader<'_>) -> Option<usize> {
+        let mut code = 0u32;
+        let mut len = 0u8;
+        loop {
+            code = code << 1 | u32::from(r.next_bit()?);
+            len += 1;
+            // Linear scan is fine for test-grade decoding.
+            for &(l, w, sym) in &self.table {
+                if l == len && w == code {
+                    return Some(sym);
+                }
+                if l > len {
+                    break;
+                }
+            }
+            if len > MAX_BITS {
+                return None;
+            }
+        }
+    }
+}
+
+/// The result of compressing a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HuffSize {
+    /// Payload bits, rounded up to bytes.
+    pub payload: usize,
+    /// Header (code lengths) bytes.
+    pub header: usize,
+}
+
+impl HuffSize {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.payload + self.header
+    }
+}
+
+/// Compress bytes; returns the encoded stream (header excluded) and its
+/// size accounting.
+pub fn compress_bytes(data: &[u8]) -> (Vec<u8>, HuffSize) {
+    let mut freqs = vec![0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let code = Code::from_freqs(&freqs);
+    let mut w = BitWriter::new();
+    for &b in data {
+        code.write(&mut w, b as usize);
+    }
+    let bits = w.bit_len();
+    let bytes = w.into_bytes();
+    (
+        bytes,
+        HuffSize {
+            payload: bits.div_ceil(8),
+            header: code.header_bytes(),
+        },
+    )
+}
+
+/// Decompress `count` symbols (for round-trip tests).
+pub fn decompress_bytes(data: &[u8], encoded: &[u8], count: usize) -> Option<Vec<u8>> {
+    let mut freqs = vec![0u64; 256];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    let code = Code::from_freqs(&freqs);
+    let decoder = code.decoder();
+    let mut r = BitReader::new(encoded);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(decoder.read(&mut r)? as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn skewed_data_compresses_well() {
+        let mut data = vec![0u8; 10_000];
+        for (i, b) in data.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *b = 1;
+            }
+            if i % 201 == 0 {
+                *b = i as u8;
+            }
+        }
+        let (encoded, size) = compress_bytes(&data);
+        assert!(size.payload < data.len() / 4, "payload {}", size.payload);
+        let back = decompress_bytes(&data, &encoded, data.len()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn uniform_data_does_not_explode() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let (_, size) = compress_bytes(&data);
+        // At worst ~1 byte/symbol plus the header.
+        assert!(size.total() <= data.len() + 300);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let data = vec![7u8; 100];
+        let (encoded, size) = compress_bytes(&data);
+        assert!(size.payload <= 13);
+        let back = decompress_bytes(&data, &encoded, 100).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn canonical_words_are_prefix_free() {
+        let freqs: Vec<u64> = (0..32).map(|i| 1 + i * i).collect();
+        let code = Code::from_freqs(&freqs);
+        for a in 0..32 {
+            for b in 0..32 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (code.lengths[a], code.lengths[b]);
+                if la == 0 || lb == 0 || la > lb {
+                    continue;
+                }
+                let prefix = code.words[b] >> (lb - la);
+                assert_ne!(prefix, code.words[a], "{a} prefixes {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (0..256).map(|i| (i % 7) as u64 + 1).collect();
+        let code = Code::from_freqs(&freqs);
+        let kraft: f64 = code
+            .lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft = {kraft}");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrips(data in prop::collection::vec(any::<u8>(), 1..2000)) {
+            let (encoded, _) = compress_bytes(&data);
+            let back = decompress_bytes(&data, &encoded, data.len()).unwrap();
+            prop_assert_eq!(back, data);
+        }
+    }
+}

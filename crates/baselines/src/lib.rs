@@ -1,0 +1,41 @@
+//! # pgr-baselines
+//!
+//! The comparison coders the paper measures against or discusses:
+//!
+//! * [`huffman`] — a canonical Huffman coder over bytes: the
+//!   fixed-to-variable alternative §4 rejects ("we may be forced to
+//!   examine the program representation one bit at a time"),
+//! * [`lzsshuff`] — LZSS + Huffman, the stand-in for gzip's §6
+//!   calibration role ("a very rough bound on what might be achievable
+//!   with good, general-purpose data compression"),
+//! * [`tunstall`] — Tunstall's optimal variable-to-fixed code for a
+//!   memoryless source (§7), including the branch-target restart that
+//!   ruins it for code ("insisting on unique parsability results in poor
+//!   compression"),
+//! * [`superop`] — Proebsting-style superoperators (§7): repeated
+//!   adjacent-instruction pairs fused into fresh opcodes, bounded by the
+//!   256-opcode budget.
+//!
+//! Every coder round-trips (each module tests `decode(encode(x)) == x`),
+//! and every reported size includes the side tables a real decoder would
+//! need, so the Table 1/E3/A3 comparisons are honest.
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod huffman;
+pub mod lzsshuff;
+pub mod superop;
+pub mod tunstall;
+
+use pgr_bytecode::Program;
+
+/// Concatenated code bytes of a program (what the byte-oriented coders
+/// compress).
+pub fn program_bytes(program: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(program.code_size());
+    for proc in &program.procs {
+        out.extend_from_slice(&proc.code);
+    }
+    out
+}

@@ -1,0 +1,247 @@
+//! LZSS + Huffman: the gzip stand-in.
+//!
+//! §6 uses gzip "for calibration and as a very rough bound on what might
+//! be achievable with good, general-purpose data compression" — it is
+//! "free to exploit redundant patterns that span basic blocks" and needs
+//! neither random access nor direct interpretability. This coder is the
+//! same algorithmic family (LZ77 dictionary matching plus Huffman
+//! entropy coding, i.e. DEFLATE's shape without its framing):
+//!
+//! * greedy longest-match LZSS over a 32 KiB window with hash-chain
+//!   search,
+//! * token stream: 1-bit flag, then either a Huffman-coded literal or a
+//!   raw 15-bit distance + 8-bit length (match lengths 3..=258),
+//! * sizes include the literal-code header.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::Code;
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+
+/// One LZSS token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { dist: u16, len: u16 },
+}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i])
+        | u32::from(data[i + 1]) << 8
+        | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy tokenization with hash-chain match search.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut chain = vec![usize::MAX; data.len()];
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let mut cand = head[hash3(data, i)];
+            let mut tries = 64;
+            while cand != usize::MAX && i - cand <= WINDOW && tries > 0 {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut n = 0;
+                while n < limit && data[cand + n] == data[i + n] {
+                    n += 1;
+                }
+                if n > best_len {
+                    best_len = n;
+                    best_dist = i - cand;
+                }
+                cand = chain[cand];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                dist: best_dist as u16,
+                len: best_len as u16,
+            });
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash3(data, i);
+                    chain[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                chain[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Size accounting for one compression run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LzSize {
+    /// Encoded payload bytes.
+    pub payload: usize,
+    /// Literal-code header bytes.
+    pub header: usize,
+}
+
+impl LzSize {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.payload + self.header
+    }
+
+    /// Ratio against the input length.
+    pub fn ratio(&self, input_len: usize) -> f64 {
+        if input_len == 0 {
+            1.0
+        } else {
+            self.total() as f64 / input_len as f64
+        }
+    }
+}
+
+/// Compress; returns the bitstream and its size accounting.
+pub fn compress(data: &[u8]) -> (Vec<u8>, LzSize) {
+    let tokens = tokenize(data);
+    let mut freqs = vec![0u64; 256];
+    for t in &tokens {
+        if let Token::Literal(b) = t {
+            freqs[*b as usize] += 1;
+        }
+    }
+    let code = Code::from_freqs(&freqs);
+    let mut w = BitWriter::new();
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                w.push_bit(false);
+                code.write(&mut w, b as usize);
+            }
+            Token::Match { dist, len } => {
+                w.push_bit(true);
+                w.push_bits(u32::from(dist), 15);
+                w.push_bits(u32::from(len - MIN_MATCH as u16), 8);
+            }
+        }
+    }
+    let bits = w.bit_len();
+    (
+        w.into_bytes(),
+        LzSize {
+            payload: bits.div_ceil(8),
+            header: code.header_bytes(),
+        },
+    )
+}
+
+/// Decompress (`original` is needed to rebuild the literal code, as a
+/// real container would carry it in the header; round-trip testing only).
+pub fn decompress(original: &[u8], encoded: &[u8]) -> Option<Vec<u8>> {
+    let mut freqs = vec![0u64; 256];
+    for t in &tokenize(original) {
+        if let Token::Literal(b) = t {
+            freqs[*b as usize] += 1;
+        }
+    }
+    let code = Code::from_freqs(&freqs);
+    let decoder = code.decoder();
+    let mut r = BitReader::new(encoded);
+    let mut out = Vec::with_capacity(original.len());
+    while out.len() < original.len() {
+        match r.next_bit()? {
+            false => out.push(decoder.read(&mut r)? as u8),
+            true => {
+                let dist = r.next_bits(15)? as usize;
+                let len = r.next_bits(8)? as usize + MIN_MATCH;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                for _ in 0..len {
+                    let b = out[out.len() - dist];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let data: Vec<u8> = b"the quick brown fox. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(8000)
+            .collect();
+        let (encoded, size) = compress(&data);
+        assert!(size.total() < data.len() / 10, "total {}", size.total());
+        assert_eq!(decompress(&data, &encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn bytecode_like_data_reaches_gzip_territory() {
+        // Synthetic "code": repeating instruction-ish patterns with
+        // varying operand bytes.
+        let mut data = Vec::new();
+        let mut x = 7u32;
+        for i in 0..6000u32 {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            data.extend_from_slice(&[69, (i % 64) as u8, 0, 76, 73]);
+            if x.is_multiple_of(3) {
+                data.extend_from_slice(&[11, 94, (x % 16) as u8]);
+            }
+        }
+        let (encoded, size) = compress(&data);
+        let ratio = size.ratio(data.len());
+        // The paper's gzip lands at 31-44% on real bytecode.
+        assert!(ratio < 0.5, "ratio {ratio}");
+        assert_eq!(decompress(&data, &encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let (encoded, size) = compress(&[]);
+        assert_eq!(size.payload, 0);
+        assert_eq!(decompress(&[], &encoded).unwrap(), Vec::<u8>::new());
+        let data = [1, 2, 3];
+        let (encoded, _) = compress(&data);
+        assert_eq!(decompress(&data, &encoded).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn roundtrips(chunks in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 1..40), 0..40)
+        ) {
+            // Concatenate repeated chunks so matches exist.
+            let mut data = Vec::new();
+            for c in &chunks {
+                data.extend_from_slice(c);
+                data.extend_from_slice(c);
+            }
+            let (encoded, _) = compress(&data);
+            prop_assert_eq!(decompress(&data, &encoded).unwrap(), data);
+        }
+    }
+}

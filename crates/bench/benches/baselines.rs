@@ -1,0 +1,32 @@
+//! Baseline coder throughput on the gzip corpus bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pgr_baselines::{huffman, lzsshuff, program_bytes, superop, tunstall};
+use pgr_corpus::{corpus, CorpusName};
+
+fn bench_baselines(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let data: Vec<u8> = gzip.programs.iter().flat_map(program_bytes).collect();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("huffman", |b| {
+        b.iter(|| std::hint::black_box(huffman::compress_bytes(&data)))
+    });
+    group.bench_function("lzss_huffman", |b| {
+        b.iter(|| std::hint::black_box(lzsshuff::compress(&data)))
+    });
+    group.bench_function("tunstall_build_and_parse", |b| {
+        b.iter(|| {
+            let dict = tunstall::Dictionary::build(&data, 12);
+            std::hint::black_box(tunstall::compress_segmented(&dict, &[&data]).unwrap())
+        })
+    });
+    group.bench_function("superop_train", |b| {
+        b.iter(|| std::hint::black_box(superop::train(&gzip.refs(), 256)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! A1: how the per-non-terminal rule budget affects training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_core::{train, ExpanderConfig, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+
+fn bench_cap_sweep(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let mut group = c.benchmark_group("cap_sweep");
+    group.sample_size(10);
+    for cap in [32usize, 64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let config = TrainConfig {
+                expander: ExpanderConfig {
+                    max_rules_per_nt: cap,
+                    ..ExpanderConfig::default()
+                },
+            };
+            b.iter(|| std::hint::black_box(train(&gzip.refs(), &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cap_sweep);
+criterion_main!(benches);

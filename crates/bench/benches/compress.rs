@@ -1,0 +1,36 @@
+//! Shortest-derivation (Earley) encoding throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pgr_core::{train, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+
+fn bench_compress(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let trained = train(&gzip.refs(), &TrainConfig::default()).unwrap();
+    let mut group = c.benchmark_group("compress");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(gzip.code_size() as u64));
+    group.bench_function("earley_encode_gzip_corpus", |b| {
+        b.iter(|| {
+            for p in &gzip.programs {
+                std::hint::black_box(trained.compress(p).unwrap());
+            }
+        })
+    });
+    group.bench_function("decompress_gzip_corpus", |b| {
+        let compressed: Vec<_> = gzip
+            .programs
+            .iter()
+            .map(|p| trained.compress(p).unwrap().0)
+            .collect();
+        b.iter(|| {
+            for cp in &compressed {
+                std::hint::black_box(trained.decompress(cp).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Interpreter dispatch overhead: interp1 (uncompressed) vs interp_nt
+//! (compressed). The paper's scenario tolerates interpretation overhead
+//! (ROM-bound embedded code); this quantifies ours.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgr_core::{train, TrainConfig};
+use pgr_corpus::compile_sample;
+use pgr_vm::{Vm, VmConfig};
+
+fn bench_interp(c: &mut Criterion) {
+    let program = compile_sample("8q");
+    let trained = train(&[&program], &TrainConfig::default()).unwrap();
+    let (cp, _) = trained.compress(&program).unwrap();
+    let ig = trained.initial();
+
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(10);
+    group.bench_function("interp1_8q", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+            std::hint::black_box(vm.run().unwrap());
+        })
+    });
+    group.bench_function("interp_nt_8q", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new_compressed(
+                &cp.program,
+                trained.expanded(),
+                ig.nt_start,
+                ig.nt_byte,
+                VmConfig::default(),
+            )
+            .unwrap();
+            std::hint::black_box(vm.run().unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

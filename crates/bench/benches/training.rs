@@ -1,0 +1,30 @@
+//! Expander throughput: forest build + greedy inline/contract loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pgr_core::{train, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+
+fn bench_training(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let eightq = corpus(CorpusName::EightQ);
+    let mut group = c.benchmark_group("training");
+    group.sample_size(20);
+    group.bench_function("train_8q", |b| {
+        b.iter_batched(
+            || eightq.refs(),
+            |refs| train(&refs, &TrainConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("train_gzip_corpus", |b| {
+        b.iter_batched(
+            || gzip.refs(),
+            |refs| train(&refs, &TrainConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

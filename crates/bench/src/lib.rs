@@ -1,0 +1,28 @@
+//! # pgr-bench
+//!
+//! The benchmark harness: everything needed to regenerate the paper's §6
+//! evaluation. The [`experiments`] module computes each table's rows;
+//! the `tables` binary prints them (run
+//! `cargo run -p pgr-bench --release --bin tables -- all`), and the
+//! Criterion benches under `benches/` measure throughput of the pipeline
+//! stages.
+//!
+//! Experiment index (see DESIGN.md for the full mapping):
+//!
+//! * **E1** — Table 1: compression ratios of {gcc, lcc, gzip, 8q} under
+//!   grammars trained on gcc and on lcc.
+//! * **E2** — interpreter sizes: initial vs compressed-bytecode
+//!   interpreter, and the grammar's share of the delta.
+//! * **E3** — gzip calibration (LZSS+Huffman stand-in).
+//! * **E4** — Table 2: whole-executable sizes (uncompressed / compressed
+//!   / native x86) for the lcc corpus.
+//! * **E5** — optimizer interaction: peephole-optimized bytecode, its
+//!   native size, and its compressibility.
+//! * **E6** — §6's overhead bullet list: label/global tables,
+//!   trampolines, grammar encoding.
+//! * **A1–A4** — ablations: rule-cap sweep, subsumed-rule removal,
+//!   baseline shoot-out, greedy vs optimal encoding.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,408 @@
+//! A textual assembler and disassembler for the initial bytecode.
+//!
+//! The format exists for tests, examples, and debugging; it is not part of
+//! the compression pipeline. A module looks like:
+//!
+//! ```text
+//! ; push 7, return it
+//! proc main frame=0 args=0 trampoline
+//!     LIT1 7
+//!     RETU
+//! endproc
+//! data msg = 104 105 0
+//! bss scratch 64
+//! native putchar
+//! entry main
+//! ```
+//!
+//! Inside a `proc`, each line is either a mnemonic with decimal operand
+//! values (multi-byte operands are written as a single decimal number) or
+//! the pseudo-instruction `label N`, which emits a `LABELV` marker and
+//! records the current offset in label-table slot `N`.
+
+use crate::insn::{decode, Instruction};
+use crate::opcode::Opcode;
+use crate::program::{GlobalEntry, Procedure, Program};
+use std::fmt;
+
+/// An error produced by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assemble a textual module into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for any syntax error,
+/// unknown mnemonic, out-of-range operand, or unresolved `entry` name.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut program = Program::new();
+    let mut current: Option<Procedure> = None;
+    let mut entry_name: Option<(String, usize)> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut words = line.split_whitespace();
+        let Some(head) = words.next() else { continue };
+
+        match head {
+            "proc" => {
+                if current.is_some() {
+                    return Err(err(line_no, "nested proc"));
+                }
+                let name = words.next().ok_or_else(|| err(line_no, "proc needs a name"))?;
+                let mut p = Procedure::new(name);
+                for w in words {
+                    if let Some(v) = w.strip_prefix("frame=") {
+                        p.frame_size = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad frame size {v:?}")))?;
+                    } else if let Some(v) = w.strip_prefix("args=") {
+                        p.arg_size = v
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad arg size {v:?}")))?;
+                    } else if w == "trampoline" {
+                        p.needs_trampoline = true;
+                    } else {
+                        return Err(err(line_no, format!("unknown proc attribute {w:?}")));
+                    }
+                }
+                current = Some(p);
+            }
+            "endproc" => {
+                let p = current
+                    .take()
+                    .ok_or_else(|| err(line_no, "endproc outside proc"))?;
+                program.procs.push(p);
+            }
+            "label" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, "label outside proc"))?;
+                let n: usize = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "label needs an index"))?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad label index"))?;
+                if p.labels.len() <= n {
+                    p.labels.resize(n + 1, u32::MAX);
+                }
+                p.labels[n] = p.code.len() as u32;
+                p.code.push(Opcode::LABELV as u8);
+            }
+            "data" | "bss" => {
+                if current.is_some() {
+                    return Err(err(line_no, format!("{head} inside proc")));
+                }
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, format!("{head} needs a name")))?
+                    .to_string();
+                if head == "data" {
+                    match words.next() {
+                        Some("=") => {}
+                        _ => return Err(err(line_no, "data needs `= byte...`")),
+                    }
+                    let offset = program.data.len() as u32;
+                    for w in words {
+                        let b: u8 = w
+                            .parse()
+                            .map_err(|_| err(line_no, format!("bad data byte {w:?}")))?;
+                        program.data.push(b);
+                    }
+                    program.globals.push(GlobalEntry::Data { name, offset });
+                } else {
+                    let size: u32 = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "bss needs a size"))?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad bss size"))?;
+                    let offset = program.bss_size;
+                    program.bss_size += size;
+                    program.globals.push(GlobalEntry::Bss { name, offset });
+                }
+            }
+            "native" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "native needs a name"))?;
+                program.globals.push(GlobalEntry::Native { name: name.into() });
+            }
+            "procaddr" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "procaddr needs a name"))?
+                    .to_string();
+                // Resolved after all procs are seen: store the name in a
+                // placeholder and fix up below using a second pass.
+                program.globals.push(GlobalEntry::Native {
+                    name: format!("\u{0}procaddr:{name}"),
+                });
+            }
+            "entry" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "entry needs a name"))?;
+                entry_name = Some((name.to_string(), line_no));
+            }
+            mnemonic => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, format!("{mnemonic:?} outside proc")))?;
+                let op = Opcode::from_name(mnemonic)
+                    .ok_or_else(|| err(line_no, format!("unknown mnemonic {mnemonic:?}")))?;
+                let n = op.operand_bytes();
+                if n == 0 {
+                    p.code.push(op as u8);
+                } else {
+                    let w = words
+                        .next()
+                        .ok_or_else(|| err(line_no, format!("{op} needs an operand")))?;
+                    let v: u64 = w
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad operand {w:?}")))?;
+                    let max = if n >= 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+                    if v > max {
+                        return Err(err(line_no, format!("operand {v} too large for {op}")));
+                    }
+                    p.code.push(op as u8);
+                    p.code.extend_from_slice(&v.to_le_bytes()[..n]);
+                }
+                if let Some(extra) = words.next() {
+                    return Err(err(line_no, format!("trailing token {extra:?}")));
+                }
+            }
+        }
+    }
+
+    if current.is_some() {
+        return Err(err(source.lines().count(), "missing endproc"));
+    }
+
+    // Resolve procaddr placeholders now that all procedures exist.
+    for i in 0..program.globals.len() {
+        let target = match &program.globals[i] {
+            GlobalEntry::Native { name } => name
+                .strip_prefix("\u{0}procaddr:")
+                .map(|t| t.to_string()),
+            _ => None,
+        };
+        if let Some(target) = target {
+            let proc_index = program
+                .proc_index(&target)
+                .ok_or_else(|| err(0, format!("procaddr to unknown procedure {target:?}")))?;
+            program.procs[proc_index as usize].needs_trampoline = true;
+            program.globals[i] = GlobalEntry::Proc { proc_index };
+        }
+    }
+
+    if let Some((name, line_no)) = entry_name {
+        program.entry = program
+            .proc_index(&name)
+            .ok_or_else(|| err(line_no, format!("entry names unknown procedure {name:?}")))?;
+        let entry = program.entry as usize;
+        // `main` always needs a trampoline (§3).
+        program.procs[entry].needs_trampoline = true;
+    }
+    Ok(program)
+}
+
+/// Disassemble one procedure's code into the assembler's textual format.
+///
+/// Unknown bytes stop the listing with a `<decode error>` line, so the
+/// function is total and usable on malformed input for debugging.
+pub fn disassemble_proc(proc: &Procedure) -> String {
+    let mut out = String::new();
+    let tramp = if proc.needs_trampoline { " trampoline" } else { "" };
+    out.push_str(&format!(
+        "proc {} frame={} args={}{}\n",
+        proc.name, proc.frame_size, proc.arg_size, tramp
+    ));
+    for insn in decode(&proc.code) {
+        match insn {
+            Ok(insn) if insn.opcode == Opcode::LABELV => {
+                match proc.labels.iter().position(|&off| off as usize == insn.offset) {
+                    Some(n) => out.push_str(&format!("    label {n}\n")),
+                    None => out.push_str("    LABELV\n"),
+                }
+            }
+            Ok(insn) => {
+                if insn.opcode.operand_bytes() == 0 {
+                    out.push_str(&format!("    {}\n", insn.opcode));
+                } else {
+                    out.push_str(&format!("    {} {}\n", insn.opcode, insn.operand_u32()));
+                }
+            }
+            Err(e) => {
+                out.push_str(&format!("    ; <decode error: {e}>\n"));
+                break;
+            }
+        }
+    }
+    out.push_str("endproc\n");
+    out
+}
+
+/// Disassemble a whole program.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for p in &program.procs {
+        out.push_str(&disassemble_proc(p));
+    }
+    for g in &program.globals {
+        match g {
+            GlobalEntry::Data { name, offset } => {
+                out.push_str(&format!("; data {name} at offset {offset}\n"))
+            }
+            GlobalEntry::Bss { name, offset } => {
+                out.push_str(&format!("; bss {name} at offset {offset}\n"))
+            }
+            GlobalEntry::Proc { proc_index } => out.push_str(&format!(
+                "; procaddr {}\n",
+                program.procs[*proc_index as usize].name
+            )),
+            GlobalEntry::Native { name } => out.push_str(&format!("; native {name}\n")),
+        }
+    }
+    if let Some(entry) = program.procs.get(program.entry as usize) {
+        out.push_str(&format!("; entry {}\n", entry.name));
+    }
+    out
+}
+
+/// Convenience: build a procedure's code from instructions, recording
+/// label offsets for each `LABELV` in order of appearance.
+pub fn code_with_labels(insns: &[Instruction]) -> (Vec<u8>, Vec<u32>) {
+    let mut code = Vec::new();
+    let mut labels = Vec::new();
+    for insn in insns {
+        if insn.opcode == Opcode::LABELV {
+            labels.push(code.len() as u32);
+        }
+        insn.encode_into(&mut code);
+    }
+    (code, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+; the paper's `check` example (§4)
+proc check frame=0 args=4
+    ADDRFP 0
+    INDIRU
+    LIT1 0
+    NEU
+    BrTrue 0
+    LIT1 0
+    ARGU
+    ADDRGP 0
+    CALLU
+    POPU
+    label 0
+    RETV
+endproc
+native exit
+entry check
+"#;
+
+    #[test]
+    fn assembles_the_paper_example() {
+        let prog = assemble(SAMPLE).unwrap();
+        assert_eq!(prog.procs.len(), 1);
+        let p = &prog.procs[0];
+        assert_eq!(p.name, "check");
+        assert_eq!(p.arg_size, 4);
+        assert!(p.needs_trampoline, "entry always gets a trampoline");
+        assert_eq!(p.labels.len(), 1);
+        // Label 0 points at the LABELV before RETV.
+        assert_eq!(p.code[p.labels[0] as usize], Opcode::LABELV as u8);
+        let insns = p.instructions().unwrap();
+        assert_eq!(insns.first().unwrap().opcode, Opcode::ADDRFP);
+        assert_eq!(insns.last().unwrap().opcode, Opcode::RETV);
+    }
+
+    #[test]
+    fn disassembly_reassembles_identically() {
+        let prog = assemble(SAMPLE).unwrap();
+        let text = disassemble_proc(&prog.procs[0]);
+        let reparsed = assemble(&text).unwrap();
+        assert_eq!(reparsed.procs[0].code, prog.procs[0].code);
+        assert_eq!(reparsed.procs[0].labels, prog.procs[0].labels);
+    }
+
+    #[test]
+    fn data_and_bss_lay_out_sequentially() {
+        let src = "data a = 1 2 3\ndata b = 4\nbss x 8\nbss y 4\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.data, vec![1, 2, 3, 4]);
+        assert_eq!(prog.bss_size, 12);
+        assert_eq!(
+            prog.globals[1],
+            GlobalEntry::Data {
+                name: "b".into(),
+                offset: 3
+            }
+        );
+        assert_eq!(
+            prog.globals[3],
+            GlobalEntry::Bss {
+                name: "y".into(),
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn procaddr_marks_trampoline() {
+        let src = "proc f frame=0 args=0\n    RETV\nendproc\nprocaddr f\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.globals[0], GlobalEntry::Proc { proc_index: 0 });
+        assert!(prog.procs[0].needs_trampoline);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = assemble("proc f\n    BOGUS\nendproc\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("BOGUS"));
+        let e = assemble("LIT1 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("proc f\n    LIT1 999\nendproc\n").unwrap_err();
+        assert!(e.message.contains("too large"));
+    }
+
+    #[test]
+    fn operand_range_honours_width() {
+        let src = "proc f frame=0 args=0\n    LIT2 65535\n    POPU\n    RETV\nendproc\n";
+        let prog = assemble(src).unwrap();
+        let insns = prog.procs[0].instructions().unwrap();
+        assert_eq!(insns[0].operand_u32(), 65535);
+    }
+}

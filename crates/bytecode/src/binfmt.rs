@@ -1,0 +1,298 @@
+//! On-disk serialization of [`Program`]s.
+//!
+//! A small, versioned, little-endian container so the CLI and tools can
+//! pass programs between pipeline stages. The same container carries
+//! uncompressed bytecode and compressed derivations (the package shape —
+//! descriptors, label tables, global table — is identical, §3); a kind
+//! byte records which one it is so tools can refuse to run a compressed
+//! image without its grammar.
+
+use crate::program::{GlobalEntry, Procedure, Program};
+use std::fmt;
+
+/// File magic for program images.
+pub const MAGIC: &[u8; 4] = b"PGRB";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// What a serialized image holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// The initial, directly decodable bytecode.
+    Uncompressed,
+    /// Derivation bytes under some expanded grammar (shipped separately).
+    Compressed,
+}
+
+impl ImageKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ImageKind::Uncompressed => 0,
+            ImageKind::Compressed => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ImageKind> {
+        match v {
+            0 => Some(ImageKind::Uncompressed),
+            1 => Some(ImageKind::Compressed),
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Stream ended early or a field is malformed.
+    Truncated,
+    /// Invalid enum tag at the given offset.
+    BadTag {
+        /// Offset of the bad tag byte.
+        offset: usize,
+    },
+    /// A string field is not UTF-8.
+    BadString,
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "not a PGRB image"),
+            BinError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            BinError::Truncated => write!(f, "truncated image"),
+            BinError::BadTag { offset } => write!(f, "invalid tag at offset {offset}"),
+            BinError::BadString => write!(f, "invalid UTF-8 in a name"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.out.extend_from_slice(v);
+    }
+    fn name(&mut self, v: &str) {
+        self.u16(v.len() as u16);
+        self.out.extend_from_slice(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(BinError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, BinError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, BinError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, BinError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn name(&mut self) -> Result<String, BinError> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| BinError::BadString)
+    }
+}
+
+/// Serialize a program.
+pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.out.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.u8(kind.to_u8());
+    w.u16(program.procs.len() as u16);
+    for p in &program.procs {
+        w.name(&p.name);
+        w.u32(p.frame_size);
+        w.u32(p.arg_size);
+        w.u8(u8::from(p.needs_trampoline));
+        w.bytes(&p.code);
+        w.u16(p.labels.len() as u16);
+        for &l in &p.labels {
+            w.u32(l);
+        }
+    }
+    w.u16(program.globals.len() as u16);
+    for g in &program.globals {
+        match g {
+            GlobalEntry::Data { name, offset } => {
+                w.u8(0);
+                w.name(name);
+                w.u32(*offset);
+            }
+            GlobalEntry::Bss { name, offset } => {
+                w.u8(1);
+                w.name(name);
+                w.u32(*offset);
+            }
+            GlobalEntry::Proc { proc_index } => {
+                w.u8(2);
+                w.u32(*proc_index);
+            }
+            GlobalEntry::Native { name } => {
+                w.u8(3);
+                w.name(name);
+            }
+        }
+    }
+    w.bytes(&program.data);
+    w.u32(program.bss_size);
+    w.u32(program.entry);
+    w.out
+}
+
+/// Deserialize a program.
+///
+/// # Errors
+///
+/// See [`BinError`].
+pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(BinError::BadVersion(version));
+    }
+    let kind_off = r.pos;
+    let kind = ImageKind::from_u8(r.u8()?).ok_or(BinError::BadTag { offset: kind_off })?;
+
+    let mut program = Program::new();
+    let nprocs = r.u16()? as usize;
+    for _ in 0..nprocs {
+        let mut p = Procedure::new(r.name()?);
+        p.frame_size = r.u32()?;
+        p.arg_size = r.u32()?;
+        p.needs_trampoline = r.u8()? != 0;
+        p.code = r.bytes()?;
+        let nlabels = r.u16()? as usize;
+        for _ in 0..nlabels {
+            p.labels.push(r.u32()?);
+        }
+        program.procs.push(p);
+    }
+    let nglobals = r.u16()? as usize;
+    for _ in 0..nglobals {
+        let offset = r.pos;
+        let entry = match r.u8()? {
+            0 => GlobalEntry::Data {
+                name: r.name()?,
+                offset: r.u32()?,
+            },
+            1 => GlobalEntry::Bss {
+                name: r.name()?,
+                offset: r.u32()?,
+            },
+            2 => GlobalEntry::Proc {
+                proc_index: r.u32()?,
+            },
+            3 => GlobalEntry::Native { name: r.name()? },
+            _ => return Err(BinError::BadTag { offset }),
+        };
+        program.globals.push(entry);
+    }
+    program.data = r.bytes()?;
+    program.bss_size = r.u32()?;
+    program.entry = r.u32()?;
+    Ok((program, kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn sample() -> Program {
+        assemble(
+            "proc main frame=8 args=0\n\
+             \tLIT1 1\n\tBrTrue 0\n\tlabel 0\n\tRETV\nendproc\n\
+             proc f frame=0 args=4\n\tADDRFP 0\n\tINDIRU\n\tRETU\nendproc\n\
+             data msg = 104 105 0\n\
+             bss scratch 64\n\
+             native putchar\n\
+             procaddr f\n\
+             entry main\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrips() {
+        let program = sample();
+        for kind in [ImageKind::Uncompressed, ImageKind::Compressed] {
+            let bytes = write_program(&program, kind);
+            let (back, back_kind) = read_program(&bytes).unwrap();
+            assert_eq!(back, program);
+            assert_eq!(back_kind, kind);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(read_program(b"nope").unwrap_err(), BinError::BadMagic);
+        let mut bytes = write_program(&sample(), ImageKind::Uncompressed);
+        bytes[4] = 99;
+        assert_eq!(read_program(&bytes).unwrap_err(), BinError::BadVersion(99));
+        let bytes = write_program(&sample(), ImageKind::Uncompressed);
+        for cut in [5, 8, 20, bytes.len() - 1] {
+            assert!(read_program(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_reported() {
+        let mut bytes = write_program(&sample(), ImageKind::Uncompressed);
+        bytes[5] = 7; // image kind
+        assert!(matches!(
+            read_program(&bytes).unwrap_err(),
+            BinError::BadTag { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let program = Program::new();
+        let bytes = write_program(&program, ImageKind::Uncompressed);
+        let (back, _) = read_program(&bytes).unwrap();
+        assert_eq!(back, program);
+    }
+}

@@ -1,0 +1,280 @@
+//! Instruction decoding and encoding.
+//!
+//! Code is a flat byte stream: one opcode byte followed by
+//! [`Opcode::operand_bytes`] literal bytes (little-endian where the operand
+//! is a multi-byte quantity).
+
+use crate::opcode::Opcode;
+use std::fmt;
+
+/// A decoded instruction: an opcode plus its literal operand bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The operator.
+    pub opcode: Opcode,
+    /// Literal operand bytes (only the first `opcode.operand_bytes()` are
+    /// meaningful).
+    pub operands: [u8; 4],
+    /// Byte offset of the opcode within the code stream it was decoded
+    /// from (0 for hand-built instructions).
+    pub offset: usize,
+}
+
+impl Instruction {
+    /// Build an instruction from an opcode and operand bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands.len()` differs from `opcode.operand_bytes()`.
+    pub fn new(opcode: Opcode, operands: &[u8]) -> Instruction {
+        assert_eq!(
+            operands.len(),
+            opcode.operand_bytes(),
+            "operand count mismatch for {opcode}"
+        );
+        let mut buf = [0u8; 4];
+        buf[..operands.len()].copy_from_slice(operands);
+        Instruction {
+            opcode,
+            operands: buf,
+            offset: 0,
+        }
+    }
+
+    /// Build an operand-less instruction.
+    pub fn op(opcode: Opcode) -> Instruction {
+        Instruction::new(opcode, &[])
+    }
+
+    /// Build an instruction with a 2-byte little-endian operand (offsets,
+    /// label-table indices, descriptor indices, block sizes).
+    pub fn with_u16(opcode: Opcode, value: u16) -> Instruction {
+        Instruction::new(opcode, &value.to_le_bytes())
+    }
+
+    /// The meaningful operand bytes.
+    pub fn operand_slice(&self) -> &[u8] {
+        &self.operands[..self.opcode.operand_bytes()]
+    }
+
+    /// Operand interpreted as a little-endian unsigned integer
+    /// (zero-extended; 0 for operand-less opcodes).
+    pub fn operand_u32(&self) -> u32 {
+        let mut v = 0u32;
+        for (i, &b) in self.operand_slice().iter().enumerate() {
+            v |= u32::from(b) << (8 * i);
+        }
+        v
+    }
+
+    /// Operand as a `u16` (label index, frame offset, descriptor index,
+    /// block size).
+    pub fn operand_u16(&self) -> u16 {
+        self.operand_u32() as u16
+    }
+
+    /// Encoded size in bytes (opcode + operands).
+    pub fn size(&self) -> usize {
+        1 + self.opcode.operand_bytes()
+    }
+
+    /// Append the encoded instruction to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.opcode as u8);
+        out.extend_from_slice(self.operand_slice());
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        for b in self.operand_slice() {
+            write!(f, " {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An error produced while decoding a code stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A byte that is not a valid opcode, at the given offset.
+    BadOpcode {
+        /// Offset of the bad byte.
+        offset: usize,
+        /// The byte value.
+        byte: u8,
+    },
+    /// The stream ended in the middle of an instruction's operands.
+    TruncatedOperands {
+        /// Offset of the truncated instruction.
+        offset: usize,
+        /// Its opcode.
+        opcode: Opcode,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { offset, byte } => {
+                write!(f, "invalid opcode byte {byte:#04x} at offset {offset}")
+            }
+            DecodeError::TruncatedOperands { offset, opcode } => {
+                write!(f, "truncated operands for {opcode} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Iterator over the instructions of a code stream.
+///
+/// Produced by [`decode`].
+#[derive(Debug, Clone)]
+pub struct Decode<'a> {
+    code: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> Iterator for Decode<'a> {
+    type Item = Result<Instruction, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.code.len() {
+            return None;
+        }
+        let offset = self.pos;
+        let byte = self.code[offset];
+        let opcode = match Opcode::from_u8(byte) {
+            Some(op) => op,
+            None => {
+                self.failed = true;
+                return Some(Err(DecodeError::BadOpcode { offset, byte }));
+            }
+        };
+        let n = opcode.operand_bytes();
+        if offset + 1 + n > self.code.len() {
+            self.failed = true;
+            return Some(Err(DecodeError::TruncatedOperands { offset, opcode }));
+        }
+        let mut operands = [0u8; 4];
+        operands[..n].copy_from_slice(&self.code[offset + 1..offset + 1 + n]);
+        self.pos = offset + 1 + n;
+        Some(Ok(Instruction {
+            opcode,
+            operands,
+            offset,
+        }))
+    }
+}
+
+/// Decode a code stream into instructions.
+///
+/// The iterator yields an `Err` and then stops if the stream is malformed.
+///
+/// ```
+/// use pgr_bytecode::{decode, Opcode};
+/// let code = [Opcode::LIT2 as u8, 0x34, 0x12, Opcode::RETU as u8];
+/// let insns: Vec<_> = decode(&code).collect::<Result<_, _>>().unwrap();
+/// assert_eq!(insns[0].operand_u32(), 0x1234);
+/// assert_eq!(insns[1].opcode, Opcode::RETU);
+/// ```
+pub fn decode(code: &[u8]) -> Decode<'_> {
+    Decode {
+        code,
+        pos: 0,
+        failed: false,
+    }
+}
+
+/// Encode a sequence of instructions into a byte stream.
+pub fn encode<'a, I>(insns: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a Instruction>,
+{
+    let mut out = Vec::new();
+    for insn in insns {
+        insn.encode_into(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_opcodes() {
+        let insns: Vec<Instruction> = Opcode::ALL
+            .iter()
+            .map(|&op| {
+                let bytes: Vec<u8> = (1..=op.operand_bytes() as u8).collect();
+                Instruction::new(op, &bytes)
+            })
+            .collect();
+        let code = encode(&insns);
+        let back: Vec<Instruction> = decode(&code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(back.len(), insns.len());
+        for (a, b) in insns.iter().zip(&back) {
+            assert_eq!(a.opcode, b.opcode);
+            assert_eq!(a.operand_slice(), b.operand_slice());
+        }
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let code = encode(&[
+            Instruction::with_u16(Opcode::ADDRLP, 8),
+            Instruction::op(Opcode::INDIRU),
+            Instruction::op(Opcode::RETU),
+        ]);
+        let insns: Vec<_> = decode(&code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(insns[0].offset, 0);
+        assert_eq!(insns[1].offset, 3);
+        assert_eq!(insns[2].offset, 4);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let code = [Opcode::LIT4 as u8, 1, 2];
+        let res: Result<Vec<_>, _> = decode(&code).collect();
+        assert!(matches!(
+            res,
+            Err(DecodeError::TruncatedOperands {
+                offset: 0,
+                opcode: Opcode::LIT4
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_errors_and_stops() {
+        let code = [0xff, 0x00];
+        let mut it = decode(&code);
+        assert!(matches!(
+            it.next(),
+            Some(Err(DecodeError::BadOpcode {
+                offset: 0,
+                byte: 0xff
+            }))
+        ));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn operand_u32_is_little_endian() {
+        let insn = Instruction::new(Opcode::LIT4, &[0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(insn.operand_u32(), 0x1234_5678);
+        let insn = Instruction::with_u16(Opcode::BrTrue, 0x0102);
+        assert_eq!(insn.operand_u16(), 0x0102);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count mismatch")]
+    fn wrong_operand_count_panics() {
+        let _ = Instruction::new(Opcode::LIT1, &[1, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # pgr-bytecode
+//!
+//! The initial, uncompressed bytecode of Evans & Fraser, *Bytecode
+//! Compression via Profiled Grammar Rewriting* (PLDI 2001), §3 and
+//! Appendices 1–3.
+//!
+//! The instruction set is a simple postfix encoding of lcc trees: a
+//! stack-based, typed bytecode in which most operators take their operands
+//! from a global evaluation stack and push their result back. The
+//! exceptions follow a *prefix* format and take literal bytes from the
+//! instruction stream: `LIT1..LIT4`, `ADDR{F,G,L}P`, `LocalCALL*`,
+//! `JUMPV`, and `BrTrue`.
+//!
+//! Branches do not embed offsets. Instead they carry a 2-byte index into a
+//! per-procedure *label table* whose entries hold offsets into the
+//! procedure's code; the compressor rewrites the table, never the indices
+//! (§3). Global addresses likewise go through a single program-wide global
+//! table (Appendix 3).
+//!
+//! This crate provides:
+//!
+//! * [`Opcode`] — the full instruction set with its stack-effect
+//!   classification ([`StackKind`]), mirroring the non-terminal grouping of
+//!   the paper's Appendix 2 grammar,
+//! * [`Instruction`] and a decoder/encoder for raw code bytes,
+//! * [`Procedure`], [`Program`], [`GlobalEntry`] — the packaging of
+//!   Appendix 3 (descriptors, label tables, global table, trampolines),
+//! * a textual [assembler/disassembler](asm) used by tests and examples,
+//! * a [validator](validate) that checks stack effects, label-table and
+//!   global-table references,
+//! * [`image`] — executable-image size accounting used by the Table 2 and
+//!   §6-overhead experiments.
+//!
+//! One documented deviation from Appendix 2: our `ASGNB` and `ARGB` carry
+//! two literal size bytes (lcc's block operators carry a size attribute
+//! that the appendix elides); see [`Opcode::ASGNB`].
+//!
+//! ## Example
+//!
+//! ```
+//! use pgr_bytecode::{Opcode, Instruction, decode};
+//!
+//! // LIT1 7 ; LIT1 5 ; ADDU ; RETU
+//! let code = [Opcode::LIT1 as u8, 7, Opcode::LIT1 as u8, 5,
+//!             Opcode::ADDU as u8, Opcode::RETU as u8];
+//! let insns: Vec<Instruction> = decode(&code).collect::<Result<_, _>>().unwrap();
+//! assert_eq!(insns.len(), 4);
+//! assert_eq!(insns[2].opcode, Opcode::ADDU);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod binfmt;
+pub mod image;
+pub mod insn;
+pub mod opcode;
+pub mod program;
+pub mod validate;
+
+pub use binfmt::{read_program, write_program, ImageKind};
+pub use insn::{decode, encode, DecodeError, Instruction};
+pub use opcode::{Opcode, StackKind, TypeSuffix};
+pub use program::{GlobalEntry, Procedure, Program};
+pub use validate::{validate_procedure, validate_program, ValidateError};

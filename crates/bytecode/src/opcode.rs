@@ -1,0 +1,345 @@
+//! The instruction set (Appendix 1) and its stack-effect classification
+//! (the non-terminal grouping of Appendix 2).
+//!
+//! Operator names consist of a generic base (`ADD`, `INDIR`, …) and a type
+//! suffix: `V` void, `C`/`S` char/short, `I`/`U` signed/unsigned int,
+//! `F`/`D` float/double, `B` memory block. Sign-agnostic integer operators
+//! exist only in their `U` form (there is no `ADDI`; signed and unsigned
+//! addition coincide on two's-complement machines), exactly as in the
+//! paper's Appendix 2 grammar.
+
+use std::fmt;
+
+/// Stack-effect class of an operator.
+///
+/// These mirror the grammar's non-terminals: `V*` classes push a value,
+/// `X*` classes are executed for a side effect, and the digit is the
+/// number of stack operands consumed. `Label` marks `LABELV`, which "is
+/// not an operator itself" (§4.1) but a branch-target marker in the
+/// uncompressed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StackKind {
+    /// Leaf producing a value (`<v0>`): pops 0, pushes 1.
+    V0,
+    /// Unary value operator (`<v1>`): pops 1, pushes 1.
+    V1,
+    /// Binary value operator (`<v2>`): pops 2, pushes 1.
+    V2,
+    /// Leaf statement (`<x0>`): pops 0, pushes 0.
+    X0,
+    /// Unary statement (`<x1>`): pops 1, pushes 0.
+    X1,
+    /// Binary statement (`<x2>`): pops 2, pushes 0.
+    X2,
+    /// Branch-target marker (`LABELV`), not part of the grammar.
+    Label,
+}
+
+impl StackKind {
+    /// Number of stack operands the class consumes.
+    pub fn pops(self) -> usize {
+        match self {
+            StackKind::V0 | StackKind::X0 | StackKind::Label => 0,
+            StackKind::V1 | StackKind::X1 => 1,
+            StackKind::V2 | StackKind::X2 => 2,
+        }
+    }
+
+    /// Whether the class pushes a result value.
+    pub fn pushes(self) -> bool {
+        matches!(self, StackKind::V0 | StackKind::V1 | StackKind::V2)
+    }
+}
+
+/// Result-type suffix of an operator (Appendix 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeSuffix {
+    /// No value.
+    V,
+    /// `char` (1 byte).
+    C,
+    /// `short` (2 bytes).
+    S,
+    /// Signed 32-bit integer.
+    I,
+    /// Unsigned 32-bit integer (also pointers).
+    U,
+    /// Single-precision float.
+    F,
+    /// Double-precision float.
+    D,
+    /// Memory block.
+    B,
+}
+
+macro_rules! opcodes {
+    ($( $name:ident = ($kind:ident, $suffix:ident, $operands:expr, $text:expr) ),+ $(,)?) => {
+        /// An operator of the initial bytecode.
+        ///
+        /// The discriminant is the operator's encoding byte. The set is the
+        /// paper's Appendix 2 terminal alphabet plus `LABELV`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(non_camel_case_types)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $( #[doc = $text] $name, )+
+        }
+
+        impl Opcode {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$name, )+ ];
+
+            /// Stack-effect class (Appendix 2 non-terminal group).
+            pub fn kind(self) -> StackKind {
+                match self { $( Opcode::$name => StackKind::$kind, )+ }
+            }
+
+            /// Result-type suffix.
+            pub fn suffix(self) -> TypeSuffix {
+                match self { $( Opcode::$name => TypeSuffix::$suffix, )+ }
+            }
+
+            /// Number of literal operand bytes following the opcode in the
+            /// instruction stream (the `<byte>` symbols of Appendix 2).
+            pub fn operand_bytes(self) -> usize {
+                match self { $( Opcode::$name => $operands, )+ }
+            }
+
+            /// Mnemonic as used by the assembler/disassembler.
+            pub fn name(self) -> &'static str {
+                match self { $( Opcode::$name => stringify!($name), )+ }
+            }
+
+            /// Decode an encoding byte.
+            pub fn from_u8(b: u8) -> Option<Opcode> {
+                Opcode::ALL.get(b as usize).copied()
+            }
+
+            /// Look up an opcode by its mnemonic.
+            pub fn from_name(s: &str) -> Option<Opcode> {
+                Opcode::ALL.iter().copied().find(|op| op.name() == s)
+            }
+        }
+    };
+}
+
+opcodes! {
+    // <v2>: binary value operators.
+    ADDD  = (V2, D, 0, "Double addition."),
+    DIVD  = (V2, D, 0, "Double division."),
+    MULD  = (V2, D, 0, "Double multiplication."),
+    SUBD  = (V2, D, 0, "Double subtraction."),
+    ADDF  = (V2, F, 0, "Float addition."),
+    DIVF  = (V2, F, 0, "Float division."),
+    MULF  = (V2, F, 0, "Float multiplication."),
+    SUBF  = (V2, F, 0, "Float subtraction."),
+    DIVI  = (V2, I, 0, "Signed division."),
+    MODI  = (V2, I, 0, "Signed remainder."),
+    MULI  = (V2, I, 0, "Signed multiplication."),
+    ADDU  = (V2, U, 0, "Integer/pointer addition (sign-agnostic)."),
+    DIVU  = (V2, U, 0, "Unsigned division."),
+    MODU  = (V2, U, 0, "Unsigned remainder."),
+    MULU  = (V2, U, 0, "Unsigned multiplication."),
+    SUBU  = (V2, U, 0, "Integer/pointer subtraction (sign-agnostic)."),
+    BANDU = (V2, U, 0, "Bit-wise AND."),
+    BORU  = (V2, U, 0, "Bit-wise OR."),
+    BXORU = (V2, U, 0, "Bit-wise XOR."),
+    EQD   = (V2, D, 0, "Double compare ==, push 0 or 1."),
+    GED   = (V2, D, 0, "Double compare >=, push 0 or 1."),
+    GTD   = (V2, D, 0, "Double compare >, push 0 or 1."),
+    LED   = (V2, D, 0, "Double compare <=, push 0 or 1."),
+    LTD   = (V2, D, 0, "Double compare <, push 0 or 1."),
+    NED   = (V2, D, 0, "Double compare !=, push 0 or 1."),
+    EQF   = (V2, F, 0, "Float compare ==, push 0 or 1."),
+    GEF   = (V2, F, 0, "Float compare >=, push 0 or 1."),
+    GTF   = (V2, F, 0, "Float compare >, push 0 or 1."),
+    LEF   = (V2, F, 0, "Float compare <=, push 0 or 1."),
+    LTF   = (V2, F, 0, "Float compare <, push 0 or 1."),
+    NEF   = (V2, F, 0, "Float compare !=, push 0 or 1."),
+    GEI   = (V2, I, 0, "Signed compare >=, push 0 or 1."),
+    GTI   = (V2, I, 0, "Signed compare >, push 0 or 1."),
+    LEI   = (V2, I, 0, "Signed compare <=, push 0 or 1."),
+    LTI   = (V2, I, 0, "Signed compare <, push 0 or 1."),
+    EQU   = (V2, U, 0, "Integer compare == (sign-agnostic), push 0 or 1."),
+    GEU   = (V2, U, 0, "Unsigned compare >=, push 0 or 1."),
+    GTU   = (V2, U, 0, "Unsigned compare >, push 0 or 1."),
+    LEU   = (V2, U, 0, "Unsigned compare <=, push 0 or 1."),
+    LTU   = (V2, U, 0, "Unsigned compare <, push 0 or 1."),
+    NEU   = (V2, U, 0, "Integer compare != (sign-agnostic), push 0 or 1."),
+    LSHI  = (V2, I, 0, "Left shift (signed result)."),
+    LSHU  = (V2, U, 0, "Left shift (unsigned result)."),
+    RSHI  = (V2, I, 0, "Arithmetic right shift."),
+    RSHU  = (V2, U, 0, "Logical right shift."),
+
+    // <v1>: unary value operators.
+    BCOMU  = (V1, U, 0, "Bit-wise complement."),
+    CALLD  = (V1, D, 0, "Pop procedure address, call, push double result."),
+    CALLF  = (V1, F, 0, "Pop procedure address, call, push float result."),
+    CALLU  = (V1, U, 0, "Pop procedure address, call, push integer result."),
+    CVDF   = (V1, F, 0, "Convert double to float."),
+    CVDI   = (V1, I, 0, "Convert double to signed int."),
+    CVFD   = (V1, D, 0, "Convert float to double."),
+    CVFI   = (V1, I, 0, "Convert float to signed int."),
+    CVID   = (V1, D, 0, "Convert signed int to double."),
+    CVIF   = (V1, F, 0, "Convert signed int to float."),
+    CVI1I4 = (V1, I, 0, "Sign-extend char to int."),
+    CVI2I4 = (V1, I, 0, "Sign-extend short to int."),
+    CVU1U4 = (V1, U, 0, "Zero-extend char to unsigned."),
+    CVU2U4 = (V1, U, 0, "Zero-extend short to unsigned."),
+    INDIRC = (V1, C, 0, "Pop p, push *(char *)p (zero-extended)."),
+    INDIRS = (V1, S, 0, "Pop p, push *(short *)p (zero-extended)."),
+    INDIRU = (V1, U, 0, "Pop p, push *(unsigned *)p."),
+    INDIRD = (V1, D, 0, "Pop p, push *(double *)p."),
+    INDIRF = (V1, F, 0, "Pop p, push *(float *)p."),
+    NEGD   = (V1, D, 0, "Double negation."),
+    NEGF   = (V1, F, 0, "Float negation."),
+    NEGI   = (V1, I, 0, "Integer negation."),
+
+    // <v0>: value leaves (prefix format, literal operand bytes follow).
+    ADDRFP     = (V0, U, 2, "Push address of formal; 2-byte frame offset."),
+    ADDRGP     = (V0, U, 2, "Push address of global; 2-byte global-table index."),
+    ADDRLP     = (V0, U, 2, "Push address of local; 2-byte frame offset."),
+    LocalCALLD = (V0, D, 2, "Direct call, double result; 2-byte descriptor index."),
+    LocalCALLF = (V0, F, 2, "Direct call, float result; 2-byte descriptor index."),
+    LocalCALLU = (V0, U, 2, "Direct call, integer result; 2-byte descriptor index."),
+    LIT1       = (V0, U, 1, "Push 1 literal byte (zero-extended)."),
+    LIT2       = (V0, U, 2, "Push 2 literal bytes (little-endian, zero-extended)."),
+    LIT3       = (V0, U, 3, "Push 3 literal bytes (little-endian, zero-extended)."),
+    LIT4       = (V0, U, 4, "Push 4 literal bytes (little-endian)."),
+
+    // <x2>: binary statements.
+    ASGNB = (X2, B, 2, "Pop p and q, copy a block from q to *p; 2-byte block size.\n\nDeviation from Appendix 2: lcc's block operators carry a size attribute that the appendix elides; we encode it as two literal bytes."),
+    ASGNC = (X2, C, 0, "Pop p and v, store low byte of v to *p."),
+    ASGNS = (X2, S, 0, "Pop p and v, store low 2 bytes of v to *p."),
+    ASGNU = (X2, U, 0, "Pop p and v, store 4-byte v to *p."),
+    ASGND = (X2, D, 0, "Pop p and v, store 8-byte double v to *p."),
+    ASGNF = (X2, F, 0, "Pop p and v, store 4-byte float v to *p."),
+
+    // <x1>: unary statements.
+    ARGB   = (X1, B, 2, "Pop block address, pass block as next outgoing argument; 2-byte block size (see ASGNB note)."),
+    ARGD   = (X1, D, 0, "Top is next outgoing double argument."),
+    ARGF   = (X1, F, 0, "Top is next outgoing float argument."),
+    ARGU   = (X1, U, 0, "Top is next outgoing integer/pointer argument."),
+    BrTrue = (X1, V, 2, "Pop flag; branch if non-zero. 2-byte label-table index."),
+    CALLV  = (X1, V, 0, "Pop procedure address, call, discard result."),
+    POPD   = (X1, D, 0, "Discard top double."),
+    POPF   = (X1, F, 0, "Discard top float."),
+    POPU   = (X1, U, 0, "Discard top integer/pointer."),
+    RETD   = (X1, D, 0, "Return double atop the stack."),
+    RETF   = (X1, F, 0, "Return float atop the stack."),
+    RETU   = (X1, U, 0, "Return integer/pointer atop the stack."),
+
+    // <x0>: leaf statements.
+    JUMPV      = (X0, V, 2, "Unconditional jump; 2-byte label-table index."),
+    LocalCALLV = (X0, V, 2, "Direct call, no result; 2-byte descriptor index."),
+    RETV       = (X0, V, 0, "Return with no value."),
+
+    // Branch-target marker: present in uncompressed streams, a no-op when
+    // executed, never part of the grammar.
+    LABELV = (Label, V, 0, "Branch-target marker; not an operator (§4.1)."),
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Opcode {
+    /// Total number of opcodes (including `LABELV`).
+    pub const COUNT: usize = Opcode::ALL.len();
+
+    /// Whether this opcode's literal operand is a label-table index.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::BrTrue | Opcode::JUMPV)
+    }
+
+    /// Whether this opcode's literal operand is a procedure-descriptor
+    /// index (the specialized `LocalCALL` family of §3).
+    pub fn is_local_call(self) -> bool {
+        matches!(
+            self,
+            Opcode::LocalCALLD | Opcode::LocalCALLF | Opcode::LocalCALLU | Opcode::LocalCALLV
+        )
+    }
+
+    /// Whether this opcode pops a procedure address (trampoline-style
+    /// indirect call, §3).
+    pub fn is_indirect_call(self) -> bool {
+        matches!(
+            self,
+            Opcode::CALLD | Opcode::CALLF | Opcode::CALLU | Opcode::CALLV
+        )
+    }
+
+    /// Whether this opcode returns from the current procedure.
+    pub fn is_return(self) -> bool {
+        matches!(
+            self,
+            Opcode::RETD | Opcode::RETF | Opcode::RETU | Opcode::RETV
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrips() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+            assert_eq!(Opcode::from_name(op.name()), Some(op));
+        }
+    }
+
+    #[test]
+    fn opcode_count_matches_appendix_2() {
+        // 45 <v2> + 22 <v1> + 10 <v0> + 6 <x2> + 12 <x1> + 3 <x0> + LABELV.
+        assert_eq!(Opcode::COUNT, 45 + 22 + 10 + 6 + 12 + 3 + 1);
+        const { assert!(Opcode::COUNT <= 256) };
+    }
+
+    #[test]
+    fn kind_partition_sizes() {
+        let count = |k: StackKind| Opcode::ALL.iter().filter(|o| o.kind() == k).count();
+        assert_eq!(count(StackKind::V2), 45);
+        assert_eq!(count(StackKind::V1), 22);
+        assert_eq!(count(StackKind::V0), 10);
+        assert_eq!(count(StackKind::X2), 6);
+        assert_eq!(count(StackKind::X1), 12);
+        assert_eq!(count(StackKind::X0), 3);
+        assert_eq!(count(StackKind::Label), 1);
+    }
+
+    #[test]
+    fn prefix_operators_carry_bytes() {
+        assert_eq!(Opcode::LIT1.operand_bytes(), 1);
+        assert_eq!(Opcode::LIT4.operand_bytes(), 4);
+        assert_eq!(Opcode::ADDRGP.operand_bytes(), 2);
+        assert_eq!(Opcode::BrTrue.operand_bytes(), 2);
+        assert_eq!(Opcode::JUMPV.operand_bytes(), 2);
+        assert_eq!(Opcode::ADDU.operand_bytes(), 0);
+        assert_eq!(Opcode::LABELV.operand_bytes(), 0);
+    }
+
+    #[test]
+    fn stack_kind_effects() {
+        assert_eq!(StackKind::V2.pops(), 2);
+        assert!(StackKind::V2.pushes());
+        assert_eq!(StackKind::X1.pops(), 1);
+        assert!(!StackKind::X1.pushes());
+        assert_eq!(StackKind::Label.pops(), 0);
+        assert!(!StackKind::Label.pushes());
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Opcode::BrTrue.is_branch());
+        assert!(Opcode::JUMPV.is_branch());
+        assert!(!Opcode::RETV.is_branch());
+        assert!(Opcode::LocalCALLV.is_local_call());
+        assert!(Opcode::CALLU.is_indirect_call());
+        assert!(Opcode::RETD.is_return());
+    }
+}

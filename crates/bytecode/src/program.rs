@@ -1,0 +1,255 @@
+//! Program packaging: procedures, descriptors, label tables, the global
+//! table, and trampolines (paper §3 and Appendix 3).
+
+use crate::insn::{decode, DecodeError, Instruction};
+use crate::opcode::Opcode;
+
+/// A bytecoded procedure and its descriptor contents.
+///
+/// The descriptor of §3 records three elements: the procedure's bytecode,
+/// a table of branch and jump offsets (the *label table*), and the size of
+/// the procedure's frame. Branch instructions hold label-table *indices*;
+/// the table holds the offsets, so the compressor can rewrite code without
+/// touching the indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Symbolic name (for diagnostics and linking; not part of the image).
+    pub name: String,
+    /// Size of the procedure's local-variable area, in bytes.
+    pub frame_size: u32,
+    /// Size of the procedure's incoming-argument area, in bytes.
+    pub arg_size: u32,
+    /// The (uncompressed or compressed) code stream.
+    pub code: Vec<u8>,
+    /// Label table: `labels[i]` is the byte offset into `code` of branch
+    /// target `i`.
+    pub labels: Vec<u32>,
+    /// Whether the procedure's address escapes and therefore needs a
+    /// C-callable trampoline (§3).
+    pub needs_trampoline: bool,
+}
+
+impl Procedure {
+    /// Create an empty procedure with the given name.
+    pub fn new(name: impl Into<String>) -> Procedure {
+        Procedure {
+            name: name.into(),
+            frame_size: 0,
+            arg_size: 0,
+            code: Vec::new(),
+            labels: Vec::new(),
+            needs_trampoline: false,
+        }
+    }
+
+    /// Decode the procedure's code stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] if the stream is malformed.
+    pub fn instructions(&self) -> Result<Vec<Instruction>, DecodeError> {
+        decode(&self.code).collect()
+    }
+
+    /// Byte ranges of the *straight-line segments* of this procedure: the
+    /// code between consecutive `LABELV` markers. Each segment is a
+    /// potential branch target, so the parser and compressor restart at
+    /// every segment boundary (§4.1). `LABELV` bytes themselves are not
+    /// part of any segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the stream is malformed.
+    pub fn segments(&self) -> Result<Vec<std::ops::Range<usize>>, DecodeError> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        for insn in decode(&self.code) {
+            let insn = insn?;
+            if insn.opcode == Opcode::LABELV {
+                if insn.offset > start {
+                    out.push(start..insn.offset);
+                }
+                start = insn.offset + 1;
+            }
+        }
+        if self.code.len() > start {
+            out.push(start..self.code.len());
+        }
+        Ok(out)
+    }
+}
+
+/// An entry of the program-wide global-address table (Appendix 3's
+/// `_globals[]`).
+///
+/// Global addresses are not known until link/load time, so the bytecode
+/// stores table indices and "relies on the linker to fill in the table
+/// entry" (§3). Our VM plays the linker: it assigns each entry an address
+/// at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalEntry {
+    /// A datum in the program's initialized-data segment, at the given
+    /// byte offset.
+    Data {
+        /// Symbolic name.
+        name: String,
+        /// Byte offset within [`Program::data`].
+        offset: u32,
+    },
+    /// A datum in the uninitialized (BSS) segment, at the given byte
+    /// offset within that segment.
+    Bss {
+        /// Symbolic name.
+        name: String,
+        /// Byte offset within the BSS segment.
+        offset: u32,
+    },
+    /// The address of a bytecoded procedure (reaches it through its
+    /// trampoline, like `&malloc`-style entries in Appendix 3).
+    Proc {
+        /// Descriptor index of the procedure.
+        proc_index: u32,
+    },
+    /// The address of a native library routine, resolved by the host.
+    Native {
+        /// Host routine name (e.g. `putchar`).
+        name: String,
+    },
+}
+
+impl GlobalEntry {
+    /// Symbolic name of the entry, if it has one.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            GlobalEntry::Data { name, .. }
+            | GlobalEntry::Bss { name, .. }
+            | GlobalEntry::Native { name } => Some(name),
+            GlobalEntry::Proc { .. } => None,
+        }
+    }
+}
+
+/// A complete bytecoded program: descriptors, global table, data segments,
+/// and the entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Procedure descriptors (`_procs[]` of Appendix 3).
+    pub procs: Vec<Procedure>,
+    /// Global-address table (`_globals[]` of Appendix 3).
+    pub globals: Vec<GlobalEntry>,
+    /// Initialized data segment.
+    pub data: Vec<u8>,
+    /// Size of the uninitialized (BSS) segment, in bytes.
+    pub bss_size: u32,
+    /// Descriptor index of the entry procedure (`main`, which always
+    /// needs a trampoline, §3).
+    pub entry: u32,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Total bytecode bytes across all procedures.
+    pub fn code_size(&self) -> usize {
+        self.procs.iter().map(|p| p.code.len()).sum()
+    }
+
+    /// Find a procedure descriptor index by name.
+    pub fn proc_index(&self, name: &str) -> Option<u32> {
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Find a global-table index by symbolic name.
+    pub fn global_index(&self, name: &str) -> Option<u32> {
+        self.globals
+            .iter()
+            .position(|g| g.name() == Some(name))
+            .map(|i| i as u32)
+    }
+
+    /// Number of procedures that need a trampoline.
+    pub fn trampoline_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.needs_trampoline).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::encode;
+
+    fn ret_proc(name: &str) -> Procedure {
+        let mut p = Procedure::new(name);
+        p.code = encode(&[Instruction::op(Opcode::RETV)]);
+        p
+    }
+
+    #[test]
+    fn segments_split_at_labels() {
+        let mut p = Procedure::new("f");
+        let insns = [
+            Instruction::with_u16(Opcode::ADDRFP, 0),
+            Instruction::op(Opcode::INDIRU),
+            Instruction::with_u16(Opcode::BrTrue, 0),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ];
+        p.code = encode(&insns);
+        p.labels = vec![insns[3].offset as u32];
+        let segs = p.segments().unwrap();
+        assert_eq!(segs.len(), 2);
+        // First segment: everything before LABELV.
+        assert_eq!(segs[0], 0..7);
+        // Second segment: RETV after the LABELV byte.
+        assert_eq!(segs[1], 8..9);
+    }
+
+    #[test]
+    fn leading_and_trailing_labels_make_no_empty_segments() {
+        let mut p = Procedure::new("f");
+        p.code = encode(&[
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+            Instruction::op(Opcode::LABELV),
+        ]);
+        let segs = p.segments().unwrap();
+        assert_eq!(segs, vec![1..2]);
+    }
+
+    #[test]
+    fn adjacent_labels_collapse() {
+        let mut p = Procedure::new("f");
+        p.code = encode(&[
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ]);
+        assert_eq!(p.segments().unwrap(), vec![2..3]);
+    }
+
+    #[test]
+    fn program_lookups() {
+        let mut prog = Program::new();
+        prog.procs.push(ret_proc("main"));
+        prog.procs.push(ret_proc("helper"));
+        prog.procs[0].needs_trampoline = true;
+        prog.globals.push(GlobalEntry::Native {
+            name: "putchar".into(),
+        });
+        prog.globals.push(GlobalEntry::Data {
+            name: "table".into(),
+            offset: 0,
+        });
+        assert_eq!(prog.proc_index("helper"), Some(1));
+        assert_eq!(prog.proc_index("absent"), None);
+        assert_eq!(prog.global_index("table"), Some(1));
+        assert_eq!(prog.trampoline_count(), 1);
+        assert_eq!(prog.code_size(), 2);
+    }
+}

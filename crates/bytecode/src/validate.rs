@@ -1,0 +1,330 @@
+//! Static validation of bytecoded programs.
+//!
+//! The compressor and the grammar both assume well-formed input: code that
+//! decodes cleanly, references only existing labels/globals/descriptors,
+//! and respects the stack discipline of the Appendix 2 grammar (every
+//! straight-line segment is a sequence of complete statements, so the
+//! evaluation stack is empty at every segment boundary).
+
+use crate::insn::DecodeError;
+use crate::opcode::{Opcode, StackKind};
+use crate::program::{Procedure, Program};
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The code stream does not decode.
+    Decode {
+        /// Procedure name.
+        proc: String,
+        /// Underlying decode error.
+        error: DecodeError,
+    },
+    /// A branch names a label-table index that does not exist.
+    BadLabelIndex {
+        /// Procedure name.
+        proc: String,
+        /// Offset of the branch.
+        offset: usize,
+        /// The missing label index.
+        index: u16,
+    },
+    /// A label-table entry does not point at a `LABELV` marker.
+    BadLabelTarget {
+        /// Procedure name.
+        proc: String,
+        /// Which label-table entry.
+        label: usize,
+        /// Where it points.
+        target: u32,
+    },
+    /// A `LocalCALL` names a descriptor that does not exist.
+    BadProcIndex {
+        /// Procedure name.
+        proc: String,
+        /// Offset of the call.
+        offset: usize,
+        /// The missing descriptor index.
+        index: u16,
+    },
+    /// An `ADDRGP` names a global-table entry that does not exist.
+    BadGlobalIndex {
+        /// Procedure name.
+        proc: String,
+        /// Offset of the instruction.
+        offset: usize,
+        /// The missing global index.
+        index: u16,
+    },
+    /// An operator would pop more values than the stack holds.
+    StackUnderflow {
+        /// Procedure name.
+        proc: String,
+        /// Offset of the operator.
+        offset: usize,
+        /// The operator.
+        opcode: Opcode,
+        /// Stack depth at that point.
+        depth: usize,
+    },
+    /// A segment ends (at a label or at the end of code) with values
+    /// still on the stack, so the parse cannot restart there.
+    NonEmptyStackAtBoundary {
+        /// Procedure name.
+        proc: String,
+        /// Offset of the boundary.
+        offset: usize,
+        /// Leftover stack depth.
+        depth: usize,
+    },
+    /// Control can fall off the end of the procedure.
+    MissingTerminator {
+        /// Procedure name.
+        proc: String,
+    },
+    /// The program's entry index is out of range.
+    BadEntry {
+        /// The out-of-range index.
+        entry: u32,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Decode { proc, error } => write!(f, "{proc}: {error}"),
+            ValidateError::BadLabelIndex { proc, offset, index } => {
+                write!(f, "{proc}+{offset}: branch to missing label {index}")
+            }
+            ValidateError::BadLabelTarget { proc, label, target } => {
+                write!(f, "{proc}: label {label} points at {target}, not a LABELV")
+            }
+            ValidateError::BadProcIndex { proc, offset, index } => {
+                write!(f, "{proc}+{offset}: LocalCALL to missing descriptor {index}")
+            }
+            ValidateError::BadGlobalIndex { proc, offset, index } => {
+                write!(f, "{proc}+{offset}: ADDRGP to missing global {index}")
+            }
+            ValidateError::StackUnderflow {
+                proc,
+                offset,
+                opcode,
+                depth,
+            } => write!(
+                f,
+                "{proc}+{offset}: {opcode} pops {} but stack depth is {depth}",
+                opcode.kind().pops()
+            ),
+            ValidateError::NonEmptyStackAtBoundary { proc, offset, depth } => {
+                write!(f, "{proc}+{offset}: segment boundary with stack depth {depth}")
+            }
+            ValidateError::MissingTerminator { proc } => {
+                write!(f, "{proc}: control can fall off the end")
+            }
+            ValidateError::BadEntry { entry } => write!(f, "entry index {entry} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate one procedure against the tables of its containing program.
+///
+/// # Errors
+///
+/// Returns the first problem found; see [`ValidateError`].
+pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), ValidateError> {
+    let name = || proc.name.clone();
+    let insns = proc
+        .instructions()
+        .map_err(|error| ValidateError::Decode { proc: name(), error })?;
+
+    for (i, &target) in proc.labels.iter().enumerate() {
+        let ok = insns
+            .iter()
+            .any(|insn| insn.offset == target as usize && insn.opcode == Opcode::LABELV);
+        if !ok {
+            return Err(ValidateError::BadLabelTarget {
+                proc: name(),
+                label: i,
+                target,
+            });
+        }
+    }
+
+    let mut depth = 0usize;
+    for insn in &insns {
+        let kind = insn.opcode.kind();
+        if kind == StackKind::Label {
+            if depth != 0 {
+                return Err(ValidateError::NonEmptyStackAtBoundary {
+                    proc: name(),
+                    offset: insn.offset,
+                    depth,
+                });
+            }
+            continue;
+        }
+        if insn.opcode.is_branch() {
+            let index = insn.operand_u16();
+            if usize::from(index) >= proc.labels.len() {
+                return Err(ValidateError::BadLabelIndex {
+                    proc: name(),
+                    offset: insn.offset,
+                    index,
+                });
+            }
+        }
+        if insn.opcode.is_local_call() {
+            let index = insn.operand_u16();
+            if usize::from(index) >= program.procs.len() {
+                return Err(ValidateError::BadProcIndex {
+                    proc: name(),
+                    offset: insn.offset,
+                    index,
+                });
+            }
+        }
+        if insn.opcode == Opcode::ADDRGP {
+            let index = insn.operand_u16();
+            if usize::from(index) >= program.globals.len() {
+                return Err(ValidateError::BadGlobalIndex {
+                    proc: name(),
+                    offset: insn.offset,
+                    index,
+                });
+            }
+        }
+        if depth < kind.pops() {
+            return Err(ValidateError::StackUnderflow {
+                proc: name(),
+                offset: insn.offset,
+                opcode: insn.opcode,
+                depth,
+            });
+        }
+        depth -= kind.pops();
+        if kind.pushes() {
+            depth += 1;
+        }
+    }
+    if depth != 0 {
+        return Err(ValidateError::NonEmptyStackAtBoundary {
+            proc: name(),
+            offset: proc.code.len(),
+            depth,
+        });
+    }
+
+    match insns.last() {
+        Some(last) if last.opcode.is_return() || last.opcode == Opcode::JUMPV => Ok(()),
+        _ => Err(ValidateError::MissingTerminator { proc: name() }),
+    }
+}
+
+/// Validate a whole program.
+///
+/// # Errors
+///
+/// Returns the first problem found in any procedure, or [`ValidateError::BadEntry`]
+/// if the entry index is out of range.
+pub fn validate_program(program: &Program) -> Result<(), ValidateError> {
+    if !program.procs.is_empty() && program.entry as usize >= program.procs.len() {
+        return Err(ValidateError::BadEntry {
+            entry: program.entry,
+        });
+    }
+    for proc in &program.procs {
+        validate_procedure(proc, program)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        let prog = assemble(src).unwrap();
+        validate_program(&prog)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        check(
+            "proc main frame=4 args=0\n\
+             \tADDRLP 0\n\tLIT1 7\n\tSUBU\n\tPOPU\n\tRETV\nendproc\nentry main\n",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn underflow_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tADDU\n\tPOPU\n\tRETV\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::StackUnderflow { depth: 0, .. }));
+    }
+
+    #[test]
+    fn value_left_on_stack_at_label_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tLIT1 1\n\tlabel 0\n\tPOPU\n\tRETV\nendproc\n")
+            .unwrap_err();
+        assert!(matches!(e, ValidateError::NonEmptyStackAtBoundary { depth: 1, .. }));
+    }
+
+    #[test]
+    fn value_left_at_end_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tLIT1 1\n\tRETV\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::NonEmptyStackAtBoundary { .. }));
+    }
+
+    #[test]
+    fn missing_label_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tJUMPV 3\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::BadLabelIndex { index: 3, .. }));
+    }
+
+    #[test]
+    fn missing_descriptor_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tLocalCALLV 9\n\tRETV\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::BadProcIndex { index: 9, .. }));
+    }
+
+    #[test]
+    fn missing_global_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tADDRGP 0\n\tPOPU\n\tRETV\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::BadGlobalIndex { index: 0, .. }));
+    }
+
+    #[test]
+    fn fallthrough_end_is_caught() {
+        let e = check("proc f frame=0 args=0\n\tLIT1 1\n\tPOPU\nendproc\n").unwrap_err();
+        assert!(matches!(e, ValidateError::MissingTerminator { .. }));
+    }
+
+    #[test]
+    fn jump_terminator_is_accepted() {
+        check("proc f frame=0 args=0\n\tlabel 0\n\tJUMPV 0\nendproc\n").unwrap();
+    }
+
+    #[test]
+    fn bad_entry_is_caught() {
+        let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
+        prog.entry = 5;
+        assert!(matches!(
+            validate_program(&prog),
+            Err(ValidateError::BadEntry { entry: 5 })
+        ));
+    }
+
+    #[test]
+    fn stale_label_table_is_caught() {
+        let mut prog = assemble("proc f frame=0 args=0\n\tlabel 0\n\tRETV\nendproc\n").unwrap();
+        prog.procs[0].labels[0] = 1; // points at RETV, not LABELV
+        assert!(matches!(
+            validate_program(&prog),
+            Err(ValidateError::BadLabelTarget { label: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,10 @@
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pgr_cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("pgr: {e}");
+            std::process::exit(2);
+        }
+    }
+}

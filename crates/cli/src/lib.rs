@@ -1,0 +1,371 @@
+//! # pgr-cli
+//!
+//! The `pgr` command-line tool: drive the whole pipeline from a shell.
+//!
+//! ```text
+//! pgr compile hello.c -o hello.pgrb [-O]      # C -> bytecode image
+//! pgr disasm hello.pgrb                       # textual assembly
+//! pgr train a.pgrb b.pgrb -o corp.pgrg        # expanded grammar
+//! pgr compress hello.pgrb -g corp.pgrg -o hello.pgrc
+//! pgr decompress hello.pgrc -g corp.pgrg -o back.pgrb
+//! pgr run hello.pgrb                          # interp1
+//! pgr run hello.pgrc -g corp.pgrg             # interp_nt, direct
+//! pgr stats hello.pgrb                        # image + native sizes
+//! pgr cgen -g corp.pgrg -o outdir             # generated C artifacts
+//! ```
+//!
+//! The library entry point [`run`] is what the binary calls and what the
+//! integration tests drive directly.
+
+#![warn(missing_docs)]
+
+use pgr_bytecode::{read_program, write_program, validate_program, ImageKind, Program};
+use pgr_core::{train, ExpanderConfig, TrainConfig};
+use pgr_grammar::encode::{decode_grammar, encode_grammar};
+use pgr_grammar::{Grammar, Nt};
+use pgr_vm::{Vm, VmConfig};
+use std::path::Path;
+
+/// Grammar-file magic.
+pub const GRAMMAR_MAGIC: &[u8; 4] = b"PGRG";
+
+/// Run the CLI with the given arguments (excluding the program name);
+/// returns the process exit code.
+///
+/// # Errors
+///
+/// Returns a human-readable message for usage errors, I/O failures, and
+/// pipeline failures.
+pub fn run(args: &[String]) -> Result<i32, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "compile" => compile(rest),
+        "disasm" => disasm(rest),
+        "train" => cmd_train(rest),
+        "compress" => compress(rest),
+        "decompress" => decompress(rest),
+        "run" => cmd_run(rest),
+        "stats" => stats(rest),
+        "cgen" => cgen(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(0)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: pgr <compile|disasm|train|compress|decompress|run|stats|cgen|help> ...\n\
+     \x20 compile <in.c> -o <out.pgrb> [-O]\n\
+     \x20 disasm <in.pgrb>\n\
+     \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
+     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc>\n\
+     \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
+     \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
+     \x20 stats <in.pgrb>\n\
+     \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>"
+        .to_string()
+}
+
+// ---- small argument helpers -------------------------------------------
+
+fn opt_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn required<'a>(args: &'a [String], flag: &str) -> Result<&'a str, String> {
+    opt_value(args, flag).ok_or_else(|| format!("missing {flag} <value>"))
+}
+
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "-o" || a == "-g" || a == "--cap" || a == "--stdin" || a == "--trace" || a == "-p" {
+            skip = true;
+            continue;
+        }
+        if a.starts_with('-') {
+            continue;
+        }
+        let _ = i;
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_program(path: &str) -> Result<(Program, ImageKind), String> {
+    let bytes = read_file(path)?;
+    read_program(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---- grammar files -----------------------------------------------------
+
+/// Serialize a grammar plus the two non-terminal handles the compressed
+/// interpreter needs.
+pub fn write_grammar_file(grammar: &Grammar, start: Nt, byte_nt: Nt) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(GRAMMAR_MAGIC);
+    out.push(1); // version
+    out.push(start.0 as u8);
+    out.push(byte_nt.0 as u8);
+    out.extend_from_slice(&encode_grammar(grammar));
+    out
+}
+
+/// Parse a grammar file.
+///
+/// # Errors
+///
+/// Reports bad magic/version or a malformed grammar body.
+pub fn read_grammar_file(bytes: &[u8]) -> Result<(Grammar, Nt, Nt), String> {
+    if bytes.len() < 7 || &bytes[..4] != GRAMMAR_MAGIC {
+        return Err("not a PGRG grammar file".into());
+    }
+    if bytes[4] != 1 {
+        return Err(format!("unsupported grammar version {}", bytes[4]));
+    }
+    let start = Nt(u16::from(bytes[5]));
+    let byte_nt = Nt(u16::from(bytes[6]));
+    let grammar = decode_grammar(&bytes[7..]).map_err(|e| e.to_string())?;
+    Ok((grammar, start, byte_nt))
+}
+
+// ---- commands -----------------------------------------------------------
+
+fn compile(args: &[String]) -> Result<i32, String> {
+    let inputs = positionals(args);
+    let [input] = inputs.as_slice() else {
+        return Err("compile takes exactly one .c file".into());
+    };
+    let out = required(args, "-o")?;
+    let optimize = args.iter().any(|a| a == "-O");
+    let source =
+        String::from_utf8(read_file(input)?).map_err(|_| format!("{input}: not UTF-8"))?;
+    let program = pgr_minic::compile_with(&source, &pgr_minic::Options { optimize })
+        .map_err(|e| format!("{input}:{e}"))?;
+    validate_program(&program).map_err(|e| format!("{input}: generated invalid code: {e}"))?;
+    write_file(out, &write_program(&program, ImageKind::Uncompressed))?;
+    eprintln!(
+        "{input}: {} procedures, {} bytecode bytes -> {out}",
+        program.procs.len(),
+        program.code_size()
+    );
+    Ok(0)
+}
+
+fn disasm(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("disasm takes exactly one image".into());
+    };
+    let (program, kind) = load_program(input)?;
+    if kind == ImageKind::Compressed {
+        return Err(format!(
+            "{input} holds compressed derivations; decompress it first"
+        ));
+    }
+    print!("{}", pgr_bytecode::asm::disassemble(&program));
+    Ok(0)
+}
+
+fn cmd_train(args: &[String]) -> Result<i32, String> {
+    let inputs = positionals(args);
+    if inputs.is_empty() {
+        return Err("train needs at least one training image".into());
+    }
+    let out = required(args, "-o")?;
+    let cap = match opt_value(args, "--cap") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --cap {v:?}"))?,
+        None => 256,
+    };
+    let mut programs = Vec::new();
+    for path in &inputs {
+        let (program, kind) = load_program(path)?;
+        if kind == ImageKind::Compressed {
+            return Err(format!("{path}: cannot train on compressed images"));
+        }
+        programs.push(program);
+    }
+    let refs: Vec<&Program> = programs.iter().collect();
+    let config = TrainConfig {
+        expander: ExpanderConfig {
+            max_rules_per_nt: cap,
+            ..ExpanderConfig::default()
+        },
+    };
+    let trained = train(&refs, &config).map_err(|e| e.to_string())?;
+    let ig = trained.initial();
+    write_file(
+        out,
+        &write_grammar_file(trained.expanded(), ig.nt_start, ig.nt_byte),
+    )?;
+    eprintln!(
+        "trained on {} image(s): +{} rules, grammar {} bytes -> {out}",
+        inputs.len(),
+        trained.stats.rules_added,
+        trained.grammar_size()
+    );
+    Ok(0)
+}
+
+fn compress(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("compress takes exactly one image".into());
+    };
+    let out = required(args, "-o")?;
+    let (grammar, start, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
+    let (program, kind) = load_program(input)?;
+    if kind == ImageKind::Compressed {
+        return Err(format!("{input} is already compressed"));
+    }
+    let (cp, stats) = pgr_core::compress::compress_program(&grammar, start, &program)
+        .map_err(|e| e.to_string())?;
+    write_file(out, &write_program(&cp.program, ImageKind::Compressed))?;
+    eprintln!(
+        "{input}: {} -> {} code bytes ({:.0}%) -> {out}",
+        stats.original_code,
+        stats.compressed_code,
+        100.0 * stats.ratio()
+    );
+    Ok(0)
+}
+
+fn decompress(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("decompress takes exactly one image".into());
+    };
+    let out = required(args, "-o")?;
+    let (grammar, start, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
+    let (program, kind) = load_program(input)?;
+    if kind == ImageKind::Uncompressed {
+        return Err(format!("{input} is not compressed"));
+    }
+    let cp = pgr_core::CompressedProgram { program };
+    let back = pgr_core::compress::decompress_program(&grammar, start, &cp)
+        .map_err(|e| e.to_string())?;
+    write_file(out, &write_program(&back, ImageKind::Uncompressed))?;
+    eprintln!("{input}: decompressed to {} code bytes -> {out}", back.code_size());
+    Ok(0)
+}
+
+fn cmd_run(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("run takes exactly one image".into());
+    };
+    let (program, kind) = load_program(input)?;
+    let trace_limit = match opt_value(args, "--trace") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --trace {v:?}"))?,
+        None => 0,
+    };
+    let config = VmConfig {
+        input: opt_value(args, "--stdin").unwrap_or("").as_bytes().to_vec(),
+        trace_limit,
+        ..VmConfig::default()
+    };
+    let result = match kind {
+        ImageKind::Uncompressed => {
+            let mut vm = Vm::new(&program, config).map_err(|e| e.to_string())?;
+            vm.run().map_err(|e| e.to_string())?
+        }
+        ImageKind::Compressed => {
+            let g = required(args, "-g")
+                .map_err(|_| "compressed image needs -g <grammar>".to_string())?;
+            let (grammar, start, byte_nt) = read_grammar_file(&read_file(g)?)?;
+            let mut vm = Vm::new_compressed(&program, &grammar, start, byte_nt, config)
+                .map_err(|e| e.to_string())?;
+            vm.run().map_err(|e| e.to_string())?
+        }
+    };
+    for ev in &result.trace {
+        eprintln!(
+            "trace: #{:<3} depth {:<2} {} {}",
+            ev.proc,
+            ev.depth,
+            ev.op,
+            if ev.op.operand_bytes() > 0 {
+                ev.operand.to_string()
+            } else {
+                String::new()
+            }
+        );
+    }
+    use std::io::Write as _;
+    std::io::stdout()
+        .write_all(&result.output)
+        .map_err(|e| e.to_string())?;
+    Ok(result.exit_code.unwrap_or_else(|| result.ret.i()))
+}
+
+fn stats(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("stats takes exactly one image".into());
+    };
+    let (program, kind) = load_program(input)?;
+    let s = pgr_bytecode::image::ImageStats::of(&program);
+    println!("kind:          {kind:?}");
+    println!("procedures:    {}", program.procs.len());
+    println!("code:          {} B", s.code);
+    println!("label tables:  {} B", s.label_tables);
+    println!("descriptors:   {} B", s.descriptors);
+    println!("global table:  {} B", s.global_table);
+    println!("trampolines:   {} B", s.trampolines);
+    println!("data/bss:      {}/{} B", s.data, s.bss);
+    println!("image total:   {} B (interpreter not included)", s.total());
+    if kind == ImageKind::Uncompressed {
+        let n = pgr_native::measure_program(&program);
+        println!("native est.:   {} B code, {} B total", n.code, n.total());
+    }
+    Ok(0)
+}
+
+fn cgen(args: &[String]) -> Result<i32, String> {
+    let out = required(args, "-o")?;
+    let (grammar, _, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
+    std::fs::create_dir_all(out).map_err(|e| format!("{out}: {e}"))?;
+    let dir = Path::new(out);
+    let mut files = vec![
+        ("interp1.c", pgr_vm::cgen::interp1_source()),
+        ("tables.c", pgr_vm::cgen::rule_tables_source(&grammar)),
+        ("interp_nt.c", pgr_vm::cgen::interp_nt_source()),
+    ];
+    if let Some(image) = opt_value(args, "-p") {
+        let (program, _) = load_program(image)?;
+        files.push(("package.c", pgr_vm::cgen::packaging_source(&program)));
+    }
+    for (name, content) in files {
+        std::fs::write(dir.join(name), content).map_err(|e| format!("{name}: {e}"))?;
+    }
+    let sizes = pgr_vm::cgen::interpreter_sizes(&grammar);
+    eprintln!(
+        "wrote interp1.c/tables.c/interp_nt.c to {out} (modeled: initial {} B, compressed {} B)",
+        sizes.initial, sizes.compressed
+    );
+    Ok(0)
+}

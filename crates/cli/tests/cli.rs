@@ -1,0 +1,189 @@
+//! End-to-end CLI tests, driving the library entry point over real files
+//! in a scratch directory.
+
+use pgr_cli::run;
+use std::path::PathBuf;
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "pgr-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch { dir }
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write(&self, name: &str, content: &str) -> String {
+        let p = self.path(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+const HELLO: &str = r#"
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++) putchar('x');
+    return 7;
+}
+"#;
+
+#[test]
+fn compile_run_roundtrip() {
+    let s = Scratch::new("basic");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    assert_eq!(run(&args(&["compile", &c, "-o", &image])).unwrap(), 0);
+    // `run` returns the program's return value as the exit code.
+    assert_eq!(run(&args(&["run", &image])).unwrap(), 7);
+}
+
+#[test]
+fn full_pipeline_through_files() {
+    let s = Scratch::new("pipeline");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("hello.pgrg");
+    let packed = s.path("hello.pgrc");
+    let unpacked = s.path("back.pgrb");
+
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+    run(&args(&["compress", &image, "-g", &grammar, "-o", &packed])).unwrap();
+
+    // The compressed file is a different (smaller) image.
+    let plain = std::fs::read(&image).unwrap();
+    let packed_bytes = std::fs::read(&packed).unwrap();
+    assert!(packed_bytes.len() < plain.len());
+
+    // Direct execution of the compressed image matches.
+    assert_eq!(
+        run(&args(&["run", &packed, "-g", &grammar])).unwrap(),
+        7
+    );
+
+    // Decompression restores a runnable uncompressed image.
+    run(&args(&["decompress", &packed, "-g", &grammar, "-o", &unpacked])).unwrap();
+    assert_eq!(run(&args(&["run", &unpacked])).unwrap(), 7);
+}
+
+#[test]
+fn train_cap_flag_is_honoured() {
+    let s = Scratch::new("cap");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    let small = s.path("small.pgrg");
+    let large = s.path("large.pgrg");
+    run(&args(&["train", &image, "-o", &small, "--cap", "16"])).unwrap();
+    run(&args(&["train", &image, "-o", &large, "--cap", "256"])).unwrap();
+    let small_len = std::fs::read(&small).unwrap().len();
+    let large_len = std::fs::read(&large).unwrap().len();
+    assert!(small_len <= large_len);
+}
+
+#[test]
+fn cgen_emits_the_three_artifacts() {
+    let s = Scratch::new("cgen");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("hello.pgrg");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+    let outdir = s.path("gen");
+    run(&args(&["cgen", "-g", &grammar, "-o", &outdir])).unwrap();
+    for name in ["interp1.c", "tables.c", "interp_nt.c"] {
+        let content =
+            std::fs::read_to_string(std::path::Path::new(&outdir).join(name)).unwrap();
+        assert!(!content.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn stats_and_disasm_work() {
+    let s = Scratch::new("inspect");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    assert_eq!(run(&args(&["stats", &image])).unwrap(), 0);
+    assert_eq!(run(&args(&["disasm", &image])).unwrap(), 0);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let s = Scratch::new("errors");
+    // Unknown command.
+    assert!(run(&args(&["frobnicate"])).is_err());
+    // Missing file.
+    assert!(run(&args(&["run", &s.path("absent.pgrb")])).is_err());
+    // Bad C.
+    let bad = s.write("bad.c", "int main( {");
+    assert!(run(&args(&["compile", &bad, "-o", &s.path("x.pgrb")])).is_err());
+    // Compressed image without a grammar.
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("g.pgrg");
+    let packed = s.path("hello.pgrc");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+    run(&args(&["compress", &image, "-g", &grammar, "-o", &packed])).unwrap();
+    assert!(run(&args(&["run", &packed])).is_err());
+    // Disassembling a compressed image is refused.
+    assert!(run(&args(&["disasm", &packed])).is_err());
+    // Training on compressed images is refused.
+    assert!(run(&args(&["train", &packed, "-o", &s.path("y.pgrg")])).is_err());
+    // Garbage grammar file.
+    let junk = s.write("junk.pgrg", "not a grammar");
+    assert!(run(&args(&["compress", &image, "-g", &junk, "-o", &s.path("z.pgrc")])).is_err());
+}
+
+#[test]
+fn stdin_flag_feeds_getchar() {
+    let s = Scratch::new("stdin");
+    let c = s.write(
+        "echo.c",
+        "int main(void) { int c; int n = 0; \
+         while ((c = getchar()) != -1) { putchar(c); n++; } return n; }",
+    );
+    let image = s.path("echo.pgrb");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    let code = run(&args(&["run", &image, "--stdin", "abc"])).unwrap();
+    assert_eq!(code, 3);
+}
+
+#[test]
+fn cgen_with_image_emits_packaging() {
+    let s = Scratch::new("package");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("hello.pgrg");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+    let outdir = s.path("gen");
+    run(&args(&["cgen", "-g", &grammar, "-p", &image, "-o", &outdir])).unwrap();
+    let pkg =
+        std::fs::read_to_string(std::path::Path::new(&outdir).join("package.c")).unwrap();
+    assert!(pkg.contains("proc _procs[]"));
+    assert!(pkg.contains("void *_globals[]"));
+    assert!(pkg.contains("int main(unsigned arg1)"));
+}

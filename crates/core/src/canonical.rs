@@ -1,0 +1,196 @@
+//! Canonical form of uncompressed programs.
+//!
+//! The compressor restarts the derivation at every `LABELV`. Two
+//! degenerate shapes would make exact compress→decompress round-trips
+//! ambiguous: `LABELV` markers no label-table entry points at (nothing can
+//! branch there, so they only fragment segments) and runs of adjacent
+//! `LABELV`s (which all denote the same restart point). Canonicalization
+//! drops the former, collapses the latter onto a single marker, and
+//! re-points label-table entries accordingly. The transformation never
+//! changes behaviour — `LABELV` is a no-op — and `decompress ∘ compress`
+//! is the identity on canonical programs.
+
+use pgr_bytecode::{decode, DecodeError, Opcode, Procedure, Program};
+use std::fmt;
+
+/// An error canonicalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonError {
+    /// A procedure's code does not decode.
+    Decode {
+        /// Procedure name.
+        proc: String,
+        /// The underlying decode error.
+        error: DecodeError,
+    },
+    /// A label-table entry does not point at a `LABELV`.
+    BadLabel {
+        /// Procedure name.
+        proc: String,
+        /// Which label-table entry.
+        label: usize,
+    },
+}
+
+impl fmt::Display for CanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanonError::Decode { proc, error } => write!(f, "{proc}: {error}"),
+            CanonError::BadLabel { proc, label } => {
+                write!(f, "{proc}: label {label} does not point at a LABELV")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
+/// Canonicalize one procedure. See the module docs.
+///
+/// # Errors
+///
+/// Fails if the code does not decode or a label points somewhere other
+/// than a `LABELV`.
+pub fn canonicalize_procedure(proc: &Procedure) -> Result<Procedure, CanonError> {
+    let insns: Vec<_> = decode(&proc.code)
+        .collect::<Result<_, _>>()
+        .map_err(|error| CanonError::Decode {
+            proc: proc.name.clone(),
+            error,
+        })?;
+
+    let referenced = |offset: usize| proc.labels.iter().any(|&l| l as usize == offset);
+
+    let mut code = Vec::with_capacity(proc.code.len());
+    // old LABELV offset -> new offset of the marker that represents it.
+    let mut label_map: Vec<(usize, u32)> = Vec::new();
+    let mut last_label_at: Option<u32> = None;
+    for insn in &insns {
+        if insn.opcode == Opcode::LABELV {
+            if !referenced(insn.offset) {
+                continue; // unreferenced marker: drop
+            }
+            let new_off = match last_label_at {
+                Some(off) => off, // adjacent referenced markers collapse
+                None => {
+                    let off = code.len() as u32;
+                    code.push(Opcode::LABELV as u8);
+                    last_label_at = Some(off);
+                    off
+                }
+            };
+            label_map.push((insn.offset, new_off));
+        } else {
+            last_label_at = None;
+            insn.encode_into(&mut code);
+        }
+    }
+
+    let mut labels = Vec::with_capacity(proc.labels.len());
+    for (i, &old) in proc.labels.iter().enumerate() {
+        let new = label_map
+            .iter()
+            .find(|(o, _)| *o == old as usize)
+            .map(|&(_, n)| n)
+            .ok_or_else(|| CanonError::BadLabel {
+                proc: proc.name.clone(),
+                label: i,
+            })?;
+        labels.push(new);
+    }
+
+    Ok(Procedure {
+        name: proc.name.clone(),
+        frame_size: proc.frame_size,
+        arg_size: proc.arg_size,
+        code,
+        labels,
+        needs_trampoline: proc.needs_trampoline,
+    })
+}
+
+/// Canonicalize every procedure of a program.
+///
+/// # Errors
+///
+/// See [`canonicalize_procedure`].
+pub fn canonicalize_program(program: &Program) -> Result<Program, CanonError> {
+    let mut out = program.clone();
+    out.procs = program
+        .procs
+        .iter()
+        .map(canonicalize_procedure)
+        .collect::<Result<_, _>>()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::asm::assemble;
+
+    #[test]
+    fn plain_programs_are_unchanged() {
+        let prog = assemble(
+            "proc f frame=0 args=0\n\tLIT1 1\n\tBrTrue 0\n\tlabel 0\n\tRETV\nendproc\n",
+        )
+        .unwrap();
+        let canon = canonicalize_program(&prog).unwrap();
+        assert_eq!(canon, prog);
+        // Idempotent.
+        assert_eq!(canonicalize_program(&canon).unwrap(), canon);
+    }
+
+    #[test]
+    fn adjacent_labels_collapse_and_repoint() {
+        let prog = assemble(
+            "proc f frame=0 args=0\n\tLIT1 1\n\tBrTrue 0\n\tJUMPV 1\n\tlabel 0\n\tlabel 1\n\tRETV\nendproc\n",
+        )
+        .unwrap();
+        let canon = canonicalize_program(&prog).unwrap();
+        let p = &canon.procs[0];
+        assert_eq!(p.labels.len(), 2);
+        assert_eq!(p.labels[0], p.labels[1]);
+        let markers = p
+            .code
+            .iter()
+            .filter(|&&b| b == Opcode::LABELV as u8)
+            .count();
+        assert_eq!(markers, 1);
+        assert_eq!(canonicalize_program(&canon).unwrap(), canon);
+    }
+
+    #[test]
+    fn unreferenced_markers_are_dropped() {
+        use pgr_bytecode::{encode, Instruction};
+        let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
+        // Hand-insert a stray LABELV before the RETV.
+        prog.procs[0].code = encode(&[
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ]);
+        let canon = canonicalize_program(&prog).unwrap();
+        assert_eq!(canon.procs[0].code, vec![Opcode::RETV as u8]);
+    }
+
+    #[test]
+    fn bad_label_is_reported() {
+        let mut prog =
+            assemble("proc f frame=0 args=0\n\tlabel 0\n\tRETV\nendproc\n").unwrap();
+        prog.procs[0].labels[0] = 1; // RETV, not LABELV
+        assert!(matches!(
+            canonicalize_program(&prog),
+            Err(CanonError::BadLabel { label: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_label_survives() {
+        let prog = assemble(
+            "proc f frame=0 args=0\n\tJUMPV 0\n\tlabel 0\n\tJUMPV 0\nendproc\n",
+        )
+        .unwrap();
+        let canon = canonicalize_program(&prog).unwrap();
+        assert_eq!(canon, prog);
+    }
+}

@@ -1,0 +1,423 @@
+//! The compressor and decompressor.
+//!
+//! "The compressed bytecode for a program is a specification of a shortest
+//! derivation under the expanded grammar" (§2). Each straight-line segment
+//! of a procedure is encoded as one derivation of `<start>`, one byte per
+//! rule; the per-procedure label table is rewritten so that each entry
+//! holds the compressed-stream offset of its segment (§3: the compressor
+//! "rewrites the label table to reflect the new position of each label,
+//! but the label table indices in the bytecode do not change").
+//!
+//! Decompression exists for verification (the real consumer of compressed
+//! code is the generated interpreter in `pgr-vm`): it expands each
+//! derivation back to bytecode and re-inserts the `LABELV` markers, and is
+//! an exact inverse of compression on canonical programs.
+
+use crate::canonical::{canonicalize_program, CanonError};
+use pgr_bytecode::{decode, Opcode, Procedure, Program};
+use pgr_earley::{NoParse, ShortestParser};
+use pgr_grammar::derivation::DerivationError;
+use pgr_grammar::initial::{detokenize, tokenize_segment, TokenizeError};
+use pgr_grammar::{Derivation, Grammar, Nt};
+use std::fmt;
+
+/// A compressed program: same packaging as [`Program`] (descriptors,
+/// label tables, global table, data), but every procedure's `code` holds
+/// derivation bytes and every label offset points into that stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedProgram {
+    /// The compressed image.
+    pub program: Program,
+}
+
+/// Sizes measured for one compression run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionStats {
+    /// Canonical uncompressed code bytes.
+    pub original_code: usize,
+    /// Compressed code bytes.
+    pub compressed_code: usize,
+    /// Number of segments encoded.
+    pub segments: usize,
+}
+
+impl CompressionStats {
+    /// Compressed-to-original ratio (1.0 when nothing shrank).
+    pub fn ratio(&self) -> f64 {
+        if self.original_code == 0 {
+            1.0
+        } else {
+            self.compressed_code as f64 / self.original_code as f64
+        }
+    }
+}
+
+/// An error while compressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Canonicalization failed (malformed input program).
+    Canon(CanonError),
+    /// A segment does not tokenize.
+    Tokenize {
+        /// Procedure name.
+        proc: String,
+        /// The underlying tokenizer error.
+        error: TokenizeError,
+    },
+    /// A segment is not in the grammar's language (ill-formed postfix
+    /// code; run the validator on the input).
+    NoParse {
+        /// Procedure name.
+        proc: String,
+        /// Byte offset of the offending segment.
+        segment_offset: usize,
+        /// The parser's report.
+        error: NoParse,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Canon(e) => write!(f, "{e}"),
+            CompressError::Tokenize { proc, error } => write!(f, "{proc}: {error}"),
+            CompressError::NoParse {
+                proc,
+                segment_offset,
+                error,
+            } => write!(f, "{proc}: segment at {segment_offset}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<CanonError> for CompressError {
+    fn from(e: CanonError) -> CompressError {
+        CompressError::Canon(e)
+    }
+}
+
+/// An error while decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// A derivation failed to decode or expand.
+    Derivation {
+        /// Procedure name.
+        proc: String,
+        /// The underlying derivation error.
+        error: DerivationError,
+    },
+    /// A derivation did not end exactly at the next segment boundary.
+    Misaligned {
+        /// Procedure name.
+        proc: String,
+        /// Stream offset of the misalignment.
+        offset: usize,
+    },
+    /// The expanded token string is not well-formed instruction bytes
+    /// (cannot happen for grammars built from the initial grammar).
+    Detokenize {
+        /// Procedure name.
+        proc: String,
+    },
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Derivation { proc, error } => write!(f, "{proc}: {error}"),
+            DecompressError::Misaligned { proc, offset } => {
+                write!(f, "{proc}: derivation boundary mismatch at {offset}")
+            }
+            DecompressError::Detokenize { proc } => {
+                write!(f, "{proc}: expanded tokens are not valid instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Compress one canonical procedure.
+fn compress_procedure(
+    parser: &ShortestParser<'_>,
+    start: Nt,
+    index_map: &[usize],
+    proc: &Procedure,
+    stats: &mut CompressionStats,
+) -> Result<Procedure, CompressError> {
+    let mut out = Vec::new();
+    // old LABELV offset -> compressed offset.
+    let mut label_map: Vec<(usize, u32)> = Vec::new();
+    let mut seg_start = 0usize;
+
+    let encode_segment = |range: std::ops::Range<usize>,
+                              out: &mut Vec<u8>,
+                              stats: &mut CompressionStats|
+     -> Result<(), CompressError> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let tokens =
+            tokenize_segment(&proc.code[range.clone()]).map_err(|error| {
+                CompressError::Tokenize {
+                    proc: proc.name.clone(),
+                    error,
+                }
+            })?;
+        let derivation = parser.parse(start, &tokens).map_err(|error| {
+            CompressError::NoParse {
+                proc: proc.name.clone(),
+                segment_offset: range.start,
+                error,
+            }
+        })?;
+        out.extend(derivation.to_bytes(index_map));
+        stats.segments += 1;
+        Ok(())
+    };
+
+    for insn in decode(&proc.code) {
+        let insn = insn.expect("canonical code decodes");
+        if insn.opcode == Opcode::LABELV {
+            encode_segment(seg_start..insn.offset, &mut out, stats)?;
+            label_map.push((insn.offset, out.len() as u32));
+            seg_start = insn.offset + 1;
+        }
+    }
+    encode_segment(seg_start..proc.code.len(), &mut out, stats)?;
+
+    let labels = proc
+        .labels
+        .iter()
+        .map(|&old| {
+            label_map
+                .iter()
+                .find(|(o, _)| *o == old as usize)
+                .map(|&(_, n)| n)
+                .expect("canonical labels point at markers")
+        })
+        .collect();
+
+    stats.original_code += proc.code.len();
+    stats.compressed_code += out.len();
+    Ok(Procedure {
+        name: proc.name.clone(),
+        frame_size: proc.frame_size,
+        arg_size: proc.arg_size,
+        code: out,
+        labels,
+        needs_trampoline: proc.needs_trampoline,
+    })
+}
+
+/// Compress a program under an expanded grammar.
+///
+/// The program is canonicalized first (see [`crate::canonical`]); the
+/// returned stats measure against the canonical form.
+///
+/// # Errors
+///
+/// See [`CompressError`].
+pub fn compress_program(
+    grammar: &Grammar,
+    start: Nt,
+    program: &Program,
+) -> Result<(CompressedProgram, CompressionStats), CompressError> {
+    let canon = canonicalize_program(program)?;
+    let parser = ShortestParser::new(grammar);
+    let index_map = grammar.rule_index_map();
+    let mut stats = CompressionStats::default();
+    let mut out = canon.clone();
+    out.procs = canon
+        .procs
+        .iter()
+        .map(|p| compress_procedure(&parser, start, &index_map, p, &mut stats))
+        .collect::<Result<_, _>>()?;
+    Ok((CompressedProgram { program: out }, stats))
+}
+
+/// Decompress one procedure.
+fn decompress_procedure(
+    grammar: &Grammar,
+    start: Nt,
+    proc: &Procedure,
+) -> Result<Procedure, DecompressError> {
+    // Unique segment boundaries, in stream order.
+    let mut boundaries: Vec<u32> = proc.labels.clone();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let mut out = Vec::new();
+    let mut label_map: Vec<(u32, u32)> = Vec::new(); // compressed off -> new off
+    let mut pos = 0usize;
+    let mut bi = 0usize;
+    loop {
+        while bi < boundaries.len() && boundaries[bi] as usize == pos {
+            label_map.push((boundaries[bi], out.len() as u32));
+            out.push(Opcode::LABELV as u8);
+            bi += 1;
+        }
+        if pos >= proc.code.len() {
+            break;
+        }
+        let (derivation, used) = Derivation::from_bytes(grammar, start, &proc.code[pos..])
+            .map_err(|error| DecompressError::Derivation {
+                proc: proc.name.clone(),
+                error,
+            })?;
+        let end = pos + used;
+        let limit = boundaries
+            .get(bi)
+            .map(|&b| b as usize)
+            .unwrap_or(proc.code.len());
+        if end > limit {
+            return Err(DecompressError::Misaligned {
+                proc: proc.name.clone(),
+                offset: pos,
+            });
+        }
+        let tokens = derivation.expand(grammar, start).map_err(|error| {
+            DecompressError::Derivation {
+                proc: proc.name.clone(),
+                error,
+            }
+        })?;
+        out.extend(detokenize(&tokens));
+        pos = end;
+    }
+
+    let labels = proc
+        .labels
+        .iter()
+        .map(|&c| {
+            label_map
+                .iter()
+                .find(|(o, _)| *o == c)
+                .map(|&(_, n)| n)
+                .ok_or(DecompressError::Misaligned {
+                    proc: proc.name.clone(),
+                    offset: c as usize,
+                })
+        })
+        .collect::<Result<_, _>>()?;
+
+    Ok(Procedure {
+        name: proc.name.clone(),
+        frame_size: proc.frame_size,
+        arg_size: proc.arg_size,
+        code: out,
+        labels,
+        needs_trampoline: proc.needs_trampoline,
+    })
+}
+
+/// Decompress a program: the exact inverse of [`compress_program`] on
+/// canonical inputs.
+///
+/// # Errors
+///
+/// See [`DecompressError`].
+pub fn decompress_program(
+    grammar: &Grammar,
+    start: Nt,
+    compressed: &CompressedProgram,
+) -> Result<Program, DecompressError> {
+    let mut out = compressed.program.clone();
+    out.procs = compressed
+        .program
+        .procs
+        .iter()
+        .map(|p| decompress_procedure(grammar, start, p))
+        .collect::<Result<_, _>>()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::asm::assemble;
+    use pgr_grammar::InitialGrammar;
+
+    const SAMPLE: &str = r#"
+proc check frame=0 args=4
+    ADDRFP 0
+    INDIRU
+    LIT1 0
+    NEU
+    BrTrue 0
+    LIT1 0
+    ARGU
+    ADDRGP 0
+    CALLU
+    POPU
+    label 0
+    RETV
+endproc
+native exit
+entry check
+"#;
+
+    #[test]
+    fn roundtrip_under_the_initial_grammar() {
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        let (cp, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.original_code, prog.procs[0].code.len());
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+        assert_eq!(back, canonicalize_program(&prog).unwrap());
+    }
+
+    #[test]
+    fn label_table_points_at_segment_starts() {
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        let (cp, _) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let p = &cp.program.procs[0];
+        assert_eq!(p.labels.len(), 1);
+        let off = p.labels[0] as usize;
+        assert!(off < p.code.len());
+        // Decoding a derivation from the label offset succeeds and covers
+        // the remainder of the stream (the RETV segment).
+        let (d, used) =
+            Derivation::from_bytes(&ig.grammar, ig.nt_start, &p.code[off..]).unwrap();
+        assert_eq!(off + used, p.code.len());
+        let tokens = d.expand(&ig.grammar, ig.nt_start).unwrap();
+        assert_eq!(detokenize(&tokens), vec![pgr_bytecode::Opcode::RETV as u8]);
+    }
+
+    #[test]
+    fn initial_grammar_compression_is_not_smaller() {
+        // Under the unexpanded grammar the derivation has one byte per
+        // parse-tree node, which is *larger* than the bytecode. That is
+        // the paper's point: expansion is what buys compression.
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        let (_, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        assert!(stats.compressed_code > stats.original_code);
+        assert!(stats.ratio() > 1.0);
+    }
+
+    #[test]
+    fn ill_formed_code_reports_no_parse() {
+        let ig = InitialGrammar::build();
+        let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
+        prog.procs[0].code = vec![pgr_bytecode::Opcode::ADDU as u8];
+        let err = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap_err();
+        assert!(matches!(err, CompressError::NoParse { .. }));
+    }
+
+    #[test]
+    fn empty_procedure_compresses_to_nothing() {
+        let ig = InitialGrammar::build();
+        let mut prog = Program::new();
+        prog.procs.push(Procedure::new("empty"));
+        let (cp, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        assert_eq!(cp.program.procs[0].code.len(), 0);
+        assert_eq!(stats.segments, 0);
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+        assert_eq!(back.procs[0].code.len(), 0);
+    }
+}

@@ -1,0 +1,610 @@
+//! The grammar expander: greedy inlining of the most frequent parse-forest
+//! edge (§4.1, Fig. 2).
+//!
+//! "To construct an expanded grammar, we parse a sample program … and
+//! obtain a forest of parse trees. We then inline the pair of rules at the
+//! endpoints of the most frequent edge in the forest, contract all
+//! occurrences of this edge, add the new inlined rule to the grammar, and
+//! repeat. We stop creating rules for a non-terminal once it has 256
+//! rules." Unused inlined rules are removed ("subsumed", §4.1). The greedy
+//! choice is a heuristic; the exact problem is NP-hard.
+//!
+//! An *edge* here is `(parent rule, slot, child rule)` where `slot` is the
+//! index of the contracted child among the parent's children — the
+//! specific non-terminal occurrence `B` in `A → α B β`. Counts are
+//! maintained incrementally (Re-Pair style) with a lazy max-heap, because
+//! every contraction relabels the parent and therefore changes the keys of
+//! all edges incident to it.
+
+use pgr_grammar::{Forest, Grammar, NodeId, RuleId, RuleOrigin};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Tuning knobs for the expander.
+#[derive(Debug, Clone)]
+pub struct ExpanderConfig {
+    /// Rule budget per non-terminal; the paper uses 256 so every
+    /// derivation step encodes as one byte. Values above 256 break the
+    /// one-byte encoding and are rejected by the pipeline.
+    pub max_rules_per_nt: usize,
+    /// Minimum edge frequency worth a new rule. The paper inlines while
+    /// profitable; an edge used once saves one derivation step but costs
+    /// a grammar rule, so 2 is the sensible default.
+    pub min_count: u64,
+    /// Cap on right-hand-side length of created rules (the grammar
+    /// serialization stores one length byte).
+    pub max_rhs_len: usize,
+    /// Remove inlined rules that fall out of use ("in our current
+    /// implementation, we remove unused inlined rules", §4.1).
+    pub remove_subsumed: bool,
+    /// Reuse an existing live rule when an inline would create an
+    /// identical (left-hand side, right-hand side) pair, instead of
+    /// burning a fresh slot in the 256-rule budget. The paper always
+    /// creates a new rule; deduplication is a refinement measured by the
+    /// A2 ablation. Off by default for paper fidelity.
+    pub dedupe_rules: bool,
+    /// Optional hard cap on the number of created rules (ablation and
+    /// test use; `None` in normal operation).
+    pub max_new_rules: Option<usize>,
+}
+
+impl Default for ExpanderConfig {
+    fn default() -> ExpanderConfig {
+        ExpanderConfig {
+            max_rules_per_nt: 256,
+            min_count: 2,
+            max_rhs_len: 255,
+            remove_subsumed: true,
+            dedupe_rules: false,
+            max_new_rules: None,
+        }
+    }
+}
+
+/// What an expansion run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpansionStats {
+    /// Rules created by inlining.
+    pub rules_added: usize,
+    /// Inlines that reused an existing identical rule instead of adding
+    /// one (only with [`ExpanderConfig::dedupe_rules`]).
+    pub rules_reused: usize,
+    /// Inlined rules later removed as subsumed.
+    pub rules_removed: usize,
+    /// Total edge contractions (= derivation steps saved on the training
+    /// forest).
+    pub contractions: usize,
+    /// Forest derivation length before expansion.
+    pub derivation_before: usize,
+    /// Forest derivation length after expansion.
+    pub derivation_after: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Edge {
+    parent: RuleId,
+    slot: u32,
+    child: RuleId,
+}
+
+/// Incremental (count, occurrence-set) bookkeeping for forest edges.
+struct EdgeIndex {
+    /// Edge → set of child nodes realizing it. Ordered so contraction
+    /// order (and therefore training output) is deterministic.
+    occ: HashMap<Edge, BTreeSet<NodeId>>,
+    /// Lazy max-heap of (count-at-push, edge).
+    heap: BinaryHeap<(u64, RuleId, u32, RuleId)>,
+}
+
+impl EdgeIndex {
+    fn new() -> EdgeIndex {
+        EdgeIndex {
+            occ: HashMap::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn inc(&mut self, edge: Edge, child_node: NodeId) {
+        let set = self.occ.entry(edge).or_default();
+        if set.insert(child_node) {
+            self.heap
+                .push((set.len() as u64, edge.parent, edge.slot, edge.child));
+        }
+    }
+
+    fn dec(&mut self, edge: Edge, child_node: NodeId) {
+        if let Some(set) = self.occ.get_mut(&edge) {
+            set.remove(&child_node);
+            if set.is_empty() {
+                self.occ.remove(&edge);
+            }
+        }
+    }
+
+    fn count(&self, edge: &Edge) -> u64 {
+        self.occ.get(edge).map_or(0, |s| s.len() as u64)
+    }
+
+    fn any_occurrence(&self, edge: &Edge) -> Option<NodeId> {
+        self.occ.get(edge).and_then(|s| s.first().copied())
+    }
+}
+
+/// Run the greedy expansion loop, mutating `grammar` (adding inlined
+/// rules, removing subsumed ones) and `forest` (contracting edges) in
+/// lockstep.
+///
+/// # Panics
+///
+/// Panics if `config.max_rules_per_nt > 256` (one-byte rule indices) or
+/// if the forest references rules outside `grammar`.
+pub fn expand(grammar: &mut Grammar, forest: &mut Forest, config: &ExpanderConfig) -> ExpansionStats {
+    assert!(
+        config.max_rules_per_nt <= 256,
+        "rule indices must fit one byte"
+    );
+    let mut stats = ExpansionStats {
+        derivation_before: forest.live_count(),
+        ..ExpansionStats::default()
+    };
+
+    // Live (lhs, rhs) -> rule map for optional deduplication.
+    let mut by_shape: HashMap<(pgr_grammar::Nt, Vec<pgr_grammar::Symbol>), RuleId> =
+        HashMap::new();
+    if config.dedupe_rules {
+        for nt in 0..grammar.nt_count() {
+            let nt = pgr_grammar::Nt(nt as u16);
+            for &id in grammar.rules_of(nt) {
+                by_shape.insert((nt, grammar.rule(id).rhs.clone()), id);
+            }
+        }
+    }
+
+    // Initial scan: edge occurrences and per-rule use counts.
+    let mut edges = EdgeIndex::new();
+    let mut rule_use: Vec<u64> = vec![0; grammar.rule_slots()];
+    for root in forest.roots().to_vec() {
+        // Iterative preorder walk.
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = forest.node(id);
+            rule_use[node.rule.index()] += 1;
+            for (slot, &child) in node.children.iter().enumerate() {
+                edges.inc(
+                    Edge {
+                        parent: node.rule,
+                        slot: slot as u32,
+                        child: forest.node(child).rule,
+                    },
+                    child,
+                );
+                stack.push(child);
+            }
+        }
+    }
+
+    while let Some((pushed_count, parent, slot, child)) = edges.heap.pop() {
+        if pushed_count < config.min_count {
+            break; // max-heap: nothing better remains
+        }
+        if let Some(cap) = config.max_new_rules {
+            if stats.rules_added >= cap {
+                break;
+            }
+        }
+        let edge = Edge {
+            parent,
+            slot,
+            child,
+        };
+        if edges.count(&edge) != pushed_count {
+            continue; // stale heap entry
+        }
+        let lhs = grammar.rule(parent).lhs;
+        if grammar.rules_of(lhs).len() >= config.max_rules_per_nt {
+            continue; // this non-terminal is saturated (§4.1)
+        }
+        let new_rhs = grammar.inlined_rhs(parent, slot as usize, child);
+        if new_rhs.len() > config.max_rhs_len {
+            continue;
+        }
+        let reused = if config.dedupe_rules {
+            by_shape.get(&(lhs, new_rhs.clone())).copied()
+        } else {
+            None
+        };
+        let new_rule = match reused {
+            Some(existing) => {
+                stats.rules_reused += 1;
+                existing
+            }
+            None => {
+                let id = grammar.add_rule(
+                    lhs,
+                    new_rhs.clone(),
+                    RuleOrigin::Inlined {
+                        parent,
+                        slot,
+                        child,
+                    },
+                );
+                if config.dedupe_rules {
+                    by_shape.insert((lhs, new_rhs), id);
+                }
+                stats.rules_added += 1;
+                id
+            }
+        };
+        if rule_use.len() < grammar.rule_slots() {
+            rule_use.resize(grammar.rule_slots(), 0);
+        }
+
+        // Contract every occurrence. Contractions can invalidate other
+        // occurrences of the same edge (when parent == child rule), so we
+        // take them one at a time from the live set.
+        let mut touched_rules: HashSet<RuleId> = HashSet::new();
+        while let Some(child_node) = edges.any_occurrence(&edge) {
+            contract_one(
+                forest,
+                grammar,
+                &mut edges,
+                &mut rule_use,
+                child_node,
+                new_rule,
+            );
+            stats.contractions += 1;
+        }
+        touched_rules.insert(parent);
+        touched_rules.insert(child);
+
+        if config.remove_subsumed {
+            for r in touched_rules {
+                if rule_use[r.index()] == 0
+                    && grammar.rule(r).alive
+                    && !matches!(grammar.rule(r).origin, RuleOrigin::Original)
+                    && r != new_rule
+                {
+                    if config.dedupe_rules {
+                        let rule = grammar.rule(r);
+                        by_shape.remove(&(rule.lhs, rule.rhs.clone()));
+                    }
+                    grammar.remove_rule(r);
+                    stats.rules_removed += 1;
+                }
+            }
+        }
+    }
+
+    stats.derivation_after = forest.live_count();
+    stats
+}
+
+/// Contract one edge occurrence: the parent of `child_node` absorbs it and
+/// is relabeled `new_rule`, with all incident edge counts updated.
+fn contract_one(
+    forest: &mut Forest,
+    _grammar: &Grammar,
+    edges: &mut EdgeIndex,
+    rule_use: &mut [u64],
+    child_node: NodeId,
+    new_rule: RuleId,
+) {
+    let parent = forest.node(child_node).parent().expect("occurrence has a parent");
+    let parent_rule = forest.node(parent).rule;
+    let child_rule = forest.node(child_node).rule;
+
+    // Remove edges incident to the parent (its label is about to change) …
+    for (slot, &ch) in forest.node(parent).children.iter().enumerate() {
+        edges.dec(
+            Edge {
+                parent: parent_rule,
+                slot: slot as u32,
+                child: forest.node(ch).rule,
+            },
+            ch,
+        );
+    }
+    // … the edge from the grandparent to the parent …
+    let gp = forest.node(parent).parent();
+    if let Some(gp) = gp {
+        let gp_rule = forest.node(gp).rule;
+        let gslot = forest.slot_of(parent) as u32;
+        edges.dec(
+            Edge {
+                parent: gp_rule,
+                slot: gslot,
+                child: parent_rule,
+            },
+            parent,
+        );
+    }
+    // … and the edges from the child to its children.
+    for (slot, &gc) in forest.node(child_node).children.iter().enumerate() {
+        edges.dec(
+            Edge {
+                parent: child_rule,
+                slot: slot as u32,
+                child: forest.node(gc).rule,
+            },
+            gc,
+        );
+    }
+
+    forest.contract(child_node);
+    forest.relabel(parent, new_rule);
+    rule_use[parent_rule.index()] -= 1;
+    rule_use[child_rule.index()] -= 1;
+    rule_use[new_rule.index()] += 1;
+
+    // Re-add edges with the parent's new label.
+    for (slot, &ch) in forest.node(parent).children.iter().enumerate() {
+        edges.inc(
+            Edge {
+                parent: new_rule,
+                slot: slot as u32,
+                child: forest.node(ch).rule,
+            },
+            ch,
+        );
+    }
+    if let Some(gp) = gp {
+        let gp_rule = forest.node(gp).rule;
+        let gslot = forest.slot_of(parent) as u32;
+        edges.inc(
+            Edge {
+                parent: gp_rule,
+                slot: gslot,
+                child: new_rule,
+            },
+            parent,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::Opcode;
+    use pgr_grammar::initial::tokenize_segment;
+    use pgr_grammar::{Derivation, InitialGrammar};
+
+    fn forest_of(ig: &InitialGrammar, segments: &[&[u8]]) -> Forest {
+        let mut forest = Forest::new();
+        for seg in segments {
+            let tokens = tokenize_segment(seg).unwrap();
+            forest.add_segment(ig, &tokens).unwrap();
+        }
+        forest
+    }
+
+    /// `LIT1 1 POPU` repeated: a hot statement the expander should fuse
+    /// into a single start rule.
+    fn hot_segment(reps: usize) -> Vec<u8> {
+        let mut code = Vec::new();
+        for _ in 0..reps {
+            code.extend_from_slice(&[Opcode::LIT1 as u8, 1, Opcode::POPU as u8]);
+        }
+        code
+    }
+
+    #[test]
+    fn expansion_shortens_the_training_derivation() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        let seg = hot_segment(50);
+        let mut forest = forest_of(&ig, &[&seg]);
+        let before = forest.live_count();
+        let stats = expand(&mut g, &mut forest, &ExpanderConfig::default());
+        assert_eq!(stats.derivation_before, before);
+        assert_eq!(stats.derivation_after, forest.live_count());
+        assert!(stats.derivation_after < before / 3, "expected large shrink");
+        assert!(stats.rules_added > 0);
+        assert_eq!(
+            before - stats.derivation_after,
+            stats.contractions,
+            "each contraction removes exactly one derivation step"
+        );
+    }
+
+    #[test]
+    fn contracted_forest_still_yields_the_program() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        let seg = hot_segment(20);
+        let tokens = tokenize_segment(&seg).unwrap();
+        let mut forest = forest_of(&ig, &[&seg]);
+        expand(&mut g, &mut forest, &ExpanderConfig::default());
+        let root = forest.roots()[0];
+        assert_eq!(forest.yield_string(&g, root), tokens);
+        // And the derivation read off the contracted tree expands back.
+        let d = Derivation::from_tree(&forest, root);
+        assert_eq!(d.expand(&g, ig.nt_start).unwrap(), tokens);
+        assert_eq!(d.len(), forest.live_count());
+    }
+
+    #[test]
+    fn language_is_preserved_by_construction() {
+        // Every inlined rule's RHS must equal its parent's RHS with the
+        // slot non-terminal replaced by the child's RHS.
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        let seg = hot_segment(30);
+        let mut forest = forest_of(&ig, &[&seg]);
+        expand(&mut g, &mut forest, &ExpanderConfig::default());
+        let mut checked = 0;
+        for id in (0..g.rule_slots() as u32).map(RuleId) {
+            let rule = g.rule(id);
+            if let RuleOrigin::Inlined { parent, slot, child } = rule.origin {
+                if !rule.alive {
+                    continue;
+                }
+                // Parents/children may themselves have been removed, but
+                // their tombstones still record their RHS.
+                let expected = g.inlined_rhs(parent, slot as usize, child);
+                assert_eq!(rule.rhs, expected);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn respects_rule_cap() {
+        // One statement per segment (no spine fusion), 40 distinct
+        // literals each seen four times: the expander wants 40 burnt
+        // `<start> ::= LIT1 k POPU` rules, so a cap of 16 must bind.
+        let mut segs: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..4 {
+            for k in 0..40u8 {
+                segs.push(vec![Opcode::LIT1 as u8, k, Opcode::POPU as u8]);
+            }
+        }
+        let run = |cap: usize| {
+            let ig = InitialGrammar::build();
+            let mut g = ig.grammar.clone();
+            let refs: Vec<&[u8]> = segs.iter().map(|s| s.as_slice()).collect();
+            let mut forest = forest_of(&ig, &refs);
+            let stats = expand(
+                &mut g,
+                &mut forest,
+                &ExpanderConfig {
+                    max_rules_per_nt: cap,
+                    remove_subsumed: false,
+                    ..ExpanderConfig::default()
+                },
+            );
+            (ig, g, stats)
+        };
+        let (ig, g16, s16) = run(16);
+        let (_, g256, s256) = run(256);
+        // The cap limits rule *creation*; non-terminals that started with
+        // more original rules than the cap (v1, v2, byte, ...) keep them.
+        for nt in 0..g16.nt_count() {
+            let nt = pgr_grammar::Nt(nt as u16);
+            let original = ig.grammar.rules_of(nt).len();
+            assert!(
+                g16.rules_of(nt).len() <= 16.max(original),
+                "{} exceeded cap with {} rules (original {original})",
+                g16.nt_name(nt),
+                g16.rules_of(nt).len()
+            );
+        }
+        // The tight cap binds: <start> is saturated and the loose run
+        // keeps adding rules past it.
+        assert_eq!(g16.rules_of(ig.nt_start).len(), 16);
+        assert!(g256.rules_of(ig.nt_start).len() > 16);
+        assert!(s256.rules_added > s16.rules_added);
+        assert!(s256.derivation_after <= s16.derivation_after);
+    }
+
+    #[test]
+    fn min_count_two_means_no_singleton_rules() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        // A segment with no repetition at all.
+        let seg = [
+            Opcode::LIT1 as u8,
+            7,
+            Opcode::POPU as u8,
+        ];
+        let mut forest = forest_of(&ig, &[&seg]);
+        let stats = expand(&mut g, &mut forest, &ExpanderConfig::default());
+        assert_eq!(stats.rules_added, 0);
+        assert_eq!(stats.contractions, 0);
+    }
+
+    #[test]
+    fn max_new_rules_caps_the_run() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        let seg = hot_segment(64);
+        let mut forest = forest_of(&ig, &[&seg]);
+        let stats = expand(
+            &mut g,
+            &mut forest,
+            &ExpanderConfig {
+                max_new_rules: Some(3),
+                ..ExpanderConfig::default()
+            },
+        );
+        assert!(stats.rules_added <= 3);
+    }
+
+    #[test]
+    fn subsumed_rules_are_removed() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        // Repetition at two scales: first the small pattern wins, later a
+        // bigger pattern subsumes it entirely.
+        let seg = hot_segment(40);
+        let mut forest = forest_of(&ig, &[&seg]);
+        let with_removal = expand(&mut g, &mut forest, &ExpanderConfig::default());
+
+        let ig2 = InitialGrammar::build();
+        let mut g2 = ig2.grammar.clone();
+        let mut forest2 = forest_of(&ig2, &[&seg]);
+        let without = expand(
+            &mut g2,
+            &mut forest2,
+            &ExpanderConfig {
+                remove_subsumed: false,
+                ..ExpanderConfig::default()
+            },
+        );
+        assert_eq!(without.rules_removed, 0);
+        // Same compression power either way.
+        assert_eq!(with_removal.derivation_after, without.derivation_after);
+        // Removal keeps the live grammar no larger.
+        assert!(g.live_rule_count() <= g2.live_rule_count());
+    }
+
+    #[test]
+    fn dedupe_reuses_identical_rules() {
+        // Two segment shapes that converge on the same inlined rule via
+        // different inline orders: with dedupe on, the duplicates fold.
+        let ig = InitialGrammar::build();
+        let seg_a = hot_segment(8);
+        let mut seg_b = hot_segment(8);
+        seg_b.extend_from_slice(&[Opcode::RETV as u8]);
+        let run = |dedupe: bool| {
+            let ig = InitialGrammar::build();
+            let mut g = ig.grammar.clone();
+            let mut forest = forest_of(&ig, &[&seg_a, &seg_b]);
+            let stats = expand(
+                &mut g,
+                &mut forest,
+                &ExpanderConfig {
+                    dedupe_rules: dedupe,
+                    remove_subsumed: false,
+                    ..ExpanderConfig::default()
+                },
+            );
+            (g.live_rule_count(), stats)
+        };
+        let (live_plain, stats_plain) = run(false);
+        let (live_dedupe, stats_dedupe) = run(true);
+        assert_eq!(stats_plain.rules_reused, 0);
+        // Dedupe must never *hurt*: at most as many live rules, and the
+        // forest shrinks at least as far.
+        assert!(live_dedupe <= live_plain);
+        assert!(stats_dedupe.derivation_after <= stats_plain.derivation_after);
+        let _ = ig;
+    }
+
+    #[test]
+    fn self_recursive_edges_contract_safely() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        // Long INDIRU chains: the hot edge is <v>::=<v><v1> into itself.
+        let mut seg = vec![Opcode::ADDRLP as u8, 0, 0];
+        for _ in 0..10 {
+            seg.push(Opcode::INDIRU as u8);
+        }
+        seg.push(Opcode::POPU as u8);
+        let seg3: Vec<u8> = seg.iter().chain(seg.iter()).chain(seg.iter()).copied().collect();
+        let tokens = tokenize_segment(&seg3).unwrap();
+        let mut forest = forest_of(&ig, &[&seg3]);
+        expand(&mut g, &mut forest, &ExpanderConfig::default());
+        let root = forest.roots()[0];
+        assert_eq!(forest.yield_string(&g, root), tokens);
+    }
+}

@@ -1,0 +1,41 @@
+//! # pgr-core
+//!
+//! The primary contribution of *Bytecode Compression via Profiled Grammar
+//! Rewriting* (Evans & Fraser, PLDI 2001): training-driven grammar
+//! expansion and the compressor/decompressor built on it.
+//!
+//! The pipeline (paper Figure 1):
+//!
+//! ```text
+//!            ┌ training ─────────────────────────────────────────┐
+//! original   │  parser → parse forest → grammar expander          │  expanded
+//! grammar  ──┤  (deterministic)          (inline + contract loop) ├─ grammar
+//! + samples  └────────────────────────────────────────────────────┘
+//!
+//!            ┌ compression ──────────────────────────────────────┐
+//! program  ──┤  Earley shortest-derivation parser → derivation    ├─ compressed
+//!            └────────────────────────────────────────────────────┘  bytecode
+//! ```
+//!
+//! * [`train`] parses a training set into a forest and repeatedly inlines
+//!   the most frequent (parent rule, slot, child rule) edge, contracting
+//!   all its occurrences (§4.1, Fig. 2), until every non-terminal is
+//!   saturated at 256 rules or no edge recurs.
+//! * [`Trained::compress`] encodes a program as per-segment shortest
+//!   derivations (one byte per rule) and rewrites each procedure's label
+//!   table to compressed-stream offsets (§3, §4.1).
+//! * [`Trained::decompress`] expands derivations back to the original
+//!   bytecode; `decompress(compress(p))` equals the canonicalized `p`
+//!   exactly, which the test suite checks everywhere.
+
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod compress;
+pub mod expander;
+pub mod pipeline;
+
+pub use canonical::canonicalize_program;
+pub use compress::{CompressError, CompressedProgram, CompressionStats};
+pub use expander::{ExpanderConfig, ExpansionStats};
+pub use pipeline::{train, TrainConfig, TrainError, Trained};

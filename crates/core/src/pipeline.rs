@@ -1,0 +1,256 @@
+//! The end-to-end pipeline facade: train → compress → decompress.
+
+use crate::canonical::{canonicalize_program, CanonError};
+use crate::compress::{
+    compress_program, decompress_program, CompressError, CompressedProgram, CompressionStats,
+    DecompressError,
+};
+use crate::expander::{expand, ExpanderConfig, ExpansionStats};
+use pgr_bytecode::{validate_program, Program, ValidateError};
+use pgr_grammar::encode::grammar_size;
+use pgr_grammar::forest::ForestParseError;
+use pgr_grammar::initial::{tokenize_segment, TokenizeError};
+use pgr_grammar::{Forest, Grammar, InitialGrammar, Nt};
+use std::fmt;
+
+/// Training configuration.
+#[derive(Debug, Clone, Default)]
+pub struct TrainConfig {
+    /// Expander knobs (rule budget, frequency threshold, …).
+    pub expander: ExpanderConfig,
+}
+
+/// An error while training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A training program failed validation.
+    Validate(ValidateError),
+    /// A training program failed canonicalization.
+    Canon(CanonError),
+    /// A training segment failed to tokenize.
+    Tokenize(TokenizeError),
+    /// A training segment is not well-formed postfix code.
+    Parse(ForestParseError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Validate(e) => write!(f, "{e}"),
+            TrainError::Canon(e) => write!(f, "{e}"),
+            TrainError::Tokenize(e) => write!(f, "{e}"),
+            TrainError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// The product of training: the expanded grammar and everything needed to
+/// compress, decompress, and generate interpreters.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    initial: InitialGrammar,
+    expanded: Grammar,
+    /// What the expansion run did.
+    pub stats: ExpansionStats,
+}
+
+impl Trained {
+    /// The expanded (ambiguous) grammar.
+    pub fn expanded(&self) -> &Grammar {
+        &self.expanded
+    }
+
+    /// The initial grammar and its non-terminal handles. Its rule ids are
+    /// valid in [`Trained::expanded`] too (expansion only adds rules).
+    pub fn initial(&self) -> &InitialGrammar {
+        &self.initial
+    }
+
+    /// The start non-terminal.
+    pub fn start(&self) -> Nt {
+        self.initial.nt_start
+    }
+
+    /// Serialized size of the expanded grammar in bytes (the table the
+    /// compressed-bytecode interpreter carries, §6).
+    pub fn grammar_size(&self) -> usize {
+        grammar_size(&self.expanded)
+    }
+
+    /// Compress a program; returns the compressed image and size stats.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`].
+    pub fn compress(
+        &self,
+        program: &Program,
+    ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
+        compress_program(&self.expanded, self.start(), program)
+    }
+
+    /// Decompress a compressed program back to (canonical) bytecode.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecompressError`].
+    pub fn decompress(&self, compressed: &CompressedProgram) -> Result<Program, DecompressError> {
+        decompress_program(&self.expanded, self.start(), compressed)
+    }
+}
+
+/// Train an expanded grammar from sample programs (paper §2: the corpus
+/// "is assumed to represent statistically the populations of the programs
+/// to be coded in the new bytecode").
+///
+/// # Errors
+///
+/// Fails if any training program is invalid; see [`TrainError`].
+pub fn train(programs: &[&Program], config: &TrainConfig) -> Result<Trained, TrainError> {
+    let initial = InitialGrammar::build();
+    let mut expanded = initial.grammar.clone();
+    let mut forest = Forest::new();
+
+    for &program in programs {
+        validate_program(program).map_err(TrainError::Validate)?;
+        let canon = canonicalize_program(program).map_err(TrainError::Canon)?;
+        for proc in &canon.procs {
+            for range in proc.segments().expect("canonical code decodes") {
+                let tokens =
+                    tokenize_segment(&proc.code[range]).map_err(TrainError::Tokenize)?;
+                forest
+                    .add_segment(&initial, &tokens)
+                    .map_err(TrainError::Parse)?;
+            }
+        }
+    }
+
+    let stats = expand(&mut expanded, &mut forest, &config.expander);
+    Ok(Trained {
+        initial,
+        expanded,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::asm::assemble;
+    use pgr_bytecode::Opcode;
+
+    /// A training program with strong regularities: many `x = x + 1`
+    /// statements on locals, spread over procedures of varying length so
+    /// intermediate inlined rules stay in use (a corpus of identical
+    /// giant blocks would subsume them all into one monster rule).
+    fn training_program() -> Program {
+        let mut src = String::new();
+        for p in 0..20usize {
+            src.push_str(&format!("proc f{p} frame=64 args=0\n"));
+            for i in 0..(1 + (p * 3) % 7) {
+                let off = ((i * 4 + p) % 8) * 4;
+                src.push_str(&format!(
+                    "\tADDRLP {off}\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP {off}\n\tASGNU\n"
+                ));
+            }
+            // Odd procedures get a counting loop, so the corpus also has
+            // segments that do not end in RETV and branchy statements.
+            if p % 2 == 1 {
+                src.push_str("\tlabel 0\n");
+                let off = (p % 8) * 4;
+                src.push_str(&format!(
+                    "\tADDRLP {off}\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP {off}\n\tASGNU\n"
+                ));
+                src.push_str(&format!(
+                    "\tADDRLP {off}\n\tINDIRU\n\tLIT1 {}\n\tLTU\n\tBrTrue 0\n",
+                    40 + p
+                ));
+            }
+            src.push_str("\tRETV\nendproc\n");
+        }
+        src.push_str("entry f0\n");
+        assemble(&src).unwrap()
+    }
+
+    /// A differently-shaped test program drawn from the same "statistics".
+    fn test_program() -> Program {
+        let mut src = String::from("proc f frame=32 args=4\n");
+        for i in 0..6 {
+            let off = (i % 2) * 4 + 8;
+            src.push_str(&format!(
+                "\tADDRLP {off}\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP {off}\n\tASGNU\n"
+            ));
+        }
+        src.push_str("\tlabel 0\n\tLIT1 3\n\tPOPU\n\tBrTrue 0\n\tRETV\nendproc\nentry f\n");
+        // BrTrue pops; make it well-formed: LIT1 3 BrTrue 0 — rewrite:
+        let src = src.replace("\tLIT1 3\n\tPOPU\n\tBrTrue 0\n", "\tLIT1 3\n\tBrTrue 0\n");
+        assemble(&src).unwrap()
+    }
+
+    #[test]
+    fn training_then_compression_shrinks_similar_programs() {
+        let train_prog = training_program();
+        let trained = train(&[&train_prog], &TrainConfig::default()).unwrap();
+        assert!(trained.stats.rules_added > 0);
+
+        let test = test_program();
+        let (cp, stats) = trained.compress(&test).unwrap();
+        assert!(
+            stats.compressed_code < stats.original_code,
+            "expected compression, got {} -> {}",
+            stats.original_code,
+            stats.compressed_code
+        );
+        let back = trained.decompress(&cp).unwrap();
+        assert_eq!(back, canonicalize_program(&test).unwrap());
+    }
+
+    #[test]
+    fn training_program_compresses_best_on_itself() {
+        let train_prog = training_program();
+        let trained = train(&[&train_prog], &TrainConfig::default()).unwrap();
+        let (_, stats) = trained.compress(&train_prog).unwrap();
+        // The greedy forest shrink bounds the self-compression size from
+        // above: the Earley encoder finds an optimal derivation, which
+        // can only match or beat the contracted training forest.
+        assert!(stats.compressed_code <= trained.stats.derivation_after);
+        assert!(stats.ratio() < 0.5);
+    }
+
+    #[test]
+    fn grammar_size_grows_with_training() {
+        let train_prog = training_program();
+        let trained = train(&[&train_prog], &TrainConfig::default()).unwrap();
+        let untrained = train(&[], &TrainConfig::default()).unwrap();
+        assert!(trained.grammar_size() > untrained.grammar_size());
+        assert_eq!(untrained.stats.rules_added, 0);
+    }
+
+    #[test]
+    fn invalid_training_input_is_rejected() {
+        let mut bad = training_program();
+        bad.procs[0].code = vec![Opcode::ADDU as u8];
+        let err = train(&[&bad], &TrainConfig::default()).unwrap_err();
+        assert!(matches!(err, TrainError::Validate(_)));
+    }
+
+    #[test]
+    fn branchy_programs_roundtrip() {
+        let src = "proc main frame=4 args=0\n\
+                   \tLIT1 1\n\tBrTrue 1\n\
+                   \tlabel 0\n\
+                   \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+                   \tLIT1 1\n\tBrTrue 0\n\
+                   \tlabel 1\n\
+                   \tRETV\nendproc\nentry main\n";
+        let prog = assemble(src).unwrap();
+        let train_prog = training_program();
+        let trained = train(&[&train_prog], &TrainConfig::default()).unwrap();
+        let (cp, _) = trained.compress(&prog).unwrap();
+        assert_eq!(cp.program.procs[0].labels.len(), 2);
+        let back = trained.decompress(&cp).unwrap();
+        assert_eq!(back, canonicalize_program(&prog).unwrap());
+    }
+}

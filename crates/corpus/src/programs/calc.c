@@ -1,0 +1,133 @@
+/* calc: a recursive-descent expression evaluator over a character
+ * string — compiler-shaped code (scanner, parser, switch dispatch),
+ * the flavour the lcc/gcc training inputs are made of. */
+
+char *input;
+int pos;
+int failed;
+
+int parse_expr(void);
+
+int peek(void) {
+    return input[pos] & 255;
+}
+
+void skip_spaces(void) {
+    while (peek() == ' ') {
+        pos++;
+    }
+}
+
+int parse_number(void) {
+    int v = 0;
+    int saw = 0;
+    skip_spaces();
+    while (peek() >= '0' && peek() <= '9') {
+        v = v * 10 + (peek() - '0');
+        pos++;
+        saw = 1;
+    }
+    if (!saw) {
+        failed = 1;
+    }
+    return v;
+}
+
+int parse_primary(void) {
+    skip_spaces();
+    switch (peek()) {
+        case '(': {
+            int v;
+            pos++;
+            v = parse_expr();
+            skip_spaces();
+            if (peek() == ')') {
+                pos++;
+            } else {
+                failed = 1;
+            }
+            return v;
+        }
+        case '-':
+            pos++;
+            return -parse_primary();
+        case '+':
+            pos++;
+            return parse_primary();
+        default:
+            return parse_number();
+    }
+}
+
+int parse_term(void) {
+    int v = parse_primary();
+    while (1) {
+        int op;
+        skip_spaces();
+        op = peek();
+        if (op == '*') {
+            pos++;
+            v = v * parse_primary();
+        } else if (op == '/') {
+            int d;
+            pos++;
+            d = parse_primary();
+            if (d == 0) {
+                failed = 1;
+                d = 1;
+            }
+            v = v / d;
+        } else if (op == '%') {
+            int d;
+            pos++;
+            d = parse_primary();
+            if (d == 0) {
+                failed = 1;
+                d = 1;
+            }
+            v = v % d;
+        } else {
+            break;
+        }
+    }
+    return v;
+}
+
+int parse_expr(void) {
+    int v = parse_term();
+    while (1) {
+        int op;
+        skip_spaces();
+        op = peek();
+        if (op == '+') {
+            pos++;
+            v = v + parse_term();
+        } else if (op == '-') {
+            pos++;
+            v = v - parse_term();
+        } else {
+            break;
+        }
+    }
+    return v;
+}
+
+int eval(char *s) {
+    input = s;
+    pos = 0;
+    failed = 0;
+    return parse_expr();
+}
+
+int main(void) {
+    int total = 0;
+    total += eval("1 + 2 * 3");
+    total += eval("(4 + 5) * (6 - 2)");
+    total += eval("100 / 7 % 5");
+    total += eval("-8 + +9");
+    total += eval("((((1))))");
+    total += eval("2*3*4*5 - 100");
+    putint(total);
+    putchar('\n');
+    return failed;
+}

@@ -1,0 +1,51 @@
+/* 8q: the paper's eight-queens benchmark (its smallest input, 436 bytes
+ * of bytecode in the original). Counts and prints the solutions. */
+
+int rows[8];
+int diag1[15];
+int diag2[15];
+int board[8];
+int count;
+
+void print_board(void) {
+    int r;
+    int c;
+    for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+            putchar(board[r] == c ? 'Q' : '.');
+        }
+        putchar('\n');
+    }
+    putchar('\n');
+}
+
+void place(int c) {
+    int r;
+    if (c == 8) {
+        count++;
+        if (count == 1) {
+            print_board();
+        }
+        return;
+    }
+    for (r = 0; r < 8; r++) {
+        if (!rows[r] && !diag1[r + c] && !diag2[r - c + 7]) {
+            rows[r] = 1;
+            diag1[r + c] = 1;
+            diag2[r - c + 7] = 1;
+            board[c] = r;
+            place(c + 1);
+            rows[r] = 0;
+            diag1[r + c] = 0;
+            diag2[r - c + 7] = 0;
+        }
+    }
+}
+
+int main(void) {
+    count = 0;
+    place(0);
+    putint(count);
+    putchar('\n');
+    return count;
+}

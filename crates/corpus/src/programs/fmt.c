@@ -1,0 +1,120 @@
+/* fmt: string and number formatting routines — strcpy/strcmp-style
+ * pointer loops and division-heavy itoa, plus a tiny hash table over
+ * malloc'd nodes (structs and function pointers included). */
+
+struct Node {
+    int key;
+    int value;
+    struct Node *next;
+};
+
+struct Node *buckets[16];
+
+char out[64];
+
+int str_len(char *s) {
+    int n = 0;
+    while (s[n]) {
+        n++;
+    }
+    return n;
+}
+
+int str_cmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) {
+        i++;
+    }
+    return (a[i] & 255) - (b[i] & 255);
+}
+
+void str_copy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+}
+
+void itoa10(int v, char *dst) {
+    char tmp[16];
+    int n = 0;
+    int neg = 0;
+    int i;
+    if (v < 0) {
+        neg = 1;
+        v = -v;
+    }
+    do {
+        tmp[n++] = (char)('0' + v % 10);
+        v /= 10;
+    } while (v > 0);
+    i = 0;
+    if (neg) {
+        dst[i++] = '-';
+    }
+    while (n > 0) {
+        dst[i++] = tmp[--n];
+    }
+    dst[i] = 0;
+}
+
+int hash_key(int key) {
+    unsigned h = (unsigned)key * 2654435761u;
+    return (int)(h >> 28);
+}
+
+void table_put(int key, int value) {
+    int b = hash_key(key);
+    struct Node *n = (struct Node *)malloc(sizeof(struct Node));
+    n->key = key;
+    n->value = value;
+    n->next = buckets[b];
+    buckets[b] = n;
+}
+
+int table_get(int key) {
+    struct Node *n = buckets[hash_key(key)];
+    while (n) {
+        if (n->key == key) {
+            return n->value;
+        }
+        n = n->next;
+    }
+    return -1;
+}
+
+int apply_twice(int (*f)(int), int v) {
+    return f(f(v));
+}
+
+int succ(int v) {
+    return v + 1;
+}
+
+int main(void) {
+    int i;
+    int hits = 0;
+    itoa10(-30127, out);
+    putstr(out);
+    putchar(' ');
+    putint(str_len(out));
+    putchar(' ');
+    str_copy(out, "formatted");
+    putint(str_cmp(out, "formatted"));
+    putchar(' ');
+    for (i = 0; i < 40; i++) {
+        table_put(i * 7, i);
+    }
+    for (i = 0; i < 40; i++) {
+        if (table_get(i * 7) == i) {
+            hits++;
+        }
+    }
+    putint(hits);
+    putchar(' ');
+    putint(apply_twice(succ, 40));
+    putchar('\n');
+    return 0;
+}

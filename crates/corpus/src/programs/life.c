@@ -1,0 +1,44 @@
+/* life: Conway's game of life on a 32x32 torus for 40 generations,
+ * exercising nested loops, modular indexing, and double buffering. */
+
+char grid[1024];
+char next[1024];
+
+int at(int r, int c) {
+    r = (r + 32) % 32;
+    c = (c + 32) % 32;
+    return grid[r * 32 + c];
+}
+
+int main(void) {
+    int gen;
+    int r;
+    int c;
+    int alive = 0;
+    unsigned seed = 7u;
+    for (r = 0; r < 1024; r++) {
+        seed = seed * 1103515245u + 12345u;
+        grid[r] = (char)((seed >> 16) & 1u);
+    }
+    for (gen = 0; gen < 40; gen++) {
+        for (r = 0; r < 32; r++) {
+            for (c = 0; c < 32; c++) {
+                int n = at(r - 1, c - 1) + at(r - 1, c) + at(r - 1, c + 1)
+                      + at(r, c - 1) + at(r, c + 1)
+                      + at(r + 1, c - 1) + at(r + 1, c) + at(r + 1, c + 1);
+                if (grid[r * 32 + c]) {
+                    next[r * 32 + c] = (char)(n == 2 || n == 3);
+                } else {
+                    next[r * 32 + c] = (char)(n == 3);
+                }
+            }
+        }
+        memcpy((void *)grid, (void *)next, 1024u);
+    }
+    for (r = 0; r < 1024; r++) {
+        alive += grid[r];
+    }
+    putint(alive);
+    putchar('\n');
+    return 0;
+}

@@ -1,0 +1,126 @@
+/* lzss: a dictionary compressor, standing in for the paper's gzip input
+ * (the bytecode of a compression utility). Builds a deterministic
+ * pseudo-text, compresses it with LZSS (greedy longest
+ * match within a 127-byte window), decompresses, verifies, and prints the sizes. */
+
+char text[4096];
+char packed[8192];
+char unpacked[4096];
+int text_len;
+int packed_len;
+
+unsigned seed;
+
+int next_rand(void) {
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) & 32767u);
+}
+
+/* Fill `text` with word-like pseudo-text so there are real matches. */
+void make_text(void) {
+    char *words = "the quick brown fox jumps over lazy dogs compress ";
+    int wlen = 51;
+    int i = 0;
+    int w;
+    seed = 20010614u;
+    text_len = 2500;
+    while (i < text_len) {
+        w = next_rand() % wlen;
+        text[i] = words[w];
+        if (next_rand() % 7 == 0) {
+            text[i] = 'a' + next_rand() % 26;
+        }
+        i++;
+    }
+}
+
+int match_len(int a, int b, int limit) {
+    int n = 0;
+    while (n < limit && text[a + n] == text[b + n]) {
+        n++;
+    }
+    return n;
+}
+
+/* Emit: flag byte 1 + literal, or flag 2 + offset(2) + length(1). */
+void compress(void) {
+    int pos = 0;
+    packed_len = 0;
+    while (pos < text_len) {
+        int best_len = 0;
+        int best_off = 0;
+        int start = pos - 127;
+        int cand;
+        int limit = text_len - pos;
+        if (start < 0) {
+            start = 0;
+        }
+        if (limit > 60) {
+            limit = 60;
+        }
+        for (cand = start; cand < pos; cand++) {
+            int n = match_len(cand, pos, limit);
+            if (n > best_len) {
+                best_len = n;
+                best_off = pos - cand;
+            }
+        }
+        if (best_len >= 4) {
+            packed[packed_len++] = 2;
+            packed[packed_len++] = (char)(best_off & 255);
+            packed[packed_len++] = (char)(best_off >> 8);
+            packed[packed_len++] = (char)best_len;
+            pos += best_len;
+        } else {
+            packed[packed_len++] = 1;
+            packed[packed_len++] = text[pos];
+            pos++;
+        }
+    }
+}
+
+int decompress(void) {
+    int in = 0;
+    int out = 0;
+    while (in < packed_len) {
+        int tag = packed[in++];
+        if (tag == 1) {
+            unpacked[out++] = packed[in++];
+        } else {
+            int off = (packed[in] & 255) + ((packed[in + 1] & 255) << 8);
+            int len = packed[in + 2] & 255;
+            int k;
+            in += 3;
+            for (k = 0; k < len; k++) {
+                unpacked[out] = unpacked[out - off];
+                out++;
+            }
+        }
+    }
+    return out;
+}
+
+int main(void) {
+    int i;
+    int out_len;
+    int ok = 1;
+    make_text();
+    compress();
+    out_len = decompress();
+    if (out_len != text_len) {
+        ok = 0;
+    }
+    for (i = 0; i < text_len; i++) {
+        if (text[i] != unpacked[i]) {
+            ok = 0;
+            break;
+        }
+    }
+    putstr("in=");
+    putint(text_len);
+    putstr(" out=");
+    putint(packed_len);
+    putstr(ok ? " ok" : " BAD");
+    putchar('\n');
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+/* matmul: dense double-precision matrix multiply with a checksum,
+ * exercising 2-D arrays, doubles, and float/int conversion. */
+
+double a[24][24];
+double b[24][24];
+double c[24][24];
+
+int main(void) {
+    int i;
+    int j;
+    int k;
+    double sum;
+    double checksum = 0.0;
+    for (i = 0; i < 24; i++) {
+        for (j = 0; j < 24; j++) {
+            a[i][j] = (double)(i + j) * 0.5;
+            b[i][j] = (double)(i - j) * 0.25;
+            c[i][j] = 0.0;
+        }
+    }
+    for (i = 0; i < 24; i++) {
+        for (j = 0; j < 24; j++) {
+            sum = 0.0;
+            for (k = 0; k < 24; k++) {
+                sum = sum + a[i][k] * b[k][j];
+            }
+            c[i][j] = sum;
+        }
+    }
+    for (i = 0; i < 24; i++) {
+        checksum = checksum + c[i][i];
+    }
+    putint((int)checksum);
+    putchar('\n');
+    return 0;
+}

@@ -1,0 +1,139 @@
+/* mixed: deliberately exercises the corners of the instruction set the
+ * other samples miss — float/double arithmetic and comparisons, all the
+ * conversions, unsigned division and ordering, shorts, block copies,
+ * by-value structs, float-returning functions, and function pointers of
+ * every return class. */
+
+struct Sample {
+    short tag;
+    float weight;
+    double score;
+    int pad;
+};
+
+struct Sample samples[4];
+short histogram[8];
+float fsum;
+double dsum;
+
+float scale(float x) {
+    return x * 0.5f + 1.0f;
+}
+
+double power(double base, int n) {
+    double r = 1.0;
+    while (n > 0) {
+        if (n & 1) {
+            r = r * base;
+        }
+        base = base * base;
+        n >>= 1;
+    }
+    return r;
+}
+
+float apply_f(float (*f)(float), float v) {
+    return f(v);
+}
+
+double apply_d(double (*f)(double, int), double v, int n) {
+    return f(v, n);
+}
+
+int classify_f(float a, float b) {
+    int bits = 0;
+    if (a == b) bits |= 1;
+    if (a != b) bits |= 2;
+    if (a < b) bits |= 4;
+    if (a <= b) bits |= 8;
+    if (a > b) bits |= 16;
+    if (a >= b) bits |= 32;
+    return bits;
+}
+
+int classify_d(double a, double b) {
+    int bits = 0;
+    if (a == b) bits |= 1;
+    if (a != b) bits |= 2;
+    if (a < b) bits |= 4;
+    if (a <= b) bits |= 8;
+    if (a > b) bits |= 16;
+    if (a >= b) bits |= 32;
+    return bits;
+}
+
+unsigned mix_unsigned(unsigned a, unsigned b) {
+    unsigned r = a / (b | 1u);
+    r += a % (b | 3u);
+    r ^= ~a;
+    r <<= 2;
+    if (a > b) r += 1u;
+    if (a >= b) r += 2u;
+    if (a < b) r += 4u;
+    if (a <= b) r += 8u;
+    return r;
+}
+
+void nudge(struct Sample *dst, struct Sample s) {
+    s.tag = (short)(s.tag + 1);
+    s.weight = -s.weight;
+    s.score = s.score - 0.25;
+    *dst = s;
+}
+
+int main(void) {
+    int i;
+    int acc = 0;
+    float f = 0.125f;
+    double d = 2.0;
+    struct Sample tmp;
+
+    /* Short-typed memory traffic. */
+    for (i = 0; i < 8; i++) {
+        histogram[i] = (short)(i * 1000 - 2500);
+    }
+    for (i = 0; i < 8; i++) {
+        if (histogram[i] < 0) acc++;
+    }
+
+    /* Floats: arithmetic, negation, conversions, calls. */
+    fsum = 0.0f;
+    for (i = 1; i <= 4; i++) {
+        f = scale(f) / (float)i - 0.5f;
+        fsum = fsum + f;
+    }
+    acc += (int)(fsum * 8.0f);
+    acc += classify_f(1.5f, 2.5f);
+    acc += classify_f(2.5f, 2.5f);
+    acc += (int)apply_f(scale, 6.0f);
+
+    /* Doubles: division, subtraction, comparisons, powers. */
+    dsum = power(1.5, 5) - power(2.0, 3) / 4.0;
+    d = -dsum;
+    acc += classify_d(d, 0.0);
+    acc += (int)apply_d(power, 2.0, 10);
+    acc += (int)(float)dsum;           /* CVDF then CVFI */
+    acc += (int)(double)(f + 1.0f);    /* CVFD then CVDI */
+
+    /* Unsigned corners and a 3-byte literal. */
+    acc += (int)mix_unsigned(3000000000u, 7u);
+    acc += (int)(1000000u >> 4);
+
+    /* Structs: member stores of every class, by-value args, block copy. */
+    samples[0].tag = 7;
+    samples[0].weight = 1.25f;
+    samples[0].score = 0.75;
+    samples[0].pad = 0;
+    nudge(&tmp, samples[0]);
+    samples[1] = tmp;
+    acc += samples[1].tag + (int)samples[1].weight + (int)(samples[1].score * 4.0);
+    acc += samples[0].tag;             /* by-value: unchanged */
+
+    /* Discarded float/double results (POPF/POPD). */
+    scale(9.0f);
+    power(3.0, 2);
+
+    putint(acc);
+    putchar('\n');
+    return 0;
+}

@@ -1,0 +1,32 @@
+/* sieve: Eratosthenes over 10000, plus a digit-sum pass over the primes. */
+
+char composite[10001];
+
+int main(void) {
+    int i;
+    int j;
+    int count = 0;
+    int digit_sum = 0;
+    for (i = 2; i * i <= 10000; i++) {
+        if (!composite[i]) {
+            for (j = i * i; j <= 10000; j += i) {
+                composite[j] = 1;
+            }
+        }
+    }
+    for (i = 2; i <= 10000; i++) {
+        if (!composite[i]) {
+            int v = i;
+            count++;
+            while (v > 0) {
+                digit_sum += v % 10;
+                v /= 10;
+            }
+        }
+    }
+    putint(count);
+    putchar(' ');
+    putint(digit_sum);
+    putchar('\n');
+    return count == 1229 ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+/* sort: quicksort, insertion sort, and binary search over the same data,
+ * exercising recursion, pointer parameters, and comparison-heavy loops. */
+
+int data[512];
+int copy1[512];
+int copy2[512];
+
+unsigned seed;
+
+int next_rand(void) {
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) & 32767u);
+}
+
+void fill(void) {
+    int i;
+    seed = 99u;
+    for (i = 0; i < 512; i++) {
+        data[i] = next_rand();
+    }
+}
+
+void swap(int *a, int *b) {
+    int t = *a;
+    *a = *b;
+    *b = t;
+}
+
+void quicksort(int *a, int lo, int hi) {
+    int pivot;
+    int i;
+    int j;
+    if (lo >= hi) {
+        return;
+    }
+    pivot = a[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (a[i] < pivot) i++;
+        while (a[j] > pivot) j--;
+        if (i <= j) {
+            swap(&a[i], &a[j]);
+            i++;
+            j--;
+        }
+    }
+    quicksort(a, lo, j);
+    quicksort(a, i, hi);
+}
+
+void insertion_sort(int *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        int v = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > v) {
+            a[j + 1] = a[j];
+            j--;
+        }
+        a[j + 1] = v;
+    }
+}
+
+int binary_search(int *a, int n, int key) {
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (a[mid] == key) {
+            return mid;
+        }
+        if (a[mid] < key) {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return -1;
+}
+
+int main(void) {
+    int i;
+    int mismatches = 0;
+    int found = 0;
+    fill();
+    for (i = 0; i < 512; i++) {
+        copy1[i] = data[i];
+        copy2[i] = data[i];
+    }
+    quicksort(copy1, 0, 511);
+    insertion_sort(copy2, 512);
+    for (i = 0; i < 512; i++) {
+        if (copy1[i] != copy2[i]) {
+            mismatches++;
+        }
+        if (i > 0 && copy1[i] < copy1[i - 1]) {
+            mismatches++;
+        }
+    }
+    for (i = 0; i < 512; i++) {
+        if (binary_search(copy1, 512, data[i]) >= 0) {
+            found++;
+        }
+    }
+    putint(mismatches);
+    putchar(' ');
+    putint(found);
+    putchar('\n');
+    return mismatches;
+}

@@ -1,0 +1,376 @@
+//! Seeded synthetic program generator.
+//!
+//! The paper's big training inputs are compilers (lcc, gcc): hundreds of
+//! small-to-medium C functions full of repeated idioms — counter loops,
+//! table scans, switch dispatch, clamp-and-accumulate patterns, chains of
+//! helper calls. The generator emits mini-C with exactly those shapes,
+//! deterministically from a seed, so corpora are reproducible and two
+//! corpora with different seeds are *different programs drawn from the
+//! same population* — which is what makes the self- vs cross-training
+//! comparison of Table 1 meaningful.
+//!
+//! Generated programs are well-formed and runnable (indices are masked,
+//! divisors are forced non-zero, loops are bounded), although the
+//! compression experiments only need them to compile.
+
+use pgr_bytecode::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Statement-mix flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Compiler-shaped: switches, table lookups, helper-call chains,
+    /// character-class tests.
+    Compiler,
+    /// Numeric: counted loops over arrays, accumulation, doubles.
+    Numeric,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// RNG seed; corpora with different seeds are disjoint populations.
+    pub seed: u64,
+    /// Number of functions to generate (size knob).
+    pub functions: usize,
+    /// Statement mix.
+    pub flavor: Flavor,
+}
+
+/// Generate a program (source, then compiled through `pgr-minic`).
+///
+/// # Panics
+///
+/// Panics if the generated source fails to compile — that would be a bug
+/// in the generator, and the test suite compiles every flavour.
+pub fn generate(config: &SynthConfig) -> Program {
+    generate_with(config, &pgr_minic::Options::default())
+}
+
+/// Generate with explicit compiler options (e.g. the peephole optimizer
+/// for the §6 optimization-interaction ablation).
+pub fn generate_with(config: &SynthConfig, options: &pgr_minic::Options) -> Program {
+    let source = generate_source(config);
+    pgr_minic::compile_with(&source, options)
+        .unwrap_or_else(|e| panic!("generated program failed to compile: {e}"))
+}
+
+/// Generate mini-C source text only.
+pub fn generate_source(config: &SynthConfig) -> String {
+    Gen::new(config).run()
+}
+
+struct Gen {
+    rng: StdRng,
+    flavor: Flavor,
+    functions: usize,
+    out: String,
+    /// Names of functions generated so far (callable).
+    callable: Vec<String>,
+    /// (name, power-of-two length) of global int arrays.
+    tables: Vec<(String, u32)>,
+    /// Names of global int scalars.
+    scalars: Vec<String>,
+}
+
+impl Gen {
+    fn new(config: &SynthConfig) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(config.seed),
+            flavor: config.flavor,
+            functions: config.functions,
+            out: String::new(),
+            callable: Vec::new(),
+            tables: Vec::new(),
+            scalars: Vec::new(),
+        }
+    }
+
+    fn pick<'a>(&mut self, items: &'a [String]) -> &'a str {
+        let i = self.rng.gen_range(0..items.len());
+        &items[i]
+    }
+
+    fn run(mut self) -> String {
+        // Globals: lookup tables (a compiler staple) and state scalars.
+        let n_tables = 3 + self.functions / 60;
+        for t in 0..n_tables {
+            let len = 1u32 << self.rng.gen_range(3..8);
+            let name = format!("tab{t}");
+            let _ = write!(self.out, "int {name}[{len}] = {{");
+            for i in 0..len.min(12) {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let _ = write!(self.out, "{}", self.rng.gen_range(0..997));
+            }
+            self.out.push_str("};\n");
+            self.tables.push((name, len));
+        }
+        let n_scalars = 4 + self.functions / 80;
+        for sidx in 0..n_scalars {
+            let name = format!("g{sidx}");
+            let _ = writeln!(self.out, "int {name} = {};", self.rng.gen_range(0..100));
+            self.scalars.push(name);
+        }
+        if self.flavor == Flavor::Numeric {
+            self.out.push_str("double dacc = 0.0;\n");
+        }
+
+        for f in 0..self.functions {
+            self.function(f);
+        }
+
+        // main calls a sample of functions so everything is reachable-ish.
+        self.out.push_str("int main(void) {\n    int r = 0;\n");
+        let calls = (self.functions / 4).clamp(1, 40);
+        for _ in 0..calls {
+            let name = { let c = self.callable.clone(); self.pick(&c).to_string() };
+            let a = self.rng.gen_range(0..64);
+            let b = self.rng.gen_range(0..64);
+            let _ = writeln!(self.out, "    r ^= {name}({a}, {b});");
+        }
+        self.out.push_str("    return r & 127;\n}\n");
+        self.out
+    }
+
+    fn function(&mut self, index: usize) {
+        let name = format!("fn{index}");
+        let _ = writeln!(self.out, "int {name}(int p0, int p1) {{");
+        let locals = self.rng.gen_range(2..5);
+        for l in 0..locals {
+            let _ = writeln!(self.out, "    int v{l} = {};", self.rng.gen_range(0..16));
+        }
+        let vars: Vec<String> = (0..locals)
+            .map(|l| format!("v{l}"))
+            .chain(["p0".to_string(), "p1".to_string()])
+            .collect();
+
+        let stmts = self.rng.gen_range(3..12);
+        for _ in 0..stmts {
+            let s = self.statement(&vars, 1);
+            self.out.push_str(&s);
+        }
+        let ret = self.expr(&vars, 2);
+        let _ = writeln!(self.out, "    return {ret};\n}}");
+        self.callable.push(name);
+    }
+
+    /// One statement (possibly compound), indented.
+    fn statement(&mut self, vars: &[String], depth: u32) -> String {
+        let pad = "    ".repeat(depth as usize);
+        let template = if self.flavor == Flavor::Compiler {
+            self.rng.gen_range(0..10)
+        } else {
+            // Numeric flavour: loops and accumulation dominate.
+            [0, 1, 2, 2, 3, 3, 8, 9, 9, 5][self.rng.gen_range(0..10)]
+        };
+        match template {
+            // Plain assignment with an expression.
+            0 => {
+                let v = self.pick(vars).to_string();
+                let e = self.expr(vars, 2);
+                format!("{pad}{v} = {e};\n")
+            }
+            // Compound assignment (the hottest idiom in real code).
+            1 => {
+                let v = self.pick(vars).to_string();
+                let op = *["+=", "-=", "^=", "|=", "&="]
+                    .get(self.rng.gen_range(0..5))
+                    .expect("in range");
+                let e = self.expr(vars, 1);
+                format!("{pad}{v} {op} {e};\n")
+            }
+            // Counted loop over a table.
+            2 => {
+                let (t, len) = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+                let acc = self.pick(vars).to_string();
+                let body_op = if self.rng.gen_bool(0.5) { "+=" } else { "^=" };
+                format!(
+                    "{pad}{{ int i; for (i = 0; i < {len}; i++) {acc} {body_op} {t}[i]; }}\n"
+                )
+            }
+            // Bounded while with a counter.
+            3 => {
+                let v = self.pick(vars).to_string();
+                let w = self.pick(vars).to_string();
+                let cap = self.rng.gen_range(3..20);
+                format!(
+                    "{pad}{{ int n = 0; while ({v} > 0 && n < {cap}) {{ {v} >>= 1; {w} += 1; n++; }} }}\n"
+                )
+            }
+            // If/else chain (clamp / classify).
+            4 => {
+                let v = self.pick(vars).to_string();
+                let w = self.pick(vars).to_string();
+                let a = self.rng.gen_range(0..50);
+                let b = a + self.rng.gen_range(1..50);
+                let mut s = format!("{pad}if ({v} < {a}) {{\n");
+                s.push_str(&self.statement(vars, depth + 1));
+                let _ = writeln!(s, "{pad}}} else if ({v} < {b}) {{");
+                s.push_str(&self.statement(vars, depth + 1));
+                let _ = write!(s, "{pad}}} else {{\n{pad}    {w} = {w} - {v};\n{pad}}}\n");
+                s
+            }
+            // Switch dispatch (compiler bread and butter).
+            5 => {
+                let v = self.pick(vars).to_string();
+                let w = self.pick(vars).to_string();
+                let arms = self.rng.gen_range(3..8);
+                let modulus = arms + self.rng.gen_range(0..3);
+                let mut s = format!("{pad}switch ({v} % {modulus}) {{\n");
+                for k in 0..arms {
+                    let e = self.expr(vars, 1);
+                    let _ = writeln!(s, "{pad}case {k}: {w} = {e}; break;");
+                }
+                let _ = write!(s, "{pad}default: {w} += 1;\n{pad}}}\n");
+                s
+            }
+            // Table write with masked index.
+            6 => {
+                let (t, len) = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+                let v = self.pick(vars).to_string();
+                let e = self.expr(vars, 1);
+                format!("{pad}{t}[({v} & {}) ] = {e};\n", len - 1)
+            }
+            // Helper call chain.
+            7 => {
+                if self.callable.is_empty() {
+                    let v = self.pick(vars).to_string();
+                    return format!("{pad}{v} += 1;\n");
+                }
+                let f = { let c = self.callable.clone(); self.pick(&c).to_string() };
+                let v = self.pick(vars).to_string();
+                let a = self.expr(vars, 1);
+                let b = self.expr(vars, 1);
+                format!("{pad}{v} = {f}({a}, {b});\n")
+            }
+            // Global state update.
+            8 => {
+                let g = { let c = self.scalars.clone(); self.pick(&c).to_string() };
+                let e = self.expr(vars, 1);
+                format!("{pad}{g} = ({g} + ({e})) & 65535;\n")
+            }
+            // For-loop accumulation (numeric flavour's favourite).
+            _ => {
+                let v = self.pick(vars).to_string();
+                let n = self.rng.gen_range(2..12);
+                if self.flavor == Flavor::Numeric && self.rng.gen_bool(0.3) {
+                    format!(
+                        "{pad}{{ int i; for (i = 0; i < {n}; i++) dacc = dacc + (double){v} * 0.5; }}\n"
+                    )
+                } else {
+                    format!(
+                        "{pad}{{ int i; for (i = 0; i < {n}; i++) {v} += i * {}; }}\n",
+                        self.rng.gen_range(1..5)
+                    )
+                }
+            }
+        }
+    }
+
+    /// A side-effect-free integer expression.
+    fn expr(&mut self, vars: &[String], depth: u32) -> String {
+        if depth == 0 {
+            return match self.rng.gen_range(0..4) {
+                0 => self.rng.gen_range(0..256).to_string(),
+                1 => { let c = self.scalars.clone(); self.pick(&c).to_string() },
+                _ => self.pick(vars).to_string(),
+            };
+        }
+        match self.rng.gen_range(0..8) {
+            0 => {
+                let a = self.expr(vars, depth - 1);
+                let b = self.expr(vars, depth - 1);
+                let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+                format!("({a} {op} {b})")
+            }
+            1 => {
+                // Safe division/remainder: divisor forced odd.
+                let a = self.expr(vars, depth - 1);
+                let b = self.expr(vars, depth - 1);
+                let op = if self.rng.gen_bool(0.5) { "/" } else { "%" };
+                format!("({a} {op} (({b} & 15) | 1))")
+            }
+            2 => {
+                let a = self.expr(vars, depth - 1);
+                let sh = self.rng.gen_range(1..8);
+                let op = if self.rng.gen_bool(0.5) { "<<" } else { ">>" };
+                format!("({a} {op} {sh})")
+            }
+            3 => {
+                let (t, len) = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
+                let i = self.expr(vars, depth - 1);
+                format!("{t}[({i}) & {}]", len - 1)
+            }
+            4 => {
+                let a = self.expr(vars, depth - 1);
+                let b = self.expr(vars, depth - 1);
+                let op = ["<", "<=", "==", "!="][self.rng.gen_range(0..4)];
+                format!("({a} {op} {b})")
+            }
+            _ => self.expr(vars, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::validate_program;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SynthConfig {
+            seed: 7,
+            functions: 20,
+            flavor: Flavor::Compiler,
+        };
+        assert_eq!(generate_source(&config), generate_source(&config));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_source(&SynthConfig {
+            seed: 1,
+            functions: 10,
+            flavor: Flavor::Compiler,
+        });
+        let b = generate_source(&SynthConfig {
+            seed: 2,
+            functions: 10,
+            flavor: Flavor::Compiler,
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn both_flavors_compile_and_validate() {
+        for flavor in [Flavor::Compiler, Flavor::Numeric] {
+            let program = generate(&SynthConfig {
+                seed: 42,
+                functions: 30,
+                flavor,
+            });
+            validate_program(&program).unwrap();
+            assert!(program.procs.len() > 30);
+        }
+    }
+
+    #[test]
+    fn function_count_scales_size() {
+        let small = generate(&SynthConfig {
+            seed: 5,
+            functions: 10,
+            flavor: Flavor::Compiler,
+        });
+        let large = generate(&SynthConfig {
+            seed: 5,
+            functions: 60,
+            flavor: Flavor::Compiler,
+        });
+        assert!(large.code_size() > small.code_size() * 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! A small open-addressing `u64 → u32` map.
+//!
+//! The parser's hot loops do millions of item lookups; `std`'s default
+//! SipHash is measurably slower than a multiplicative hash here, and the
+//! keys are already well-mixed small integers. Keys must never equal
+//! `u64::MAX` (the empty sentinel), which the packed item keys guarantee.
+
+const EMPTY: u64 = u64::MAX;
+
+/// Open-addressing hash map from `u64` keys to `u32` values.
+#[derive(Debug, Clone, Default)]
+pub struct U64Map {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // Fibonacci hashing with an extra xor-shift mix.
+    let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^ (h >> 29)
+}
+
+impl U64Map {
+    /// Create an empty map.
+    pub fn new() -> U64Map {
+        U64Map::default()
+    }
+
+    /// Number of entries.
+    #[allow(dead_code)] // exercised by tests
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[allow(dead_code)] // exercised by tests
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up a key.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        debug_assert_ne!(key, EMPTY);
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (hash(key) as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert a key/value pair. Overwrites any existing value.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u32) {
+        debug_assert_ne!(key, EMPTY);
+        if self.keys.is_empty() || self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (hash(key) as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![0; new_cap];
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = U64Map::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(42), None);
+        m.insert(42, 1);
+        m.insert(43, 2);
+        assert_eq!(m.get(42), Some(1));
+        assert_eq!(m.get(43), Some(2));
+        m.insert(42, 9);
+        assert_eq!(m.get(42), Some(9));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut m = U64Map::new();
+        for i in 0..10_000u64 {
+            m.insert(i * 7 + 1, i as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i * 7 + 1), Some(i as u32));
+        }
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // Keys that collide modulo small table sizes.
+        let mut m = U64Map::new();
+        for i in 0..64u64 {
+            m.insert(i << 32, i as u32);
+        }
+        for i in 0..64u64 {
+            assert_eq!(m.get(i << 32), Some(i as u32));
+        }
+    }
+}

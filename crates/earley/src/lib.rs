@@ -1,0 +1,368 @@
+//! # pgr-earley
+//!
+//! A cost-weighted Earley parser that finds *shortest derivations*.
+//!
+//! "We use Earley's parsing algorithm, slightly modified, to obtain a
+//! shortest derivation for a given sequence" (Evans & Fraser, PLDI 2001,
+//! §4.1). The expanded grammar is deliberately ambiguous — the original
+//! rules stay alongside the inlined ones — and the compressor is "free to
+//! choose any derivation …; since our goal is compression, we want a
+//! minimum length derivation", where length is the number of rules used
+//! (one output byte per rule).
+//!
+//! The modification is a min-plus (tropical) cost semiring over classic
+//! Earley items: every rule application costs 1, completions keep the
+//! cheapest derivation per `(non-terminal, origin, end)` span, and cost
+//! improvements re-propagate through a per-position worklist until
+//! fixpoint, which handles the grammar's left recursion and the nullable
+//! start symbol. Prediction is filtered by one-token lookahead using
+//! per-rule FIRST sets, which keeps the chart small for grammars with
+//! hundreds of rules per non-terminal.
+//!
+//! The main entry point is [`ShortestParser`]:
+//!
+//! ```
+//! use pgr_grammar::{InitialGrammar, initial::tokenize_segment};
+//! use pgr_earley::ShortestParser;
+//! use pgr_bytecode::Opcode;
+//!
+//! let ig = InitialGrammar::build();
+//! let parser = ShortestParser::new(&ig.grammar);
+//! let tokens = tokenize_segment(&[Opcode::RETV as u8]).unwrap();
+//! let d = parser.parse(ig.nt_start, &tokens).unwrap();
+//! // <start> ::= <start> <x>, <start> ::= ε, <x> ::= <x0>, <x0> ::= RETV
+//! assert_eq!(d.len(), 4);
+//! assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+//! ```
+
+#![warn(missing_docs)]
+
+mod hash;
+mod predict;
+
+#[cfg(test)]
+mod tests;
+
+pub use predict::PredictTable;
+
+use hash::U64Map;
+use pgr_grammar::{Derivation, Grammar, Nt, RuleId, Symbol, Terminal};
+use std::fmt;
+
+/// An error from the shortest-derivation parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoParse {
+    /// The furthest token position the parser reached before failing; the
+    /// input is not in the grammar's language at or near this position.
+    pub furthest: usize,
+}
+
+impl fmt::Display for NoParse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input has no derivation (stuck near token {})",
+            self.furthest
+        )
+    }
+}
+
+impl std::error::Error for NoParse {}
+
+/// How an item instance was reached (for derivation reconstruction).
+#[derive(Debug, Clone, Copy)]
+enum Back {
+    /// Fresh prediction (dot at 0).
+    Predicted,
+    /// Advanced over a terminal from the same item at the previous
+    /// position.
+    Scan { prev: u32 },
+    /// Advanced over a completed non-terminal: `prev` (in
+    /// `chart[prev_pos]`) is the item before the non-terminal, and the
+    /// child is the best completion of `(nt, child_origin)` ending at
+    /// this item's position.
+    Complete {
+        prev_pos: u32,
+        prev: u32,
+        nt: Nt,
+        child_origin: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct State {
+    rule: RuleId,
+    dot: u16,
+    origin: u32,
+    cost: u32,
+    back: Back,
+}
+
+fn item_key(rule: RuleId, dot: u16, origin: u32) -> u64 {
+    (u64::from(origin) << 32) | (u64::from(rule.0) << 9) | u64::from(dot)
+}
+
+fn completed_key(nt: Nt, origin: u32) -> u64 {
+    (u64::from(origin) << 16) | u64::from(nt.0)
+}
+
+/// One chart column.
+struct Column {
+    states: Vec<State>,
+    index: U64Map,
+    /// Items whose next symbol is a non-terminal, grouped by it.
+    waiting: Vec<Vec<u32>>,
+    /// `(nt, origin)` → slot into `completed_info`.
+    completed: U64Map,
+    /// `(best cost, completed-state index)` per slot.
+    completed_info: Vec<(u32, u32)>,
+    predicted: Vec<bool>,
+}
+
+impl Column {
+    fn new(nt_count: usize) -> Column {
+        Column {
+            states: Vec::new(),
+            index: U64Map::new(),
+            waiting: vec![Vec::new(); nt_count],
+            completed: U64Map::new(),
+            completed_info: Vec::new(),
+            predicted: vec![false; nt_count],
+        }
+    }
+}
+
+/// A shortest-derivation Earley parser for a fixed grammar snapshot.
+///
+/// Construction precomputes FIRST-filtered prediction tables, so build it
+/// once and reuse it across many segments. The parser borrows the
+/// grammar; rebuild it after the grammar changes.
+pub struct ShortestParser<'g> {
+    grammar: &'g Grammar,
+    predict: PredictTable,
+}
+
+impl<'g> ShortestParser<'g> {
+    /// Build a parser (and its prediction tables) for `grammar`.
+    pub fn new(grammar: &'g Grammar) -> ShortestParser<'g> {
+        ShortestParser {
+            grammar,
+            predict: PredictTable::build(grammar),
+        }
+    }
+
+    /// The underlying grammar.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    /// Whether `tokens` is derivable from `start` at all.
+    pub fn recognizes(&self, start: Nt, tokens: &[Terminal]) -> bool {
+        self.parse(start, tokens).is_ok()
+    }
+
+    /// Find a minimum-length leftmost derivation of `tokens` from
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoParse`] if the tokens are not in the language of
+    /// `start`.
+    pub fn parse(&self, start: Nt, tokens: &[Terminal]) -> Result<Derivation, NoParse> {
+        let n = tokens.len();
+        let nt_count = self.grammar.nt_count();
+        let mut chart: Vec<Column> = (0..=n).map(|_| Column::new(nt_count)).collect();
+        let mut work: Vec<u32> = Vec::new();
+        let mut furthest = 0usize;
+
+        self.predict_nt(&mut chart[0], 0, start, tokens.first().copied(), &mut work);
+
+        for k in 0..=n {
+            // Items scanned in from k-1 seed the worklist (for k = 0 the
+            // predictions above already queued themselves).
+            if k > 0 {
+                work.extend(0..chart[k].states.len() as u32);
+            }
+            if !work.is_empty() {
+                furthest = k;
+            }
+            let next_tok = tokens.get(k).copied();
+            while let Some(si) = work.pop() {
+                let s = chart[k].states[si as usize];
+                let rule = self.grammar.rule(s.rule);
+                if (s.dot as usize) < rule.rhs.len() {
+                    match rule.rhs[s.dot as usize] {
+                        Symbol::T(t) => {
+                            if next_tok == Some(t) {
+                                let mut sink = Vec::new();
+                                Self::add_state(
+                                    &mut chart[k + 1],
+                                    State {
+                                        rule: s.rule,
+                                        dot: s.dot + 1,
+                                        origin: s.origin,
+                                        cost: s.cost,
+                                        back: Back::Scan { prev: si },
+                                    },
+                                    &mut sink,
+                                );
+                            }
+                        }
+                        Symbol::N(b) => {
+                            if !chart[k].predicted[b.index()] {
+                                self.predict_nt(&mut chart[k], k as u32, b, next_tok, &mut work);
+                            }
+                            if !chart[k].waiting[b.index()].contains(&si) {
+                                chart[k].waiting[b.index()].push(si);
+                            }
+                            // An empty-span completion of `b` at `k` may
+                            // already exist (nullable non-terminals).
+                            if let Some(slot) = chart[k].completed.get(completed_key(b, k as u32))
+                            {
+                                let (ccost, _) = chart[k].completed_info[slot as usize];
+                                let st = State {
+                                    rule: s.rule,
+                                    dot: s.dot + 1,
+                                    origin: s.origin,
+                                    cost: s.cost + ccost,
+                                    back: Back::Complete {
+                                        prev_pos: k as u32,
+                                        prev: si,
+                                        nt: b,
+                                        child_origin: k as u32,
+                                    },
+                                };
+                                Self::add_state(&mut chart[k], st, &mut work);
+                            }
+                        }
+                    }
+                } else {
+                    // Completion: `lhs` spans (origin, k) with cost s.cost.
+                    let b = rule.lhs;
+                    let ckey = completed_key(b, s.origin);
+                    let improved = match chart[k].completed.get(ckey) {
+                        Some(slot) => {
+                            let entry = &mut chart[k].completed_info[slot as usize];
+                            if s.cost < entry.0 {
+                                *entry = (s.cost, si);
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        None => {
+                            let slot = chart[k].completed_info.len() as u32;
+                            chart[k].completed_info.push((s.cost, si));
+                            chart[k].completed.insert(ckey, slot);
+                            true
+                        }
+                    };
+                    if improved {
+                        let origin = s.origin as usize;
+                        let waiters: Vec<u32> = chart[origin].waiting[b.index()].clone();
+                        for wi in waiters {
+                            let w = chart[origin].states[wi as usize];
+                            let st = State {
+                                rule: w.rule,
+                                dot: w.dot + 1,
+                                origin: w.origin,
+                                cost: w.cost + s.cost,
+                                back: Back::Complete {
+                                    prev_pos: origin as u32,
+                                    prev: wi,
+                                    nt: b,
+                                    child_origin: s.origin,
+                                },
+                            };
+                            Self::add_state(&mut chart[k], st, &mut work);
+                        }
+                    }
+                }
+            }
+        }
+
+        let goal = completed_key(start, 0);
+        let Some(slot) = chart[n].completed.get(goal) else {
+            return Err(NoParse { furthest });
+        };
+        let (_, root_idx) = chart[n].completed_info[slot as usize];
+        Ok(self.reconstruct(&chart, n, root_idx))
+    }
+
+    fn predict_nt(
+        &self,
+        col: &mut Column,
+        position: u32,
+        nt: Nt,
+        next: Option<Terminal>,
+        work: &mut Vec<u32>,
+    ) {
+        col.predicted[nt.index()] = true;
+        for &rule in self.predict.candidates(nt, next) {
+            let st = State {
+                rule,
+                dot: 0,
+                origin: position,
+                cost: 1,
+                back: Back::Predicted,
+            };
+            Self::add_state(col, st, work);
+        }
+    }
+
+    fn add_state(col: &mut Column, st: State, work: &mut Vec<u32>) {
+        let k = item_key(st.rule, st.dot, st.origin);
+        match col.index.get(k) {
+            Some(idx) => {
+                let existing = &mut col.states[idx as usize];
+                if st.cost < existing.cost {
+                    *existing = st;
+                    work.push(idx);
+                }
+            }
+            None => {
+                let idx = col.states.len() as u32;
+                col.states.push(st);
+                col.index.insert(k, idx);
+                work.push(idx);
+            }
+        }
+    }
+
+    /// Rebuild the leftmost derivation (preorder rule sequence) from
+    /// backpointers, iteratively.
+    fn reconstruct(&self, chart: &[Column], end: usize, root: u32) -> Derivation {
+        let mut out: Vec<RuleId> = Vec::new();
+        let mut stack: Vec<(usize, u32)> = vec![(end, root)];
+        while let Some((pos, idx)) = stack.pop() {
+            let s = chart[pos].states[idx as usize];
+            out.push(s.rule);
+            // Walk the back chain, collecting completed children
+            // rightmost-first; pushing them in that order leaves the
+            // leftmost child on top of the stack, giving preorder.
+            let mut cur = (pos, idx);
+            loop {
+                let st = chart[cur.0].states[cur.1 as usize];
+                match st.back {
+                    Back::Predicted => break,
+                    Back::Scan { prev } => cur = (cur.0 - 1, prev),
+                    Back::Complete {
+                        prev_pos,
+                        prev,
+                        nt,
+                        child_origin,
+                    } => {
+                        let slot = chart[cur.0]
+                            .completed
+                            .get(completed_key(nt, child_origin))
+                            .expect("completed child recorded in chart");
+                        let (_, child_idx) = chart[cur.0].completed_info[slot as usize];
+                        stack.push((cur.0, child_idx));
+                        cur = (prev_pos as usize, prev);
+                    }
+                }
+            }
+        }
+        Derivation(out)
+    }
+}

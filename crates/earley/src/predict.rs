@@ -1,0 +1,140 @@
+//! FIRST-filtered prediction tables.
+//!
+//! After expansion a non-terminal can hold up to 256 rules (§4.1);
+//! predicting all of them at every chart position would dominate the
+//! parse. Instead we precompute, per non-terminal and per possible next
+//! terminal, the rules whose right-hand side can begin with that terminal
+//! (including through nullable prefixes), plus — always — the rules that
+//! derive the empty string.
+
+use pgr_grammar::symbol::TERMINAL_SPACE;
+use pgr_grammar::{Grammar, Nt, RuleId, Symbol, Terminal};
+
+/// Per-(non-terminal, lookahead) prediction candidates.
+#[derive(Debug, Clone)]
+pub struct PredictTable {
+    /// `table[nt][terminal_index]`: rules of `nt` that can start with the
+    /// terminal, with nullable rules appended.
+    table: Vec<Vec<Vec<RuleId>>>,
+    /// Rules of `nt` that derive ε (the only candidates when no input
+    /// remains).
+    nullable_rules: Vec<Vec<RuleId>>,
+}
+
+impl PredictTable {
+    /// Precompute the table for a grammar snapshot.
+    pub fn build(grammar: &Grammar) -> PredictTable {
+        let firsts = grammar.first_sets();
+        let nts = grammar.nt_count();
+        let mut table: Vec<Vec<Vec<RuleId>>> =
+            (0..nts).map(|_| vec![Vec::new(); TERMINAL_SPACE]).collect();
+        let mut nullable_rules: Vec<Vec<RuleId>> = vec![Vec::new(); nts];
+
+        for nt in 0..nts {
+            let nt = Nt(nt as u16);
+            for &rule_id in grammar.rules_of(nt) {
+                let rule = grammar.rule(rule_id);
+                let mut rule_nullable = true;
+                let mut first = vec![false; TERMINAL_SPACE];
+                for sym in &rule.rhs {
+                    match *sym {
+                        Symbol::T(t) => {
+                            first[t.index()] = true;
+                            rule_nullable = false;
+                            break;
+                        }
+                        Symbol::N(b) => {
+                            for (i, f) in first.iter_mut().enumerate() {
+                                if !*f && firsts.can_start(b, Terminal::from_index(i)) {
+                                    *f = true;
+                                }
+                            }
+                            if !firsts.nullable(b) {
+                                rule_nullable = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                for (i, f) in first.iter().enumerate() {
+                    if *f {
+                        table[nt.index()][i].push(rule_id);
+                    }
+                }
+                if rule_nullable {
+                    nullable_rules[nt.index()].push(rule_id);
+                }
+            }
+        }
+
+        // Nullable rules must be predicted regardless of lookahead: they
+        // can complete over an empty span in front of any next token.
+        for nt in 0..nts {
+            for per_terminal in table[nt].iter_mut() {
+                for &r in &nullable_rules[nt] {
+                    if !per_terminal.contains(&r) {
+                        per_terminal.push(r);
+                    }
+                }
+            }
+        }
+
+        PredictTable {
+            table,
+            nullable_rules,
+        }
+    }
+
+    /// Candidate rules for expanding `nt` when the next input terminal is
+    /// `next` (`None` at end of input).
+    pub fn candidates(&self, nt: Nt, next: Option<Terminal>) -> &[RuleId] {
+        match next {
+            Some(t) => &self.table[nt.index()][t.index()],
+            None => &self.nullable_rules[nt.index()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::Opcode;
+    use pgr_grammar::InitialGrammar;
+
+    #[test]
+    fn byte_rules_predict_exactly_one_candidate() {
+        let ig = InitialGrammar::build();
+        let pt = PredictTable::build(&ig.grammar);
+        let c = pt.candidates(ig.nt_byte, Some(Terminal::Byte(17)));
+        assert_eq!(c, &[ig.byte_rules[17]]);
+        assert!(pt
+            .candidates(ig.nt_byte, Some(Terminal::Op(Opcode::ADDU)))
+            .is_empty());
+        assert!(pt.candidates(ig.nt_byte, None).is_empty());
+    }
+
+    #[test]
+    fn start_predictions_include_spine_and_epsilon() {
+        let ig = InitialGrammar::build();
+        let pt = PredictTable::build(&ig.grammar);
+        // A statement can start with LIT1 -> both start rules apply
+        // (the spine via FIRST, ε because it is nullable).
+        let c = pt.candidates(ig.nt_start, Some(Terminal::Op(Opcode::LIT1)));
+        assert!(c.contains(&ig.start_rec));
+        assert!(c.contains(&ig.start_empty));
+        // At end of input only ε survives.
+        assert_eq!(pt.candidates(ig.nt_start, None), &[ig.start_empty]);
+    }
+
+    #[test]
+    fn v_rules_filtered_by_leading_leaf() {
+        let ig = InitialGrammar::build();
+        let pt = PredictTable::build(&ig.grammar);
+        // Expressions start with v0 opcodes only.
+        let c = pt.candidates(ig.nt_v, Some(Terminal::Op(Opcode::ADDRLP)));
+        assert_eq!(c.len(), 3, "all three <v> rules can start with a leaf");
+        assert!(pt
+            .candidates(ig.nt_v, Some(Terminal::Op(Opcode::ADDU)))
+            .is_empty());
+    }
+}

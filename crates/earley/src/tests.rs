@@ -1,0 +1,297 @@
+//! Parser tests: correctness on the initial grammar, optimality on
+//! hand-built ambiguous grammars, and property tests against the
+//! deterministic forest parser.
+
+use crate::{NoParse, ShortestParser};
+use pgr_bytecode::{encode, Instruction, Opcode};
+use pgr_grammar::initial::tokenize_segment;
+use pgr_grammar::{
+    Derivation, Forest, Grammar, InitialGrammar, RuleOrigin, Symbol, Terminal,
+};
+use proptest::prelude::*;
+
+fn paper_segment() -> Vec<Terminal> {
+    let code = encode(&[
+        Instruction::with_u16(Opcode::ADDRFP, 0),
+        Instruction::op(Opcode::INDIRU),
+        Instruction::new(Opcode::LIT1, &[0]),
+        Instruction::op(Opcode::NEU),
+        Instruction::with_u16(Opcode::BrTrue, 0),
+        Instruction::new(Opcode::LIT1, &[0]),
+        Instruction::op(Opcode::ARGU),
+        Instruction::with_u16(Opcode::ADDRGP, 0),
+        Instruction::op(Opcode::CALLU),
+        Instruction::op(Opcode::POPU),
+    ]);
+    tokenize_segment(&code).unwrap()
+}
+
+#[test]
+fn matches_the_unique_parse_under_the_initial_grammar() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let tokens = paper_segment();
+
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+
+    // The initial grammar parses valid postfix code uniquely, so the
+    // Earley result must equal the deterministic forest parse.
+    let mut forest = Forest::new();
+    let root = forest.add_segment(&ig, &tokens).unwrap();
+    let reference = Derivation::from_tree(&forest, root);
+    assert_eq!(d, reference);
+}
+
+#[test]
+fn empty_input_derives_via_epsilon() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let d = parser.parse(ig.nt_start, &[]).unwrap();
+    assert_eq!(d.0, vec![ig.start_empty]);
+}
+
+#[test]
+fn rejects_non_language_input() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    // A bare binary operator with no operands.
+    let tokens = vec![Terminal::Op(Opcode::ADDU)];
+    assert_eq!(
+        parser.parse(ig.nt_start, &tokens),
+        Err(NoParse { furthest: 0 })
+    );
+    // Valid prefix, then garbage.
+    let mut tokens = paper_segment();
+    tokens.push(Terminal::Op(Opcode::MULI));
+    let err = parser.parse(ig.nt_start, &tokens).unwrap_err();
+    assert!(err.furthest >= paper_segment().len() - 1);
+}
+
+#[test]
+fn prefers_inlined_rules_when_cheaper() {
+    let ig = InitialGrammar::build();
+    let mut g = ig.grammar.clone();
+    // Inline <x> ::= <x0> and <x0> ::= RETV transitively into the spine:
+    // <start> ::= <start> RETV.
+    let inl1 = g.add_rule(
+        ig.nt_x,
+        vec![Symbol::op(Opcode::RETV)],
+        RuleOrigin::Inlined {
+            parent: ig.x_leaf,
+            slot: 0,
+            child: ig.rule_for_opcode(Opcode::RETV),
+        },
+    );
+    let spine = g.add_rule(
+        ig.nt_start,
+        vec![Symbol::N(ig.nt_start), Symbol::op(Opcode::RETV)],
+        RuleOrigin::Inlined {
+            parent: ig.start_rec,
+            slot: 1,
+            child: inl1,
+        },
+    );
+
+    let tokens = vec![Terminal::Op(Opcode::RETV); 4];
+    let parser = ShortestParser::new(&g);
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    // Optimal: 4 × (<start> ::= <start> RETV) + ε = 5 rules,
+    // versus 1 + 4×3 = 13 under the original grammar.
+    assert_eq!(d.len(), 5);
+    assert_eq!(d.0.iter().filter(|&&r| r == spine).count(), 4);
+    assert_eq!(d.expand(&g, ig.nt_start).unwrap(), tokens);
+}
+
+#[test]
+fn burnt_literals_participate_in_shortest_parses() {
+    let ig = InitialGrammar::build();
+    let mut g = ig.grammar.clone();
+    // A fused "<start> ::= <start> JUMPV 0 <byte>" rule, as in the
+    // paper's partially-inlined-literal example (§5).
+    let fused = g.add_rule(
+        ig.nt_start,
+        vec![
+            Symbol::N(ig.nt_start),
+            Symbol::op(Opcode::JUMPV),
+            Symbol::byte(0),
+            Symbol::N(ig.nt_byte),
+        ],
+        RuleOrigin::Original, // provenance irrelevant here
+    );
+    let parser = ShortestParser::new(&g);
+
+    // JUMPV 0 7 -> fused rule applies: [fused, ε, <byte>::=7] = 3 rules.
+    let t_match = tokenize_segment(&[Opcode::JUMPV as u8, 0, 7]).unwrap();
+    let d = parser.parse(ig.nt_start, &t_match).unwrap();
+    assert_eq!(d.len(), 3);
+    assert!(d.0.contains(&fused));
+    assert_eq!(d.expand(&g, ig.nt_start).unwrap(), t_match);
+
+    // JUMPV 1 7 -> first literal differs; fused rule cannot apply.
+    let t_miss = tokenize_segment(&[Opcode::JUMPV as u8, 1, 7]).unwrap();
+    let d = parser.parse(ig.nt_start, &t_miss).unwrap();
+    assert!(!d.0.contains(&fused));
+    assert_eq!(d.expand(&g, ig.nt_start).unwrap(), t_miss);
+}
+
+#[test]
+fn nullable_nonterminals_inside_rules() {
+    // S ::= A A 'RETV' ; A ::= ε | 'POPU'... exercised with opcodes as
+    // the terminal alphabet.
+    let mut g = Grammar::new();
+    let s = g.add_nt("S");
+    let a = g.add_nt("A");
+    let r_s = g.add_rule(
+        s,
+        vec![Symbol::N(a), Symbol::N(a), Symbol::op(Opcode::RETV)],
+        RuleOrigin::Original,
+    );
+    let r_eps = g.add_rule(a, vec![], RuleOrigin::Original);
+    let r_pop = g.add_rule(a, vec![Symbol::op(Opcode::POPU)], RuleOrigin::Original);
+    g.set_start(s);
+
+    let parser = ShortestParser::new(&g);
+    // "RETV": both A's empty.
+    let d = parser
+        .parse(s, &[Terminal::Op(Opcode::RETV)])
+        .unwrap();
+    assert_eq!(d.0, vec![r_s, r_eps, r_eps]);
+    // "POPU RETV": one A consumes, one is empty (either order parses; the
+    // derivation must expand correctly and cost 3 rules).
+    let d = parser
+        .parse(
+            s,
+            &[Terminal::Op(Opcode::POPU), Terminal::Op(Opcode::RETV)],
+        )
+        .unwrap();
+    assert_eq!(d.len(), 3);
+    assert!(d.0.contains(&r_pop));
+    // "POPU POPU RETV": both consume.
+    let tokens = [
+        Terminal::Op(Opcode::POPU),
+        Terminal::Op(Opcode::POPU),
+        Terminal::Op(Opcode::RETV),
+    ];
+    let d = parser.parse(s, &tokens).unwrap();
+    assert_eq!(d.0, vec![r_s, r_pop, r_pop]);
+    assert_eq!(d.expand(&g, s).unwrap(), tokens);
+}
+
+#[test]
+fn deep_spines_do_not_overflow_the_stack() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let tokens = vec![Terminal::Op(Opcode::RETV); 2_000];
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    assert_eq!(d.len(), 1 + 3 * 2_000);
+    assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+}
+
+/// Generate a random well-formed statement as instruction tokens.
+fn arb_statement() -> impl Strategy<Value = Vec<Terminal>> {
+    // A value expression of bounded depth, then a statement operator.
+    fn value(depth: u32) -> BoxedStrategy<Vec<Terminal>> {
+        let leaf = prop_oneof![
+            any::<u8>().prop_map(|b| vec![
+                Terminal::Op(Opcode::LIT1),
+                Terminal::Byte(b)
+            ]),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| vec![
+                Terminal::Op(Opcode::ADDRLP),
+                Terminal::Byte(a),
+                Terminal::Byte(b)
+            ]),
+        ];
+        if depth == 0 {
+            leaf.boxed()
+        } else {
+            prop_oneof![
+                3 => leaf,
+                1 => value(depth - 1).prop_map(|mut v| {
+                    v.push(Terminal::Op(Opcode::INDIRU));
+                    v
+                }),
+                1 => (value(depth - 1), value(depth - 1)).prop_map(|(mut a, b)| {
+                    a.extend(b);
+                    a.push(Terminal::Op(Opcode::ADDU));
+                    a
+                }),
+            ]
+            .boxed()
+        }
+    }
+    prop_oneof![
+        value(2).prop_map(|mut v| {
+            v.push(Terminal::Op(Opcode::POPU));
+            v
+        }),
+        (value(2), value(2)).prop_map(|(mut a, b)| {
+            a.extend(b);
+            a.push(Terminal::Op(Opcode::ASGNU));
+            a
+        }),
+        Just(vec![Terminal::Op(Opcode::RETV)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_segments_parse_to_the_reference_derivation(
+        stmts in prop::collection::vec(arb_statement(), 0..8)
+    ) {
+        let tokens: Vec<Terminal> = stmts.into_iter().flatten().collect();
+        let ig = InitialGrammar::build();
+        let parser = ShortestParser::new(&ig.grammar);
+        let d = parser.parse(ig.nt_start, &tokens).unwrap();
+        prop_assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens.clone());
+
+        let mut forest = Forest::new();
+        let root = forest.add_segment(&ig, &tokens).unwrap();
+        let reference = Derivation::from_tree(&forest, root);
+        prop_assert_eq!(d.len(), reference.len());
+    }
+
+    #[test]
+    fn parse_cost_never_exceeds_reference_under_expanded_grammars(
+        stmts in prop::collection::vec(arb_statement(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let tokens: Vec<Terminal> = stmts.into_iter().flatten().collect();
+        let ig = InitialGrammar::build();
+
+        // Randomly inline a few rule pairs to make the grammar ambiguous.
+        let mut g = ig.grammar.clone();
+        let mut rng = seed;
+        for _ in 0..6 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let parents: Vec<_> = (0..g.rule_slots() as u32)
+                .map(pgr_grammar::RuleId)
+                .filter(|&r| g.rule(r).alive && g.rule(r).arity() > 0)
+                .collect();
+            let p = parents[(rng >> 33) as usize % parents.len()];
+            let slot = (rng as usize >> 3) % g.rule(p).arity();
+            let nt = g.rule(p).nt_at_slot(slot);
+            let kids = g.rules_of(nt).to_vec();
+            let c = kids[(rng as usize >> 13) % kids.len()];
+            if g.rule(p).rhs.len() + g.rule(c).rhs.len() <= 40
+                && g.rules_of(g.rule(p).lhs).len() < 250
+            {
+                let rhs = g.inlined_rhs(p, slot, c);
+                g.add_rule(g.rule(p).lhs, rhs, RuleOrigin::Inlined { parent: p, slot: slot as u32, child: c });
+            }
+        }
+
+        let parser = ShortestParser::new(&g);
+        let d = parser.parse(ig.nt_start, &tokens).unwrap();
+        prop_assert_eq!(d.expand(&g, ig.nt_start).unwrap(), tokens.clone());
+
+        let mut forest = Forest::new();
+        let root = forest.add_segment(&ig, &tokens).unwrap();
+        let reference = Derivation::from_tree(&forest, root);
+        // Inlining only ever shortens derivations.
+        prop_assert!(d.len() <= reference.len());
+    }
+}

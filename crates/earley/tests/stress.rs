@@ -1,0 +1,179 @@
+//! Stress and adversarial tests for the shortest-derivation parser:
+//! heavy ambiguity, deep nesting, and grammars engineered to tempt a
+//! non-optimal search into the wrong derivation.
+
+use pgr_bytecode::Opcode;
+use pgr_earley::ShortestParser;
+use pgr_grammar::{Grammar, InitialGrammar, RuleOrigin, Symbol, Terminal};
+
+/// A grammar with exponentially many parses: S -> S S | 'POPU' | ε-free
+/// chains. The parser must stay polynomial and return the minimum.
+#[test]
+fn exponentially_ambiguous_grammar_stays_fast() {
+    let mut g = Grammar::new();
+    let s = g.add_nt("S");
+    g.set_start(s);
+    let pair = g.add_rule(s, vec![s.into(), s.into()], RuleOrigin::Original);
+    let leaf = g.add_rule(s, vec![Symbol::op(Opcode::POPU)], RuleOrigin::Original);
+    // A fused rule covering three leaves at once.
+    let triple = g.add_rule(
+        s,
+        vec![
+            Symbol::op(Opcode::POPU),
+            Symbol::op(Opcode::POPU),
+            Symbol::op(Opcode::POPU),
+        ],
+        RuleOrigin::Original,
+    );
+    let parser = ShortestParser::new(&g);
+    let tokens = vec![Terminal::Op(Opcode::POPU); 60];
+    let d = parser.parse(s, &tokens).unwrap();
+    // Optimal: 20 triples + 19 pair-nodes = 39 rules (any bracketing of
+    // 20 leaves via binary pairs costs 19 internal nodes).
+    assert_eq!(
+        d.0.iter().filter(|&&r| r == triple).count(),
+        20,
+        "must use the fused rule throughout"
+    );
+    assert_eq!(d.0.iter().filter(|&&r| r == pair).count(), 19);
+    assert_eq!(d.0.iter().filter(|&&r| r == leaf).count(), 0);
+    assert_eq!(d.len(), 39);
+    assert_eq!(d.expand(&g, s).unwrap(), tokens);
+}
+
+/// The greedy-looking choice is a trap: a long rule matches a prefix but
+/// forces an expensive continuation; the optimal derivation uses the
+/// short rules. Min-cost search must not take the bait.
+#[test]
+fn local_greed_is_globally_suboptimal() {
+    use Opcode::{ARGU, POPU, RETV};
+    let mut g = Grammar::new();
+    let s = g.add_nt("S");
+    g.set_start(s);
+    // Trap: covers POPU POPU cheaply...
+    let trap = g.add_rule(
+        s,
+        vec![Symbol::op(POPU), Symbol::op(POPU)],
+        RuleOrigin::Original,
+    );
+    // ...but then ARGU RETV must be covered by two singles (2 rules):
+    let argu = g.add_rule(s, vec![Symbol::op(ARGU)], RuleOrigin::Original);
+    let retv = g.add_rule(s, vec![Symbol::op(RETV)], RuleOrigin::Original);
+    let popu = g.add_rule(s, vec![Symbol::op(POPU)], RuleOrigin::Original);
+    // While POPU + (POPU ARGU RETV) covers everything in two rules:
+    let fused = g.add_rule(
+        s,
+        vec![Symbol::op(POPU), Symbol::op(ARGU), Symbol::op(RETV)],
+        RuleOrigin::Original,
+    );
+    // Glue: S -> S S.
+    let glue = g.add_rule(s, vec![s.into(), s.into()], RuleOrigin::Original);
+
+    let parser = ShortestParser::new(&g);
+    let tokens = [
+        Terminal::Op(POPU),
+        Terminal::Op(POPU),
+        Terminal::Op(ARGU),
+        Terminal::Op(RETV),
+    ];
+    let d = parser.parse(s, &tokens).unwrap();
+    // Optimal: glue(popu, fused) = 3 rules. Trap path: glue(trap,
+    // glue(argu, retv)) = 5 rules.
+    assert_eq!(d.len(), 3, "{:?}", d.0);
+    assert!(d.0.contains(&fused));
+    assert!(d.0.contains(&popu));
+    assert!(!d.0.contains(&trap));
+    let _ = (argu, retv, glue);
+}
+
+/// Deeply right-nested expressions under the real initial grammar: a
+/// 400-operand ADDU comb. Exercises long chart rows and reconstruction.
+#[test]
+fn deep_expression_combs() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let mut tokens = vec![Terminal::Op(Opcode::LIT1), Terminal::Byte(1)];
+    for _ in 0..400 {
+        tokens.push(Terminal::Op(Opcode::LIT1));
+        tokens.push(Terminal::Byte(2));
+        tokens.push(Terminal::Op(Opcode::ADDU));
+    }
+    tokens.push(Terminal::Op(Opcode::POPU));
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+}
+
+/// A grammar where the same non-terminal must be completed at many
+/// origins with different costs (regression guard for the worklist's
+/// cost re-propagation).
+#[test]
+fn cost_improvements_propagate_across_completions() {
+    use Opcode::POPU;
+    let mut g = Grammar::new();
+    let s = g.add_nt("S");
+    let a = g.add_nt("A");
+    g.set_start(s);
+    // S -> A A ; A -> 'p' | 'p' 'p' | A A (ambiguous sizes).
+    g.add_rule(s, vec![a.into(), a.into()], RuleOrigin::Original);
+    let single = g.add_rule(a, vec![Symbol::op(POPU)], RuleOrigin::Original);
+    let double = g.add_rule(
+        a,
+        vec![Symbol::op(POPU), Symbol::op(POPU)],
+        RuleOrigin::Original,
+    );
+    g.add_rule(a, vec![a.into(), a.into()], RuleOrigin::Original);
+    let parser = ShortestParser::new(&g);
+
+    for n in 2..14usize {
+        let tokens = vec![Terminal::Op(POPU); n];
+        let d = parser.parse(s, &tokens).unwrap();
+        assert_eq!(d.expand(&g, s).unwrap(), tokens, "n={n}");
+        // Lower bound: S plus at least ceil(n/2) A-rules.
+        assert!(d.len() > n.div_ceil(2), "n={n}, got {}", d.len());
+        let _ = (single, double);
+    }
+}
+
+/// Unused non-terminals and rules in the grammar must not confuse the
+/// prediction tables.
+#[test]
+fn dead_grammar_regions_are_harmless() {
+    let ig = InitialGrammar::build();
+    let mut g = ig.grammar.clone();
+    let junk = g.add_nt("junk");
+    g.add_rule(
+        junk,
+        vec![junk.into(), Symbol::op(Opcode::ADDU)],
+        RuleOrigin::Original,
+    ); // left-recursive, never reachable from start, not even terminating
+    let parser = ShortestParser::new(&g);
+    let tokens = [Terminal::Op(Opcode::RETV)];
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    assert_eq!(d.len(), 4);
+}
+
+/// Performance guard: compressing a realistic large segment must finish
+/// promptly even in debug builds (catches accidental quadratic or
+/// exponential blowups in the chart).
+#[test]
+fn large_segment_parse_time_guard() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    // 1,200 statements: ADDRLP k INDIRU POPU.
+    let mut tokens = Vec::new();
+    for k in 0..1200u32 {
+        tokens.push(Terminal::Op(Opcode::ADDRLP));
+        tokens.push(Terminal::Byte((k % 250) as u8));
+        tokens.push(Terminal::Byte(0));
+        tokens.push(Terminal::Op(Opcode::INDIRU));
+        tokens.push(Terminal::Op(Opcode::POPU));
+    }
+    let start = std::time::Instant::now();
+    let d = parser.parse(ig.nt_start, &tokens).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+    assert!(
+        elapsed < std::time::Duration::from_secs(20),
+        "parse took {elapsed:?}"
+    );
+}

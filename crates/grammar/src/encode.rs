@@ -1,0 +1,261 @@
+//! Compact binary grammar serialization.
+//!
+//! The expanded grammar ships with the compressed-bytecode interpreter
+//! ("a table encodes for each rule the sequence of terminals and
+//! non-terminals on the rule's right-hand side", §5) and dominates the
+//! interpreter's size growth (§6: the grammar occupies 10,525 bytes of
+//! the 11KB interpreter delta). This module defines the byte format whose
+//! size those experiments report.
+//!
+//! Format:
+//!
+//! ```text
+//! u8                      non-terminal count (start symbol is entry 0's id)
+//! u8                      start non-terminal id
+//! per non-terminal:
+//!   u16le                 rule count
+//!   per rule:
+//!     u8                  right-hand-side length
+//!     per symbol:         1 byte, or 2 for escaped literal bytes:
+//!       0 .. nts-1            -> that non-terminal
+//!       nts .. nts+ops-1      -> opcode terminal
+//!       nts+ops .. 254        -> literal byte terminal (small values)
+//!       255, b                -> literal byte terminal b (escape)
+//! ```
+
+use crate::grammar::{Grammar, RuleOrigin};
+use crate::symbol::{Nt, Symbol, Terminal};
+use pgr_bytecode::Opcode;
+use std::fmt;
+
+/// An error decoding a serialized grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarDecodeError {
+    /// The byte stream ended early.
+    Truncated,
+    /// A symbol byte referenced a non-existent opcode.
+    BadSymbol {
+        /// Offset of the bad symbol byte.
+        offset: usize,
+    },
+    /// The header's start symbol is not a declared non-terminal.
+    BadStart,
+    /// A non-terminal claims more rules than one byte can index.
+    TooManyRules {
+        /// The offending non-terminal's id.
+        nt: usize,
+    },
+}
+
+impl fmt::Display for GrammarDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrammarDecodeError::Truncated => write!(f, "truncated grammar"),
+            GrammarDecodeError::BadSymbol { offset } => {
+                write!(f, "bad symbol byte at offset {offset}")
+            }
+            GrammarDecodeError::BadStart => write!(f, "start symbol out of range"),
+            GrammarDecodeError::TooManyRules { nt } => {
+                write!(f, "non-terminal {nt} claims more than 256 rules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GrammarDecodeError {}
+
+fn symbol_bytes(nts: usize, sym: Symbol, out: &mut Vec<u8>) {
+    let op_base = nts;
+    let byte_base = op_base + Opcode::COUNT;
+    match sym {
+        Symbol::N(n) => out.push(n.0 as u8),
+        Symbol::T(Terminal::Op(op)) => out.push((op_base + op as usize) as u8),
+        Symbol::T(Terminal::Byte(b)) => {
+            let v = byte_base + b as usize;
+            if v < 255 {
+                out.push(v as u8);
+            } else {
+                out.push(255);
+                out.push(b);
+            }
+        }
+    }
+}
+
+/// Serialize a grammar (live rules only).
+///
+/// # Panics
+///
+/// Panics if the grammar has more than 200 non-terminals (the symbol
+/// byte space would overflow; real grammars here have 10).
+pub fn encode_grammar(grammar: &Grammar) -> Vec<u8> {
+    let nts = grammar.nt_count();
+    assert!(nts <= 200, "too many non-terminals for the symbol encoding");
+    let mut out = Vec::new();
+    out.push(nts as u8);
+    out.push(grammar.start().0 as u8);
+    for nt in 0..nts {
+        let rules = grammar.rules_of(Nt(nt as u16));
+        out.extend_from_slice(&(rules.len() as u16).to_le_bytes());
+        for &id in rules {
+            let rule = grammar.rule(id);
+            out.push(rule.rhs.len() as u8);
+            for &sym in &rule.rhs {
+                symbol_bytes(nts, sym, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Size in bytes of the serialized grammar, as reported by the
+/// interpreter-size experiments.
+pub fn grammar_size(grammar: &Grammar) -> usize {
+    encode_grammar(grammar).len()
+}
+
+/// Deserialize a grammar. Rule provenance is not stored, so every decoded
+/// rule reports [`RuleOrigin::Original`]. Non-terminal names are
+/// synthesized as `n0`, `n1`, ….
+///
+/// # Errors
+///
+/// See [`GrammarDecodeError`].
+pub fn decode_grammar(bytes: &[u8]) -> Result<Grammar, GrammarDecodeError> {
+    struct Cursor<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+    impl<'a> Cursor<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], GrammarDecodeError> {
+            if self.pos + n > self.bytes.len() {
+                return Err(GrammarDecodeError::Truncated);
+            }
+            let s = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+    }
+    let mut cur = Cursor { bytes, pos: 0 };
+
+    let nts = cur.take(1)?[0] as usize;
+    let start = cur.take(1)?[0] as u16;
+    if usize::from(start) >= nts {
+        return Err(GrammarDecodeError::BadStart);
+    }
+    let mut grammar = Grammar::new();
+    for i in 0..nts {
+        grammar.add_nt(format!("n{i}"));
+    }
+    grammar.set_start(Nt(start));
+    let op_base = nts;
+    let byte_base = op_base + Opcode::COUNT;
+    for nt in 0..nts {
+        let count = {
+            let s = cur.take(2)?;
+            u16::from_le_bytes([s[0], s[1]]) as usize
+        };
+        if count > crate::grammar::MAX_RULES_PER_NT {
+            return Err(GrammarDecodeError::TooManyRules { nt });
+        }
+        for _ in 0..count {
+            let len = cur.take(1)?[0] as usize;
+            let mut rhs = Vec::with_capacity(len);
+            for _ in 0..len {
+                let offset = cur.pos;
+                let b = cur.take(1)?[0] as usize;
+                let sym = if b < nts {
+                    Symbol::N(Nt(b as u16))
+                } else if b < byte_base {
+                    match Opcode::from_u8((b - op_base) as u8) {
+                        Some(op) => Symbol::op(op),
+                        None => return Err(GrammarDecodeError::BadSymbol { offset }),
+                    }
+                } else if b < 255 {
+                    Symbol::byte((b - byte_base) as u8)
+                } else {
+                    Symbol::byte(cur.take(1)?[0])
+                };
+                rhs.push(sym);
+            }
+            grammar.add_rule(Nt(nt as u16), rhs, RuleOrigin::Original);
+        }
+    }
+    Ok(grammar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::InitialGrammar;
+
+    #[test]
+    fn initial_grammar_roundtrips() {
+        let ig = InitialGrammar::build();
+        let bytes = encode_grammar(&ig.grammar);
+        assert_eq!(bytes.len(), grammar_size(&ig.grammar));
+        let back = decode_grammar(&bytes).unwrap();
+        assert_eq!(back.nt_count(), ig.grammar.nt_count());
+        assert_eq!(back.start(), ig.grammar.start());
+        for nt in 0..back.nt_count() {
+            let nt = Nt(nt as u16);
+            let a = ig.grammar.rules_of(nt);
+            let b = back.rules_of(nt);
+            assert_eq!(a.len(), b.len());
+            for (&ra, &rb) in a.iter().zip(b) {
+                assert_eq!(ig.grammar.rule(ra).rhs, back.rule(rb).rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_rules_with_escaped_bytes_roundtrip() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        // A rule with both a small and a large literal byte burnt in.
+        g.add_rule(
+            ig.nt_start,
+            vec![
+                Symbol::N(ig.nt_start),
+                Symbol::op(pgr_bytecode::Opcode::JUMPV),
+                Symbol::byte(3),
+                Symbol::byte(250),
+            ],
+            RuleOrigin::Original,
+        );
+        let bytes = encode_grammar(&g);
+        let back = decode_grammar(&bytes).unwrap();
+        let last = *back.rules_of(ig.nt_start).last().unwrap();
+        assert_eq!(
+            back.rule(last).rhs,
+            vec![
+                Symbol::N(ig.nt_start),
+                Symbol::op(pgr_bytecode::Opcode::JUMPV),
+                Symbol::byte(3),
+                Symbol::byte(250),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_grows_with_rules() {
+        let ig = InitialGrammar::build();
+        let before = grammar_size(&ig.grammar);
+        let mut g = ig.grammar.clone();
+        g.add_rule(
+            ig.nt_start,
+            vec![Symbol::N(ig.nt_start), Symbol::N(ig.nt_x)],
+            RuleOrigin::Original,
+        );
+        assert!(grammar_size(&g) > before);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let ig = InitialGrammar::build();
+        let bytes = encode_grammar(&ig.grammar);
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(decode_grammar(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The mutable grammar: a rule arena with per-non-terminal rule order.
+//!
+//! A rule's *index* within its non-terminal is its representation in a
+//! derivation ("the *i*th rule for a non-terminal represented as the index
+//! *i*", §4.1); with at most 256 rules per non-terminal each derivation
+//! step costs exactly one byte.
+
+use crate::symbol::{Nt, Symbol, Terminal, TERMINAL_SPACE};
+use std::fmt;
+
+/// Identifier of a rule in the grammar's arena. Stable across rule
+/// removal (removed rules leave a tombstone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a rule came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOrigin {
+    /// A rule of the initial grammar. Never removable: removing one could
+    /// change the grammar's language (§4.1).
+    Original,
+    /// A rule created by inlining `child` into `parent` at the given
+    /// non-terminal slot (the `slot`-th non-terminal occurrence of the
+    /// parent's right-hand side). Removable if it becomes unused.
+    Inlined {
+        /// The rule whose right-hand side was extended.
+        parent: RuleId,
+        /// Index among the parent right-hand side's non-terminal
+        /// occurrences (not raw positions).
+        slot: u32,
+        /// The rule whose right-hand side was spliced in.
+        child: RuleId,
+    },
+}
+
+/// A grammar rule `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Left-hand side.
+    pub lhs: Nt,
+    /// Right-hand side (possibly empty).
+    pub rhs: Vec<Symbol>,
+    /// Provenance.
+    pub origin: RuleOrigin,
+    /// Right-hand-side positions of the non-terminal occurrences, in
+    /// left-to-right order; `rhs[nt_slots[k]]` is the `k`-th non-terminal.
+    pub nt_slots: Vec<u32>,
+    /// False once the rule has been removed.
+    pub alive: bool,
+}
+
+impl Rule {
+    /// Number of non-terminal occurrences on the right-hand side.
+    pub fn arity(&self) -> usize {
+        self.nt_slots.len()
+    }
+
+    /// The non-terminal at the `slot`-th occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.arity()`.
+    pub fn nt_at_slot(&self, slot: usize) -> Nt {
+        self.rhs[self.nt_slots[slot] as usize]
+            .nonterminal()
+            .expect("nt_slots points at non-terminals")
+    }
+}
+
+/// Maximum rules per non-terminal compatible with one-byte rule indices.
+pub const MAX_RULES_PER_NT: usize = 256;
+
+/// Maximum right-hand-side length (kept encodable in one length byte).
+pub const MAX_RHS_LEN: usize = 255;
+
+/// A context-free grammar over the bytecode alphabet.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    nt_names: Vec<String>,
+    start: Nt,
+    rules: Vec<Rule>,
+    by_nt: Vec<Vec<RuleId>>,
+}
+
+impl Grammar {
+    /// Create an empty grammar; `start` must be added first via
+    /// [`Grammar::add_nt`].
+    pub fn new() -> Grammar {
+        Grammar {
+            nt_names: Vec::new(),
+            start: Nt(0),
+            rules: Vec::new(),
+            by_nt: Vec::new(),
+        }
+    }
+
+    /// Add a non-terminal and return its handle. The first non-terminal
+    /// added becomes the start symbol (override with
+    /// [`Grammar::set_start`]).
+    pub fn add_nt(&mut self, name: impl Into<String>) -> Nt {
+        let nt = Nt(self.nt_names.len() as u16);
+        self.nt_names.push(name.into());
+        self.by_nt.push(Vec::new());
+        nt
+    }
+
+    /// Set the start symbol.
+    pub fn set_start(&mut self, start: Nt) {
+        assert!(start.index() < self.nt_names.len());
+        self.start = start;
+    }
+
+    /// The start symbol.
+    pub fn start(&self) -> Nt {
+        self.start
+    }
+
+    /// Number of non-terminals.
+    pub fn nt_count(&self) -> usize {
+        self.nt_names.len()
+    }
+
+    /// Name of a non-terminal.
+    pub fn nt_name(&self, nt: Nt) -> &str {
+        &self.nt_names[nt.index()]
+    }
+
+    /// Append a rule `lhs → rhs` and return its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the non-terminal already has [`MAX_RULES_PER_NT`] rules,
+    /// if the right-hand side is longer than [`MAX_RHS_LEN`], or if it
+    /// mentions an unknown non-terminal.
+    pub fn add_rule(&mut self, lhs: Nt, rhs: Vec<Symbol>, origin: RuleOrigin) -> RuleId {
+        assert!(
+            self.by_nt[lhs.index()].len() < MAX_RULES_PER_NT,
+            "non-terminal {} already has {MAX_RULES_PER_NT} rules",
+            self.nt_name(lhs)
+        );
+        assert!(rhs.len() <= MAX_RHS_LEN, "right-hand side too long");
+        let nt_slots: Vec<u32> = rhs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.nonterminal().map(|n| {
+                assert!(n.index() < self.nt_names.len(), "unknown non-terminal");
+                i as u32
+            }))
+            .collect();
+        let id = RuleId(self.rules.len() as u32);
+        self.rules.push(Rule {
+            lhs,
+            rhs,
+            origin,
+            nt_slots,
+            alive: true,
+        });
+        self.by_nt[lhs.index()].push(id);
+        id
+    }
+
+    /// Access a rule (tombstones included; check [`Rule::alive`]).
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.index()]
+    }
+
+    /// Total number of rule slots ever allocated (including tombstones).
+    pub fn rule_slots(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Live rules of a non-terminal, in index order.
+    pub fn rules_of(&self, nt: Nt) -> &[RuleId] {
+        &self.by_nt[nt.index()]
+    }
+
+    /// Number of live rules overall.
+    pub fn live_rule_count(&self) -> usize {
+        self.by_nt.iter().map(|v| v.len()).sum()
+    }
+
+    /// Index of a live rule within its non-terminal (its encoding byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule has been removed.
+    pub fn rule_index(&self, id: RuleId) -> usize {
+        let rule = self.rule(id);
+        assert!(rule.alive, "rule was removed");
+        self.by_nt[rule.lhs.index()]
+            .iter()
+            .position(|&r| r == id)
+            .expect("live rule is listed under its non-terminal")
+    }
+
+    /// Map from `RuleId` index to rule index within its non-terminal
+    /// (usize::MAX for tombstones). Build once before encoding many
+    /// derivations.
+    pub fn rule_index_map(&self) -> Vec<usize> {
+        let mut map = vec![usize::MAX; self.rules.len()];
+        for ids in &self.by_nt {
+            for (idx, id) in ids.iter().enumerate() {
+                map[id.index()] = idx;
+            }
+        }
+        map
+    }
+
+    /// Remove an inlined rule that is no longer used ("we are free to
+    /// remove it from the grammar", §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule is an original rule (removing one could change
+    /// the language) or already removed.
+    pub fn remove_rule(&mut self, id: RuleId) {
+        let rule = &mut self.rules[id.index()];
+        assert!(rule.alive, "rule already removed");
+        assert!(
+            !matches!(rule.origin, RuleOrigin::Original),
+            "original rules are never removed"
+        );
+        rule.alive = false;
+        let lhs = rule.lhs;
+        self.by_nt[lhs.index()].retain(|&r| r != id);
+    }
+
+    /// The right-hand side produced by inlining `child` into `parent` at
+    /// the parent's `slot`-th non-terminal occurrence (Fig. 2:
+    /// `A → α B β` + `B → γ` gives `A → α γ β`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or the non-terminal at `slot`
+    /// differs from the child's left-hand side.
+    pub fn inlined_rhs(&self, parent: RuleId, slot: usize, child: RuleId) -> Vec<Symbol> {
+        let p = self.rule(parent);
+        let c = self.rule(child);
+        assert_eq!(
+            p.nt_at_slot(slot),
+            c.lhs,
+            "child rule does not expand the slot's non-terminal"
+        );
+        let pos = p.nt_slots[slot] as usize;
+        let mut rhs = Vec::with_capacity(p.rhs.len() - 1 + c.rhs.len());
+        rhs.extend_from_slice(&p.rhs[..pos]);
+        rhs.extend_from_slice(&c.rhs);
+        rhs.extend_from_slice(&p.rhs[pos + 1..]);
+        rhs
+    }
+
+    /// Compute, for every non-terminal, whether it derives the empty
+    /// string.
+    pub fn nullable(&self) -> Vec<bool> {
+        let mut nullable = vec![false; self.nt_count()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule in self.rules.iter().filter(|r| r.alive) {
+                if nullable[rule.lhs.index()] {
+                    continue;
+                }
+                let all_null = rule.rhs.iter().all(|s| match s {
+                    Symbol::T(_) => false,
+                    Symbol::N(n) => nullable[n.index()],
+                });
+                if all_null {
+                    nullable[rule.lhs.index()] = true;
+                    changed = true;
+                }
+            }
+        }
+        nullable
+    }
+
+    /// FIRST sets as terminal bitsets, plus nullability.
+    pub fn first_sets(&self) -> FirstSets {
+        let nullable = self.nullable();
+        let words = TERMINAL_SPACE.div_ceil(64);
+        let mut first = vec![0u64; self.nt_count() * words];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule in self.rules.iter().filter(|r| r.alive) {
+                let lhs = rule.lhs.index();
+                for sym in &rule.rhs {
+                    match sym {
+                        Symbol::T(t) => {
+                            let i = t.index();
+                            let w = lhs * words + i / 64;
+                            let bit = 1u64 << (i % 64);
+                            if first[w] & bit == 0 {
+                                first[w] |= bit;
+                                changed = true;
+                            }
+                            break;
+                        }
+                        Symbol::N(n) => {
+                            let src = n.index() * words;
+                            let dst = lhs * words;
+                            for k in 0..words {
+                                let add = first[src + k] & !first[dst + k];
+                                if add != 0 {
+                                    first[dst + k] |= add;
+                                    changed = true;
+                                }
+                            }
+                            if !nullable[n.index()] {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        FirstSets {
+            words,
+            first,
+            nullable,
+        }
+    }
+
+    /// Pretty-print a rule as `<lhs> ::= sym sym …`.
+    pub fn display_rule(&self, id: RuleId) -> String {
+        let rule = self.rule(id);
+        let mut s = format!("<{}> ::=", self.nt_name(rule.lhs));
+        if rule.rhs.is_empty() {
+            s.push_str(" ε");
+        }
+        for sym in &rule.rhs {
+            match sym {
+                Symbol::T(t) => s.push_str(&format!(" {t}")),
+                Symbol::N(n) => s.push_str(&format!(" <{}>", self.nt_name(*n))),
+            }
+        }
+        s
+    }
+}
+
+impl Default for Grammar {
+    fn default() -> Grammar {
+        Grammar::new()
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for nt in 0..self.nt_count() {
+            for &id in &self.by_nt[nt] {
+                writeln!(f, "{}", self.display_rule(id))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FIRST sets and nullability, packed as bitsets over the terminal space.
+#[derive(Debug, Clone)]
+pub struct FirstSets {
+    words: usize,
+    first: Vec<u64>,
+    nullable: Vec<bool>,
+}
+
+impl FirstSets {
+    /// Whether terminal `t` can begin a string derived from `nt`.
+    pub fn can_start(&self, nt: Nt, t: Terminal) -> bool {
+        let i = t.index();
+        self.first[nt.index() * self.words + i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Whether `nt` derives the empty string.
+    pub fn nullable(&self, nt: Nt) -> bool {
+        self.nullable[nt.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::Opcode;
+
+    /// S → ε | S X ;  X → a | L B ;  B → 0..3
+    fn toy() -> (Grammar, Nt, Nt, Nt) {
+        let mut g = Grammar::new();
+        let s = g.add_nt("start");
+        let x = g.add_nt("x");
+        let b = g.add_nt("byte");
+        g.add_rule(s, vec![], RuleOrigin::Original);
+        g.add_rule(s, vec![s.into(), x.into()], RuleOrigin::Original);
+        g.add_rule(x, vec![Symbol::op(Opcode::RETV)], RuleOrigin::Original);
+        g.add_rule(
+            x,
+            vec![Symbol::op(Opcode::LIT1), b.into()],
+            RuleOrigin::Original,
+        );
+        for v in 0..4u8 {
+            g.add_rule(b, vec![Symbol::byte(v)], RuleOrigin::Original);
+        }
+        (g, s, x, b)
+    }
+
+    #[test]
+    fn rule_indices_follow_insertion_order() {
+        let (g, s, x, b) = toy();
+        assert_eq!(g.rules_of(s).len(), 2);
+        assert_eq!(g.rules_of(x).len(), 2);
+        assert_eq!(g.rules_of(b).len(), 4);
+        let id = g.rules_of(b)[2];
+        assert_eq!(g.rule_index(id), 2);
+        let map = g.rule_index_map();
+        assert_eq!(map[id.index()], 2);
+    }
+
+    #[test]
+    fn nullable_and_first() {
+        let (g, s, x, b) = toy();
+        let fs = g.first_sets();
+        assert!(fs.nullable(s));
+        assert!(!fs.nullable(x));
+        assert!(!fs.nullable(b));
+        assert!(fs.can_start(s, Terminal::Op(Opcode::RETV)));
+        assert!(fs.can_start(s, Terminal::Op(Opcode::LIT1)));
+        assert!(!fs.can_start(s, Terminal::Op(Opcode::ADDU)));
+        assert!(fs.can_start(b, Terminal::Byte(3)));
+        assert!(!fs.can_start(b, Terminal::Byte(200)));
+    }
+
+    #[test]
+    fn inlining_splices_rhs() {
+        let (mut g, s, x, b) = toy();
+        let s_rec = g.rules_of(s)[1];
+        let x_lit = g.rules_of(x)[1];
+        // Inline X → LIT1 <byte> into S → S X.
+        let rhs = g.inlined_rhs(s_rec, 1, x_lit);
+        assert_eq!(
+            rhs,
+            vec![s.into(), Symbol::op(Opcode::LIT1), b.into()]
+        );
+        let new = g.add_rule(
+            s,
+            rhs,
+            RuleOrigin::Inlined {
+                parent: s_rec,
+                slot: 1,
+                child: x_lit,
+            },
+        );
+        assert_eq!(g.rule(new).arity(), 2);
+        assert_eq!(g.rule(new).nt_at_slot(0), s);
+        assert_eq!(g.rule(new).nt_at_slot(1), b);
+    }
+
+    #[test]
+    fn removal_shifts_indices() {
+        let (mut g, s, x, b) = toy();
+        let s_rec = g.rules_of(s)[1];
+        let x_ret = g.rules_of(x)[0];
+        let rhs = g.inlined_rhs(s_rec, 1, x_ret);
+        let new = g.add_rule(
+            s,
+            rhs,
+            RuleOrigin::Inlined {
+                parent: s_rec,
+                slot: 1,
+                child: x_ret,
+            },
+        );
+        let b2 = g.rules_of(b)[2];
+        assert_eq!(g.rule_index(new), 2);
+        g.remove_rule(new);
+        assert_eq!(g.rules_of(s).len(), 2);
+        assert!(!g.rule(new).alive);
+        // Untouched non-terminals keep their indices.
+        assert_eq!(g.rule_index(b2), 2);
+        assert_eq!(g.live_rule_count(), 2 + 2 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "original rules are never removed")]
+    fn original_rules_cannot_be_removed() {
+        let (mut g, s, _, _) = toy();
+        let id = g.rules_of(s)[0];
+        g.remove_rule(id);
+    }
+
+    #[test]
+    fn display_rule_is_readable() {
+        let (g, s, x, _) = toy();
+        assert_eq!(g.display_rule(g.rules_of(s)[0]), "<start> ::= ε");
+        assert_eq!(g.display_rule(g.rules_of(s)[1]), "<start> ::= <start> <x>");
+        assert_eq!(g.display_rule(g.rules_of(x)[1]), "<x> ::= LIT1 <byte>");
+    }
+}

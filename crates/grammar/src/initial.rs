@@ -1,0 +1,299 @@
+//! The initial bytecode grammar (Appendix 2) and its lookup tables.
+//!
+//! The grammar groups operators by their effect on the evaluation stack:
+//! `<v0>`/`<v1>`/`<v2>` collect leaf/unary/binary operators that yield a
+//! value, `<x0>`/`<x1>`/`<x2>` collect operators executed for a side
+//! effect, and `<start>` derives a sequence of statements:
+//!
+//! ```text
+//! <start> ::= ε | <start> <x>
+//! <v> ::= <v0> | <v> <v1> | <v> <v> <v2>
+//! <x> ::= <x0> | <v> <x1> | <v> <v> <x2>
+//! ```
+//!
+//! Operators with literal operands (the prefix-format operators of §3)
+//! carry one `<byte>` non-terminal per operand byte, and `<byte>` has one
+//! rule per value: `<byte> ::= 0 | 1 | … | 255`.
+
+use crate::grammar::{Grammar, RuleId, RuleOrigin};
+use crate::symbol::{Nt, Symbol, Terminal};
+use pgr_bytecode::{decode, DecodeError, Opcode, StackKind};
+use std::fmt;
+
+/// The initial grammar plus the lookup tables used by the deterministic
+/// forest parser.
+#[derive(Debug, Clone)]
+pub struct InitialGrammar {
+    /// The grammar itself. The expander extends it; the original rules
+    /// stay put.
+    pub grammar: Grammar,
+    /// `<start>`.
+    pub nt_start: Nt,
+    /// `<v>`.
+    pub nt_v: Nt,
+    /// `<x>`.
+    pub nt_x: Nt,
+    /// `<v0>`, `<v1>`, `<v2>`.
+    pub nt_v0: Nt,
+    /// See [`InitialGrammar::nt_v0`].
+    pub nt_v1: Nt,
+    /// See [`InitialGrammar::nt_v0`].
+    pub nt_v2: Nt,
+    /// `<x0>`, `<x1>`, `<x2>`.
+    pub nt_x0: Nt,
+    /// See [`InitialGrammar::nt_x0`].
+    pub nt_x1: Nt,
+    /// See [`InitialGrammar::nt_x0`].
+    pub nt_x2: Nt,
+    /// `<byte>`.
+    pub nt_byte: Nt,
+    /// `<start> ::= ε`.
+    pub start_empty: RuleId,
+    /// `<start> ::= <start> <x>`.
+    pub start_rec: RuleId,
+    /// `<v> ::= <v0>`.
+    pub v_leaf: RuleId,
+    /// `<v> ::= <v> <v1>`.
+    pub v_unary: RuleId,
+    /// `<v> ::= <v> <v> <v2>`.
+    pub v_binary: RuleId,
+    /// `<x> ::= <x0>`.
+    pub x_leaf: RuleId,
+    /// `<x> ::= <v> <x1>`.
+    pub x_unary: RuleId,
+    /// `<x> ::= <v> <v> <x2>`.
+    pub x_binary: RuleId,
+    /// For each opcode byte, the rule of its stack-kind group (e.g.
+    /// `<v2> ::= ADDU` for `ADDU`); `None` for `LABELV`, which is not in
+    /// the grammar.
+    pub opcode_rule: Vec<Option<RuleId>>,
+    /// `byte_rules[b]` is `<byte> ::= b`.
+    pub byte_rules: Vec<RuleId>,
+}
+
+impl InitialGrammar {
+    /// Build the Appendix 2 grammar.
+    pub fn build() -> InitialGrammar {
+        let mut g = Grammar::new();
+        let nt_start = g.add_nt("start");
+        let nt_v = g.add_nt("v");
+        let nt_x = g.add_nt("x");
+        let nt_v0 = g.add_nt("v0");
+        let nt_v1 = g.add_nt("v1");
+        let nt_v2 = g.add_nt("v2");
+        let nt_x0 = g.add_nt("x0");
+        let nt_x1 = g.add_nt("x1");
+        let nt_x2 = g.add_nt("x2");
+        let nt_byte = g.add_nt("byte");
+        g.set_start(nt_start);
+
+        let o = RuleOrigin::Original;
+        let start_empty = g.add_rule(nt_start, vec![], o);
+        let start_rec = g.add_rule(nt_start, vec![nt_start.into(), nt_x.into()], o);
+        let v_leaf = g.add_rule(nt_v, vec![nt_v0.into()], o);
+        let v_unary = g.add_rule(nt_v, vec![nt_v.into(), nt_v1.into()], o);
+        let v_binary = g.add_rule(nt_v, vec![nt_v.into(), nt_v.into(), nt_v2.into()], o);
+        let x_leaf = g.add_rule(nt_x, vec![nt_x0.into()], o);
+        let x_unary = g.add_rule(nt_x, vec![nt_v.into(), nt_x1.into()], o);
+        let x_binary = g.add_rule(nt_x, vec![nt_v.into(), nt_v.into(), nt_x2.into()], o);
+
+        let mut opcode_rule = vec![None; Opcode::COUNT];
+        for &op in Opcode::ALL {
+            let lhs = match op.kind() {
+                StackKind::V0 => nt_v0,
+                StackKind::V1 => nt_v1,
+                StackKind::V2 => nt_v2,
+                StackKind::X0 => nt_x0,
+                StackKind::X1 => nt_x1,
+                StackKind::X2 => nt_x2,
+                StackKind::Label => continue,
+            };
+            let mut rhs = vec![Symbol::op(op)];
+            rhs.extend(std::iter::repeat_n(Symbol::N(nt_byte), op.operand_bytes()));
+            opcode_rule[op as usize] = Some(g.add_rule(lhs, rhs, o));
+        }
+
+        let byte_rules: Vec<RuleId> = (0..=255u8)
+            .map(|b| g.add_rule(nt_byte, vec![Symbol::byte(b)], o))
+            .collect();
+
+        InitialGrammar {
+            grammar: g,
+            nt_start,
+            nt_v,
+            nt_x,
+            nt_v0,
+            nt_v1,
+            nt_v2,
+            nt_x0,
+            nt_x1,
+            nt_x2,
+            nt_byte,
+            start_empty,
+            start_rec,
+            v_leaf,
+            v_unary,
+            v_binary,
+            x_leaf,
+            x_unary,
+            x_binary,
+            opcode_rule,
+            byte_rules,
+        }
+    }
+
+    /// The `<x?>`/`<v?>` group rule for an opcode.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `LABELV`, which has no rule.
+    pub fn rule_for_opcode(&self, op: Opcode) -> RuleId {
+        self.opcode_rule[op as usize].expect("LABELV has no grammar rule")
+    }
+}
+
+/// An error tokenizing a code segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenizeError {
+    /// The segment does not decode as instructions.
+    Decode(DecodeError),
+    /// A `LABELV` appeared inside a segment (segments must be split at
+    /// labels first; see `Procedure::segments`).
+    LabelInSegment {
+        /// Byte offset of the marker.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for TokenizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenizeError::Decode(e) => write!(f, "{e}"),
+            TokenizeError::LabelInSegment { offset } => {
+                write!(f, "LABELV inside segment at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TokenizeError {}
+
+impl From<DecodeError> for TokenizeError {
+    fn from(e: DecodeError) -> TokenizeError {
+        TokenizeError::Decode(e)
+    }
+}
+
+/// Tokenize one straight-line code segment into grammar terminals.
+///
+/// Each opcode byte becomes a [`Terminal::Op`] and each literal operand
+/// byte a [`Terminal::Byte`], so the token count equals the segment's byte
+/// length.
+///
+/// # Errors
+///
+/// Fails if the bytes do not decode or if the segment contains a
+/// `LABELV`.
+pub fn tokenize_segment(code: &[u8]) -> Result<Vec<Terminal>, TokenizeError> {
+    let mut tokens = Vec::with_capacity(code.len());
+    for insn in decode(code) {
+        let insn = insn?;
+        if insn.opcode == Opcode::LABELV {
+            return Err(TokenizeError::LabelInSegment {
+                offset: insn.offset,
+            });
+        }
+        tokens.push(Terminal::Op(insn.opcode));
+        for &b in insn.operand_slice() {
+            tokens.push(Terminal::Byte(b));
+        }
+    }
+    Ok(tokens)
+}
+
+/// Render a token sequence back into code bytes (the inverse of
+/// [`tokenize_segment`] for well-formed sequences).
+pub fn detokenize(tokens: &[Terminal]) -> Vec<u8> {
+    tokens
+        .iter()
+        .map(|t| match t {
+            Terminal::Op(op) => *op as u8,
+            Terminal::Byte(b) => *b,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_counts_match_appendix_2() {
+        let ig = InitialGrammar::build();
+        let g = &ig.grammar;
+        assert_eq!(g.rules_of(ig.nt_start).len(), 2);
+        assert_eq!(g.rules_of(ig.nt_v).len(), 3);
+        assert_eq!(g.rules_of(ig.nt_x).len(), 3);
+        assert_eq!(g.rules_of(ig.nt_v2).len(), 45);
+        assert_eq!(g.rules_of(ig.nt_v1).len(), 22);
+        assert_eq!(g.rules_of(ig.nt_v0).len(), 10);
+        assert_eq!(g.rules_of(ig.nt_x2).len(), 6);
+        assert_eq!(g.rules_of(ig.nt_x1).len(), 12);
+        assert_eq!(g.rules_of(ig.nt_x0).len(), 3);
+        assert_eq!(g.rules_of(ig.nt_byte).len(), 256);
+    }
+
+    #[test]
+    fn prefix_operators_get_byte_slots() {
+        let ig = InitialGrammar::build();
+        let r = ig.grammar.rule(ig.rule_for_opcode(Opcode::ADDRGP));
+        assert_eq!(r.lhs, ig.nt_v0);
+        assert_eq!(r.rhs.len(), 3);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.nt_at_slot(0), ig.nt_byte);
+        let r = ig.grammar.rule(ig.rule_for_opcode(Opcode::LIT4));
+        assert_eq!(r.arity(), 4);
+        let r = ig.grammar.rule(ig.rule_for_opcode(Opcode::ADDU));
+        assert_eq!(r.arity(), 0);
+    }
+
+    #[test]
+    fn start_is_nullable_and_firsts_are_sane() {
+        let ig = InitialGrammar::build();
+        let fs = ig.grammar.first_sets();
+        assert!(fs.nullable(ig.nt_start));
+        assert!(!fs.nullable(ig.nt_x));
+        // A statement can start with a value leaf or an x0 opcode.
+        assert!(fs.can_start(ig.nt_x, Terminal::Op(Opcode::LIT1)));
+        assert!(fs.can_start(ig.nt_x, Terminal::Op(Opcode::RETV)));
+        assert!(!fs.can_start(ig.nt_x, Terminal::Op(Opcode::ADDU)));
+        // But a statement cannot start with a binary operator.
+        assert!(fs.can_start(ig.nt_v, Terminal::Op(Opcode::ADDRLP)));
+    }
+
+    #[test]
+    fn tokenize_roundtrips() {
+        use pgr_bytecode::Instruction;
+        let code = pgr_bytecode::encode(&[
+            Instruction::with_u16(Opcode::ADDRFP, 0),
+            Instruction::op(Opcode::INDIRU),
+            Instruction::new(Opcode::LIT1, &[0]),
+            Instruction::op(Opcode::NEU),
+            Instruction::with_u16(Opcode::BrTrue, 0),
+        ]);
+        let tokens = tokenize_segment(&code).unwrap();
+        assert_eq!(tokens.len(), code.len());
+        assert_eq!(tokens[0], Terminal::Op(Opcode::ADDRFP));
+        assert_eq!(tokens[1], Terminal::Byte(0));
+        assert_eq!(detokenize(&tokens), code);
+    }
+
+    #[test]
+    fn tokenize_rejects_labels() {
+        let code = [Opcode::LABELV as u8];
+        assert!(matches!(
+            tokenize_segment(&code),
+            Err(TokenizeError::LabelInSegment { offset: 0 })
+        ));
+    }
+}

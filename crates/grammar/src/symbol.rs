@@ -1,0 +1,176 @@
+//! The symbol alphabet: terminals (opcodes and literal bytes) and
+//! non-terminals.
+
+use pgr_bytecode::Opcode;
+use std::fmt;
+
+/// A terminal symbol of the bytecode grammar.
+///
+/// The terminal alphabet is the union of the opcode set and the 256
+/// literal byte values (the `<byte>` terminals `0 | 1 | ... | 255` of
+/// Appendix 2). An opcode byte in the instruction stream and a literal
+/// byte with the same numeric value are *different* terminals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Terminal {
+    /// An operator.
+    Op(Opcode),
+    /// A literal operand byte.
+    Byte(u8),
+}
+
+/// Size of the dense terminal index space ([`Terminal::index`]).
+pub const TERMINAL_SPACE: usize = Opcode::COUNT + 256;
+
+impl Terminal {
+    /// Dense index for table lookups: opcodes first, then byte values.
+    pub fn index(self) -> usize {
+        match self {
+            Terminal::Op(op) => op as usize,
+            Terminal::Byte(b) => Opcode::COUNT + b as usize,
+        }
+    }
+
+    /// Inverse of [`Terminal::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= TERMINAL_SPACE`.
+    pub fn from_index(index: usize) -> Terminal {
+        if index < Opcode::COUNT {
+            Terminal::Op(Opcode::from_u8(index as u8).expect("opcode index in range"))
+        } else {
+            let b = index - Opcode::COUNT;
+            assert!(b < 256, "terminal index {index} out of range");
+            Terminal::Byte(b as u8)
+        }
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminal::Op(op) => write!(f, "{op}"),
+            Terminal::Byte(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<Opcode> for Terminal {
+    fn from(op: Opcode) -> Terminal {
+        Terminal::Op(op)
+    }
+}
+
+/// A non-terminal, identified by its index in the grammar's non-terminal
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nt(pub u16);
+
+impl Nt {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Nt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A grammar symbol: terminal or non-terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// Terminal.
+    T(Terminal),
+    /// Non-terminal.
+    N(Nt),
+}
+
+impl Symbol {
+    /// The terminal, if this symbol is one.
+    pub fn terminal(self) -> Option<Terminal> {
+        match self {
+            Symbol::T(t) => Some(t),
+            Symbol::N(_) => None,
+        }
+    }
+
+    /// The non-terminal, if this symbol is one.
+    pub fn nonterminal(self) -> Option<Nt> {
+        match self {
+            Symbol::N(n) => Some(n),
+            Symbol::T(_) => None,
+        }
+    }
+
+    /// Shorthand for `Symbol::T(Terminal::Op(op))`.
+    pub fn op(op: Opcode) -> Symbol {
+        Symbol::T(Terminal::Op(op))
+    }
+
+    /// Shorthand for `Symbol::T(Terminal::Byte(b))`.
+    pub fn byte(b: u8) -> Symbol {
+        Symbol::T(Terminal::Byte(b))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::T(t) => write!(f, "{t}"),
+            Symbol::N(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Symbol {
+        Symbol::T(t)
+    }
+}
+
+impl From<Nt> for Symbol {
+    fn from(n: Nt) -> Symbol {
+        Symbol::N(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_index_roundtrips() {
+        for i in 0..TERMINAL_SPACE {
+            assert_eq!(Terminal::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn opcode_and_byte_terminals_are_distinct() {
+        // Opcode 0 (ADDD) and literal byte 0 must not collide.
+        let op = Terminal::Op(Opcode::from_u8(0).unwrap());
+        let byte = Terminal::Byte(0);
+        assert_ne!(op, byte);
+        assert_ne!(op.index(), byte.index());
+    }
+
+    #[test]
+    fn symbol_accessors() {
+        let s = Symbol::op(Opcode::ADDU);
+        assert_eq!(s.terminal(), Some(Terminal::Op(Opcode::ADDU)));
+        assert_eq!(s.nonterminal(), None);
+        let n = Symbol::N(Nt(3));
+        assert_eq!(n.nonterminal(), Some(Nt(3)));
+        assert_eq!(n.terminal(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Symbol::op(Opcode::ADDU).to_string(), "ADDU");
+        assert_eq!(Symbol::byte(7).to_string(), "7");
+        assert_eq!(Symbol::N(Nt(2)).to_string(), "N2");
+    }
+}

@@ -1,0 +1,250 @@
+//! The abstract syntax tree.
+//!
+//! Types are resolved at parse time (struct definitions appear before
+//! use), so the AST carries [`Type`] directly in casts, `sizeof`, and
+//! declarations.
+
+use crate::types::{Type, TypeTable};
+use crate::Pos;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*x`
+    Deref,
+    /// `&x`
+    Addr,
+}
+
+/// Binary operators (the non-short-circuit ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator yields an `int` 0/1 flag.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The node.
+    pub kind: ExprKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Expression nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal (`true` = unsigned suffix).
+    Int(u32, bool),
+    /// `float` literal.
+    Float(f32),
+    /// `double` literal.
+    Double(f64),
+    /// Character literal (type `int` in C).
+    Char(u8),
+    /// String literal (decays to `char *` into the data segment).
+    Str(Vec<u8>),
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operator.
+    Unary(UnOp, Box<Expr>),
+    /// Pre-increment/-decrement (`true` = increment).
+    PreIncDec(bool, Box<Expr>),
+    /// Post-increment/-decrement (`true` = increment).
+    PostIncDec(bool, Box<Expr>),
+    /// Binary operator.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&` (`true`) or `||` (`false`).
+    Logic(bool, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs` or `lhs op= rhs`.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Call: callee (function name or pointer expression), arguments.
+    Call(Box<Expr>, Vec<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.f`.
+    Member(Box<Expr>, String),
+    /// `p->f`.
+    Arrow(Box<Expr>, String),
+    /// `(type) e`.
+    Cast(Type, Box<Expr>),
+    /// `sizeof(type)` or `sizeof expr` (folded to a type at parse time).
+    Sizeof(Type),
+    /// `(e)` — kept so tests can check parse shapes; semantically
+    /// transparent.
+    Paren(Box<Expr>),
+}
+
+impl Expr {
+    /// Build an expression node.
+    pub fn new(kind: ExprKind, pos: Pos) -> Expr {
+        Expr { kind, pos }
+    }
+}
+
+/// A local declaration (one declarator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Optional scalar initializer.
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One `case`/`default` group of a switch: label values (empty for
+/// `default`) and the statements up to the next label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchArm {
+    /// The case values; `None` marks the default arm.
+    pub value: Option<i32>,
+    /// Statements until the next label (fallthrough is preserved).
+    pub body: Vec<Stmt>,
+    /// Position of the label.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declarations.
+    Decl(Vec<LocalDecl>),
+    /// Block.
+    Block(Vec<Stmt>),
+    /// `if (c) t else e`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (c);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` (any part may be absent; `init` may
+    /// be a declaration).
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Stmt>,
+    ),
+    /// `switch (e) { case …: … default: … }`, lowered by codegen to a
+    /// decision tree (§6).
+    Switch(Expr, Vec<SwitchArm>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// `return e;` / `return;`
+    Return(Option<Expr>, Pos),
+    /// `;`
+    Empty,
+}
+
+/// Global initializers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// A (constant) scalar expression.
+    Expr(Expr),
+    /// `{ a, b, … }` for arrays and structs.
+    List(Vec<Init>),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Type (array lengths may have been inferred from the initializer).
+    pub ty: Type,
+    /// Optional initializer (absence puts the object in BSS).
+    pub init: Option<Init>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters (name, type), in order.
+    pub params: Vec<(String, Type)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global variable.
+    Global(GlobalDecl),
+    /// Function definition.
+    Func(FuncDef),
+    /// Function prototype (forward declaration).
+    Proto(String, Box<crate::types::FuncSig>, Pos),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Struct registry.
+    pub types: TypeTable,
+}

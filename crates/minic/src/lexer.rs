@@ -1,0 +1,382 @@
+//! The lexer.
+
+use crate::{Error, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser
+    /// via [`Tok::is_kw`] helpers).
+    Ident(String),
+    /// Integer literal (value and whether it had a `u` suffix).
+    Int(u32, bool),
+    /// Float literal with `f` suffix.
+    Float(f32),
+    /// Double literal (no suffix).
+    Double(f64),
+    /// Character literal, already decoded.
+    Char(u8),
+    /// String literal, already decoded (no terminating NUL).
+    Str(Vec<u8>),
+    /// One punctuator: `+ - * / % ... <<= >>=` etc.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Whether this token is the given punctuator.
+    pub fn is(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+/// A token plus its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Multi-character punctuators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~",
+    "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn here(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(b), _) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Error::new(start, "unterminated comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn escape(&mut self, pos: Pos) -> Result<u8, Error> {
+        match self.bump() {
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'r') => Ok(b'\r'),
+            Some(b'0') => Ok(0),
+            Some(b'\\') => Ok(b'\\'),
+            Some(b'\'') => Ok(b'\''),
+            Some(b'"') => Ok(b'"'),
+            Some(c) => Err(Error::new(
+                pos,
+                format!("unknown escape '\\{}'", c as char),
+            )),
+            None => Err(Error::new(pos, "unterminated escape")),
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
+            if text.is_empty() {
+                return Err(Error::new(pos, "empty hex literal"));
+            }
+            let v = u32::from_str_radix(text, 16)
+                .map_err(|_| Error::new(pos, "hex literal overflows 32 bits"))?;
+            let unsigned = matches!(self.peek(), Some(b'u') | Some(b'U'));
+            if unsigned {
+                self.bump();
+            }
+            return Ok(Tok::Int(v, unsigned));
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        let is_float = self.peek() == Some(b'.')
+            && matches!(self.peek2(), Some(b) if b.is_ascii_digit());
+        if is_float {
+            self.bump(); // '.'
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Error::new(pos, "bad float literal"))?;
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.bump();
+                Ok(Tok::Float(v as f32))
+            } else {
+                Ok(Tok::Double(v))
+            }
+        } else {
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            let v: u32 = text
+                .parse()
+                .map_err(|_| Error::new(pos, "integer literal overflows 32 bits"))?;
+            let unsigned = matches!(self.peek(), Some(b'u') | Some(b'U'));
+            if unsigned {
+                self.bump();
+            }
+            Ok(Tok::Int(v, unsigned))
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, Error> {
+        self.skip_trivia()?;
+        let pos = self.here();
+        let Some(b) = self.peek() else {
+            return Ok(Token { tok: Tok::Eof, pos });
+        };
+
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+            return Ok(Token {
+                tok: Tok::Ident(text.to_string()),
+                pos,
+            });
+        }
+        if b.is_ascii_digit() {
+            let tok = self.number(pos)?;
+            return Ok(Token { tok, pos });
+        }
+        if b == b'\'' {
+            self.bump();
+            let c = match self.bump() {
+                Some(b'\\') => self.escape(pos)?,
+                Some(c) => c,
+                None => return Err(Error::new(pos, "unterminated character literal")),
+            };
+            if self.bump() != Some(b'\'') {
+                return Err(Error::new(pos, "unterminated character literal"));
+            }
+            return Ok(Token {
+                tok: Tok::Char(c),
+                pos,
+            });
+        }
+        if b == b'"' {
+            self.bump();
+            let mut bytes = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(b'"') => break,
+                    Some(b'\\') => bytes.push(self.escape(pos)?),
+                    Some(c) => bytes.push(c),
+                    None => return Err(Error::new(pos, "unterminated string literal")),
+                }
+            }
+            return Ok(Token {
+                tok: Tok::Str(bytes),
+                pos,
+            });
+        }
+
+        for &p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok(Token {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+            }
+        }
+        Err(Error::new(pos, format!("stray character {:?}", b as char)))
+    }
+}
+
+/// Tokenize a source string. The result always ends with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] for malformed literals, comments, or stray bytes.
+pub fn lex(source: &str) -> Result<Vec<Token>, Error> {
+    let mut lexer = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let t = lexer.next_token()?;
+        let done = t.tok == Tok::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_numbers_and_puncts() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42, false),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        assert_eq!(
+            toks("a <<= b >> c >= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("c".into()),
+                Tok::Punct(">="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literal_forms() {
+        assert_eq!(toks("0xff"), vec![Tok::Int(255, false), Tok::Eof]);
+        assert_eq!(toks("7u"), vec![Tok::Int(7, true), Tok::Eof]);
+        assert_eq!(toks("1.5f"), vec![Tok::Float(1.5), Tok::Eof]);
+        assert_eq!(toks("2.25"), vec![Tok::Double(2.25), Tok::Eof]);
+        assert_eq!(toks("4294967295"), vec![Tok::Int(u32::MAX, false), Tok::Eof]);
+        assert!(lex("4294967296").is_err());
+    }
+
+    #[test]
+    fn char_and_string_escapes() {
+        assert_eq!(toks("'a'"), vec![Tok::Char(b'a'), Tok::Eof]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Char(b'\n'), Tok::Eof]);
+        assert_eq!(
+            toks("\"hi\\n\""),
+            vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+        );
+        assert!(lex("'ab'").is_err());
+        assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn member_access_vs_float() {
+        assert_eq!(
+            toks("p.x"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Punct("."),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

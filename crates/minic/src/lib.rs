@@ -1,0 +1,124 @@
+//! # pgr-minic
+//!
+//! A small C compiler targeting the initial bytecode of `pgr-bytecode`.
+//!
+//! The paper's bytecode "is a simple postfix encoding of lcc trees" (§3);
+//! its training and test inputs are C programs (gcc, lcc, gzip, eight
+//! queens) compiled by lcc. lcc itself is unavailable, so this crate is
+//! the substitute substrate: a one-pass C-subset compiler that emits the
+//! same postfix, stack-based instruction set with the same conventions —
+//! label-table indices instead of branch offsets, a global-address table,
+//! trampolines only for address-taken procedures, `LocalCALL` for direct
+//! calls, and switches lowered to decision trees (the paper's lcc option,
+//! §6, because "the current implementation of the bytecode cannot handle
+//! indirect jumps").
+//!
+//! ## Language
+//!
+//! Types: `void`, `char`, `short`, `int`, `unsigned`, `float`, `double`,
+//! pointers, 1-D arrays, flat `struct`s, and function pointers. Control:
+//! `if`/`else`, `while`, `do`, `for`, `switch`, `break`, `continue`,
+//! `return`. Expressions: the full C operator set including assignment
+//! operators, `?:`, short-circuit `&&`/`||` (lowered to branches and
+//! temporaries, as lcc's front end does), casts, `sizeof`, `++`/`--`,
+//! struct member access, and calls through function pointers. The
+//! library is the VM's native registry (`putchar`, `putint`, `putstr`,
+//! `getchar`, `exit`, `malloc`, `memcpy`, `memset`, `srand`, `rand`, …),
+//! implicitly declared.
+//!
+//! ## Example
+//!
+//! ```
+//! let program = pgr_minic::compile(
+//!     "int main(void) { putstr(\"hi\\n\"); return 40 + 2; }",
+//! ).unwrap();
+//! assert_eq!(program.procs[0].name, "main");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod sema;
+pub mod types;
+
+use pgr_bytecode::Program;
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Where it happened.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Error {
+    pub(crate) fn new(pos: Pos, message: impl Into<String>) -> Error {
+        Error {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compile a translation unit to a bytecode program.
+///
+/// The entry point is `main` (which, per §3, always gets a trampoline).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic [`Error`].
+pub fn compile(source: &str) -> Result<Program, Error> {
+    compile_with(source, &Options::default())
+}
+
+/// Compilation options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Run the peephole optimizer over each procedure (the §6
+    /// optimization-interaction ablation toggles this).
+    pub optimize: bool,
+}
+
+/// Compile with explicit [`Options`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic [`Error`].
+pub fn compile_with(source: &str, options: &Options) -> Result<Program, Error> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(tokens)?;
+    let mut program = codegen::generate(&unit)?;
+    if options.optimize {
+        opt::peephole_program(&mut program);
+    }
+    Ok(program)
+}

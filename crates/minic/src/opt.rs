@@ -1,0 +1,301 @@
+//! A small peephole optimizer over the emitted bytecode.
+//!
+//! This plays the role of the paper's §6 optimization-interaction
+//! experiment knob ("it would be interesting to run our compressor on
+//! bytecodes that have been through such an optimizer … highly optimized
+//! code is usually less regular and thus less compressible"). The
+//! rewrites are local, label-safe (no window spans a `LABELV`, and label
+//! tables are rebuilt from the surviving markers), and semantics
+//! preserving:
+//!
+//! * algebraic identities: `x + 0`, `x - 0`, `x * 1`, `x / 1`,
+//! * literal folding: `LIT a; LIT b; op` → `LIT (a op b)`,
+//! * branch-polarity inversion: `cmp; LIT 0; EQU; BrTrue` →
+//!   `inverted-cmp; BrTrue` (integer comparisons only — inverting float
+//!   comparisons is wrong under NaN),
+//! * flag simplification: `x; LIT 0; NEU; BrTrue` → `x; BrTrue`.
+
+use pgr_bytecode::{decode, Instruction, Opcode, Procedure, Program};
+
+fn lit_value(insn: &Instruction) -> Option<u32> {
+    match insn.opcode {
+        Opcode::LIT1 | Opcode::LIT2 | Opcode::LIT3 | Opcode::LIT4 => Some(insn.operand_u32()),
+        _ => None,
+    }
+}
+
+fn make_lit(v: u32) -> Instruction {
+    let bytes = v.to_le_bytes();
+    if v < 1 << 8 {
+        Instruction::new(Opcode::LIT1, &bytes[..1])
+    } else if v < 1 << 16 {
+        Instruction::new(Opcode::LIT2, &bytes[..2])
+    } else if v < 1 << 24 {
+        Instruction::new(Opcode::LIT3, &bytes[..3])
+    } else {
+        Instruction::new(Opcode::LIT4, &bytes)
+    }
+}
+
+/// The integer-comparison inversion table (floats excluded: NaN).
+fn invert_int_compare(op: Opcode) -> Option<Opcode> {
+    use Opcode::*;
+    Some(match op {
+        EQU => NEU,
+        NEU => EQU,
+        LTI => GEI,
+        GEI => LTI,
+        GTI => LEI,
+        LEI => GTI,
+        LTU => GEU,
+        GEU => LTU,
+        GTU => LEU,
+        LEU => GTU,
+        _ => return None,
+    })
+}
+
+/// One rewriting pass; returns true if anything changed.
+fn pass(insns: &mut Vec<Instruction>) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < insns.len() {
+        // Window accessors that refuse to cross labels.
+        let get = |k: usize| -> Option<&Instruction> {
+            let insn = insns.get(k)?;
+            (insn.opcode != Opcode::LABELV).then_some(insn)
+        };
+
+        // LIT a; LIT b; fold-able op
+        if let (Some(a), Some(b), Some(op)) = (get(i), get(i + 1), get(i + 2)) {
+            if let (Some(va), Some(vb)) = (lit_value(a), lit_value(b)) {
+                let folded = match op.opcode {
+                    Opcode::ADDU => Some(va.wrapping_add(vb)),
+                    Opcode::SUBU => Some(va.wrapping_sub(vb)),
+                    Opcode::MULU => Some(va.wrapping_mul(vb)),
+                    Opcode::MULI => Some((va as i32).wrapping_mul(vb as i32) as u32),
+                    Opcode::BANDU => Some(va & vb),
+                    Opcode::BORU => Some(va | vb),
+                    Opcode::BXORU => Some(va ^ vb),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    insns.splice(i..i + 3, [make_lit(v)]);
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // LIT identity; op  (x+0, x-0, x*1, x/1, shifts by 0)
+        if let (Some(lit), Some(op)) = (get(i), get(i + 1)) {
+            if let Some(v) = lit_value(lit) {
+                let removable = matches!(
+                    (v, op.opcode),
+                    (0, Opcode::ADDU | Opcode::SUBU | Opcode::BORU | Opcode::BXORU)
+                        | (0, Opcode::LSHI | Opcode::LSHU | Opcode::RSHI | Opcode::RSHU)
+                        | (1, Opcode::MULI | Opcode::MULU | Opcode::DIVI | Opcode::DIVU)
+                );
+                if removable {
+                    insns.drain(i..i + 2);
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // cmp; LIT 0; EQU; BrTrue  ->  inverted-cmp; BrTrue
+        if let (Some(cmp), Some(lit), Some(equ), Some(br)) =
+            (get(i), get(i + 1), get(i + 2), get(i + 3))
+        {
+            if lit_value(lit) == Some(0)
+                && equ.opcode == Opcode::EQU
+                && br.opcode == Opcode::BrTrue
+            {
+                if let Some(inv) = invert_int_compare(cmp.opcode) {
+                    let br = *br;
+                    insns.splice(i..i + 4, [Instruction::op(inv), br]);
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // LIT 0; NEU; BrTrue  ->  BrTrue (BrTrue already tests non-zero)
+        if let (Some(lit), Some(neu), Some(br)) = (get(i), get(i + 1), get(i + 2)) {
+            if lit_value(lit) == Some(0)
+                && neu.opcode == Opcode::NEU
+                && br.opcode == Opcode::BrTrue
+            {
+                let br = *br;
+                insns.splice(i..i + 3, [br]);
+                changed = true;
+                continue;
+            }
+        }
+
+        i += 1;
+    }
+    changed
+}
+
+/// Optimize one procedure in place, rebuilding its label table.
+pub fn peephole_procedure(proc: &mut Procedure) {
+    let Ok(mut insns) = decode(&proc.code).collect::<Result<Vec<_>, _>>() else {
+        return; // malformed code: leave untouched
+    };
+    // Remember which original offset each LABELV had.
+    while pass(&mut insns) {}
+
+    let mut code = Vec::with_capacity(proc.code.len());
+    let mut label_map: Vec<(usize, u32)> = Vec::new();
+    for insn in &insns {
+        if insn.opcode == Opcode::LABELV {
+            label_map.push((insn.offset, code.len() as u32));
+        }
+        insn.encode_into(&mut code);
+    }
+    let labels = proc
+        .labels
+        .iter()
+        .map(|&old| {
+            label_map
+                .iter()
+                .find(|(o, _)| *o == old as usize)
+                .map(|&(_, n)| n)
+                .unwrap_or(old)
+        })
+        .collect();
+    proc.code = code;
+    proc.labels = labels;
+}
+
+/// Optimize every procedure of a program.
+pub fn peephole_program(program: &mut Program) {
+    for proc in &mut program.procs {
+        peephole_procedure(proc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::encode;
+
+    fn optimize(insns: &[Instruction]) -> Vec<Opcode> {
+        let mut proc = Procedure::new("t");
+        let (code, labels) = pgr_bytecode::asm::code_with_labels(insns);
+        proc.code = code;
+        proc.labels = labels;
+        peephole_procedure(&mut proc);
+        decode(&proc.code)
+            .map(|i| i.unwrap().opcode)
+            .collect()
+    }
+
+    #[test]
+    fn folds_literal_arithmetic() {
+        let out = optimize(&[
+            Instruction::new(Opcode::LIT1, &[2]),
+            Instruction::new(Opcode::LIT1, &[3]),
+            Instruction::op(Opcode::MULI),
+            Instruction::op(Opcode::POPU),
+            Instruction::op(Opcode::RETV),
+        ]);
+        assert_eq!(out, vec![Opcode::LIT1, Opcode::POPU, Opcode::RETV]);
+    }
+
+    #[test]
+    fn removes_additive_identity() {
+        let out = optimize(&[
+            Instruction::with_u16(Opcode::ADDRLP, 0),
+            Instruction::op(Opcode::INDIRU),
+            Instruction::new(Opcode::LIT1, &[0]),
+            Instruction::op(Opcode::ADDU),
+            Instruction::op(Opcode::POPU),
+            Instruction::op(Opcode::RETV),
+        ]);
+        assert_eq!(
+            out,
+            vec![Opcode::ADDRLP, Opcode::INDIRU, Opcode::POPU, Opcode::RETV]
+        );
+    }
+
+    #[test]
+    fn inverts_branch_polarity() {
+        let out = optimize(&[
+            Instruction::new(Opcode::LIT1, &[5]),
+            Instruction::with_u16(Opcode::ADDRLP, 0),
+            Instruction::op(Opcode::INDIRU),
+            Instruction::op(Opcode::LTI),
+            Instruction::new(Opcode::LIT1, &[0]),
+            Instruction::op(Opcode::EQU),
+            Instruction::with_u16(Opcode::BrTrue, 0),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ]);
+        assert_eq!(
+            out,
+            vec![
+                Opcode::LIT1,
+                Opcode::ADDRLP,
+                Opcode::INDIRU,
+                Opcode::GEI,
+                Opcode::BrTrue,
+                Opcode::LABELV,
+                Opcode::RETV
+            ]
+        );
+    }
+
+    #[test]
+    fn float_compares_are_not_inverted() {
+        let input = [
+            Instruction::op(Opcode::LTD),
+            Instruction::new(Opcode::LIT1, &[0]),
+            Instruction::op(Opcode::EQU),
+            Instruction::with_u16(Opcode::BrTrue, 0),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ];
+        let out = optimize(&input);
+        assert_eq!(out[0], Opcode::LTD);
+        assert_eq!(out[1], Opcode::LIT1, "NaN semantics must be preserved");
+    }
+
+    #[test]
+    fn windows_do_not_cross_labels() {
+        // LIT 0 before a label, ADDU after: must not merge.
+        let out = optimize(&[
+            Instruction::new(Opcode::LIT1, &[0]),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::ADDU),
+            Instruction::op(Opcode::RETV),
+        ]);
+        assert_eq!(
+            out,
+            vec![Opcode::LIT1, Opcode::LABELV, Opcode::ADDU, Opcode::RETV]
+        );
+    }
+
+    #[test]
+    fn label_table_is_rebuilt() {
+        let insns = [
+            Instruction::new(Opcode::LIT1, &[2]),
+            Instruction::new(Opcode::LIT1, &[3]),
+            Instruction::op(Opcode::ADDU),
+            Instruction::op(Opcode::POPU),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ];
+        let mut proc = Procedure::new("t");
+        proc.code = encode(&insns);
+        // LIT1 2 (2) + LIT1 3 (2) + ADDU (1) + POPU (1) -> LABELV at 6.
+        proc.labels = vec![6];
+        peephole_procedure(&mut proc);
+        let label = proc.labels[0] as usize;
+        assert_eq!(proc.code[label], Opcode::LABELV as u8);
+        // LIT1 v (2 bytes) + POPU + LABELV: label sits at offset 3.
+        assert_eq!(label, 3);
+    }
+}

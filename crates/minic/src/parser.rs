@@ -1,0 +1,847 @@
+//! Recursive-descent parser.
+//!
+//! The grammar is the classic C expression/statement grammar over the
+//! subset in the crate docs. There are no typedefs, so `(T)e` casts are
+//! unambiguous: a parenthesized type starts with a type keyword or
+//! `struct`.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use crate::sema::eval_const_int;
+use crate::types::{FuncSig, Type, TypeTable};
+use crate::{Error, Pos};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    types: TypeTable,
+    /// Comma-separated global declarators beyond the first, queued so
+    /// `top_level` can keep returning one item at a time.
+    pending: Vec<Item>,
+    /// Parameter list (with names) of the most recent direct function
+    /// declarator, for function definitions.
+    last_params: Option<Vec<(Option<String>, Type)>>,
+}
+
+/// Parse a token stream into a [`Unit`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its position.
+pub fn parse(toks: Vec<Token>) -> Result<Unit, Error> {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        types: TypeTable::default(),
+        pending: Vec::new(),
+        last_params: None,
+    };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        if let Some(item) = p.top_level()? {
+            items.push(item);
+        }
+    }
+    Ok(Unit {
+        items,
+        types: p.types,
+    })
+}
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "unsigned", "float", "double", "struct",
+];
+
+impl Parser {
+    fn here(&self) -> Pos {
+        self.toks[self.pos].pos
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        self.toks
+            .get(self.pos + n)
+            .map(|t| &t.tok)
+            .unwrap_or(&Tok::Eof)
+    }
+
+    fn at_eof(&self) -> bool {
+        *self.peek() == Tok::Eof
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if self.peek().is(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, p: &str) -> Result<(), Error> {
+        if self.eat(p) {
+            Ok(())
+        } else {
+            Err(Error::new(
+                self.here(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            Tok::Ident(s) if !TYPE_KEYWORDS.contains(&s.as_str()) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::new(
+                self.here(),
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()))
+    }
+
+    // ---- types ------------------------------------------------------
+
+    /// Parse a type specifier (`int`, `unsigned int`, `struct s`, …).
+    fn type_specifier(&mut self) -> Result<Type, Error> {
+        let pos = self.here();
+        if self.eat_kw("void") {
+            return Ok(Type::Void);
+        }
+        if self.eat_kw("char") {
+            return Ok(Type::Char);
+        }
+        if self.eat_kw("short") {
+            self.eat_kw("int");
+            return Ok(Type::Short);
+        }
+        if self.eat_kw("int") {
+            return Ok(Type::Int);
+        }
+        if self.eat_kw("unsigned") {
+            // `unsigned`, `unsigned int`, `unsigned char/short` all map
+            // onto the two unsigned shapes the bytecode distinguishes.
+            if self.eat_kw("char") || self.eat_kw("short") {
+                return Ok(Type::Uint); // stored promoted
+            }
+            self.eat_kw("int");
+            return Ok(Type::Uint);
+        }
+        if self.eat_kw("float") {
+            return Ok(Type::Float);
+        }
+        if self.eat_kw("double") {
+            return Ok(Type::Double);
+        }
+        if self.eat_kw("struct") {
+            let name = self.ident()?;
+            if self.peek().is("{") {
+                // Definition. Reserve the id first so fields can hold
+                // pointers to the struct being defined.
+                if self.types.struct_by_name(&name).is_some() {
+                    return Err(Error::new(pos, format!("struct {name} redefined")));
+                }
+                let id = self.types.declare_struct(name);
+                self.bump();
+                let mut fields = Vec::new();
+                while !self.eat("}") {
+                    let base = self.type_specifier()?;
+                    loop {
+                        let (fname, ty) = self.declarator(base.clone())?;
+                        let fname = fname.ok_or_else(|| {
+                            Error::new(pos, "struct field needs a name")
+                        })?;
+                        if ty == Type::Struct(id) {
+                            return Err(Error::new(
+                                pos,
+                                "struct cannot contain itself by value",
+                            ));
+                        }
+                        fields.push((fname, ty));
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(";")?;
+                }
+                self.types.complete_struct(id, fields);
+                return Ok(Type::Struct(id));
+            }
+            let id = self
+                .types
+                .struct_by_name(&name)
+                .ok_or_else(|| Error::new(pos, format!("unknown struct {name}")))?;
+            return Ok(Type::Struct(id));
+        }
+        Err(Error::new(
+            pos,
+            format!("expected type, found {:?}", self.peek()),
+        ))
+    }
+
+    /// Parse a declarator over `base`: pointers, a name (or function
+    /// pointer core), array and parameter-list suffixes.
+    fn declarator(&mut self, base: Type) -> Result<(Option<String>, Type), Error> {
+        let mut ty = base;
+        while self.eat("*") {
+            ty = ty.ptr_to();
+        }
+        // Function pointer: ( * name ) ( params )
+        if self.peek().is("(") && self.peek_at(1).is("*") {
+            self.bump(); // (
+            let mut stars = 0usize;
+            while self.eat("*") {
+                stars += 1;
+            }
+            let name = self.ident()?;
+            self.expect(")")?;
+            self.expect("(")?;
+            let params = self.param_types()?;
+            let mut fty = Type::Func(Box::new(FuncSig { ret: ty, params }));
+            for _ in 0..stars {
+                fty = fty.ptr_to();
+            }
+            return Ok((Some(name), fty));
+        }
+        let name = if matches!(self.peek(), Tok::Ident(s) if !TYPE_KEYWORDS.contains(&s.as_str()))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        if self.peek().is("(") {
+            self.bump();
+            let params = self.params()?;
+            let param_types = params.iter().map(|(_, t)| t.clone()).collect();
+            self.last_params = Some(params);
+            return Ok((
+                name,
+                Type::Func(Box::new(FuncSig {
+                    ret: ty,
+                    params: param_types,
+                })),
+            ));
+        }
+        // Array suffixes, applied right-to-left.
+        let mut dims: Vec<Option<u32>> = Vec::new();
+        while self.eat("[") {
+            if self.eat("]") {
+                dims.push(None); // size inferred from the initializer
+            } else {
+                let pos = self.here();
+                let e = self.expr()?;
+                let n = eval_const_int(&e, &self.types)
+                    .ok_or_else(|| Error::new(pos, "array size must be constant"))?;
+                if n <= 0 {
+                    return Err(Error::new(pos, "array size must be positive"));
+                }
+                dims.push(Some(n as u32));
+                self.expect("]")?;
+            }
+        }
+        for dim in dims.into_iter().rev() {
+            // A deferred size is encoded as 0 and fixed up by the
+            // initializer handling.
+            ty = Type::Array(Box::new(ty), dim.unwrap_or(0));
+        }
+        Ok((name, ty))
+    }
+
+    /// Parse `(params)` contents after the opening parenthesis, with
+    /// names (for definitions) or without.
+    fn params(&mut self) -> Result<Vec<(Option<String>, Type)>, Error> {
+        let mut out = Vec::new();
+        if self.eat(")") {
+            return Ok(out);
+        }
+        if self.peek().is_kw("void") && self.peek_at(1).is(")") {
+            self.bump();
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            let base = self.type_specifier()?;
+            let (name, ty) = self.declarator(base)?;
+            // Array parameters decay to pointers.
+            let ty = match ty {
+                Type::Array(elem, _) => Type::Ptr(elem),
+                Type::Func(sig) => Type::Ptr(Box::new(Type::Func(sig))),
+                other => other,
+            };
+            out.push((name, ty));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(out)
+    }
+
+    fn param_types(&mut self) -> Result<Vec<Type>, Error> {
+        Ok(self.params()?.into_iter().map(|(_, t)| t).collect())
+    }
+
+    // ---- top level --------------------------------------------------
+
+    fn top_level(&mut self) -> Result<Option<Item>, Error> {
+        if !self.pending.is_empty() {
+            return Ok(Some(self.pending.remove(0)));
+        }
+        let pos = self.here();
+        let base = self.type_specifier()?;
+        // Bare `struct s { ... };`
+        if self.eat(";") {
+            return Ok(None);
+        }
+        self.last_params = None;
+        let (name, ty) = self.declarator(base.clone())?;
+        let name = name.ok_or_else(|| Error::new(pos, "declaration needs a name"))?;
+
+        if let Type::Func(sig) = &ty {
+            if self.peek().is("{") {
+                let params = self
+                    .last_params
+                    .take()
+                    .expect("direct function declarator records its parameters");
+                let mut named = Vec::with_capacity(params.len());
+                for (pname, pty) in params {
+                    let pname = pname.ok_or_else(|| {
+                        Error::new(pos, "function definition parameters need names")
+                    })?;
+                    named.push((pname, pty));
+                }
+                let body = self.block()?;
+                return Ok(Some(Item::Func(FuncDef {
+                    name,
+                    ret: sig.ret.clone(),
+                    params: named,
+                    body,
+                    pos,
+                })));
+            }
+            self.expect(";")?;
+            return Ok(Some(Item::Proto(name, sig.clone(), pos)));
+        }
+
+        // Global variable(s); comma declarators queue as pending items.
+        let mut items = self.global_with_init(name, ty, pos)?;
+        while self.eat(",") {
+            let pos = self.here();
+            let (name, ty) = self.declarator(base.clone())?;
+            let name = name.ok_or_else(|| Error::new(pos, "declaration needs a name"))?;
+            items.extend(self.global_with_init(name, ty, pos)?);
+        }
+        self.expect(";")?;
+        let mut it = items.into_iter();
+        let first = it.next().expect("at least one declarator");
+        self.pending.extend(it);
+        Ok(Some(first))
+    }
+
+    fn global_with_init(
+        &mut self,
+        name: String,
+        mut ty: Type,
+        pos: Pos,
+    ) -> Result<Vec<Item>, Error> {
+        let init = if self.eat("=") {
+            let init = self.initializer()?;
+            // Infer deferred array lengths.
+            if let Type::Array(elem, 0) = &ty {
+                let n = match &init {
+                    Init::List(items) => items.len() as u32,
+                    Init::Expr(Expr {
+                        kind: ExprKind::Str(bytes),
+                        ..
+                    }) => bytes.len() as u32 + 1,
+                    _ => {
+                        return Err(Error::new(
+                            pos,
+                            "cannot infer array size from this initializer",
+                        ))
+                    }
+                };
+                ty = Type::Array(elem.clone(), n);
+            }
+            Some(init)
+        } else {
+            None
+        };
+        if matches!(ty, Type::Array(_, 0)) {
+            return Err(Error::new(pos, "array needs a size or an initializer"));
+        }
+        Ok(vec![Item::Global(GlobalDecl {
+            name,
+            ty,
+            init,
+            pos,
+        })])
+    }
+
+    fn initializer(&mut self) -> Result<Init, Error> {
+        if self.eat("{") {
+            let mut items = Vec::new();
+            if !self.eat("}") {
+                loop {
+                    items.push(self.initializer()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                    if self.peek().is("}") {
+                        break; // trailing comma
+                    }
+                }
+                self.expect("}")?;
+            }
+            Ok(Init::List(items))
+        } else {
+            Ok(Init::Expr(self.assign_expr()?))
+        }
+    }
+
+    // ---- statements -------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Error> {
+        self.expect("{")?;
+        let mut out = Vec::new();
+        while !self.eat("}") {
+            if self.at_eof() {
+                return Err(Error::new(self.here(), "unterminated block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn local_decl(&mut self) -> Result<Stmt, Error> {
+        let base = self.type_specifier()?;
+        let mut decls = Vec::new();
+        loop {
+            let pos = self.here();
+            let (name, mut ty) = self.declarator(base.clone())?;
+            let name = name.ok_or_else(|| Error::new(pos, "declaration needs a name"))?;
+            let init = if self.eat("=") {
+                let e = self.assign_expr()?;
+                if let Type::Array(elem, 0) = &ty {
+                    if let ExprKind::Str(bytes) = &e.kind {
+                        ty = Type::Array(elem.clone(), bytes.len() as u32 + 1);
+                    }
+                }
+                Some(e)
+            } else {
+                None
+            };
+            if matches!(ty, Type::Array(_, 0)) {
+                return Err(Error::new(pos, "array needs a size or an initializer"));
+            }
+            decls.push(LocalDecl {
+                name,
+                ty,
+                init,
+                pos,
+            });
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(";")?;
+        Ok(Stmt::Decl(decls))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let pos = self.here();
+        if self.peek().is("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.starts_type() {
+            return self.local_decl();
+        }
+        if self.eat(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_kw("if") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            return Ok(Stmt::While(cond, Box::new(self.stmt()?)));
+        }
+        if self.eat_kw("do") {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_kw("while") {
+                return Err(Error::new(self.here(), "expected `while` after do-body"));
+            }
+            self.expect("(")?;
+            let cond = self.expr()?;
+            self.expect(")")?;
+            self.expect(";")?;
+            return Ok(Stmt::DoWhile(body, cond));
+        }
+        if self.eat_kw("for") {
+            self.expect("(")?;
+            let init = if self.peek().is(";") {
+                self.bump();
+                None
+            } else if self.starts_type() {
+                Some(Box::new(self.local_decl()?))
+            } else {
+                let e = self.expr()?;
+                self.expect(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.peek().is(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(";")?;
+            let step = if self.peek().is(")") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect(")")?;
+            return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+        }
+        if self.eat_kw("switch") {
+            self.expect("(")?;
+            let scrutinee = self.expr()?;
+            self.expect(")")?;
+            self.expect("{")?;
+            let mut arms: Vec<SwitchArm> = Vec::new();
+            while !self.eat("}") {
+                let pos = self.here();
+                if self.eat_kw("case") {
+                    let e = self.expr()?;
+                    let v = eval_const_int(&e, &self.types)
+                        .ok_or_else(|| Error::new(pos, "case value must be constant"))?;
+                    self.expect(":")?;
+                    if arms.iter().any(|a| a.value == Some(v)) {
+                        return Err(Error::new(pos, format!("duplicate case {v}")));
+                    }
+                    arms.push(SwitchArm {
+                        value: Some(v),
+                        body: Vec::new(),
+                        pos,
+                    });
+                } else if self.eat_kw("default") {
+                    self.expect(":")?;
+                    if arms.iter().any(|a| a.value.is_none()) {
+                        return Err(Error::new(pos, "duplicate default"));
+                    }
+                    arms.push(SwitchArm {
+                        value: None,
+                        body: Vec::new(),
+                        pos,
+                    });
+                } else {
+                    let stmt = self.stmt()?;
+                    match arms.last_mut() {
+                        Some(arm) => arm.body.push(stmt),
+                        None => {
+                            return Err(Error::new(
+                                pos,
+                                "statement before first case label",
+                            ))
+                        }
+                    }
+                }
+            }
+            return Ok(Stmt::Switch(scrutinee, arms, pos));
+        }
+        if self.eat_kw("break") {
+            self.expect(";")?;
+            return Ok(Stmt::Break(pos));
+        }
+        if self.eat_kw("continue") {
+            self.expect(";")?;
+            return Ok(Stmt::Continue(pos));
+        }
+        if self.eat_kw("return") {
+            if self.eat(";") {
+                return Ok(Stmt::Return(None, pos));
+            }
+            let e = self.expr()?;
+            self.expect(";")?;
+            return Ok(Stmt::Return(Some(e), pos));
+        }
+        let e = self.expr()?;
+        self.expect(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // ---- expressions ------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        self.assign_expr()
+    }
+
+    fn assign_expr(&mut self) -> Result<Expr, Error> {
+        let lhs = self.cond_expr()?;
+        let pos = self.here();
+        let op = match self.peek() {
+            t if t.is("=") => None,
+            t if t.is("+=") => Some(BinOp::Add),
+            t if t.is("-=") => Some(BinOp::Sub),
+            t if t.is("*=") => Some(BinOp::Mul),
+            t if t.is("/=") => Some(BinOp::Div),
+            t if t.is("%=") => Some(BinOp::Rem),
+            t if t.is("&=") => Some(BinOp::And),
+            t if t.is("|=") => Some(BinOp::Or),
+            t if t.is("^=") => Some(BinOp::Xor),
+            t if t.is("<<=") => Some(BinOp::Shl),
+            t if t.is(">>=") => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.assign_expr()?;
+        Ok(Expr::new(
+            ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+            pos,
+        ))
+    }
+
+    fn cond_expr(&mut self) -> Result<Expr, Error> {
+        let cond = self.binary_expr(0)?;
+        if self.peek().is("?") {
+            let pos = self.here();
+            self.bump();
+            let t = self.expr()?;
+            self.expect(":")?;
+            let e = self.cond_expr()?;
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(cond), Box::new(t), Box::new(e)),
+                pos,
+            ));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence climbing over the binary operators.
+    fn binary_expr(&mut self, min_level: u8) -> Result<Expr, Error> {
+        const LEVELS: &[&[(&str, Option<BinOp>)]] = &[
+            &[("||", None)],
+            &[("&&", None)],
+            &[("|", Some(BinOp::Or))],
+            &[("^", Some(BinOp::Xor))],
+            &[("&", Some(BinOp::And))],
+            &[("==", Some(BinOp::Eq)), ("!=", Some(BinOp::Ne))],
+            &[
+                ("<=", Some(BinOp::Le)),
+                (">=", Some(BinOp::Ge)),
+                ("<", Some(BinOp::Lt)),
+                (">", Some(BinOp::Gt)),
+            ],
+            &[("<<", Some(BinOp::Shl)), (">>", Some(BinOp::Shr))],
+            &[("+", Some(BinOp::Add)), ("-", Some(BinOp::Sub))],
+            &[
+                ("*", Some(BinOp::Mul)),
+                ("/", Some(BinOp::Div)),
+                ("%", Some(BinOp::Rem)),
+            ],
+        ];
+        if min_level as usize >= LEVELS.len() {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(min_level + 1)?;
+        'outer: loop {
+            for &(text, op) in LEVELS[min_level as usize] {
+                if self.peek().is(text) {
+                    let pos = self.here();
+                    self.bump();
+                    let rhs = self.binary_expr(min_level + 1)?;
+                    lhs = match op {
+                        Some(op) => {
+                            Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos)
+                        }
+                        None => Expr::new(
+                            ExprKind::Logic(text == "&&", Box::new(lhs), Box::new(rhs)),
+                            pos,
+                        ),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Error> {
+        let pos = self.here();
+        if self.eat("-") {
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Neg, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("!") {
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Not, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("~") {
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::BitNot, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("*") {
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Deref, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("&") {
+            return Ok(Expr::new(
+                ExprKind::Unary(UnOp::Addr, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("++") {
+            return Ok(Expr::new(
+                ExprKind::PreIncDec(true, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.eat("--") {
+            return Ok(Expr::new(
+                ExprKind::PreIncDec(false, Box::new(self.unary_expr()?)),
+                pos,
+            ));
+        }
+        if self.peek().is_kw("sizeof") {
+            self.bump();
+            self.expect("(")?;
+            let base = self.type_specifier()?;
+            let (_, ty) = self.declarator(base)?;
+            self.expect(")")?;
+            return Ok(Expr::new(ExprKind::Sizeof(ty), pos));
+        }
+        // Cast: `(` type …
+        if self.peek().is("(")
+            && matches!(self.peek_at(1), Tok::Ident(s) if TYPE_KEYWORDS.contains(&s.as_str()))
+        {
+            self.bump();
+            let base = self.type_specifier()?;
+            let (_, ty) = self.declarator(base)?;
+            self.expect(")")?;
+            let e = self.unary_expr()?;
+            return Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), pos));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Error> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let pos = self.here();
+            if self.eat("(") {
+                let mut args = Vec::new();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.assign_expr()?);
+                        if !self.eat(",") {
+                            break;
+                        }
+                    }
+                    self.expect(")")?;
+                }
+                e = Expr::new(ExprKind::Call(Box::new(e), args), pos);
+            } else if self.eat("[") {
+                let idx = self.expr()?;
+                self.expect("]")?;
+                e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), pos);
+            } else if self.eat(".") {
+                let f = self.ident()?;
+                e = Expr::new(ExprKind::Member(Box::new(e), f), pos);
+            } else if self.eat("->") {
+                let f = self.ident()?;
+                e = Expr::new(ExprKind::Arrow(Box::new(e), f), pos);
+            } else if self.eat("++") {
+                e = Expr::new(ExprKind::PostIncDec(true, Box::new(e)), pos);
+            } else if self.eat("--") {
+                e = Expr::new(ExprKind::PostIncDec(false, Box::new(e)), pos);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Error> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::Int(v, unsigned) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(v, unsigned), pos))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Float(v), pos))
+            }
+            Tok::Double(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Double(v), pos))
+            }
+            Tok::Char(c) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Char(c), pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), pos))
+            }
+            Tok::Ident(name) if !TYPE_KEYWORDS.contains(&name.as_str()) && name != "sizeof" => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Ident(name), pos))
+            }
+            t if t.is("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(")")?;
+                Ok(Expr::new(ExprKind::Paren(Box::new(e)), pos))
+            }
+            other => Err(Error::new(
+                pos,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Semantic helpers: constant-expression evaluation and the usual
+//! arithmetic conversions.
+
+use crate::ast::{BinOp, Expr, ExprKind, UnOp};
+use crate::types::{Type, TypeTable};
+
+/// Evaluate an integer constant expression (array sizes, case labels,
+/// global initializers). Returns `None` if the expression is not a
+/// compile-time integer constant.
+pub fn eval_const_int(e: &Expr, types: &TypeTable) -> Option<i32> {
+    match &e.kind {
+        ExprKind::Int(v, _) => Some(*v as i32),
+        ExprKind::Char(c) => Some(i32::from(*c)),
+        ExprKind::Sizeof(ty) => Some(ty.size(types) as i32),
+        ExprKind::Paren(inner) => eval_const_int(inner, types),
+        ExprKind::Cast(ty, inner) if ty.is_integer() => {
+            let v = eval_const_int(inner, types)?;
+            Some(match ty {
+                Type::Char => i32::from(v as u8 as i8),
+                Type::Short => i32::from(v as u16 as i16),
+                _ => v,
+            })
+        }
+        ExprKind::Unary(UnOp::Neg, inner) => Some(eval_const_int(inner, types)?.wrapping_neg()),
+        ExprKind::Unary(UnOp::BitNot, inner) => Some(!eval_const_int(inner, types)?),
+        ExprKind::Unary(UnOp::Not, inner) => {
+            Some(i32::from(eval_const_int(inner, types)? == 0))
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = eval_const_int(a, types)?;
+            let b = eval_const_int(b, types)?;
+            Some(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return None;
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+                BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+                BinOp::Eq => i32::from(a == b),
+                BinOp::Ne => i32::from(a != b),
+                BinOp::Lt => i32::from(a < b),
+                BinOp::Le => i32::from(a <= b),
+                BinOp::Gt => i32::from(a > b),
+                BinOp::Ge => i32::from(a >= b),
+            })
+        }
+        ExprKind::Cond(c, t, f) => {
+            if eval_const_int(c, types)? != 0 {
+                eval_const_int(t, types)
+            } else {
+                eval_const_int(f, types)
+            }
+        }
+        ExprKind::Logic(is_and, a, b) => {
+            let a = eval_const_int(a, types)? != 0;
+            if *is_and {
+                if !a {
+                    return Some(0);
+                }
+            } else if a {
+                return Some(1);
+            }
+            Some(i32::from(eval_const_int(b, types)? != 0))
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate a floating constant expression (global `float`/`double`
+/// initializers).
+pub fn eval_const_double(e: &Expr, types: &TypeTable) -> Option<f64> {
+    match &e.kind {
+        ExprKind::Float(v) => Some(f64::from(*v)),
+        ExprKind::Double(v) => Some(*v),
+        ExprKind::Paren(inner) => eval_const_double(inner, types),
+        ExprKind::Unary(UnOp::Neg, inner) => Some(-eval_const_double(inner, types)?),
+        ExprKind::Cast(ty, inner) if ty.is_float() => eval_const_double(inner, types),
+        _ => eval_const_int(e, types).map(f64::from),
+    }
+}
+
+/// The usual arithmetic conversions: the common type two arithmetic
+/// operands are brought to before a binary operator.
+pub fn usual_arith(a: &Type, b: &Type) -> Type {
+    if *a == Type::Double || *b == Type::Double {
+        Type::Double
+    } else if *a == Type::Float || *b == Type::Float {
+        Type::Float
+    } else if *a == Type::Uint || *b == Type::Uint {
+        Type::Uint
+    } else {
+        Type::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::Pos;
+
+    fn parse_expr(src: &str) -> (Expr, TypeTable) {
+        // Reuse the full parser by wrapping the expression in a global
+        // scalar initializer.
+        let unit =
+            crate::parser::parse(lex(&format!("int x = {src};")).unwrap()).unwrap();
+        match &unit.items[..] {
+            [crate::ast::Item::Global(g)] => match g.init.clone().unwrap() {
+                crate::ast::Init::Expr(e) => (e, unit.types),
+                _ => panic!("scalar init expected"),
+            },
+            _ => panic!("unexpected parse"),
+        }
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let (e, tt) = parse_expr("1 + 2 * 3 - (4 / 2)");
+        assert_eq!(eval_const_int(&e, &tt), Some(5));
+        let (e, tt) = parse_expr("1 << 4 | 1");
+        assert_eq!(eval_const_int(&e, &tt), Some(17));
+        let (e, tt) = parse_expr("-(3 % 2)");
+        assert_eq!(eval_const_int(&e, &tt), Some(-1));
+    }
+
+    #[test]
+    fn folds_sizeof_and_casts() {
+        let (e, tt) = parse_expr("sizeof(int) + sizeof(double)");
+        assert_eq!(eval_const_int(&e, &tt), Some(12));
+        let (e, tt) = parse_expr("(char)300");
+        assert_eq!(eval_const_int(&e, &tt), Some(44));
+    }
+
+    #[test]
+    fn folds_conditionals_and_logic() {
+        let (e, tt) = parse_expr("1 ? 7 : 9");
+        assert_eq!(eval_const_int(&e, &tt), Some(7));
+        let (e, tt) = parse_expr("0 && (1 / 0)");
+        assert_eq!(eval_const_int(&e, &tt), Some(0));
+        let (e, tt) = parse_expr("2 || 0");
+        assert_eq!(eval_const_int(&e, &tt), Some(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_constant() {
+        let (e, tt) = parse_expr("1 / 0");
+        assert_eq!(eval_const_int(&e, &tt), None);
+    }
+
+    #[test]
+    fn non_constants_are_rejected() {
+        let e = Expr::new(ExprKind::Ident("x".into()), Pos::default());
+        assert_eq!(eval_const_int(&e, &TypeTable::default()), None);
+    }
+
+    #[test]
+    fn float_constants() {
+        let (e, tt) = parse_expr("-2.5");
+        assert_eq!(eval_const_double(&e, &tt), Some(-2.5));
+        let (e, tt) = parse_expr("3");
+        assert_eq!(eval_const_double(&e, &tt), Some(3.0));
+    }
+
+    #[test]
+    fn usual_arith_ladder() {
+        assert_eq!(usual_arith(&Type::Int, &Type::Double), Type::Double);
+        assert_eq!(usual_arith(&Type::Float, &Type::Int), Type::Float);
+        assert_eq!(usual_arith(&Type::Uint, &Type::Int), Type::Uint);
+        assert_eq!(usual_arith(&Type::Char, &Type::Short), Type::Int);
+    }
+}

@@ -1,0 +1,346 @@
+//! The type system: C scalar types, pointers, arrays, flat structs, and
+//! function signatures, with lcc-compatible sizes (32-bit target:
+//! pointers and `int` are 4 bytes, `double` is 8).
+
+use std::fmt;
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSig {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types, in order.
+    pub params: Vec<Type>,
+}
+
+/// A minic type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// `void` (function returns and `void *` pointees only).
+    Void,
+    /// Signed 8-bit `char`.
+    Char,
+    /// Signed 16-bit `short`.
+    Short,
+    /// Signed 32-bit `int`.
+    Int,
+    /// Unsigned 32-bit `unsigned`.
+    Uint,
+    /// 32-bit `float`.
+    Float,
+    /// 64-bit `double`.
+    Double,
+    /// Pointer.
+    Ptr(Box<Type>),
+    /// 1-D array with known length.
+    Array(Box<Type>, u32),
+    /// A struct, by index into the unit's [`TypeTable`].
+    Struct(usize),
+    /// A function; only appears behind pointers or as a declaration.
+    Func(Box<FuncSig>),
+}
+
+impl Type {
+    /// Shorthand for a pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `void` and function types, which have no size.
+    pub fn size(&self, table: &TypeTable) -> u32 {
+        match self {
+            Type::Void | Type::Func(_) => panic!("type {self} has no size"),
+            Type::Char => 1,
+            Type::Short => 2,
+            Type::Int | Type::Uint | Type::Float | Type::Ptr(_) => 4,
+            Type::Double => 8,
+            Type::Array(elem, n) => elem.size(table) * n,
+            Type::Struct(id) => table.structs[*id].size,
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self, table: &TypeTable) -> u32 {
+        match self {
+            Type::Void | Type::Func(_) => 1,
+            Type::Char => 1,
+            Type::Short => 2,
+            Type::Int | Type::Uint | Type::Float | Type::Ptr(_) => 4,
+            Type::Double => 8,
+            Type::Array(elem, _) => elem.align(table),
+            Type::Struct(id) => table.structs[*id].align,
+        }
+    }
+
+    /// Integer type (char/short/int/unsigned)?
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Type::Char | Type::Short | Type::Int | Type::Uint
+        )
+    }
+
+    /// Floating type?
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float | Type::Double)
+    }
+
+    /// Arithmetic type?
+    pub fn is_arith(&self) -> bool {
+        self.is_integer() || self.is_float()
+    }
+
+    /// Pointer (after decay)?
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(_, _))
+    }
+
+    /// Scalar (usable in conditions)?
+    pub fn is_scalar(&self) -> bool {
+        self.is_arith() || self.is_pointer()
+    }
+
+    /// The pointee type after array decay.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer and function-to-pointer decay for value contexts.
+    pub fn decay(&self) -> Type {
+        match self {
+            Type::Array(elem, _) => Type::Ptr(elem.clone()),
+            Type::Func(sig) => Type::Ptr(Box::new(Type::Func(sig.clone()))),
+            other => other.clone(),
+        }
+    }
+
+    /// The type a value of this type has after C's usual promotion:
+    /// `char` and `short` promote to `int`.
+    pub fn promote(&self) -> Type {
+        match self {
+            Type::Char | Type::Short => Type::Int,
+            other => other.decay(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Char => write!(f, "char"),
+            Type::Short => write!(f, "short"),
+            Type::Int => write!(f, "int"),
+            Type::Uint => write!(f, "unsigned"),
+            Type::Float => write!(f, "float"),
+            Type::Double => write!(f, "double"),
+            Type::Ptr(t) => write!(f, "{t} *"),
+            Type::Array(t, n) => write!(f, "{t} [{n}]"),
+            Type::Struct(id) => write!(f, "struct #{id}"),
+            Type::Func(sig) => {
+                write!(f, "{} (", sig.ret)?;
+                for (i, p) in sig.params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One struct field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset within the struct.
+    pub offset: u32,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Tag name.
+    pub name: String,
+    /// Fields in declaration order, with computed offsets.
+    pub fields: Vec<Field>,
+    /// Total size (padded to alignment).
+    pub size: u32,
+    /// Alignment (max field alignment).
+    pub align: u32,
+}
+
+impl StructDef {
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// The unit's struct registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeTable {
+    /// All struct definitions, indexed by [`Type::Struct`].
+    pub structs: Vec<StructDef>,
+}
+
+impl TypeTable {
+    /// Reserve a struct id before its fields are known, so fields can
+    /// point at the struct being defined (`struct Node *next`). Complete
+    /// it with [`TypeTable::complete_struct`].
+    pub fn declare_struct(&mut self, name: String) -> usize {
+        self.structs.push(StructDef {
+            name,
+            fields: Vec::new(),
+            size: 0,
+            align: 1,
+        });
+        self.structs.len() - 1
+    }
+
+    /// Lay out the fields of a struct reserved with
+    /// [`TypeTable::declare_struct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field embeds the struct inside itself by value (only
+    /// pointer self-references are representable).
+    pub fn complete_struct(&mut self, id: usize, fields: Vec<(String, Type)>) {
+        for (_, ty) in &fields {
+            assert_ne!(
+                *ty,
+                Type::Struct(id),
+                "struct cannot contain itself by value"
+            );
+        }
+        let mut offset = 0u32;
+        let mut align = 1u32;
+        let mut laid = Vec::with_capacity(fields.len());
+        for (fname, ty) in fields {
+            let a = ty.align(self);
+            let size = ty.size(self);
+            offset = offset.div_ceil(a) * a;
+            laid.push(Field {
+                name: fname,
+                ty,
+                offset,
+            });
+            offset += size;
+            align = align.max(a);
+        }
+        let size = offset.div_ceil(align) * align;
+        let def = &mut self.structs[id];
+        def.fields = laid;
+        def.size = size.max(1);
+        def.align = align;
+    }
+
+    /// Lay out and register a struct; returns its id.
+    pub fn define_struct(&mut self, name: String, fields: Vec<(String, Type)>) -> usize {
+        let id = self.declare_struct(name);
+        self.complete_struct(id, fields);
+        id
+    }
+
+    /// Look up a struct by tag name.
+    pub fn struct_by_name(&self, name: &str) -> Option<usize> {
+        self.structs.iter().position(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_the_32_bit_target() {
+        let tt = TypeTable::default();
+        assert_eq!(Type::Char.size(&tt), 1);
+        assert_eq!(Type::Short.size(&tt), 2);
+        assert_eq!(Type::Int.size(&tt), 4);
+        assert_eq!(Type::Uint.size(&tt), 4);
+        assert_eq!(Type::Float.size(&tt), 4);
+        assert_eq!(Type::Double.size(&tt), 8);
+        assert_eq!(Type::Int.ptr_to().size(&tt), 4);
+        assert_eq!(Type::Array(Box::new(Type::Int), 10).size(&tt), 40);
+    }
+
+    #[test]
+    fn struct_layout_pads_fields_and_total() {
+        let mut tt = TypeTable::default();
+        let id = tt.define_struct(
+            "s".into(),
+            vec![
+                ("c".into(), Type::Char),
+                ("d".into(), Type::Double),
+                ("s".into(), Type::Short),
+            ],
+        );
+        let s = &tt.structs[id];
+        assert_eq!(s.field("c").unwrap().offset, 0);
+        assert_eq!(s.field("d").unwrap().offset, 8);
+        assert_eq!(s.field("s").unwrap().offset, 16);
+        assert_eq!(s.align, 8);
+        assert_eq!(s.size, 24);
+        assert_eq!(Type::Struct(id).size(&tt), 24);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let mut tt = TypeTable::default();
+        let inner = tt.define_struct(
+            "inner".into(),
+            vec![("a".into(), Type::Int), ("b".into(), Type::Char)],
+        );
+        assert_eq!(tt.structs[inner].size, 8);
+        let outer = tt.define_struct(
+            "outer".into(),
+            vec![
+                ("c".into(), Type::Char),
+                ("i".into(), Type::Struct(inner)),
+            ],
+        );
+        let s = &tt.structs[outer];
+        assert_eq!(s.field("i").unwrap().offset, 4);
+        assert_eq!(s.size, 12);
+    }
+
+    #[test]
+    fn decay_and_promotion() {
+        let arr = Type::Array(Box::new(Type::Char), 3);
+        assert_eq!(arr.decay(), Type::Char.ptr_to());
+        assert!(arr.is_pointer());
+        assert_eq!(Type::Char.promote(), Type::Int);
+        assert_eq!(Type::Short.promote(), Type::Int);
+        assert_eq!(Type::Uint.promote(), Type::Uint);
+        let sig = FuncSig {
+            ret: Type::Int,
+            params: vec![],
+        };
+        let f = Type::Func(Box::new(sig));
+        assert!(matches!(f.decay(), Type::Ptr(_)));
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(Type::Char.is_integer());
+        assert!(!Type::Float.is_integer());
+        assert!(Type::Double.is_float());
+        assert!(Type::Int.is_arith());
+        assert!(Type::Int.ptr_to().is_scalar());
+        assert!(!Type::Void.is_scalar());
+    }
+}

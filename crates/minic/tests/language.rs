@@ -1,0 +1,283 @@
+//! Additional language-coverage tests: corner cases of the C subset that
+//! the main suite doesn't hit, plus negative tests pinning down the
+//! dialect's documented limits.
+
+use pgr_bytecode::validate_program;
+use pgr_minic::compile;
+use pgr_vm::{Vm, VmConfig};
+
+fn run(src: &str) -> (String, i32) {
+    let program = compile(src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+    validate_program(&program).unwrap_or_else(|e| panic!("invalid bytecode: {e}"));
+    let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+    let result = vm.run().unwrap_or_else(|e| panic!("runtime error: {e}"));
+    let ret = result.exit_code.unwrap_or_else(|| result.ret.i());
+    (String::from_utf8_lossy(&result.output).into_owned(), ret)
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    let src = "
+        int grid[3][4];
+        int main() {
+            int r; int c; int total = 0;
+            for (r = 0; r < 3; r++)
+                for (c = 0; c < 4; c++)
+                    grid[r][c] = r * 10 + c;
+            for (r = 0; r < 3; r++) total += grid[r][3 - r];
+            return total;   /* 3 + 12 + 21 */
+        }
+    ";
+    assert_eq!(run(src).1, 36);
+}
+
+#[test]
+fn array_of_structs_and_nested_access() {
+    let src = "
+        struct Item { int id; short kind; };
+        struct Item items[5];
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) {
+                items[i].id = i * i;
+                items[i].kind = (short)(i - 2);
+            }
+            for (i = 0; i < 5; i++) {
+                if (items[i].kind < 0) total += items[i].id;
+            }
+            return total;  /* 0 + 1 */
+        }
+    ";
+    assert_eq!(run(src).1, 1);
+}
+
+#[test]
+fn pointer_to_struct_field_through_function() {
+    let src = "
+        struct Counter { int lo; int hi; };
+        void bump(int *slot, int by) { *slot += by; }
+        int main() {
+            struct Counter c;
+            c.lo = 1; c.hi = 10;
+            bump(&c.lo, 5);
+            bump(&c.hi, -3);
+            return c.lo * 10 + c.hi;
+        }
+    ";
+    assert_eq!(run(src).1, 67);
+}
+
+#[test]
+fn chained_assignment_and_assignment_value() {
+    let src = "
+        int main() {
+            int a; int b; int c;
+            a = b = c = 5;
+            a += (b = 2);
+            return a * 100 + b * 10 + c;
+        }
+    ";
+    assert_eq!(run(src).1, 725);
+}
+
+#[test]
+fn ternary_inside_call_arguments_and_indexes() {
+    let src = "
+        int pick(int a, int b) { return a - b; }
+        int table[4] = {10, 20, 30, 40};
+        int main() {
+            int i = 2;
+            return pick(i > 1 ? 100 : 200, table[i < 3 ? i : 0]);
+        }
+    ";
+    assert_eq!(run(src).1, 70);
+}
+
+#[test]
+fn logical_operators_in_value_positions() {
+    let src = "
+        int main() {
+            int x = 5;
+            int a = (x > 3) + (x > 3 && x < 10) * 10 + (x == 0 || x == 5) * 100;
+            int b = !!x;          /* normalized to 1 */
+            return a + b;
+        }
+    ";
+    assert_eq!(run(src).1, 112);
+}
+
+#[test]
+fn do_while_with_continue() {
+    let src = "
+        int main() {
+            int i = 0;
+            int total = 0;
+            do {
+                i++;
+                if (i % 2) continue;   /* continue re-tests the condition */
+                total += i;
+            } while (i < 10);
+            return total;  /* 2+4+6+8+10 */
+        }
+    ";
+    assert_eq!(run(src).1, 30);
+}
+
+#[test]
+fn for_without_parts_and_nested_breaks() {
+    let src = "
+        int main() {
+            int n = 0;
+            for (;;) {
+                int k;
+                for (k = 0; ; k++) {
+                    if (k == 3) break;
+                    n++;
+                }
+                if (n >= 9) break;
+            }
+            return n;
+        }
+    ";
+    assert_eq!(run(src).1, 9);
+}
+
+#[test]
+fn switch_on_expression_with_negative_cases() {
+    let src = "
+        int sign_code(int v) {
+            switch (v < 0 ? -1 : (v > 0 ? 1 : 0)) {
+                case -1: return 'n';
+                case 0: return 'z';
+                case 1: return 'p';
+            }
+            return '?';
+        }
+        int main() {
+            return (sign_code(-5) == 'n') + (sign_code(0) == 'z') * 10
+                 + (sign_code(9) == 'p') * 100;
+        }
+    ";
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn hex_literals_and_large_constants() {
+    let src = "
+        int main() {
+            unsigned a = 0xDEADBEEFu;
+            int b = 0x7FFF;
+            int c = 1000000;          /* needs LIT3 */
+            return (a > 0x80000000u) + (b == 32767) * 10 + (c / 1000 == 1000) * 100;
+        }
+    ";
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn float_to_int_in_conditions_and_mixed_compare() {
+    let src = "
+        int main() {
+            float f = 0.5f;
+            double d = 0.25;
+            int hits = 0;
+            if (f) hits++;            /* non-zero float is true */
+            if (d) hits++;
+            if (f > d) hits++;        /* mixed promotes to double */
+            while (d < 1.0) { d = d + 0.25; hits++; }
+            return hits;
+        }
+    ";
+    assert_eq!(run(src).1, 6);
+}
+
+#[test]
+fn recursion_through_function_pointers() {
+    let src = "
+        int dispatch(int (*f)(int), int v);
+        int half(int v) { if (v <= 1) return 0; return 1 + dispatch(half, v / 2); }
+        int dispatch(int (*f)(int), int v) { return f(v); }
+        int main() { return dispatch(half, 64); }
+    ";
+    assert_eq!(run(src).1, 6);
+}
+
+#[test]
+fn string_escapes_and_indexing() {
+    let src = "
+        int main() {
+            char *s = \"a\\tb\\0hidden\";
+            return (s[1] == '\\t') + (s[3] == 0) * 10 + (s[0] == 'a') * 100;
+        }
+    ";
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn global_initializer_expressions() {
+    let src = "
+        int a = 3 * 4 + 1;
+        int b = sizeof(double) << 2;
+        short c = (short)0xFFFF;
+        char d = 'A' + 2;
+        double e = -1.5;
+        int main() {
+            return (a == 13) + (b == 32) * 10 + (c == -1) * 100
+                 + (d == 'C') * 1000 + (e < 0.0) * 10000;
+        }
+    ";
+    assert_eq!(run(src).1, 11111);
+}
+
+// ---- negative tests: the dialect's documented limits --------------------
+
+#[test]
+fn dialect_limits_are_reported() {
+    // Struct returns.
+    assert!(compile("struct S { int x; }; struct S f(void) { } int main(){return 0;}")
+        .unwrap_err()
+        .message
+        .contains("structs"));
+    // Struct containing itself by value.
+    assert!(compile("struct S { struct S inner; }; int main(){return 0;}").is_err());
+    // Local array initializer lists (rejected at parse time: a brace is
+    // not an expression in local-declaration position).
+    assert!(compile("int main() { int a[2] = {1, 2}; return 0; }").is_err());
+    // Pointer-typed global initializers.
+    assert!(compile("char *s = \"x\"; int main(){return 0;}").is_err());
+    // Case labels must be constant.
+    assert!(compile("int main() { int x = 1; switch (x) { case x: return 1; } return 0; }")
+        .unwrap_err()
+        .message
+        .contains("constant"));
+    // Duplicate cases.
+    assert!(compile("int main() { switch (1) { case 1: case 1: return 1; } return 0; }")
+        .unwrap_err()
+        .message
+        .contains("duplicate"));
+    // Calling with the wrong arity.
+    assert!(compile("int f(int a) { return a; } int main() { return f(1, 2); }")
+        .unwrap_err()
+        .message
+        .contains("arguments"));
+    // Prototype without a definition.
+    assert!(compile("int ghost(int x); int main() { return 0; }")
+        .unwrap_err()
+        .message
+        .contains("definition"));
+    // Dereferencing a non-pointer.
+    assert!(compile("int main() { int x = 1; return *x; }")
+        .unwrap_err()
+        .message
+        .contains("dereference"));
+    // Void in expression position.
+    assert!(compile("void v(void) {} int main() { return 1 + v(); }").is_err());
+}
+
+#[test]
+fn float_modulo_and_pointer_multiplication_are_rejected() {
+    assert!(compile("int main() { double d = 1.0; return (int)(d % 2.0); }").is_err());
+    assert!(compile("int main() { int *p; int *q; return (int)(p * q); }").is_err());
+    assert!(compile("int main() { int *p; return (int)(p + q); }").is_err());
+}

@@ -1,0 +1,603 @@
+//! End-to-end compiler tests: compile a C program, validate the emitted
+//! bytecode against the grammar's stack discipline, run it on the VM, and
+//! check its observable behaviour.
+
+use pgr_bytecode::validate_program;
+use pgr_minic::{compile, compile_with, Options};
+use pgr_vm::{Vm, VmConfig};
+
+/// Compile, validate, run; return (output-as-string, return value).
+fn run(src: &str) -> (String, i32) {
+    run_with(src, VmConfig::default())
+}
+
+fn run_with(src: &str, config: VmConfig) -> (String, i32) {
+    let program = compile(src).unwrap_or_else(|e| panic!("compile error: {e}\n{src}"));
+    validate_program(&program).unwrap_or_else(|e| panic!("invalid bytecode: {e}"));
+    let mut vm = Vm::new(&program, config).unwrap();
+    let result = vm.run().unwrap_or_else(|e| panic!("runtime error: {e}"));
+    let ret = result.exit_code.unwrap_or_else(|| result.ret.i());
+    (String::from_utf8_lossy(&result.output).into_owned(), ret)
+}
+
+#[test]
+fn minimal_main() {
+    assert_eq!(run("int main(void) { return 42; }").1, 42);
+}
+
+#[test]
+fn arithmetic_precedence_and_unary() {
+    assert_eq!(run("int main() { return 2 + 3 * 4 - 6 / 2; }").1, 11);
+    assert_eq!(run("int main() { return -(3 - 10); }").1, 7);
+    assert_eq!(run("int main() { return ~0 + 2; }").1, 1);
+    assert_eq!(run("int main() { return !5 + !0; }").1, 1);
+    assert_eq!(run("int main() { return (7 % 3) << 4 >> 2; }").1, 4);
+    assert_eq!(run("int main() { return 12 & 10 | 1 ^ 4; }").1, 13);
+}
+
+#[test]
+fn signed_and_unsigned_division() {
+    assert_eq!(run("int main() { return -7 / 2; }").1, -3);
+    assert_eq!(run("int main() { return -7 % 2; }").1, -1);
+    assert_eq!(
+        run("int main() { unsigned a = 7u; unsigned b = 2u; return (int)(a / b); }").1,
+        3
+    );
+    // Unsigned comparison differs from signed.
+    assert_eq!(
+        run("int main() { unsigned big = 3000000000u; return big > 5u; }").1,
+        1
+    );
+    assert_eq!(run("int main() { int big = (int)3000000000u; return big > 5; }").1, 0);
+}
+
+#[test]
+fn locals_params_and_calls() {
+    let src = "
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { int x = 10; return add3(x, 20, 12); }
+    ";
+    assert_eq!(run(src).1, 42);
+}
+
+#[test]
+fn recursion_fib_and_gcd() {
+    let src = "
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int gcd(int a, int b) { if (b == 0) return a; return gcd(b, a % b); }
+        int main() { return fib(10) * 10 + gcd(48, 36); }
+    ";
+    assert_eq!(run(src).1, 55 * 10 + 12);
+}
+
+#[test]
+fn while_for_do_loops() {
+    let src = "
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 1; i <= 10; i++) total += i;     /* 55 */
+            while (i > 0) { total += 1; i -= 2; }      /* +6: i = 11,9,7,5,3,1 */
+            do { total += 100; } while (0);            /* +100 */
+            return total;
+        }
+    ";
+    assert_eq!(run(src).1, 161);
+}
+
+#[test]
+fn break_continue_nesting() {
+    let src = "
+        int main() {
+            int count = 0;
+            int i;
+            for (i = 0; i < 10; i++) {
+                if (i == 7) break;
+                if (i % 2 == 0) continue;
+                count = count * 10 + i;   /* 1, 3, 5 */
+            }
+            return count;
+        }
+    ";
+    assert_eq!(run(src).1, 135);
+}
+
+#[test]
+fn pointers_and_swap() {
+    let src = "
+        void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+        int main() {
+            int x = 3; int y = 4;
+            swap(&x, &y);
+            return x * 10 + y;
+        }
+    ";
+    assert_eq!(run(src).1, 43);
+}
+
+#[test]
+fn arrays_and_pointer_arithmetic() {
+    let src = "
+        int main() {
+            int a[5];
+            int *p;
+            int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            p = a + 2;
+            return a[4] + *p + *(p + 1) + (int)(p - a);
+        }
+    ";
+    assert_eq!(run(src).1, 16 + 4 + 9 + 2);
+}
+
+#[test]
+fn global_arrays_with_initializers() {
+    let src = "
+        int table[5] = {5, 10, 15, 20};
+        int scale = 3;
+        int main() {
+            return table[0] + table[3] + table[4] + scale;
+        }
+    ";
+    assert_eq!(run(src).1, (5 + 20) + 3);
+}
+
+#[test]
+fn chars_shorts_and_sign_extension() {
+    let src = "
+        int main() {
+            char c = 200;       /* wraps to -56 */
+            short s = 70000;    /* wraps to 4464 */
+            unsigned char u;
+            u = 200;
+            return (c < 0) * 100 + (s == 4464) * 10 + (u > 100);
+        }
+    ";
+    // `unsigned char` maps to unsigned storage here, so u > 100 holds.
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn strings_and_putstr() {
+    let src = "
+        int main() {
+            char *greeting = \"hello\";
+            putstr(greeting);
+            putchar(' ');
+            putstr(\"world\\n\");
+            return greeting[1];
+        }
+    ";
+    let (out, ret) = run(src);
+    assert_eq!(out, "hello world\n");
+    assert_eq!(ret, i32::from(b'e'));
+}
+
+#[test]
+fn local_char_array_from_string() {
+    let src = "
+        int main() {
+            char buf[6] = \"abcde\";
+            buf[2] = 'X';
+            putstr(buf);
+            return 0;
+        }
+    ";
+    assert_eq!(run(src).0, "abXde");
+}
+
+#[test]
+fn structs_fields_and_pointers() {
+    let src = "
+        struct Point { int x; int y; };
+        struct Rect { struct Point min; struct Point max; };
+        int area(struct Rect *r) {
+            return (r->max.x - r->min.x) * (r->max.y - r->min.y);
+        }
+        int main() {
+            struct Rect r;
+            r.min.x = 1; r.min.y = 2;
+            r.max.x = 5; r.max.y = 10;
+            return area(&r);
+        }
+    ";
+    assert_eq!(run(src).1, 32);
+}
+
+#[test]
+fn struct_assignment_and_by_value_args() {
+    let src = "
+        struct Pair { int a; int b; };
+        int sum(struct Pair p) { p.a += 1; return p.a + p.b; }
+        int main() {
+            struct Pair x;
+            struct Pair y;
+            x.a = 10; x.b = 20;
+            y = x;              /* block copy */
+            y.b = 5;
+            return sum(y) * 100 + x.b;  /* by-value: x unchanged */
+        }
+    ";
+    assert_eq!(run(src).1, 16 * 100 + 20);
+}
+
+#[test]
+fn switch_decision_tree() {
+    let src = "
+        int classify(int c) {
+            switch (c) {
+                case 0: return 100;
+                case 1:
+                case 2: return 200;
+                case 5: return 500;
+                case 9: return 900;
+                case 12: return 1200;
+                case 40: return 4000;
+                default: return -1;
+            }
+        }
+        int main() {
+            return (classify(0) == 100)
+                 + (classify(1) == 200)
+                 + (classify(2) == 200)
+                 + (classify(5) == 500)
+                 + (classify(9) == 900)
+                 + (classify(12) == 1200)
+                 + (classify(40) == 4000)
+                 + (classify(7) == -1)
+                 + (classify(-3) == -1);
+        }
+    ";
+    assert_eq!(run(src).1, 9);
+}
+
+#[test]
+fn switch_fallthrough_and_break() {
+    let src = "
+        int main() {
+            int v = 0;
+            switch (2) {
+                case 1: v += 1;
+                case 2: v += 2;   /* enters here */
+                case 3: v += 4;   /* falls through */
+                    break;
+                case 4: v += 8;
+            }
+            return v;
+        }
+    ";
+    assert_eq!(run(src).1, 6);
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    let src = "
+        int calls = 0;
+        int bump(int r) { calls++; return r; }
+        int main() {
+            int a = 0 && bump(1);       /* bump not called */
+            int b = 1 || bump(1);       /* bump not called */
+            int c = 1 && bump(7);       /* called, c = 1 */
+            int d = 0 || bump(0);       /* called, d = 0 */
+            return calls * 1000 + a * 100 + b * 10 + c + d;
+        }
+    ";
+    assert_eq!(run(src).1, 2011);
+}
+
+#[test]
+fn ternary_and_nested_conditionals() {
+    let src = "
+        int main() {
+            int x = 7;
+            int big = x > 5 ? 100 : 200;
+            double d = x > 5 ? 1.5 : 2;   /* mixed arms promote */
+            return big + (d == 1.5 ? 1 : 0) + (x < 0 ? 1 : x == 7 ? 10 : 20);
+        }
+    ";
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn increments_and_compound_assignment() {
+    let src = "
+        int main() {
+            int i = 5;
+            int a = i++;    /* a=5 i=6 */
+            int b = ++i;    /* b=7 i=7 */
+            int c = i--;    /* c=7 i=6 */
+            i <<= 2;        /* 24 */
+            i |= 1;         /* 25 */
+            i %= 7;         /* 4 */
+            return a * 1000 + b * 100 + c * 10 + i;
+        }
+    ";
+    assert_eq!(run(src).1, 5000 + 700 + 70 + 4);
+}
+
+#[test]
+fn pointer_increment_walks_elements() {
+    let src = "
+        int main() {
+            int a[4];
+            int *p = a;
+            int total = 0;
+            a[0] = 1; a[1] = 2; a[2] = 4; a[3] = 8;
+            total += *p++;
+            total += *p++;
+            p += 1;
+            total += *p;
+            return total;
+        }
+    ";
+    assert_eq!(run(src).1, 1 + 2 + 8);
+}
+
+#[test]
+fn floats_and_doubles() {
+    let src = "
+        double half(double d) { return d / 2; }
+        int main() {
+            float f = 1.5f;
+            double d = 2.25;
+            f = f * 2.0f;               /* 3.0 */
+            d = half(d) + (double)f;    /* 1.125 + 3.0 */
+            return (int)(d * 1000.0);
+        }
+    ";
+    assert_eq!(run(src).1, 4125);
+}
+
+#[test]
+fn float_comparisons_and_conversions() {
+    let src = "
+        int main() {
+            double a = 0.5;
+            float b = 0.25f;
+            int big = 1000000;
+            double c = (double)big + a;
+            return (a > (double)b) * 100 + ((int)c == 1000000) * 10 + (a != 0.0);
+        }
+    ";
+    assert_eq!(run(src).1, 111);
+}
+
+#[test]
+fn function_pointers() {
+    let src = "
+        int twice(int x) { return 2 * x; }
+        int thrice(int x) { return 3 * x; }
+        int apply(int (*f)(int), int v) { return f(v); }
+        int main() {
+            int (*g)(int);
+            g = twice;
+            return apply(g, 10) + apply(thrice, 10);
+        }
+    ";
+    assert_eq!(run(src).1, 50);
+}
+
+#[test]
+fn natives_malloc_memset_memcpy() {
+    let src = "
+        int main() {
+            char *p = (char *)malloc(16u);
+            char *q = (char *)malloc(16u);
+            memset((void *)p, 'a', 5u);
+            p[5] = 0;
+            memcpy((void *)q, (void *)p, 6u);
+            q[0] = 'A';
+            putstr(q);
+            free((void *)q);
+            return 0;
+        }
+    ";
+    assert_eq!(run(src).0, "Aaaaa");
+}
+
+#[test]
+fn getchar_and_exit() {
+    let src = "
+        int main() {
+            int c = getchar();
+            while (c != -1) { putchar(c + 1); c = getchar(); }
+            exit(9);
+            return 0;
+        }
+    ";
+    let (out, code) = run_with(
+        src,
+        VmConfig {
+            input: b"HAL".to_vec(),
+            ..VmConfig::default()
+        },
+    );
+    assert_eq!(out, "IBM");
+    assert_eq!(code, 9);
+}
+
+#[test]
+fn rand_is_deterministic() {
+    let src = "
+        int main() {
+            int a;
+            int b;
+            srand(42u);
+            a = rand();
+            srand(42u);
+            b = rand();
+            return (a == b) * 10 + (a >= 0);
+        }
+    ";
+    assert_eq!(run(src).1, 11);
+}
+
+#[test]
+fn putint_formats_decimals() {
+    let src = "
+        int main() {
+            putint(-42);
+            putchar(' ');
+            putuint(3000000000u);
+            return 0;
+        }
+    ";
+    assert_eq!(run(src).0, "-42 3000000000");
+}
+
+#[test]
+fn sizeof_values() {
+    let src = "
+        struct S { char c; double d; };
+        int main() {
+            return sizeof(char) + sizeof(short) * 10 + sizeof(int) * 100
+                 + sizeof(double) * 1000 + (sizeof(struct S) == 16) * 10000
+                 + (sizeof(int *) == 4) * 100000;
+        }
+    ";
+    assert_eq!(run(src).1, 1 + 20 + 400 + 8000 + 10000 + 100000);
+}
+
+#[test]
+fn global_bss_is_zeroed() {
+    let src = "
+        int counters[8];
+        double acc;
+        int main() {
+            int i;
+            int total = 0;
+            for (i = 0; i < 8; i++) total += counters[i];
+            return total + (acc == 0.0 ? 5 : 6);
+        }
+    ";
+    assert_eq!(run(src).1, 5);
+}
+
+#[test]
+fn comma_separated_globals_and_protos() {
+    let src = "
+        int helper(int x);
+        int a = 1, b = 2, c;
+        int helper(int x) { return x + a + b; }
+        int main() { c = helper(10); return c; }
+    ";
+    assert_eq!(run(src).1, 13);
+}
+
+#[test]
+fn struct_initializer_globals() {
+    let src = "
+        struct P { int x; int y; };
+        struct P origin = {3, 4};
+        int grid[2] = {7, 8};
+        int main() { return origin.x * origin.y + grid[1]; }
+    ";
+    assert_eq!(run(src).1, 20);
+}
+
+#[test]
+fn nested_call_arguments() {
+    let src = "
+        int add(int a, int b) { return a + b; }
+        int main() { return add(1, add(add(2, 3), 4)) + add(5, 6); }
+    ";
+    assert_eq!(run(src).1, 21);
+}
+
+#[test]
+fn eight_queens_smoke() {
+    // The paper's 8q benchmark, condensed: count solutions.
+    let src = "
+        int rows[8], d1[15], d2[15];
+        int count = 0;
+        void place(int c) {
+            int r;
+            if (c == 8) { count++; return; }
+            for (r = 0; r < 8; r++) {
+                if (!rows[r] && !d1[r + c] && !d2[r - c + 7]) {
+                    rows[r] = 1; d1[r + c] = 1; d2[r - c + 7] = 1;
+                    place(c + 1);
+                    rows[r] = 0; d1[r + c] = 0; d2[r - c + 7] = 0;
+                }
+            }
+        }
+        int main() { place(0); return count; }
+    ";
+    assert_eq!(run(src).1, 92);
+}
+
+#[test]
+fn optimizer_preserves_behaviour() {
+    let src = "
+        int work(int n) {
+            int acc = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                acc += i * 1 + 0;
+                if (i < n / 2) acc -= 0;
+                acc ^= (2 * 3);
+            }
+            return acc;
+        }
+        int main() { putint(work(17)); return work(9); }
+    ";
+    let plain = run(src);
+    let opt_program = compile_with(src, &Options { optimize: true }).unwrap();
+    validate_program(&opt_program).unwrap();
+    let mut vm = Vm::new(&opt_program, VmConfig::default()).unwrap();
+    let r = vm.run().unwrap();
+    assert_eq!(String::from_utf8_lossy(&r.output), plain.0);
+    assert_eq!(r.ret.i(), plain.1);
+    // And it should actually shrink this code.
+    let plain_program = compile(src).unwrap();
+    assert!(opt_program.code_size() < plain_program.code_size());
+}
+
+#[test]
+fn compressed_execution_matches_for_compiled_c() {
+    use pgr_core::{train, TrainConfig};
+    let src = "
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) { putint(fib(i)); putchar(' '); }
+            return fib(10);
+        }
+    ";
+    let program = compile(src).unwrap();
+    validate_program(&program).unwrap();
+    let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+    let plain = vm.run().unwrap();
+
+    let trained = train(&[&program], &TrainConfig::default()).unwrap();
+    let (cp, stats) = trained.compress(&program).unwrap();
+    assert!(stats.compressed_code < stats.original_code);
+    let ig = trained.initial();
+    let mut cvm = Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        VmConfig::default(),
+    )
+    .unwrap();
+    let compressed = cvm.run().unwrap();
+    assert_eq!(plain.output, compressed.output);
+    assert_eq!(plain.ret, compressed.ret);
+    assert_eq!(plain.output, b"0 1 1 2 3 5 8 13 21 34 ");
+    assert_eq!(plain.ret.u(), 55);
+}
+
+#[test]
+fn error_reporting_is_positioned() {
+    let e = compile("int main() { return x; }").unwrap_err();
+    assert!(e.message.contains("undefined"));
+    let e = compile("int main() { return 1 +; }").unwrap_err();
+    assert!(e.pos.line == 1 && e.pos.col > 0);
+    let e = compile("int f(int a) { return a; }").unwrap_err();
+    assert!(e.message.contains("main"));
+    let e = compile("int main() { break; }").unwrap_err();
+    assert!(e.message.contains("break"));
+    let e = compile("void main() { return 1; }").unwrap_err();
+    assert!(e.message.contains("void"));
+}

@@ -1,0 +1,449 @@
+//! The interpreter generator and the size model.
+//!
+//! The paper's system emits the compressed-bytecode interpreter from the
+//! original interpreter plus the expanded grammar (§2, Fig. 1): "each
+//! instruction of the new interpreter implements an entire rule in the
+//! expanded grammar", realized as a driver (`interpNT`) over "a table
+//! \[that\] encodes for each rule the sequence of terminals and
+//! non-terminals on the rule's right-hand side" (§5).
+//!
+//! This module emits compilable-style C for the three artifacts —
+//! `interp1.c` (the original switch interpreter), `tables.c` (the rule
+//! tables), and `interp_nt.c` (the driver) — and prices them with a
+//! deterministic per-construct object-size model. The paper's absolute
+//! numbers (7,855 B initial, 18,962 B compressed, 10,525 B of grammar)
+//! came from MSVC-compiled x86 objects; our model preserves the
+//! *relations* those numbers exhibit: a small fixed driver cost, and a
+//! delta dominated by the grammar tables.
+
+use crate::natives::Native;
+use pgr_bytecode::{Opcode, StackKind, TypeSuffix};
+use pgr_grammar::encode::grammar_size;
+use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
+use std::fmt::Write as _;
+
+/// Modeled object bytes of the interpreter scaffolding shared by both
+/// interpreters: `istate`, the fetch loop, frame handling, trampoline
+/// glue, and the native-call shims.
+pub const SCAFFOLD_BYTES: usize = 3000;
+
+/// Modeled object bytes of the `interpNT` driver the compressed
+/// interpreter adds on top (the rule walk and the split `GET`).
+pub const NT_DRIVER_BYTES: usize = 620;
+
+/// Modeled object bytes of one opcode's case in the switch.
+pub fn case_bytes(op: Opcode) -> usize {
+    use Opcode::*;
+    match op {
+        // Indirect calls marshal arguments and dispatch on the address
+        // ranges, the costliest handlers.
+        CALLD | CALLF | CALLU => 110,
+        CALLV => 104,
+        LocalCALLD | LocalCALLF | LocalCALLU => 100,
+        LocalCALLV => 96,
+        // Block operations loop over memory.
+        ASGNB => 90,
+        ARGB => 80,
+        BrTrue => 56,
+        JUMPV => 30,
+        LIT1 => 36,
+        LIT2 => 40,
+        LIT3 => 44,
+        LIT4 => 48,
+        ADDRFP | ADDRGP | ADDRLP => 48,
+        RETV => 24,
+        LABELV => 6,
+        _ => match (op.kind(), op.suffix()) {
+            (StackKind::V2, _) => 48,
+            (StackKind::V1, TypeSuffix::C | TypeSuffix::S | TypeSuffix::U)
+                if op.name().starts_with("INDIR") =>
+            {
+                44
+            }
+            (StackKind::V1, TypeSuffix::D | TypeSuffix::F)
+                if op.name().starts_with("INDIR") =>
+            {
+                44
+            }
+            (StackKind::V1, _) if op.name().starts_with("CV") => 36,
+            (StackKind::V1, _) => 32, // NEG*, BCOMU
+            (StackKind::X2, _) => 44, // ASGN scalar
+            (StackKind::X1, _) if op.name().starts_with("ARG") => 40,
+            (StackKind::X1, _) if op.name().starts_with("POP") => 12,
+            (StackKind::X1, _) if op.name().starts_with("RET") => 40,
+            _ => 40,
+        },
+    }
+}
+
+/// The modeled sizes reported by the §6 interpreter-size experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpreterSizes {
+    /// The initial, uncompressed-bytecode interpreter.
+    pub initial: usize,
+    /// The generated compressed-bytecode interpreter, including its rule
+    /// tables.
+    pub compressed: usize,
+    /// The serialized grammar alone (it "accounts for most of the
+    /// difference in interpreter size", §6).
+    pub grammar: usize,
+}
+
+impl InterpreterSizes {
+    /// Extra bytes the compressed interpreter costs over the initial one.
+    pub fn delta(&self) -> usize {
+        self.compressed - self.initial
+    }
+}
+
+/// Price both interpreters for a given expanded grammar.
+pub fn interpreter_sizes(grammar: &Grammar) -> InterpreterSizes {
+    let initial = SCAFFOLD_BYTES
+        + Opcode::ALL
+            .iter()
+            .map(|&op| case_bytes(op))
+            .sum::<usize>();
+    let grammar_bytes = grammar_size(grammar);
+    InterpreterSizes {
+        initial,
+        compressed: initial + NT_DRIVER_BYTES + grammar_bytes,
+        grammar: grammar_bytes,
+    }
+}
+
+fn case_body(op: Opcode) -> String {
+    use StackKind::*;
+    let name = op.name();
+    let pops = op.kind().pops();
+    let mut body = String::new();
+    for (i, var) in ["b", "a"].iter().take(pops).enumerate() {
+        let _ = i;
+        let _ = writeln!(body, "        val {var} = istate->stack[istate->top--];");
+    }
+    match op.kind() {
+        V0 => {
+            let _ = writeln!(
+                body,
+                "        istate->stack[++istate->top].u = GET({});",
+                op.operand_bytes()
+            );
+        }
+        V1 | V2 => {
+            let _ = writeln!(body, "        istate->stack[++istate->top] = op_{name}(istate{});",
+                if pops == 2 { ", a, b" } else { ", b" });
+        }
+        X0 | X1 | X2 => {
+            let operand = if op.operand_bytes() > 0 {
+                format!("GET({})", op.operand_bytes())
+            } else {
+                "0".to_string()
+            };
+            let args = match pops {
+                2 => ", a, b".to_string(),
+                1 => ", b".to_string(),
+                _ => String::new(),
+            };
+            let _ = writeln!(body, "        op_{name}(istate, {operand}{args});");
+        }
+        Label => {
+            let _ = writeln!(body, "        /* branch target marker */");
+        }
+    }
+    body
+}
+
+/// Emit C source for the initial interpreter's switch (`interpret1`) and
+/// fetch loop (`interp`), in the shape of §5.
+pub fn interp1_source() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "/* interp1.c -- generated: the initial bytecode interpreter (paper SS5). */\n\
+         #include \"istate.h\"\n\n\
+         void interpret1(unsigned char op, istate *istate) {\n\
+         \tswitch (op) {\n",
+    );
+    for &op in Opcode::ALL {
+        let _ = writeln!(out, "\tcase {}: {{", op.name());
+        out.push_str(&case_body(op));
+        out.push_str("        return;\n\t}\n");
+    }
+    out.push_str(
+        "\t}\n}\n\n\
+         void interp(istate *istate) {\n\
+         \twhile (1)\n\
+         \t\tinterpret1(istate->code[istate->pc++], istate);\n\
+         }\n",
+    );
+    // Native shims, so the emitted artifact is self-describing.
+    out.push_str("\n/* native library shims */\n");
+    for &n in Native::ALL {
+        let _ = writeln!(out, "/* extern: {n:?}, {} arg bytes */", n.arg_bytes());
+    }
+    out
+}
+
+/// Emit C source for the expanded grammar's rule tables: per
+/// non-terminal, an index of rule offsets and a flat symbol stream, using
+/// the same symbol encoding as [`pgr_grammar::encode`].
+pub fn rule_tables_source(grammar: &Grammar) -> String {
+    let mut out = String::new();
+    out.push_str("/* tables.c -- generated: expanded-grammar rule tables (paper SS5). */\n\n");
+    let nts = grammar.nt_count();
+    for nt in 0..nts {
+        let nt = Nt(nt as u16);
+        let mut stream: Vec<u8> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        for &id in grammar.rules_of(nt) {
+            offsets.push(stream.len());
+            let rule = grammar.rule(id);
+            stream.push(rule.rhs.len() as u8);
+            for &sym in &rule.rhs {
+                match sym {
+                    Symbol::N(n) => stream.push(n.0 as u8),
+                    Symbol::T(Terminal::Op(op)) => stream.push((nts + op as usize) as u8),
+                    Symbol::T(Terminal::Byte(b)) => {
+                        let v = nts + Opcode::COUNT + b as usize;
+                        if v < 255 {
+                            stream.push(v as u8);
+                        } else {
+                            stream.push(255);
+                            stream.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        let name = grammar.nt_name(nt);
+        let _ = writeln!(
+            out,
+            "static const unsigned short nt_{name}_offsets[{}] = {{",
+            offsets.len()
+        );
+        for chunk in offsets.chunks(12) {
+            let row: Vec<String> = chunk.iter().map(|o| o.to_string()).collect();
+            let _ = writeln!(out, "\t{},", row.join(", "));
+        }
+        out.push_str("};\n");
+        let _ = writeln!(
+            out,
+            "static const unsigned char nt_{name}_rules[{}] = {{",
+            stream.len()
+        );
+        for chunk in stream.chunks(16) {
+            let row: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "\t{},", row.join(", "));
+        }
+        out.push_str("};\n\n");
+    }
+    out
+}
+
+/// Emit C source for the Appendix 3 packaging of a program: per
+/// procedure the `_f_code[]`/`_f_labels[]` vectors, the descriptor table
+/// `_procs[]`, the global-address table `_globals[]`, and a trampoline
+/// for every procedure whose address escapes ("for each procedure f, the
+/// system creates two vectors … a global table of procedure descriptors
+/// packages pointers to these vectors with the procedure's framesize").
+pub fn packaging_source(program: &pgr_bytecode::Program) -> String {
+    use pgr_bytecode::GlobalEntry;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* package.c -- generated: Appendix 3 packaging, {} procedures. */\n",
+        program.procs.len()
+    );
+    for proc in &program.procs {
+        let _ = writeln!(
+            out,
+            "static unsigned char _{}_code[{}] = {{",
+            proc.name,
+            proc.code.len().max(1)
+        );
+        for chunk in proc.code.chunks(16) {
+            let row: Vec<String> = chunk.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "\t{},", row.join(", "));
+        }
+        out.push_str("};\n");
+        let _ = writeln!(
+            out,
+            "static short _{}_labels[{}] = {{",
+            proc.name,
+            proc.labels.len().max(1)
+        );
+        for chunk in proc.labels.chunks(12) {
+            let row: Vec<String> = chunk.iter().map(|l| l.to_string()).collect();
+            let _ = writeln!(out, "\t{},", row.join(", "));
+        }
+        out.push_str("};\n\n");
+    }
+
+    out.push_str("proc _procs[] = {\n");
+    for proc in &program.procs {
+        let _ = writeln!(
+            out,
+            "\t{{ {}, _{}_code, _{}_labels }},",
+            proc.frame_size, proc.name, proc.name
+        );
+    }
+    out.push_str("};\n\n");
+
+    out.push_str("void *_globals[] = {\n");
+    for entry in &program.globals {
+        match entry {
+            GlobalEntry::Data { name, offset } => {
+                let _ = writeln!(out, "\t_data + {offset}, /* {name} */");
+            }
+            GlobalEntry::Bss { name, offset } => {
+                let _ = writeln!(out, "\t_bss + {offset}, /* {name} */");
+            }
+            GlobalEntry::Proc { proc_index } => {
+                let _ = writeln!(
+                    out,
+                    "\t&{}, /* trampoline */",
+                    program.procs[*proc_index as usize].name
+                );
+            }
+            GlobalEntry::Native { name } => {
+                let _ = writeln!(out, "\t&{name},");
+            }
+        }
+    }
+    out.push_str("};\n\n/* trampolines (only for address-taken procedures, SS3) */\n");
+    for (idx, proc) in program.procs.iter().enumerate() {
+        if !proc.needs_trampoline {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "int {}(unsigned arg1) {{\n\treturn interpret({idx}, &arg1).i;\n}}",
+            proc.name
+        );
+    }
+    out
+}
+
+/// Emit C source for the `interpNT` driver of §5.
+pub fn interp_nt_source() -> String {
+    "/* interp_nt.c -- generated: the compressed-bytecode interpreter (paper SS5). */\n\
+     #include \"istate.h\"\n\
+     #include \"tables.h\"\n\n\
+     /* Fetch the next rule for `nt`, then advance across its right-hand\n\
+      * side: execute terminals via interpret1 (literal operands may be\n\
+      * burnt into the rule or read from the stream -- the GET split),\n\
+      * and recurse on non-terminals. */\n\
+     void interpNT(istate *istate, int nt) {\n\
+     \tunsigned char b = istate->code[istate->pc++];\n\
+     \tconst unsigned char *rhs = nt_rules(nt, b);\n\
+     \tint n = *rhs++;\n\
+     \tfor (int i = 0; i < n && !istate->jumped; i++) {\n\
+     \t\tint sym = rhs[i];\n\
+     \t\tif (sym < NT_COUNT)\n\
+     \t\t\tinterpNT(istate, sym);\n\
+     \t\telse if (sym < NT_COUNT + OP_COUNT)\n\
+     \t\t\tinterpret1((unsigned char)(sym - NT_COUNT), istate);\n\
+     \t\telse\n\
+     \t\t\tget_push_literal(istate, rhs, &i);\n\
+     \t}\n\
+     }\n\n\
+     void interp(istate *istate) {\n\
+     \twhile (1) {\n\
+     \t\tistate->jumped = 0;\n\
+     \t\tinterpNT(istate, NT_start);\n\
+     \t}\n\
+     }\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_grammar::{InitialGrammar, RuleOrigin};
+
+    #[test]
+    fn initial_interpreter_is_small() {
+        let ig = InitialGrammar::build();
+        let sizes = interpreter_sizes(&ig.grammar);
+        // The paper reports 7,855 bytes; the model should land in that
+        // neighbourhood.
+        assert!(
+            (6_000..10_000).contains(&sizes.initial),
+            "initial = {}",
+            sizes.initial
+        );
+    }
+
+    #[test]
+    fn compressed_delta_is_driver_plus_grammar() {
+        let ig = InitialGrammar::build();
+        let sizes = interpreter_sizes(&ig.grammar);
+        assert_eq!(sizes.delta(), NT_DRIVER_BYTES + sizes.grammar);
+    }
+
+    #[test]
+    fn grammar_growth_flows_into_the_compressed_size() {
+        let ig = InitialGrammar::build();
+        let before = interpreter_sizes(&ig.grammar);
+        let mut g = ig.grammar.clone();
+        for _ in 0..50 {
+            g.add_rule(
+                ig.nt_start,
+                vec![
+                    Symbol::N(ig.nt_start),
+                    Symbol::op(Opcode::JUMPV),
+                    Symbol::byte(0),
+                    Symbol::N(ig.nt_byte),
+                ],
+                RuleOrigin::Original,
+            );
+        }
+        let after = interpreter_sizes(&g);
+        assert_eq!(after.initial, before.initial);
+        assert!(after.compressed > before.compressed);
+        assert_eq!(after.delta() - before.delta(), after.grammar - before.grammar);
+    }
+
+    #[test]
+    fn emitted_c_covers_every_opcode() {
+        let src = interp1_source();
+        for &op in Opcode::ALL {
+            assert!(
+                src.contains(&format!("case {}:", op.name())),
+                "missing case for {}",
+                op.name()
+            );
+        }
+        assert!(src.contains("while (1)"));
+    }
+
+    #[test]
+    fn packaging_emits_appendix_3_shapes() {
+        let program = pgr_bytecode::asm::assemble(
+            "proc main frame=12 args=0\n\tLIT1 1\n\tBrTrue 0\n\tlabel 0\n\tRETV\nendproc\n\
+             proc helper frame=0 args=4\n\tADDRFP 0\n\tINDIRU\n\tRETU\nendproc\n\
+             native putchar\nprocaddr helper\nentry main\n",
+        )
+        .unwrap();
+        let src = packaging_source(&program);
+        assert!(src.contains("static unsigned char _main_code["));
+        assert!(src.contains("static short _main_labels["));
+        assert!(src.contains("{ 12, _main_code, _main_labels }"));
+        assert!(src.contains("&putchar"));
+        assert!(src.contains("&helper, /* trampoline */"));
+        // main is the entry and helper is address-taken: both get stubs.
+        assert!(src.contains("int main(unsigned arg1)"));
+        assert!(src.contains("int helper(unsigned arg1)"));
+        assert!(src.contains("return interpret(1, &arg1).i"));
+    }
+
+    #[test]
+    fn rule_tables_cover_every_nonterminal() {
+        let ig = InitialGrammar::build();
+        let src = rule_tables_source(&ig.grammar);
+        for nt in 0..ig.grammar.nt_count() {
+            let name = ig.grammar.nt_name(Nt(nt as u16));
+            assert!(src.contains(&format!("nt_{name}_offsets")));
+            assert!(src.contains(&format!("nt_{name}_rules")));
+        }
+        assert!(interp_nt_source().contains("interpNT"));
+    }
+}

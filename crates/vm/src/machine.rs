@@ -1,0 +1,586 @@
+//! The machine model and the two interpreter loops.
+//!
+//! A [`Vm`] loads one program image — uncompressed bytecode or compressed
+//! derivations plus the expanded grammar — resolves its global table
+//! (playing the linker of §3), and runs it. Procedure calls allocate
+//! frames on a stack region of the flat memory; arguments travel in a
+//! contiguous block, "an x86 calling convention that passes all arguments
+//! in contiguous memory" (Appendix 3). Indirect calls dispatch on
+//! synthetic address ranges: trampoline addresses reach bytecoded
+//! procedures, native addresses reach library routines — "the indirect
+//! call may call conventional code (a library routine) or bytecode and
+//! uses the same calling mechanism for both" (§3).
+
+use crate::error::VmError;
+use crate::exec::Flow;
+use crate::memory::Memory;
+use crate::natives::{self, Native, NativeOutcome};
+use crate::value::Slot;
+use pgr_bytecode::{GlobalEntry, Opcode, Program};
+use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
+use std::collections::VecDeque;
+
+/// First mapped data address (0 stays unmapped so null faults).
+pub const DATA_BASE: u32 = 64;
+/// Synthetic address of procedure 0's trampoline.
+pub const TRAMP_BASE: u32 = 0xE000_0000;
+/// Synthetic address of native routine 0.
+pub const NATIVE_BASE: u32 = 0xF000_0000;
+
+fn align8(v: u32) -> u32 {
+    (v + 7) & !7
+}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Bytes of bump-allocated heap for `malloc`.
+    pub heap_size: u32,
+    /// Bytes of frame stack.
+    pub stack_size: u32,
+    /// Instruction budget (an instruction here is one executed operator
+    /// or derivation step).
+    pub fuel: u64,
+    /// Maximum procedure-call depth.
+    pub max_call_depth: usize,
+    /// Host stack bytes for the interpreter thread. The interpreters
+    /// recurse on the host stack for procedure calls (like the paper's C
+    /// interpreters), so deep VM recursion needs host head-room,
+    /// especially in debug builds.
+    pub host_stack_bytes: usize,
+    /// Bytes served to `getchar`.
+    pub input: Vec<u8>,
+    /// Record the first N executed operators (0 = off). The trace lands
+    /// in [`RunResult::trace`]; tracing is identical for both
+    /// interpreters, which makes diverging runs easy to diff.
+    pub trace_limit: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            heap_size: 1 << 20,
+            stack_size: 1 << 20,
+            fuel: 200_000_000,
+            max_call_depth: 200,
+            host_stack_bytes: 32 << 20,
+            input: Vec::new(),
+            trace_limit: 0,
+        }
+    }
+}
+
+/// One executed operator, as recorded by [`VmConfig::trace_limit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Descriptor index of the procedure executing.
+    pub proc: u32,
+    /// The operator.
+    pub op: Opcode,
+    /// Its literal operand (0 for operand-less operators).
+    pub operand: u32,
+    /// Call depth at execution time.
+    pub depth: u32,
+}
+
+/// The outcome of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Exit code if the program called `exit`/`abort`, else `None`.
+    pub exit_code: Option<i32>,
+    /// The entry procedure's return value (zero when `exit` was called).
+    pub ret: Slot,
+    /// Everything the program printed.
+    pub output: Vec<u8>,
+    /// Executed operator/derivation steps.
+    pub steps: u64,
+    /// The first [`VmConfig::trace_limit`] executed operators.
+    pub trace: Vec<TraceEvent>,
+}
+
+/// Internal control signal: either a hard error or an `exit()` request
+/// unwinding to `run`.
+#[derive(Debug)]
+pub(crate) enum Stop {
+    Error(VmError),
+    Exit(i32),
+}
+
+impl From<VmError> for Stop {
+    fn from(e: VmError) -> Stop {
+        Stop::Error(e)
+    }
+}
+
+/// Which representation the VM executes.
+enum Repr<'p> {
+    /// Uncompressed bytecode, run by `interp1`.
+    Plain,
+    /// Compressed derivations, run by `interp_nt`.
+    Compressed {
+        grammar: &'p Grammar,
+        start: Nt,
+        byte_nt: Nt,
+    },
+}
+
+/// Frame context for the executing procedure.
+pub(crate) struct FrameCtx {
+    pub(crate) proc_idx: usize,
+    pub(crate) args_base: u32,
+    pub(crate) locals_base: u32,
+}
+
+/// A loaded program plus its execution state.
+pub struct Vm<'p> {
+    program: &'p Program,
+    repr: Repr<'p>,
+    pub(crate) mem: Memory,
+    /// Resolved address per global-table entry.
+    globals: Vec<u32>,
+    pub(crate) output: Vec<u8>,
+    pub(crate) input: VecDeque<u8>,
+    pub(crate) rng_state: u64,
+    pub(crate) arg_buf: Vec<u8>,
+    heap_next: u32,
+    heap_end: u32,
+    stack_next: u32,
+    stack_end: u32,
+    fuel: u64,
+    steps: u64,
+    depth: usize,
+    max_depth: usize,
+    host_stack_bytes: usize,
+    trace: Vec<TraceEvent>,
+    trace_limit: usize,
+}
+
+impl<'p> Vm<'p> {
+    /// Load an uncompressed program.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`VmError::UnknownNative`] if the global table names a
+    /// routine the VM does not provide.
+    pub fn new(program: &'p Program, config: VmConfig) -> Result<Vm<'p>, VmError> {
+        Vm::build(program, Repr::Plain, config)
+    }
+
+    /// Load a compressed program (the `program` field of a
+    /// `CompressedProgram`) together with the expanded grammar it was
+    /// encoded against. `start` and `byte_nt` are the grammar's start and
+    /// `<byte>` non-terminals (`InitialGrammar::nt_start`/`nt_byte`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Vm::new`].
+    pub fn new_compressed(
+        program: &'p Program,
+        grammar: &'p Grammar,
+        start: Nt,
+        byte_nt: Nt,
+        config: VmConfig,
+    ) -> Result<Vm<'p>, VmError> {
+        Vm::build(
+            program,
+            Repr::Compressed {
+                grammar,
+                start,
+                byte_nt,
+            },
+            config,
+        )
+    }
+
+    fn build(program: &'p Program, repr: Repr<'p>, config: VmConfig) -> Result<Vm<'p>, VmError> {
+        let data_end = DATA_BASE + program.data.len() as u32;
+        let bss_base = align8(data_end);
+        let bss_end = bss_base + program.bss_size;
+        let heap_base = align8(bss_end);
+        let heap_end = heap_base + config.heap_size;
+        let stack_base = align8(heap_end);
+        let stack_end = stack_base + config.stack_size;
+
+        let mut mem = Memory::new(stack_end);
+        if !program.data.is_empty() {
+            mem.store_bytes(DATA_BASE, &program.data)?;
+        }
+
+        let mut globals = Vec::with_capacity(program.globals.len());
+        for entry in &program.globals {
+            let addr = match entry {
+                GlobalEntry::Data { offset, .. } => DATA_BASE + offset,
+                GlobalEntry::Bss { offset, .. } => bss_base + offset,
+                GlobalEntry::Proc { proc_index } => TRAMP_BASE + proc_index,
+                GlobalEntry::Native { name } => {
+                    let native = Native::resolve(name).ok_or_else(|| VmError::UnknownNative {
+                        name: name.clone(),
+                    })?;
+                    let idx = Native::ALL
+                        .iter()
+                        .position(|&n| n == native)
+                        .expect("registry contains resolved natives");
+                    NATIVE_BASE + idx as u32
+                }
+            };
+            globals.push(addr);
+        }
+
+        Ok(Vm {
+            program,
+            repr,
+            mem,
+            globals,
+            output: Vec::new(),
+            input: config.input.iter().copied().collect(),
+            rng_state: 1,
+            arg_buf: Vec::new(),
+            heap_next: heap_base,
+            heap_end,
+            stack_next: stack_base,
+            stack_end,
+            fuel: config.fuel,
+            steps: 0,
+            depth: 0,
+            max_depth: config.max_call_depth,
+            host_stack_bytes: config.host_stack_bytes,
+            trace: Vec::new(),
+            trace_limit: config.trace_limit,
+        })
+    }
+
+    /// Run the program from its entry procedure with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any runtime fault; an `exit()` call is a normal completion.
+    pub fn run(&mut self) -> Result<RunResult, VmError> {
+        // Run on a dedicated thread with a generous stack: VM calls
+        // recurse on the host stack, and debug-build frames are large.
+        let stack = self.host_stack_bytes;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("pgr-vm".into())
+                .stack_size(stack)
+                .spawn_scoped(scope, || self.run_on_this_thread())
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread never panics")
+        })
+    }
+
+    fn run_on_this_thread(&mut self) -> Result<RunResult, VmError> {
+        let entry = self.program.entry as u16;
+        match self.call_descriptor(entry) {
+            Ok(ret) => Ok(RunResult {
+                exit_code: None,
+                ret,
+                output: std::mem::take(&mut self.output),
+                steps: self.steps,
+                trace: std::mem::take(&mut self.trace),
+            }),
+            Err(Stop::Exit(code)) => Ok(RunResult {
+                exit_code: Some(code),
+                ret: Slot::ZERO,
+                output: std::mem::take(&mut self.output),
+                steps: self.steps,
+                trace: std::mem::take(&mut self.trace),
+            }),
+            Err(Stop::Error(e)) => Err(e),
+        }
+    }
+
+    /// Resolved address of a global-table entry.
+    pub(crate) fn global_address(&self, index: u16) -> Option<u32> {
+        self.globals.get(usize::from(index)).copied()
+    }
+
+    pub(crate) fn proc_name(&self, frame: &FrameCtx) -> String {
+        self.program.procs[frame.proc_idx].name.clone()
+    }
+
+    /// Bump-allocate heap memory (8-byte aligned; zero-size requests get
+    /// a distinct non-null address).
+    pub(crate) fn heap_alloc(&mut self, size: u32) -> Result<u32, VmError> {
+        let addr = self.heap_next;
+        let end = addr
+            .checked_add(align8(size.max(1)))
+            .ok_or(VmError::HeapExhausted { requested: size })?;
+        if end > self.heap_end {
+            return Err(VmError::HeapExhausted { requested: size });
+        }
+        self.heap_next = end;
+        Ok(addr)
+    }
+
+    /// Dispatch an indirect call: trampoline addresses reach bytecode,
+    /// native addresses reach library routines.
+    pub(crate) fn call_address(&mut self, addr: u32) -> Result<Slot, Stop> {
+        if (TRAMP_BASE..TRAMP_BASE + self.program.procs.len() as u32).contains(&addr) {
+            return self.call_descriptor((addr - TRAMP_BASE) as u16);
+        }
+        if (NATIVE_BASE..NATIVE_BASE + Native::ALL.len() as u32).contains(&addr) {
+            let native = Native::ALL[(addr - NATIVE_BASE) as usize];
+            let need = native.arg_bytes();
+            if self.arg_buf.len() < need {
+                return Err(Stop::Error(VmError::ArgUnderflow {
+                    proc: format!("native {native:?}"),
+                    need,
+                    have: self.arg_buf.len(),
+                }));
+            }
+            let args = self.arg_buf.split_off(self.arg_buf.len() - need);
+            return match natives::call(self, native, &args) {
+                Ok(NativeOutcome::Return(v)) => Ok(v),
+                Ok(NativeOutcome::Exit(code)) => Err(Stop::Exit(code)),
+                Err(e) => Err(Stop::Error(e)),
+            };
+        }
+        Err(Stop::Error(VmError::BadCallTarget { addr }))
+    }
+
+    /// Call a bytecoded procedure by descriptor index. The callee's
+    /// declared `arg_size` bytes are taken from the tail of the outgoing
+    /// argument buffer — tail consumption is what lets calls nest inside
+    /// argument lists.
+    pub(crate) fn call_descriptor(&mut self, index: u16) -> Result<Slot, Stop> {
+        let proc_idx = usize::from(index);
+        let Some(proc) = self.program.procs.get(proc_idx) else {
+            return Err(Stop::Error(VmError::BadDescriptor { index }));
+        };
+        if self.depth >= self.max_depth {
+            return Err(Stop::Error(VmError::CallDepthExceeded {
+                limit: self.max_depth,
+            }));
+        }
+        let need = proc.arg_size as usize;
+        if self.arg_buf.len() < need {
+            return Err(Stop::Error(VmError::ArgUnderflow {
+                proc: proc.name.clone(),
+                need,
+                have: self.arg_buf.len(),
+            }));
+        }
+        let args = self.arg_buf.split_off(self.arg_buf.len() - need);
+
+        let args_base = align8(self.stack_next);
+        let locals_base = args_base + align8(need as u32);
+        let frame_end = locals_base + align8(proc.frame_size);
+        if frame_end > self.stack_end {
+            return Err(Stop::Error(VmError::StackOverflow));
+        }
+        // Deterministic frames: zero the whole region, then copy args.
+        let zero = vec![0u8; (frame_end - args_base) as usize];
+        self.mem.store_bytes(args_base, &zero).map_err(Stop::Error)?;
+        if !args.is_empty() {
+            self.mem.store_bytes(args_base, &args).map_err(Stop::Error)?;
+        }
+
+        let saved_stack = self.stack_next;
+        self.stack_next = frame_end;
+        self.depth += 1;
+        let frame = FrameCtx {
+            proc_idx,
+            args_base,
+            locals_base,
+        };
+        let result = match self.repr {
+            Repr::Plain => self.interp1(&frame),
+            Repr::Compressed {
+                grammar,
+                start,
+                byte_nt,
+            } => self.interp_nt(&frame, grammar, start, byte_nt),
+        };
+        self.depth -= 1;
+        self.stack_next = saved_stack;
+        result
+    }
+
+    fn record(&mut self, proc_idx: usize, op: Opcode, operand: u32) {
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(TraceEvent {
+                proc: proc_idx as u32,
+                op,
+                operand,
+                depth: self.depth as u32,
+            });
+        }
+    }
+
+    fn burn_fuel(&mut self) -> Result<(), Stop> {
+        if self.fuel == 0 {
+            return Err(Stop::Error(VmError::OutOfFuel));
+        }
+        self.fuel -= 1;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// The initial interpreter: fetch an opcode and its literal operands
+    /// from the code stream, execute, repeat (§5's `interp`/`interpret1`
+    /// pair).
+    fn interp1(&mut self, frame: &FrameCtx) -> Result<Slot, Stop> {
+        let program = self.program;
+        let proc = &program.procs[frame.proc_idx];
+        let code = &proc.code;
+        let mut pc = 0usize;
+        let mut stack: Vec<Slot> = Vec::with_capacity(16);
+        loop {
+            self.burn_fuel()?;
+            let Some(&byte) = code.get(pc) else {
+                return Err(Stop::Error(VmError::FellOffEnd {
+                    proc: proc.name.clone(),
+                }));
+            };
+            let Some(op) = Opcode::from_u8(byte) else {
+                return Err(Stop::Error(VmError::BadOpcode {
+                    proc: proc.name.clone(),
+                    offset: pc,
+                }));
+            };
+            let n = op.operand_bytes();
+            if pc + 1 + n > code.len() {
+                return Err(Stop::Error(VmError::BadOpcode {
+                    proc: proc.name.clone(),
+                    offset: pc,
+                }));
+            }
+            let mut operands = [0u8; 4];
+            operands[..n].copy_from_slice(&code[pc + 1..pc + 1 + n]);
+            pc += 1 + n;
+            if self.trace_limit > 0 {
+                self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
+            }
+            match self.exec_op(op, operands, frame, &mut stack)? {
+                Flow::Continue => {}
+                Flow::Branch(label) => {
+                    let target =
+                        proc.labels
+                            .get(usize::from(label))
+                            .ok_or(VmError::BadLabel {
+                                proc: proc.name.clone(),
+                                index: label,
+                            })?;
+                    pc = *target as usize;
+                }
+                Flow::Return(v) => return Ok(v),
+            }
+        }
+    }
+
+    /// The compressed-bytecode interpreter (§5's `interpNT`): each stream
+    /// byte selects a rule for the current non-terminal; the walk
+    /// executes terminal operators (fetching literal operands from
+    /// burnt-in rule bytes or the stream — the `GET` split) and recurses
+    /// on non-terminals. A taken branch abandons the walk and restarts at
+    /// the label's segment; a completed walk falls through to the next
+    /// segment's derivation.
+    fn interp_nt(
+        &mut self,
+        frame: &FrameCtx,
+        grammar: &Grammar,
+        start: Nt,
+        byte_nt: Nt,
+    ) -> Result<Slot, Stop> {
+        let program = self.program;
+        let proc = &program.procs[frame.proc_idx];
+        let code = &proc.code;
+        let corrupt = |offset: usize, detail: &'static str| {
+            Stop::Error(VmError::CorruptDerivation {
+                proc: proc.name.clone(),
+                offset,
+                detail,
+            })
+        };
+
+        let mut pc = 0usize;
+        let mut stack: Vec<Slot> = Vec::with_capacity(16);
+        // The rule walk: (rule, position in its right-hand side).
+        let mut walk: Vec<(pgr_grammar::RuleId, usize)> = Vec::with_capacity(32);
+
+        loop {
+            self.burn_fuel()?;
+            if walk.is_empty() {
+                // Start the next segment's derivation of <start>.
+                if pc >= code.len() {
+                    return Err(Stop::Error(VmError::FellOffEnd {
+                        proc: proc.name.clone(),
+                    }));
+                }
+                let b = code[pc];
+                pc += 1;
+                let Some(&rule) = grammar.rules_of(start).get(usize::from(b)) else {
+                    return Err(corrupt(pc - 1, "no such start rule"));
+                };
+                walk.push((rule, 0));
+                continue;
+            }
+
+            let (rule_id, pos) = *walk.last().expect("walk is non-empty");
+            let rule = grammar.rule(rule_id);
+            if pos >= rule.rhs.len() {
+                walk.pop();
+                continue;
+            }
+            match rule.rhs[pos] {
+                Symbol::N(nt) => {
+                    walk.last_mut().expect("walk is non-empty").1 = pos + 1;
+                    if pc >= code.len() {
+                        return Err(corrupt(pc, "stream ends inside a derivation"));
+                    }
+                    let b = code[pc];
+                    pc += 1;
+                    let Some(&child) = grammar.rules_of(nt).get(usize::from(b)) else {
+                        return Err(corrupt(pc - 1, "no such rule for non-terminal"));
+                    };
+                    walk.push((child, 0));
+                }
+                Symbol::T(Terminal::Byte(_)) => {
+                    return Err(corrupt(pc, "literal byte not owned by an opcode"));
+                }
+                Symbol::T(Terminal::Op(op)) => {
+                    // Fetch the operator's literal operands: each comes
+                    // either burnt into the rule or from the stream via a
+                    // <byte> expansion (§5's GET).
+                    let n = op.operand_bytes();
+                    let mut operands = [0u8; 4];
+                    let mut p = pos + 1;
+                    for slot in operands.iter_mut().take(n) {
+                        match rule.rhs.get(p) {
+                            Some(Symbol::T(Terminal::Byte(b))) => *slot = *b,
+                            Some(Symbol::N(nt)) if *nt == byte_nt => {
+                                if pc >= code.len() {
+                                    return Err(corrupt(pc, "stream ends inside operands"));
+                                }
+                                *slot = code[pc];
+                                pc += 1;
+                            }
+                            _ => return Err(corrupt(pc, "operand layout violated")),
+                        }
+                        p += 1;
+                    }
+                    walk.last_mut().expect("walk is non-empty").1 = p;
+
+                    if self.trace_limit > 0 {
+                        self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
+                    }
+                    match self.exec_op(op, operands, frame, &mut stack)? {
+                        Flow::Continue => {}
+                        Flow::Branch(label) => {
+                            let target = proc.labels.get(usize::from(label)).ok_or(
+                                VmError::BadLabel {
+                                    proc: proc.name.clone(),
+                                    index: label,
+                                },
+                            )?;
+                            pc = *target as usize;
+                            walk.clear();
+                        }
+                        Flow::Return(v) => return Ok(v),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Flat little-endian VM memory.
+//!
+//! Addresses are 32-bit offsets into one byte array, mirroring the
+//! paper's x86 target. Address 0 is never mapped, so null dereferences
+//! fault cleanly.
+
+use crate::error::VmError;
+
+/// The VM's linear memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` bytes of zeroed memory.
+    pub fn new(size: u32) -> Memory {
+        Memory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Mapped size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, VmError> {
+        let end = addr as u64 + size as u64;
+        if addr == 0 || end > self.bytes.len() as u64 {
+            return Err(VmError::BadAddress { addr, size });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Read `len` bytes.
+    pub fn load_bytes(&self, addr: u32, len: u32) -> Result<&[u8], VmError> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Write bytes.
+    pub fn store_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), VmError> {
+        let a = self.check(addr, data.len() as u32)?;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copy `len` bytes within memory (overlap-safe).
+    pub fn copy(&mut self, dst: u32, src: u32, len: u32) -> Result<(), VmError> {
+        let s = self.check(src, len)?;
+        let d = self.check(dst, len)?;
+        self.bytes.copy_within(s..s + len as usize, d);
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn load_u8(&self, addr: u32) -> Result<u8, VmError> {
+        Ok(self.bytes[self.check(addr, 1)?])
+    }
+
+    /// Read a 16-bit little-endian value.
+    pub fn load_u16(&self, addr: u32) -> Result<u16, VmError> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Read a 32-bit little-endian value.
+    pub fn load_u32(&self, addr: u32) -> Result<u32, VmError> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(
+            self.bytes[a..a + 4].try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a 64-bit little-endian value.
+    pub fn load_u64(&self, addr: u32) -> Result<u64, VmError> {
+        let a = self.check(addr, 8)?;
+        Ok(u64::from_le_bytes(
+            self.bytes[a..a + 8].try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Write one byte.
+    pub fn store_u8(&mut self, addr: u32, v: u8) -> Result<(), VmError> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = v;
+        Ok(())
+    }
+
+    /// Write a 16-bit little-endian value.
+    pub fn store_u16(&mut self, addr: u32, v: u16) -> Result<(), VmError> {
+        self.store_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Write a 32-bit little-endian value.
+    pub fn store_u32(&mut self, addr: u32, v: u32) -> Result<(), VmError> {
+        self.store_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Write a 64-bit little-endian value.
+    pub fn store_u64(&mut self, addr: u32, v: u64) -> Result<(), VmError> {
+        self.store_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Read a float.
+    pub fn load_f32(&self, addr: u32) -> Result<f32, VmError> {
+        Ok(f32::from_bits(self.load_u32(addr)?))
+    }
+
+    /// Read a double.
+    pub fn load_f64(&self, addr: u32) -> Result<f64, VmError> {
+        Ok(f64::from_bits(self.load_u64(addr)?))
+    }
+
+    /// Read a NUL-terminated string (for natives like `putstr`).
+    pub fn load_cstr(&self, addr: u32, max: u32) -> Result<&[u8], VmError> {
+        let start = self.check(addr, 1)?;
+        let limit = (addr as u64 + max as u64).min(self.bytes.len() as u64) as usize;
+        match self.bytes[start..limit].iter().position(|&b| b == 0) {
+            Some(n) => Ok(&self.bytes[start..start + n]),
+            None => Err(VmError::BadAddress {
+                addr: limit as u32,
+                size: 1,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let mut m = Memory::new(64);
+        m.store_u8(8, 0xAB).unwrap();
+        assert_eq!(m.load_u8(8).unwrap(), 0xAB);
+        m.store_u16(10, 0x1234).unwrap();
+        assert_eq!(m.load_u16(10).unwrap(), 0x1234);
+        m.store_u32(12, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load_u32(12).unwrap(), 0xDEAD_BEEF);
+        m.store_u64(16, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(m.load_u64(16).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(16);
+        m.store_u32(4, 0x0102_0304).unwrap();
+        assert_eq!(m.load_bytes(4, 4).unwrap(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn null_and_oob_fault() {
+        let mut m = Memory::new(16);
+        assert!(m.load_u8(0).is_err());
+        assert!(m.store_u32(0, 1).is_err());
+        assert!(m.load_u32(14).is_err());
+        assert!(m.load_u8(16).is_err());
+        // Address arithmetic must not wrap.
+        assert!(m.load_u32(u32::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn overlapping_copy_is_memmove() {
+        let mut m = Memory::new(32);
+        m.store_bytes(4, &[1, 2, 3, 4, 5]).unwrap();
+        m.copy(6, 4, 5).unwrap();
+        assert_eq!(m.load_bytes(6, 5).unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Memory::new(32);
+        m.store_bytes(4, b"hi\0junk").unwrap();
+        assert_eq!(m.load_cstr(4, 16).unwrap(), b"hi");
+        // Unterminated within max -> error.
+        m.store_bytes(20, &[65; 12]).unwrap();
+        assert!(m.load_cstr(20, 8).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Execution-stack slots.
+//!
+//! The paper's interpreter keeps "a small execution stack \[whose\] elements
+//! use a union of the basic machine types" (§5). [`Slot`] is that union:
+//! 64 raw bits read back as `i32`/`u32`/`f32` (low half) or `f64` (all of
+//! it), exactly like a C `union { int i; unsigned u; float f; double d; }`
+//! on a little-endian machine.
+
+use std::fmt;
+
+/// One evaluation-stack slot: a 64-bit union of the machine types.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Slot(u64);
+
+impl Slot {
+    /// The all-zero slot (also the "void" return value).
+    pub const ZERO: Slot = Slot(0);
+
+    /// Wrap an unsigned integer (zero-extended).
+    pub fn from_u(v: u32) -> Slot {
+        Slot(u64::from(v))
+    }
+
+    /// Wrap a signed integer (stored in the low 32 bits).
+    pub fn from_i(v: i32) -> Slot {
+        Slot(u64::from(v as u32))
+    }
+
+    /// Wrap a float (its bits occupy the low 32 bits).
+    pub fn from_f(v: f32) -> Slot {
+        Slot(u64::from(v.to_bits()))
+    }
+
+    /// Wrap a double (its bits occupy the whole slot).
+    pub fn from_d(v: f64) -> Slot {
+        Slot(v.to_bits())
+    }
+
+    /// Construct from raw bits (e.g. when reloading a spilled slot).
+    pub fn from_bits(bits: u64) -> Slot {
+        Slot(bits)
+    }
+
+    /// The slot as an unsigned integer (low 32 bits).
+    pub fn u(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The slot as a signed integer (low 32 bits).
+    pub fn i(self) -> i32 {
+        self.0 as u32 as i32
+    }
+
+    /// The slot as a float (low 32 bits reinterpreted).
+    pub fn f(self) -> f32 {
+        f32::from_bits(self.0 as u32)
+    }
+
+    /// The slot as a double (all 64 bits reinterpreted).
+    pub fn d(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+
+    /// The raw bits.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Slot({:#x} u={} i={})", self.0, self.u(), self.i())
+    }
+}
+
+impl From<u32> for Slot {
+    fn from(v: u32) -> Slot {
+        Slot::from_u(v)
+    }
+}
+
+impl From<i32> for Slot {
+    fn from(v: i32) -> Slot {
+        Slot::from_i(v)
+    }
+}
+
+impl From<f32> for Slot {
+    fn from(v: f32) -> Slot {
+        Slot::from_f(v)
+    }
+}
+
+impl From<f64> for Slot {
+    fn from(v: f64) -> Slot {
+        Slot::from_d(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_views_share_bits() {
+        let s = Slot::from_i(-1);
+        assert_eq!(s.u(), u32::MAX);
+        assert_eq!(s.i(), -1);
+        let s = Slot::from_u(0x8000_0000);
+        assert_eq!(s.i(), i32::MIN);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        let s = Slot::from_f(3.5);
+        assert_eq!(s.f(), 3.5);
+        // Low 32 bits only; the double view sees the float's bit pattern
+        // as a tiny denormal, exactly like the C union would.
+        assert_eq!(s.bits() >> 32, 0);
+        let s = Slot::from_d(-2.25);
+        assert_eq!(s.d(), -2.25);
+    }
+
+    #[test]
+    fn zero_is_zero_everywhere() {
+        assert_eq!(Slot::ZERO.u(), 0);
+        assert_eq!(Slot::ZERO.i(), 0);
+        assert_eq!(Slot::ZERO.f(), 0.0);
+        assert_eq!(Slot::ZERO.d(), 0.0);
+    }
+
+    #[test]
+    fn from_impls_match_constructors() {
+        assert_eq!(Slot::from(7u32), Slot::from_u(7));
+        assert_eq!(Slot::from(-7i32), Slot::from_i(-7));
+        assert_eq!(Slot::from(1.5f32), Slot::from_f(1.5));
+        assert_eq!(Slot::from(1.5f64), Slot::from_d(1.5));
+        assert_eq!(Slot::from_bits(42).bits(), 42);
+    }
+}

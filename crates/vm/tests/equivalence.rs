@@ -1,0 +1,407 @@
+//! End-to-end interpreter equivalence: every program must behave
+//! identically under the initial interpreter (uncompressed bytecode) and
+//! the generated interpreter (compressed bytecode) — same output, same
+//! return value, same exit code. This is the paper's central correctness
+//! claim: compression changes the representation, not the program.
+
+use pgr_bytecode::asm::assemble;
+use pgr_bytecode::{validate_program, Program};
+use pgr_core::{train, TrainConfig};
+use pgr_vm::{RunResult, Vm, VmConfig};
+
+/// Run `program` both ways (training the grammar on the program itself
+/// plus a generic corpus) and assert identical behaviour; returns the
+/// uncompressed result for further checks.
+fn run_both(src: &str) -> RunResult {
+    run_both_with(src, VmConfig::default())
+}
+
+fn run_both_with(src: &str, config: VmConfig) -> RunResult {
+    let program = assemble(src).unwrap();
+    validate_program(&program).unwrap();
+
+    let mut vm = Vm::new(&program, config.clone()).unwrap();
+    let plain = vm.run().unwrap();
+
+    let trained = train(&[&program], &TrainConfig::default()).unwrap();
+    let (cp, _) = trained.compress(&program).unwrap();
+    let ig = trained.initial();
+    let mut cvm = Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        config,
+    )
+    .unwrap();
+    let compressed = cvm.run().unwrap();
+
+    assert_eq!(plain.output, compressed.output, "output diverged");
+    assert_eq!(plain.ret, compressed.ret, "return value diverged");
+    assert_eq!(plain.exit_code, compressed.exit_code, "exit code diverged");
+    plain
+}
+
+#[test]
+fn arithmetic_and_return() {
+    // (10 * 4 - 8) / 2 -> 16
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 10\n\tLIT1 4\n\tMULI\n\tLIT1 8\n\tSUBU\n\tLIT1 2\n\tDIVI\n\tRETU\n\
+         endproc\nentry main\n",
+    );
+    assert_eq!(r.ret.u(), 16);
+}
+
+#[test]
+fn loop_with_branches_prints_digits() {
+    // for (i = 0; i < 10; i++) putchar('0' + i);
+    let r = run_both(
+        "proc main frame=8 args=0\n\
+         \tLIT1 0\n\tADDRLP 0\n\tASGNU\n\
+         \tlabel 0\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 10\n\tLTI\n\tBrTrue 1\n\
+         \tJUMPV 2\n\
+         \tlabel 1\n\
+         \tLIT1 48\n\tADDRLP 0\n\tINDIRU\n\tADDU\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tPOPU\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+         \tJUMPV 0\n\
+         \tlabel 2\n\
+         \tRETV\n\
+         endproc\nnative putchar\nentry main\n",
+    );
+    assert_eq!(r.output, b"0123456789");
+}
+
+#[test]
+fn local_calls_and_recursion() {
+    // fib(10) = 55, recursively.
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 10\n\tARGU\n\tLocalCALLU 1\n\tRETU\n\
+         endproc\n\
+         proc fib frame=8 args=4\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 2\n\tLTI\n\tBrTrue 0\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 1\n\tSUBU\n\tARGU\n\tLocalCALLU 1\n\
+         \tADDRLP 0\n\tASGNU\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 2\n\tSUBU\n\tARGU\n\tLocalCALLU 1\n\
+         \tADDRLP 0\n\tINDIRU\n\tADDU\n\tRETU\n\
+         \tlabel 0\n\
+         \tADDRFP 0\n\tINDIRU\n\tRETU\n\
+         endproc\nentry main\n",
+    );
+    assert_eq!(r.ret.u(), 55);
+}
+
+#[test]
+fn indirect_calls_through_trampolines() {
+    // apply(21, &double) called through apply's own trampoline; apply
+    // forwards through the function-pointer argument. Both procedures are
+    // reached by the same indirect-call mechanism (§3).
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 21\n\tARGU\n\tADDRGP 1\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tRETU\n\
+         endproc\n\
+         proc apply frame=0 args=8\n\
+         \tADDRFP 0\n\tINDIRU\n\tARGU\n\tADDRFP 4\n\tINDIRU\n\tCALLU\n\tRETU\n\
+         endproc\n\
+         proc double frame=0 args=4\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 2\n\tMULI\n\tRETU\n\
+         endproc\n\
+         procaddr apply\n\
+         procaddr double\n\
+         entry main\n",
+    );
+    assert_eq!(r.ret.u(), 42);
+}
+
+#[test]
+fn function_pointer_via_global_table() {
+    // Simpler: store nothing; directly ADDRGP a procaddr entry and call.
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 5\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tRETU\n\
+         endproc\n\
+         proc sq frame=0 args=4\n\
+         \tADDRFP 0\n\tINDIRU\n\tADDRFP 0\n\tINDIRU\n\tMULI\n\tRETU\n\
+         endproc\n\
+         procaddr sq\n\
+         entry main\n",
+    );
+    assert_eq!(r.ret.u(), 25);
+}
+
+#[test]
+fn globals_data_and_bss() {
+    // counter (bss) += table[2] (data); print result as char.
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tADDRGP 0\n\tLIT1 2\n\tADDU\n\tINDIRC\n\tADDRGP 1\n\tASGNU\n\
+         \tADDRGP 1\n\tINDIRU\n\tARGU\n\tADDRGP 2\n\tCALLU\n\tPOPU\n\
+         \tRETV\n\
+         endproc\n\
+         data table = 1 2 67 4\n\
+         bss counter 4\n\
+         native putchar\n\
+         entry main\n",
+    );
+    assert_eq!(r.output, b"C");
+}
+
+#[test]
+fn floats_and_doubles() {
+    // float: 1.5 + 2.25 = 3.75 -> *2 as int = 7 (via double).
+    let bits = 1.5f32.to_bits();
+    let bits2 = 2.25f32.to_bits();
+    let r = run_both(&format!(
+        "proc main frame=0 args=0\n\
+         \tLIT4 {bits}\n\tLIT4 {bits2}\n\tADDF\n\tCVFD\n\
+         \tLIT1 2\n\tCVID\n\tMULD\n\tCVDI\n\tRETU\n\
+         endproc\nentry main\n"
+    ));
+    assert_eq!(r.ret.i(), 7);
+}
+
+#[test]
+fn char_and_short_memory_ops() {
+    let r = run_both(
+        "proc main frame=16 args=0\n\
+         \tLIT2 65535\n\tADDRLP 0\n\tASGNS\n\
+         \tLIT1 200\n\tADDRLP 8\n\tASGNC\n\
+         \tADDRLP 0\n\tINDIRS\n\tCVI2I4\n\
+         \tADDRLP 8\n\tINDIRC\n\tCVI1I4\n\
+         \tADDU\n\tRETU\n\
+         endproc\nentry main\n",
+    );
+    // -1 + -56 = -57
+    assert_eq!(r.ret.i(), -57);
+}
+
+#[test]
+fn block_assign_and_block_args() {
+    // Copy a 8-byte block from data to locals with ASGNB, pass it to a
+    // procedure with ARGB, which sums two of its ints.
+    let r = run_both(
+        "proc main frame=16 args=0\n\
+         \tADDRGP 0\n\tADDRLP 0\n\tASGNB 8\n\
+         \tADDRLP 0\n\tARGB 8\n\tLocalCALLU 1\n\tRETU\n\
+         endproc\n\
+         proc sum2 frame=0 args=8\n\
+         \tADDRFP 0\n\tINDIRU\n\tADDRFP 4\n\tINDIRU\n\tADDU\n\tRETU\n\
+         endproc\n\
+         data pair = 7 0 0 0 35 0 0 0\n\
+         entry main\n",
+    );
+    assert_eq!(r.ret.u(), 42);
+}
+
+#[test]
+fn natives_getchar_rand_exit() {
+    let config = VmConfig {
+        input: b"Q".to_vec(),
+        ..VmConfig::default()
+    };
+    let r = run_both_with(
+        "proc main frame=0 args=0\n\
+         \tADDRGP 0\n\tCALLU\n\tARGU\n\tADDRGP 1\n\tCALLU\n\tPOPU\n\
+         \tLIT1 9\n\tARGU\n\tADDRGP 2\n\tCALLU\n\tPOPU\n\
+         \tADDRGP 3\n\tCALLU\n\tPOPU\n\
+         \tLIT1 3\n\tARGU\n\tADDRGP 4\n\tCALLV\n\
+         \tRETV\n\
+         endproc\n\
+         native getchar\nnative putchar\nnative srand\nnative rand\nnative exit\n\
+         entry main\n",
+        config,
+    );
+    assert_eq!(r.output, b"Q");
+    assert_eq!(r.exit_code, Some(3));
+}
+
+#[test]
+fn nested_call_arguments_consume_the_buffer_tail() {
+    // f(1, g(2), 3) where g doubles: expect 1 + 4 + 3 = 8.
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 1\n\tARGU\n\
+         \tLIT1 2\n\tARGU\n\tLocalCALLU 2\n\tARGU\n\
+         \tLIT1 3\n\tARGU\n\
+         \tLocalCALLU 1\n\tRETU\n\
+         endproc\n\
+         proc sum3 frame=0 args=12\n\
+         \tADDRFP 0\n\tINDIRU\n\tADDRFP 4\n\tINDIRU\n\tADDU\n\tADDRFP 8\n\tINDIRU\n\tADDU\n\tRETU\n\
+         endproc\n\
+         proc dbl frame=0 args=4\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 2\n\tMULI\n\tRETU\n\
+         endproc\n\
+         entry main\n",
+    );
+    assert_eq!(r.ret.u(), 8);
+}
+
+#[test]
+fn malloc_and_memset_and_memcpy() {
+    let r = run_both(
+        "proc main frame=8 args=0\n\
+         \tLIT1 16\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tADDRLP 0\n\tASGNU\n\
+         \tADDRLP 0\n\tINDIRU\n\tARGU\n\tLIT1 7\n\tARGU\n\tLIT1 16\n\tARGU\n\
+         \tADDRGP 1\n\tCALLU\n\tPOPU\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 8\n\tADDU\n\tARGU\n\
+         \tADDRLP 0\n\tINDIRU\n\tARGU\n\tLIT1 4\n\tARGU\n\
+         \tADDRGP 2\n\tCALLU\n\tPOPU\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 8\n\tADDU\n\tINDIRU\n\tRETU\n\
+         endproc\n\
+         native malloc\nnative memset\nnative memcpy\n\
+         entry main\n",
+    );
+    assert_eq!(r.ret.u(), 0x0707_0707);
+}
+
+#[test]
+fn division_by_zero_faults_identically() {
+    let src = "proc main frame=0 args=0\n\tLIT1 1\n\tLIT1 0\n\tDIVI\n\tRETU\nendproc\nentry main\n";
+    let program: Program = assemble(src).unwrap();
+    let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+    let e1 = vm.run().unwrap_err();
+
+    let trained = train(&[&program], &TrainConfig::default()).unwrap();
+    let (cp, _) = trained.compress(&program).unwrap();
+    let ig = trained.initial();
+    let mut cvm = Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        VmConfig::default(),
+    )
+    .unwrap();
+    let e2 = cvm.run().unwrap_err();
+    assert_eq!(e1, e2);
+}
+
+#[test]
+fn fuel_limit_stops_infinite_loops() {
+    let src = "proc main frame=0 args=0\n\tlabel 0\n\tJUMPV 0\nendproc\nentry main\n";
+    let program = assemble(src).unwrap();
+    let mut vm = Vm::new(
+        &program,
+        VmConfig {
+            fuel: 1000,
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(vm.run().unwrap_err(), pgr_vm::VmError::OutOfFuel);
+}
+
+#[test]
+fn call_depth_limit_stops_runaway_recursion() {
+    let src = "proc main frame=0 args=0\n\tLocalCALLV 0\n\tRETV\nendproc\nentry main\n";
+    let program = assemble(src).unwrap();
+    let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+    assert!(matches!(
+        vm.run().unwrap_err(),
+        pgr_vm::VmError::CallDepthExceeded { .. }
+    ));
+}
+
+#[test]
+fn unknown_native_is_a_load_error() {
+    let src = "proc main frame=0 args=0\n\tRETV\nendproc\nnative qsort\nentry main\n";
+    let program = assemble(src).unwrap();
+    assert!(matches!(
+        Vm::new(&program, VmConfig::default()),
+        Err(pgr_vm::VmError::UnknownNative { .. })
+    ));
+}
+
+#[test]
+fn null_dereference_faults() {
+    let src = "proc main frame=0 args=0\n\tLIT1 0\n\tINDIRU\n\tRETU\nendproc\nentry main\n";
+    let program = assemble(src).unwrap();
+    let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
+    assert!(matches!(
+        vm.run().unwrap_err(),
+        pgr_vm::VmError::BadAddress { addr: 0, .. }
+    ));
+}
+
+#[test]
+fn shifts_and_bitwise_ops() {
+    let r = run_both(
+        "proc main frame=0 args=0\n\
+         \tLIT1 1\n\tLIT1 7\n\tLSHU\n\
+         \tLIT1 255\n\tBANDU\n\
+         \tLIT1 15\n\tBXORU\n\
+         \tLIT1 64\n\tBORU\n\
+         \tLIT1 2\n\tRSHU\n\
+         \tBCOMU\n\tNEGI\n\tRETU\n\
+         endproc\nentry main\n",
+    );
+    // ((((1<<7)&255)^15)|64)>>2 = 0x33 ; ~0x33 = -0x34 ; neg -> 0x34
+    assert_eq!(r.ret.u(), 0x34);
+}
+
+#[test]
+fn branch_into_shared_tail_from_two_paths() {
+    // Both paths jump to a common tail label; segment restart must line
+    // up in the compressed stream.
+    let r = run_both(
+        "proc main frame=4 args=0\n\
+         \tLIT1 1\n\tBrTrue 0\n\
+         \tLIT1 65\n\tADDRLP 0\n\tASGNU\n\tJUMPV 1\n\
+         \tlabel 0\n\
+         \tLIT1 66\n\tADDRLP 0\n\tASGNU\n\tJUMPV 1\n\
+         \tlabel 1\n\
+         \tADDRLP 0\n\tINDIRU\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tPOPU\n\tRETV\n\
+         endproc\nnative putchar\nentry main\n",
+    );
+    assert_eq!(r.output, b"B");
+}
+
+#[test]
+fn traces_match_across_interpreters() {
+    // The executed-operator trace must be identical between interp1 and
+    // interp_nt: compression changes the encoding, not the execution.
+    let src = "proc main frame=8 args=0\n\
+               \tLIT1 0\n\tADDRLP 0\n\tASGNU\n\
+               \tlabel 0\n\
+               \tADDRLP 0\n\tINDIRU\n\tLIT1 3\n\tLTI\n\tBrTrue 1\n\
+               \tJUMPV 2\n\
+               \tlabel 1\n\
+               \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+               \tJUMPV 0\n\
+               \tlabel 2\n\
+               \tADDRLP 0\n\tINDIRU\n\tRETU\n\
+               endproc\nentry main\n";
+    let program = assemble(src).unwrap();
+    let config = VmConfig {
+        trace_limit: 10_000,
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(&program, config.clone()).unwrap();
+    let plain = vm.run().unwrap();
+    assert_eq!(plain.ret.u(), 3);
+    assert!(!plain.trace.is_empty());
+
+    let trained = train(&[&program], &TrainConfig::default()).unwrap();
+    let (cp, _) = trained.compress(&program).unwrap();
+    let ig = trained.initial();
+    let mut cvm = Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        config,
+    )
+    .unwrap();
+    let compressed = cvm.run().unwrap();
+    // The uncompressed interpreter also steps over LABELV markers; the
+    // compressed stream has none. Compare modulo those no-ops.
+    let strip = |t: &[pgr_vm::TraceEvent]| -> Vec<pgr_vm::TraceEvent> {
+        t.iter()
+            .copied()
+            .filter(|e| e.op != pgr_bytecode::Opcode::LABELV)
+            .collect()
+    };
+    assert_eq!(strip(&plain.trace), strip(&compressed.trace));
+}

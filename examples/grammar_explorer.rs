@@ -1,0 +1,103 @@
+//! Look inside an expanded grammar: which rules training invented, how
+//! literals get burnt into rules (§5's `<start> ::= JUMPV 0 <byte>`
+//! example), and what the generated interpreter looks like.
+//!
+//! ```text
+//! cargo run --release --example grammar_explorer
+//! ```
+
+use pgr::bytecode::asm::disassemble_proc;
+use pgr::core::{train, TrainConfig};
+use pgr::corpus::{corpus, CorpusName};
+use pgr::grammar::{RuleOrigin, Symbol};
+use pgr::vm::cgen;
+
+fn main() {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).expect("trains");
+    let g = trained.expanded();
+    let ig = trained.initial();
+
+    println!(
+        "expanded grammar: {} live rules (+{} trained, -{} subsumed), {} bytes encoded\n",
+        g.live_rule_count(),
+        trained.stats.rules_added,
+        trained.stats.rules_removed,
+        trained.grammar_size()
+    );
+
+    // The longest inlined rules per non-terminal: whole idioms fused into
+    // single bytecodes, possibly spanning several statements ("a single
+    // bytecode in our system may represent the code from several
+    // expression trees", §7).
+    println!("-- ten longest inlined rules --");
+    let mut inlined: Vec<_> = (0..g.rule_slots() as u32)
+        .map(pgr::grammar::RuleId)
+        .filter(|&id| {
+            g.rule(id).alive && matches!(g.rule(id).origin, RuleOrigin::Inlined { .. })
+        })
+        .collect();
+    inlined.sort_by_key(|&id| std::cmp::Reverse(g.rule(id).rhs.len()));
+    for &id in inlined.iter().take(10) {
+        println!("  {}", g.display_rule(id));
+    }
+
+    // Partially inlined literals: rules mixing burnt-in bytes with open
+    // <byte> slots, the §5 GET-split case.
+    println!("\n-- rules with partially inlined literals --");
+    let mut shown = 0;
+    for &id in &inlined {
+        let rule = g.rule(id);
+        let burnt = rule
+            .rhs
+            .iter()
+            .filter(|s| matches!(s, Symbol::T(pgr::grammar::Terminal::Byte(_))))
+            .count();
+        let open = rule
+            .rhs
+            .iter()
+            .filter(|s| matches!(s, Symbol::N(n) if *n == ig.nt_byte))
+            .count();
+        if burnt > 0 && open > 0 && shown < 5 {
+            println!("  {}  ({burnt} burnt, {open} open)", g.display_rule(id));
+            shown += 1;
+        }
+    }
+
+    // One tiny program, before and after.
+    let program = pgr::minic::compile(
+        "int main(void) { int i; for (i = 0; i < 5; i++) putint(i); return 0; }",
+    )
+    .expect("compiles");
+    let (compressed, stats) = trained.compress(&program).expect("in-language");
+    println!("\n-- sample procedure, uncompressed --");
+    print!("{}", disassemble_proc(&program.procs[0]));
+    println!(
+        "-- compressed to {} bytes (from {}) --",
+        stats.compressed_code, stats.original_code
+    );
+    let bytes: Vec<String> = compressed.program.procs[0]
+        .code
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    println!("derivation bytes: {}", bytes.join(" "));
+
+    // The generated artifacts (§2's interpreter generator).
+    let sizes = cgen::interpreter_sizes(g);
+    println!(
+        "\n-- generated interpreter --\ninitial {} B, compressed {} B, grammar tables {} B",
+        sizes.initial, sizes.compressed, sizes.grammar
+    );
+    let nt_src = cgen::interp_nt_source();
+    println!("\nfirst lines of the generated interpNT driver:");
+    for line in nt_src.lines().take(12) {
+        println!("  {line}");
+    }
+    let tables = cgen::rule_tables_source(g);
+    println!(
+        "\nrule tables: {} lines of generated C ({} bytes of source)",
+        tables.lines().count(),
+        tables.len()
+    );
+}

@@ -1,0 +1,69 @@
+//! # pgr — Bytecode Compression via Profiled Grammar Rewriting
+//!
+//! A full reproduction of **W. S. Evans and C. W. Fraser, "Bytecode
+//! Compression via Profiled Grammar Rewriting", PLDI 2001**: a system
+//! that designs compact bytecoded instruction sets by rewriting a grammar
+//! for a stack bytecode against a training corpus, producing compressed
+//! programs that are *interpreted directly*, with no decompression step.
+//!
+//! The facade re-exports every subsystem:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`bytecode`] | the lcc-style stack bytecode (§3, Appendices 1–3) |
+//! | [`grammar`] | grammar machinery, the initial grammar, parse forests |
+//! | [`earley`] | shortest-derivation Earley parser (§4.1) |
+//! | [`core`] | the expander + compressor/decompressor (the contribution) |
+//! | [`vm`] | both interpreters and the interpreter generator (§5) |
+//! | [`minic`] | a C-subset compiler emitting the bytecode (lcc stand-in) |
+//! | [`corpus`] | §6's gcc/lcc/gzip/8q corpora, real + synthetic |
+//! | [`baselines`] | Huffman, LZSS+Huffman (gzip), Tunstall, superoperators |
+//! | [`native`] | synthetic x86 code-size model (Table 2) |
+//!
+//! ## End to end
+//!
+//! ```
+//! use pgr::prelude::*;
+//!
+//! // 1. Compile C to the initial bytecode.
+//! let program = pgr::minic::compile(
+//!     "int main(void) { int i; for (i = 0; i < 3; i++) putchar('a' + i); return 0; }",
+//! ).unwrap();
+//!
+//! // 2. Train an expanded grammar (here: on the program itself).
+//! let trained = pgr::core::train(&[&program], &TrainConfig::default()).unwrap();
+//!
+//! // 3. Compress: the derivation bytes ARE the new program.
+//! let (compressed, stats) = trained.compress(&program).unwrap();
+//! assert!(stats.compressed_code < stats.original_code);
+//!
+//! // 4. Run both representations; behaviour is identical.
+//! let out1 = Vm::new(&program, VmConfig::default()).unwrap().run().unwrap();
+//! let ig = trained.initial();
+//! let out2 = Vm::new_compressed(
+//!     &compressed.program, trained.expanded(), ig.nt_start, ig.nt_byte,
+//!     VmConfig::default(),
+//! ).unwrap().run().unwrap();
+//! assert_eq!(out1.output, out2.output);
+//! assert_eq!(out1.output, b"abc");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pgr_baselines as baselines;
+pub use pgr_bytecode as bytecode;
+pub use pgr_core as core;
+pub use pgr_corpus as corpus;
+pub use pgr_earley as earley;
+pub use pgr_grammar as grammar;
+pub use pgr_minic as minic;
+pub use pgr_native as native;
+pub use pgr_vm as vm;
+
+/// The most commonly used names, for quick starts.
+pub mod prelude {
+    pub use pgr_bytecode::{Opcode, Program};
+    pub use pgr_core::{train, TrainConfig, Trained};
+    pub use pgr_grammar::InitialGrammar;
+    pub use pgr_vm::{Vm, VmConfig};
+}

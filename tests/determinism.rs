@@ -1,0 +1,51 @@
+//! Determinism guarantees: EXPERIMENTS.md promises bit-for-bit
+//! reproducible numbers, which requires every pipeline stage to be
+//! deterministic — seeded corpora, ordered contraction, tie-broken
+//! heaps, and iteration-order-free bookkeeping.
+
+use pgr::core::{train, TrainConfig};
+use pgr::corpus::{corpus, CorpusName};
+use pgr::grammar::encode::encode_grammar;
+
+#[test]
+fn corpora_are_bit_identical_across_builds() {
+    let a = corpus(CorpusName::Gzip);
+    let b = corpus(CorpusName::Gzip);
+    assert_eq!(a.programs, b.programs);
+    let a = corpus(CorpusName::Lcc);
+    let b = corpus(CorpusName::Lcc);
+    assert_eq!(a.programs, b.programs);
+}
+
+#[test]
+fn training_is_bit_identical_across_runs() {
+    let c = corpus(CorpusName::Gzip);
+    let t1 = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let t2 = train(&c.refs(), &TrainConfig::default()).unwrap();
+    assert_eq!(t1.stats, t2.stats);
+    assert_eq!(
+        encode_grammar(t1.expanded()),
+        encode_grammar(t2.expanded()),
+        "expanded grammars must be byte-identical"
+    );
+}
+
+#[test]
+fn compression_is_bit_identical_across_runs() {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    for p in &c.programs {
+        let (cp1, s1) = trained.compress(p).unwrap();
+        let (cp2, s2) = trained.compress(p).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(cp1.program, cp2.program);
+    }
+}
+
+#[test]
+fn superoperator_training_is_deterministic() {
+    let c = corpus(CorpusName::Gzip);
+    let s1 = pgr::baselines::superop::train(&c.refs(), 256);
+    let s2 = pgr::baselines::superop::train(&c.refs(), 256);
+    assert_eq!(s1.pairs, s2.pairs);
+}

@@ -1,0 +1,188 @@
+//! Fidelity checks against concrete claims and examples in the paper's
+//! text.
+
+use pgr::bytecode::asm::assemble;
+use pgr::bytecode::{Opcode, StackKind};
+use pgr::core::{train, TrainConfig};
+use pgr::earley::ShortestParser;
+use pgr::grammar::initial::tokenize_segment;
+use pgr::grammar::{Derivation, Forest, InitialGrammar};
+use pgr::vm::cgen;
+
+/// §4's worked example: the bytecode for `void check(int flag) { if
+/// (flag == 0) exit(0); }` parses into two separate derivations, split
+/// at the `LABELV`.
+#[test]
+fn section_4_check_example() {
+    let prog = assemble(
+        "proc check frame=0 args=4\n\
+         \tADDRFP 0\n\tINDIRU\n\tLIT1 0\n\tNEU\n\tBrTrue 0\n\
+         \tLIT1 0\n\tARGU\n\tADDRGP 0\n\tCALLU\n\tPOPU\n\
+         \tlabel 0\n\
+         \tRETV\n\
+         endproc\nnative exit\nentry check\n",
+    )
+    .unwrap();
+    let proc = &prog.procs[0];
+    let segments = proc.segments().unwrap();
+    assert_eq!(segments.len(), 2, "the parse produces a forest of two trees");
+
+    let ig = InitialGrammar::build();
+    let mut forest = Forest::new();
+    for range in segments {
+        let tokens = tokenize_segment(&proc.code[range]).unwrap();
+        forest.add_segment(&ig, &tokens).unwrap();
+    }
+    assert_eq!(forest.roots().len(), 2);
+    // The second derivation is exactly: <start>::=<start><x>, ε,
+    // <x>::=<x0>, <x0>::=RETV — the "0 0" tail of the paper's encoding.
+    let d2 = Derivation::from_tree(&forest, forest.roots()[1]);
+    assert_eq!(d2.len(), 4);
+}
+
+/// Appendix 2's grammar shape: operator groups by stack effect, with the
+/// non-terminals that "track stack height".
+#[test]
+fn appendix_2_grammar_groups() {
+    let ig = InitialGrammar::build();
+    // "Non-terminals that end in 0, 1, and 2 denote leaf, unary and
+    // binary operators."
+    for &op in Opcode::ALL {
+        if op == Opcode::LABELV {
+            continue;
+        }
+        let rule = ig.grammar.rule(ig.rule_for_opcode(op));
+        let expected = match op.kind() {
+            StackKind::V0 => ig.nt_v0,
+            StackKind::V1 => ig.nt_v1,
+            StackKind::V2 => ig.nt_v2,
+            StackKind::X0 => ig.nt_x0,
+            StackKind::X1 => ig.nt_x1,
+            StackKind::X2 => ig.nt_x2,
+            StackKind::Label => unreachable!(),
+        };
+        assert_eq!(rule.lhs, expected, "{op}");
+        // "The grammar shows how many literal bytes follow each operator."
+        assert_eq!(rule.arity(), op.operand_bytes(), "{op}");
+    }
+}
+
+/// §4.1: "we stop creating rules for a non-terminal once it has 256
+/// rules" — byte-indexable rules for every non-terminal, always.
+#[test]
+fn rules_always_fit_one_byte() {
+    let c = pgr::corpus::corpus(pgr::corpus::CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let g = trained.expanded();
+    for nt in 0..g.nt_count() {
+        let nt = pgr::grammar::Nt(nt as u16);
+        assert!(g.rules_of(nt).len() <= 256, "{}", g.nt_name(nt));
+    }
+}
+
+/// §5's partially-inlined-literal contract: in every live rule, an
+/// operator's literal operands immediately follow it, each either a
+/// burnt byte or a `<byte>` slot — the invariant the generated GET
+/// depends on.
+#[test]
+fn get_split_invariant_holds_after_training() {
+    use pgr::grammar::{Symbol, Terminal};
+    let c = pgr::corpus::corpus(pgr::corpus::CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let g = trained.expanded();
+    let ig = trained.initial();
+    for nt in 0..g.nt_count() {
+        for &id in g.rules_of(pgr::grammar::Nt(nt as u16)) {
+            let rule = g.rule(id);
+            let mut i = 0;
+            while i < rule.rhs.len() {
+                if let Symbol::T(Terminal::Op(op)) = rule.rhs[i] {
+                    for k in 1..=op.operand_bytes() {
+                        match rule.rhs.get(i + k) {
+                            Some(Symbol::T(Terminal::Byte(_))) => {}
+                            Some(Symbol::N(n)) if *n == ig.nt_byte => {}
+                            other => panic!(
+                                "{}: operand {k} of {op} is {other:?}",
+                                g.display_rule(id)
+                            ),
+                        }
+                    }
+                    i += 1 + op.operand_bytes();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// §6's headline: "11KB of extra space in the interpreter" — the
+/// compressed interpreter's delta is dominated by the grammar, and the
+/// absolute sizes land where the paper's did.
+#[test]
+fn interpreter_size_claims() {
+    let c = pgr::corpus::corpus(pgr::corpus::CorpusName::Lcc);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let sizes = cgen::interpreter_sizes(trained.expanded());
+    // Paper: 7,855 initial / 18,962 compressed / 10,525 grammar.
+    assert!((6_000..10_000).contains(&sizes.initial), "{}", sizes.initial);
+    assert!(
+        (14_000..26_000).contains(&sizes.compressed),
+        "{}",
+        sizes.compressed
+    );
+    assert!(
+        sizes.grammar * 2 > sizes.delta(),
+        "the grammar accounts for most of the difference (§6): {} of {}",
+        sizes.grammar,
+        sizes.delta()
+    );
+}
+
+/// Table 2's ordering: compressed < native x86 < uncompressed, each
+/// total including everything but library code (§6).
+#[test]
+fn table_2_ordering_holds() {
+    use pgr::bytecode::image::ImageStats;
+    let c = pgr::corpus::corpus(pgr::corpus::CorpusName::Lcc);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let sizes = cgen::interpreter_sizes(trained.expanded());
+
+    let mut uncompressed = sizes.initial;
+    let mut compressed = sizes.compressed;
+    let mut native = 0usize;
+    for p in &c.programs {
+        uncompressed += ImageStats::of(&pgr::core::canonicalize_program(p).unwrap()).total();
+        let (cp, _) = trained.compress(p).unwrap();
+        compressed += ImageStats::of(&cp.program).total();
+        native += pgr::native::measure_program(p).total();
+    }
+    assert!(
+        compressed < native && native < uncompressed,
+        "expected compressed < native < uncompressed, got {compressed} / {native} / {uncompressed}"
+    );
+}
+
+/// §4: the Earley encoder picks the *shortest* derivation among the
+/// ambiguous alternatives — never worse than re-deriving with the
+/// original rules only.
+#[test]
+fn shortest_derivation_beats_original_rules() {
+    let c = pgr::corpus::corpus(pgr::corpus::CorpusName::EightQ);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let ig = InitialGrammar::build();
+    let original_parser = ShortestParser::new(&ig.grammar);
+    let expanded_parser = ShortestParser::new(trained.expanded());
+
+    let p = &c.programs[0];
+    for proc in &p.procs {
+        for range in proc.segments().unwrap() {
+            let tokens = tokenize_segment(&proc.code[range]).unwrap();
+            let base = original_parser.parse(ig.nt_start, &tokens).unwrap();
+            let best = expanded_parser
+                .parse(trained.initial().nt_start, &tokens)
+                .unwrap();
+            assert!(best.len() <= base.len());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests over randomly generated programs: the pipeline's
+//! invariants must hold for *every* program the compiler can emit, not
+//! just the hand-picked samples.
+
+use pgr::bytecode::validate_program;
+use pgr::core::{canonicalize_program, train, TrainConfig};
+use pgr::corpus::synth::{generate_source, Flavor, SynthConfig};
+use pgr::earley::ShortestParser;
+use pgr::grammar::initial::tokenize_segment;
+use pgr::vm::{Vm, VmConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (any::<u64>(), 1usize..6, prop_oneof![
+        Just(Flavor::Compiler),
+        Just(Flavor::Numeric)
+    ])
+        .prop_map(|(seed, functions, flavor)| SynthConfig {
+            seed,
+            functions,
+            flavor,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated program compiles, validates, and every segment of
+    /// its code is in the initial grammar's language (Earley agrees with
+    /// the deterministic stack parser).
+    #[test]
+    fn generated_programs_are_in_the_language(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("generator emits valid mini-C");
+        validate_program(&program).expect("generator emits valid bytecode");
+
+        let ig = pgr::grammar::InitialGrammar::build();
+        let parser = ShortestParser::new(&ig.grammar);
+        for proc in &program.procs {
+            for range in proc.segments().unwrap() {
+                let tokens = tokenize_segment(&proc.code[range.clone()]).unwrap();
+                let d = parser.parse(ig.nt_start, &tokens).unwrap_or_else(|e| {
+                    panic!("{}: segment {range:?} not in language: {e}", proc.name)
+                });
+                prop_assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+            }
+        }
+    }
+
+    /// Self-training then compressing round-trips exactly and shrinks.
+    #[test]
+    fn compression_roundtrips_on_generated_programs(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let (compressed, stats) = trained.compress(&program).unwrap();
+        let back = trained.decompress(&compressed).unwrap();
+        prop_assert_eq!(back, canonicalize_program(&program).unwrap());
+        // Self-compression shrinks once a program has any repetition;
+        // tiny one-function programs may stay flat but must never grow
+        // beyond the parse-tree bound.
+        prop_assert!(stats.compressed_code <= stats.original_code * 3);
+    }
+
+    /// Compressed execution is behaviourally identical to uncompressed
+    /// execution (or both fail to finish within the same small budget).
+    #[test]
+    fn execution_is_equivalent_on_generated_programs(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let fuel = 3_000_000;
+        let cfg = VmConfig { fuel, ..VmConfig::default() };
+
+        let plain = Vm::new(&program, cfg.clone()).unwrap().run();
+        let Ok(plain) = plain else {
+            // Generated programs are bounded, but a tiny budget may trip:
+            // skip instead of comparing divergent truncations (the two
+            // interpreters meter fuel differently).
+            return Ok(());
+        };
+
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let (compressed, _) = trained.compress(&program).unwrap();
+        let ig = trained.initial();
+        // The compressed interpreter also burns fuel on rule steps, so
+        // give it proportional head-room.
+        let ccfg = VmConfig { fuel: fuel * 8, ..VmConfig::default() };
+        let direct = Vm::new_compressed(
+            &compressed.program,
+            trained.expanded(),
+            ig.nt_start,
+            ig.nt_byte,
+            ccfg,
+        )
+        .unwrap()
+        .run()
+        .expect("compressed run completes within proportional budget");
+
+        prop_assert_eq!(plain.output, direct.output);
+        prop_assert_eq!(plain.ret, direct.ret);
+        prop_assert_eq!(plain.exit_code, direct.exit_code);
+    }
+}
