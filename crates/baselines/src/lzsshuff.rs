@@ -29,9 +29,7 @@ enum Token {
 }
 
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = u32::from(data[i])
-        | u32::from(data[i + 1]) << 8
-        | u32::from(data[i + 2]) << 16;
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 

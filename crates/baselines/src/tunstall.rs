@@ -197,7 +197,9 @@ mod ordered {
     #[allow(clippy::derive_ord_xor_partial_ord)]
     impl Ord for F64 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+            self.0
+                .partial_cmp(&other.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     impl PartialOrd for F64 {

@@ -7,13 +7,14 @@ use pgr_corpus::{corpus, CorpusName};
 fn bench_compress(c: &mut Criterion) {
     let gzip = corpus(CorpusName::Gzip);
     let trained = train(&gzip.refs(), &TrainConfig::default()).unwrap();
+    let engine = trained.compressor();
     let mut group = c.benchmark_group("compress");
     group.sample_size(10);
     group.throughput(Throughput::Bytes(gzip.code_size() as u64));
     group.bench_function("earley_encode_gzip_corpus", |b| {
         b.iter(|| {
             for p in &gzip.programs {
-                std::hint::black_box(trained.compress(p).unwrap());
+                std::hint::black_box(engine.compress(p).unwrap());
             }
         })
     });
@@ -21,7 +22,7 @@ fn bench_compress(c: &mut Criterion) {
         let compressed: Vec<_> = gzip
             .programs
             .iter()
-            .map(|p| trained.compress(p).unwrap().0)
+            .map(|p| engine.compress(p).unwrap().0)
             .collect();
         b.iter(|| {
             for cp in &compressed {

@@ -1,0 +1,57 @@
+//! Parallel-encoding scaling: the same corpus compressed by a 1-thread
+//! engine and by an engine with one worker per CPU. The derivation cache
+//! is disabled so the benchmark measures parse fan-out, not memoization
+//! (cache effectiveness is its own line at the end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgr_core::{train, CompressorConfig, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+
+fn bench_compress_parallel(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let trained = train(&gzip.refs(), &TrainConfig::default()).unwrap();
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("compress_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(gzip.code_size() as u64));
+    let mut threads: Vec<usize> = vec![1];
+    if cpus > 1 {
+        threads.push(cpus);
+    }
+    for t in threads {
+        let engine = trained.compressor_with(
+            CompressorConfig::default()
+                .threads(t)
+                .segment_cache_capacity(0),
+        );
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, _| {
+            b.iter(|| {
+                for p in &gzip.programs {
+                    std::hint::black_box(engine.compress(p).unwrap());
+                }
+            })
+        });
+    }
+
+    // With the cache on, repeated segments skip the parser entirely.
+    let engine = trained.compressor();
+    group.bench_function("threads/1+cache", |b| {
+        b.iter(|| {
+            for p in &gzip.programs {
+                std::hint::black_box(engine.compress(p).unwrap());
+            }
+        })
+    });
+    group.finish();
+    let cs = engine.cache_stats();
+    println!(
+        "cache: {} hits / {} misses ({} entries, cap {})",
+        cs.hits, cs.misses, cs.entries, cs.capacity
+    );
+}
+
+criterion_group!(benches, bench_compress_parallel);
+criterion_main!(benches);

@@ -10,9 +10,7 @@ use pgr_bench::experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| {
-        args.is_empty()
-            || args.iter().any(|a| a == name)
-            || args.iter().any(|a| a == "all")
+        args.is_empty() || args.iter().any(|a| a == name) || args.iter().any(|a| a == "all")
     };
 
     if want("e1") {
@@ -112,12 +110,18 @@ fn print_e4() {
 
 fn print_e5() {
     println!("== E5: optimizer interaction ==");
-    println!("(paper analogue: MSVC unopt 236,181 vs space-opt 161,716; optimized code is less regular)");
+    println!(
+        "(paper analogue: MSVC unopt 236,181 vs space-opt 161,716; optimized code is less regular)"
+    );
     let [(bc0, n0, c0), (bc1, n1, c1)] = e5();
-    println!("unoptimized: bytecode {bc0} B, native {n0} B, self-compressed {c0} B ({})",
-        pct(c0, bc0));
-    println!("optimized:   bytecode {bc1} B, native {n1} B, self-compressed {c1} B ({})\n",
-        pct(c1, bc1));
+    println!(
+        "unoptimized: bytecode {bc0} B, native {n0} B, self-compressed {c0} B ({})",
+        pct(c0, bc0)
+    );
+    println!(
+        "optimized:   bytecode {bc1} B, native {n1} B, self-compressed {c1} B ({})\n",
+        pct(c1, bc1)
+    );
 }
 
 fn print_e6() {

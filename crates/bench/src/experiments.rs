@@ -16,12 +16,14 @@ pub fn train_on(c: &Corpus) -> Trained {
 }
 
 /// Compress every program of a corpus under a trained grammar; returns
-/// `(original bytes, compressed bytes)`.
+/// `(original bytes, compressed bytes)`. Builds one engine for the whole
+/// corpus so the parser tables and derivation cache are shared.
 pub fn compress_corpus(trained: &Trained, c: &Corpus) -> (usize, usize) {
+    let engine = trained.compressor();
     let mut original = 0;
     let mut compressed = 0;
     for p in &c.programs {
-        let (_, stats) = trained.compress(p).expect("corpora are in the language");
+        let (_, stats) = engine.compress(p).expect("corpora are in the language");
         original += stats.original_code;
         compressed += stats.compressed_code;
     }
@@ -61,11 +63,7 @@ pub fn e1() -> (Vec<E1Row>, usize, usize) {
             }
         })
         .collect();
-    (
-        rows,
-        trained_gcc.grammar_size(),
-        trained_lcc.grammar_size(),
-    )
+    (rows, trained_gcc.grammar_size(), trained_lcc.grammar_size())
 }
 
 /// E2 — interpreter sizes for a grammar trained on the lcc corpus.
@@ -308,8 +306,8 @@ pub fn a3() -> Vec<A3Row> {
 /// `((untyped bytes, untyped grammar), (typed bytes, typed grammar))`.
 pub fn a5() -> ((usize, usize), (usize, usize)) {
     use pgr_core::canonicalize_program as canon;
-    use pgr_core::compress::compress_program;
     use pgr_core::expander::expand;
+    use pgr_core::Compressor;
     use pgr_grammar::initial::tokenize_segment;
     use pgr_grammar::typed::TypedGrammar;
     use pgr_grammar::Forest;
@@ -335,10 +333,10 @@ pub fn a5() -> ((usize, usize), (usize, usize)) {
         }
     }
     expand(&mut grammar, &mut forest, &ExpanderConfig::default());
+    let engine = Compressor::new(&grammar, tg.nt_start);
     let mut typed_bytes = 0usize;
     for p in &c.programs {
-        let (_, stats) =
-            compress_program(&grammar, tg.nt_start, p).expect("typed language covers corpus");
+        let (_, stats) = engine.compress(p).expect("typed language covers corpus");
         typed_bytes += stats.compressed_code;
     }
     let typed = (typed_bytes, pgr_grammar::encode::grammar_size(&grammar));

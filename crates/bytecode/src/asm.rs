@@ -20,7 +20,7 @@
 //! the pseudo-instruction `label N`, which emits a `LABELV` marker and
 //! records the current offset in label-table slot `N`.
 
-use crate::insn::{decode, Instruction};
+use crate::insn::Instruction;
 use crate::opcode::Opcode;
 use crate::program::{GlobalEntry, Procedure, Program};
 use std::fmt;
@@ -74,7 +74,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 if current.is_some() {
                     return Err(err(line_no, "nested proc"));
                 }
-                let name = words.next().ok_or_else(|| err(line_no, "proc needs a name"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "proc needs a name"))?;
                 let mut p = Procedure::new(name);
                 for w in words {
                     if let Some(v) = w.strip_prefix("frame=") {
@@ -150,7 +152,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 let name = words
                     .next()
                     .ok_or_else(|| err(line_no, "native needs a name"))?;
-                program.globals.push(GlobalEntry::Native { name: name.into() });
+                program
+                    .globals
+                    .push(GlobalEntry::Native { name: name.into() });
             }
             "procaddr" => {
                 let name = words
@@ -185,7 +189,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     let v: u64 = w
                         .parse()
                         .map_err(|_| err(line_no, format!("bad operand {w:?}")))?;
-                    let max = if n >= 8 { u64::MAX } else { (1u64 << (8 * n)) - 1 };
+                    let max = if n >= 8 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (8 * n)) - 1
+                    };
                     if v > max {
                         return Err(err(line_no, format!("operand {v} too large for {op}")));
                     }
@@ -206,9 +214,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     // Resolve procaddr placeholders now that all procedures exist.
     for i in 0..program.globals.len() {
         let target = match &program.globals[i] {
-            GlobalEntry::Native { name } => name
-                .strip_prefix("\u{0}procaddr:")
-                .map(|t| t.to_string()),
+            GlobalEntry::Native { name } => {
+                name.strip_prefix("\u{0}procaddr:").map(|t| t.to_string())
+            }
             _ => None,
         };
         if let Some(target) = target {
@@ -237,21 +245,29 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 /// function is total and usable on malformed input for debugging.
 pub fn disassemble_proc(proc: &Procedure) -> String {
     let mut out = String::new();
-    let tramp = if proc.needs_trampoline { " trampoline" } else { "" };
+    let tramp = if proc.needs_trampoline {
+        " trampoline"
+    } else {
+        ""
+    };
     out.push_str(&format!(
         "proc {} frame={} args={}{}\n",
         proc.name, proc.frame_size, proc.arg_size, tramp
     ));
-    for insn in decode(&proc.code) {
+    for insn in crate::pass::instrs(&proc.code) {
         match insn {
             Ok(insn) if insn.opcode == Opcode::LABELV => {
-                match proc.labels.iter().position(|&off| off as usize == insn.offset) {
+                match proc
+                    .labels
+                    .iter()
+                    .position(|&off| off as usize == insn.offset)
+                {
                     Some(n) => out.push_str(&format!("    label {n}\n")),
                     None => out.push_str("    LABELV\n"),
                 }
             }
             Ok(insn) => {
-                if insn.opcode.operand_bytes() == 0 {
+                if insn.operand_slice().is_empty() {
                     out.push_str(&format!("    {}\n", insn.opcode));
                 } else {
                     out.push_str(&format!("    {} {}\n", insn.opcode, insn.operand_u32()));

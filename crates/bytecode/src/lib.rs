@@ -23,6 +23,10 @@
 //!   classification ([`StackKind`]), mirroring the non-terminal grouping of
 //!   the paper's Appendix 2 grammar,
 //! * [`Instruction`] and a decoder/encoder for raw code bytes,
+//! * [`pass`] — the pass-oriented view: zero-copy [`InstrView`] decoding
+//!   ([`instrs`], [`for_each_instr`]) and [`rewrite_instrs`], a
+//!   structural rewriter with automatic branch-target (label-table)
+//!   fixup; the disassembler and validator scans are built on it,
 //! * [`Procedure`], [`Program`], [`GlobalEntry`] — the packaging of
 //!   Appendix 3 (descriptors, label tables, global table, trampolines),
 //! * a textual [assembler/disassembler](asm) used by tests and examples,
@@ -55,11 +59,15 @@ pub mod binfmt;
 pub mod image;
 pub mod insn;
 pub mod opcode;
+pub mod pass;
 pub mod program;
 pub mod validate;
 
 pub use binfmt::{read_program, write_program, ImageKind};
 pub use insn::{decode, encode, DecodeError, Instruction};
 pub use opcode::{Opcode, StackKind, TypeSuffix};
+pub use pass::{
+    for_each_instr, instrs, rewrite_instrs, InstrView, Rewrite, RewriteError, RewriteSummary,
+};
 pub use program::{GlobalEntry, Procedure, Program};
 pub use validate::{validate_procedure, validate_program, ValidateError};

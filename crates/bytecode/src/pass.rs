@@ -1,0 +1,543 @@
+//! A pass-oriented view of bytecode streams.
+//!
+//! [`decode`](crate::decode) copies each instruction's operand bytes into
+//! an owned [`Instruction`](crate::Instruction); fine for building code,
+//! wasteful for the many passes that only *read* it (validation,
+//! disassembly, segment planning, statistics). This module provides the
+//! read side:
+//!
+//! * [`InstrView`] — a borrowed instruction whose operands point into the
+//!   original code buffer; decoding allocates nothing and copies nothing.
+//! * [`instrs`] — the iterator of views; [`for_each_instr`] — the same
+//!   walk as an early-exit visitor.
+//! * [`rewrite_instrs`] — the write side: a structural pass over one
+//!   [`Procedure`] that maps each instruction to [`Rewrite`] actions and
+//!   then fixes up branch targets automatically. Branches in this
+//!   bytecode hold label-table *indices*, not offsets (§3), so branch
+//!   fixup means rewriting the per-procedure label table to the moved
+//!   `LABELV` offsets — the branch bytes themselves never change, which
+//!   is exactly the property the paper exploits to compress around
+//!   unpredictable branch targets.
+
+use crate::insn::DecodeError;
+use crate::opcode::Opcode;
+use crate::program::Procedure;
+use crate::Instruction;
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// A decoded instruction that borrows its operand bytes from the code
+/// stream (no copy, no allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrView<'a> {
+    /// The operator.
+    pub opcode: Opcode,
+    /// Byte offset of the opcode within the stream.
+    pub offset: usize,
+    operands: &'a [u8],
+}
+
+impl<'a> InstrView<'a> {
+    /// The operand bytes (exactly `opcode.operand_bytes()` of them),
+    /// borrowed from the underlying stream.
+    pub fn operand_slice(&self) -> &'a [u8] {
+        self.operands
+    }
+
+    /// Operand interpreted as a little-endian unsigned integer
+    /// (zero-extended; 0 for operand-less opcodes).
+    pub fn operand_u32(&self) -> u32 {
+        let mut v = 0u32;
+        for (i, &b) in self.operands.iter().enumerate() {
+            v |= u32::from(b) << (8 * i);
+        }
+        v
+    }
+
+    /// Operand as a `u16` (label index, frame offset, descriptor index,
+    /// block size).
+    pub fn operand_u16(&self) -> u16 {
+        self.operand_u32() as u16
+    }
+
+    /// Encoded size in bytes (opcode + operands).
+    pub fn size(&self) -> usize {
+        1 + self.operands.len()
+    }
+
+    /// Copy into an owned [`Instruction`] (preserving the offset).
+    pub fn to_instruction(&self) -> Instruction {
+        let mut insn = Instruction::new(self.opcode, self.operands);
+        insn.offset = self.offset;
+        insn
+    }
+}
+
+impl fmt::Display for InstrView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        for b in self.operands {
+            write!(f, " {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over borrowed instruction views of a code stream.
+///
+/// Produced by [`instrs`].
+#[derive(Debug, Clone)]
+pub struct Instrs<'a> {
+    code: &'a [u8],
+    pos: usize,
+    failed: bool,
+}
+
+impl<'a> Iterator for Instrs<'a> {
+    type Item = Result<InstrView<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pos >= self.code.len() {
+            return None;
+        }
+        let offset = self.pos;
+        let byte = self.code[offset];
+        let opcode = match Opcode::from_u8(byte) {
+            Some(op) => op,
+            None => {
+                self.failed = true;
+                return Some(Err(DecodeError::BadOpcode { offset, byte }));
+            }
+        };
+        let n = opcode.operand_bytes();
+        if offset + 1 + n > self.code.len() {
+            self.failed = true;
+            return Some(Err(DecodeError::TruncatedOperands { offset, opcode }));
+        }
+        self.pos = offset + 1 + n;
+        Some(Ok(InstrView {
+            opcode,
+            offset,
+            operands: &self.code[offset + 1..offset + 1 + n],
+        }))
+    }
+}
+
+/// Decode a code stream into zero-copy instruction views.
+///
+/// The iterator yields an `Err` and then stops if the stream is
+/// malformed, like [`decode`](crate::decode).
+///
+/// ```
+/// use pgr_bytecode::{instrs, Opcode};
+/// let code = [Opcode::LIT2 as u8, 0x34, 0x12, Opcode::RETU as u8];
+/// let views: Vec<_> = instrs(&code).collect::<Result<_, _>>().unwrap();
+/// assert_eq!(views[0].operand_u32(), 0x1234);
+/// assert_eq!(views[0].operand_slice(), &code[1..3]); // borrows, no copy
+/// assert_eq!(views[1].opcode, Opcode::RETU);
+/// ```
+pub fn instrs(code: &[u8]) -> Instrs<'_> {
+    Instrs {
+        code,
+        pos: 0,
+        failed: false,
+    }
+}
+
+/// Walk a code stream with an early-exit visitor.
+///
+/// Returns `Ok(Some(b))` if the visitor broke with `b`, `Ok(None)` if it
+/// visited every instruction, and `Err` if the stream fails to decode
+/// before a break.
+///
+/// ```
+/// use pgr_bytecode::{for_each_instr, Opcode};
+/// use std::ops::ControlFlow;
+/// let code = [Opcode::LIT1 as u8, 9, Opcode::RETU as u8];
+/// // Find the offset of the first return.
+/// let found = for_each_instr(&code, |insn| {
+///     if insn.opcode.is_return() {
+///         ControlFlow::Break(insn.offset)
+///     } else {
+///         ControlFlow::Continue(())
+///     }
+/// })
+/// .unwrap();
+/// assert_eq!(found, Some(2));
+/// ```
+pub fn for_each_instr<B, F>(code: &[u8], mut visit: F) -> Result<Option<B>, DecodeError>
+where
+    F: FnMut(InstrView<'_>) -> ControlFlow<B>,
+{
+    for insn in instrs(code) {
+        if let ControlFlow::Break(b) = visit(insn?) {
+            return Ok(Some(b));
+        }
+    }
+    Ok(None)
+}
+
+/// What a rewrite pass does with one instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Rewrite {
+    /// Copy the instruction through unchanged.
+    #[default]
+    Keep,
+    /// Drop the instruction.
+    Remove,
+    /// Emit these instructions in its place.
+    Replace(Vec<Instruction>),
+}
+
+/// An error from [`rewrite_instrs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The procedure's code does not decode.
+    Decode(DecodeError),
+    /// The pass removed (or replaced without a marker) a `LABELV` that a
+    /// label-table entry points at, leaving a dangling branch target.
+    DroppedLabel {
+        /// Index of the dangling label-table entry.
+        label: usize,
+        /// The old offset it pointed at.
+        target: u32,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Decode(e) => write!(f, "{e}"),
+            RewriteError::DroppedLabel { label, target } => {
+                write!(
+                    f,
+                    "rewrite dropped LABELV at {target} (label-table entry {label})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RewriteError::Decode(e) => Some(e),
+            RewriteError::DroppedLabel { .. } => None,
+        }
+    }
+}
+
+impl From<DecodeError> for RewriteError {
+    fn from(e: DecodeError) -> RewriteError {
+        RewriteError::Decode(e)
+    }
+}
+
+/// Rewrite a procedure's code instruction-by-instruction, fixing up
+/// branch targets automatically.
+///
+/// The pass sees each instruction (as a borrowed [`InstrView`]) and
+/// answers with a [`Rewrite`]. The new code is assembled in order, and
+/// the procedure's label table — the indirection all branch operands go
+/// through — is rewritten to the new offsets of its `LABELV` markers, so
+/// passes can insert, delete, and resize instructions without ever
+/// touching branch encodings. A marker inside a [`Rewrite::Replace`]
+/// sequence inherits the original instruction's table entry (the first
+/// replacement `LABELV` claims it), which lets a pass rebuild a marker
+/// with code around it.
+///
+/// Returns how many instructions were removed or replaced.
+///
+/// ```
+/// use pgr_bytecode::{instrs, rewrite_instrs, Instruction, Opcode, Procedure, Rewrite};
+/// use pgr_bytecode::asm::code_with_labels;
+///
+/// // label 0; LIT1 1; BrTrue 0  — then widen LIT1 to LIT2.
+/// let (code, labels) = code_with_labels(&[
+///     Instruction::op(Opcode::LABELV),
+///     Instruction::new(Opcode::LIT1, &[1]),
+///     Instruction::with_u16(Opcode::BrTrue, 0),
+/// ]);
+/// let mut proc = Procedure::new("f");
+/// proc.code = code;
+/// proc.labels = labels;
+///
+/// rewrite_instrs(&mut proc, |insn| match insn.opcode {
+///     Opcode::LIT1 => Rewrite::Replace(vec![Instruction::with_u16(
+///         Opcode::LIT2,
+///         u16::from(insn.operand_u32() as u8),
+///     )]),
+///     _ => Rewrite::Keep,
+/// })
+/// .unwrap();
+///
+/// // The branch still encodes label-table index 0; the table still
+/// // points at the (unmoved, here) marker.
+/// assert_eq!(proc.labels, vec![0]);
+/// assert!(instrs(&proc.code).any(|i| i.unwrap().opcode == Opcode::LIT2));
+/// ```
+///
+/// # Errors
+///
+/// Fails if the code does not decode, or if the pass drops a `LABELV`
+/// that the label table references ([`RewriteError::DroppedLabel`]).
+pub fn rewrite_instrs<F>(proc: &mut Procedure, mut pass: F) -> Result<RewriteSummary, RewriteError>
+where
+    F: FnMut(InstrView<'_>) -> Rewrite,
+{
+    let mut code = Vec::with_capacity(proc.code.len());
+    // Old LABELV offset -> new LABELV offset, in code order.
+    let mut moved: Vec<(u32, u32)> = Vec::new();
+    let mut summary = RewriteSummary::default();
+
+    for insn in instrs(&proc.code) {
+        let insn = insn?;
+        let emit_start = code.len();
+        match pass(insn) {
+            Rewrite::Keep => {
+                code.push(insn.opcode as u8);
+                code.extend_from_slice(insn.operand_slice());
+                if insn.opcode == Opcode::LABELV {
+                    moved.push((insn.offset as u32, emit_start as u32));
+                }
+            }
+            Rewrite::Remove => {
+                summary.removed += 1;
+            }
+            Rewrite::Replace(replacement) => {
+                summary.replaced += 1;
+                let mut claimed = false;
+                for r in &replacement {
+                    if r.opcode == Opcode::LABELV && !claimed {
+                        moved.push((insn.offset as u32, code.len() as u32));
+                        claimed = true;
+                    }
+                    r.encode_into(&mut code);
+                }
+            }
+        }
+    }
+
+    let labels = proc
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(label, &old)| {
+            moved
+                .iter()
+                .find(|&&(o, _)| o == old)
+                .map(|&(_, n)| n)
+                .ok_or(RewriteError::DroppedLabel { label, target: old })
+        })
+        .collect::<Result<Vec<u32>, _>>()?;
+
+    proc.code = code;
+    proc.labels = labels;
+    Ok(summary)
+}
+
+/// What [`rewrite_instrs`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RewriteSummary {
+    /// Instructions dropped by [`Rewrite::Remove`].
+    pub removed: usize,
+    /// Instructions replaced by [`Rewrite::Replace`].
+    pub replaced: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{assemble, code_with_labels, disassemble_proc};
+    use crate::{decode, validate_program};
+
+    fn branchy_proc() -> Procedure {
+        let (code, labels) = code_with_labels(&[
+            Instruction::op(Opcode::LABELV),
+            Instruction::new(Opcode::LIT1, &[1]),
+            Instruction::with_u16(Opcode::BrTrue, 1),
+            Instruction::with_u16(Opcode::JUMPV, 0),
+            Instruction::op(Opcode::LABELV),
+            Instruction::op(Opcode::RETV),
+        ]);
+        let mut proc = Procedure::new("f");
+        proc.code = code;
+        proc.labels = labels;
+        proc
+    }
+
+    #[test]
+    fn views_agree_with_owned_decoding() {
+        let proc = branchy_proc();
+        let owned: Vec<Instruction> = decode(&proc.code).collect::<Result<_, _>>().unwrap();
+        let views: Vec<InstrView<'_>> = instrs(&proc.code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(owned.len(), views.len());
+        for (a, b) in owned.iter().zip(&views) {
+            assert_eq!(a.opcode, b.opcode);
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.operand_slice(), b.operand_slice());
+            assert_eq!(a.size(), b.size());
+            assert_eq!(*a, b.to_instruction());
+        }
+    }
+
+    #[test]
+    fn views_borrow_the_stream() {
+        let code = [Opcode::LIT2 as u8, 0xcd, 0xab];
+        let view = instrs(&code).next().unwrap().unwrap();
+        assert!(std::ptr::eq(view.operand_slice().as_ptr(), &code[1]));
+        assert_eq!(view.operand_u16(), 0xabcd);
+    }
+
+    #[test]
+    fn decode_errors_surface_and_stop() {
+        let mut it = instrs(&[0xff]);
+        assert!(matches!(
+            it.next(),
+            Some(Err(DecodeError::BadOpcode { .. }))
+        ));
+        assert!(it.next().is_none());
+
+        let code = [Opcode::LIT4 as u8, 1];
+        let err = for_each_instr(&code, |_| ControlFlow::<()>::Continue(())).unwrap_err();
+        assert!(matches!(err, DecodeError::TruncatedOperands { .. }));
+    }
+
+    #[test]
+    fn for_each_breaks_early() {
+        let proc = branchy_proc();
+        let mut seen = 0usize;
+        let hit = for_each_instr(&proc.code, |insn| {
+            seen += 1;
+            if insn.opcode.is_branch() {
+                ControlFlow::Break(insn.offset)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert_eq!(hit, Some(3)); // LABELV (1B) + LIT1 (2B) put BrTrue at 3
+        assert_eq!(seen, 3); // LABELV, LIT1, BrTrue — then stop
+    }
+
+    #[test]
+    fn rewrite_moves_label_table_not_branches() {
+        let mut proc = branchy_proc();
+        let before: Vec<u8> = proc.code.clone();
+        // Widen the literal: every later offset shifts by one byte.
+        let summary = rewrite_instrs(&mut proc, |insn| match insn.opcode {
+            Opcode::LIT1 => Rewrite::Replace(vec![Instruction::with_u16(
+                Opcode::LIT2,
+                u16::from(insn.operand_u32() as u8),
+            )]),
+            _ => Rewrite::Keep,
+        })
+        .unwrap();
+        assert_eq!(
+            summary,
+            RewriteSummary {
+                removed: 0,
+                replaced: 1
+            }
+        );
+        assert_eq!(proc.code.len(), before.len() + 1);
+        // Branch operands are untouched: still indices 1 and 0.
+        let views: Vec<_> = instrs(&proc.code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(views[2].opcode, Opcode::BrTrue);
+        assert_eq!(views[2].operand_u16(), 1);
+        assert_eq!(views[3].opcode, Opcode::JUMPV);
+        assert_eq!(views[3].operand_u16(), 0);
+        // The label table moved instead: entry 1's LABELV shifted by 1.
+        assert_eq!(proc.labels[0], 0);
+        assert_eq!(proc.labels[1] as usize, views[4].offset);
+        assert_eq!(views[4].opcode, Opcode::LABELV);
+    }
+
+    #[test]
+    fn rewrite_keeps_validity() {
+        let mut prog = assemble(
+            "proc main frame=4 args=0\n\
+             \tlabel 0\n\
+             \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+             \tLIT1 1\n\tBrTrue 0\n\
+             \tRETV\nendproc\nentry main\n",
+        )
+        .unwrap();
+        validate_program(&prog).unwrap();
+        rewrite_instrs(&mut prog.procs[0], |insn| match insn.opcode {
+            // A no-op peephole: rebuild every ADDRLP as itself.
+            Opcode::ADDRLP => Rewrite::Replace(vec![Instruction::with_u16(
+                Opcode::ADDRLP,
+                insn.operand_u16(),
+            )]),
+            _ => Rewrite::Keep,
+        })
+        .unwrap();
+        validate_program(&prog).unwrap();
+    }
+
+    #[test]
+    fn removing_a_referenced_label_is_an_error() {
+        let mut proc = branchy_proc();
+        let err = rewrite_instrs(&mut proc, |insn| {
+            if insn.opcode == Opcode::LABELV && insn.offset > 0 {
+                Rewrite::Remove
+            } else {
+                Rewrite::Keep
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, RewriteError::DroppedLabel { label: 1, .. }));
+        // The procedure is untouched on error.
+        assert_eq!(proc, branchy_proc());
+    }
+
+    #[test]
+    fn replacement_labelv_claims_the_table_entry() {
+        let mut proc = branchy_proc();
+        // Rebuild the second marker with a preceding marker-less prefix.
+        rewrite_instrs(&mut proc, |insn| {
+            if insn.opcode == Opcode::LABELV && insn.offset > 0 {
+                Rewrite::Replace(vec![Instruction::op(Opcode::LABELV)])
+            } else {
+                Rewrite::Keep
+            }
+        })
+        .unwrap();
+        let views: Vec<_> = instrs(&proc.code).collect::<Result<_, _>>().unwrap();
+        assert_eq!(proc.labels[1] as usize, views[4].offset);
+    }
+
+    #[test]
+    fn removing_unreferenced_code_shrinks_the_stream() {
+        let (code, labels) = code_with_labels(&[
+            Instruction::new(Opcode::LIT1, &[3]),
+            Instruction::op(Opcode::POPU),
+            Instruction::op(Opcode::RETV),
+        ]);
+        let mut proc = Procedure::new("f");
+        proc.code = code;
+        proc.labels = labels;
+        let summary = rewrite_instrs(&mut proc, |insn| match insn.opcode {
+            Opcode::LIT1 | Opcode::POPU => Rewrite::Remove,
+            _ => Rewrite::Keep,
+        })
+        .unwrap();
+        assert_eq!(summary.removed, 2);
+        assert_eq!(proc.code, vec![Opcode::RETV as u8]);
+    }
+
+    #[test]
+    fn disassembly_still_names_labels_after_rewrite() {
+        let mut proc = branchy_proc();
+        rewrite_instrs(&mut proc, |insn| match insn.opcode {
+            Opcode::LIT1 => Rewrite::Replace(vec![Instruction::with_u16(Opcode::LIT2, 1)]),
+            _ => Rewrite::Keep,
+        })
+        .unwrap();
+        let text = disassemble_proc(&proc);
+        assert!(text.contains("label 0"), "{text}");
+        assert!(text.contains("label 1"), "{text}");
+        assert!(!text.contains("LABELV"), "{text}");
+    }
+}

@@ -63,7 +63,7 @@ impl Procedure {
     pub fn segments(&self) -> Result<Vec<std::ops::Range<usize>>, DecodeError> {
         let mut out = Vec::new();
         let mut start = 0usize;
-        for insn in decode(&self.code) {
+        for insn in crate::pass::instrs(&self.code) {
             let insn = insn?;
             if insn.opcode == Opcode::LABELV {
                 if insn.offset > start {

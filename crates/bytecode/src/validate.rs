@@ -8,8 +8,10 @@
 
 use crate::insn::DecodeError;
 use crate::opcode::{Opcode, StackKind};
+use crate::pass::for_each_instr;
 use crate::program::{Procedure, Program};
 use std::fmt;
+use std::ops::ControlFlow;
 
 /// A validation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,16 +96,35 @@ impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateError::Decode { proc, error } => write!(f, "{proc}: {error}"),
-            ValidateError::BadLabelIndex { proc, offset, index } => {
+            ValidateError::BadLabelIndex {
+                proc,
+                offset,
+                index,
+            } => {
                 write!(f, "{proc}+{offset}: branch to missing label {index}")
             }
-            ValidateError::BadLabelTarget { proc, label, target } => {
+            ValidateError::BadLabelTarget {
+                proc,
+                label,
+                target,
+            } => {
                 write!(f, "{proc}: label {label} points at {target}, not a LABELV")
             }
-            ValidateError::BadProcIndex { proc, offset, index } => {
-                write!(f, "{proc}+{offset}: LocalCALL to missing descriptor {index}")
+            ValidateError::BadProcIndex {
+                proc,
+                offset,
+                index,
+            } => {
+                write!(
+                    f,
+                    "{proc}+{offset}: LocalCALL to missing descriptor {index}"
+                )
             }
-            ValidateError::BadGlobalIndex { proc, offset, index } => {
+            ValidateError::BadGlobalIndex {
+                proc,
+                offset,
+                index,
+            } => {
                 write!(f, "{proc}+{offset}: ADDRGP to missing global {index}")
             }
             ValidateError::StackUnderflow {
@@ -116,8 +137,15 @@ impl fmt::Display for ValidateError {
                 "{proc}+{offset}: {opcode} pops {} but stack depth is {depth}",
                 opcode.kind().pops()
             ),
-            ValidateError::NonEmptyStackAtBoundary { proc, offset, depth } => {
-                write!(f, "{proc}+{offset}: segment boundary with stack depth {depth}")
+            ValidateError::NonEmptyStackAtBoundary {
+                proc,
+                offset,
+                depth,
+            } => {
+                write!(
+                    f,
+                    "{proc}+{offset}: segment boundary with stack depth {depth}"
+                )
             }
             ValidateError::MissingTerminator { proc } => {
                 write!(f, "{proc}: control can fall off the end")
@@ -127,7 +155,14 @@ impl fmt::Display for ValidateError {
     }
 }
 
-impl std::error::Error for ValidateError {}
+impl std::error::Error for ValidateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ValidateError::Decode { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// Validate one procedure against the tables of its containing program.
 ///
@@ -136,14 +171,25 @@ impl std::error::Error for ValidateError {}
 /// Returns the first problem found; see [`ValidateError`].
 pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), ValidateError> {
     let name = || proc.name.clone();
-    let insns = proc
-        .instructions()
-        .map_err(|error| ValidateError::Decode { proc: name(), error })?;
 
+    // Pass 1 — label-target scan: every label-table entry must point at a
+    // LABELV marker. `for_each_instr` decodes zero-copy views, so this
+    // pass allocates nothing beyond the error path.
     for (i, &target) in proc.labels.iter().enumerate() {
-        let ok = insns
-            .iter()
-            .any(|insn| insn.offset == target as usize && insn.opcode == Opcode::LABELV);
+        let ok = for_each_instr(&proc.code, |insn| {
+            if insn.offset >= target as usize {
+                // Reached (or walked past) the target: it is valid only
+                // if an instruction starts exactly there and is a marker.
+                ControlFlow::Break(insn.offset == target as usize && insn.opcode == Opcode::LABELV)
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .map_err(|error| ValidateError::Decode {
+            proc: name(),
+            error,
+        })?
+        .unwrap_or(false);
         if !ok {
             return Err(ValidateError::BadLabelTarget {
                 proc: name(),
@@ -153,23 +199,27 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
         }
     }
 
+    // Pass 2 — stack-effect and table-reference scan, streaming over
+    // borrowed views with an early exit on the first problem.
     let mut depth = 0usize;
-    for insn in &insns {
+    let mut last_opcode: Option<Opcode> = None;
+    let failure = for_each_instr(&proc.code, |insn| {
+        last_opcode = Some(insn.opcode);
         let kind = insn.opcode.kind();
         if kind == StackKind::Label {
             if depth != 0 {
-                return Err(ValidateError::NonEmptyStackAtBoundary {
+                return ControlFlow::Break(ValidateError::NonEmptyStackAtBoundary {
                     proc: name(),
                     offset: insn.offset,
                     depth,
                 });
             }
-            continue;
+            return ControlFlow::Continue(());
         }
         if insn.opcode.is_branch() {
             let index = insn.operand_u16();
             if usize::from(index) >= proc.labels.len() {
-                return Err(ValidateError::BadLabelIndex {
+                return ControlFlow::Break(ValidateError::BadLabelIndex {
                     proc: name(),
                     offset: insn.offset,
                     index,
@@ -179,7 +229,7 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
         if insn.opcode.is_local_call() {
             let index = insn.operand_u16();
             if usize::from(index) >= program.procs.len() {
-                return Err(ValidateError::BadProcIndex {
+                return ControlFlow::Break(ValidateError::BadProcIndex {
                     proc: name(),
                     offset: insn.offset,
                     index,
@@ -189,7 +239,7 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
         if insn.opcode == Opcode::ADDRGP {
             let index = insn.operand_u16();
             if usize::from(index) >= program.globals.len() {
-                return Err(ValidateError::BadGlobalIndex {
+                return ControlFlow::Break(ValidateError::BadGlobalIndex {
                     proc: name(),
                     offset: insn.offset,
                     index,
@@ -197,7 +247,7 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
             }
         }
         if depth < kind.pops() {
-            return Err(ValidateError::StackUnderflow {
+            return ControlFlow::Break(ValidateError::StackUnderflow {
                 proc: name(),
                 offset: insn.offset,
                 opcode: insn.opcode,
@@ -208,6 +258,14 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
         if kind.pushes() {
             depth += 1;
         }
+        ControlFlow::Continue(())
+    })
+    .map_err(|error| ValidateError::Decode {
+        proc: name(),
+        error,
+    })?;
+    if let Some(err) = failure {
+        return Err(err);
     }
     if depth != 0 {
         return Err(ValidateError::NonEmptyStackAtBoundary {
@@ -217,8 +275,8 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
         });
     }
 
-    match insns.last() {
-        Some(last) if last.opcode.is_return() || last.opcode == Opcode::JUMPV => Ok(()),
+    match last_opcode {
+        Some(last) if last.is_return() || last == Opcode::JUMPV => Ok(()),
         _ => Err(ValidateError::MissingTerminator { proc: name() }),
     }
 }
@@ -270,7 +328,10 @@ mod tests {
     fn value_left_on_stack_at_label_is_caught() {
         let e = check("proc f frame=0 args=0\n\tLIT1 1\n\tlabel 0\n\tPOPU\n\tRETV\nendproc\n")
             .unwrap_err();
-        assert!(matches!(e, ValidateError::NonEmptyStackAtBoundary { depth: 1, .. }));
+        assert!(matches!(
+            e,
+            ValidateError::NonEmptyStackAtBoundary { depth: 1, .. }
+        ));
     }
 
     #[test]

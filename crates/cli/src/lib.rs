@@ -19,7 +19,8 @@
 
 #![warn(missing_docs)]
 
-use pgr_bytecode::{read_program, write_program, validate_program, ImageKind, Program};
+use pgr::PgrError;
+use pgr_bytecode::{read_program, validate_program, write_program, ImageKind, Program};
 use pgr_core::{train, ExpanderConfig, TrainConfig};
 use pgr_grammar::encode::{decode_grammar, encode_grammar};
 use pgr_grammar::{Grammar, Nt};
@@ -62,7 +63,7 @@ fn usage() -> String {
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
-     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc>\n\
+     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--timings]\n\
      \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
      \x20 stats <in.pgrb>\n\
@@ -83,6 +84,10 @@ fn required<'a>(args: &'a [String], flag: &str) -> Result<&'a str, String> {
     opt_value(args, flag).ok_or_else(|| format!("missing {flag} <value>"))
 }
 
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 fn positionals(args: &[String]) -> Vec<&str> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -91,7 +96,14 @@ fn positionals(args: &[String]) -> Vec<&str> {
             skip = false;
             continue;
         }
-        if a == "-o" || a == "-g" || a == "--cap" || a == "--stdin" || a == "--trace" || a == "-p" {
+        if a == "-o"
+            || a == "-g"
+            || a == "--cap"
+            || a == "--stdin"
+            || a == "--trace"
+            || a == "--threads"
+            || a == "-p"
+        {
             skip = true;
             continue;
         }
@@ -115,6 +127,13 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
 fn load_program(path: &str) -> Result<(Program, ImageKind), String> {
     let bytes = read_file(path)?;
     read_program(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Render a pipeline failure with its full cause chain. All train /
+/// compress / decompress / validate failures funnel through [`PgrError`]
+/// so the CLI reports every layer of context, not just the top line.
+fn pipeline_err(e: impl Into<PgrError>) -> String {
+    e.into().report()
 }
 
 // ---- grammar files -----------------------------------------------------
@@ -158,11 +177,11 @@ fn compile(args: &[String]) -> Result<i32, String> {
     };
     let out = required(args, "-o")?;
     let optimize = args.iter().any(|a| a == "-O");
-    let source =
-        String::from_utf8(read_file(input)?).map_err(|_| format!("{input}: not UTF-8"))?;
+    let source = String::from_utf8(read_file(input)?).map_err(|_| format!("{input}: not UTF-8"))?;
     let program = pgr_minic::compile_with(&source, &pgr_minic::Options { optimize })
         .map_err(|e| format!("{input}:{e}"))?;
-    validate_program(&program).map_err(|e| format!("{input}: generated invalid code: {e}"))?;
+    validate_program(&program)
+        .map_err(|e| format!("{input}: generated invalid code: {}", pipeline_err(e)))?;
     write_file(out, &write_program(&program, ImageKind::Uncompressed))?;
     eprintln!(
         "{input}: {} procedures, {} bytecode bytes -> {out}",
@@ -194,9 +213,7 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
     }
     let out = required(args, "-o")?;
     let cap = match opt_value(args, "--cap") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| format!("bad --cap {v:?}"))?,
+        Some(v) => v.parse::<usize>().map_err(|_| format!("bad --cap {v:?}"))?,
         None => 256,
     };
     let mut programs = Vec::new();
@@ -214,7 +231,7 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
             ..ExpanderConfig::default()
         },
     };
-    let trained = train(&refs, &config).map_err(|e| e.to_string())?;
+    let trained = train(&refs, &config).map_err(pipeline_err)?;
     let ig = trained.initial();
     write_file(
         out,
@@ -240,8 +257,18 @@ fn compress(args: &[String]) -> Result<i32, String> {
     if kind == ImageKind::Compressed {
         return Err(format!("{input} is already compressed"));
     }
-    let (cp, stats) = pgr_core::compress::compress_program(&grammar, start, &program)
-        .map_err(|e| e.to_string())?;
+    let threads = match opt_value(args, "--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --threads {v:?}"))?,
+        None => 0, // one worker per CPU
+    };
+    let timings = flag(args, "--timings");
+    let config = pgr_core::CompressorConfig::default()
+        .threads(threads)
+        .collect_timings(timings);
+    let engine = pgr_core::Compressor::with_config(&grammar, start, config);
+    let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;
     write_file(out, &write_program(&cp.program, ImageKind::Compressed))?;
     eprintln!(
         "{input}: {} -> {} code bytes ({:.0}%) -> {out}",
@@ -249,6 +276,17 @@ fn compress(args: &[String]) -> Result<i32, String> {
         stats.compressed_code,
         100.0 * stats.ratio()
     );
+    if timings {
+        let t = stats.timings;
+        eprintln!(
+            "phases: canonicalize {:?}, tokenize {:?}, parse {:?}, emit {:?} ({} thread(s))",
+            t.canonicalize,
+            t.tokenize,
+            t.parse,
+            t.emit,
+            engine.threads()
+        );
+    }
     Ok(0)
 }
 
@@ -264,10 +302,13 @@ fn decompress(args: &[String]) -> Result<i32, String> {
         return Err(format!("{input} is not compressed"));
     }
     let cp = pgr_core::CompressedProgram { program };
-    let back = pgr_core::compress::decompress_program(&grammar, start, &cp)
-        .map_err(|e| e.to_string())?;
+    let back =
+        pgr_core::compress::decompress_program(&grammar, start, &cp).map_err(pipeline_err)?;
     write_file(out, &write_program(&back, ImageKind::Uncompressed))?;
-    eprintln!("{input}: decompressed to {} code bytes -> {out}", back.code_size());
+    eprintln!(
+        "{input}: decompressed to {} code bytes -> {out}",
+        back.code_size()
+    );
     Ok(0)
 }
 

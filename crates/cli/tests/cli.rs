@@ -10,10 +10,7 @@ struct Scratch {
 
 impl Scratch {
     fn new(tag: &str) -> Scratch {
-        let dir = std::env::temp_dir().join(format!(
-            "pgr-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("pgr-cli-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         Scratch { dir }
@@ -77,13 +74,18 @@ fn full_pipeline_through_files() {
     assert!(packed_bytes.len() < plain.len());
 
     // Direct execution of the compressed image matches.
-    assert_eq!(
-        run(&args(&["run", &packed, "-g", &grammar])).unwrap(),
-        7
-    );
+    assert_eq!(run(&args(&["run", &packed, "-g", &grammar])).unwrap(), 7);
 
     // Decompression restores a runnable uncompressed image.
-    run(&args(&["decompress", &packed, "-g", &grammar, "-o", &unpacked])).unwrap();
+    run(&args(&[
+        "decompress",
+        &packed,
+        "-g",
+        &grammar,
+        "-o",
+        &unpacked,
+    ]))
+    .unwrap();
     assert_eq!(run(&args(&["run", &unpacked])).unwrap(), 7);
 }
 
@@ -113,8 +115,7 @@ fn cgen_emits_the_three_artifacts() {
     let outdir = s.path("gen");
     run(&args(&["cgen", "-g", &grammar, "-o", &outdir])).unwrap();
     for name in ["interp1.c", "tables.c", "interp_nt.c"] {
-        let content =
-            std::fs::read_to_string(std::path::Path::new(&outdir).join(name)).unwrap();
+        let content = std::fs::read_to_string(std::path::Path::new(&outdir).join(name)).unwrap();
         assert!(!content.is_empty(), "{name}");
     }
 }
@@ -154,7 +155,15 @@ fn errors_are_reported_not_panicked() {
     assert!(run(&args(&["train", &packed, "-o", &s.path("y.pgrg")])).is_err());
     // Garbage grammar file.
     let junk = s.write("junk.pgrg", "not a grammar");
-    assert!(run(&args(&["compress", &image, "-g", &junk, "-o", &s.path("z.pgrc")])).is_err());
+    assert!(run(&args(&[
+        "compress",
+        &image,
+        "-g",
+        &junk,
+        "-o",
+        &s.path("z.pgrc")
+    ]))
+    .is_err());
 }
 
 #[test]
@@ -180,9 +189,11 @@ fn cgen_with_image_emits_packaging() {
     run(&args(&["compile", &c, "-o", &image])).unwrap();
     run(&args(&["train", &image, "-o", &grammar])).unwrap();
     let outdir = s.path("gen");
-    run(&args(&["cgen", "-g", &grammar, "-p", &image, "-o", &outdir])).unwrap();
-    let pkg =
-        std::fs::read_to_string(std::path::Path::new(&outdir).join("package.c")).unwrap();
+    run(&args(&[
+        "cgen", "-g", &grammar, "-p", &image, "-o", &outdir,
+    ]))
+    .unwrap();
+    let pkg = std::fs::read_to_string(std::path::Path::new(&outdir).join("package.c")).unwrap();
     assert!(pkg.contains("proc _procs[]"));
     assert!(pkg.contains("void *_globals[]"));
     assert!(pkg.contains("int main(unsigned arg1)"));

@@ -131,10 +131,9 @@ mod tests {
 
     #[test]
     fn plain_programs_are_unchanged() {
-        let prog = assemble(
-            "proc f frame=0 args=0\n\tLIT1 1\n\tBrTrue 0\n\tlabel 0\n\tRETV\nendproc\n",
-        )
-        .unwrap();
+        let prog =
+            assemble("proc f frame=0 args=0\n\tLIT1 1\n\tBrTrue 0\n\tlabel 0\n\tRETV\nendproc\n")
+                .unwrap();
         let canon = canonicalize_program(&prog).unwrap();
         assert_eq!(canon, prog);
         // Idempotent.
@@ -175,8 +174,7 @@ mod tests {
 
     #[test]
     fn bad_label_is_reported() {
-        let mut prog =
-            assemble("proc f frame=0 args=0\n\tlabel 0\n\tRETV\nendproc\n").unwrap();
+        let mut prog = assemble("proc f frame=0 args=0\n\tlabel 0\n\tRETV\nendproc\n").unwrap();
         prog.procs[0].labels[0] = 1; // RETV, not LABELV
         assert!(matches!(
             canonicalize_program(&prog),
@@ -186,10 +184,8 @@ mod tests {
 
     #[test]
     fn trailing_label_survives() {
-        let prog = assemble(
-            "proc f frame=0 args=0\n\tJUMPV 0\n\tlabel 0\n\tJUMPV 0\nendproc\n",
-        )
-        .unwrap();
+        let prog =
+            assemble("proc f frame=0 args=0\n\tJUMPV 0\n\tlabel 0\n\tJUMPV 0\nendproc\n").unwrap();
         let canon = canonicalize_program(&prog).unwrap();
         assert_eq!(canon, prog);
     }

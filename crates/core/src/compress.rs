@@ -13,11 +13,12 @@
 //! derivation back to bytecode and re-inserts the `LABELV` markers, and is
 //! an exact inverse of compression on canonical programs.
 
-use crate::canonical::{canonicalize_program, CanonError};
-use pgr_bytecode::{decode, Opcode, Procedure, Program};
-use pgr_earley::{NoParse, ShortestParser};
+use crate::canonical::CanonError;
+use crate::engine::{Compressor, PhaseTimings};
+use pgr_bytecode::{Opcode, Procedure, Program};
+use pgr_earley::NoParse;
 use pgr_grammar::derivation::DerivationError;
-use pgr_grammar::initial::{detokenize, tokenize_segment, TokenizeError};
+use pgr_grammar::initial::{detokenize, TokenizeError};
 use pgr_grammar::{Derivation, Grammar, Nt};
 use std::fmt;
 
@@ -30,7 +31,13 @@ pub struct CompressedProgram {
     pub program: Program,
 }
 
-/// Sizes measured for one compression run.
+/// Sizes (and, on request, phase timings) measured for one compression
+/// run.
+///
+/// Stats form a commutative monoid under [`CompressionStats::merge`] with
+/// `Default` as the identity: the engine computes them per segment and per
+/// procedure, then folds, so no `&mut` accumulator threads through the
+/// parallel encoding pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CompressionStats {
     /// Canonical uncompressed code bytes.
@@ -39,6 +46,10 @@ pub struct CompressionStats {
     pub compressed_code: usize,
     /// Number of segments encoded.
     pub segments: usize,
+    /// Per-phase wall-clock cost; all zero unless
+    /// [`CompressorConfig::collect_timings`](crate::engine::CompressorConfig::collect_timings)
+    /// was set.
+    pub timings: PhaseTimings,
 }
 
 impl CompressionStats {
@@ -48,6 +59,16 @@ impl CompressionStats {
             1.0
         } else {
             self.compressed_code as f64 / self.original_code as f64
+        }
+    }
+
+    /// Combine two measurements (componentwise sum).
+    pub fn merge(self, other: CompressionStats) -> CompressionStats {
+        CompressionStats {
+            original_code: self.original_code + other.original_code,
+            compressed_code: self.compressed_code + other.compressed_code,
+            segments: self.segments + other.segments,
+            timings: self.timings.merge(other.timings),
         }
     }
 }
@@ -90,7 +111,15 @@ impl fmt::Display for CompressError {
     }
 }
 
-impl std::error::Error for CompressError {}
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::Canon(e) => Some(e),
+            CompressError::Tokenize { error, .. } => Some(error),
+            CompressError::NoParse { error, .. } => Some(error),
+        }
+    }
+}
 
 impl From<CanonError> for CompressError {
     fn from(e: CanonError) -> CompressError {
@@ -137,105 +166,36 @@ impl fmt::Display for DecompressError {
     }
 }
 
-impl std::error::Error for DecompressError {}
-
-/// Compress one canonical procedure.
-fn compress_procedure(
-    parser: &ShortestParser<'_>,
-    start: Nt,
-    index_map: &[usize],
-    proc: &Procedure,
-    stats: &mut CompressionStats,
-) -> Result<Procedure, CompressError> {
-    let mut out = Vec::new();
-    // old LABELV offset -> compressed offset.
-    let mut label_map: Vec<(usize, u32)> = Vec::new();
-    let mut seg_start = 0usize;
-
-    let encode_segment = |range: std::ops::Range<usize>,
-                              out: &mut Vec<u8>,
-                              stats: &mut CompressionStats|
-     -> Result<(), CompressError> {
-        if range.is_empty() {
-            return Ok(());
-        }
-        let tokens =
-            tokenize_segment(&proc.code[range.clone()]).map_err(|error| {
-                CompressError::Tokenize {
-                    proc: proc.name.clone(),
-                    error,
-                }
-            })?;
-        let derivation = parser.parse(start, &tokens).map_err(|error| {
-            CompressError::NoParse {
-                proc: proc.name.clone(),
-                segment_offset: range.start,
-                error,
-            }
-        })?;
-        out.extend(derivation.to_bytes(index_map));
-        stats.segments += 1;
-        Ok(())
-    };
-
-    for insn in decode(&proc.code) {
-        let insn = insn.expect("canonical code decodes");
-        if insn.opcode == Opcode::LABELV {
-            encode_segment(seg_start..insn.offset, &mut out, stats)?;
-            label_map.push((insn.offset, out.len() as u32));
-            seg_start = insn.offset + 1;
+impl std::error::Error for DecompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecompressError::Derivation { error, .. } => Some(error),
+            DecompressError::Misaligned { .. } | DecompressError::Detokenize { .. } => None,
         }
     }
-    encode_segment(seg_start..proc.code.len(), &mut out, stats)?;
-
-    let labels = proc
-        .labels
-        .iter()
-        .map(|&old| {
-            label_map
-                .iter()
-                .find(|(o, _)| *o == old as usize)
-                .map(|&(_, n)| n)
-                .expect("canonical labels point at markers")
-        })
-        .collect();
-
-    stats.original_code += proc.code.len();
-    stats.compressed_code += out.len();
-    Ok(Procedure {
-        name: proc.name.clone(),
-        frame_size: proc.frame_size,
-        arg_size: proc.arg_size,
-        code: out,
-        labels,
-        needs_trampoline: proc.needs_trampoline,
-    })
 }
 
 /// Compress a program under an expanded grammar.
 ///
-/// The program is canonicalized first (see [`crate::canonical`]); the
-/// returned stats measure against the canonical form.
+/// This one-shot entry point rebuilds the Earley parser's prediction
+/// tables on every call; the [`Compressor`] engine builds them once and
+/// reuses them (plus a derivation cache and a worker pool) across
+/// programs, which is why all in-tree callers use it instead.
 ///
 /// # Errors
 ///
 /// See [`CompressError`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Compressor` (or call `Trained::compress`) instead; this shim \
+            constructs a fresh single-use engine per call"
+)]
 pub fn compress_program(
     grammar: &Grammar,
     start: Nt,
     program: &Program,
 ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
-    let canon = canonicalize_program(program)?;
-    let parser = ShortestParser::new(grammar);
-    let index_map = grammar.rule_index_map();
-    let mut stats = CompressionStats::default();
-    let mut out = canon.clone();
-    out.procs = canon
-        .procs
-        .iter()
-        .map(|p| compress_procedure(&parser, start, &index_map, p, &mut stats))
-        .collect::<Result<_, _>>()?;
-    Ok((CompressedProgram { program: out }, stats))
+    Compressor::new(grammar, start).compress(program)
 }
 
 /// Decompress one procedure.
@@ -278,12 +238,13 @@ fn decompress_procedure(
                 offset: pos,
             });
         }
-        let tokens = derivation.expand(grammar, start).map_err(|error| {
-            DecompressError::Derivation {
-                proc: proc.name.clone(),
-                error,
-            }
-        })?;
+        let tokens =
+            derivation
+                .expand(grammar, start)
+                .map_err(|error| DecompressError::Derivation {
+                    proc: proc.name.clone(),
+                    error,
+                })?;
         out.extend(detokenize(&tokens));
         pos = end;
     }
@@ -313,8 +274,8 @@ fn decompress_procedure(
     })
 }
 
-/// Decompress a program: the exact inverse of [`compress_program`] on
-/// canonical inputs.
+/// Decompress a program: the exact inverse of
+/// [`Compressor::compress`] on canonical inputs.
 ///
 /// # Errors
 ///
@@ -337,6 +298,7 @@ pub fn decompress_program(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::canonical::canonicalize_program;
     use pgr_bytecode::asm::assemble;
     use pgr_grammar::InitialGrammar;
 
@@ -363,7 +325,8 @@ entry check
     fn roundtrip_under_the_initial_grammar() {
         let ig = InitialGrammar::build();
         let prog = assemble(SAMPLE).unwrap();
-        let (cp, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let engine = Compressor::new(&ig.grammar, ig.nt_start);
+        let (cp, stats) = engine.compress(&prog).unwrap();
         assert_eq!(stats.segments, 2);
         assert_eq!(stats.original_code, prog.procs[0].code.len());
         let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
@@ -371,18 +334,31 @@ entry check
     }
 
     #[test]
+    fn deprecated_shim_matches_the_engine() {
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        #[allow(deprecated)]
+        let shim = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let engine = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap();
+        assert_eq!(shim, engine);
+    }
+
+    #[test]
     fn label_table_points_at_segment_starts() {
         let ig = InitialGrammar::build();
         let prog = assemble(SAMPLE).unwrap();
-        let (cp, _) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let (cp, _) = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap();
         let p = &cp.program.procs[0];
         assert_eq!(p.labels.len(), 1);
         let off = p.labels[0] as usize;
         assert!(off < p.code.len());
         // Decoding a derivation from the label offset succeeds and covers
         // the remainder of the stream (the RETV segment).
-        let (d, used) =
-            Derivation::from_bytes(&ig.grammar, ig.nt_start, &p.code[off..]).unwrap();
+        let (d, used) = Derivation::from_bytes(&ig.grammar, ig.nt_start, &p.code[off..]).unwrap();
         assert_eq!(off + used, p.code.len());
         let tokens = d.expand(&ig.grammar, ig.nt_start).unwrap();
         assert_eq!(detokenize(&tokens), vec![pgr_bytecode::Opcode::RETV as u8]);
@@ -395,7 +371,9 @@ entry check
         // the paper's point: expansion is what buys compression.
         let ig = InitialGrammar::build();
         let prog = assemble(SAMPLE).unwrap();
-        let (_, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let (_, stats) = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap();
         assert!(stats.compressed_code > stats.original_code);
         assert!(stats.ratio() > 1.0);
     }
@@ -405,7 +383,9 @@ entry check
         let ig = InitialGrammar::build();
         let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
         prog.procs[0].code = vec![pgr_bytecode::Opcode::ADDU as u8];
-        let err = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap_err();
+        let err = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap_err();
         assert!(matches!(err, CompressError::NoParse { .. }));
     }
 
@@ -414,7 +394,9 @@ entry check
         let ig = InitialGrammar::build();
         let mut prog = Program::new();
         prog.procs.push(Procedure::new("empty"));
-        let (cp, stats) = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
+        let (cp, stats) = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap();
         assert_eq!(cp.program.procs[0].code.len(), 0);
         assert_eq!(stats.segments, 0);
         let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();

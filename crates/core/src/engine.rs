@@ -1,0 +1,666 @@
+//! The reusable compression engine.
+//!
+//! [`Compressor`] owns everything that is expensive to build and cheap to
+//! share: the [`ShortestParser`] (whose FIRST-filtered prediction tables
+//! cost a grammar walk), the rule-index map used to serialize derivations,
+//! and a bounded memo cache mapping tokenized segments to their derivation
+//! bytes. Construct it once per trained grammar and reuse it across many
+//! programs — the paper's pipeline compresses whole corpora under one
+//! grammar, and identical straight-line segments (prologues, `x = x + 1`
+//! statements, epilogues) recur heavily across procedures.
+//!
+//! Within one [`Compressor::compress`] call the per-segment Earley parses
+//! are independent, so they fan out across a small worker pool
+//! ([`CompressorConfig::threads`]); results are reassembled in segment
+//! order, which makes the output **byte-identical for every thread count**
+//! (the integration tests assert this). Statistics are computed per
+//! segment and combined with [`CompressionStats::merge`] — a commutative
+//! monoid fold — instead of threading a `&mut` accumulator through the
+//! pipeline.
+//!
+//! The worker pool is scoped `std::thread` fan-out rather than a rayon
+//! dependency: the build environment vendors no external crates, and the
+//! strided job split below gives the same determinism guarantees.
+
+use crate::canonical::canonicalize_program;
+use crate::compress::{decompress_program, CompressError, CompressedProgram, CompressionStats};
+use pgr_bytecode::{instrs, Opcode, Procedure, Program};
+use pgr_earley::ShortestParser;
+use pgr_grammar::initial::tokenize_segment;
+use pgr_grammar::{Grammar, Nt, Terminal};
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of each compression phase, surfaced on
+/// [`CompressionStats`] when [`CompressorConfig::collect_timings`] is set
+/// (all zero otherwise, so default-config stats stay comparable across
+/// runs).
+///
+/// `tokenize` and `parse` are summed across worker threads, so with
+/// `threads > 1` they measure aggregate CPU time, not elapsed time;
+/// `canonicalize` and `emit` run on the calling thread and are elapsed
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Canonicalization of the input program.
+    pub canonicalize: Duration,
+    /// Byte-stream → terminal-token conversion, per segment.
+    pub tokenize: Duration,
+    /// Shortest-derivation Earley parsing (the hot phase).
+    pub parse: Duration,
+    /// Stream assembly and label-table rewriting.
+    pub emit: Duration,
+}
+
+impl PhaseTimings {
+    /// Componentwise sum (the merge used by the stats monoid).
+    pub fn merge(self, other: PhaseTimings) -> PhaseTimings {
+        PhaseTimings {
+            canonicalize: self.canonicalize + other.canonicalize,
+            tokenize: self.tokenize + other.tokenize,
+            parse: self.parse + other.parse,
+            emit: self.emit + other.emit,
+        }
+    }
+}
+
+/// Tuning knobs for [`Compressor`]. Acts as its builder:
+///
+/// ```
+/// use pgr_core::CompressorConfig;
+/// let config = CompressorConfig::default()
+///     .threads(2)
+///     .segment_cache_capacity(512)
+///     .collect_timings(true);
+/// assert_eq!(config.threads, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressorConfig {
+    /// Worker threads for segment encoding. `0` means one per available
+    /// CPU; `1` disables fan-out entirely (no threads are spawned).
+    pub threads: usize,
+    /// Maximum number of tokenized segments memoized in the derivation
+    /// cache. `0` disables the cache.
+    pub segment_cache_capacity: usize,
+    /// Whether to measure per-phase wall-clock time into
+    /// [`CompressionStats::timings`].
+    pub collect_timings: bool,
+}
+
+impl Default for CompressorConfig {
+    fn default() -> CompressorConfig {
+        CompressorConfig {
+            threads: 0,
+            segment_cache_capacity: 4096,
+            collect_timings: false,
+        }
+    }
+}
+
+impl CompressorConfig {
+    /// Set the worker-thread count (`0` = one per available CPU).
+    pub fn threads(mut self, threads: usize) -> CompressorConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the segment-cache capacity (`0` disables caching).
+    pub fn segment_cache_capacity(mut self, capacity: usize) -> CompressorConfig {
+        self.segment_cache_capacity = capacity;
+        self
+    }
+
+    /// Enable or disable per-phase timing collection.
+    pub fn collect_timings(mut self, collect: bool) -> CompressorConfig {
+        self.collect_timings = collect;
+        self
+    }
+}
+
+/// Observability counters for the segment memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Segments answered from the cache.
+    pub hits: u64,
+    /// Segments that had to be parsed.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = cache disabled).
+    pub capacity: usize,
+}
+
+/// Bounded FIFO memo: tokenized segment → derivation bytes.
+///
+/// FIFO (rather than LRU) keeps eviction O(1) without timestamp
+/// bookkeeping; segment popularity in bytecode corpora is heavy-tailed
+/// enough that the distinction is immaterial at the default capacity.
+struct SegmentCache {
+    map: HashMap<Vec<Terminal>, Vec<u8>>,
+    order: VecDeque<Vec<Terminal>>,
+    capacity: usize,
+}
+
+impl SegmentCache {
+    fn new(capacity: usize) -> SegmentCache {
+        SegmentCache {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, tokens: &[Terminal]) -> Option<Vec<u8>> {
+        self.map.get(tokens).cloned()
+    }
+
+    fn insert(&mut self, tokens: Vec<Terminal>, bytes: Vec<u8>) {
+        if self.map.contains_key(&tokens) {
+            return; // racing miss on another thread got here first
+        }
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+        self.order.push_back(tokens.clone());
+        self.map.insert(tokens, bytes);
+    }
+}
+
+/// One unit of parallel work: a straight-line segment of one procedure.
+struct Job {
+    proc: usize,
+    range: Range<usize>,
+}
+
+/// How a procedure's compressed stream is assembled: segments and label
+/// markers in code order.
+enum Event {
+    /// Append the derivation bytes of this job.
+    Segment(usize),
+    /// A `LABELV` at this original offset: record the current output
+    /// length as its compressed offset.
+    Label(usize),
+}
+
+/// The product of one encoded segment.
+struct EncodedSegment {
+    bytes: Vec<u8>,
+    tokenize: Duration,
+    parse: Duration,
+}
+
+/// A reusable compression engine over one expanded grammar.
+///
+/// See the [module docs](self) for the design; see
+/// [`Trained::compressor`](crate::pipeline::Trained::compressor) for the
+/// usual way to obtain one.
+pub struct Compressor<'g> {
+    grammar: &'g Grammar,
+    start: Nt,
+    parser: ShortestParser<'g>,
+    index_map: Vec<usize>,
+    threads: usize,
+    collect_timings: bool,
+    cache: Option<Mutex<SegmentCache>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl<'g> Compressor<'g> {
+    /// Build an engine with the default [`CompressorConfig`].
+    pub fn new(grammar: &'g Grammar, start: Nt) -> Compressor<'g> {
+        Compressor::with_config(grammar, start, CompressorConfig::default())
+    }
+
+    /// Build an engine with explicit configuration.
+    pub fn with_config(
+        grammar: &'g Grammar,
+        start: Nt,
+        config: CompressorConfig,
+    ) -> Compressor<'g> {
+        let threads = match config.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        Compressor {
+            grammar,
+            start,
+            parser: ShortestParser::new(grammar),
+            index_map: grammar.rule_index_map(),
+            threads,
+            collect_timings: config.collect_timings,
+            cache: (config.segment_cache_capacity > 0)
+                .then(|| Mutex::new(SegmentCache::new(config.segment_cache_capacity))),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The grammar this engine encodes against.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    /// The start non-terminal.
+    pub fn start(&self) -> Nt {
+        self.start
+    }
+
+    /// The resolved worker-thread count (never 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cache hit/miss/occupancy counters, accumulated over the engine's
+    /// lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            entries: self
+                .cache
+                .as_ref()
+                .map(|c| c.lock().expect("cache lock").map.len())
+                .unwrap_or(0),
+            capacity: self
+                .cache
+                .as_ref()
+                .map(|c| c.lock().expect("cache lock").capacity)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Compress a program under the engine's grammar.
+    ///
+    /// The program is canonicalized first (see [`crate::canonical`]); the
+    /// returned stats measure against the canonical form. Output is
+    /// byte-identical for every `threads` setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`].
+    pub fn compress(
+        &self,
+        program: &Program,
+    ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
+        let clock = |on: bool| on.then(Instant::now);
+
+        let t = clock(self.collect_timings);
+        let canon = canonicalize_program(program)?;
+        let canonicalize_time = t.map(|t| t.elapsed()).unwrap_or_default();
+
+        // Plan: one job per non-empty straight-line segment, plus the
+        // assembly script (segments and labels in code order) per
+        // procedure.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut scripts: Vec<Vec<Event>> = Vec::with_capacity(canon.procs.len());
+        for (pi, proc) in canon.procs.iter().enumerate() {
+            let mut script = Vec::new();
+            let mut seg_start = 0usize;
+            for insn in instrs(&proc.code) {
+                let insn = insn.expect("canonical code decodes");
+                if insn.opcode == Opcode::LABELV {
+                    if insn.offset > seg_start {
+                        script.push(Event::Segment(jobs.len()));
+                        jobs.push(Job {
+                            proc: pi,
+                            range: seg_start..insn.offset,
+                        });
+                    }
+                    script.push(Event::Label(insn.offset));
+                    seg_start = insn.offset + 1;
+                }
+            }
+            if proc.code.len() > seg_start {
+                script.push(Event::Segment(jobs.len()));
+                jobs.push(Job {
+                    proc: pi,
+                    range: seg_start..proc.code.len(),
+                });
+            }
+            scripts.push(script);
+        }
+
+        // Encode: fan segments out across the worker pool.
+        let results = self.run_jobs(&canon, &jobs);
+        let mut encoded: Vec<EncodedSegment> = Vec::with_capacity(results.len());
+        for result in results {
+            encoded.push(result?); // first failure in job (= code) order
+        }
+
+        // Emit: reassemble procedures in order, rewriting label tables to
+        // compressed-stream offsets (§3).
+        let t = clock(self.collect_timings);
+        let mut stats = CompressionStats::default();
+        let mut out = canon.clone();
+        for (pi, proc) in canon.procs.iter().enumerate() {
+            let mut code = Vec::new();
+            let mut label_map: Vec<(usize, u32)> = Vec::new();
+            let mut proc_stats = CompressionStats {
+                original_code: proc.code.len(),
+                ..CompressionStats::default()
+            };
+            for event in &scripts[pi] {
+                match *event {
+                    Event::Segment(job) => {
+                        code.extend_from_slice(&encoded[job].bytes);
+                        proc_stats = proc_stats.merge(CompressionStats {
+                            segments: 1,
+                            timings: PhaseTimings {
+                                tokenize: encoded[job].tokenize,
+                                parse: encoded[job].parse,
+                                ..PhaseTimings::default()
+                            },
+                            ..CompressionStats::default()
+                        });
+                    }
+                    Event::Label(offset) => label_map.push((offset, code.len() as u32)),
+                }
+            }
+            let labels = proc
+                .labels
+                .iter()
+                .map(|&old| {
+                    label_map
+                        .iter()
+                        .find(|&&(o, _)| o == old as usize)
+                        .map(|&(_, n)| n)
+                        .expect("canonical labels point at markers")
+                })
+                .collect();
+            proc_stats.compressed_code = code.len();
+            stats = stats.merge(proc_stats);
+            out.procs[pi] = Procedure {
+                name: proc.name.clone(),
+                frame_size: proc.frame_size,
+                arg_size: proc.arg_size,
+                code,
+                labels,
+                needs_trampoline: proc.needs_trampoline,
+            };
+        }
+        stats.timings.canonicalize = canonicalize_time;
+        stats.timings.emit = t.map(|t| t.elapsed()).unwrap_or_default();
+
+        Ok((CompressedProgram { program: out }, stats))
+    }
+
+    /// Decompress a program compressed under this engine's grammar (the
+    /// exact inverse of [`Compressor::compress`] on canonical inputs).
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::compress::DecompressError`].
+    pub fn decompress(
+        &self,
+        compressed: &CompressedProgram,
+    ) -> Result<Program, crate::compress::DecompressError> {
+        decompress_program(self.grammar, self.start, compressed)
+    }
+
+    /// Run all jobs, preserving job-index order in the result.
+    fn run_jobs(
+        &self,
+        canon: &Program,
+        jobs: &[Job],
+    ) -> Vec<Result<EncodedSegment, CompressError>> {
+        let threads = self.threads.min(jobs.len()).max(1);
+        if threads == 1 {
+            return jobs
+                .iter()
+                .map(|job| self.encode_segment(&canon.procs[job.proc], job.range.clone()))
+                .collect();
+        }
+        let mut slots: Vec<Option<Result<EncodedSegment, CompressError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        // Strided split: worker w takes jobs w, w+T, …
+                        // so long procedures spread across the pool.
+                        let mut done = Vec::new();
+                        let mut i = w;
+                        while i < jobs.len() {
+                            let job = &jobs[i];
+                            done.push((
+                                i,
+                                self.encode_segment(&canon.procs[job.proc], job.range.clone()),
+                            ));
+                            i += threads;
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, result) in worker.join().expect("encoder worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job ran"))
+            .collect()
+    }
+
+    /// Tokenize and encode one segment, consulting the memo cache.
+    fn encode_segment(
+        &self,
+        proc: &Procedure,
+        range: Range<usize>,
+    ) -> Result<EncodedSegment, CompressError> {
+        let clock = |on: bool| on.then(Instant::now);
+
+        let t = clock(self.collect_timings);
+        let tokens = tokenize_segment(&proc.code[range.clone()]).map_err(|error| {
+            CompressError::Tokenize {
+                proc: proc.name.clone(),
+                error,
+            }
+        })?;
+        let tokenize = t.map(|t| t.elapsed()).unwrap_or_default();
+
+        if let Some(cache) = &self.cache {
+            if let Some(bytes) = cache.lock().expect("cache lock").get(&tokens) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(EncodedSegment {
+                    bytes,
+                    tokenize,
+                    parse: Duration::default(),
+                });
+            }
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let t = clock(self.collect_timings);
+        let derivation =
+            self.parser
+                .parse(self.start, &tokens)
+                .map_err(|error| CompressError::NoParse {
+                    proc: proc.name.clone(),
+                    segment_offset: range.start,
+                    error,
+                })?;
+        let bytes = derivation.to_bytes(&self.index_map);
+        let parse = t.map(|t| t.elapsed()).unwrap_or_default();
+
+        if let Some(cache) = &self.cache {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert(tokens, bytes.clone());
+        }
+        Ok(EncodedSegment {
+            bytes,
+            tokenize,
+            parse,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::decompress_program;
+    use pgr_bytecode::asm::assemble;
+    use pgr_grammar::InitialGrammar;
+
+    const SAMPLE: &str = r#"
+proc f frame=8 args=0
+    ADDRLP 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ADDRLP 0
+    ASGNU
+    label 0
+    ADDRLP 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ADDRLP 0
+    ASGNU
+    LIT1 1
+    BrTrue 0
+    RETV
+endproc
+entry f
+"#;
+
+    fn engines() -> (InitialGrammar, Vec<CompressorConfig>) {
+        let ig = InitialGrammar::build();
+        let configs = vec![
+            CompressorConfig::default().threads(1),
+            CompressorConfig::default().threads(2),
+            CompressorConfig::default().threads(7),
+            CompressorConfig::default()
+                .threads(1)
+                .segment_cache_capacity(0),
+            CompressorConfig::default()
+                .threads(3)
+                .segment_cache_capacity(1),
+        ];
+        (ig, configs)
+    }
+
+    #[test]
+    fn every_configuration_agrees_bytewise() {
+        let (ig, configs) = engines();
+        let prog = assemble(SAMPLE).unwrap();
+        let reference = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default()
+                .threads(1)
+                .segment_cache_capacity(0),
+        )
+        .compress(&prog)
+        .unwrap();
+        for config in configs {
+            let engine = Compressor::with_config(&ig.grammar, ig.nt_start, config);
+            let got = engine.compress(&prog).unwrap();
+            assert_eq!(got.0, reference.0, "config {config:?}");
+            assert_eq!(got.1, reference.1, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn engine_reuse_roundtrips_many_programs() {
+        let ig = InitialGrammar::build();
+        let engine = Compressor::new(&ig.grammar, ig.nt_start);
+        for body in ["RETV", "LIT1 3\n\tPOPU\n\tRETV", "label 0\n\tJUMPV 0"] {
+            let src = format!("proc f frame=0 args=0\n\t{body}\nendproc\n");
+            let prog = assemble(&src).unwrap();
+            let (cp, _) = engine.compress(&prog).unwrap();
+            let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+            assert_eq!(back, canonicalize_program(&prog).unwrap());
+        }
+    }
+
+    #[test]
+    fn repeated_segments_hit_the_cache() {
+        let ig = InitialGrammar::build();
+        let engine = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default().threads(1),
+        );
+        let prog = assemble(SAMPLE).unwrap();
+        let (cold, _) = engine.compress(&prog).unwrap();
+        let after_cold = engine.cache_stats();
+        // The two `x = x + 1` statements differ only by the trailing
+        // BrTrue, so at least the second full compression is all hits.
+        let (warm, _) = engine.compress(&prog).unwrap();
+        let after_warm = engine.cache_stats();
+        assert_eq!(cold, warm);
+        assert_eq!(after_warm.misses, after_cold.misses, "warm run re-parsed");
+        assert!(after_warm.hits > after_cold.hits);
+    }
+
+    #[test]
+    fn tiny_cache_capacity_still_correct() {
+        let ig = InitialGrammar::build();
+        let engine = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default()
+                .threads(2)
+                .segment_cache_capacity(1),
+        );
+        let prog = assemble(SAMPLE).unwrap();
+        let (cp, _) = engine.compress(&prog).unwrap();
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+        assert_eq!(back, canonicalize_program(&prog).unwrap());
+        assert!(engine.cache_stats().entries <= 1);
+    }
+
+    #[test]
+    fn timings_are_collected_only_on_request() {
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        let silent = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default().threads(1),
+        );
+        let (_, stats) = silent.compress(&prog).unwrap();
+        assert_eq!(stats.timings, PhaseTimings::default());
+
+        let timed = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default()
+                .threads(1)
+                .segment_cache_capacity(0)
+                .collect_timings(true),
+        );
+        let (_, stats) = timed.compress(&prog).unwrap();
+        assert!(stats.timings.parse > Duration::default());
+    }
+
+    #[test]
+    fn errors_match_the_sequential_path() {
+        let ig = InitialGrammar::build();
+        let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
+        prog.procs[0].code = vec![Opcode::ADDU as u8];
+        for threads in [1, 4] {
+            let engine = Compressor::with_config(
+                &ig.grammar,
+                ig.nt_start,
+                CompressorConfig::default().threads(threads),
+            );
+            let err = engine.compress(&prog).unwrap_err();
+            assert!(matches!(err, CompressError::NoParse { .. }), "{threads}");
+        }
+    }
+}

@@ -137,7 +137,11 @@ impl EdgeIndex {
 ///
 /// Panics if `config.max_rules_per_nt > 256` (one-byte rule indices) or
 /// if the forest references rules outside `grammar`.
-pub fn expand(grammar: &mut Grammar, forest: &mut Forest, config: &ExpanderConfig) -> ExpansionStats {
+pub fn expand(
+    grammar: &mut Grammar,
+    forest: &mut Forest,
+    config: &ExpanderConfig,
+) -> ExpansionStats {
     assert!(
         config.max_rules_per_nt <= 256,
         "rule indices must fit one byte"
@@ -148,8 +152,7 @@ pub fn expand(grammar: &mut Grammar, forest: &mut Forest, config: &ExpanderConfi
     };
 
     // Live (lhs, rhs) -> rule map for optional deduplication.
-    let mut by_shape: HashMap<(pgr_grammar::Nt, Vec<pgr_grammar::Symbol>), RuleId> =
-        HashMap::new();
+    let mut by_shape: HashMap<(pgr_grammar::Nt, Vec<pgr_grammar::Symbol>), RuleId> = HashMap::new();
     if config.dedupe_rules {
         for nt in 0..grammar.nt_count() {
             let nt = pgr_grammar::Nt(nt as u16);
@@ -288,7 +291,10 @@ fn contract_one(
     child_node: NodeId,
     new_rule: RuleId,
 ) {
-    let parent = forest.node(child_node).parent().expect("occurrence has a parent");
+    let parent = forest
+        .node(child_node)
+        .parent()
+        .expect("occurrence has a parent");
     let parent_rule = forest.node(parent).rule;
     let child_rule = forest.node(child_node).rule;
 
@@ -433,7 +439,12 @@ mod tests {
         let mut checked = 0;
         for id in (0..g.rule_slots() as u32).map(RuleId) {
             let rule = g.rule(id);
-            if let RuleOrigin::Inlined { parent, slot, child } = rule.origin {
+            if let RuleOrigin::Inlined {
+                parent,
+                slot,
+                child,
+            } = rule.origin
+            {
                 if !rule.alive {
                     continue;
                 }
@@ -501,11 +512,7 @@ mod tests {
         let ig = InitialGrammar::build();
         let mut g = ig.grammar.clone();
         // A segment with no repetition at all.
-        let seg = [
-            Opcode::LIT1 as u8,
-            7,
-            Opcode::POPU as u8,
-        ];
+        let seg = [Opcode::LIT1 as u8, 7, Opcode::POPU as u8];
         let mut forest = forest_of(&ig, &[&seg]);
         let stats = expand(&mut g, &mut forest, &ExpanderConfig::default());
         assert_eq!(stats.rules_added, 0);
@@ -600,7 +607,12 @@ mod tests {
             seg.push(Opcode::INDIRU as u8);
         }
         seg.push(Opcode::POPU as u8);
-        let seg3: Vec<u8> = seg.iter().chain(seg.iter()).chain(seg.iter()).copied().collect();
+        let seg3: Vec<u8> = seg
+            .iter()
+            .chain(seg.iter())
+            .chain(seg.iter())
+            .copied()
+            .collect();
         let tokens = tokenize_segment(&seg3).unwrap();
         let mut forest = forest_of(&ig, &[&seg3]);
         expand(&mut g, &mut forest, &ExpanderConfig::default());

@@ -32,10 +32,12 @@
 
 pub mod canonical;
 pub mod compress;
+pub mod engine;
 pub mod expander;
 pub mod pipeline;
 
 pub use canonical::canonicalize_program;
-pub use compress::{CompressError, CompressedProgram, CompressionStats};
+pub use compress::{CompressError, CompressedProgram, CompressionStats, DecompressError};
+pub use engine::{CacheStats, Compressor, CompressorConfig, PhaseTimings};
 pub use expander::{ExpanderConfig, ExpansionStats};
 pub use pipeline::{train, TrainConfig, TrainError, Trained};

@@ -2,9 +2,9 @@
 
 use crate::canonical::{canonicalize_program, CanonError};
 use crate::compress::{
-    compress_program, decompress_program, CompressError, CompressedProgram, CompressionStats,
-    DecompressError,
+    decompress_program, CompressError, CompressedProgram, CompressionStats, DecompressError,
 };
+use crate::engine::{Compressor, CompressorConfig};
 use crate::expander::{expand, ExpanderConfig, ExpansionStats};
 use pgr_bytecode::{validate_program, Program, ValidateError};
 use pgr_grammar::encode::grammar_size;
@@ -44,7 +44,16 @@ impl fmt::Display for TrainError {
     }
 }
 
-impl std::error::Error for TrainError {}
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Validate(e) => Some(e),
+            TrainError::Canon(e) => Some(e),
+            TrainError::Tokenize(e) => Some(e),
+            TrainError::Parse(e) => Some(e),
+        }
+    }
+}
 
 /// The product of training: the expanded grammar and everything needed to
 /// compress, decompress, and generate interpreters.
@@ -79,7 +88,25 @@ impl Trained {
         grammar_size(&self.expanded)
     }
 
+    /// Build a reusable compression engine over the expanded grammar with
+    /// default [`CompressorConfig`]. Prefer this (and keep the engine
+    /// around) when compressing more than one program: the parser tables
+    /// are built once and the derivation cache warms across calls.
+    pub fn compressor(&self) -> Compressor<'_> {
+        Compressor::new(&self.expanded, self.start())
+    }
+
+    /// Build a reusable compression engine with explicit configuration
+    /// (thread count, cache capacity, timing collection).
+    pub fn compressor_with(&self, config: CompressorConfig) -> Compressor<'_> {
+        Compressor::with_config(&self.expanded, self.start(), config)
+    }
+
     /// Compress a program; returns the compressed image and size stats.
+    ///
+    /// This is a convenience wrapper that builds a single-use
+    /// [`Compressor`]; batch callers should build one via
+    /// [`Trained::compressor`] and reuse it.
     ///
     /// # Errors
     ///
@@ -88,7 +115,7 @@ impl Trained {
         &self,
         program: &Program,
     ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
-        compress_program(&self.expanded, self.start(), program)
+        self.compressor().compress(program)
     }
 
     /// Decompress a compressed program back to (canonical) bytecode.
@@ -118,8 +145,7 @@ pub fn train(programs: &[&Program], config: &TrainConfig) -> Result<Trained, Tra
         let canon = canonicalize_program(program).map_err(TrainError::Canon)?;
         for proc in &canon.procs {
             for range in proc.segments().expect("canonical code decodes") {
-                let tokens =
-                    tokenize_segment(&proc.code[range]).map_err(TrainError::Tokenize)?;
+                let tokens = tokenize_segment(&proc.code[range]).map_err(TrainError::Tokenize)?;
                 forest
                     .add_segment(&initial, &tokens)
                     .map_err(TrainError::Parse)?;

@@ -200,8 +200,7 @@ mod tests {
     fn all_samples_compile_and_validate() {
         for (name, _) in SAMPLES {
             let program = compile_sample(name);
-            validate_program(&program)
-                .unwrap_or_else(|e| panic!("sample {name} invalid: {e}"));
+            validate_program(&program).unwrap_or_else(|e| panic!("sample {name} invalid: {e}"));
             assert!(program.code_size() > 0);
         }
     }
@@ -244,7 +243,9 @@ mod tests {
         let program = compile_sample("sieve");
         let mut vm = Vm::new(&program, VmConfig::default()).unwrap();
         let result = vm.run().unwrap();
-        assert!(String::from_utf8(result.output).unwrap().starts_with("1229 "));
+        assert!(String::from_utf8(result.output)
+            .unwrap()
+            .starts_with("1229 "));
     }
 
     #[test]

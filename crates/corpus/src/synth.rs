@@ -127,7 +127,10 @@ impl Gen {
         self.out.push_str("int main(void) {\n    int r = 0;\n");
         let calls = (self.functions / 4).clamp(1, 40);
         for _ in 0..calls {
-            let name = { let c = self.callable.clone(); self.pick(&c).to_string() };
+            let name = {
+                let c = self.callable.clone();
+                self.pick(&c).to_string()
+            };
             let a = self.rng.gen_range(0..64);
             let b = self.rng.gen_range(0..64);
             let _ = writeln!(self.out, "    r ^= {name}({a}, {b});");
@@ -188,9 +191,7 @@ impl Gen {
                 let (t, len) = self.tables[self.rng.gen_range(0..self.tables.len())].clone();
                 let acc = self.pick(vars).to_string();
                 let body_op = if self.rng.gen_bool(0.5) { "+=" } else { "^=" };
-                format!(
-                    "{pad}{{ int i; for (i = 0; i < {len}; i++) {acc} {body_op} {t}[i]; }}\n"
-                )
+                format!("{pad}{{ int i; for (i = 0; i < {len}; i++) {acc} {body_op} {t}[i]; }}\n")
             }
             // Bounded while with a counter.
             3 => {
@@ -241,7 +242,10 @@ impl Gen {
                     let v = self.pick(vars).to_string();
                     return format!("{pad}{v} += 1;\n");
                 }
-                let f = { let c = self.callable.clone(); self.pick(&c).to_string() };
+                let f = {
+                    let c = self.callable.clone();
+                    self.pick(&c).to_string()
+                };
                 let v = self.pick(vars).to_string();
                 let a = self.expr(vars, 1);
                 let b = self.expr(vars, 1);
@@ -249,7 +253,10 @@ impl Gen {
             }
             // Global state update.
             8 => {
-                let g = { let c = self.scalars.clone(); self.pick(&c).to_string() };
+                let g = {
+                    let c = self.scalars.clone();
+                    self.pick(&c).to_string()
+                };
                 let e = self.expr(vars, 1);
                 format!("{pad}{g} = ({g} + ({e})) & 65535;\n")
             }
@@ -276,7 +283,10 @@ impl Gen {
         if depth == 0 {
             return match self.rng.gen_range(0..4) {
                 0 => self.rng.gen_range(0..256).to_string(),
-                1 => { let c = self.scalars.clone(); self.pick(&c).to_string() },
+                1 => {
+                    let c = self.scalars.clone();
+                    self.pick(&c).to_string()
+                }
                 _ => self.pick(vars).to_string(),
             };
         }

@@ -217,8 +217,7 @@ impl<'g> ShortestParser<'g> {
                             }
                             // An empty-span completion of `b` at `k` may
                             // already exist (nullable non-terminals).
-                            if let Some(slot) = chart[k].completed.get(completed_key(b, k as u32))
-                            {
+                            if let Some(slot) = chart[k].completed.get(completed_key(b, k as u32)) {
                                 let (ccost, _) = chart[k].completed_info[slot as usize];
                                 let st = State {
                                     rule: s.rule,

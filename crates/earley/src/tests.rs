@@ -5,9 +5,7 @@
 use crate::{NoParse, ShortestParser};
 use pgr_bytecode::{encode, Instruction, Opcode};
 use pgr_grammar::initial::tokenize_segment;
-use pgr_grammar::{
-    Derivation, Forest, Grammar, InitialGrammar, RuleOrigin, Symbol, Terminal,
-};
+use pgr_grammar::{Derivation, Forest, Grammar, InitialGrammar, RuleOrigin, Symbol, Terminal};
 use proptest::prelude::*;
 
 fn paper_segment() -> Vec<Terminal> {
@@ -153,17 +151,12 @@ fn nullable_nonterminals_inside_rules() {
 
     let parser = ShortestParser::new(&g);
     // "RETV": both A's empty.
-    let d = parser
-        .parse(s, &[Terminal::Op(Opcode::RETV)])
-        .unwrap();
+    let d = parser.parse(s, &[Terminal::Op(Opcode::RETV)]).unwrap();
     assert_eq!(d.0, vec![r_s, r_eps, r_eps]);
     // "POPU RETV": one A consumes, one is empty (either order parses; the
     // derivation must expand correctly and cost 3 rules).
     let d = parser
-        .parse(
-            s,
-            &[Terminal::Op(Opcode::POPU), Terminal::Op(Opcode::RETV)],
-        )
+        .parse(s, &[Terminal::Op(Opcode::POPU), Terminal::Op(Opcode::RETV)])
         .unwrap();
     assert_eq!(d.len(), 3);
     assert!(d.0.contains(&r_pop));
@@ -193,10 +186,7 @@ fn arb_statement() -> impl Strategy<Value = Vec<Terminal>> {
     // A value expression of bounded depth, then a statement operator.
     fn value(depth: u32) -> BoxedStrategy<Vec<Terminal>> {
         let leaf = prop_oneof![
-            any::<u8>().prop_map(|b| vec![
-                Terminal::Op(Opcode::LIT1),
-                Terminal::Byte(b)
-            ]),
+            any::<u8>().prop_map(|b| vec![Terminal::Op(Opcode::LIT1), Terminal::Byte(b)]),
             (any::<u8>(), any::<u8>()).prop_map(|(a, b)| vec![
                 Terminal::Op(Opcode::ADDRLP),
                 Terminal::Byte(a),

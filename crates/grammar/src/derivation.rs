@@ -63,7 +63,10 @@ impl fmt::Display for DerivationError {
                 "step {step}: rule expands {found} but leftmost non-terminal is {expected}"
             ),
             DerivationError::Incomplete { remaining } => {
-                write!(f, "derivation ends with {remaining} unexpanded non-terminals")
+                write!(
+                    f,
+                    "derivation ends with {remaining} unexpanded non-terminals"
+                )
             }
             DerivationError::BadRuleIndex { step, nt, index } => {
                 write!(f, "step {step}: {nt} has no rule {index}")
@@ -198,12 +201,7 @@ impl Derivation {
             pos += 1;
             rules.push(rule_id);
             let rule = grammar.rule(rule_id);
-            pending.extend(
-                rule.rhs
-                    .iter()
-                    .rev()
-                    .filter_map(|s| s.nonterminal()),
-            );
+            pending.extend(rule.rhs.iter().rev().filter_map(|s| s.nonterminal()));
         }
         Ok((Derivation(rules), pos))
     }

@@ -149,10 +149,12 @@ impl Grammar {
         let nt_slots: Vec<u32> = rhs
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.nonterminal().map(|n| {
-                assert!(n.index() < self.nt_names.len(), "unknown non-terminal");
-                i as u32
-            }))
+            .filter_map(|(i, s)| {
+                s.nonterminal().map(|n| {
+                    assert!(n.index() < self.nt_names.len(), "unknown non-terminal");
+                    i as u32
+                })
+            })
             .collect();
         let id = RuleId(self.rules.len() as u32);
         self.rules.push(Rule {
@@ -440,10 +442,7 @@ mod tests {
         let x_lit = g.rules_of(x)[1];
         // Inline X → LIT1 <byte> into S → S X.
         let rhs = g.inlined_rhs(s_rec, 1, x_lit);
-        assert_eq!(
-            rhs,
-            vec![s.into(), Symbol::op(Opcode::LIT1), b.into()]
-        );
+        assert_eq!(rhs, vec![s.into(), Symbol::op(Opcode::LIT1), b.into()]);
         let new = g.add_rule(
             s,
             rhs,

@@ -173,12 +173,7 @@ pub enum Stmt {
     DoWhile(Box<Stmt>, Expr),
     /// `for (init; cond; step) body` (any part may be absent; `init` may
     /// be a declaration).
-    For(
-        Option<Box<Stmt>>,
-        Option<Expr>,
-        Option<Expr>,
-        Box<Stmt>,
-    ),
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
     /// `switch (e) { case …: … default: … }`, lowered by codegen to a
     /// decision tree (§6).
     Switch(Expr, Vec<SwitchArm>, Pos),

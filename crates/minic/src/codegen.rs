@@ -229,13 +229,7 @@ impl<'u> Cg<'u> {
     }
 
     /// Encode a global initializer into bytes (with internal padding).
-    fn init_bytes(
-        &self,
-        ty: &Type,
-        init: &Init,
-        pos: Pos,
-        out: &mut Vec<u8>,
-    ) -> Result<(), Error> {
+    fn init_bytes(&self, ty: &Type, init: &Init, pos: Pos, out: &mut Vec<u8>) -> Result<(), Error> {
         match (ty, init) {
             (Type::Array(elem, n), Init::List(items)) => {
                 if items.len() as u32 > *n {
@@ -244,8 +238,7 @@ impl<'u> Cg<'u> {
                 for item in items {
                     self.init_bytes(elem, item, pos, out)?;
                 }
-                let pad =
-                    (*n as usize - items.len()) * elem.size(self.types()) as usize;
+                let pad = (*n as usize - items.len()) * elem.size(self.types()) as usize;
                 out.extend(std::iter::repeat_n(0u8, pad));
                 Ok(())
             }
@@ -304,12 +297,10 @@ impl<'u> Cg<'u> {
                             .ok_or_else(|| Error::new(pos, "initializer must be constant"))?;
                         out.extend_from_slice(&v.to_bits().to_le_bytes());
                     }
-                    _ => {
-                        return Err(Error::new(
-                            pos,
-                            "unsupported global initializer (pointer initializers are not supported)",
-                        ))
-                    }
+                    _ => return Err(Error::new(
+                        pos,
+                        "unsupported global initializer (pointer initializers are not supported)",
+                    )),
                 }
                 Ok(())
             }
@@ -537,11 +528,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
 
     /// Push a hoisted value back (or generate the expression if it was
     /// not hoisted); returns its computation type.
-    fn unhoist(
-        &mut self,
-        hoisted: Option<(u32, Type, bool)>,
-        e: &Expr,
-    ) -> Result<Type, Error> {
+    fn unhoist(&mut self, hoisted: Option<(u32, Type, bool)>, e: &Expr) -> Result<Type, Error> {
         match hoisted {
             Some((off, t, wide)) => {
                 self.unspill(off, &t);
@@ -558,13 +545,10 @@ impl<'a, 'u> FnCg<'a, 'u> {
                 return Some(sym.clone());
             }
         }
-        self.cg
-            .globals
-            .get(name)
-            .map(|(index, ty)| Sym::Global {
-                index: *index,
-                ty: ty.clone(),
-            })
+        self.cg.globals.get(name).map(|(index, ty)| Sym::Global {
+            index: *index,
+            ty: ty.clone(),
+        })
     }
 
     // ---- conversions ----------------------------------------------------
@@ -729,7 +713,11 @@ impl<'a, 'u> FnCg<'a, 'u> {
             }
             Stmt::If(cond, then, els) => {
                 let l_end = self.new_label();
-                let l_false = if els.is_some() { self.new_label() } else { l_end };
+                let l_false = if els.is_some() {
+                    self.new_label()
+                } else {
+                    l_end
+                };
                 self.gen_branch_if_false(cond, l_false)?;
                 self.gen_stmt(then)?;
                 if let Some(els) = els {
@@ -910,11 +898,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
         case_labels.sort_by_key(|&(v, _)| v);
         // The decision tree ends by jumping to the default arm (or past
         // the switch).
-        let miss = if has_default {
-            default_label
-        } else {
-            l_end
-        };
+        let miss = if has_default { default_label } else { l_end };
         self.gen_switch_tree(tmp, &case_labels, miss)?;
         self.untemp(tmp, wide);
 
@@ -941,12 +925,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
 
     /// Emit a binary decision tree over sorted case values (the lcc
     /// switch-to-decision-tree option of §6).
-    fn gen_switch_tree(
-        &mut self,
-        tmp: u32,
-        cases: &[(i32, u16)],
-        miss: u16,
-    ) -> Result<(), Error> {
+    fn gen_switch_tree(&mut self, tmp: u32, cases: &[(i32, u16)], miss: u16) -> Result<(), Error> {
         if cases.len() <= 4 {
             for &(v, l) in cases {
                 self.emit16(Opcode::ADDRLP, tmp as u16);
@@ -1214,9 +1193,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
                 Ok(vt)
             }
             ExprKind::PreIncDec(inc, target) => self.gen_incdec(*inc, target, true, e.pos),
-            ExprKind::PostIncDec(inc, target) => {
-                self.gen_postincdec(*inc, target, e.pos)
-            }
+            ExprKind::PostIncDec(inc, target) => self.gen_postincdec(*inc, target, e.pos),
             ExprKind::Binary(op, a, b) => self.gen_binary(*op, a, b, e.pos),
             ExprKind::Logic(is_and, a, b) => self.gen_logic(*is_and, a, b),
             ExprKind::Assign(op, lhs, rhs) => self.gen_assign(*op, lhs, rhs, true, e.pos),
@@ -1304,9 +1281,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
             (Type::Int | Type::Uint, BinOp::And) => BANDU,
             (Type::Int | Type::Uint, BinOp::Or) => BORU,
             (Type::Int | Type::Uint, BinOp::Xor) => BXORU,
-            (t, op) => {
-                return Err(self.err(pos, format!("operator {op:?} not defined on {t}")))
-            }
+            (t, op) => return Err(self.err(pos, format!("operator {op:?} not defined on {t}"))),
         };
         self.emit(opcode);
         Ok(if is_cmp { Type::Int } else { common })
@@ -1431,13 +1406,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
         Ok(Type::Int)
     }
 
-    fn gen_cond_expr(
-        &mut self,
-        c: &Expr,
-        t: &Expr,
-        f: &Expr,
-        pos: Pos,
-    ) -> Result<Type, Error> {
+    fn gen_cond_expr(&mut self, c: &Expr, t: &Expr, f: &Expr, pos: Pos) -> Result<Type, Error> {
         let tt = self.peek_type(t)?;
         let ft = self.peek_type(f)?;
         let common = if tt.is_arith() && ft.is_arith() {
@@ -1559,10 +1528,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
                         let old_t = self.emit_load(&lty, pos)?;
                         // rhs, with pointer scaling for ptr += n.
                         if lty.is_pointer() {
-                            let sz = lty
-                                .pointee()
-                                .map(|p| p.size(self.types()))
-                                .unwrap_or(1);
+                            let sz = lty.pointee().map(|p| p.size(self.types())).unwrap_or(1);
                             let rt = self.unhoist(hr, rhs)?;
                             if !rt.is_integer() {
                                 return Err(self.err(pos, "pointer step must be an integer"));
@@ -1574,11 +1540,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
                             self.emit(match binop {
                                 BinOp::Add => Opcode::ADDU,
                                 BinOp::Sub => Opcode::SUBU,
-                                _ => {
-                                    return Err(
-                                        self.err(pos, "operator not defined on pointers")
-                                    )
-                                }
+                                _ => return Err(self.err(pos, "operator not defined on pointers")),
                             });
                             lty.decay()
                         } else {
@@ -1640,9 +1602,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
             (Type::Int | Type::Uint, BinOp::And) => BANDU,
             (Type::Int | Type::Uint, BinOp::Or) => BORU,
             (Type::Int | Type::Uint, BinOp::Xor) => BXORU,
-            (t, op) => {
-                return Err(self.err(pos, format!("operator {op:?} not defined on {t}")))
-            }
+            (t, op) => return Err(self.err(pos, format!("operator {op:?} not defined on {t}"))),
         };
         self.emit(opcode);
         Ok(())
@@ -1717,11 +1677,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
                 let sig = match &ct {
                     Type::Ptr(inner) => match &**inner {
                         Type::Func(sig) => (**sig).clone(),
-                        _ => {
-                            return Err(
-                                self.err(pos, format!("{ct} is not callable"))
-                            )
-                        }
+                        _ => return Err(self.err(pos, format!("{ct} is not callable"))),
                     },
                     _ => return Err(self.err(pos, format!("{ct} is not callable"))),
                 };
@@ -1951,10 +1907,7 @@ impl<'a, 'u> FnCg<'a, 'u> {
                     .map(|f| f.ty.clone())
                     .ok_or_else(|| self.err(e.pos, format!("no field {field}")))
             }
-            ExprKind::Str(bytes) => Ok(Type::Array(
-                Box::new(Type::Char),
-                bytes.len() as u32 + 1,
-            )),
+            ExprKind::Str(bytes) => Ok(Type::Array(Box::new(Type::Char), bytes.len() as u32 + 1)),
             _ => Err(self.err(e.pos, "expression is not an lvalue")),
         }
     }

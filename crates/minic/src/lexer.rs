@@ -135,10 +135,7 @@ impl<'s> Lexer<'s> {
             Some(b'\\') => Ok(b'\\'),
             Some(b'\'') => Ok(b'\''),
             Some(b'"') => Ok(b'"'),
-            Some(c) => Err(Error::new(
-                pos,
-                format!("unknown escape '\\{}'", c as char),
-            )),
+            Some(c) => Err(Error::new(pos, format!("unknown escape '\\{}'", c as char))),
             None => Err(Error::new(pos, "unterminated escape")),
         }
     }
@@ -167,8 +164,8 @@ impl<'s> Lexer<'s> {
         while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
             self.bump();
         }
-        let is_float = self.peek() == Some(b'.')
-            && matches!(self.peek2(), Some(b) if b.is_ascii_digit());
+        let is_float =
+            self.peek() == Some(b'.') && matches!(self.peek2(), Some(b) if b.is_ascii_digit());
         if is_float {
             self.bump(); // '.'
             while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
@@ -335,7 +332,10 @@ mod tests {
         assert_eq!(toks("7u"), vec![Tok::Int(7, true), Tok::Eof]);
         assert_eq!(toks("1.5f"), vec![Tok::Float(1.5), Tok::Eof]);
         assert_eq!(toks("2.25"), vec![Tok::Double(2.25), Tok::Eof]);
-        assert_eq!(toks("4294967295"), vec![Tok::Int(u32::MAX, false), Tok::Eof]);
+        assert_eq!(
+            toks("4294967295"),
+            vec![Tok::Int(u32::MAX, false), Tok::Eof]
+        );
         assert!(lex("4294967296").is_err());
     }
 

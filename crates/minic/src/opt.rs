@@ -92,8 +92,10 @@ fn pass(insns: &mut Vec<Instruction>) -> bool {
             if let Some(v) = lit_value(lit) {
                 let removable = matches!(
                     (v, op.opcode),
-                    (0, Opcode::ADDU | Opcode::SUBU | Opcode::BORU | Opcode::BXORU)
-                        | (0, Opcode::LSHI | Opcode::LSHU | Opcode::RSHI | Opcode::RSHU)
+                    (
+                        0,
+                        Opcode::ADDU | Opcode::SUBU | Opcode::BORU | Opcode::BXORU
+                    ) | (0, Opcode::LSHI | Opcode::LSHU | Opcode::RSHI | Opcode::RSHU)
                         | (1, Opcode::MULI | Opcode::MULU | Opcode::DIVI | Opcode::DIVU)
                 );
                 if removable {
@@ -108,9 +110,7 @@ fn pass(insns: &mut Vec<Instruction>) -> bool {
         if let (Some(cmp), Some(lit), Some(equ), Some(br)) =
             (get(i), get(i + 1), get(i + 2), get(i + 3))
         {
-            if lit_value(lit) == Some(0)
-                && equ.opcode == Opcode::EQU
-                && br.opcode == Opcode::BrTrue
+            if lit_value(lit) == Some(0) && equ.opcode == Opcode::EQU && br.opcode == Opcode::BrTrue
             {
                 if let Some(inv) = invert_int_compare(cmp.opcode) {
                     let br = *br;
@@ -123,9 +123,7 @@ fn pass(insns: &mut Vec<Instruction>) -> bool {
 
         // LIT 0; NEU; BrTrue  ->  BrTrue (BrTrue already tests non-zero)
         if let (Some(lit), Some(neu), Some(br)) = (get(i), get(i + 1), get(i + 2)) {
-            if lit_value(lit) == Some(0)
-                && neu.opcode == Opcode::NEU
-                && br.opcode == Opcode::BrTrue
+            if lit_value(lit) == Some(0) && neu.opcode == Opcode::NEU && br.opcode == Opcode::BrTrue
             {
                 let br = *br;
                 insns.splice(i..i + 3, [br]);
@@ -188,9 +186,7 @@ mod tests {
         proc.code = code;
         proc.labels = labels;
         peephole_procedure(&mut proc);
-        decode(&proc.code)
-            .map(|i| i.unwrap().opcode)
-            .collect()
+        decode(&proc.code).map(|i| i.unwrap().opcode).collect()
     }
 
     #[test]

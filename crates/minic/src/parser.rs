@@ -174,14 +174,10 @@ impl Parser {
                     let base = self.type_specifier()?;
                     loop {
                         let (fname, ty) = self.declarator(base.clone())?;
-                        let fname = fname.ok_or_else(|| {
-                            Error::new(pos, "struct field needs a name")
-                        })?;
+                        let fname =
+                            fname.ok_or_else(|| Error::new(pos, "struct field needs a name"))?;
                         if ty == Type::Struct(id) {
-                            return Err(Error::new(
-                                pos,
-                                "struct cannot contain itself by value",
-                            ));
+                            return Err(Error::new(pos, "struct cannot contain itself by value"));
                         }
                         fields.push((fname, ty));
                         if !self.eat(",") {
@@ -229,8 +225,7 @@ impl Parser {
             }
             return Ok((Some(name), fty));
         }
-        let name = if matches!(self.peek(), Tok::Ident(s) if !TYPE_KEYWORDS.contains(&s.as_str()))
-        {
+        let name = if matches!(self.peek(), Tok::Ident(s) if !TYPE_KEYWORDS.contains(&s.as_str())) {
             Some(self.ident()?)
         } else {
             None
@@ -575,12 +570,7 @@ impl Parser {
                     let stmt = self.stmt()?;
                     match arms.last_mut() {
                         Some(arm) => arm.body.push(stmt),
-                        None => {
-                            return Err(Error::new(
-                                pos,
-                                "statement before first case label",
-                            ))
-                        }
+                        None => return Err(Error::new(pos, "statement before first case label")),
                     }
                 }
             }

@@ -23,9 +23,7 @@ pub fn eval_const_int(e: &Expr, types: &TypeTable) -> Option<i32> {
         }
         ExprKind::Unary(UnOp::Neg, inner) => Some(eval_const_int(inner, types)?.wrapping_neg()),
         ExprKind::Unary(UnOp::BitNot, inner) => Some(!eval_const_int(inner, types)?),
-        ExprKind::Unary(UnOp::Not, inner) => {
-            Some(i32::from(eval_const_int(inner, types)? == 0))
-        }
+        ExprKind::Unary(UnOp::Not, inner) => Some(i32::from(eval_const_int(inner, types)? == 0)),
         ExprKind::Binary(op, a, b) => {
             let a = eval_const_int(a, types)?;
             let b = eval_const_int(b, types)?;
@@ -116,8 +114,7 @@ mod tests {
     fn parse_expr(src: &str) -> (Expr, TypeTable) {
         // Reuse the full parser by wrapping the expression in a global
         // scalar initializer.
-        let unit =
-            crate::parser::parse(lex(&format!("int x = {src};")).unwrap()).unwrap();
+        let unit = crate::parser::parse(lex(&format!("int x = {src};")).unwrap()).unwrap();
         match &unit.items[..] {
             [crate::ast::Item::Global(g)] => match g.init.clone().unwrap() {
                 crate::ast::Init::Expr(e) => (e, unit.types),

@@ -78,10 +78,7 @@ impl Type {
 
     /// Integer type (char/short/int/unsigned)?
     pub fn is_integer(&self) -> bool {
-        matches!(
-            self,
-            Type::Char | Type::Short | Type::Int | Type::Uint
-        )
+        matches!(self, Type::Char | Type::Short | Type::Int | Type::Uint)
     }
 
     /// Floating type?
@@ -308,10 +305,7 @@ mod tests {
         assert_eq!(tt.structs[inner].size, 8);
         let outer = tt.define_struct(
             "outer".into(),
-            vec![
-                ("c".into(), Type::Char),
-                ("i".into(), Type::Struct(inner)),
-            ],
+            vec![("c".into(), Type::Char), ("i".into(), Type::Struct(inner))],
         );
         let s = &tt.structs[outer];
         assert_eq!(s.field("i").unwrap().offset, 4);

@@ -235,10 +235,12 @@ fn global_initializer_expressions() {
 #[test]
 fn dialect_limits_are_reported() {
     // Struct returns.
-    assert!(compile("struct S { int x; }; struct S f(void) { } int main(){return 0;}")
-        .unwrap_err()
-        .message
-        .contains("structs"));
+    assert!(
+        compile("struct S { int x; }; struct S f(void) { } int main(){return 0;}")
+            .unwrap_err()
+            .message
+            .contains("structs")
+    );
     // Struct containing itself by value.
     assert!(compile("struct S { struct S inner; }; int main(){return 0;}").is_err());
     // Local array initializer lists (rejected at parse time: a brace is
@@ -247,20 +249,26 @@ fn dialect_limits_are_reported() {
     // Pointer-typed global initializers.
     assert!(compile("char *s = \"x\"; int main(){return 0;}").is_err());
     // Case labels must be constant.
-    assert!(compile("int main() { int x = 1; switch (x) { case x: return 1; } return 0; }")
-        .unwrap_err()
-        .message
-        .contains("constant"));
+    assert!(
+        compile("int main() { int x = 1; switch (x) { case x: return 1; } return 0; }")
+            .unwrap_err()
+            .message
+            .contains("constant")
+    );
     // Duplicate cases.
-    assert!(compile("int main() { switch (1) { case 1: case 1: return 1; } return 0; }")
-        .unwrap_err()
-        .message
-        .contains("duplicate"));
+    assert!(
+        compile("int main() { switch (1) { case 1: case 1: return 1; } return 0; }")
+            .unwrap_err()
+            .message
+            .contains("duplicate")
+    );
     // Calling with the wrong arity.
-    assert!(compile("int f(int a) { return a; } int main() { return f(1, 2); }")
-        .unwrap_err()
-        .message
-        .contains("arguments"));
+    assert!(
+        compile("int f(int a) { return a; } int main() { return f(1, 2); }")
+            .unwrap_err()
+            .message
+            .contains("arguments")
+    );
     // Prototype without a definition.
     assert!(compile("int ghost(int x); int main() { return 0; }")
         .unwrap_err()

@@ -48,7 +48,10 @@ fn signed_and_unsigned_division() {
         run("int main() { unsigned big = 3000000000u; return big > 5u; }").1,
         1
     );
-    assert_eq!(run("int main() { int big = (int)3000000000u; return big > 5; }").1, 0);
+    assert_eq!(
+        run("int main() { int big = (int)3000000000u; return big > 5; }").1,
+        0
+    );
 }
 
 #[test]

@@ -113,14 +113,16 @@ fn expand(insn: &Instruction, out: &mut Vec<Asm>) {
     let pop_ecx = || Asm::new(Kind::PopEcx, "pop ecx", 1);
     match op {
         LIT1 => out.push(Asm::new(Kind::PushImm(imm), format!("push {imm}"), 2)),
-        LIT2 | LIT3 | LIT4 => {
-            out.push(Asm::new(Kind::PushImm(imm), format!("push {imm}"), 5))
-        }
+        LIT2 | LIT3 | LIT4 => out.push(Asm::new(Kind::PushImm(imm), format!("push {imm}"), 5)),
         ADDRLP | ADDRFP => {
             let d = imm + 8;
             out.push(Asm::new(
                 Kind::LeaEax(d),
-                format!("lea eax, [ebp{}{}]", if op == ADDRLP { "-" } else { "+" }, d),
+                format!(
+                    "lea eax, [ebp{}{}]",
+                    if op == ADDRLP { "-" } else { "+" },
+                    d
+                ),
                 disp_cost(2, d),
             ));
             out.push(push_eax());
@@ -191,9 +193,7 @@ fn expand(insn: &Instruction, out: &mut Vec<Asm>) {
         }
         NEGI | BCOMU => out.push(Asm::other("neg/not dword [esp]", 3)),
         NEGF | NEGD => out.push(Asm::other("fld [esp]; fchs; fstp [esp]", 6)),
-        CVDF | CVFD | CVID | CVIF | CVDI | CVFI => {
-            out.push(Asm::other("fild/fistp conversion", 8))
-        }
+        CVDF | CVFD | CVID | CVIF | CVDI | CVFI => out.push(Asm::other("fild/fistp conversion", 8)),
         CVI1I4 | CVI2I4 => out.push(Asm::other("movsx via [esp]", 6)),
         CVU1U4 | CVU2U4 => out.push(Asm::other("and dword [esp], mask", 7)),
         ASGNU | ASGNF => {
@@ -296,10 +296,7 @@ fn peephole(list: &mut Vec<Asm>) {
             // lea eax, X / mov eax, [eax] -> mov eax, [ebp±d]
             if let (LeaEax(d), Some(LoadEaxViaEax)) = (k0, k1) {
                 let text = list[i].text.replace("lea eax,", "mov eax,");
-                list.splice(
-                    i..i + 2,
-                    [Asm::new(LoadEaxFrame(d), text, disp_cost(1, d))],
-                );
+                list.splice(i..i + 2, [Asm::new(LoadEaxFrame(d), text, disp_cost(1, d))]);
                 changed = true;
                 continue;
             }

@@ -60,11 +60,7 @@ pub fn case_bytes(op: Opcode) -> usize {
             {
                 44
             }
-            (StackKind::V1, TypeSuffix::D | TypeSuffix::F)
-                if op.name().starts_with("INDIR") =>
-            {
-                44
-            }
+            (StackKind::V1, TypeSuffix::D | TypeSuffix::F) if op.name().starts_with("INDIR") => 44,
             (StackKind::V1, _) if op.name().starts_with("CV") => 36,
             (StackKind::V1, _) => 32, // NEG*, BCOMU
             (StackKind::X2, _) => 44, // ASGN scalar
@@ -98,11 +94,7 @@ impl InterpreterSizes {
 
 /// Price both interpreters for a given expanded grammar.
 pub fn interpreter_sizes(grammar: &Grammar) -> InterpreterSizes {
-    let initial = SCAFFOLD_BYTES
-        + Opcode::ALL
-            .iter()
-            .map(|&op| case_bytes(op))
-            .sum::<usize>();
+    let initial = SCAFFOLD_BYTES + Opcode::ALL.iter().map(|&op| case_bytes(op)).sum::<usize>();
     let grammar_bytes = grammar_size(grammar);
     InterpreterSizes {
         initial,
@@ -129,8 +121,11 @@ fn case_body(op: Opcode) -> String {
             );
         }
         V1 | V2 => {
-            let _ = writeln!(body, "        istate->stack[++istate->top] = op_{name}(istate{});",
-                if pops == 2 { ", a, b" } else { ", b" });
+            let _ = writeln!(
+                body,
+                "        istate->stack[++istate->top] = op_{name}(istate{});",
+                if pops == 2 { ", a, b" } else { ", b" }
+            );
         }
         X0 | X1 | X2 => {
             let operand = if op.operand_bytes() > 0 {
@@ -351,7 +346,7 @@ pub fn interp_nt_source() -> String {
      \t\tinterpNT(istate, NT_start);\n\
      \t}\n\
      }\n"
-        .to_string()
+    .to_string()
 }
 
 #[cfg(test)]
@@ -399,7 +394,10 @@ mod tests {
         let after = interpreter_sizes(&g);
         assert_eq!(after.initial, before.initial);
         assert!(after.compressed > before.compressed);
-        assert_eq!(after.delta() - before.delta(), after.grammar - before.grammar);
+        assert_eq!(
+            after.delta() - before.delta(),
+            after.grammar - before.grammar
+        );
     }
 
     #[test]

@@ -131,9 +131,16 @@ impl fmt::Display for VmError {
             }
             VmError::StackOverflow => write!(f, "frame stack overflow"),
             VmError::ArgUnderflow { proc, need, have } => {
-                write!(f, "{proc}: needs {need} argument bytes, caller passed {have}")
+                write!(
+                    f,
+                    "{proc}: needs {need} argument bytes, caller passed {have}"
+                )
             }
-            VmError::CorruptDerivation { proc, offset, detail } => {
+            VmError::CorruptDerivation {
+                proc,
+                offset,
+                detail,
+            } => {
                 write!(f, "{proc}+{offset}: corrupt compressed stream: {detail}")
             }
         }

@@ -213,9 +213,8 @@ impl<'p> Vm<'p> {
                 GlobalEntry::Bss { offset, .. } => bss_base + offset,
                 GlobalEntry::Proc { proc_index } => TRAMP_BASE + proc_index,
                 GlobalEntry::Native { name } => {
-                    let native = Native::resolve(name).ok_or_else(|| VmError::UnknownNative {
-                        name: name.clone(),
-                    })?;
+                    let native = Native::resolve(name)
+                        .ok_or_else(|| VmError::UnknownNative { name: name.clone() })?;
                     let idx = Native::ALL
                         .iter()
                         .position(|&n| n == native)
@@ -371,9 +370,13 @@ impl<'p> Vm<'p> {
         }
         // Deterministic frames: zero the whole region, then copy args.
         let zero = vec![0u8; (frame_end - args_base) as usize];
-        self.mem.store_bytes(args_base, &zero).map_err(Stop::Error)?;
+        self.mem
+            .store_bytes(args_base, &zero)
+            .map_err(Stop::Error)?;
         if !args.is_empty() {
-            self.mem.store_bytes(args_base, &args).map_err(Stop::Error)?;
+            self.mem
+                .store_bytes(args_base, &args)
+                .map_err(Stop::Error)?;
         }
 
         let saved_stack = self.stack_next;
@@ -455,13 +458,13 @@ impl<'p> Vm<'p> {
             match self.exec_op(op, operands, frame, &mut stack)? {
                 Flow::Continue => {}
                 Flow::Branch(label) => {
-                    let target =
-                        proc.labels
-                            .get(usize::from(label))
-                            .ok_or(VmError::BadLabel {
-                                proc: proc.name.clone(),
-                                index: label,
-                            })?;
+                    let target = proc
+                        .labels
+                        .get(usize::from(label))
+                        .ok_or(VmError::BadLabel {
+                            proc: proc.name.clone(),
+                            index: label,
+                        })?;
                     pc = *target as usize;
                 }
                 Flow::Return(v) => return Ok(v),
@@ -568,12 +571,13 @@ impl<'p> Vm<'p> {
                     match self.exec_op(op, operands, frame, &mut stack)? {
                         Flow::Continue => {}
                         Flow::Branch(label) => {
-                            let target = proc.labels.get(usize::from(label)).ok_or(
-                                VmError::BadLabel {
-                                    proc: proc.name.clone(),
-                                    index: label,
-                                },
-                            )?;
+                            let target =
+                                proc.labels
+                                    .get(usize::from(label))
+                                    .ok_or(VmError::BadLabel {
+                                        proc: proc.name.clone(),
+                                        index: label,
+                                    })?;
                             pc = *target as usize;
                             walk.clear();
                         }

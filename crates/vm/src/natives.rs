@@ -139,11 +139,7 @@ pub fn call(vm: &mut Vm<'_>, native: Native, args: &[u8]) -> Result<NativeOutcom
             Slot::ZERO
         }
         Native::Getchar => {
-            let v = vm
-                .input
-                .pop_front()
-                .map(i32::from)
-                .unwrap_or(-1);
+            let v = vm.input.pop_front().map(i32::from).unwrap_or(-1);
             Slot::from_i(v)
         }
         Native::Exit => return Ok(NativeOutcome::Exit(arg_u32(args, 0) as i32)),

@@ -35,10 +35,7 @@ fn integer_wraparound() {
         i32::MIN
     );
     // MULI overflow wraps.
-    assert_eq!(
-        eval_u("\tLIT4 65536\n\tLIT4 65536\n\tMULI\n\tRETU\n"),
-        0
-    );
+    assert_eq!(eval_u("\tLIT4 65536\n\tLIT4 65536\n\tMULI\n\tRETU\n"), 0);
     // NEGI of i32::MIN is itself.
     assert_eq!(eval_i("\tLIT4 2147483648\n\tNEGI\n\tRETU\n"), i32::MIN);
 }

@@ -14,10 +14,13 @@ use pgr::core::{train, TrainConfig, Trained};
 use pgr::corpus::{corpus, Corpus, CorpusName};
 
 fn compress_under(trained: &Trained, c: &Corpus) -> (usize, usize) {
+    // One engine per (grammar, corpus) pass: the Earley tables are built
+    // once and recurring segments hit the derivation cache.
+    let engine = trained.compressor();
     let mut original = 0;
     let mut compressed = 0;
     for p in &c.programs {
-        let (_, stats) = trained.compress(p).expect("corpora are in the language");
+        let (_, stats) = engine.compress(p).expect("corpora are in the language");
         original += stats.original_code;
         compressed += stats.compressed_code;
     }

@@ -75,9 +75,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\nuncompressed firmware fits {plain_fit} modules; compressed fits {packed_fit}"
-    );
+    println!("\nuncompressed firmware fits {plain_fit} modules; compressed fits {packed_fit}");
     match crossover {
         Some(n) => println!(
             "the bigger interpreter pays for itself after {n} modules \
@@ -85,5 +83,8 @@ fn main() {
         ),
         None => println!("the compressed interpreter never paid for itself (corpus too small)"),
     }
-    assert!(packed_fit > plain_fit, "compression should win at this scale");
+    assert!(
+        packed_fit > plain_fit,
+        "compression should win at this scale"
+    );
 }

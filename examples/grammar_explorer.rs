@@ -33,9 +33,7 @@ fn main() {
     println!("-- ten longest inlined rules --");
     let mut inlined: Vec<_> = (0..g.rule_slots() as u32)
         .map(pgr::grammar::RuleId)
-        .filter(|&id| {
-            g.rule(id).alive && matches!(g.rule(id).origin, RuleOrigin::Inlined { .. })
-        })
+        .filter(|&id| g.rule(id).alive && matches!(g.rule(id).origin, RuleOrigin::Inlined { .. }))
         .collect();
     inlined.sort_by_key(|&id| std::cmp::Reverse(g.rule(id).rhs.len()));
     for &id in inlined.iter().take(10) {

@@ -32,7 +32,11 @@ int main(void) {
 fn main() {
     // 1. C -> initial bytecode.
     let program = minic::compile(SOURCE).expect("compiles");
-    println!("bytecode: {} bytes in {} procedures", program.code_size(), program.procs.len());
+    println!(
+        "bytecode: {} bytes in {} procedures",
+        program.code_size(),
+        program.procs.len()
+    );
 
     // 2. Train the expanded grammar on a sample (here: the program itself).
     let trained = train(&[&program], &TrainConfig::default()).expect("trains");
@@ -68,7 +72,10 @@ fn main() {
     let direct = cvm.run().expect("runs");
 
     assert_eq!(plain.output, direct.output, "identical behaviour");
-    println!("output (both interpreters): {}", String::from_utf8_lossy(&plain.output));
+    println!(
+        "output (both interpreters): {}",
+        String::from_utf8_lossy(&plain.output)
+    );
     println!(
         "steps: interp1 {} vs interp_nt {} (the compressed interpreter walks rules too)",
         plain.steps, direct.steps

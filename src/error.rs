@@ -1,0 +1,160 @@
+//! The unified error type for the whole pipeline.
+//!
+//! Each subsystem has a precise error enum (`TrainError`, `CompressError`,
+//! `DecompressError`, `ValidateError`); [`PgrError`] wraps them so
+//! embedders and the CLI can hold one type end-to-end, and so `?` works
+//! across phase boundaries. Every variant preserves its inner error via
+//! [`std::error::Error::source`], giving a full cause chain down to the
+//! leaf (`DecodeError`, `TokenizeError`, `NoParse`, …).
+
+use pgr_bytecode::ValidateError;
+use pgr_core::{CompressError, DecompressError, TrainError};
+use std::error::Error;
+use std::fmt;
+
+/// Any failure in the train → compress → decompress pipeline, or in the
+/// validation that guards it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgrError {
+    /// Grammar training failed.
+    Train(TrainError),
+    /// Compression failed.
+    Compress(CompressError),
+    /// Decompression failed.
+    Decompress(DecompressError),
+    /// A program failed static validation.
+    Validate(ValidateError),
+}
+
+impl fmt::Display for PgrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgrError::Train(e) => write!(f, "training failed: {e}"),
+            PgrError::Compress(e) => write!(f, "compression failed: {e}"),
+            PgrError::Decompress(e) => write!(f, "decompression failed: {e}"),
+            PgrError::Validate(e) => write!(f, "validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PgrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PgrError::Train(e) => Some(e),
+            PgrError::Compress(e) => Some(e),
+            PgrError::Decompress(e) => Some(e),
+            PgrError::Validate(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainError> for PgrError {
+    fn from(e: TrainError) -> PgrError {
+        PgrError::Train(e)
+    }
+}
+
+impl From<CompressError> for PgrError {
+    fn from(e: CompressError) -> PgrError {
+        PgrError::Compress(e)
+    }
+}
+
+impl From<DecompressError> for PgrError {
+    fn from(e: DecompressError) -> PgrError {
+        PgrError::Decompress(e)
+    }
+}
+
+impl From<ValidateError> for PgrError {
+    fn from(e: ValidateError) -> PgrError {
+        PgrError::Validate(e)
+    }
+}
+
+impl PgrError {
+    /// Render the error with its full cause chain, one `caused by:` line
+    /// per source, for terminal diagnostics:
+    ///
+    /// ```text
+    /// compression failed: f: segment at 3: no parse at token 2
+    ///   caused by: no parse at token 2
+    /// ```
+    pub fn report(&self) -> String {
+        error_chain(self)
+    }
+}
+
+/// Render any error and its [`source`](Error::source) chain, one
+/// indented `caused by:` line per level.
+pub fn error_chain(err: &dyn Error) -> String {
+    let mut out = err.to_string();
+    let mut cause = err.source();
+    while let Some(e) = cause {
+        out.push_str(&format!("\n  caused by: {e}"));
+        cause = e.source();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_bytecode::{Opcode, Procedure, Program};
+    use pgr_core::{train, TrainConfig};
+    use pgr_grammar::InitialGrammar;
+
+    fn undecodable_program() -> Program {
+        let mut prog = Program::new();
+        let mut proc = Procedure::new("f");
+        proc.code = vec![0xff];
+        prog.procs.push(proc);
+        prog
+    }
+
+    #[test]
+    fn train_errors_chain_to_the_leaf() {
+        let prog = undecodable_program();
+        let err: PgrError = train(&[&prog], &TrainConfig::default()).unwrap_err().into();
+        assert!(matches!(err, PgrError::Train(_)));
+        // PgrError -> TrainError -> ValidateError -> DecodeError
+        let validate = err.source().unwrap().source().unwrap();
+        let decode = validate.source().unwrap();
+        assert!(decode.to_string().contains("invalid opcode"));
+        assert!(decode.source().is_none());
+    }
+
+    #[test]
+    fn compress_errors_chain_to_the_parser_report() {
+        let ig = InitialGrammar::build();
+        let mut prog = Program::new();
+        let mut proc = Procedure::new("f");
+        proc.code = vec![Opcode::ADDU as u8];
+        prog.procs.push(proc);
+        let err: PgrError = pgr_core::Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap_err()
+            .into();
+        let report = err.report();
+        assert!(report.starts_with("compression failed"), "{report}");
+        assert!(report.contains("caused by:"), "{report}");
+    }
+
+    #[test]
+    fn validate_errors_wrap_directly() {
+        let err: PgrError = pgr_bytecode::validate_program(&undecodable_program())
+            .unwrap_err()
+            .into();
+        assert!(matches!(err, PgrError::Validate(_)));
+        assert!(err.source().unwrap().source().is_some());
+    }
+
+    #[test]
+    fn chain_renders_every_level() {
+        let prog = undecodable_program();
+        let err: PgrError = train(&[&prog], &TrainConfig::default()).unwrap_err().into();
+        let report = err.report();
+        // PgrError -> TrainError -> ValidateError -> DecodeError.
+        assert_eq!(report.matches("caused by:").count(), 3, "{report}");
+    }
+}

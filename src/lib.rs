@@ -50,6 +50,10 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
+
+pub use error::{error_chain, PgrError};
+
 pub use pgr_baselines as baselines;
 pub use pgr_bytecode as bytecode;
 pub use pgr_core as core;
@@ -62,8 +66,9 @@ pub use pgr_vm as vm;
 
 /// The most commonly used names, for quick starts.
 pub mod prelude {
+    pub use crate::error::PgrError;
     pub use pgr_bytecode::{Opcode, Program};
-    pub use pgr_core::{train, TrainConfig, Trained};
+    pub use pgr_core::{train, Compressor, CompressorConfig, TrainConfig, Trained};
     pub use pgr_grammar::InitialGrammar;
     pub use pgr_vm::{Vm, VmConfig};
 }

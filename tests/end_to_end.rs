@@ -46,7 +46,9 @@ fn samples_run_identically_compressed() {
             VmConfig::default(),
         )
         .unwrap();
-        let direct = cvm.run().unwrap_or_else(|e| panic!("{name} compressed: {e}"));
+        let direct = cvm
+            .run()
+            .unwrap_or_else(|e| panic!("{name} compressed: {e}"));
         assert_eq!(plain.output, direct.output, "{name}");
         assert_eq!(plain.ret, direct.ret, "{name}");
         assert_eq!(plain.exit_code, direct.exit_code, "{name}");

@@ -1,0 +1,131 @@
+//! Compressor-engine guarantees: parallel segment encoding and the
+//! derivation cache are pure optimizations — the compressed bytes, the
+//! stats, and the error behaviour must be indistinguishable from the
+//! sequential, cache-free path at every configuration.
+
+use pgr::core::{train, CompressorConfig, TrainConfig};
+use pgr::corpus::synth::{generate_source, Flavor, SynthConfig};
+use pgr::corpus::{corpus, CorpusName};
+use proptest::prelude::*;
+
+/// Every thread count produces byte-identical output and equal stats on
+/// a full corpus — the strided fan-out must be invisible.
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let sequential = trained.compressor_with(
+        CompressorConfig::default()
+            .threads(1)
+            .segment_cache_capacity(0),
+    );
+    let reference: Vec<_> = c
+        .programs
+        .iter()
+        .map(|p| sequential.compress(p).unwrap())
+        .collect();
+
+    for threads in [1usize, 2, 3, 4, 8] {
+        let engine = trained.compressor_with(CompressorConfig::default().threads(threads));
+        for (p, (ref_cp, ref_stats)) in c.programs.iter().zip(&reference) {
+            let (cp, stats) = engine.compress(p).unwrap();
+            assert_eq!(&cp, ref_cp, "compressed bytes differ at threads={threads}");
+            assert_eq!(&stats, ref_stats, "stats differ at threads={threads}");
+        }
+    }
+}
+
+/// Parallel decompression inputs round-trip exactly like sequential ones.
+#[test]
+fn parallel_roundtrip_matches_canonical_form() {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let engine = trained.compressor_with(CompressorConfig::default().threads(4));
+    for p in &c.programs {
+        let (cp, _) = engine.compress(p).unwrap();
+        let back = engine.decompress(&cp).unwrap();
+        assert_eq!(back, pgr::core::canonicalize_program(p).unwrap());
+    }
+}
+
+/// The cache actually engages on corpus-shaped input, and its counters
+/// add up.
+#[test]
+fn cache_counters_account_for_every_segment() {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
+    let engine = trained.compressor_with(CompressorConfig::default().threads(1));
+    let mut segments = 0u64;
+    for p in &c.programs {
+        let (_, stats) = engine.compress(p).unwrap();
+        segments += stats.segments as u64;
+    }
+    let cs = engine.cache_stats();
+    assert_eq!(cs.hits + cs.misses, segments);
+    assert!(cs.hits > 0, "a corpus never repeats a segment? {cs:?}");
+    assert!(cs.entries <= cs.capacity);
+}
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        any::<u64>(),
+        1usize..5,
+        prop_oneof![Just(Flavor::Compiler), Just(Flavor::Numeric)],
+    )
+        .prop_map(|(seed, functions, flavor)| SynthConfig {
+            seed,
+            functions,
+            flavor,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A warm cache must be invisible: compressing the same program a
+    /// second time (every segment now cached) returns exactly the cold
+    /// result, and both equal the cache-free result.
+    #[test]
+    fn cache_warm_compression_equals_cold(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+
+        let uncached = trained.compressor_with(
+            CompressorConfig::default().threads(1).segment_cache_capacity(0),
+        );
+        let baseline = uncached.compress(&program).unwrap();
+
+        let engine = trained.compressor();
+        let cold = engine.compress(&program).unwrap();
+        let cold_stats = engine.cache_stats();
+        let warm = engine.compress(&program).unwrap();
+        let warm_stats = engine.cache_stats();
+
+        prop_assert_eq!(&cold, &baseline);
+        prop_assert_eq!(&warm, &cold);
+        // The warm pass parsed nothing new.
+        prop_assert_eq!(warm_stats.misses, cold_stats.misses);
+        prop_assert!(warm_stats.hits >= cold_stats.hits);
+    }
+
+    /// Thread-count invariance holds for arbitrary generated programs,
+    /// not just the fixed corpora.
+    #[test]
+    fn thread_counts_agree_on_generated_programs(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let reference = trained
+            .compressor_with(CompressorConfig::default().threads(1))
+            .compress(&program)
+            .unwrap();
+        for threads in [2usize, 5] {
+            let got = trained
+                .compressor_with(CompressorConfig::default().threads(threads))
+                .compress(&program)
+                .unwrap();
+            prop_assert_eq!(&got, &reference);
+        }
+    }
+}

@@ -25,7 +25,11 @@ fn section_4_check_example() {
     .unwrap();
     let proc = &prog.procs[0];
     let segments = proc.segments().unwrap();
-    assert_eq!(segments.len(), 2, "the parse produces a forest of two trees");
+    assert_eq!(
+        segments.len(),
+        2,
+        "the parse produces a forest of two trees"
+    );
 
     let ig = InitialGrammar::build();
     let mut forest = Forest::new();
@@ -101,10 +105,9 @@ fn get_split_invariant_holds_after_training() {
                         match rule.rhs.get(i + k) {
                             Some(Symbol::T(Terminal::Byte(_))) => {}
                             Some(Symbol::N(n)) if *n == ig.nt_byte => {}
-                            other => panic!(
-                                "{}: operand {k} of {op} is {other:?}",
-                                g.display_rule(id)
-                            ),
+                            other => {
+                                panic!("{}: operand {k} of {op} is {other:?}", g.display_rule(id))
+                            }
                         }
                     }
                     i += 1 + op.operand_bytes();
@@ -125,7 +128,11 @@ fn interpreter_size_claims() {
     let trained = train(&c.refs(), &TrainConfig::default()).unwrap();
     let sizes = cgen::interpreter_sizes(trained.expanded());
     // Paper: 7,855 initial / 18,962 compressed / 10,525 grammar.
-    assert!((6_000..10_000).contains(&sizes.initial), "{}", sizes.initial);
+    assert!(
+        (6_000..10_000).contains(&sizes.initial),
+        "{}",
+        sizes.initial
+    );
     assert!(
         (14_000..26_000).contains(&sizes.compressed),
         "{}",

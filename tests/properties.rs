@@ -11,10 +11,11 @@ use pgr::vm::{Vm, VmConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (any::<u64>(), 1usize..6, prop_oneof![
-        Just(Flavor::Compiler),
-        Just(Flavor::Numeric)
-    ])
+    (
+        any::<u64>(),
+        1usize..6,
+        prop_oneof![Just(Flavor::Compiler), Just(Flavor::Numeric)],
+    )
         .prop_map(|(seed, functions, flavor)| SynthConfig {
             seed,
             functions,

@@ -168,6 +168,8 @@ fn truncated_compressed_streams_error_cleanly() {
         // execute a return before running off the end — but it must
         // terminate cleanly either way, and a run that completes must
         // have taken a return path (no garbage results).
-        if let Ok(result) = vm.run() { assert!(result.exit_code.is_none(), "cut at {cut}") }
+        if let Ok(result) = vm.run() {
+            assert!(result.exit_code.is_none(), "cut at {cut}")
+        }
     }
 }

@@ -1,0 +1,346 @@
+//! A small, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API used by this workspace.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This stub keeps the same call surface —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BenchmarkId`, `BatchSize` — and performs a plain
+//! wall-clock measurement: a short warm-up, then `sample_size` timed
+//! samples, reporting min/median/mean (and throughput when configured) to
+//! stdout. No statistics engine, no HTML reports, no comparison against
+//! saved baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-iteration input regime for [`Bencher::iter_batched`]. The stub
+/// treats every variant the same (setup re-runs for each measured batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in the real crate.
+    SmallInput,
+    /// Large inputs: one iteration per batch in the real crate.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for reporting how much work one iteration performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Conversion of names/ids into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, mut durations: Vec<Duration>) {
+    if durations.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    durations.sort_unstable();
+    let min = durations[0];
+    let median = durations[durations.len() / 2];
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    let mut line = format!(
+        "{label:<40} min {:>12}  median {:>12}  mean {:>12}",
+        human(min),
+        human(median),
+        human(mean)
+    );
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            let rate = amount / secs;
+            let pretty = if rate >= 1e9 {
+                format!("{:.2} G{unit}/s", rate / 1e9)
+            } else if rate >= 1e6 {
+                format!("{:.2} M{unit}/s", rate / 1e6)
+            } else if rate >= 1e3 {
+                format!("{:.2} K{unit}/s", rate / 1e3)
+            } else {
+                format!("{rate:.2} {unit}/s")
+            };
+            line.push_str(&format!("  [{pretty}]"));
+        }
+    }
+    println!("{line}");
+}
+
+/// A set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Units of work per iteration, for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Target measurement time: accepted and ignored (the stub's cost is
+    /// bounded by `sample_size`).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&label, self.throughput, bencher.durations);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&label, self.throughput, bencher.durations);
+        self
+    }
+
+    /// End the group (re-exported for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores command-line configuration (API parity).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(id, None, bencher.durations);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier (re-export of the std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls >= 3, "warm-up + samples, got {calls}");
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(4);
+        let mut setups = 0usize;
+        group.bench_with_input(BenchmarkId::new("batched", 1), &1, |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A position into a collection whose length is unknown at generation
+/// time: `idx.index(len)` maps the raw draw uniformly into `0..len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Build from raw random bits.
+    pub fn from_raw(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// The index this draw denotes within a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_maps_into_bounds() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let idx = Index::from_raw(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+}
