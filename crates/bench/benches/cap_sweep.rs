@@ -15,6 +15,7 @@ fn bench_cap_sweep(c: &mut Criterion) {
                     max_rules_per_nt: cap,
                     ..ExpanderConfig::default()
                 },
+                ..TrainConfig::default()
             };
             b.iter(|| std::hint::black_box(train(&gzip.refs(), &config).unwrap()))
         });

@@ -1,0 +1,49 @@
+//! Telemetry overhead: compress throughput with the recorder disabled
+//! (the default) must sit within noise of an uninstrumented build, and
+//! the enabled cost should stay small. The disabled path is one cached
+//! `bool` per flush site — the interpreter and encoder loops never touch
+//! an atomic or the clock.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pgr_core::{train, CompressorConfig, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+use pgr_telemetry::Recorder;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let gzip = corpus(CorpusName::Gzip);
+    let trained = train(&gzip.refs(), &TrainConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(gzip.code_size() as u64));
+
+    // Cache off so every sample does the full Earley parse: a warm cache
+    // would hide the per-segment recording cost we are measuring.
+    let quiet = trained.compressor_with(CompressorConfig::default().segment_cache_capacity(0));
+    group.bench_function("compress_disabled_recorder", |b| {
+        b.iter(|| {
+            for p in &gzip.programs {
+                std::hint::black_box(quiet.compress(p).unwrap());
+            }
+        })
+    });
+
+    let recorder = Recorder::new();
+    let loud = trained.compressor_with_recorder(
+        CompressorConfig::default().segment_cache_capacity(0),
+        recorder.clone(),
+    );
+    group.bench_function("compress_enabled_recorder", |b| {
+        b.iter(|| {
+            for p in &gzip.programs {
+                std::hint::black_box(loud.compress(p).unwrap());
+            }
+        })
+    });
+    let _ = recorder.take();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -46,6 +46,20 @@ fn main() {
     if want("a5") {
         print_a5();
     }
+    if want("metrics") {
+        print_metrics();
+    }
+}
+
+fn print_metrics() {
+    println!("== metrics: instrumented train + self-compress (gzip corpus) ==");
+    let m = pgr_bench::telemetry::pipeline_metrics();
+    match pgr_bench::telemetry::dump("pipeline", &m) {
+        Ok(Some(path)) => println!("wrote {}", path.display()),
+        Ok(None) => print!("{}", m.render_table()),
+        Err(e) => eprintln!("metrics dump failed: {e}"),
+    }
+    println!();
 }
 
 fn print_e1() {

@@ -200,6 +200,7 @@ pub fn a1(caps: &[usize]) -> Vec<(usize, usize, usize)> {
                     max_rules_per_nt: cap,
                     ..ExpanderConfig::default()
                 },
+                ..TrainConfig::default()
             };
             let trained = train(&c.refs(), &config).expect("valid corpus");
             let (_, compressed) = compress_corpus(&trained, &c);
@@ -222,6 +223,7 @@ pub fn a2() -> [(usize, usize, usize); 3] {
                 dedupe_rules: dedupe,
                 ..ExpanderConfig::default()
             },
+            ..TrainConfig::default()
         };
         let trained = train(&c.refs(), &config).expect("valid corpus");
         let (_, compressed) = compress_corpus(&trained, &c);

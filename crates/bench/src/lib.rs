@@ -26,3 +26,4 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod telemetry;

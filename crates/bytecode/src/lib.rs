@@ -67,7 +67,8 @@ pub use binfmt::{read_program, write_program, ImageKind};
 pub use insn::{decode, encode, DecodeError, Instruction};
 pub use opcode::{Opcode, StackKind, TypeSuffix};
 pub use pass::{
-    for_each_instr, instrs, rewrite_instrs, InstrView, Rewrite, RewriteError, RewriteSummary,
+    for_each_instr, instrs, rewrite_instrs, rewrite_instrs_with, InstrView, Rewrite, RewriteError,
+    RewriteSummary,
 };
 pub use program::{GlobalEntry, Procedure, Program};
-pub use validate::{validate_procedure, validate_program, ValidateError};
+pub use validate::{validate_procedure, validate_program, validate_program_with, ValidateError};

@@ -23,6 +23,7 @@ use crate::insn::DecodeError;
 use crate::opcode::Opcode;
 use crate::program::Procedure;
 use crate::Instruction;
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::fmt;
 use std::ops::ControlFlow;
 
@@ -292,6 +293,7 @@ where
 
     for insn in instrs(&proc.code) {
         let insn = insn?;
+        summary.visited += 1;
         let emit_start = code.len();
         match pass(insn) {
             Rewrite::Keep => {
@@ -331,18 +333,59 @@ where
         })
         .collect::<Result<Vec<u32>, _>>()?;
 
+    summary.label_fixups = proc
+        .labels
+        .iter()
+        .zip(&labels)
+        .filter(|&(&old, &new)| old != new)
+        .count();
     proc.code = code;
     proc.labels = labels;
+    Ok(summary)
+}
+
+/// [`rewrite_instrs`], additionally reporting `bytecode.rewrite.*`
+/// counters (instructions visited / removed / replaced, label-table
+/// fixups) into `recorder`.
+///
+/// # Errors
+///
+/// Same as [`rewrite_instrs`]; nothing is recorded on the error path
+/// (the procedure is untouched, so there is no work to report).
+pub fn rewrite_instrs_with<F>(
+    proc: &mut Procedure,
+    recorder: &Recorder,
+    pass: F,
+) -> Result<RewriteSummary, RewriteError>
+where
+    F: FnMut(InstrView<'_>) -> Rewrite,
+{
+    let summary = rewrite_instrs(proc, pass)?;
+    if recorder.is_enabled() {
+        let mut batch = Metrics::new();
+        batch.add(names::BYTECODE_REWRITE_VISITED, summary.visited as u64);
+        batch.add(names::BYTECODE_REWRITE_REMOVED, summary.removed as u64);
+        batch.add(names::BYTECODE_REWRITE_REPLACED, summary.replaced as u64);
+        batch.add(
+            names::BYTECODE_REWRITE_LABEL_FIXUPS,
+            summary.label_fixups as u64,
+        );
+        recorder.record(batch);
+    }
     Ok(summary)
 }
 
 /// What [`rewrite_instrs`] did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RewriteSummary {
+    /// Instructions the pass visited (all of them, on success).
+    pub visited: usize,
     /// Instructions dropped by [`Rewrite::Remove`].
     pub removed: usize,
     /// Instructions replaced by [`Rewrite::Replace`].
     pub replaced: usize,
+    /// Label-table entries re-pointed because their `LABELV` moved.
+    pub label_fixups: usize,
 }
 
 #[cfg(test)]
@@ -436,8 +479,10 @@ mod tests {
         assert_eq!(
             summary,
             RewriteSummary {
+                visited: 6,
                 removed: 0,
-                replaced: 1
+                replaced: 1,
+                label_fixups: 1, // only label 1, downstream of the widening
             }
         );
         assert_eq!(proc.code.len(), before.len() + 1);
@@ -451,6 +496,22 @@ mod tests {
         assert_eq!(proc.labels[0], 0);
         assert_eq!(proc.labels[1] as usize, views[4].offset);
         assert_eq!(views[4].opcode, Opcode::LABELV);
+    }
+
+    #[test]
+    fn rewrite_with_reports_metrics() {
+        let mut proc = branchy_proc();
+        let recorder = Recorder::new();
+        rewrite_instrs_with(&mut proc, &recorder, |insn| match insn.opcode {
+            Opcode::LIT1 => Rewrite::Replace(vec![Instruction::with_u16(Opcode::LIT2, 1)]),
+            _ => Rewrite::Keep,
+        })
+        .unwrap();
+        let m = recorder.snapshot();
+        assert_eq!(m.counter(names::BYTECODE_REWRITE_VISITED), 6);
+        assert_eq!(m.counter(names::BYTECODE_REWRITE_REPLACED), 1);
+        assert_eq!(m.counter(names::BYTECODE_REWRITE_REMOVED), 0);
+        assert_eq!(m.counter(names::BYTECODE_REWRITE_LABEL_FIXUPS), 1);
     }
 
     #[test]

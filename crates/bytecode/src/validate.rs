@@ -10,6 +10,7 @@ use crate::insn::DecodeError;
 use crate::opcode::{Opcode, StackKind};
 use crate::pass::for_each_instr;
 use crate::program::{Procedure, Program};
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::fmt;
 use std::ops::ControlFlow;
 
@@ -170,6 +171,13 @@ impl std::error::Error for ValidateError {
 ///
 /// Returns the first problem found; see [`ValidateError`].
 pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), ValidateError> {
+    check_procedure(proc, program).map(|_| ())
+}
+
+/// [`validate_procedure`], also reporting how many instructions the
+/// stack-discipline scan visited (pass 2 stops at the first problem, so
+/// the count under-reports on the error path by design).
+fn check_procedure(proc: &Procedure, program: &Program) -> Result<u64, ValidateError> {
     let name = || proc.name.clone();
 
     // Pass 1 — label-target scan: every label-table entry must point at a
@@ -203,7 +211,9 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
     // borrowed views with an early exit on the first problem.
     let mut depth = 0usize;
     let mut last_opcode: Option<Opcode> = None;
+    let mut insns = 0u64;
     let failure = for_each_instr(&proc.code, |insn| {
+        insns += 1;
         last_opcode = Some(insn.opcode);
         let kind = insn.opcode.kind();
         if kind == StackKind::Label {
@@ -276,7 +286,7 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
     }
 
     match last_opcode {
-        Some(last) if last.is_return() || last == Opcode::JUMPV => Ok(()),
+        Some(last) if last.is_return() || last == Opcode::JUMPV => Ok(insns),
         _ => Err(ValidateError::MissingTerminator { proc: name() }),
     }
 }
@@ -288,15 +298,44 @@ pub fn validate_procedure(proc: &Procedure, program: &Program) -> Result<(), Val
 /// Returns the first problem found in any procedure, or [`ValidateError::BadEntry`]
 /// if the entry index is out of range.
 pub fn validate_program(program: &Program) -> Result<(), ValidateError> {
+    validate_program_with(program, &Recorder::disabled())
+}
+
+/// Validate a whole program, reporting `bytecode.validate.*` counters
+/// (procedures checked, instructions visited) into `recorder`. Counts
+/// cover the work done before the first error, if any.
+///
+/// # Errors
+///
+/// Same as [`validate_program`].
+pub fn validate_program_with(program: &Program, recorder: &Recorder) -> Result<(), ValidateError> {
     if !program.procs.is_empty() && program.entry as usize >= program.procs.len() {
         return Err(ValidateError::BadEntry {
             entry: program.entry,
         });
     }
+    let mut procs = 0u64;
+    let mut insns = 0u64;
+    let mut result = Ok(());
     for proc in &program.procs {
-        validate_procedure(proc, program)?;
+        match check_procedure(proc, program) {
+            Ok(n) => {
+                procs += 1;
+                insns += n;
+            }
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
     }
-    Ok(())
+    if recorder.is_enabled() {
+        let mut batch = Metrics::new();
+        batch.add(names::BYTECODE_VALIDATE_PROCS, procs);
+        batch.add(names::BYTECODE_VALIDATE_INSNS, insns);
+        recorder.record(batch);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -316,6 +355,20 @@ mod tests {
              \tADDRLP 0\n\tLIT1 7\n\tSUBU\n\tPOPU\n\tRETV\nendproc\nentry main\n",
         )
         .unwrap();
+    }
+
+    #[test]
+    fn validation_reports_metrics() {
+        let prog = assemble(
+            "proc main frame=4 args=0\n\
+             \tADDRLP 0\n\tLIT1 7\n\tSUBU\n\tPOPU\n\tRETV\nendproc\nentry main\n",
+        )
+        .unwrap();
+        let recorder = Recorder::new();
+        validate_program_with(&prog, &recorder).unwrap();
+        let m = recorder.snapshot();
+        assert_eq!(m.counter(names::BYTECODE_VALIDATE_PROCS), 1);
+        assert_eq!(m.counter(names::BYTECODE_VALIDATE_INSNS), 5);
     }
 
     #[test]

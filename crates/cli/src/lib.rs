@@ -24,6 +24,7 @@ use pgr_bytecode::{read_program, validate_program, write_program, ImageKind, Pro
 use pgr_core::{train, ExpanderConfig, TrainConfig};
 use pgr_grammar::encode::{decode_grammar, encode_grammar};
 use pgr_grammar::{Grammar, Nt};
+use pgr_telemetry::{names, JsonSink, Metrics, Recorder, Sink, Stopwatch, TableSink};
 use pgr_vm::{Vm, VmConfig};
 use std::path::Path;
 
@@ -50,6 +51,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "run" => cmd_run(rest),
         "stats" => stats(rest),
         "cgen" => cgen(rest),
+        "metrics-check" => metrics_check(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
@@ -59,7 +61,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
 }
 
 fn usage() -> String {
-    "usage: pgr <compile|disasm|train|compress|decompress|run|stats|cgen|help> ...\n\
+    "usage: pgr <compile|disasm|train|compress|decompress|run|stats|cgen|metrics-check|help> ...\n\
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
@@ -67,7 +69,11 @@ fn usage() -> String {
      \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
      \x20 stats <in.pgrb>\n\
-     \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>"
+     \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>\n\
+     \x20 metrics-check <metrics.json>\n\
+     train/compress/decompress/run also take:\n\
+     \x20 --metrics <human|json>   emit pipeline telemetry (stderr by default)\n\
+     \x20 --metrics-out <path>     write telemetry to a file (implies json)"
         .to_string()
 }
 
@@ -102,6 +108,8 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--stdin"
             || a == "--trace"
             || a == "--threads"
+            || a == "--metrics"
+            || a == "--metrics-out"
             || a == "-p"
         {
             skip = true;
@@ -114,6 +122,71 @@ fn positionals(args: &[String]) -> Vec<&str> {
         out.push(a.as_str());
     }
     out
+}
+
+// ---- telemetry plumbing -----------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Human,
+    Json,
+}
+
+/// Telemetry options shared by train/compress/decompress/run: an enabled
+/// recorder plus where and how to render it when the command finishes.
+struct MetricsOpts {
+    mode: MetricsMode,
+    out: Option<String>,
+    recorder: Recorder,
+}
+
+/// Parse `--metrics <human|json>` / `--metrics-out <path>`. Returns
+/// `None` (and a shared disabled recorder downstream) when neither flag
+/// is present; `--metrics-out` alone implies JSON.
+fn metrics_opts(args: &[String]) -> Result<Option<MetricsOpts>, String> {
+    let mode = opt_value(args, "--metrics");
+    let out = opt_value(args, "--metrics-out").map(str::to_owned);
+    if mode.is_none() && out.is_none() {
+        return Ok(None);
+    }
+    let mode = match mode {
+        None | Some("json") => MetricsMode::Json,
+        Some("human") => MetricsMode::Human,
+        Some(other) => return Err(format!("bad --metrics {other:?} (expected human or json)")),
+    };
+    Ok(Some(MetricsOpts {
+        mode,
+        out,
+        recorder: Recorder::new(),
+    }))
+}
+
+/// The recorder commands thread through the pipeline: enabled when the
+/// user asked for metrics, the shared disabled instance otherwise.
+fn recorder_of(opts: &Option<MetricsOpts>) -> Recorder {
+    opts.as_ref()
+        .map_or_else(Recorder::disabled, |o| o.recorder.clone())
+}
+
+/// Render the accumulated metrics to the requested sink. A no-op when
+/// metrics were not requested.
+fn emit_metrics(opts: &Option<MetricsOpts>) -> Result<(), String> {
+    let Some(opts) = opts else { return Ok(()) };
+    let metrics = opts.recorder.snapshot();
+    fn sink_to<W: std::io::Write>(mode: MetricsMode, w: W, m: &Metrics) -> std::io::Result<()> {
+        match mode {
+            MetricsMode::Human => TableSink(w).emit(m),
+            MetricsMode::Json => JsonSink(w).emit(m),
+        }
+    }
+    match &opts.out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            sink_to(opts.mode, std::io::BufWriter::new(file), &metrics)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        None => sink_to(opts.mode, std::io::stderr().lock(), &metrics).map_err(|e| e.to_string()),
+    }
 }
 
 fn read_file(path: &str) -> Result<Vec<u8>, String> {
@@ -225,11 +298,13 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
         programs.push(program);
     }
     let refs: Vec<&Program> = programs.iter().collect();
+    let metrics = metrics_opts(args)?;
     let config = TrainConfig {
         expander: ExpanderConfig {
             max_rules_per_nt: cap,
             ..ExpanderConfig::default()
         },
+        recorder: recorder_of(&metrics),
     };
     let trained = train(&refs, &config).map_err(pipeline_err)?;
     let ig = trained.initial();
@@ -243,6 +318,7 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
         trained.stats.rules_added,
         trained.grammar_size()
     );
+    emit_metrics(&metrics)?;
     Ok(0)
 }
 
@@ -264,10 +340,12 @@ fn compress(args: &[String]) -> Result<i32, String> {
         None => 0, // one worker per CPU
     };
     let timings = flag(args, "--timings");
+    let metrics = metrics_opts(args)?;
     let config = pgr_core::CompressorConfig::default()
         .threads(threads)
         .collect_timings(timings);
-    let engine = pgr_core::Compressor::with_config(&grammar, start, config);
+    let engine =
+        pgr_core::Compressor::with_recorder(&grammar, start, config, recorder_of(&metrics));
     let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;
     write_file(out, &write_program(&cp.program, ImageKind::Compressed))?;
     eprintln!(
@@ -287,6 +365,7 @@ fn compress(args: &[String]) -> Result<i32, String> {
             engine.threads()
         );
     }
+    emit_metrics(&metrics)?;
     Ok(0)
 }
 
@@ -302,13 +381,22 @@ fn decompress(args: &[String]) -> Result<i32, String> {
         return Err(format!("{input} is not compressed"));
     }
     let cp = pgr_core::CompressedProgram { program };
+    let metrics = metrics_opts(args)?;
+    let recorder = recorder_of(&metrics);
+    let sw = Stopwatch::start_if(recorder.is_enabled());
     let back =
         pgr_core::compress::decompress_program(&grammar, start, &cp).map_err(pipeline_err)?;
+    if recorder.is_enabled() {
+        recorder.record_span(names::SPAN_DECOMPRESS, sw.elapsed());
+        recorder.add(names::DECOMPRESS_CALLS, 1);
+        recorder.add(names::DECOMPRESS_BYTES, back.code_size() as u64);
+    }
     write_file(out, &write_program(&back, ImageKind::Uncompressed))?;
     eprintln!(
         "{input}: decompressed to {} code bytes -> {out}",
         back.code_size()
     );
+    emit_metrics(&metrics)?;
     Ok(0)
 }
 
@@ -324,9 +412,11 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             .map_err(|_| format!("bad --trace {v:?}"))?,
         None => 0,
     };
+    let metrics = metrics_opts(args)?;
     let config = VmConfig {
         input: opt_value(args, "--stdin").unwrap_or("").as_bytes().to_vec(),
         trace_limit,
+        recorder: recorder_of(&metrics),
         ..VmConfig::default()
     };
     let result = match kind {
@@ -360,6 +450,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
     std::io::stdout()
         .write_all(&result.output)
         .map_err(|e| e.to_string())?;
+    emit_metrics(&metrics)?;
     Ok(result.exit_code.unwrap_or_else(|| result.ret.i()))
 }
 
@@ -383,6 +474,75 @@ fn stats(args: &[String]) -> Result<i32, String> {
         let n = pgr_native::measure_program(&program);
         println!("native est.:   {} B code, {} B total", n.code, n.total());
     }
+    Ok(0)
+}
+
+/// Validate that `text` is a well-formed `pgr-metrics/1` document: the
+/// shape `--metrics json` emits and `schema/metrics.schema.json` pins.
+///
+/// Checks the schema tag, that the four sections are objects, that
+/// counters/gauges hold non-negative integers, and that histogram/span
+/// entries carry their exact numeric field sets.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn check_metrics_json(text: &str) -> Result<(), String> {
+    use pgr_telemetry::json::Value;
+
+    let doc = pgr_telemetry::json::parse(text).map_err(|e| e.to_string())?;
+    let root = doc.as_obj().ok_or("root is not an object")?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some(s) if s == pgr_telemetry::SCHEMA => {}
+        Some(s) => {
+            return Err(format!(
+                "schema is {s:?}, expected {:?}",
+                pgr_telemetry::SCHEMA
+            ))
+        }
+        None => return Err("missing \"schema\" string".into()),
+    }
+    let section = |name: &str| -> Result<&std::collections::BTreeMap<String, Value>, String> {
+        root.get(name)
+            .and_then(Value::as_obj)
+            .ok_or_else(|| format!("missing {name:?} object"))
+    };
+    for name in ["counters", "gauges"] {
+        for (k, v) in section(name)? {
+            if v.as_u64().is_none() {
+                return Err(format!("{name}[{k:?}] is not a non-negative integer"));
+            }
+        }
+    }
+    for (name, fields) in [
+        ("histograms", ["count", "sum", "min", "max"]),
+        ("spans", ["count", "total_ns", "min_ns", "max_ns"]),
+    ] {
+        for (k, v) in section(name)? {
+            let entry = v
+                .as_obj()
+                .ok_or_else(|| format!("{name}[{k:?}] is not an object"))?;
+            for field in fields {
+                if entry.get(field).and_then(Value::as_u64).is_none() {
+                    return Err(format!("{name}[{k:?}] lacks integer field {field:?}"));
+                }
+            }
+            if entry.len() != fields.len() {
+                return Err(format!("{name}[{k:?}] has unexpected fields"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn metrics_check(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("metrics-check takes exactly one metrics JSON file".into());
+    };
+    let text = String::from_utf8(read_file(input)?).map_err(|_| format!("{input}: not UTF-8"))?;
+    check_metrics_json(&text).map_err(|e| format!("{input}: {e}"))?;
+    eprintln!("{input}: valid {} document", pgr_telemetry::SCHEMA);
     Ok(0)
 }
 

@@ -198,3 +198,148 @@ fn cgen_with_image_emits_packaging() {
     assert!(pkg.contains("void *_globals[]"));
     assert!(pkg.contains("int main(unsigned arg1)"));
 }
+
+#[test]
+fn metrics_json_emits_documented_keys() {
+    use pgr_telemetry::{json, names};
+
+    let s = Scratch::new("metrics");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("hello.pgrg");
+    let packed = s.path("hello.pgrc");
+    let unpacked = s.path("back.pgrb");
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+
+    let counter = |doc: &json::Value, key: &str| {
+        doc.as_obj()
+            .and_then(|o| o.get("counters"))
+            .and_then(json::Value::as_obj)
+            .and_then(|o| o.get(key))
+            .and_then(json::Value::as_u64)
+    };
+    let has_span = |doc: &json::Value, key: &str| {
+        doc.as_obj()
+            .and_then(|o| o.get("spans"))
+            .and_then(json::Value::as_obj)
+            .is_some_and(|o| o.contains_key(key))
+    };
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap();
+        pgr_cli::check_metrics_json(&text).unwrap();
+        json::parse(&text).unwrap()
+    };
+
+    // Train: trainer + validator counters, span tree under "train".
+    let train_json = s.path("train.json");
+    run(&args(&[
+        "train",
+        &image,
+        "-o",
+        &grammar,
+        "--metrics",
+        "json",
+        "--metrics-out",
+        &train_json,
+    ]))
+    .unwrap();
+    let doc = load(&train_json);
+    assert_eq!(counter(&doc, names::TRAIN_PROGRAMS), Some(1));
+    assert!(counter(&doc, names::TRAIN_SEGMENTS).unwrap() > 0);
+    assert!(counter(&doc, names::BYTECODE_VALIDATE_INSNS).unwrap() > 0);
+    assert!(has_span(&doc, "train.expand"));
+
+    // Compress: engine + Earley + cache counters and phase spans.
+    let compress_json = s.path("compress.json");
+    run(&args(&[
+        "compress",
+        &image,
+        "-g",
+        &grammar,
+        "-o",
+        &packed,
+        "--metrics",
+        "json",
+        "--metrics-out",
+        &compress_json,
+    ]))
+    .unwrap();
+    let doc = load(&compress_json);
+    assert_eq!(counter(&doc, names::COMPRESS_CALLS), Some(1));
+    let segments = counter(&doc, names::COMPRESS_SEGMENTS).unwrap();
+    assert!(segments > 0);
+    let hits = counter(&doc, names::CACHE_HITS).unwrap();
+    let misses = counter(&doc, names::CACHE_MISSES).unwrap();
+    assert_eq!(hits + misses, segments);
+    assert_eq!(counter(&doc, names::EARLEY_SEGMENTS_PARSED), Some(misses));
+    assert!(counter(&doc, names::EARLEY_ITEMS_COMPLETED).unwrap() > 0);
+    for span in [
+        names::SPAN_COMPRESS_CANONICALIZE,
+        names::SPAN_COMPRESS_TOKENIZE,
+        names::SPAN_COMPRESS_PARSE,
+        names::SPAN_COMPRESS_EMIT,
+    ] {
+        assert!(has_span(&doc, span), "missing span {span}");
+    }
+
+    // Decompress: round-trip counters.
+    let decompress_json = s.path("decompress.json");
+    run(&args(&[
+        "decompress",
+        &packed,
+        "-g",
+        &grammar,
+        "-o",
+        &unpacked,
+        "--metrics",
+        "json",
+        "--metrics-out",
+        &decompress_json,
+    ]))
+    .unwrap();
+    let doc = load(&decompress_json);
+    assert_eq!(counter(&doc, names::DECOMPRESS_CALLS), Some(1));
+    assert!(counter(&doc, names::DECOMPRESS_BYTES).unwrap() > 0);
+    assert!(has_span(&doc, names::SPAN_DECOMPRESS));
+
+    // Run (compressed image): VM dispatch family and walk counters.
+    let run_json = s.path("run.json");
+    assert_eq!(
+        run(&args(&[
+            "run",
+            &packed,
+            "-g",
+            &grammar,
+            "--metrics",
+            "json",
+            "--metrics-out",
+            &run_json,
+        ]))
+        .unwrap(),
+        7
+    );
+    let doc = load(&run_json);
+    assert!(counter(&doc, names::VM_STEPS).unwrap() > 0);
+    assert!(counter(&doc, names::VM_RULES_WALKED).unwrap() > 0);
+    assert!(
+        counter(&doc, &names::vm_dispatch("RETI")).is_some()
+            || counter(&doc, &names::vm_dispatch("RETU")).is_some()
+    );
+
+    // metrics-check accepts all four documents via the CLI too.
+    for path in [&train_json, &compress_json, &decompress_json, &run_json] {
+        assert_eq!(run(&args(&["metrics-check", path])).unwrap(), 0);
+    }
+    // ...and rejects garbage.
+    let junk = s.write("junk.json", "{\"schema\": \"nope\"}");
+    assert!(run(&args(&["metrics-check", &junk])).is_err());
+
+    // --metrics human to stderr must not interfere with the exit code.
+    assert_eq!(
+        run(&args(&["run", &image, "--metrics", "human"])).unwrap(),
+        7
+    );
+
+    // A bad mode is a usage error.
+    assert!(run(&args(&["run", &image, "--metrics", "xml"])).is_err());
+}

@@ -28,16 +28,20 @@ use pgr_bytecode::{instrs, Opcode, Procedure, Program};
 use pgr_earley::ShortestParser;
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Grammar, Nt, Terminal};
+use pgr_telemetry::{names, Metrics, Recorder, Stopwatch};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Wall-clock cost of each compression phase, surfaced on
 /// [`CompressionStats`] when [`CompressorConfig::collect_timings`] is set
-/// (all zero otherwise, so default-config stats stay comparable across
-/// runs).
+/// or the engine carries an enabled [`Recorder`] (all zero otherwise, so
+/// default-config stats stay comparable across runs). This struct is the
+/// compatibility view of the `compress.*` timing spans the recorder
+/// collects; the clock behind both is [`Stopwatch`], which never reads
+/// the monotonic clock unless something is observing.
 ///
 /// `tokenize` and `parse` are summed across worker threads, so with
 /// `threads > 1` they measure aggregate CPU time, not elapsed time;
@@ -207,6 +211,7 @@ pub struct Compressor<'g> {
     index_map: Vec<usize>,
     threads: usize,
     collect_timings: bool,
+    recorder: Recorder,
     cache: Option<Mutex<SegmentCache>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -224,6 +229,18 @@ impl<'g> Compressor<'g> {
         start: Nt,
         config: CompressorConfig,
     ) -> Compressor<'g> {
+        Compressor::with_recorder(grammar, start, config, Recorder::disabled())
+    }
+
+    /// Build an engine that reports `compress.*` counters and spans,
+    /// `cache.*` counters, and (via the embedded parser) `earley.*`
+    /// metrics into `recorder`.
+    pub fn with_recorder(
+        grammar: &'g Grammar,
+        start: Nt,
+        config: CompressorConfig,
+        recorder: Recorder,
+    ) -> Compressor<'g> {
         let threads = match config.threads {
             0 => std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -233,15 +250,30 @@ impl<'g> Compressor<'g> {
         Compressor {
             grammar,
             start,
-            parser: ShortestParser::new(grammar),
+            parser: ShortestParser::with_recorder(grammar, recorder.clone()),
             index_map: grammar.rule_index_map(),
             threads,
             collect_timings: config.collect_timings,
+            recorder,
             cache: (config.segment_cache_capacity > 0)
                 .then(|| Mutex::new(SegmentCache::new(config.segment_cache_capacity))),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
         }
+    }
+
+    /// The telemetry handle this engine reports into (the shared disabled
+    /// recorder unless built via [`Compressor::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Whether any phase timing is being observed — by
+    /// [`CompressorConfig::collect_timings`] or by an enabled recorder.
+    /// All `Instant::now` reads in the engine gate on this, so the
+    /// default configuration never touches the clock.
+    fn timings_on(&self) -> bool {
+        self.collect_timings || self.recorder.is_enabled()
     }
 
     /// The grammar this engine encodes against.
@@ -291,11 +323,14 @@ impl<'g> Compressor<'g> {
         &self,
         program: &Program,
     ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
-        let clock = |on: bool| on.then(Instant::now);
+        let timed = self.timings_on();
 
-        let t = clock(self.collect_timings);
+        let sw = Stopwatch::start_if(timed);
         let canon = canonicalize_program(program)?;
-        let canonicalize_time = t.map(|t| t.elapsed()).unwrap_or_default();
+        let canonicalize_time = sw.elapsed();
+
+        let cache_hits_before = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses_before = self.cache_misses.load(Ordering::Relaxed);
 
         // Plan: one job per non-empty straight-line segment, plus the
         // assembly script (segments and labels in code order) per
@@ -338,7 +373,7 @@ impl<'g> Compressor<'g> {
 
         // Emit: reassemble procedures in order, rewriting label tables to
         // compressed-stream offsets (§3).
-        let t = clock(self.collect_timings);
+        let sw = Stopwatch::start_if(timed);
         let mut stats = CompressionStats::default();
         let mut out = canon.clone();
         for (pi, proc) in canon.procs.iter().enumerate() {
@@ -388,7 +423,40 @@ impl<'g> Compressor<'g> {
             };
         }
         stats.timings.canonicalize = canonicalize_time;
-        stats.timings.emit = t.map(|t| t.elapsed()).unwrap_or_default();
+        stats.timings.emit = sw.elapsed();
+
+        if self.recorder.is_enabled() {
+            let mut batch = Metrics::new();
+            batch.add(names::COMPRESS_CALLS, 1);
+            batch.add(names::COMPRESS_SEGMENTS, stats.segments as u64);
+            batch.add(names::COMPRESS_ORIGINAL_BYTES, stats.original_code as u64);
+            batch.add(
+                names::COMPRESS_COMPRESSED_BYTES,
+                stats.compressed_code as u64,
+            );
+            batch.add(
+                names::CACHE_HITS,
+                self.cache_hits.load(Ordering::Relaxed) - cache_hits_before,
+            );
+            batch.add(
+                names::CACHE_MISSES,
+                self.cache_misses.load(Ordering::Relaxed) - cache_misses_before,
+            );
+            let cache = self.cache_stats();
+            batch.gauge_max(names::CACHE_ENTRIES, cache.entries as u64);
+            batch.gauge_max(names::CACHE_CAPACITY, cache.capacity as u64);
+            // The worker phases are measured per segment on worker
+            // threads and summed, so they land here as direct span
+            // records rather than thread-local span guards.
+            batch.record_span(
+                names::SPAN_COMPRESS_CANONICALIZE,
+                stats.timings.canonicalize,
+            );
+            batch.record_span(names::SPAN_COMPRESS_TOKENIZE, stats.timings.tokenize);
+            batch.record_span(names::SPAN_COMPRESS_PARSE, stats.timings.parse);
+            batch.record_span(names::SPAN_COMPRESS_EMIT, stats.timings.emit);
+            self.recorder.record(batch);
+        }
 
         Ok((CompressedProgram { program: out }, stats))
     }
@@ -459,16 +527,18 @@ impl<'g> Compressor<'g> {
         proc: &Procedure,
         range: Range<usize>,
     ) -> Result<EncodedSegment, CompressError> {
-        let clock = |on: bool| on.then(Instant::now);
+        // One enabled check per segment; workers never read the clock
+        // unless someone is observing.
+        let timed = self.timings_on();
 
-        let t = clock(self.collect_timings);
+        let sw = Stopwatch::start_if(timed);
         let tokens = tokenize_segment(&proc.code[range.clone()]).map_err(|error| {
             CompressError::Tokenize {
                 proc: proc.name.clone(),
                 error,
             }
         })?;
-        let tokenize = t.map(|t| t.elapsed()).unwrap_or_default();
+        let tokenize = sw.elapsed();
 
         if let Some(cache) = &self.cache {
             if let Some(bytes) = cache.lock().expect("cache lock").get(&tokens) {
@@ -482,7 +552,7 @@ impl<'g> Compressor<'g> {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
 
-        let t = clock(self.collect_timings);
+        let sw = Stopwatch::start_if(timed);
         let derivation =
             self.parser
                 .parse(self.start, &tokens)
@@ -492,7 +562,7 @@ impl<'g> Compressor<'g> {
                     error,
                 })?;
         let bytes = derivation.to_bytes(&self.index_map);
-        let parse = t.map(|t| t.elapsed()).unwrap_or_default();
+        let parse = sw.elapsed();
 
         if let Some(cache) = &self.cache {
             cache
@@ -646,6 +716,41 @@ entry f
         );
         let (_, stats) = timed.compress(&prog).unwrap();
         assert!(stats.timings.parse > Duration::default());
+    }
+
+    #[test]
+    fn recorder_collects_compress_cache_and_earley_metrics() {
+        let ig = InitialGrammar::build();
+        let recorder = Recorder::new();
+        let engine = Compressor::with_recorder(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default().threads(2),
+            recorder.clone(),
+        );
+        let prog = assemble(SAMPLE).unwrap();
+        let (_, stats) = engine.compress(&prog).unwrap();
+
+        let m = recorder.snapshot();
+        assert_eq!(m.counter(names::COMPRESS_CALLS), 1);
+        assert_eq!(m.counter(names::COMPRESS_SEGMENTS), stats.segments as u64);
+        assert_eq!(
+            m.counter(names::COMPRESS_ORIGINAL_BYTES),
+            stats.original_code as u64
+        );
+        assert_eq!(
+            m.counter(names::CACHE_HITS) + m.counter(names::CACHE_MISSES),
+            stats.segments as u64
+        );
+        assert_eq!(
+            m.counter(names::EARLEY_SEGMENTS_PARSED),
+            m.counter(names::CACHE_MISSES),
+            "every cache miss is exactly one Earley parse"
+        );
+        // An enabled recorder implies phase timing, surfaced both as
+        // spans and on the compatibility stats view.
+        assert!(m.span_total(names::SPAN_COMPRESS_PARSE) > Duration::ZERO);
+        assert!(stats.timings.parse > Duration::ZERO);
     }
 
     #[test]

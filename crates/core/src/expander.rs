@@ -17,6 +17,7 @@
 //! all edges incident to it.
 
 use pgr_grammar::{Forest, Grammar, NodeId, RuleId, RuleOrigin};
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Tuning knobs for the expander.
@@ -77,6 +78,15 @@ pub struct ExpansionStats {
     pub derivation_before: usize,
     /// Forest derivation length after expansion.
     pub derivation_after: usize,
+    /// Greedy-loop iterations: heap pops examined, including stale
+    /// entries and skipped candidates.
+    pub inline_iterations: u64,
+    /// Profitable edges skipped because their non-terminal already held
+    /// [`ExpanderConfig::max_rules_per_nt`] rules (§4.1 saturation).
+    pub saturated_skips: u64,
+    /// Largest rules-per-non-terminal count after expansion (256 means
+    /// some non-terminal used its whole one-byte index space).
+    pub rules_per_nt_peak: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -186,6 +196,7 @@ pub fn expand(
     }
 
     while let Some((pushed_count, parent, slot, child)) = edges.heap.pop() {
+        stats.inline_iterations += 1;
         if pushed_count < config.min_count {
             break; // max-heap: nothing better remains
         }
@@ -204,6 +215,7 @@ pub fn expand(
         }
         let lhs = grammar.rule(parent).lhs;
         if grammar.rules_of(lhs).len() >= config.max_rules_per_nt {
+            stats.saturated_skips += 1;
             continue; // this non-terminal is saturated (§4.1)
         }
         let new_rhs = grammar.inlined_rhs(parent, slot as usize, child);
@@ -278,6 +290,36 @@ pub fn expand(
     }
 
     stats.derivation_after = forest.live_count();
+    stats.rules_per_nt_peak = (0..grammar.nt_count())
+        .map(|i| grammar.rules_of(pgr_grammar::Nt(i as u16)).len())
+        .max()
+        .unwrap_or(0);
+    stats
+}
+
+/// [`expand`], additionally reporting `train.*` counters (inline
+/// iterations, contractions, rule churn, saturation) into `recorder`.
+pub fn expand_with(
+    grammar: &mut Grammar,
+    forest: &mut Forest,
+    config: &ExpanderConfig,
+    recorder: &Recorder,
+) -> ExpansionStats {
+    let stats = expand(grammar, forest, config);
+    if recorder.is_enabled() {
+        let mut batch = Metrics::new();
+        batch.add(names::TRAIN_INLINE_ITERATIONS, stats.inline_iterations);
+        batch.add(names::TRAIN_CONTRACTIONS, stats.contractions as u64);
+        batch.add(names::TRAIN_RULES_ADDED, stats.rules_added as u64);
+        batch.add(names::TRAIN_RULES_REUSED, stats.rules_reused as u64);
+        batch.add(names::TRAIN_RULES_REMOVED, stats.rules_removed as u64);
+        batch.add(names::TRAIN_SATURATED_SKIPS, stats.saturated_skips);
+        batch.gauge_max(
+            names::TRAIN_RULES_PER_NT_PEAK,
+            stats.rules_per_nt_peak as u64,
+        );
+        recorder.record(batch);
+    }
     stats
 }
 

@@ -39,5 +39,5 @@ pub mod pipeline;
 pub use canonical::canonicalize_program;
 pub use compress::{CompressError, CompressedProgram, CompressionStats, DecompressError};
 pub use engine::{CacheStats, Compressor, CompressorConfig, PhaseTimings};
-pub use expander::{ExpanderConfig, ExpansionStats};
+pub use expander::{expand, expand_with, ExpanderConfig, ExpansionStats};
 pub use pipeline::{train, TrainConfig, TrainError, Trained};

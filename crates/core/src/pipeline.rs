@@ -5,12 +5,13 @@ use crate::compress::{
     decompress_program, CompressError, CompressedProgram, CompressionStats, DecompressError,
 };
 use crate::engine::{Compressor, CompressorConfig};
-use crate::expander::{expand, ExpanderConfig, ExpansionStats};
-use pgr_bytecode::{validate_program, Program, ValidateError};
+use crate::expander::{expand_with, ExpanderConfig, ExpansionStats};
+use pgr_bytecode::{validate_program_with, Program, ValidateError};
 use pgr_grammar::encode::grammar_size;
 use pgr_grammar::forest::ForestParseError;
 use pgr_grammar::initial::{tokenize_segment, TokenizeError};
 use pgr_grammar::{Forest, Grammar, InitialGrammar, Nt};
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::fmt;
 
 /// Training configuration.
@@ -18,6 +19,10 @@ use std::fmt;
 pub struct TrainConfig {
     /// Expander knobs (rule budget, frequency threshold, …).
     pub expander: ExpanderConfig,
+    /// Telemetry destination for `train.*` counters and the
+    /// `train`/`train.ingest`/`train.expand` spans. Defaults to the
+    /// shared disabled recorder (no overhead).
+    pub recorder: Recorder,
 }
 
 /// An error while training.
@@ -102,6 +107,16 @@ impl Trained {
         Compressor::with_config(&self.expanded, self.start(), config)
     }
 
+    /// Build a reusable compression engine that reports `compress.*`,
+    /// `earley.*`, and `cache.*` metrics into `recorder`.
+    pub fn compressor_with_recorder(
+        &self,
+        config: CompressorConfig,
+        recorder: Recorder,
+    ) -> Compressor<'_> {
+        Compressor::with_recorder(&self.expanded, self.start(), config, recorder)
+    }
+
     /// Compress a program; returns the compressed image and size stats.
     ///
     /// This is a convenience wrapper that builds a single-use
@@ -136,24 +151,44 @@ impl Trained {
 ///
 /// Fails if any training program is invalid; see [`TrainError`].
 pub fn train(programs: &[&Program], config: &TrainConfig) -> Result<Trained, TrainError> {
+    let recorder = &config.recorder;
+    let _train_span = recorder.span("train");
     let initial = InitialGrammar::build();
     let mut expanded = initial.grammar.clone();
     let mut forest = Forest::new();
 
-    for &program in programs {
-        validate_program(program).map_err(TrainError::Validate)?;
-        let canon = canonicalize_program(program).map_err(TrainError::Canon)?;
-        for proc in &canon.procs {
-            for range in proc.segments().expect("canonical code decodes") {
-                let tokens = tokenize_segment(&proc.code[range]).map_err(TrainError::Tokenize)?;
-                forest
-                    .add_segment(&initial, &tokens)
-                    .map_err(TrainError::Parse)?;
+    let mut segments = 0u64;
+    let mut tokens_total = 0u64;
+    {
+        let _ingest_span = recorder.span("ingest");
+        for &program in programs {
+            validate_program_with(program, recorder).map_err(TrainError::Validate)?;
+            let canon = canonicalize_program(program).map_err(TrainError::Canon)?;
+            for proc in &canon.procs {
+                for range in proc.segments().expect("canonical code decodes") {
+                    let tokens =
+                        tokenize_segment(&proc.code[range]).map_err(TrainError::Tokenize)?;
+                    segments += 1;
+                    tokens_total += tokens.len() as u64;
+                    forest
+                        .add_segment(&initial, &tokens)
+                        .map_err(TrainError::Parse)?;
+                }
             }
         }
     }
 
-    let stats = expand(&mut expanded, &mut forest, &config.expander);
+    let stats = {
+        let _expand_span = recorder.span("expand");
+        expand_with(&mut expanded, &mut forest, &config.expander, recorder)
+    };
+    if recorder.is_enabled() {
+        let mut batch = Metrics::new();
+        batch.add(names::TRAIN_PROGRAMS, programs.len() as u64);
+        batch.add(names::TRAIN_SEGMENTS, segments);
+        batch.add(names::TRAIN_TOKENS, tokens_total);
+        recorder.record(batch);
+    }
     Ok(Trained {
         initial,
         expanded,
@@ -252,6 +287,37 @@ mod tests {
         let untrained = train(&[], &TrainConfig::default()).unwrap();
         assert!(trained.grammar_size() > untrained.grammar_size());
         assert_eq!(untrained.stats.rules_added, 0);
+    }
+
+    #[test]
+    fn training_reports_metrics_and_spans() {
+        let train_prog = training_program();
+        let recorder = Recorder::new();
+        let config = TrainConfig {
+            recorder: recorder.clone(),
+            ..TrainConfig::default()
+        };
+        let trained = train(&[&train_prog], &config).unwrap();
+
+        let m = recorder.snapshot();
+        assert_eq!(m.counter(names::TRAIN_PROGRAMS), 1);
+        assert!(m.counter(names::TRAIN_SEGMENTS) > 0);
+        assert!(m.counter(names::TRAIN_TOKENS) > 0);
+        assert_eq!(
+            m.counter(names::TRAIN_RULES_ADDED),
+            trained.stats.rules_added as u64
+        );
+        assert_eq!(
+            m.counter(names::TRAIN_CONTRACTIONS),
+            trained.stats.contractions as u64
+        );
+        assert!(m.counter(names::TRAIN_INLINE_ITERATIONS) > 0);
+        assert!(m.gauge(names::TRAIN_RULES_PER_NT_PEAK).unwrap_or(0) > 0);
+        assert!(m.counter(names::BYTECODE_VALIDATE_PROCS) > 0);
+        // The span hierarchy nests ingest and expand under train.
+        for span in ["train", "train.ingest", "train.expand"] {
+            assert!(m.span_stat(span).is_some(), "missing span {span}");
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use predict::PredictTable;
 
 use hash::U64Map;
 use pgr_grammar::{Derivation, Grammar, Nt, RuleId, Symbol, Terminal};
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::fmt;
 
 /// An error from the shortest-derivation parser.
@@ -132,6 +133,15 @@ impl Column {
     }
 }
 
+/// Per-parse item tallies, accumulated in locals and flushed to the
+/// recorder once per [`ShortestParser::parse`] call.
+#[derive(Default)]
+struct ParseCounts {
+    predicted: u64,
+    scanned: u64,
+    completed: u64,
+}
+
 /// A shortest-derivation Earley parser for a fixed grammar snapshot.
 ///
 /// Construction precomputes FIRST-filtered prediction tables, so build it
@@ -140,14 +150,22 @@ impl Column {
 pub struct ShortestParser<'g> {
     grammar: &'g Grammar,
     predict: PredictTable,
+    recorder: Recorder,
 }
 
 impl<'g> ShortestParser<'g> {
     /// Build a parser (and its prediction tables) for `grammar`.
     pub fn new(grammar: &'g Grammar) -> ShortestParser<'g> {
+        ShortestParser::with_recorder(grammar, Recorder::disabled())
+    }
+
+    /// Build a parser that reports `earley.*` metrics (items predicted /
+    /// scanned / completed, chart high-water mark) into `recorder`.
+    pub fn with_recorder(grammar: &'g Grammar, recorder: Recorder) -> ShortestParser<'g> {
         ShortestParser {
             grammar,
             predict: PredictTable::build(grammar),
+            recorder,
         }
     }
 
@@ -174,8 +192,16 @@ impl<'g> ShortestParser<'g> {
         let mut chart: Vec<Column> = (0..=n).map(|_| Column::new(nt_count)).collect();
         let mut work: Vec<u32> = Vec::new();
         let mut furthest = 0usize;
+        let mut counts = ParseCounts::default();
 
-        self.predict_nt(&mut chart[0], 0, start, tokens.first().copied(), &mut work);
+        self.predict_nt(
+            &mut chart[0],
+            0,
+            start,
+            tokens.first().copied(),
+            &mut work,
+            &mut counts,
+        );
 
         for k in 0..=n {
             // Items scanned in from k-1 seed the worklist (for k = 0 the
@@ -194,6 +220,7 @@ impl<'g> ShortestParser<'g> {
                     match rule.rhs[s.dot as usize] {
                         Symbol::T(t) => {
                             if next_tok == Some(t) {
+                                counts.scanned += 1;
                                 let mut sink = Vec::new();
                                 Self::add_state(
                                     &mut chart[k + 1],
@@ -210,7 +237,14 @@ impl<'g> ShortestParser<'g> {
                         }
                         Symbol::N(b) => {
                             if !chart[k].predicted[b.index()] {
-                                self.predict_nt(&mut chart[k], k as u32, b, next_tok, &mut work);
+                                self.predict_nt(
+                                    &mut chart[k],
+                                    k as u32,
+                                    b,
+                                    next_tok,
+                                    &mut work,
+                                    &mut counts,
+                                );
                             }
                             if !chart[k].waiting[b.index()].contains(&si) {
                                 chart[k].waiting[b.index()].push(si);
@@ -237,6 +271,7 @@ impl<'g> ShortestParser<'g> {
                     }
                 } else {
                     // Completion: `lhs` spans (origin, k) with cost s.cost.
+                    counts.completed += 1;
                     let b = rule.lhs;
                     let ckey = completed_key(b, s.origin);
                     let improved = match chart[k].completed.get(ckey) {
@@ -281,11 +316,30 @@ impl<'g> ShortestParser<'g> {
         }
 
         let goal = completed_key(start, 0);
-        let Some(slot) = chart[n].completed.get(goal) else {
-            return Err(NoParse { furthest });
+        let outcome = match chart[n].completed.get(goal) {
+            Some(slot) => {
+                let (_, root_idx) = chart[n].completed_info[slot as usize];
+                Ok(self.reconstruct(&chart, n, root_idx))
+            }
+            None => Err(NoParse { furthest }),
         };
-        let (_, root_idx) = chart[n].completed_info[slot as usize];
-        Ok(self.reconstruct(&chart, n, root_idx))
+
+        if self.recorder.is_enabled() {
+            let peak = chart.iter().map(|c| c.states.len()).max().unwrap_or(0);
+            let mut batch = Metrics::new();
+            batch.add(names::EARLEY_SEGMENTS_PARSED, 1);
+            batch.add(names::EARLEY_TOKENS, n as u64);
+            batch.add(names::EARLEY_ITEMS_PREDICTED, counts.predicted);
+            batch.add(names::EARLEY_ITEMS_SCANNED, counts.scanned);
+            batch.add(names::EARLEY_ITEMS_COMPLETED, counts.completed);
+            if outcome.is_err() {
+                batch.add(names::EARLEY_NO_PARSE, 1);
+            }
+            batch.gauge_max(names::EARLEY_CHART_STATES_PEAK, peak as u64);
+            self.recorder.record(batch);
+        }
+
+        outcome
     }
 
     fn predict_nt(
@@ -295,9 +349,11 @@ impl<'g> ShortestParser<'g> {
         nt: Nt,
         next: Option<Terminal>,
         work: &mut Vec<u32>,
+        counts: &mut ParseCounts,
     ) {
         col.predicted[nt.index()] = true;
         for &rule in self.predict.candidates(nt, next) {
+            counts.predicted += 1;
             let st = State {
                 rule,
                 dot: 0,

@@ -102,6 +102,36 @@ fn prefers_inlined_rules_when_cheaper() {
 }
 
 #[test]
+fn parse_reports_earley_metrics() {
+    use pgr_telemetry::{names, Recorder};
+
+    let ig = InitialGrammar::build();
+    let recorder = Recorder::new();
+    let parser = ShortestParser::with_recorder(&ig.grammar, recorder.clone());
+    let tokens = paper_segment();
+    parser.parse(ig.nt_start, &tokens).unwrap();
+
+    let m = recorder.snapshot();
+    assert_eq!(m.counter(names::EARLEY_SEGMENTS_PARSED), 1);
+    assert_eq!(m.counter(names::EARLEY_TOKENS), tokens.len() as u64);
+    assert!(m.counter(names::EARLEY_ITEMS_PREDICTED) > 0);
+    assert!(m.counter(names::EARLEY_ITEMS_SCANNED) >= tokens.len() as u64);
+    assert!(m.counter(names::EARLEY_ITEMS_COMPLETED) > 0);
+    assert_eq!(m.counter(names::EARLEY_NO_PARSE), 0);
+    assert!(m.gauge(names::EARLEY_CHART_STATES_PEAK).unwrap_or(0) > 0);
+
+    // A failing parse bumps the failure counter on the same recorder.
+    parser
+        .parse(ig.nt_x, &[Terminal::Op(Opcode::RETV); 2])
+        .unwrap_err();
+    assert_eq!(recorder.snapshot().counter(names::EARLEY_NO_PARSE), 1);
+    assert_eq!(
+        recorder.snapshot().counter(names::EARLEY_SEGMENTS_PARSED),
+        2
+    );
+}
+
+#[test]
 fn burnt_literals_participate_in_shortest_parses() {
     let ig = InitialGrammar::build();
     let mut g = ig.grammar.clone();

@@ -1,0 +1,406 @@
+//! The metrics registry value type and its monoid merge.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A compact histogram summary: count / sum / min / max. Used both for
+/// explicitly observed distributions and for span durations (in
+/// nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Hist {
+    /// A histogram holding a single observation.
+    pub fn single(value: u64) -> Hist {
+        Hist {
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    /// Fold one more observation in.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge two summaries (componentwise; commutative and associative).
+    pub fn merge(self, other: Hist) -> Hist {
+        Hist {
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A batch of named metrics: counters, gauges, histograms, and span
+/// timings.
+///
+/// `Metrics` is both the registry snapshot handed to [`Sink`]s and the
+/// unit of batched recording: hot loops accumulate into a local
+/// `Metrics` (or plain locals) and merge it into the shared
+/// [`Recorder`] once per unit of work.
+///
+/// Merging is a **commutative monoid** with [`Metrics::default`] as the
+/// identity — counters add, gauges keep the maximum (high-water-mark
+/// semantics), histograms and spans component-merge — so fold order
+/// never affects totals. The engine's scoped-thread fan-out depends on
+/// this; `tests/engine.rs` property-tests it.
+///
+/// [`Sink`]: crate::Sink
+/// [`Recorder`]: crate::Recorder
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+    spans: BTreeMap<String, Hist>,
+}
+
+impl Metrics {
+    /// An empty batch (the merge identity).
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Add `n` to the counter `name` (creating it at 0 first, so a
+    /// recorded-but-zero counter still appears in reports).
+    pub fn add(&mut self, name: impl Into<String>, n: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += n;
+    }
+
+    /// Raise the gauge `name` to at least `value` (high-water mark).
+    pub fn gauge_max(&mut self, name: impl Into<String>, value: u64) {
+        let slot = self.gauges.entry(name.into()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Fold `value` into the histogram `name`.
+    pub fn observe(&mut self, name: impl Into<String>, value: u64) {
+        self.hists
+            .entry(name.into())
+            .and_modify(|h| h.observe(value))
+            .or_insert_with(|| Hist::single(value));
+    }
+
+    /// Fold one span duration into the timing summary at `path`.
+    pub fn record_span(&mut self, path: impl Into<String>, duration: Duration) {
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        self.spans
+            .entry(path.into())
+            .and_modify(|h| h.observe(ns))
+            .or_insert_with(|| Hist::single(ns));
+    }
+
+    /// Absorb `other` into `self` (the in-place form of [`Metrics::merge`]).
+    pub fn merge_from(&mut self, other: Metrics) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.gauges {
+            let slot = self.gauges.entry(k).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (k, v) in other.hists {
+            self.hists
+                .entry(k)
+                .and_modify(|h| *h = h.merge(v))
+                .or_insert(v);
+        }
+        for (k, v) in other.spans {
+            self.spans
+                .entry(k)
+                .and_modify(|h| *h = h.merge(v))
+                .or_insert(v);
+        }
+    }
+
+    /// Combine two batches (commutative, associative, `Default` is the
+    /// identity).
+    #[must_use]
+    pub fn merge(mut self, other: Metrics) -> Metrics {
+        self.merge_from(other);
+        self
+    }
+
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram summary, if recorded.
+    pub fn hist(&self, name: &str) -> Option<Hist> {
+        self.hists.get(name).copied()
+    }
+
+    /// Span timing summary (durations in nanoseconds), if recorded.
+    pub fn span_stat(&self, path: &str) -> Option<Hist> {
+        self.spans.get(path).copied()
+    }
+
+    /// Total recorded duration of a span path (zero when absent).
+    pub fn span_total(&self, path: &str) -> Duration {
+        Duration::from_nanos(self.span_stat(path).map(|h| h.sum).unwrap_or(0))
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &BTreeMap<String, u64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn hists(&self) -> &BTreeMap<String, Hist> {
+        &self.hists
+    }
+
+    /// All span timings, sorted by path.
+    pub fn spans(&self) -> &BTreeMap<String, Hist> {
+        &self.spans
+    }
+
+    /// Render the batch as a stable JSON document (see
+    /// [`crate::SCHEMA`]): objects keyed by metric name under
+    /// `"counters"`, `"gauges"`, `"histograms"`, and `"spans"`, with
+    /// deterministic (sorted) key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"schema\": ");
+        push_json_str(&mut out, crate::SCHEMA);
+        out.push_str(",\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            sep(&mut out, &mut first);
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            sep(&mut out, &mut first);
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        let mut first = true;
+        for (k, h) in &self.hists {
+            sep(&mut out, &mut first);
+            push_json_str(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        let mut first = true;
+        for (k, h) in &self.spans {
+            sep(&mut out, &mut first);
+            push_json_str(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render the batch as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.hists.keys())
+            .chain(self.spans.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        if !self.spans.is_empty() {
+            out.push_str("spans (total / count / mean):\n");
+            for (k, h) in &self.spans {
+                out.push_str(&format!(
+                    "  {k:<width$}  {:>12?}  {:>8}  {:?}\n",
+                    Duration::from_nanos(h.sum),
+                    h.count,
+                    Duration::from_nanos(h.mean() as u64),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<width$}  {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (high-water marks):\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<width$}  {v:>12}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms (count / mean / min / max):\n");
+            for (k, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {k:<width$}  {:>8}  {:>10.1}  {:>8}  {:>8}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push_str("\n    ");
+}
+
+/// Append `s` as a JSON string literal (quotes + escapes).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_gauges_max() {
+        let mut a = Metrics::new();
+        a.add("c", 2);
+        a.gauge_max("g", 5);
+        let mut b = Metrics::new();
+        b.add("c", 3);
+        b.gauge_max("g", 4);
+        b.add("only_b", 0);
+        let m = a.merge(b);
+        assert_eq!(m.counter("c"), 5);
+        assert_eq!(m.gauge("g"), Some(5));
+        // A zero counter is still present (schema stability).
+        assert!(m.counters().contains_key("only_b"));
+        assert_eq!(m.counter("only_b"), 0);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_spot_checks() {
+        let mut a = Metrics::new();
+        a.observe("h", 10);
+        a.record_span("s", Duration::from_nanos(50));
+        let mut b = Metrics::new();
+        b.observe("h", 2);
+        b.record_span("s", Duration::from_nanos(7));
+        assert_eq!(a.clone().merge(b.clone()), b.merge(a));
+    }
+
+    #[test]
+    fn default_is_the_identity() {
+        let mut a = Metrics::new();
+        a.add("c", 9);
+        a.gauge_max("g", 1);
+        a.observe("h", 3);
+        assert_eq!(a.clone().merge(Metrics::default()), a);
+        assert_eq!(Metrics::default().merge(a.clone()), a);
+    }
+
+    #[test]
+    fn json_is_parseable_and_complete() {
+        let mut m = Metrics::new();
+        m.add("earley.items_completed", 7);
+        m.gauge_max("earley.chart_states_peak", 3);
+        m.observe("seg.len", 11);
+        m.record_span("compress.parse", Duration::from_micros(2));
+        let doc = crate::json::parse(&m.to_json()).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(crate::SCHEMA)
+        );
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("earley.items_completed").unwrap().as_u64(),
+            Some(7)
+        );
+        let span = doc.get("spans").unwrap().get("compress.parse").unwrap();
+        assert_eq!(span.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(span.get("total_ns").unwrap().as_u64(), Some(2000));
+    }
+
+    #[test]
+    fn table_rendering_mentions_every_name() {
+        let mut m = Metrics::new();
+        m.add("a.count", 1);
+        m.gauge_max("b.peak", 2);
+        m.record_span("c.phase", Duration::from_nanos(3));
+        let table = m.render_table();
+        for name in ["a.count", "b.peak", "c.phase"] {
+            assert!(table.contains(name), "{table}");
+        }
+    }
+}

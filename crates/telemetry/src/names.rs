@@ -1,0 +1,116 @@
+//! The stable metric-name schema.
+//!
+//! Every instrumented layer records under these dotted names; DESIGN.md
+//! §"Observability" documents the semantics and
+//! `schema/metrics.schema.json` pins the subset a `pgr compress
+//! --metrics json` run must emit (CI validates it, so renaming a metric
+//! is a deliberate, reviewed act — not silent drift).
+//!
+//! One family is dynamic: per-opcode VM dispatch counters are
+//! `vm.dispatch.<OPCODE>` (e.g. `vm.dispatch.ADDU`), built with
+//! [`vm_dispatch`].
+
+/// Trainer: programs parsed into the forest.
+pub const TRAIN_PROGRAMS: &str = "train.programs";
+/// Trainer: straight-line segments added to the forest.
+pub const TRAIN_SEGMENTS: &str = "train.segments";
+/// Trainer: tokens across all training segments.
+pub const TRAIN_TOKENS: &str = "train.tokens";
+/// Expander: greedy-loop iterations (heap pops examined).
+pub const TRAIN_INLINE_ITERATIONS: &str = "train.inline_iterations";
+/// Expander: edge contractions performed.
+pub const TRAIN_CONTRACTIONS: &str = "train.contractions";
+/// Expander: rules created by inlining.
+pub const TRAIN_RULES_ADDED: &str = "train.rules_added";
+/// Expander: inlines that reused an identical live rule.
+pub const TRAIN_RULES_REUSED: &str = "train.rules_reused";
+/// Expander: subsumed rules removed.
+pub const TRAIN_RULES_REMOVED: &str = "train.rules_removed";
+/// Expander: profitable edges skipped because their non-terminal hit the
+/// per-NT rule budget (§4.1 saturation).
+pub const TRAIN_SATURATED_SKIPS: &str = "train.saturated_skips";
+/// Expander gauge: largest rules-per-non-terminal after expansion.
+pub const TRAIN_RULES_PER_NT_PEAK: &str = "train.rules_per_nt_peak";
+
+/// Earley: segments parsed (one per `parse` call).
+pub const EARLEY_SEGMENTS_PARSED: &str = "earley.segments_parsed";
+/// Earley: input tokens across all parses.
+pub const EARLEY_TOKENS: &str = "earley.tokens";
+/// Earley: items added by prediction.
+pub const EARLEY_ITEMS_PREDICTED: &str = "earley.items_predicted";
+/// Earley: items advanced over a terminal.
+pub const EARLEY_ITEMS_SCANNED: &str = "earley.items_scanned";
+/// Earley: completion events processed (including cost improvements).
+pub const EARLEY_ITEMS_COMPLETED: &str = "earley.items_completed";
+/// Earley: parses that failed with `NoParse`.
+pub const EARLEY_NO_PARSE: &str = "earley.no_parse";
+/// Earley gauge: chart size high-water mark (states in the fullest
+/// column of any parse).
+pub const EARLEY_CHART_STATES_PEAK: &str = "earley.chart_states_peak";
+
+/// Engine: `Compressor::compress` calls.
+pub const COMPRESS_CALLS: &str = "compress.calls";
+/// Engine: segments encoded (cache hits included).
+pub const COMPRESS_SEGMENTS: &str = "compress.segments";
+/// Engine: canonical input bytes.
+pub const COMPRESS_ORIGINAL_BYTES: &str = "compress.original_bytes";
+/// Engine: compressed output bytes.
+pub const COMPRESS_COMPRESSED_BYTES: &str = "compress.compressed_bytes";
+/// Engine span: canonicalization phase.
+pub const SPAN_COMPRESS_CANONICALIZE: &str = "compress.canonicalize";
+/// Engine span: tokenize phase (summed across workers).
+pub const SPAN_COMPRESS_TOKENIZE: &str = "compress.tokenize";
+/// Engine span: Earley parse phase (summed across workers).
+pub const SPAN_COMPRESS_PARSE: &str = "compress.parse";
+/// Engine span: stream assembly and label rewriting.
+pub const SPAN_COMPRESS_EMIT: &str = "compress.emit";
+
+/// Decompressor: programs expanded back to original bytecode.
+pub const DECOMPRESS_CALLS: &str = "decompress.calls";
+/// Decompressor: original bytecode bytes reproduced.
+pub const DECOMPRESS_BYTES: &str = "decompress.bytes";
+/// Decompressor span: whole derivation-expansion pass.
+pub const SPAN_DECOMPRESS: &str = "decompress";
+
+/// Segment cache: answered from the memo.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Segment cache: parsed fresh.
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Segment cache gauge: resident entries.
+pub const CACHE_ENTRIES: &str = "cache.entries";
+/// Segment cache gauge: configured capacity.
+pub const CACHE_CAPACITY: &str = "cache.capacity";
+
+/// Validator: procedures checked.
+pub const BYTECODE_VALIDATE_PROCS: &str = "bytecode.validate.procs";
+/// Validator: instructions visited by the stack-discipline scan.
+pub const BYTECODE_VALIDATE_INSNS: &str = "bytecode.validate.insns";
+/// Rewrite pass: instructions visited.
+pub const BYTECODE_REWRITE_VISITED: &str = "bytecode.rewrite.visited";
+/// Rewrite pass: instructions removed.
+pub const BYTECODE_REWRITE_REMOVED: &str = "bytecode.rewrite.removed";
+/// Rewrite pass: instructions replaced.
+pub const BYTECODE_REWRITE_REPLACED: &str = "bytecode.rewrite.replaced";
+/// Rewrite pass: label-table entries re-pointed at moved markers.
+pub const BYTECODE_REWRITE_LABEL_FIXUPS: &str = "bytecode.rewrite.label_fixups";
+
+/// VM: executed operator/derivation steps (equals `RunResult::steps`).
+pub const VM_STEPS: &str = "vm.steps";
+/// VM: bytecoded procedure calls.
+pub const VM_CALLS: &str = "vm.calls";
+/// VM: rules selected during `interp_nt` derivation walks.
+pub const VM_RULES_WALKED: &str = "vm.rules_walked";
+/// VM gauge: procedure-call depth high-water mark.
+pub const VM_CALL_DEPTH_PEAK: &str = "vm.call_depth_peak";
+/// VM gauge: `interp_nt` rule-walk depth high-water mark.
+pub const VM_WALK_DEPTH_PEAK: &str = "vm.walk_depth_peak";
+/// VM gauge: operand-stack depth high-water mark.
+pub const VM_OPERAND_STACK_PEAK: &str = "vm.operand_stack_peak";
+/// Prefix of the per-opcode dispatch counter family.
+pub const VM_DISPATCH_PREFIX: &str = "vm.dispatch.";
+
+/// The per-opcode dispatch counter name for `opcode_name`
+/// (`vm.dispatch.ADDU`, …).
+pub fn vm_dispatch(opcode_name: &str) -> String {
+    format!("{VM_DISPATCH_PREFIX}{opcode_name}")
+}

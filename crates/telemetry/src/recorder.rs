@@ -1,0 +1,284 @@
+//! The shared recorder handle, span guards, and the gated stopwatch.
+
+use crate::metrics::Metrics;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    enabled: AtomicBool,
+    metrics: Mutex<Metrics>,
+}
+
+impl Inner {
+    fn new(enabled: bool) -> Inner {
+        Inner {
+            enabled: AtomicBool::new(enabled),
+            metrics: Mutex::new(Metrics::new()),
+        }
+    }
+}
+
+thread_local! {
+    /// The active span path on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A cloneable handle onto one shared metrics registry.
+///
+/// Cloning is an `Arc` bump; clones observe and mutate the same
+/// registry, which is how the engine's scoped worker threads and the
+/// layers below it (parser, VM) all report into one place. The handle is
+/// `Send + Sync`.
+///
+/// The default handle is **disabled**: every recording call is a no-op
+/// after a single relaxed atomic load, and [`Recorder::disabled`] hands
+/// out a process-wide shared instance so default-constructing configs
+/// allocates nothing. Enable telemetry by constructing with
+/// [`Recorder::new`] and threading the handle through the relevant
+/// config (`CompressorConfig`-adjacent builders, `TrainConfig`,
+/// `VmConfig`).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    /// The shared disabled handle (see [`Recorder::disabled`]).
+    fn default() -> Recorder {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A fresh, **enabled** recorder with an empty registry.
+    #[allow(clippy::new_without_default)] // Default is the disabled handle
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Arc::new(Inner::new(true)),
+        }
+    }
+
+    /// The process-wide **disabled** recorder: recording into it is a
+    /// no-op, checking it is one relaxed atomic load, and obtaining it
+    /// never allocates (all calls share one static instance).
+    pub fn disabled() -> Recorder {
+        static DISABLED: OnceLock<Arc<Inner>> = OnceLock::new();
+        Recorder {
+            inner: DISABLED.get_or_init(|| Arc::new(Inner::new(false))).clone(),
+        }
+    }
+
+    /// Whether this handle records anything. Hot paths load this once
+    /// per unit of work (one parse, one VM run) and branch on the local.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to counter `name`. No-op when disabled.
+    pub fn add(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.lock().add(name, n);
+        }
+    }
+
+    /// Raise gauge `name` to at least `value`. No-op when disabled.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.lock().gauge_max(name, value);
+        }
+    }
+
+    /// Fold `value` into histogram `name`. No-op when disabled.
+    pub fn observe(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.lock().observe(name, value);
+        }
+    }
+
+    /// Fold a duration into the span summary at `path` directly,
+    /// bypassing the thread-local span stack. Used for phases measured
+    /// on worker threads and aggregated by the coordinator (the span
+    /// stack is per-thread, so guard-based nesting cannot name them).
+    pub fn record_span(&self, path: &str, duration: Duration) {
+        if self.is_enabled() {
+            self.lock().record_span(path, duration);
+        }
+    }
+
+    /// Merge a locally accumulated batch into the registry. This is the
+    /// preferred hot-path pattern: count into locals, flush once.
+    /// No-op when disabled.
+    pub fn record(&self, batch: Metrics) {
+        if self.is_enabled() && !batch.is_empty() {
+            self.lock().merge_from(batch);
+        }
+    }
+
+    /// Open a timing span named `name`, nested under any span already
+    /// open **on this thread**; the guard records `outer.inner` dotted
+    /// paths into the registry when dropped. Inert (no clock read, no
+    /// allocation) when disabled.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                recorder: self,
+                start: None,
+            };
+        }
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        Span {
+            recorder: self,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Metrics {
+        self.lock().clone()
+    }
+
+    /// Drain the registry, leaving it empty (useful between benchmark
+    /// iterations).
+    pub fn take(&self) -> Metrics {
+        std::mem::take(&mut *self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Metrics> {
+        self.inner.metrics.lock().expect("telemetry registry lock")
+    }
+}
+
+/// An RAII timing guard from [`Recorder::span`]. On drop it records the
+/// elapsed wall-clock time under the dotted path of every span open on
+/// this thread (`train`, `train.expand`, …).
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span<'r> {
+    recorder: &'r Recorder,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join(".");
+            stack.pop();
+            path
+        });
+        self.recorder.record_span(&path, elapsed);
+    }
+}
+
+/// A clock that only ticks when asked to: `start_if(false)` never reads
+/// the monotonic clock and always reports a zero duration.
+///
+/// All phase timing in the engine routes through this type, gated on one
+/// "is anything observing?" check (`collect_timings` or an enabled
+/// recorder), which is what guarantees the disabled path pays no
+/// `Instant::now()` calls anywhere — including branches that previously
+/// timed unconditionally.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Start the clock only when `enabled` is true.
+    #[inline]
+    pub fn start_if(enabled: bool) -> Stopwatch {
+        Stopwatch(enabled.then(Instant::now))
+    }
+
+    /// Elapsed time since start (zero when the clock never started).
+    #[inline]
+    pub fn elapsed(self) -> Duration {
+        self.0.map(|t| t.elapsed()).unwrap_or_default()
+    }
+
+    /// Whether the clock is running.
+    pub fn is_running(self) -> bool {
+        self.0.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let r = Recorder::disabled();
+        r.add("c", 5);
+        r.gauge_max("g", 5);
+        r.observe("h", 5);
+        {
+            let _s = r.span("phase");
+        }
+        assert!(r.snapshot().is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn disabled_handles_are_shared() {
+        let a = Recorder::disabled();
+        let b = Recorder::default();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let r = Recorder::new();
+        let c = r.clone();
+        c.add("x", 1);
+        r.add("x", 2);
+        assert_eq!(r.snapshot().counter("x"), 3);
+        assert_eq!(r.take().counter("x"), 3);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_into_dotted_paths() {
+        let r = Recorder::new();
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let m = r.snapshot();
+        let inner = m.span_stat("outer.inner").expect("inner recorded");
+        let outer = m.span_stat("outer").expect("outer recorded");
+        assert_eq!(inner.count, 1);
+        assert!(outer.sum >= inner.sum, "outer contains inner");
+    }
+
+    #[test]
+    fn sibling_threads_do_not_inherit_span_context() {
+        let r = Recorder::new();
+        let _outer = r.span("outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _worker = r.span("worker");
+            });
+        });
+        // The worker's stack was empty, so its span is top-level.
+        assert!(r.snapshot().span_stat("worker").is_some());
+        assert!(r.snapshot().span_stat("outer.worker").is_none());
+    }
+
+    #[test]
+    fn stopwatch_only_ticks_when_enabled() {
+        let off = Stopwatch::start_if(false);
+        assert!(!off.is_running());
+        assert_eq!(off.elapsed(), Duration::ZERO);
+        let on = Stopwatch::start_if(true);
+        assert!(on.is_running());
+    }
+}

@@ -1,0 +1,54 @@
+//! Where metric reports go: a tiny sink abstraction with human-table and
+//! JSON implementations.
+
+use crate::metrics::Metrics;
+use std::io::{self, Write};
+
+/// A destination for one [`Metrics`] report.
+///
+/// Sinks are deliberately dumb — rendering lives on [`Metrics`] itself
+/// (`to_json`, `render_table`), so a custom sink (a log shipper, a CI
+/// artifact writer) only decides *where* bytes go.
+pub trait Sink {
+    /// Emit one report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn emit(&mut self, metrics: &Metrics) -> io::Result<()>;
+}
+
+/// Render as an aligned, human-readable table.
+pub struct TableSink<W: Write>(pub W);
+
+impl<W: Write> Sink for TableSink<W> {
+    fn emit(&mut self, metrics: &Metrics) -> io::Result<()> {
+        self.0.write_all(metrics.render_table().as_bytes())
+    }
+}
+
+/// Render as the stable `pgr-metrics/1` JSON document.
+pub struct JsonSink<W: Write>(pub W);
+
+impl<W: Write> Sink for JsonSink<W> {
+    fn emit(&mut self, metrics: &Metrics) -> io::Result<()> {
+        self.0.write_all(metrics.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sinks_write_something() {
+        let mut m = Metrics::new();
+        m.add("x", 1);
+        let mut table = Vec::new();
+        TableSink(&mut table).emit(&m).unwrap();
+        assert!(String::from_utf8(table).unwrap().contains('x'));
+        let mut json = Vec::new();
+        JsonSink(&mut json).emit(&m).unwrap();
+        crate::json::parse(std::str::from_utf8(&json).unwrap()).unwrap();
+    }
+}

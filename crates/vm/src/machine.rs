@@ -18,6 +18,7 @@ use crate::natives::{self, Native, NativeOutcome};
 use crate::value::Slot;
 use pgr_bytecode::{GlobalEntry, Opcode, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
+use pgr_telemetry::{names, Metrics, Recorder};
 use std::collections::VecDeque;
 
 /// First mapped data address (0 stays unmapped so null faults).
@@ -54,6 +55,11 @@ pub struct VmConfig {
     /// in [`RunResult::trace`]; tracing is identical for both
     /// interpreters, which makes diverging runs easy to diff.
     pub trace_limit: usize,
+    /// Telemetry destination for `vm.*` counters (per-opcode dispatch,
+    /// calls, rule walks) and depth gauges. Defaults to the shared
+    /// disabled recorder; the interpreter loops check one cached flag
+    /// and touch nothing else when disabled.
+    pub recorder: Recorder,
 }
 
 impl Default for VmConfig {
@@ -66,6 +72,7 @@ impl Default for VmConfig {
             host_stack_bytes: 32 << 20,
             input: Vec::new(),
             trace_limit: 0,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -153,6 +160,18 @@ pub struct Vm<'p> {
     host_stack_bytes: usize,
     trace: Vec<TraceEvent>,
     trace_limit: usize,
+    recorder: Recorder,
+    /// Cached `recorder.is_enabled()`; hoisted at build time so the
+    /// interpreter loops pay one branch, never an atomic load.
+    telemetry_on: bool,
+    /// Per-opcode dispatch counts indexed by opcode byte (256 entries
+    /// when telemetry is on, empty otherwise).
+    dispatch: Vec<u64>,
+    calls: u64,
+    rules_walked: u64,
+    call_depth_peak: usize,
+    walk_depth_peak: usize,
+    operand_stack_peak: usize,
 }
 
 impl<'p> Vm<'p> {
@@ -245,6 +264,18 @@ impl<'p> Vm<'p> {
             host_stack_bytes: config.host_stack_bytes,
             trace: Vec::new(),
             trace_limit: config.trace_limit,
+            telemetry_on: config.recorder.is_enabled(),
+            dispatch: if config.recorder.is_enabled() {
+                vec![0; 256]
+            } else {
+                Vec::new()
+            },
+            recorder: config.recorder,
+            calls: 0,
+            rules_walked: 0,
+            call_depth_peak: 0,
+            walk_depth_peak: 0,
+            operand_stack_peak: 0,
         })
     }
 
@@ -270,7 +301,9 @@ impl<'p> Vm<'p> {
 
     fn run_on_this_thread(&mut self) -> Result<RunResult, VmError> {
         let entry = self.program.entry as u16;
-        match self.call_descriptor(entry) {
+        let outcome = self.call_descriptor(entry);
+        self.flush_telemetry();
+        match outcome {
             Ok(ret) => Ok(RunResult {
                 exit_code: None,
                 ret,
@@ -287,6 +320,29 @@ impl<'p> Vm<'p> {
             }),
             Err(Stop::Error(e)) => Err(e),
         }
+    }
+
+    /// Ship the accumulated `vm.*` counters and depth gauges to the
+    /// recorder. Called once per run, on success and failure alike, so
+    /// aborted programs still report the work they did.
+    fn flush_telemetry(&mut self) {
+        if !self.telemetry_on {
+            return;
+        }
+        let mut batch = Metrics::new();
+        batch.add(names::VM_STEPS, self.steps);
+        batch.add(names::VM_CALLS, self.calls);
+        batch.add(names::VM_RULES_WALKED, self.rules_walked);
+        batch.gauge_max(names::VM_CALL_DEPTH_PEAK, self.call_depth_peak as u64);
+        batch.gauge_max(names::VM_WALK_DEPTH_PEAK, self.walk_depth_peak as u64);
+        batch.gauge_max(names::VM_OPERAND_STACK_PEAK, self.operand_stack_peak as u64);
+        for (byte, &count) in self.dispatch.iter().enumerate() {
+            if count > 0 {
+                let label = Opcode::from_u8(byte as u8).map_or("unknown", Opcode::name);
+                batch.add(names::vm_dispatch(label), count);
+            }
+        }
+        self.recorder.record(batch);
     }
 
     /// Resolved address of a global-table entry.
@@ -382,6 +438,12 @@ impl<'p> Vm<'p> {
         let saved_stack = self.stack_next;
         self.stack_next = frame_end;
         self.depth += 1;
+        if self.telemetry_on {
+            self.calls += 1;
+            if self.depth > self.call_depth_peak {
+                self.call_depth_peak = self.depth;
+            }
+        }
         let frame = FrameCtx {
             proc_idx,
             args_base,
@@ -452,10 +514,17 @@ impl<'p> Vm<'p> {
             let mut operands = [0u8; 4];
             operands[..n].copy_from_slice(&code[pc + 1..pc + 1 + n]);
             pc += 1 + n;
+            if self.telemetry_on {
+                self.dispatch[usize::from(byte)] += 1;
+            }
             if self.trace_limit > 0 {
                 self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
             }
-            match self.exec_op(op, operands, frame, &mut stack)? {
+            let flow = self.exec_op(op, operands, frame, &mut stack)?;
+            if self.telemetry_on && stack.len() > self.operand_stack_peak {
+                self.operand_stack_peak = stack.len();
+            }
+            match flow {
                 Flow::Continue => {}
                 Flow::Branch(label) => {
                     let target = proc
@@ -517,6 +586,12 @@ impl<'p> Vm<'p> {
                     return Err(corrupt(pc - 1, "no such start rule"));
                 };
                 walk.push((rule, 0));
+                if self.telemetry_on {
+                    self.rules_walked += 1;
+                    if walk.len() > self.walk_depth_peak {
+                        self.walk_depth_peak = walk.len();
+                    }
+                }
                 continue;
             }
 
@@ -538,6 +613,12 @@ impl<'p> Vm<'p> {
                         return Err(corrupt(pc - 1, "no such rule for non-terminal"));
                     };
                     walk.push((child, 0));
+                    if self.telemetry_on {
+                        self.rules_walked += 1;
+                        if walk.len() > self.walk_depth_peak {
+                            self.walk_depth_peak = walk.len();
+                        }
+                    }
                 }
                 Symbol::T(Terminal::Byte(_)) => {
                     return Err(corrupt(pc, "literal byte not owned by an opcode"));
@@ -565,10 +646,17 @@ impl<'p> Vm<'p> {
                     }
                     walk.last_mut().expect("walk is non-empty").1 = p;
 
+                    if self.telemetry_on {
+                        self.dispatch[usize::from(op as u8)] += 1;
+                    }
                     if self.trace_limit > 0 {
                         self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
                     }
-                    match self.exec_op(op, operands, frame, &mut stack)? {
+                    let flow = self.exec_op(op, operands, frame, &mut stack)?;
+                    if self.telemetry_on && stack.len() > self.operand_stack_peak {
+                        self.operand_stack_peak = stack.len();
+                    }
+                    match flow {
                         Flow::Continue => {}
                         Flow::Branch(label) => {
                             let target =

@@ -222,3 +222,40 @@ fn malloc_returns_distinct_aligned_blocks() {
     // Second block minus first block: 8 (3 rounded up to alignment).
     assert_eq!(vm.run().unwrap().ret.u(), 8);
 }
+
+#[test]
+fn telemetry_counts_dispatch_calls_and_peaks() {
+    use pgr_telemetry::{names, Recorder};
+
+    // main calls f twice; f pushes two slots before returning one.
+    let src = "proc main frame=0 args=0\n\
+               \tLocalCALLU 1\n\tPOPU\n\tLocalCALLU 1\n\tRETU\nendproc\n\
+               proc f frame=0 args=0\n\
+               \tLIT1 2\n\tLIT1 3\n\tADDU\n\tRETU\nendproc\nentry main\n";
+    let program = assemble(src).unwrap();
+    let recorder = Recorder::new();
+    let config = VmConfig {
+        recorder: recorder.clone(),
+        ..VmConfig::default()
+    };
+    let mut vm = Vm::new(&program, config).unwrap();
+    let result = vm.run().unwrap();
+
+    let m = recorder.snapshot();
+    assert_eq!(m.counter(names::VM_STEPS), result.steps);
+    // main + two calls of f.
+    assert_eq!(m.counter(names::VM_CALLS), 3);
+    assert_eq!(m.gauge(names::VM_CALL_DEPTH_PEAK), Some(2));
+    // f holds two slots (the LIT1 pair) before ADDU folds them.
+    assert_eq!(m.gauge(names::VM_OPERAND_STACK_PEAK), Some(2));
+    // Per-opcode dispatch: ADDU runs once per call of f.
+    assert_eq!(m.counter(&names::vm_dispatch("ADDU")), 2);
+    assert_eq!(m.counter(&names::vm_dispatch("LocalCALLU")), 2);
+    // Plain interpreter never walks grammar rules.
+    assert_eq!(m.counter(names::VM_RULES_WALKED), 0);
+
+    // A disabled recorder leaves no trace.
+    let mut quiet = Vm::new(&program, VmConfig::default()).unwrap();
+    quiet.run().unwrap();
+    assert!(Recorder::disabled().snapshot().is_empty());
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a `pgr ... --metrics json` document against the checked-in
+schema, stdlib-only (CI runners have no jsonschema package).
+
+    python3 schema/validate.py schema/metrics.schema.json out.json [command]
+
+Checks the generic pgr-metrics/1 shape (sections, name patterns, integer
+fields) and, when `command` (train | compress | run) is given, that every
+metric name the schema pins for that command is present — so renaming or
+dropping a documented metric fails CI instead of drifting silently.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"metrics schema violation: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_names(section, entries, pattern):
+    pat = re.compile(pattern)
+    for name in entries:
+        if not pat.match(name):
+            fail(f"{section} name {name!r} does not match {pattern!r}")
+
+
+def check_int(section, name, field, value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        fail(f"{section}[{name!r}].{field} = {value!r} is not a non-negative integer")
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    schema = json.load(open(sys.argv[1]))
+    doc = json.load(open(sys.argv[2]))
+    command = sys.argv[3] if len(sys.argv) == 4 else None
+
+    if not isinstance(doc, dict):
+        fail("root is not an object")
+    expected_tag = schema["properties"]["schema"]["const"]
+    if doc.get("schema") != expected_tag:
+        fail(f"schema tag {doc.get('schema')!r} != {expected_tag!r}")
+    sections = ("counters", "gauges", "histograms", "spans")
+    extra = set(doc) - set(sections) - {"schema"}
+    if extra:
+        fail(f"unexpected top-level keys {sorted(extra)}")
+    for section in sections:
+        if not isinstance(doc.get(section), dict):
+            fail(f"missing {section!r} object")
+        pattern = schema["properties"][section]["propertyNames"]["pattern"]
+        check_names(section, doc[section], pattern)
+
+    for section in ("counters", "gauges"):
+        for name, value in doc[section].items():
+            check_int(section, name, "value", value)
+    for section, fields in (
+        ("histograms", schema["definitions"]["hist"]["required"]),
+        ("spans", schema["definitions"]["span"]["required"]),
+    ):
+        for name, entry in doc[section].items():
+            if not isinstance(entry, dict) or set(entry) != set(fields):
+                fail(f"{section}[{name!r}] must have exactly fields {fields}")
+            for field in fields:
+                check_int(section, name, field, entry[field])
+
+    if command:
+        pinned = schema["x-required-keys"].get(command)
+        if pinned is None:
+            fail(f"unknown command {command!r} in x-required-keys")
+        for section in ("counters", "gauges", "spans"):
+            missing = [k for k in pinned[section] if k not in doc[section]]
+            if missing:
+                fail(f"{command} output lacks pinned {section}: {missing}")
+
+    print(f"{sys.argv[2]}: valid {expected_tag} document"
+          + (f" with all pinned {command} keys" if command else ""))
+
+
+if __name__ == "__main__":
+    main()

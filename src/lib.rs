@@ -62,6 +62,7 @@ pub use pgr_earley as earley;
 pub use pgr_grammar as grammar;
 pub use pgr_minic as minic;
 pub use pgr_native as native;
+pub use pgr_telemetry as telemetry;
 pub use pgr_vm as vm;
 
 /// The most commonly used names, for quick starts.
@@ -70,5 +71,6 @@ pub mod prelude {
     pub use pgr_bytecode::{Opcode, Program};
     pub use pgr_core::{train, Compressor, CompressorConfig, TrainConfig, Trained};
     pub use pgr_grammar::InitialGrammar;
+    pub use pgr_telemetry::{Metrics, Recorder};
     pub use pgr_vm::{Vm, VmConfig};
 }

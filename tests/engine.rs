@@ -129,3 +129,95 @@ proptest! {
         }
     }
 }
+
+// ---- telemetry --------------------------------------------------------
+
+use pgr::telemetry::{Metrics, Recorder};
+use std::time::Duration;
+
+/// An arbitrary metrics batch drawing names from a small pool so merges
+/// actually collide on keys.
+fn arb_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")]
+}
+
+fn arb_metrics() -> impl Strategy<Value = Metrics> {
+    let counter = (arb_name(), 0u64..1000);
+    let gauge = (arb_name(), 0u64..1000);
+    let obs = (arb_name(), 0u64..1000);
+    let span = (arb_name(), 0u64..1_000_000);
+    (
+        prop::collection::vec(counter, 0..6),
+        prop::collection::vec(gauge, 0..6),
+        prop::collection::vec(obs, 0..6),
+        prop::collection::vec(span, 0..6),
+    )
+        .prop_map(|(counters, gauges, obs, spans)| {
+            let mut m = Metrics::new();
+            for (k, v) in counters {
+                m.add(k, v);
+            }
+            for (k, v) in gauges {
+                m.gauge_max(k, v);
+            }
+            for (k, v) in obs {
+                m.observe(k, v);
+            }
+            for (k, ns) in spans {
+                m.record_span(k, Duration::from_nanos(ns));
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The metrics monoid: merge is associative and commutative, so
+    /// per-worker batches can land in any grouping and any order.
+    #[test]
+    fn metrics_merge_is_associative_and_commutative(
+        a in arb_metrics(),
+        b in arb_metrics(),
+        c in arb_metrics(),
+    ) {
+        let ab_c = a.clone().merge(b.clone()).merge(c.clone());
+        let a_bc = a.clone().merge(b.clone().merge(c.clone()));
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let ab = a.clone().merge(b.clone());
+        let ba = b.merge(a);
+        prop_assert_eq!(&ab, &ba);
+
+        // The empty batch is the identity.
+        prop_assert_eq!(&ab_c.clone().merge(Metrics::new()), &ab_c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel and sequential compression record identical counter and
+    /// gauge totals — the strided fan-out merges worker batches into the
+    /// same sums the single-threaded path produces. (Spans are excluded:
+    /// wall-clock durations are never deterministic.)
+    #[test]
+    fn parallel_and_sequential_record_identical_counters(config in arb_config()) {
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+
+        let mut totals = Vec::new();
+        for threads in [1usize, 4] {
+            let recorder = Recorder::new();
+            let engine = trained.compressor_with_recorder(
+                CompressorConfig::default().threads(threads).segment_cache_capacity(0),
+                recorder.clone(),
+            );
+            engine.compress(&program).unwrap();
+            let m = recorder.take();
+            totals.push((m.counters().clone(), m.gauges().clone()));
+        }
+        prop_assert_eq!(&totals[0], &totals[1]);
+    }
+}
