@@ -51,6 +51,17 @@ fn bench_compress_parallel(c: &mut Criterion) {
         "cache: {} hits / {} misses ({} entries, cap {})",
         cs.hits, cs.misses, cs.entries, cs.capacity
     );
+
+    // When the PGR_BENCH_METRICS_DIR hook is armed, ship the instrumented
+    // compress run as BENCH_compress.json (the committed baseline).
+    if pgr_bench::telemetry::metrics_dir().is_some() {
+        let m = pgr_bench::telemetry::compress_metrics();
+        match pgr_bench::telemetry::dump("compress", &m) {
+            Ok(Some(path)) => println!("metrics dumped to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("metrics dump failed: {e}"),
+        }
+    }
 }
 
 criterion_group!(benches, bench_compress_parallel);

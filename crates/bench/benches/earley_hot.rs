@@ -1,0 +1,80 @@
+//! The Earley hot path itself: fresh per-parse scratch vs one reused
+//! [`ChartArena`], over every straight-line segment of the gzip corpus
+//! under an expanded grammar. This isolates the allocation/clearing cost
+//! the arena removes from the per-segment path — no tokenizing, caching,
+//! or emit work in the loop — and is the before/after evidence for the
+//! README "Performance" table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pgr_bytecode::{instrs, Opcode};
+use pgr_core::{canonicalize_program, train, TrainConfig};
+use pgr_corpus::{corpus, CorpusName};
+use pgr_earley::{ChartArena, ShortestParser};
+use pgr_grammar::initial::tokenize_segment;
+use pgr_grammar::Terminal;
+
+/// Every straight-line segment of the corpus, canonicalized and
+/// tokenized — exactly the inputs the compressor hands the parser.
+fn corpus_segments() -> (pgr_core::Trained, Vec<Vec<Terminal>>) {
+    let gzip = corpus(CorpusName::Gzip);
+    let trained = train(&gzip.refs(), &TrainConfig::default()).unwrap();
+    let mut segments = Vec::new();
+    for p in &gzip.programs {
+        let canon = canonicalize_program(p).unwrap();
+        for proc in &canon.procs {
+            let mut seg_start = 0usize;
+            let mut push = |range: std::ops::Range<usize>| {
+                segments.push(tokenize_segment(&proc.code[range]).unwrap());
+            };
+            for insn in instrs(&proc.code) {
+                let insn = insn.expect("canonical code decodes");
+                if insn.opcode == Opcode::LABELV {
+                    if insn.offset > seg_start {
+                        push(seg_start..insn.offset);
+                    }
+                    seg_start = insn.offset + 1;
+                }
+            }
+            if proc.code.len() > seg_start {
+                push(seg_start..proc.code.len());
+            }
+        }
+    }
+    (trained, segments)
+}
+
+fn bench_earley_hot(c: &mut Criterion) {
+    let (trained, segments) = corpus_segments();
+    let parser = ShortestParser::new(trained.expanded());
+    let start = trained.initial().nt_start;
+    let tokens: u64 = segments.iter().map(|s| s.len() as u64).sum();
+    println!(
+        "earley_hot: {} segments, {} tokens, {} table bytes",
+        segments.len(),
+        tokens,
+        parser.table_bytes()
+    );
+
+    let mut group = c.benchmark_group("earley_hot");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tokens));
+    group.bench_function("fresh_parser", |b| {
+        b.iter(|| {
+            for s in &segments {
+                std::hint::black_box(parser.parse(start, s).unwrap());
+            }
+        })
+    });
+    group.bench_function("reused_arena", |b| {
+        let mut arena = ChartArena::new();
+        b.iter(|| {
+            for s in &segments {
+                std::hint::black_box(parser.parse_into(&mut arena, start, s).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_earley_hot);
+criterion_main!(benches);

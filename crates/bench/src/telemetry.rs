@@ -42,6 +42,23 @@ pub fn dump(name: &str, metrics: &Metrics) -> std::io::Result<Option<PathBuf>> {
     Ok(Some(path))
 }
 
+/// Run an instrumented compress of the gzip corpus under its own trained
+/// grammar (training itself is unobserved) and return exactly what a
+/// `pgr compress --metrics json` run records: `compress.*`, `cache.*`,
+/// and `earley.*` families. This is the `BENCH_compress.json` baseline
+/// the repo commits and CI re-validates.
+pub fn compress_metrics() -> Metrics {
+    let c = corpus(CorpusName::Gzip);
+    let trained = train(&c.refs(), &TrainConfig::default()).expect("gzip corpus trains");
+    let recorder = pgr_telemetry::Recorder::new();
+    let engine =
+        trained.compressor_with_recorder(pgr_core::CompressorConfig::default(), recorder.clone());
+    for p in &c.programs {
+        engine.compress(p).expect("gzip corpus compresses");
+    }
+    recorder.snapshot()
+}
+
 /// Run an instrumented train + self-compress of the gzip corpus and
 /// return everything the pipeline recorded: trainer, validator, Earley,
 /// cache, and per-phase span metrics.

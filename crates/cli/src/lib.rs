@@ -65,7 +65,7 @@ fn usage() -> String {
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
-     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--timings]\n\
+     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
      \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
      \x20 stats <in.pgrb>\n\
@@ -108,6 +108,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--stdin"
             || a == "--trace"
             || a == "--threads"
+            || a == "--batch-bytes"
             || a == "--metrics"
             || a == "--metrics-out"
             || a == "-p"
@@ -341,9 +342,15 @@ fn compress(args: &[String]) -> Result<i32, String> {
     };
     let timings = flag(args, "--timings");
     let metrics = metrics_opts(args)?;
-    let config = pgr_core::CompressorConfig::default()
+    let mut config = pgr_core::CompressorConfig::default()
         .threads(threads)
         .collect_timings(timings);
+    if let Some(v) = opt_value(args, "--batch-bytes") {
+        config = config.batch_bytes(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --batch-bytes {v:?}"))?,
+        );
+    }
     let engine =
         pgr_core::Compressor::with_recorder(&grammar, start, config, recorder_of(&metrics));
     let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;

@@ -18,14 +18,25 @@
 //! monoid fold — instead of threading a `&mut` accumulator through the
 //! pipeline.
 //!
+//! Two hot-path mechanics keep the fan-out cheap. Each worker owns one
+//! [`ChartArena`] for its whole stint, so Earley scratch is allocated
+//! once per worker and merely cleared between segments
+//! ([`ShortestParser::parse_into`]). And segments are dispatched in
+//! contiguous *batches* of roughly [`CompressorConfig::batch_bytes`]
+//! input bytes: bytecode corpora are dominated by 3–15-byte statements,
+//! and batching amortizes the per-job bookkeeping over many of them
+//! while still spreading long procedures across the pool (batches are
+//! strided, results are keyed by job index, so the output bytes never
+//! depend on either knob).
+//!
 //! The worker pool is scoped `std::thread` fan-out rather than a rayon
 //! dependency: the build environment vendors no external crates, and the
-//! strided job split below gives the same determinism guarantees.
+//! strided batch split below gives the same determinism guarantees.
 
 use crate::canonical::canonicalize_program;
 use crate::compress::{decompress_program, CompressError, CompressedProgram, CompressionStats};
 use pgr_bytecode::{instrs, Opcode, Procedure, Program};
-use pgr_earley::ShortestParser;
+use pgr_earley::{ChartArena, ShortestParser};
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Grammar, Nt, Terminal};
 use pgr_telemetry::{names, Metrics, Recorder, Stopwatch};
@@ -89,6 +100,11 @@ pub struct CompressorConfig {
     /// Maximum number of tokenized segments memoized in the derivation
     /// cache. `0` disables the cache.
     pub segment_cache_capacity: usize,
+    /// Approximate input bytes per dispatch batch: contiguous segments
+    /// are grouped until their byte lengths reach this, and workers claim
+    /// whole batches. `0` dispatches per segment. Never affects output
+    /// bytes, only scheduling granularity.
+    pub batch_bytes: usize,
     /// Whether to measure per-phase wall-clock time into
     /// [`CompressionStats::timings`].
     pub collect_timings: bool,
@@ -99,6 +115,7 @@ impl Default for CompressorConfig {
         CompressorConfig {
             threads: 0,
             segment_cache_capacity: 4096,
+            batch_bytes: 1024,
             collect_timings: false,
         }
     }
@@ -114,6 +131,12 @@ impl CompressorConfig {
     /// Set the segment-cache capacity (`0` disables caching).
     pub fn segment_cache_capacity(mut self, capacity: usize) -> CompressorConfig {
         self.segment_cache_capacity = capacity;
+        self
+    }
+
+    /// Set the dispatch-batch size in input bytes (`0` = per segment).
+    pub fn batch_bytes(mut self, bytes: usize) -> CompressorConfig {
+        self.batch_bytes = bytes;
         self
     }
 
@@ -210,6 +233,7 @@ pub struct Compressor<'g> {
     parser: ShortestParser<'g>,
     index_map: Vec<usize>,
     threads: usize,
+    batch_bytes: usize,
     collect_timings: bool,
     recorder: Recorder,
     cache: Option<Mutex<SegmentCache>>,
@@ -253,6 +277,7 @@ impl<'g> Compressor<'g> {
             parser: ShortestParser::with_recorder(grammar, recorder.clone()),
             index_map: grammar.rule_index_map(),
             threads,
+            batch_bytes: config.batch_bytes,
             collect_timings: config.collect_timings,
             recorder,
             cache: (config.segment_cache_capacity > 0)
@@ -475,6 +500,12 @@ impl<'g> Compressor<'g> {
     }
 
     /// Run all jobs, preserving job-index order in the result.
+    ///
+    /// Jobs are grouped into contiguous batches of roughly
+    /// [`CompressorConfig::batch_bytes`] input bytes; each worker claims
+    /// batches in a stride (worker `w` takes batches `w`, `w + T`, …, so
+    /// long procedures still spread across the pool) and reuses one
+    /// [`ChartArena`] for everything it encodes.
     fn run_jobs(
         &self,
         canon: &Program,
@@ -482,28 +513,38 @@ impl<'g> Compressor<'g> {
     ) -> Vec<Result<EncodedSegment, CompressError>> {
         let threads = self.threads.min(jobs.len()).max(1);
         if threads == 1 {
+            let mut arena = ChartArena::new();
             return jobs
                 .iter()
-                .map(|job| self.encode_segment(&canon.procs[job.proc], job.range.clone()))
+                .map(|job| {
+                    self.encode_segment(&mut arena, &canon.procs[job.proc], job.range.clone())
+                })
                 .collect();
         }
+        let batches = plan_batches(jobs, self.batch_bytes);
         let mut slots: Vec<Option<Result<EncodedSegment, CompressError>>> =
             (0..jobs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
+            let batches = &batches;
             let workers: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
-                        // Strided split: worker w takes jobs w, w+T, …
-                        // so long procedures spread across the pool.
+                        let mut arena = ChartArena::new();
                         let mut done = Vec::new();
-                        let mut i = w;
-                        while i < jobs.len() {
-                            let job = &jobs[i];
-                            done.push((
-                                i,
-                                self.encode_segment(&canon.procs[job.proc], job.range.clone()),
-                            ));
-                            i += threads;
+                        let mut b = w;
+                        while b < batches.len() {
+                            for i in batches[b].clone() {
+                                let job = &jobs[i];
+                                done.push((
+                                    i,
+                                    self.encode_segment(
+                                        &mut arena,
+                                        &canon.procs[job.proc],
+                                        job.range.clone(),
+                                    ),
+                                ));
+                            }
+                            b += threads;
                         }
                         done
                     })
@@ -524,6 +565,7 @@ impl<'g> Compressor<'g> {
     /// Tokenize and encode one segment, consulting the memo cache.
     fn encode_segment(
         &self,
+        arena: &mut ChartArena,
         proc: &Procedure,
         range: Range<usize>,
     ) -> Result<EncodedSegment, CompressError> {
@@ -553,14 +595,14 @@ impl<'g> Compressor<'g> {
         }
 
         let sw = Stopwatch::start_if(timed);
-        let derivation =
-            self.parser
-                .parse(self.start, &tokens)
-                .map_err(|error| CompressError::NoParse {
-                    proc: proc.name.clone(),
-                    segment_offset: range.start,
-                    error,
-                })?;
+        let derivation = self
+            .parser
+            .parse_into(arena, self.start, &tokens)
+            .map_err(|error| CompressError::NoParse {
+                proc: proc.name.clone(),
+                segment_offset: range.start,
+                error,
+            })?;
         let bytes = derivation.to_bytes(&self.index_map);
         let parse = sw.elapsed();
 
@@ -576,6 +618,27 @@ impl<'g> Compressor<'g> {
             parse,
         })
     }
+}
+
+/// Group contiguous jobs into dispatch batches of roughly `batch_bytes`
+/// input bytes, returned as ranges of job indices. `0` yields one batch
+/// per job (the pre-batching dispatch granularity).
+fn plan_batches(jobs: &[Job], batch_bytes: usize) -> Vec<Range<usize>> {
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        acc += job.range.len();
+        if acc >= batch_bytes.max(1) {
+            batches.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < jobs.len() {
+        batches.push(start..jobs.len());
+    }
+    batches
 }
 
 #[cfg(test)]
@@ -619,8 +682,33 @@ entry f
             CompressorConfig::default()
                 .threads(3)
                 .segment_cache_capacity(1),
+            CompressorConfig::default().threads(4).batch_bytes(0),
+            CompressorConfig::default().threads(4).batch_bytes(3),
+            CompressorConfig::default().threads(2).batch_bytes(1 << 20),
         ];
         (ig, configs)
+    }
+
+    #[test]
+    fn batches_cover_all_jobs_exactly_once() {
+        let jobs: Vec<Job> = [0..5, 5..9, 9..10, 10..40, 40..41]
+            .into_iter()
+            .map(|range| Job { proc: 0, range })
+            .collect();
+        for batch_bytes in [0, 1, 4, 9, 17, 1 << 20] {
+            let batches = plan_batches(&jobs, batch_bytes);
+            let flattened: Vec<usize> = batches.iter().cloned().flatten().collect();
+            assert_eq!(
+                flattened,
+                (0..jobs.len()).collect::<Vec<_>>(),
+                "batch_bytes={batch_bytes}"
+            );
+        }
+        // Per-job granularity when batching is off.
+        assert_eq!(plan_batches(&jobs, 0).len(), jobs.len());
+        // One batch swallows everything when the budget is huge.
+        assert_eq!(plan_batches(&jobs, 1 << 20).len(), 1);
+        assert!(plan_batches(&[], 64).is_empty());
     }
 
     #[test]

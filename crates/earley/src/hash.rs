@@ -40,6 +40,16 @@ impl U64Map {
         self.len == 0
     }
 
+    /// Remove every entry, keeping the allocated table. Re-filling a
+    /// cleared map never rehashes until it outgrows its previous
+    /// capacity, which is what makes chart arenas reusable.
+    pub fn clear(&mut self) {
+        if self.len > 0 {
+            self.keys.fill(EMPTY);
+            self.len = 0;
+        }
+    }
+
     /// Look up a key.
     #[inline]
     pub fn get(&self, key: u64) -> Option<u32> {
@@ -129,6 +139,24 @@ mod tests {
             assert_eq!(m.get(i * 7 + 1), Some(i as u32));
         }
         assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut m = U64Map::new();
+        for i in 0..1000u64 {
+            m.insert(i + 1, i as u32);
+        }
+        let cap = m.keys.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.keys.len(), cap, "clear must not release the table");
+        for i in 0..1000u64 {
+            m.insert(i + 1, (i + 7) as u32);
+        }
+        assert_eq!(m.keys.len(), cap, "refill within capacity must not grow");
+        assert_eq!(m.get(10), Some(16));
     }
 
     #[test]

@@ -6,19 +6,28 @@
 //! terminal, the rules whose right-hand side can begin with that terminal
 //! (including through nullable prefixes), plus — always — the rules that
 //! derive the empty string.
+//!
+//! The table is flattened into two dense arrays: one `u32` offset per
+//! `(non-terminal, lookahead)` bucket and one shared candidate pool, so a
+//! prediction in the parse hot loop is two array indexings and a slice —
+//! no nested-`Vec` pointer chasing. The extra bucket per non-terminal
+//! (index [`TERMINAL_SPACE`]) holds the end-of-input candidates: rules
+//! that derive ε, the only ones worth predicting when no input remains.
 
 use pgr_grammar::symbol::TERMINAL_SPACE;
 use pgr_grammar::{Grammar, Nt, RuleId, Symbol, Terminal};
 
-/// Per-(non-terminal, lookahead) prediction candidates.
+/// Buckets per non-terminal: one per terminal, plus end-of-input.
+const STRIDE: usize = TERMINAL_SPACE + 1;
+
+/// Per-(non-terminal, lookahead) prediction candidates, flattened.
 #[derive(Debug, Clone)]
 pub struct PredictTable {
-    /// `table[nt][terminal_index]`: rules of `nt` that can start with the
-    /// terminal, with nullable rules appended.
-    table: Vec<Vec<Vec<RuleId>>>,
-    /// Rules of `nt` that derive ε (the only candidates when no input
-    /// remains).
-    nullable_rules: Vec<Vec<RuleId>>,
+    /// `candidates[offsets[nt * STRIDE + b] .. offsets[nt * STRIDE + b + 1]]`
+    /// is the candidate list for non-terminal `nt` and lookahead bucket
+    /// `b` (a terminal index, or `TERMINAL_SPACE` for end of input).
+    offsets: Vec<u32>,
+    candidates: Vec<RuleId>,
 }
 
 impl PredictTable {
@@ -26,8 +35,7 @@ impl PredictTable {
     pub fn build(grammar: &Grammar) -> PredictTable {
         let firsts = grammar.first_sets();
         let nts = grammar.nt_count();
-        let mut table: Vec<Vec<Vec<RuleId>>> =
-            (0..nts).map(|_| vec![Vec::new(); TERMINAL_SPACE]).collect();
+        let mut buckets: Vec<Vec<RuleId>> = vec![Vec::new(); nts * STRIDE];
         let mut nullable_rules: Vec<Vec<RuleId>> = vec![Vec::new(); nts];
 
         for nt in 0..nts {
@@ -58,7 +66,7 @@ impl PredictTable {
                 }
                 for (i, f) in first.iter().enumerate() {
                     if *f {
-                        table[nt.index()][i].push(rule_id);
+                        buckets[nt.index() * STRIDE + i].push(rule_id);
                     }
                 }
                 if rule_nullable {
@@ -68,30 +76,59 @@ impl PredictTable {
         }
 
         // Nullable rules must be predicted regardless of lookahead: they
-        // can complete over an empty span in front of any next token.
+        // can complete over an empty span in front of any next token, and
+        // they are the only candidates at end of input (the extra
+        // `TERMINAL_SPACE` bucket). Appending after the FIRST-filtered
+        // candidates keeps prediction order identical to lookahead-free
+        // prediction of the same rules.
         for nt in 0..nts {
-            for per_terminal in table[nt].iter_mut() {
+            for b in 0..STRIDE {
+                let bucket = &mut buckets[nt * STRIDE + b];
                 for &r in &nullable_rules[nt] {
-                    if !per_terminal.contains(&r) {
-                        per_terminal.push(r);
+                    if !bucket.contains(&r) {
+                        bucket.push(r);
                     }
                 }
             }
         }
 
+        let mut offsets = Vec::with_capacity(buckets.len() + 1);
+        let mut candidates = Vec::new();
+        offsets.push(0);
+        for bucket in &buckets {
+            candidates.extend_from_slice(bucket);
+            offsets.push(candidates.len() as u32);
+        }
         PredictTable {
-            table,
-            nullable_rules,
+            offsets,
+            candidates,
         }
     }
 
     /// Candidate rules for expanding `nt` when the next input terminal is
     /// `next` (`None` at end of input).
+    #[inline]
     pub fn candidates(&self, nt: Nt, next: Option<Terminal>) -> &[RuleId] {
-        match next {
-            Some(t) => &self.table[nt.index()][t.index()],
-            None => &self.nullable_rules[nt.index()],
-        }
+        let bucket = next.map_or(TERMINAL_SPACE, Terminal::index);
+        self.candidates_by_bucket(nt, bucket)
+    }
+
+    /// Candidate rules by raw lookahead bucket: a dense
+    /// [`Terminal::index`], or [`TERMINAL_SPACE`] for end of input. The
+    /// hot loop keeps the bucket as an integer to avoid re-deriving it
+    /// per prediction.
+    #[inline]
+    pub fn candidates_by_bucket(&self, nt: Nt, bucket: usize) -> &[RuleId] {
+        let i = nt.index() * STRIDE + bucket;
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.candidates[lo..hi]
+    }
+
+    /// Approximate resident size in bytes (for the `earley.table.bytes`
+    /// gauge).
+    pub fn table_bytes(&self) -> usize {
+        self.offsets.len() * size_of::<u32>() + self.candidates.len() * size_of::<RuleId>()
     }
 }
 
@@ -136,5 +173,25 @@ mod tests {
         assert!(pt
             .candidates(ig.nt_v, Some(Terminal::Op(Opcode::ADDU)))
             .is_empty());
+    }
+
+    #[test]
+    fn bucket_lookup_matches_typed_lookup() {
+        let ig = InitialGrammar::build();
+        let pt = PredictTable::build(&ig.grammar);
+        for nt in 0..ig.grammar.nt_count() {
+            let nt = Nt(nt as u16);
+            for i in 0..TERMINAL_SPACE {
+                assert_eq!(
+                    pt.candidates(nt, Some(Terminal::from_index(i))),
+                    pt.candidates_by_bucket(nt, i)
+                );
+            }
+            assert_eq!(
+                pt.candidates(nt, None),
+                pt.candidates_by_bucket(nt, TERMINAL_SPACE)
+            );
+        }
+        assert!(pt.table_bytes() > 0);
     }
 }

@@ -2,7 +2,7 @@
 //! hand-built ambiguous grammars, and property tests against the
 //! deterministic forest parser.
 
-use crate::{NoParse, ShortestParser};
+use crate::{ChartArena, NoParse, ShortestParser};
 use pgr_bytecode::{encode, Instruction, Opcode};
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Derivation, Forest, Grammar, InitialGrammar, RuleOrigin, Symbol, Terminal};
@@ -209,6 +209,190 @@ fn deep_spines_do_not_overflow_the_stack() {
     let d = parser.parse(ig.nt_start, &tokens).unwrap();
     assert_eq!(d.len(), 1 + 3 * 2_000);
     assert_eq!(d.expand(&ig.grammar, ig.nt_start).unwrap(), tokens);
+}
+
+#[test]
+fn item_keys_are_distinct_near_the_packing_limits() {
+    use crate::{item_key, MAX_RULE_SLOTS};
+    use pgr_grammar::RuleId;
+    use std::collections::HashSet;
+
+    // Probe the corners of every lane: a collision there would silently
+    // merge unrelated chart items.
+    let rules = [
+        0u32,
+        1,
+        (MAX_RULE_SLOTS - 2) as u32,
+        (MAX_RULE_SLOTS - 1) as u32,
+    ];
+    let dots = [0u16, 1, 254, 255];
+    let origins = [0u32, 1, u32::MAX - 1, u32::MAX];
+    let mut seen = HashSet::new();
+    for &r in &rules {
+        for &d in &dots {
+            for &o in &origins {
+                assert!(
+                    seen.insert(item_key(RuleId(r), d, o)),
+                    "key collision at rule={r} dot={d} origin={o}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "rule slots")]
+fn oversized_grammars_fail_loudly_at_parser_construction() {
+    crate::assert_key_capacity(crate::MAX_RULE_SLOTS + 1);
+}
+
+#[test]
+fn grammars_at_the_rule_slot_limit_are_accepted() {
+    // Exactly at the limit the guard must stay silent: the largest rule
+    // id is MAX_RULE_SLOTS - 1, which fits the 23-bit lane.
+    crate::assert_key_capacity(crate::MAX_RULE_SLOTS);
+}
+
+#[test]
+fn furthest_reports_scan_frontier_under_prediction_pruning() {
+    // S ::= POPU B ; B ::= RETV. After scanning POPU the parser sits at
+    // position 1; the lookahead-filtered prediction of B sees a token B
+    // cannot start with and creates no items at all past position 1.
+    // `furthest` must still say the scan frontier (1), not 0.
+    let mut g = Grammar::new();
+    let s = g.add_nt("S");
+    let b = g.add_nt("B");
+    g.add_rule(
+        s,
+        vec![Symbol::op(Opcode::POPU), Symbol::N(b)],
+        RuleOrigin::Original,
+    );
+    g.add_rule(b, vec![Symbol::op(Opcode::RETV)], RuleOrigin::Original);
+    g.set_start(s);
+    let parser = ShortestParser::new(&g);
+
+    let err = parser
+        .parse(s, &[Terminal::Op(Opcode::POPU), Terminal::Op(Opcode::MULI)])
+        .unwrap_err();
+    assert_eq!(err, NoParse { furthest: 1 });
+
+    // Same stuck point with more input after it: the dead column ends
+    // the parse but must not change the reported frontier.
+    let err = parser
+        .parse(
+            s,
+            &[
+                Terminal::Op(Opcode::POPU),
+                Terminal::Op(Opcode::MULI),
+                Terminal::Op(Opcode::RETV),
+            ],
+        )
+        .unwrap_err();
+    assert_eq!(err, NoParse { furthest: 1 });
+
+    // Rejected on the very first token: nothing was ever scanned.
+    let err = parser.parse(s, &[Terminal::Op(Opcode::MULI)]).unwrap_err();
+    assert_eq!(err, NoParse { furthest: 0 });
+}
+
+#[test]
+fn reused_arena_reproduces_fresh_parses_exactly() {
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let mut arena = ChartArena::new();
+
+    // Mix of lengths so later parses reuse columns dirtied by earlier,
+    // longer ones.
+    let segments: Vec<Vec<Terminal>> = vec![
+        paper_segment(),
+        vec![],
+        vec![Terminal::Op(Opcode::RETV); 64],
+        tokenize_segment(&[Opcode::LIT1 as u8, 9, Opcode::POPU as u8]).unwrap(),
+        paper_segment(),
+    ];
+    for tokens in &segments {
+        let fresh = parser.parse(ig.nt_start, tokens).unwrap();
+        let reused = parser.parse_into(&mut arena, ig.nt_start, tokens).unwrap();
+        assert_eq!(fresh, reused);
+    }
+    // Failures must match too (same furthest position).
+    let bad = vec![Terminal::Op(Opcode::ADDU)];
+    assert_eq!(
+        parser.parse(ig.nt_start, &bad).unwrap_err(),
+        parser
+            .parse_into(&mut arena, ig.nt_start, &bad)
+            .unwrap_err()
+    );
+    assert!(arena.columns_peak() >= 65);
+}
+
+#[test]
+fn arena_survives_grammar_size_changes() {
+    // An arena warmed on a large grammar must stay correct on a smaller
+    // one (fewer non-terminals) and vice versa: `prepare` re-sizes the
+    // per-non-terminal tables of every reused column.
+    let ig = InitialGrammar::build();
+    let big = ShortestParser::new(&ig.grammar);
+
+    let mut small_g = Grammar::new();
+    let s = small_g.add_nt("S");
+    let r = small_g.add_rule(s, vec![Symbol::op(Opcode::RETV)], RuleOrigin::Original);
+    small_g.set_start(s);
+    let small = ShortestParser::new(&small_g);
+
+    let mut arena = ChartArena::new();
+    let tokens = paper_segment();
+    let expect_big = big.parse(ig.nt_start, &tokens).unwrap();
+
+    assert_eq!(
+        big.parse_into(&mut arena, ig.nt_start, &tokens).unwrap(),
+        expect_big
+    );
+    let d = small
+        .parse_into(&mut arena, s, &[Terminal::Op(Opcode::RETV)])
+        .unwrap();
+    assert_eq!(d.0, vec![r]);
+    assert_eq!(
+        big.parse_into(&mut arena, ig.nt_start, &tokens).unwrap(),
+        expect_big
+    );
+}
+
+#[test]
+fn arena_reuse_and_table_metrics_are_reported() {
+    use pgr_telemetry::{names, Recorder};
+
+    let ig = InitialGrammar::build();
+    let recorder = Recorder::new();
+    let parser = ShortestParser::with_recorder(&ig.grammar, recorder.clone());
+    assert_eq!(
+        recorder.snapshot().gauge(names::EARLEY_TABLE_BYTES),
+        Some(parser.table_bytes() as u64)
+    );
+
+    let tokens = paper_segment();
+    let mut arena = ChartArena::new();
+    parser.parse_into(&mut arena, ig.nt_start, &tokens).unwrap();
+    // First use of a fresh arena is not a reuse, but the counter key must
+    // exist so metric consumers always see it.
+    let m = recorder.snapshot();
+    assert_eq!(m.counter(names::EARLEY_ARENA_REUSE), 0);
+    assert!(m.counters().contains_key(names::EARLEY_ARENA_REUSE));
+    assert_eq!(
+        m.gauge(names::EARLEY_CHART_COLUMNS_PEAK),
+        Some(tokens.len() as u64 + 1)
+    );
+
+    parser.parse_into(&mut arena, ig.nt_start, &tokens).unwrap();
+    parser.parse_into(&mut arena, ig.nt_start, &[]).unwrap();
+    let m = recorder.snapshot();
+    assert_eq!(m.counter(names::EARLEY_ARENA_REUSE), 2);
+    // The columns gauge tracks the arena's lifetime high-water mark, so
+    // the short follow-up parses don't lower it.
+    assert_eq!(
+        m.gauge(names::EARLEY_CHART_COLUMNS_PEAK),
+        Some(tokens.len() as u64 + 1)
+    );
 }
 
 /// Generate a random well-formed statement as instruction tokens.

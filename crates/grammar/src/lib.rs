@@ -29,6 +29,7 @@ pub mod forest;
 pub mod grammar;
 pub mod initial;
 pub mod symbol;
+pub mod tables;
 pub mod typed;
 
 pub use derivation::Derivation;
@@ -36,3 +37,4 @@ pub use forest::{Forest, NodeId};
 pub use grammar::{Grammar, Rule, RuleId, RuleOrigin};
 pub use initial::InitialGrammar;
 pub use symbol::{Nt, Symbol, Terminal};
+pub use tables::{PackedSym, RuleTable};

@@ -1,0 +1,227 @@
+//! Flattened, read-only grammar tables for hot-path consumers.
+//!
+//! The [`Grammar`](crate::Grammar) arena is built for mutation: rules are
+//! `Vec<Symbol>` right-hand sides behind a `Vec<Rule>`, so walking a rule
+//! during a parse costs two pointer chases and a 8-byte-enum decode per
+//! symbol. The cost-weighted Earley parser walks rules millions of times
+//! per corpus, so it consumes this snapshot instead: every right-hand
+//! side packed into one dense `u32` array with per-rule bounds, left-hand
+//! sides in a parallel `u16` array, and the live rules of each
+//! non-terminal as one contiguous range. Build it once per grammar
+//! snapshot (it is invalidated by any rule mutation) and index it
+//! branch-free from then on.
+
+use crate::grammar::{Grammar, RuleId};
+use crate::symbol::{Nt, Symbol, Terminal};
+
+/// A grammar symbol packed into 32 bits: the high bit distinguishes
+/// non-terminals (low 16 bits: [`Nt`] index) from terminals (low bits:
+/// the dense [`Terminal::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedSym(u32);
+
+const NT_BIT: u32 = 1 << 31;
+
+impl PackedSym {
+    /// Pack a symbol.
+    pub fn pack(sym: Symbol) -> PackedSym {
+        match sym {
+            Symbol::T(t) => PackedSym(t.index() as u32),
+            Symbol::N(n) => PackedSym(NT_BIT | u32::from(n.0)),
+        }
+    }
+
+    /// Whether this is a non-terminal.
+    #[inline]
+    pub fn is_nt(self) -> bool {
+        self.0 & NT_BIT != 0
+    }
+
+    /// The non-terminal, if this symbol is one.
+    #[inline]
+    pub fn nt(self) -> Option<Nt> {
+        self.is_nt().then_some(Nt((self.0 & !NT_BIT) as u16))
+    }
+
+    /// The dense terminal index, if this symbol is a terminal. Compare
+    /// against `Terminal::index` directly — no enum round-trip needed.
+    #[inline]
+    pub fn terminal_index(self) -> Option<u32> {
+        (!self.is_nt()).then_some(self.0)
+    }
+
+    /// Unpack back into a [`Symbol`].
+    pub fn unpack(self) -> Symbol {
+        match self.nt() {
+            Some(n) => Symbol::N(n),
+            None => Symbol::T(Terminal::from_index(self.0 as usize)),
+        }
+    }
+}
+
+/// Flattened rule storage: dense right-hand sides, per-rule bounds, and
+/// per-non-terminal live-rule ranges. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct RuleTable {
+    /// Left-hand side of every rule slot (tombstones included).
+    lhs: Vec<u16>,
+    /// `syms[rhs_bounds[r] .. rhs_bounds[r + 1]]` is rule `r`'s RHS
+    /// (empty for tombstones).
+    rhs_bounds: Vec<u32>,
+    syms: Vec<PackedSym>,
+    /// `nt_rules[nt_bounds[nt] .. nt_bounds[nt + 1]]` are the live rules
+    /// of `nt`, in encoding-index order.
+    nt_bounds: Vec<u32>,
+    nt_rules: Vec<RuleId>,
+}
+
+impl RuleTable {
+    /// Snapshot `grammar` into flat tables.
+    pub fn build(grammar: &Grammar) -> RuleTable {
+        let slots = grammar.rule_slots();
+        let mut lhs = Vec::with_capacity(slots);
+        let mut rhs_bounds = Vec::with_capacity(slots + 1);
+        let mut syms = Vec::new();
+        rhs_bounds.push(0);
+        for r in 0..slots {
+            let rule = grammar.rule(RuleId(r as u32));
+            lhs.push(rule.lhs.0);
+            if rule.alive {
+                syms.extend(rule.rhs.iter().map(|&s| PackedSym::pack(s)));
+            }
+            rhs_bounds.push(syms.len() as u32);
+        }
+        let mut nt_bounds = Vec::with_capacity(grammar.nt_count() + 1);
+        let mut nt_rules = Vec::with_capacity(slots);
+        nt_bounds.push(0);
+        for nt in 0..grammar.nt_count() {
+            nt_rules.extend_from_slice(grammar.rules_of(Nt(nt as u16)));
+            nt_bounds.push(nt_rules.len() as u32);
+        }
+        RuleTable {
+            lhs,
+            rhs_bounds,
+            syms,
+            nt_bounds,
+            nt_rules,
+        }
+    }
+
+    /// Number of rule slots snapshotted (tombstones included).
+    pub fn rule_slots(&self) -> usize {
+        self.lhs.len()
+    }
+
+    /// Left-hand side of a rule.
+    #[inline]
+    pub fn lhs(&self, rule: RuleId) -> Nt {
+        Nt(self.lhs[rule.index()])
+    }
+
+    /// Right-hand side of a rule as packed symbols.
+    #[inline]
+    pub fn rhs(&self, rule: RuleId) -> &[PackedSym] {
+        let lo = self.rhs_bounds[rule.index()] as usize;
+        let hi = self.rhs_bounds[rule.index() + 1] as usize;
+        &self.syms[lo..hi]
+    }
+
+    /// Right-hand-side length of a rule.
+    #[inline]
+    pub fn rhs_len(&self, rule: RuleId) -> usize {
+        (self.rhs_bounds[rule.index() + 1] - self.rhs_bounds[rule.index()]) as usize
+    }
+
+    /// The symbol at `dot`, or `None` when the dot is at the end.
+    #[inline]
+    pub fn sym_at(&self, rule: RuleId, dot: usize) -> Option<PackedSym> {
+        let lo = self.rhs_bounds[rule.index()] as usize;
+        let hi = self.rhs_bounds[rule.index() + 1] as usize;
+        let i = lo + dot;
+        (i < hi).then(|| self.syms[i])
+    }
+
+    /// Live rules of `nt`, in encoding-index order (the same order as
+    /// [`Grammar::rules_of`] at snapshot time).
+    #[inline]
+    pub fn rules_of(&self, nt: Nt) -> &[RuleId] {
+        let lo = self.nt_bounds[nt.index()] as usize;
+        let hi = self.nt_bounds[nt.index() + 1] as usize;
+        &self.nt_rules[lo..hi]
+    }
+
+    /// Approximate resident size of the tables in bytes (for the
+    /// `earley.table.bytes` gauge).
+    pub fn table_bytes(&self) -> usize {
+        self.lhs.len() * size_of::<u16>()
+            + self.rhs_bounds.len() * size_of::<u32>()
+            + self.syms.len() * size_of::<PackedSym>()
+            + self.nt_bounds.len() * size_of::<u32>()
+            + self.nt_rules.len() * size_of::<RuleId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::RuleOrigin;
+    use crate::InitialGrammar;
+    use pgr_bytecode::Opcode;
+
+    #[test]
+    fn packed_symbols_roundtrip() {
+        let cases = [
+            Symbol::op(Opcode::ADDU),
+            Symbol::byte(0),
+            Symbol::byte(255),
+            Symbol::N(Nt(0)),
+            Symbol::N(Nt(u16::MAX)),
+        ];
+        for sym in cases {
+            let p = PackedSym::pack(sym);
+            assert_eq!(p.unpack(), sym);
+            assert_eq!(p.is_nt(), matches!(sym, Symbol::N(_)));
+        }
+    }
+
+    #[test]
+    fn table_mirrors_the_grammar() {
+        let ig = InitialGrammar::build();
+        let t = RuleTable::build(&ig.grammar);
+        assert_eq!(t.rule_slots(), ig.grammar.rule_slots());
+        for r in 0..ig.grammar.rule_slots() {
+            let id = RuleId(r as u32);
+            let rule = ig.grammar.rule(id);
+            assert_eq!(t.lhs(id), rule.lhs);
+            assert_eq!(t.rhs_len(id), rule.rhs.len());
+            for (dot, &sym) in rule.rhs.iter().enumerate() {
+                assert_eq!(t.sym_at(id, dot).unwrap().unpack(), sym);
+            }
+            assert_eq!(t.sym_at(id, rule.rhs.len()), None);
+        }
+        for nt in 0..ig.grammar.nt_count() {
+            let nt = Nt(nt as u16);
+            assert_eq!(t.rules_of(nt), ig.grammar.rules_of(nt));
+        }
+        assert!(t.table_bytes() > 0);
+    }
+
+    #[test]
+    fn tombstones_have_empty_rhs_ranges() {
+        let ig = InitialGrammar::build();
+        let mut g = ig.grammar.clone();
+        let dead = g.add_rule(
+            ig.nt_x,
+            vec![Symbol::op(Opcode::RETV)],
+            RuleOrigin::Inlined {
+                parent: ig.x_leaf,
+                slot: 0,
+                child: ig.rule_for_opcode(Opcode::RETV),
+            },
+        );
+        g.remove_rule(dead);
+        let t = RuleTable::build(&g);
+        assert_eq!(t.rhs_len(dead), 0);
+        assert!(!t.rules_of(ig.nt_x).contains(&dead));
+    }
+}

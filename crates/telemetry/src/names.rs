@@ -47,6 +47,15 @@ pub const EARLEY_NO_PARSE: &str = "earley.no_parse";
 /// Earley gauge: chart size high-water mark (states in the fullest
 /// column of any parse).
 pub const EARLEY_CHART_STATES_PEAK: &str = "earley.chart_states_peak";
+/// Earley: parses served by an already-warm [`ChartArena`] (scratch
+/// reused instead of allocated).
+pub const EARLEY_ARENA_REUSE: &str = "earley.arena.reuse";
+/// Earley gauge: resident bytes of the precomputed flattened tables
+/// (dense rules + prediction index), per parser.
+pub const EARLEY_TABLE_BYTES: &str = "earley.table.bytes";
+/// Earley gauge: chart-column high-water mark (longest segment + 1
+/// across arena lifetimes).
+pub const EARLEY_CHART_COLUMNS_PEAK: &str = "earley.chart.columns_peak";
 
 /// Engine: `Compressor::compress` calls.
 pub const COMPRESS_CALLS: &str = "compress.calls";

@@ -33,6 +33,27 @@ fn parallel_output_is_byte_identical_to_sequential() {
             assert_eq!(&stats, ref_stats, "stats differ at threads={threads}");
         }
     }
+
+    // Batch granularity is scheduling only: per-segment dispatch, small
+    // batches, and one-batch-per-program all reproduce the reference.
+    for (threads, batch) in [(4usize, 0usize), (3, 64), (2, 1 << 20)] {
+        let engine = trained.compressor_with(
+            CompressorConfig::default()
+                .threads(threads)
+                .batch_bytes(batch),
+        );
+        for (p, (ref_cp, ref_stats)) in c.programs.iter().zip(&reference) {
+            let (cp, stats) = engine.compress(p).unwrap();
+            assert_eq!(
+                &cp, ref_cp,
+                "bytes differ at threads={threads} batch={batch}"
+            );
+            assert_eq!(
+                &stats, ref_stats,
+                "stats differ at threads={threads} batch={batch}"
+            );
+        }
+    }
 }
 
 /// Parallel decompression inputs round-trip exactly like sequential ones.
@@ -109,8 +130,8 @@ proptest! {
         prop_assert!(warm_stats.hits >= cold_stats.hits);
     }
 
-    /// Thread-count invariance holds for arbitrary generated programs,
-    /// not just the fixed corpora.
+    /// Thread-count and batch-size invariance holds for arbitrary
+    /// generated programs, not just the fixed corpora.
     #[test]
     fn thread_counts_agree_on_generated_programs(config in arb_config()) {
         let source = generate_source(&config);
@@ -120,13 +141,60 @@ proptest! {
             .compressor_with(CompressorConfig::default().threads(1))
             .compress(&program)
             .unwrap();
-        for threads in [2usize, 5] {
+        for (threads, batch) in [(2usize, 1024usize), (5, 1024), (3, 0), (4, 129), (2, 1 << 20)] {
             let got = trained
-                .compressor_with(CompressorConfig::default().threads(threads))
+                .compressor_with(
+                    CompressorConfig::default().threads(threads).batch_bytes(batch),
+                )
                 .compress(&program)
                 .unwrap();
             prop_assert_eq!(&got, &reference);
         }
+    }
+
+    /// A parser fed through one long-lived [`ChartArena`] must be
+    /// indistinguishable from a fresh parse per segment: byte-identical
+    /// derivations (hence identical costs) over every straight-line
+    /// segment of an arbitrary program, under the expanded grammar.
+    #[test]
+    fn reused_arena_matches_fresh_parser_on_random_segments(config in arb_config()) {
+        use pgr::bytecode::{instrs, Opcode};
+        use pgr::earley::{ChartArena, ShortestParser};
+        use pgr::grammar::initial::tokenize_segment;
+
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let start = trained.initial().nt_start;
+        let parser = ShortestParser::new(trained.expanded());
+        let mut arena = ChartArena::new();
+
+        let canon = pgr::core::canonicalize_program(&program).unwrap();
+        let mut segments = 0usize;
+        for proc in &canon.procs {
+            let mut ranges = Vec::new();
+            let mut seg_start = 0usize;
+            for insn in instrs(&proc.code) {
+                let insn = insn.expect("canonical code decodes");
+                if insn.opcode == Opcode::LABELV {
+                    if insn.offset > seg_start {
+                        ranges.push(seg_start..insn.offset);
+                    }
+                    seg_start = insn.offset + 1;
+                }
+            }
+            if proc.code.len() > seg_start {
+                ranges.push(seg_start..proc.code.len());
+            }
+            for range in ranges {
+                let tokens = tokenize_segment(&proc.code[range]).unwrap();
+                let fresh = parser.parse(start, &tokens);
+                let reused = parser.parse_into(&mut arena, start, &tokens);
+                prop_assert_eq!(fresh, reused);
+                segments += 1;
+            }
+        }
+        prop_assert!(segments > 0, "program produced no segments");
     }
 }
 
@@ -216,7 +284,13 @@ proptest! {
             );
             engine.compress(&program).unwrap();
             let m = recorder.take();
-            totals.push((m.counters().clone(), m.gauges().clone()));
+            // `earley.arena.reuse` is the one intentionally
+            // scheduling-dependent counter: each worker warms its own
+            // arena, so more workers means fewer reuses. Everything
+            // else must match exactly.
+            let mut counters = m.counters().clone();
+            counters.remove("earley.arena.reuse");
+            totals.push((counters, m.gauges().clone()));
         }
         prop_assert_eq!(&totals[0], &totals[1]);
     }
