@@ -59,6 +59,34 @@ pub fn compress_metrics() -> Metrics {
     recorder.snapshot()
 }
 
+/// Run an instrumented compressed execution of the 8-queens sample
+/// under its own trained grammar and return exactly what a
+/// `pgr run <image>.pgrc --metrics json` run records: the `vm.*` step,
+/// call, walk, dispatch, segment-cache, and rule-program families. This
+/// is the `BENCH_run.json` baseline the repo commits and CI
+/// re-validates.
+pub fn run_metrics() -> Metrics {
+    let program = pgr_corpus::compile_sample("8q");
+    let trained = train(&[&program], &TrainConfig::default()).expect("8q trains");
+    let (cp, _) = trained.compress(&program).expect("8q compresses");
+    let ig = trained.initial();
+    let recorder = pgr_telemetry::Recorder::new();
+    let config = pgr_vm::VmConfig {
+        recorder: recorder.clone(),
+        ..pgr_vm::VmConfig::default()
+    };
+    let mut vm = pgr_vm::Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        config,
+    )
+    .expect("8q image loads");
+    vm.run().expect("8q runs");
+    recorder.snapshot()
+}
+
 /// Run an instrumented train + self-compress of the gzip corpus and
 /// return everything the pipeline recorded: trainer, validator, Earley,
 /// cache, and per-phase span metrics.

@@ -68,6 +68,7 @@ fn usage() -> String {
      \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
      \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
+     \x20     [--segment-cache N] [--reference-walker]\n\
      \x20 stats <in.pgrb>\n\
      \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>\n\
      \x20 metrics-check <metrics.json>\n\
@@ -109,6 +110,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--trace"
             || a == "--threads"
             || a == "--batch-bytes"
+            || a == "--segment-cache"
             || a == "--metrics"
             || a == "--metrics-out"
             || a == "-p"
@@ -420,10 +422,18 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         None => 0,
     };
     let metrics = metrics_opts(args)?;
+    let segment_cache_entries = match opt_value(args, "--segment-cache") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --segment-cache {v:?}"))?,
+        None => VmConfig::default().segment_cache_entries,
+    };
     let config = VmConfig {
         input: opt_value(args, "--stdin").unwrap_or("").as_bytes().to_vec(),
         trace_limit,
         recorder: recorder_of(&metrics),
+        reference_walker: flag(args, "--reference-walker"),
+        segment_cache_entries,
         ..VmConfig::default()
     };
     let result = match kind {

@@ -14,7 +14,7 @@
 //! an exact inverse of compression on canonical programs.
 
 use crate::canonical::CanonError;
-use crate::engine::{Compressor, PhaseTimings};
+use crate::engine::PhaseTimings;
 use pgr_bytecode::{Opcode, Procedure, Program};
 use pgr_earley::NoParse;
 use pgr_grammar::derivation::DerivationError;
@@ -175,29 +175,6 @@ impl std::error::Error for DecompressError {
     }
 }
 
-/// Compress a program under an expanded grammar.
-///
-/// This one-shot entry point rebuilds the Earley parser's prediction
-/// tables on every call; the [`Compressor`] engine builds them once and
-/// reuses them (plus a derivation cache and a worker pool) across
-/// programs, which is why all in-tree callers use it instead.
-///
-/// # Errors
-///
-/// See [`CompressError`].
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Compressor` (or call `Trained::compress`) instead; this shim \
-            constructs a fresh single-use engine per call"
-)]
-pub fn compress_program(
-    grammar: &Grammar,
-    start: Nt,
-    program: &Program,
-) -> Result<(CompressedProgram, CompressionStats), CompressError> {
-    Compressor::new(grammar, start).compress(program)
-}
-
 /// Decompress one procedure.
 fn decompress_procedure(
     grammar: &Grammar,
@@ -275,7 +252,8 @@ fn decompress_procedure(
 }
 
 /// Decompress a program: the exact inverse of
-/// [`Compressor::compress`] on canonical inputs.
+/// [`Compressor::compress`](crate::engine::Compressor::compress) on
+/// canonical inputs.
 ///
 /// # Errors
 ///
@@ -299,6 +277,7 @@ pub fn decompress_program(
 mod tests {
     use super::*;
     use crate::canonical::canonicalize_program;
+    use crate::engine::Compressor;
     use pgr_bytecode::asm::assemble;
     use pgr_grammar::InitialGrammar;
 
@@ -331,18 +310,6 @@ entry check
         assert_eq!(stats.original_code, prog.procs[0].code.len());
         let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
         assert_eq!(back, canonicalize_program(&prog).unwrap());
-    }
-
-    #[test]
-    fn deprecated_shim_matches_the_engine() {
-        let ig = InitialGrammar::build();
-        let prog = assemble(SAMPLE).unwrap();
-        #[allow(deprecated)]
-        let shim = compress_program(&ig.grammar, ig.nt_start, &prog).unwrap();
-        let engine = Compressor::new(&ig.grammar, ig.nt_start)
-            .compress(&prog)
-            .unwrap();
-        assert_eq!(shim, engine);
     }
 
     #[test]

@@ -112,6 +112,11 @@ impl RuleTable {
         self.lhs.len()
     }
 
+    /// Number of non-terminals snapshotted.
+    pub fn nt_count(&self) -> usize {
+        self.nt_bounds.len() - 1
+    }
+
     /// Left-hand side of a rule.
     #[inline]
     pub fn lhs(&self, rule: RuleId) -> Nt {
@@ -189,6 +194,7 @@ mod tests {
         let ig = InitialGrammar::build();
         let t = RuleTable::build(&ig.grammar);
         assert_eq!(t.rule_slots(), ig.grammar.rule_slots());
+        assert_eq!(t.nt_count(), ig.grammar.nt_count());
         for r in 0..ig.grammar.rule_slots() {
             let id = RuleId(r as u32);
             let rule = ig.grammar.rule(id);

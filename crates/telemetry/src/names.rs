@@ -115,6 +115,19 @@ pub const VM_CALL_DEPTH_PEAK: &str = "vm.call_depth_peak";
 pub const VM_WALK_DEPTH_PEAK: &str = "vm.walk_depth_peak";
 /// VM gauge: operand-stack depth high-water mark.
 pub const VM_OPERAND_STACK_PEAK: &str = "vm.operand_stack_peak";
+/// VM: decoded segments replayed from the `interp_nt` segment cache.
+pub const VM_SEG_CACHE_HITS: &str = "vm.segment_cache.hits";
+/// VM: segment starts walked fresh (no cached decode, or not enough
+/// fuel for an exact replay).
+pub const VM_SEG_CACHE_MISSES: &str = "vm.segment_cache.misses";
+/// VM gauge: resident bytes of cached segment decodes.
+pub const VM_SEG_CACHE_BYTES: &str = "vm.segment_cache.bytes";
+/// VM gauge: resident segment-cache entries (negative entries included).
+pub const VM_SEG_CACHE_ENTRIES: &str = "vm.segment_cache.entries";
+/// VM gauge: resident bytes of the precompiled rule-program snapshot.
+pub const VM_RULEPROG_BYTES: &str = "vm.ruleprog.bytes";
+/// VM gauge: micro-ops in the precompiled rule-program snapshot.
+pub const VM_RULEPROG_MICRO_OPS: &str = "vm.ruleprog.micro_ops";
 /// Prefix of the per-opcode dispatch counter family.
 pub const VM_DISPATCH_PREFIX: &str = "vm.dispatch.";
 

@@ -13,7 +13,12 @@
 //!   current non-terminal; the interpreter advances across the rule's
 //!   right-hand side, executing terminals and recursing on non-terminals.
 //!   Literal operands may be split between the rule (burnt-in bytes) and
-//!   the instruction stream — the `GET` logic of §5.
+//!   the instruction stream — the `GET` logic of §5. By default it runs
+//!   over a [`ruleprog::RuleProgram`] snapshot — the grammar precompiled
+//!   to flat micro-ops at load time — with a decoded-segment cache that
+//!   replays loop back-edges without re-walking derivations; the
+//!   reference rule walker stays selectable via
+//!   [`VmConfig::reference_walker`] as the executable specification.
 //!
 //! Both interpreters share one operator semantics ([`exec`]) over one
 //! machine model ([`Vm`]): a flat little-endian memory holding data, BSS,
@@ -54,6 +59,7 @@ pub mod exec;
 pub mod machine;
 pub mod memory;
 pub mod natives;
+pub mod ruleprog;
 pub mod value;
 
 pub use error::VmError;

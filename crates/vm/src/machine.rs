@@ -15,11 +15,13 @@ use crate::error::VmError;
 use crate::exec::Flow;
 use crate::memory::Memory;
 use crate::natives::{self, Native, NativeOutcome};
+use crate::ruleprog::{self, RuleProgram, SegStep, SegTrace};
 use crate::value::Slot;
-use pgr_bytecode::{GlobalEntry, Opcode, Program};
+use pgr_bytecode::{GlobalEntry, Opcode, Procedure, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
 use pgr_telemetry::{names, Metrics, Recorder};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// First mapped data address (0 stays unmapped so null faults).
 pub const DATA_BASE: u32 = 64;
@@ -60,6 +62,18 @@ pub struct VmConfig {
     /// disabled recorder; the interpreter loops check one cached flag
     /// and touch nothing else when disabled.
     pub recorder: Recorder,
+    /// Run compressed programs with the reference grammar walker instead
+    /// of the precompiled [`RuleProgram`] fast path. The two are
+    /// behaviourally identical (same `RunResult`, trace, and `vm.*`
+    /// telemetry — pinned by a differential proptest); the reference
+    /// walker exists as the executable specification and for
+    /// bisection.
+    pub reference_walker: bool,
+    /// Decoded-segment cache capacity in entries (0 disables). The fast
+    /// path memoizes each label-delimited segment's decoded instruction
+    /// trace by stream offset, so loop back-edges replay instructions
+    /// without re-walking derivations.
+    pub segment_cache_entries: usize,
 }
 
 impl Default for VmConfig {
@@ -73,6 +87,8 @@ impl Default for VmConfig {
             input: Vec::new(),
             trace_limit: 0,
             recorder: Recorder::disabled(),
+            reference_walker: false,
+            segment_cache_entries: 1024,
         }
     }
 }
@@ -172,6 +188,18 @@ pub struct Vm<'p> {
     call_depth_peak: usize,
     walk_depth_peak: usize,
     operand_stack_peak: usize,
+    /// The compiled rule programs, when the compressed fast path is
+    /// active (compressed repr and `reference_walker` off).
+    ruleprog: Option<Arc<RuleProgram>>,
+    /// Decoded-segment cache: `(proc, pc)` → replayable trace, or `None`
+    /// for segments proven uncacheable (their decode faults). Entries
+    /// are `Arc`s so replay can iterate a trace while `exec_op` borrows
+    /// the VM mutably.
+    seg_cache: HashMap<u64, Option<Arc<SegTrace>>>,
+    seg_cache_cap: usize,
+    seg_cache_bytes: usize,
+    seg_hits: u64,
+    seg_misses: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -212,6 +240,16 @@ impl<'p> Vm<'p> {
     }
 
     fn build(program: &'p Program, repr: Repr<'p>, config: VmConfig) -> Result<Vm<'p>, VmError> {
+        let ruleprog = match &repr {
+            Repr::Compressed {
+                grammar,
+                start,
+                byte_nt,
+            } if !config.reference_walker => {
+                Some(Arc::new(RuleProgram::build(grammar, *start, *byte_nt)))
+            }
+            _ => None,
+        };
         let data_end = DATA_BASE + program.data.len() as u32;
         let bss_base = align8(data_end);
         let bss_end = bss_base + program.bss_size;
@@ -276,6 +314,12 @@ impl<'p> Vm<'p> {
             call_depth_peak: 0,
             walk_depth_peak: 0,
             operand_stack_peak: 0,
+            ruleprog,
+            seg_cache: HashMap::new(),
+            seg_cache_cap: config.segment_cache_entries,
+            seg_cache_bytes: 0,
+            seg_hits: 0,
+            seg_misses: 0,
         })
     }
 
@@ -336,6 +380,14 @@ impl<'p> Vm<'p> {
         batch.gauge_max(names::VM_CALL_DEPTH_PEAK, self.call_depth_peak as u64);
         batch.gauge_max(names::VM_WALK_DEPTH_PEAK, self.walk_depth_peak as u64);
         batch.gauge_max(names::VM_OPERAND_STACK_PEAK, self.operand_stack_peak as u64);
+        if let Some(rp) = &self.ruleprog {
+            batch.add(names::VM_SEG_CACHE_HITS, self.seg_hits);
+            batch.add(names::VM_SEG_CACHE_MISSES, self.seg_misses);
+            batch.gauge_max(names::VM_SEG_CACHE_BYTES, self.seg_cache_bytes as u64);
+            batch.gauge_max(names::VM_SEG_CACHE_ENTRIES, self.seg_cache.len() as u64);
+            batch.gauge_max(names::VM_RULEPROG_BYTES, rp.table_bytes() as u64);
+            batch.gauge_max(names::VM_RULEPROG_MICRO_OPS, rp.micro_ops() as u64);
+        }
         for (byte, &count) in self.dispatch.iter().enumerate() {
             if count > 0 {
                 let label = Opcode::from_u8(byte as u8).map_or("unknown", Opcode::name);
@@ -455,7 +507,10 @@ impl<'p> Vm<'p> {
                 grammar,
                 start,
                 byte_nt,
-            } => self.interp_nt(&frame, grammar, start, byte_nt),
+            } => match self.ruleprog.clone() {
+                Some(rp) => self.interp_nt_fast(&frame, &rp),
+                None => self.interp_nt(&frame, grammar, start, byte_nt),
+            },
         };
         self.depth -= 1;
         self.stack_next = saved_stack;
@@ -480,6 +535,33 @@ impl<'p> Vm<'p> {
         self.fuel -= 1;
         self.steps += 1;
         Ok(())
+    }
+
+    /// Burn `n` fuel in one go — exactly `n` calls to [`Vm::burn_fuel`]:
+    /// when the budget runs short, the steps that fit are still counted
+    /// before `OutOfFuel`, matching the reference walk dying mid-window.
+    fn burn_fuel_n(&mut self, n: u64) -> Result<(), Stop> {
+        if self.fuel < n {
+            self.steps += self.fuel;
+            self.fuel = 0;
+            return Err(Stop::Error(VmError::OutOfFuel));
+        }
+        self.fuel -= n;
+        self.steps += n;
+        Ok(())
+    }
+
+    /// Shared [`Flow::Branch`] tail of every interpreter loop: resolve a
+    /// branch label to its code offset through the procedure's
+    /// out-of-line label table.
+    fn branch_target(proc: &Procedure, label: u16) -> Result<usize, Stop> {
+        match proc.labels.get(usize::from(label)) {
+            Some(&target) => Ok(target as usize),
+            None => Err(Stop::Error(VmError::BadLabel {
+                proc: proc.name.clone(),
+                index: label,
+            })),
+        }
     }
 
     /// The initial interpreter: fetch an opcode and its literal operands
@@ -526,28 +608,24 @@ impl<'p> Vm<'p> {
             }
             match flow {
                 Flow::Continue => {}
-                Flow::Branch(label) => {
-                    let target = proc
-                        .labels
-                        .get(usize::from(label))
-                        .ok_or(VmError::BadLabel {
-                            proc: proc.name.clone(),
-                            index: label,
-                        })?;
-                    pc = *target as usize;
-                }
+                Flow::Branch(label) => pc = Self::branch_target(proc, label)?,
                 Flow::Return(v) => return Ok(v),
             }
         }
     }
 
-    /// The compressed-bytecode interpreter (§5's `interpNT`): each stream
-    /// byte selects a rule for the current non-terminal; the walk
-    /// executes terminal operators (fetching literal operands from
-    /// burnt-in rule bytes or the stream — the `GET` split) and recurses
-    /// on non-terminals. A taken branch abandons the walk and restarts at
-    /// the label's segment; a completed walk falls through to the next
-    /// segment's derivation.
+    /// The **reference** compressed-bytecode interpreter (§5's
+    /// `interpNT`): each stream byte selects a rule for the current
+    /// non-terminal; the walk executes terminal operators (fetching
+    /// literal operands from burnt-in rule bytes or the stream — the
+    /// `GET` split) and recurses on non-terminals. A taken branch
+    /// abandons the walk and restarts at the label's segment; a
+    /// completed walk falls through to the next segment's derivation.
+    ///
+    /// This is the executable specification: [`Vm::interp_nt_fast`]
+    /// must match it iteration for iteration (selected via
+    /// [`VmConfig::reference_walker`], pinned by a differential
+    /// proptest).
     fn interp_nt(
         &mut self,
         frame: &FrameCtx,
@@ -659,20 +737,485 @@ impl<'p> Vm<'p> {
                     match flow {
                         Flow::Continue => {}
                         Flow::Branch(label) => {
-                            let target =
-                                proc.labels
-                                    .get(usize::from(label))
-                                    .ok_or(VmError::BadLabel {
-                                        proc: proc.name.clone(),
-                                        index: label,
-                                    })?;
-                            pc = *target as usize;
+                            pc = Self::branch_target(proc, label)?;
                             walk.clear();
                         }
                         Flow::Return(v) => return Ok(v),
                     }
                 }
             }
+        }
+    }
+
+    /// The fast compressed-bytecode interpreter: the same loop as
+    /// [`Vm::interp_nt`] — one fuel unit per derivation-walk iteration,
+    /// identical error offsets and telemetry — but over the precompiled
+    /// [`RuleProgram`] micro-ops (one `u64` load per symbol instead of a
+    /// rule-object pattern match), with the decoded-segment cache
+    /// replaying previously walked segments instruction-for-instruction.
+    fn interp_nt_fast(&mut self, frame: &FrameCtx, rp: &Arc<RuleProgram>) -> Result<Slot, Stop> {
+        let program = self.program;
+        let proc = &program.procs[frame.proc_idx];
+        let code = &proc.code;
+        let corrupt = |offset: usize, detail: &'static str| {
+            Stop::Error(VmError::CorruptDerivation {
+                proc: proc.name.clone(),
+                offset,
+                detail,
+            })
+        };
+
+        let mut pc = 0usize;
+        let mut stack: Vec<Slot> = Vec::with_capacity(16);
+        let mut walk: Vec<WalkFrame> = Vec::with_capacity(64);
+        let cache_on = self.seg_cache_cap > 0;
+        let mut rec = SegRecorder::default();
+
+        loop {
+            if walk.is_empty() {
+                // Segment boundary: replay a cached decode, or start
+                // recording this one.
+                if cache_on {
+                    let key = seg_key(frame.proc_idx, pc);
+                    match self.seg_cache.get(&key) {
+                        Some(Some(trace)) if self.fuel >= trace.total_fuel => {
+                            let trace = trace.clone();
+                            self.seg_hits += 1;
+                            match self.replay_segment(frame, proc, &trace, &mut stack)? {
+                                Replay::Goto(next) => {
+                                    pc = next;
+                                    continue;
+                                }
+                                Replay::Returned(v) => return Ok(v),
+                            }
+                        }
+                        // Known-uncacheable segment, or not enough fuel
+                        // left for an exact batched replay: walk it.
+                        Some(_) => self.seg_misses += 1,
+                        None => {
+                            self.seg_misses += 1;
+                            if self.seg_cache.len() < self.seg_cache_cap {
+                                rec.begin(key);
+                            }
+                        }
+                    }
+                }
+                // The segment-start iteration: the next stream byte
+                // selects a <start> rule.
+                self.burn_fuel()?;
+                rec.tick();
+                if pc >= code.len() {
+                    return Err(Stop::Error(VmError::FellOffEnd {
+                        proc: proc.name.clone(),
+                    }));
+                }
+                let b = code[pc];
+                pc += 1;
+                let Some(slot) = rp.select(rp.start_nt(), b) else {
+                    return Err(corrupt(pc - 1, "no such start rule"));
+                };
+                let (ip, end) = rp.rule_range(slot);
+                walk.push(WalkFrame { ip, end });
+                rec.rule(walk.len());
+                if self.telemetry_on {
+                    self.rules_walked += 1;
+                    if walk.len() > self.walk_depth_peak {
+                        self.walk_depth_peak = walk.len();
+                    }
+                }
+                continue;
+            }
+
+            self.burn_fuel()?;
+            rec.tick();
+            let top = walk.last_mut().expect("walk is non-empty");
+            if top.ip == top.end {
+                walk.pop();
+                if walk.is_empty() && rec.active {
+                    // Fall-through completion: the trailing window
+                    // becomes the trace's tail.
+                    self.seal_recording(&mut rec, pc);
+                }
+                continue;
+            }
+            let w = rp.op(top.ip);
+            top.ip += 1;
+            match ruleprog::kind(w) {
+                ruleprog::KIND_CHILD => {
+                    if pc >= code.len() {
+                        return Err(corrupt(pc, "stream ends inside a derivation"));
+                    }
+                    let b = code[pc];
+                    pc += 1;
+                    let Some(slot) = rp.select(ruleprog::child_nt(w), b) else {
+                        return Err(corrupt(pc - 1, "no such rule for non-terminal"));
+                    };
+                    let (ip, end) = rp.rule_range(slot);
+                    walk.push(WalkFrame { ip, end });
+                    rec.rule(walk.len());
+                    if self.telemetry_on {
+                        self.rules_walked += 1;
+                        if walk.len() > self.walk_depth_peak {
+                            self.walk_depth_peak = walk.len();
+                        }
+                    }
+                }
+                ruleprog::KIND_EXEC => {
+                    let mut operands = ruleprog::template(w);
+                    let mut mask = ruleprog::stream_mask(w);
+                    while mask != 0 {
+                        let slot = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        if pc >= code.len() {
+                            return Err(corrupt(pc, "stream ends inside operands"));
+                        }
+                        operands[slot] = code[pc];
+                        pc += 1;
+                    }
+                    let op = Opcode::ALL[usize::from(ruleprog::opcode_byte(w))];
+                    rec.step(op, operands);
+                    if self.telemetry_on {
+                        self.dispatch[usize::from(op as u8)] += 1;
+                    }
+                    if self.trace_limit > 0 {
+                        self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
+                    }
+                    let flow = self.exec_op(op, operands, frame, &mut stack)?;
+                    if self.telemetry_on && stack.len() > self.operand_stack_peak {
+                        self.operand_stack_peak = stack.len();
+                    }
+                    match flow {
+                        Flow::Continue => {}
+                        Flow::Branch(label) => {
+                            let target = Self::branch_target(proc, label)?;
+                            if rec.active {
+                                // The walk is abandoned mid-segment;
+                                // finish the decode fuel-free so the
+                                // cached trace covers the whole segment.
+                                self.finish_recording_by_decode(&mut rec, rp, code, pc, &walk);
+                            }
+                            pc = target;
+                            walk.clear();
+                        }
+                        Flow::Return(v) => {
+                            if rec.active {
+                                self.finish_recording_by_decode(&mut rec, rp, code, pc, &walk);
+                            }
+                            return Ok(v);
+                        }
+                    }
+                }
+                _ => {
+                    // KIND_CORRUPT: consume the stream operands the
+                    // reference would before faulting, then fault with
+                    // its exact offset and detail.
+                    let mut mask = ruleprog::stream_mask(w);
+                    while mask != 0 {
+                        mask &= mask - 1;
+                        if pc >= code.len() {
+                            return Err(corrupt(pc, "stream ends inside operands"));
+                        }
+                        pc += 1;
+                    }
+                    return Err(corrupt(
+                        pc,
+                        ruleprog::CORRUPT_DETAILS[ruleprog::detail_index(w)],
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Replay a cached segment decode: per instruction, burn the
+    /// recorded bookkeeping window in one batch, apply the recorded
+    /// telemetry deltas, and execute — control flow stays live, so a
+    /// conditional branch may exit the replay anywhere, exactly like the
+    /// walk it replaces.
+    fn replay_segment(
+        &mut self,
+        frame: &FrameCtx,
+        proc: &Procedure,
+        trace: &SegTrace,
+        stack: &mut Vec<Slot>,
+    ) -> Result<Replay, Stop> {
+        if !self.telemetry_on && self.trace_limit == 0 && !trace.has_calls {
+            return self.replay_segment_lean(frame, proc, trace, stack);
+        }
+        for step in &trace.steps {
+            self.burn_fuel_n(u64::from(step.pre_fuel))?;
+            if self.telemetry_on {
+                self.rules_walked += u64::from(step.pre_rules);
+                if step.pre_depth as usize > self.walk_depth_peak {
+                    self.walk_depth_peak = step.pre_depth as usize;
+                }
+                self.dispatch[usize::from(step.op as u8)] += 1;
+            }
+            if self.trace_limit > 0 {
+                self.record(frame.proc_idx, step.op, u32::from_le_bytes(step.operands));
+            }
+            let flow = self.exec_op(step.op, step.operands, frame, stack)?;
+            if self.telemetry_on && stack.len() > self.operand_stack_peak {
+                self.operand_stack_peak = stack.len();
+            }
+            match flow {
+                Flow::Continue => {}
+                Flow::Branch(label) => return Ok(Replay::Goto(Self::branch_target(proc, label)?)),
+                Flow::Return(v) => return Ok(Replay::Returned(v)),
+            }
+        }
+        self.burn_fuel_n(u64::from(trace.tail_fuel))?;
+        if self.telemetry_on {
+            self.rules_walked += u64::from(trace.tail_rules);
+            if trace.tail_depth as usize > self.walk_depth_peak {
+                self.walk_depth_peak = trace.tail_depth as usize;
+            }
+        }
+        Ok(Replay::Goto(trace.end_pc as usize))
+    }
+
+    /// The hot replay loop: telemetry and tracing off, no calls in the
+    /// trace. The caller guarantees `fuel >= trace.total_fuel` and no
+    /// step can consume fuel of its own, so the whole window burns up
+    /// front and an early exit (branch, return, or fault mid-trace)
+    /// refunds the unexecuted remainder — byte-identical fuel and step
+    /// accounting to the per-step path, without its per-instruction
+    /// bookkeeping. The hottest stack-push operators are additionally
+    /// unpacked inline rather than dispatched through [`Vm::exec_op`].
+    fn replay_segment_lean(
+        &mut self,
+        frame: &FrameCtx,
+        proc: &Procedure,
+        trace: &SegTrace,
+        stack: &mut Vec<Slot>,
+    ) -> Result<Replay, Stop> {
+        self.fuel -= trace.total_fuel;
+        self.steps += trace.total_fuel;
+        let mut consumed = 0u64;
+        for step in &trace.steps {
+            consumed += u64::from(step.pre_fuel);
+            let flow = match step.op {
+                Opcode::LIT1 | Opcode::LIT2 | Opcode::LIT3 | Opcode::LIT4 => {
+                    stack.push(Slot::from_u(u32::from_le_bytes(step.operands)));
+                    continue;
+                }
+                Opcode::ADDRLP => {
+                    let off = u32::from(u16::from_le_bytes([step.operands[0], step.operands[1]]));
+                    stack.push(Slot::from_u(frame.locals_base + off));
+                    continue;
+                }
+                Opcode::ADDRFP => {
+                    let off = u32::from(u16::from_le_bytes([step.operands[0], step.operands[1]]));
+                    stack.push(Slot::from_u(frame.args_base + off));
+                    continue;
+                }
+                op => self.exec_op(op, step.operands, frame, stack),
+            };
+            match flow {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Branch(label)) => {
+                    let refund = trace.total_fuel - consumed;
+                    self.fuel += refund;
+                    self.steps -= refund;
+                    return Ok(Replay::Goto(Self::branch_target(proc, label)?));
+                }
+                Ok(Flow::Return(v)) => {
+                    let refund = trace.total_fuel - consumed;
+                    self.fuel += refund;
+                    self.steps -= refund;
+                    return Ok(Replay::Returned(v));
+                }
+                Err(stop) => {
+                    let refund = trace.total_fuel - consumed;
+                    self.fuel += refund;
+                    self.steps -= refund;
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(Replay::Goto(trace.end_pc as usize))
+    }
+
+    /// A branch or return abandoned the walk mid-segment while
+    /// recording: continue the *decode* (no fuel, no execution) over a
+    /// shadow walk until the segment drains, so the cached trace is
+    /// complete no matter where a later replay's control flow goes. A
+    /// decode that faults or exhausts the stream marks the segment
+    /// uncacheable instead — execution either keeps branching out before
+    /// the bad spot or dies there, so there is never a trace to reuse.
+    fn finish_recording_by_decode(
+        &mut self,
+        rec: &mut SegRecorder,
+        rp: &RuleProgram,
+        code: &[u8],
+        mut pc: usize,
+        walk: &[WalkFrame],
+    ) {
+        let mut shadow: Vec<WalkFrame> = walk.to_vec();
+        loop {
+            if shadow.is_empty() {
+                self.seal_recording(rec, pc);
+                return;
+            }
+            let top = shadow.last_mut().expect("shadow walk is non-empty");
+            if top.ip == top.end {
+                shadow.pop();
+                rec.tick();
+                continue;
+            }
+            let w = rp.op(top.ip);
+            top.ip += 1;
+            match ruleprog::kind(w) {
+                ruleprog::KIND_CHILD => {
+                    rec.tick();
+                    let Some(&b) = code.get(pc) else { break };
+                    pc += 1;
+                    let Some(slot) = rp.select(ruleprog::child_nt(w), b) else {
+                        break;
+                    };
+                    let (ip, end) = rp.rule_range(slot);
+                    shadow.push(WalkFrame { ip, end });
+                    rec.rule(shadow.len());
+                }
+                ruleprog::KIND_EXEC => {
+                    rec.tick();
+                    let mut operands = ruleprog::template(w);
+                    let mut mask = ruleprog::stream_mask(w);
+                    let mut ok = true;
+                    while mask != 0 {
+                        let slot = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let Some(&b) = code.get(pc) else {
+                            ok = false;
+                            break;
+                        };
+                        operands[slot] = b;
+                        pc += 1;
+                    }
+                    if !ok {
+                        break;
+                    }
+                    rec.step(Opcode::ALL[usize::from(ruleprog::opcode_byte(w))], operands);
+                }
+                _ => break,
+            }
+        }
+        self.mark_uncacheable(rec);
+    }
+
+    /// Close a recording into a [`SegTrace`] and publish it.
+    fn seal_recording(&mut self, rec: &mut SegRecorder, end_pc: usize) {
+        let has_calls = rec
+            .steps
+            .iter()
+            .any(|s| s.op.is_local_call() || s.op.is_indirect_call());
+        let trace = SegTrace {
+            steps: std::mem::take(&mut rec.steps).into_boxed_slice(),
+            tail_fuel: rec.win_fuel,
+            tail_rules: rec.win_rules,
+            tail_depth: rec.win_depth,
+            end_pc: end_pc as u32,
+            total_fuel: rec.total_fuel,
+            has_calls,
+        };
+        rec.active = false;
+        if self.seg_cache.len() < self.seg_cache_cap && !self.seg_cache.contains_key(&rec.key) {
+            self.seg_cache_bytes += trace.bytes();
+            self.seg_cache.insert(rec.key, Some(Arc::new(trace)));
+        }
+    }
+
+    /// Publish a negative entry: this segment's decode faults, so never
+    /// try to record it again.
+    fn mark_uncacheable(&mut self, rec: &mut SegRecorder) {
+        rec.active = false;
+        rec.steps.clear();
+        if self.seg_cache.len() < self.seg_cache_cap && !self.seg_cache.contains_key(&rec.key) {
+            self.seg_cache_bytes += size_of::<u64>() + size_of::<Option<Arc<SegTrace>>>();
+            self.seg_cache.insert(rec.key, None);
+        }
+    }
+}
+
+/// One decoded-walk frame of the fast path: a cursor over a rule's
+/// micro-op range.
+#[derive(Clone, Copy)]
+struct WalkFrame {
+    ip: u32,
+    end: u32,
+}
+
+/// Where a segment replay handed control: the next segment's stream
+/// offset (fall-through or taken branch), or out of the procedure.
+enum Replay {
+    Goto(usize),
+    Returned(Slot),
+}
+
+fn seg_key(proc_idx: usize, pc: usize) -> u64 {
+    ((proc_idx as u64) << 32) | pc as u64
+}
+
+/// Accumulates a segment decode into [`SegStep`] windows while the fast
+/// path walks it for real. Inactive recorders make every hook a single
+/// predictable branch.
+#[derive(Default)]
+struct SegRecorder {
+    active: bool,
+    key: u64,
+    steps: Vec<SegStep>,
+    /// Fuel burnt since the last recorded instruction (bookkeeping
+    /// iterations plus the next instruction's own dispatch).
+    win_fuel: u32,
+    /// Rules selected since the last recorded instruction.
+    win_rules: u32,
+    /// Walk-depth peak since the last recorded instruction.
+    win_depth: u32,
+    total_fuel: u64,
+}
+
+impl SegRecorder {
+    fn begin(&mut self, key: u64) {
+        self.active = true;
+        self.key = key;
+        self.steps.clear();
+        self.win_fuel = 0;
+        self.win_rules = 0;
+        self.win_depth = 0;
+        self.total_fuel = 0;
+    }
+
+    /// Count one derivation-walk iteration (one unit of fuel).
+    #[inline]
+    fn tick(&mut self) {
+        if self.active {
+            self.win_fuel += 1;
+            self.total_fuel += 1;
+        }
+    }
+
+    /// Count one rule selection at the given walk depth.
+    #[inline]
+    fn rule(&mut self, depth: usize) {
+        if self.active {
+            self.win_rules += 1;
+            self.win_depth = self.win_depth.max(depth as u32);
+        }
+    }
+
+    /// Close the current window into a recorded instruction.
+    #[inline]
+    fn step(&mut self, op: Opcode, operands: [u8; 4]) {
+        if self.active {
+            self.steps.push(SegStep {
+                op,
+                operands,
+                pre_fuel: self.win_fuel,
+                pre_rules: self.win_rules,
+                pre_depth: self.win_depth,
+            });
+            self.win_fuel = 0;
+            self.win_rules = 0;
+            self.win_depth = 0;
         }
     }
 }

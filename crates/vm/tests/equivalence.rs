@@ -26,19 +26,43 @@ fn run_both_with(src: &str, config: VmConfig) -> RunResult {
     let trained = train(&[&program], &TrainConfig::default()).unwrap();
     let (cp, _) = trained.compress(&program).unwrap();
     let ig = trained.initial();
-    let mut cvm = Vm::new_compressed(
-        &cp.program,
-        trained.expanded(),
-        ig.nt_start,
-        ig.nt_byte,
-        config,
-    )
-    .unwrap();
-    let compressed = cvm.run().unwrap();
-
-    assert_eq!(plain.output, compressed.output, "output diverged");
-    assert_eq!(plain.ret, compressed.ret, "return value diverged");
-    assert_eq!(plain.exit_code, compressed.exit_code, "exit code diverged");
+    // The compressed image must behave identically under every
+    // interpreter configuration: the fast path (default), the fast path
+    // without its segment cache, and the reference rule walker.
+    let variants = [
+        ("fast path", config.clone()),
+        (
+            "fast path, cache off",
+            VmConfig {
+                segment_cache_entries: 0,
+                ..config.clone()
+            },
+        ),
+        (
+            "reference walker",
+            VmConfig {
+                reference_walker: true,
+                ..config
+            },
+        ),
+    ];
+    for (label, config) in variants {
+        let mut cvm = Vm::new_compressed(
+            &cp.program,
+            trained.expanded(),
+            ig.nt_start,
+            ig.nt_byte,
+            config,
+        )
+        .unwrap();
+        let compressed = cvm.run().unwrap();
+        assert_eq!(plain.output, compressed.output, "{label}: output diverged");
+        assert_eq!(plain.ret, compressed.ret, "{label}: return value diverged");
+        assert_eq!(
+            plain.exit_code, compressed.exit_code,
+            "{label}: exit code diverged"
+        );
+    }
     plain
 }
 

@@ -100,24 +100,32 @@ fn corrupted_derivation_streams_error_cleanly() {
 
     // Flip every single byte of the compressed stream in turn; the VM
     // must either still produce *some* clean result or report a clean
-    // error — never panic, never run forever.
+    // error — never panic, never run forever — and the fast path must
+    // reach the identical outcome as the reference walker.
     let code_len = compressed.program.procs[0].code.len();
     let mut clean_errors = 0;
     for i in 0..code_len {
         let mut mutated = compressed.clone();
         mutated.program.procs[0].code[i] ^= 0x55;
-        let mut vm = Vm::new_compressed(
-            &mutated.program,
-            trained.expanded(),
-            ig.nt_start,
-            ig.nt_byte,
-            VmConfig {
-                fuel: 1_000_000,
-                ..VmConfig::default()
-            },
-        )
-        .unwrap();
-        match vm.run() {
+        let run_with = |reference_walker: bool| {
+            let mut vm = Vm::new_compressed(
+                &mutated.program,
+                trained.expanded(),
+                ig.nt_start,
+                ig.nt_byte,
+                VmConfig {
+                    fuel: 1_000_000,
+                    reference_walker,
+                    ..VmConfig::default()
+                },
+            )
+            .unwrap();
+            vm.run()
+        };
+        let reference = run_with(true);
+        let fast = run_with(false);
+        assert_eq!(fast, reference, "byte {i}: interpreter paths diverged");
+        match fast {
             Ok(_) => {}
             Err(
                 VmError::CorruptDerivation { .. }
