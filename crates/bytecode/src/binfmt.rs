@@ -6,14 +6,70 @@
 //! descriptors, label tables, global table — is identical, §3); a kind
 //! byte records which one it is so tools can refuse to run a compressed
 //! image without its grammar.
+//!
+//! ## Format v2: tamper-evident images
+//!
+//! In this scheme the compressed derivation *is* the executable, so a
+//! corrupted image is a production outage, not a decompression warning —
+//! and v1 images could *silently* parse after a byte flip (the
+//! robustness proptests tolerated it). v2 makes corruption detection
+//! deterministic:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "PGRB"
+//!      4     1  version (2)
+//!      5     4  payload length (u32 LE); header+payload is the whole file
+//!      9     4  CRC32 (IEEE) over the payload
+//!     13     …  payload: kind u8, then three length-prefixed sections
+//!               (procs, globals, trailer), each consumed exactly
+//! ```
+//!
+//! Any single-byte change to the payload fails the checksum; any change
+//! to the header fails magic/version/length checks; section framing
+//! localizes structural damage. There is no v1 compatibility path — a
+//! version byte of 1 is rejected outright, never half-parsed.
 
 use crate::program::{GlobalEntry, Procedure, Program};
+use pgr_telemetry::faults::{self, FaultPoint};
 use std::fmt;
 
 /// File magic for program images.
 pub const MAGIC: &[u8; 4] = b"PGRB";
 /// Current format version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+/// Bytes before the checksummed payload: magic, version, payload length,
+/// CRC32.
+pub const HEADER_LEN: usize = 13;
+
+/// The IEEE CRC32 (reflected, polynomial `0xEDB88320`) of `bytes` — the
+/// checksum v2 images carry over their payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[usize::from((c as u8) ^ b)] ^ (c >> 8);
+    }
+    !c
+}
 
 /// What a serialized image holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +106,29 @@ pub enum BinError {
     BadVersion(u8),
     /// Stream ended early or a field is malformed.
     Truncated,
+    /// Bytes present beyond the declared payload length.
+    TrailingBytes {
+        /// How many unexpected bytes follow the payload.
+        extra: usize,
+    },
+    /// The payload failed its CRC32 check: the image was corrupted
+    /// after it was written.
+    ChecksumMismatch {
+        /// The checksum the header promises.
+        expected: u32,
+        /// The checksum the payload actually has.
+        found: u32,
+    },
+    /// A section's declared length disagrees with the bytes its content
+    /// actually occupies.
+    SectionLength {
+        /// Which section ("procs" or "globals").
+        section: &'static str,
+        /// The length the framing declared.
+        declared: usize,
+        /// The bytes parsing actually consumed.
+        consumed: usize,
+    },
     /// Invalid enum tag at the given offset.
     BadTag {
         /// Offset of the bad tag byte.
@@ -57,6 +136,9 @@ pub enum BinError {
     },
     /// A string field is not UTF-8.
     BadString,
+    /// A deterministic fault-injection trip (test harness only; never
+    /// produced in production, where injection is disabled).
+    Injected,
 }
 
 impl fmt::Display for BinError {
@@ -65,8 +147,24 @@ impl fmt::Display for BinError {
             BinError::BadMagic => write!(f, "not a PGRB image"),
             BinError::BadVersion(v) => write!(f, "unsupported image version {v}"),
             BinError::Truncated => write!(f, "truncated image"),
+            BinError::TrailingBytes { extra } => {
+                write!(f, "{extra} unexpected byte(s) after the declared payload")
+            }
+            BinError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "payload checksum mismatch (header says {expected:#010x}, payload is {found:#010x}): image corrupted"
+            ),
+            BinError::SectionLength {
+                section,
+                declared,
+                consumed,
+            } => write!(
+                f,
+                "{section} section declares {declared} byte(s) but parses as {consumed}"
+            ),
             BinError::BadTag { offset } => write!(f, "invalid tag at offset {offset}"),
             BinError::BadString => write!(f, "invalid UTF-8 in a name"),
+            BinError::Injected => write!(f, "injected image-read fault (test harness)"),
         }
     }
 }
@@ -132,12 +230,27 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serialize a program.
+/// Begin a length-prefixed section: write the placeholder, return the
+/// patch position.
+fn begin_section(w: &mut Writer) -> usize {
+    w.u32(0);
+    w.out.len()
+}
+
+/// Close a section begun at `start`, patching its length prefix.
+fn end_section(w: &mut Writer, start: usize) {
+    let len = (w.out.len() - start) as u32;
+    w.out[start - 4..start].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Serialize a program as a v2 image (checksummed payload, framed
+/// sections).
 pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
+    // Build the payload first; the header's length and CRC32 cover it.
     let mut w = Writer { out: Vec::new() };
-    w.out.extend_from_slice(MAGIC);
-    w.u8(VERSION);
     w.u8(kind.to_u8());
+
+    let procs = begin_section(&mut w);
     w.u16(program.procs.len() as u16);
     for p in &program.procs {
         w.name(&p.name);
@@ -150,6 +263,9 @@ pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
             w.u32(l);
         }
     }
+    end_section(&mut w, procs);
+
+    let globals = begin_section(&mut w);
     w.u16(program.globals.len() as u16);
     for g in &program.globals {
         match g {
@@ -173,18 +289,49 @@ pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
             }
         }
     }
+    end_section(&mut w, globals);
+
+    let trailer = begin_section(&mut w);
     w.bytes(&program.data);
     w.u32(program.bss_size);
     w.u32(program.entry);
-    w.out
+    end_section(&mut w, trailer);
+
+    let payload = w.out;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
 }
 
-/// Deserialize a program.
+/// Check that a framed section parsed as exactly as many bytes as it
+/// declared.
+fn check_section(section: &'static str, declared: usize, consumed: usize) -> Result<(), BinError> {
+    if declared == consumed {
+        Ok(())
+    } else {
+        Err(BinError::SectionLength {
+            section,
+            declared,
+            consumed,
+        })
+    }
+}
+
+/// Deserialize a v2 program image. The payload checksum is verified
+/// before any structural parsing, so a corrupted image is rejected
+/// deterministically — it can never half-parse.
 ///
 /// # Errors
 ///
 /// See [`BinError`].
 pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
+    if faults::fire(FaultPoint::ImageRead) {
+        return Err(BinError::Injected);
+    }
     let mut r = Reader { bytes, pos: 0 };
     if r.take(4)? != MAGIC {
         return Err(BinError::BadMagic);
@@ -193,10 +340,26 @@ pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
     if version != VERSION {
         return Err(BinError::BadVersion(version));
     }
+    let payload_len = r.u32()? as usize;
+    let expected = r.u32()?;
+    debug_assert_eq!(r.pos, HEADER_LEN);
+    match bytes.len().checked_sub(HEADER_LEN + payload_len) {
+        None => return Err(BinError::Truncated),
+        Some(0) => {}
+        Some(extra) => return Err(BinError::TrailingBytes { extra }),
+    }
+    let found = crc32(&bytes[HEADER_LEN..]);
+    if found != expected {
+        return Err(BinError::ChecksumMismatch { expected, found });
+    }
+
     let kind_off = r.pos;
     let kind = ImageKind::from_u8(r.u8()?).ok_or(BinError::BadTag { offset: kind_off })?;
 
     let mut program = Program::new();
+
+    let declared = r.u32()? as usize;
+    let start = r.pos;
     let nprocs = r.u16()? as usize;
     for _ in 0..nprocs {
         let mut p = Procedure::new(r.name()?);
@@ -210,6 +373,10 @@ pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
         }
         program.procs.push(p);
     }
+    check_section("procs", declared, r.pos - start)?;
+
+    let declared = r.u32()? as usize;
+    let start = r.pos;
     let nglobals = r.u16()? as usize;
     for _ in 0..nglobals {
         let offset = r.pos;
@@ -230,10 +397,19 @@ pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
         };
         program.globals.push(entry);
     }
+    check_section("globals", declared, r.pos - start)?;
+
+    let declared = r.u32()? as usize;
+    let start = r.pos;
     program.data = r.bytes()?;
     program.bss_size = r.u32()?;
     program.entry = r.u32()?;
-    Ok((program, kind))
+    check_section("trailer", declared, r.pos - start)?;
+
+    match bytes.len() - r.pos {
+        0 => Ok((program, kind)),
+        extra => Err(BinError::TrailingBytes { extra }),
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +431,15 @@ mod tests {
         .unwrap()
     }
 
+    /// Patch one payload byte and re-stamp the CRC, simulating a
+    /// *structurally* corrupt image whose checksum is consistent (e.g. a
+    /// buggy writer rather than bit rot).
+    fn patch(bytes: &mut [u8], offset: usize, value: u8) {
+        bytes[offset] = value;
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[9..13].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn roundtrips() {
         let program = sample();
@@ -272,6 +457,10 @@ mod tests {
         let mut bytes = write_program(&sample(), ImageKind::Uncompressed);
         bytes[4] = 99;
         assert_eq!(read_program(&bytes).unwrap_err(), BinError::BadVersion(99));
+        // v1 images are rejected outright, never half-parsed.
+        let mut bytes = write_program(&sample(), ImageKind::Uncompressed);
+        bytes[4] = 1;
+        assert_eq!(read_program(&bytes).unwrap_err(), BinError::BadVersion(1));
         let bytes = write_program(&sample(), ImageKind::Uncompressed);
         for cut in [5, 8, 20, bytes.len() - 1] {
             assert!(read_program(&bytes[..cut]).is_err(), "cut at {cut}");
@@ -279,12 +468,64 @@ mod tests {
     }
 
     #[test]
+    fn every_payload_byte_is_checksummed() {
+        let bytes = write_program(&sample(), ImageKind::Uncompressed);
+        for offset in HEADER_LEN..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x40;
+            assert!(
+                matches!(
+                    read_program(&corrupt).unwrap_err(),
+                    BinError::ChecksumMismatch { .. }
+                ),
+                "flip at {offset} escaped the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatches_are_detected() {
+        let bytes = write_program(&sample(), ImageKind::Uncompressed);
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            read_program(&extended).unwrap_err(),
+            BinError::TrailingBytes { extra: 1 }
+        );
+        assert_eq!(
+            read_program(&bytes[..bytes.len() - 1]).unwrap_err(),
+            BinError::Truncated
+        );
+    }
+
+    #[test]
     fn bad_tags_are_reported() {
         let mut bytes = write_program(&sample(), ImageKind::Uncompressed);
-        bytes[5] = 7; // image kind
+        // The image kind is the first payload byte; re-stamp the CRC so
+        // the structural check (not the checksum) must catch it.
+        patch(&mut bytes, HEADER_LEN, 7);
         assert!(matches!(
             read_program(&bytes).unwrap_err(),
             BinError::BadTag { .. }
+        ));
+    }
+
+    #[test]
+    fn section_framing_catches_consistent_corruption() {
+        let bytes = write_program(&sample(), ImageKind::Uncompressed);
+        // Shrink the procs section's declared length (its u32 starts
+        // right after the kind byte) with a consistent checksum: parsing
+        // consumes more than declared.
+        let mut short = bytes.clone();
+        patch(&mut short, HEADER_LEN + 1, 1);
+        assert!(matches!(
+            read_program(&short).unwrap_err(),
+            BinError::SectionLength {
+                section: "procs",
+                ..
+            } | BinError::Truncated
+                | BinError::BadTag { .. }
+                | BinError::BadString
         ));
     }
 
@@ -294,5 +535,16 @@ mod tests {
         let bytes = write_program(&program, ImageKind::Uncompressed);
         let (back, _) = read_program(&bytes).unwrap();
         assert_eq!(back, program);
+    }
+
+    #[test]
+    fn injected_image_read_faults_surface_as_errors() {
+        use pgr_telemetry::faults::{self, FaultMode, FaultPlan, FaultPoint};
+
+        let bytes = write_program(&sample(), ImageKind::Uncompressed);
+        let _g = faults::install(FaultPlan::new().with(FaultPoint::ImageRead, FaultMode::Nth(2)));
+        assert!(read_program(&bytes).is_ok());
+        assert_eq!(read_program(&bytes).unwrap_err(), BinError::Injected);
+        assert!(read_program(&bytes).is_ok());
     }
 }

@@ -56,6 +56,7 @@
 
 pub mod asm;
 pub mod binfmt;
+pub mod escape;
 pub mod image;
 pub mod insn;
 pub mod opcode;

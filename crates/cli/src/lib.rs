@@ -49,6 +49,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "compress" => compress(rest),
         "decompress" => decompress(rest),
         "run" => cmd_run(rest),
+        "verify" => verify(rest),
         "stats" => stats(rest),
         "cgen" => cgen(rest),
         "metrics-check" => metrics_check(rest),
@@ -61,14 +62,16 @@ pub fn run(args: &[String]) -> Result<i32, String> {
 }
 
 fn usage() -> String {
-    "usage: pgr <compile|disasm|train|compress|decompress|run|stats|cgen|metrics-check|help> ...\n\
+    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|metrics-check|help> ...\n\
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
      \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
+     \x20     [--earley-budget ITEMS[,COLUMNS]] [--no-fallback]\n\
      \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
      \x20     [--segment-cache N] [--reference-walker]\n\
+     \x20 verify <in.pgrb|in.pgrc> [-g <g.pgrg>]\n\
      \x20 stats <in.pgrb>\n\
      \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>\n\
      \x20 metrics-check <metrics.json>\n\
@@ -110,6 +113,7 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--trace"
             || a == "--threads"
             || a == "--batch-bytes"
+            || a == "--earley-budget"
             || a == "--segment-cache"
             || a == "--metrics"
             || a == "--metrics-out"
@@ -125,6 +129,23 @@ fn positionals(args: &[String]) -> Vec<&str> {
         out.push(a.as_str());
     }
     out
+}
+
+/// Parse `--earley-budget ITEMS[,COLUMNS]` into an [`EarleyBudget`]:
+/// a cap on chart items, optionally followed by a cap on chart columns
+/// (token count + 1).
+fn parse_budget(v: &str) -> Result<pgr_core::EarleyBudget, String> {
+    let bad = || format!("bad --earley-budget {v:?} (expected ITEMS[,COLUMNS])");
+    let mut parts = v.splitn(2, ',');
+    let items = parts
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    let mut budget = pgr_core::EarleyBudget::UNLIMITED.max_items(items);
+    if let Some(cols) = parts.next() {
+        budget = budget.max_columns(cols.parse::<usize>().map_err(|_| bad())?);
+    }
+    Ok(budget)
 }
 
 // ---- telemetry plumbing -----------------------------------------------
@@ -353,6 +374,12 @@ fn compress(args: &[String]) -> Result<i32, String> {
                 .map_err(|_| format!("bad --batch-bytes {v:?}"))?,
         );
     }
+    if let Some(v) = opt_value(args, "--earley-budget") {
+        config = config.earley_budget(parse_budget(v)?);
+    }
+    if flag(args, "--no-fallback") {
+        config = config.fallback(false);
+    }
     let engine =
         pgr_core::Compressor::with_recorder(&grammar, start, config, recorder_of(&metrics));
     let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;
@@ -363,6 +390,12 @@ fn compress(args: &[String]) -> Result<i32, String> {
         stats.compressed_code,
         100.0 * stats.ratio()
     );
+    if stats.fallback_segments > 0 {
+        eprintln!(
+            "note: {} segment(s) stored verbatim (parse failed or budget hit)",
+            stats.fallback_segments
+        );
+    }
     if timings {
         let t = stats.timings;
         eprintln!(
@@ -469,6 +502,60 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         .map_err(|e| e.to_string())?;
     emit_metrics(&metrics)?;
     Ok(result.exit_code.unwrap_or_else(|| result.ret.i()))
+}
+
+/// `pgr verify <image>`: check an image end-to-end without executing
+/// it — magic, version, section framing, and payload checksum (all
+/// enforced by `read_program`), a byte-exact re-serialization, static
+/// validation for uncompressed images, and (with `-g`) a decompression
+/// round-trip for compressed ones. Exit 0 means the image is intact.
+fn verify(args: &[String]) -> Result<i32, String> {
+    let pos = positionals(args);
+    let [input] = pos.as_slice() else {
+        return Err("verify takes exactly one image".into());
+    };
+    let bytes = read_file(input)?;
+    // Magic, version, lengths, and CRC32 are all checked here; any
+    // mutation of the checksummed payload surfaces as an error.
+    let (program, kind) = read_program(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    // The format is canonical: re-encoding the parsed contents must
+    // reproduce the file byte for byte, or something survived parsing
+    // that the writer would never emit.
+    if write_program(&program, kind) != bytes {
+        return Err(format!(
+            "{input}: image is not the canonical serialization of its contents"
+        ));
+    }
+    match kind {
+        ImageKind::Uncompressed => {
+            validate_program(&program).map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
+            eprintln!(
+                "{input}: OK — uncompressed, {} procedure(s), {} code bytes, checksum and validator pass",
+                program.procs.len(),
+                program.code_size()
+            );
+        }
+        ImageKind::Compressed => match opt_value(args, "-g") {
+            Some(g) => {
+                let (grammar, start, _) = read_grammar_file(&read_file(g)?)?;
+                let cp = pgr_core::CompressedProgram { program };
+                let back = pgr_core::compress::decompress_program(&grammar, start, &cp)
+                    .map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
+                validate_program(&back).map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
+                eprintln!(
+                    "{input}: OK — compressed, {} procedure(s), decompresses to {} valid code bytes",
+                    cp.program.procs.len(),
+                    back.code_size()
+                );
+            }
+            None => eprintln!(
+                "{input}: OK — compressed, {} procedure(s), checksum and framing pass \
+                 (pass -g <grammar> to also check decompression)",
+                program.procs.len()
+            ),
+        },
+    }
+    Ok(0)
 }
 
 fn stats(args: &[String]) -> Result<i32, String> {

@@ -15,11 +15,12 @@
 
 use crate::canonical::CanonError;
 use crate::engine::PhaseTimings;
-use pgr_bytecode::{Opcode, Procedure, Program};
+use pgr_bytecode::{escape, Opcode, Procedure, Program};
 use pgr_earley::NoParse;
 use pgr_grammar::derivation::DerivationError;
 use pgr_grammar::initial::{detokenize, TokenizeError};
 use pgr_grammar::{Derivation, Grammar, Nt};
+use pgr_telemetry::faults::{self, FaultPoint};
 use std::fmt;
 
 /// A compressed program: same packaging as [`Program`] (descriptors,
@@ -46,6 +47,10 @@ pub struct CompressionStats {
     pub compressed_code: usize,
     /// Number of segments encoded.
     pub segments: usize,
+    /// Segments that had no derivation (or blew the Earley budget) and
+    /// were emitted as verbatim escapes instead (see
+    /// [`CompressorConfig::fallback`](crate::engine::CompressorConfig::fallback)).
+    pub fallback_segments: usize,
     /// Per-phase wall-clock cost; all zero unless
     /// [`CompressorConfig::collect_timings`](crate::engine::CompressorConfig::collect_timings)
     /// was set.
@@ -68,6 +73,7 @@ impl CompressionStats {
             original_code: self.original_code + other.original_code,
             compressed_code: self.compressed_code + other.compressed_code,
             segments: self.segments + other.segments,
+            fallback_segments: self.fallback_segments + other.fallback_segments,
             timings: self.timings.merge(other.timings),
         }
     }
@@ -86,7 +92,9 @@ pub enum CompressError {
         error: TokenizeError,
     },
     /// A segment is not in the grammar's language (ill-formed postfix
-    /// code; run the validator on the input).
+    /// code; run the validator on the input). With fallback enabled the
+    /// engine degrades to a verbatim escape instead of reporting this;
+    /// see [`CompressorConfig::fallback`](crate::engine::CompressorConfig::fallback).
     NoParse {
         /// Procedure name.
         proc: String,
@@ -94,6 +102,18 @@ pub enum CompressError {
         segment_offset: usize,
         /// The parser's report.
         error: NoParse,
+    },
+    /// An encoder worker panicked on this segment. The panic was caught
+    /// at the segment boundary (`catch_unwind`), so other segments and
+    /// the engine itself are unaffected; the payload's message is
+    /// preserved here.
+    WorkerPanic {
+        /// Procedure name.
+        proc: String,
+        /// Byte offset of the offending segment.
+        segment_offset: usize,
+        /// The panic payload, if it was a string (the common case).
+        message: String,
     },
 }
 
@@ -107,6 +127,14 @@ impl fmt::Display for CompressError {
                 segment_offset,
                 error,
             } => write!(f, "{proc}: segment at {segment_offset}: {error}"),
+            CompressError::WorkerPanic {
+                proc,
+                segment_offset,
+                message,
+            } => write!(
+                f,
+                "{proc}: segment at {segment_offset}: encoder worker panicked: {message}"
+            ),
         }
     }
 }
@@ -117,6 +145,7 @@ impl std::error::Error for CompressError {
             CompressError::Canon(e) => Some(e),
             CompressError::Tokenize { error, .. } => Some(error),
             CompressError::NoParse { error, .. } => Some(error),
+            CompressError::WorkerPanic { .. } => None,
         }
     }
 }
@@ -150,6 +179,19 @@ pub enum DecompressError {
         /// Procedure name.
         proc: String,
     },
+    /// A verbatim escape's declared payload runs past the next segment
+    /// boundary (or off the end of the stream).
+    VerbatimOverrun {
+        /// Procedure name.
+        proc: String,
+        /// Stream offset of the escape marker.
+        offset: usize,
+    },
+    /// A deterministic fault-injection trip (test harness only).
+    Injected {
+        /// Procedure name.
+        proc: String,
+    },
 }
 
 impl fmt::Display for DecompressError {
@@ -162,6 +204,15 @@ impl fmt::Display for DecompressError {
             DecompressError::Detokenize { proc } => {
                 write!(f, "{proc}: expanded tokens are not valid instructions")
             }
+            DecompressError::VerbatimOverrun { proc, offset } => {
+                write!(
+                    f,
+                    "{proc}: verbatim escape at {offset} overruns its segment"
+                )
+            }
+            DecompressError::Injected { proc } => {
+                write!(f, "{proc}: injected decode fault (test harness)")
+            }
         }
     }
 }
@@ -170,7 +221,10 @@ impl std::error::Error for DecompressError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DecompressError::Derivation { error, .. } => Some(error),
-            DecompressError::Misaligned { .. } | DecompressError::Detokenize { .. } => None,
+            DecompressError::Misaligned { .. }
+            | DecompressError::Detokenize { .. }
+            | DecompressError::VerbatimOverrun { .. }
+            | DecompressError::Injected { .. } => None,
         }
     }
 }
@@ -186,6 +240,11 @@ fn decompress_procedure(
     boundaries.sort_unstable();
     boundaries.dedup();
 
+    // The escape marker is only unambiguous when the start non-terminal
+    // kept its last one-byte rule index free (trained grammars always
+    // do; see `ExpanderConfig::escape_reserve`).
+    let verbatim_ok = grammar.rules_of(start).len() <= usize::from(escape::VERBATIM_MARKER);
+
     let mut out = Vec::new();
     let mut label_map: Vec<(u32, u32)> = Vec::new(); // compressed off -> new off
     let mut pos = 0usize;
@@ -199,16 +258,37 @@ fn decompress_procedure(
         if pos >= proc.code.len() {
             break;
         }
+        if faults::fire(FaultPoint::Decode) {
+            return Err(DecompressError::Injected {
+                proc: proc.name.clone(),
+            });
+        }
+        let limit = boundaries
+            .get(bi)
+            .map(|&b| b as usize)
+            .unwrap_or(proc.code.len());
+        if verbatim_ok && proc.code[pos] == escape::VERBATIM_MARKER {
+            // A verbatim escape: copy the raw canonical bytes through.
+            let end = match escape::decode_verbatim_header(&proc.code[pos..]) {
+                Some(len) => pos + escape::VERBATIM_HEADER + len,
+                None => proc.code.len() + 1, // truncated header
+            };
+            if end > limit {
+                return Err(DecompressError::VerbatimOverrun {
+                    proc: proc.name.clone(),
+                    offset: pos,
+                });
+            }
+            out.extend_from_slice(&proc.code[pos + escape::VERBATIM_HEADER..end]);
+            pos = end;
+            continue;
+        }
         let (derivation, used) = Derivation::from_bytes(grammar, start, &proc.code[pos..])
             .map_err(|error| DecompressError::Derivation {
                 proc: proc.name.clone(),
                 error,
             })?;
         let end = pos + used;
-        let limit = boundaries
-            .get(bi)
-            .map(|&b| b as usize)
-            .unwrap_or(proc.code.len());
         if end > limit {
             return Err(DecompressError::Misaligned {
                 proc: proc.name.clone(),
@@ -346,14 +426,66 @@ entry check
     }
 
     #[test]
-    fn ill_formed_code_reports_no_parse() {
+    fn ill_formed_code_reports_no_parse_in_strict_mode() {
+        use crate::engine::CompressorConfig;
+
         let ig = InitialGrammar::build();
         let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
         prog.procs[0].code = vec![pgr_bytecode::Opcode::ADDU as u8];
-        let err = Compressor::new(&ig.grammar, ig.nt_start)
-            .compress(&prog)
-            .unwrap_err();
+        let err = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default().fallback(false),
+        )
+        .compress(&prog)
+        .unwrap_err();
         assert!(matches!(err, CompressError::NoParse { .. }));
+    }
+
+    #[test]
+    fn verbatim_escapes_decompress_byte_identically() {
+        use pgr_bytecode::escape;
+
+        let ig = InitialGrammar::build();
+        // Hand-build a compressed procedure mixing a real derivation and
+        // a verbatim escape: [escape(ADDU)] LABELV [derivation(RETV)].
+        let raw = vec![pgr_bytecode::Opcode::ADDU as u8];
+        let escaped = escape::encode_verbatim(&raw).unwrap();
+        let retv = tokenize(&[pgr_bytecode::Opcode::RETV as u8]);
+        let derivation_bytes = pgr_earley::ShortestParser::new(&ig.grammar)
+            .parse(ig.nt_start, &retv)
+            .unwrap()
+            .to_bytes(&ig.grammar.rule_index_map());
+        let mut code = escaped.clone();
+        let label_off = code.len() as u32;
+        code.extend_from_slice(&derivation_bytes);
+        let mut proc = Procedure::new("mixed");
+        proc.code = code;
+        proc.labels = vec![label_off];
+        let mut program = Program::new();
+        program.procs.push(proc);
+        let cp = CompressedProgram { program };
+
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+        assert_eq!(
+            back.procs[0].code,
+            [
+                raw.clone(),
+                vec![Opcode::LABELV as u8],
+                vec![pgr_bytecode::Opcode::RETV as u8]
+            ]
+            .concat()
+        );
+
+        // An escape whose length overruns its segment is a clean error.
+        let mut bad = cp.clone();
+        bad.program.procs[0].code[1] = 0xEE; // huge declared length
+        let err = decompress_program(&ig.grammar, ig.nt_start, &bad).unwrap_err();
+        assert!(matches!(err, DecompressError::VerbatimOverrun { .. }));
+    }
+
+    fn tokenize(code: &[u8]) -> Vec<pgr_grammar::Terminal> {
+        pgr_grammar::initial::tokenize_segment(code).unwrap()
     }
 
     #[test]

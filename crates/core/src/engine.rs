@@ -35,15 +35,17 @@
 
 use crate::canonical::canonicalize_program;
 use crate::compress::{decompress_program, CompressError, CompressedProgram, CompressionStats};
-use pgr_bytecode::{instrs, Opcode, Procedure, Program};
-use pgr_earley::{ChartArena, ShortestParser};
+use pgr_bytecode::{escape, instrs, Opcode, Procedure, Program};
+use pgr_earley::{ChartArena, EarleyBudget, NoParse, ShortestParser};
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Grammar, Nt, Terminal};
+use pgr_telemetry::faults::{self, FaultPoint};
 use pgr_telemetry::{names, Metrics, Recorder, Stopwatch};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Wall-clock cost of each compression phase, surfaced on
@@ -108,6 +110,17 @@ pub struct CompressorConfig {
     /// Whether to measure per-phase wall-clock time into
     /// [`CompressionStats::timings`].
     pub collect_timings: bool,
+    /// Work budget for each per-segment Earley parse. Unlimited by
+    /// default; a limited budget turns a pathological chart into a clean
+    /// [`NoParse::BudgetExceeded`], which `fallback` then degrades
+    /// through.
+    pub earley_budget: EarleyBudget,
+    /// Degrade gracefully on per-segment parse failures (no derivation,
+    /// or budget exceeded) by emitting the segment as a verbatim escape
+    /// (`pgr_bytecode::escape`) instead of failing the whole program.
+    /// On by default; disable for strict, fail-fast behavior
+    /// (`pgr compress --no-fallback`).
+    pub fallback: bool,
 }
 
 impl Default for CompressorConfig {
@@ -117,6 +130,8 @@ impl Default for CompressorConfig {
             segment_cache_capacity: 4096,
             batch_bytes: 1024,
             collect_timings: false,
+            earley_budget: EarleyBudget::UNLIMITED,
+            fallback: true,
         }
     }
 }
@@ -143,6 +158,18 @@ impl CompressorConfig {
     /// Enable or disable per-phase timing collection.
     pub fn collect_timings(mut self, collect: bool) -> CompressorConfig {
         self.collect_timings = collect;
+        self
+    }
+
+    /// Set the per-segment Earley work budget.
+    pub fn earley_budget(mut self, budget: EarleyBudget) -> CompressorConfig {
+        self.earley_budget = budget;
+        self
+    }
+
+    /// Enable or disable verbatim-escape fallback on parse failures.
+    pub fn fallback(mut self, fallback: bool) -> CompressorConfig {
+        self.fallback = fallback;
         self
     }
 }
@@ -218,6 +245,9 @@ enum Event {
 /// The product of one encoded segment.
 struct EncodedSegment {
     bytes: Vec<u8>,
+    /// Whether the segment was emitted as a verbatim escape rather than
+    /// a derivation (parse failure + fallback).
+    fallback: bool,
     tokenize: Duration,
     parse: Duration,
 }
@@ -235,10 +265,16 @@ pub struct Compressor<'g> {
     threads: usize,
     batch_bytes: usize,
     collect_timings: bool,
+    earley_budget: EarleyBudget,
+    fallback: bool,
+    /// Whether the grammar left rule index `0xFF` of the start
+    /// non-terminal unassigned, making the verbatim marker unambiguous.
+    verbatim_ok: bool,
     recorder: Recorder,
     cache: Option<Mutex<SegmentCache>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_poisoned: AtomicU64,
 }
 
 impl<'g> Compressor<'g> {
@@ -279,11 +315,35 @@ impl<'g> Compressor<'g> {
             threads,
             batch_bytes: config.batch_bytes,
             collect_timings: config.collect_timings,
+            earley_budget: config.earley_budget,
+            fallback: config.fallback,
+            verbatim_ok: grammar.rules_of(start).len() <= usize::from(escape::VERBATIM_MARKER),
             recorder,
             cache: (config.segment_cache_capacity > 0)
                 .then(|| Mutex::new(SegmentCache::new(config.segment_cache_capacity))),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_poisoned: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the segment cache, recovering from poisoning: a worker that
+    /// panicked while holding the lock may have left a half-applied
+    /// insert, so the recovered cache is cleared (correctness never
+    /// depends on its contents) and `compress.cache.poisoned` counts the
+    /// event. `Mutex::clear_poison` makes the recovery one-shot instead
+    /// of firing on every subsequent lock.
+    fn lock_cache<'a>(&self, cache: &'a Mutex<SegmentCache>) -> MutexGuard<'a, SegmentCache> {
+        match cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.order.clear();
+                self.cache_poisoned.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
         }
     }
 
@@ -325,14 +385,20 @@ impl<'g> Compressor<'g> {
             entries: self
                 .cache
                 .as_ref()
-                .map(|c| c.lock().expect("cache lock").map.len())
+                .map(|c| self.lock_cache(c).map.len())
                 .unwrap_or(0),
             capacity: self
                 .cache
                 .as_ref()
-                .map(|c| c.lock().expect("cache lock").capacity)
+                .map(|c| self.lock_cache(c).capacity)
                 .unwrap_or(0),
         }
+    }
+
+    /// How many times the segment cache recovered from lock poisoning
+    /// (see `compress.cache.poisoned`).
+    pub fn cache_poisonings(&self) -> u64 {
+        self.cache_poisoned.load(Ordering::Relaxed)
     }
 
     /// Compress a program under the engine's grammar.
@@ -356,6 +422,7 @@ impl<'g> Compressor<'g> {
 
         let cache_hits_before = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses_before = self.cache_misses.load(Ordering::Relaxed);
+        let cache_poisoned_before = self.cache_poisoned.load(Ordering::Relaxed);
 
         // Plan: one job per non-empty straight-line segment, plus the
         // assembly script (segments and labels in code order) per
@@ -414,6 +481,7 @@ impl<'g> Compressor<'g> {
                         code.extend_from_slice(&encoded[job].bytes);
                         proc_stats = proc_stats.merge(CompressionStats {
                             segments: 1,
+                            fallback_segments: usize::from(encoded[job].fallback),
                             timings: PhaseTimings {
                                 tokenize: encoded[job].tokenize,
                                 parse: encoded[job].parse,
@@ -467,6 +535,16 @@ impl<'g> Compressor<'g> {
                 names::CACHE_MISSES,
                 self.cache_misses.load(Ordering::Relaxed) - cache_misses_before,
             );
+            // Pinned by the metrics schema: always emitted, zero or not,
+            // so schema validation sees the keys on every compress run.
+            batch.add(
+                names::COMPRESS_FALLBACK_SEGMENTS,
+                stats.fallback_segments as u64,
+            );
+            batch.add(
+                names::COMPRESS_CACHE_POISONED,
+                self.cache_poisoned.load(Ordering::Relaxed) - cache_poisoned_before,
+            );
             let cache = self.cache_stats();
             batch.gauge_max(names::CACHE_ENTRIES, cache.entries as u64);
             batch.gauge_max(names::CACHE_CAPACITY, cache.capacity as u64);
@@ -517,7 +595,11 @@ impl<'g> Compressor<'g> {
             return jobs
                 .iter()
                 .map(|job| {
-                    self.encode_segment(&mut arena, &canon.procs[job.proc], job.range.clone())
+                    self.encode_segment_isolated(
+                        &mut arena,
+                        &canon.procs[job.proc],
+                        job.range.clone(),
+                    )
                 })
                 .collect();
         }
@@ -537,7 +619,7 @@ impl<'g> Compressor<'g> {
                                 let job = &jobs[i];
                                 done.push((
                                     i,
-                                    self.encode_segment(
+                                    self.encode_segment_isolated(
                                         &mut arena,
                                         &canon.procs[job.proc],
                                         job.range.clone(),
@@ -562,6 +644,39 @@ impl<'g> Compressor<'g> {
             .collect()
     }
 
+    /// Isolate one segment's encoding behind `catch_unwind`: a panic
+    /// (a parser bug, or the injected cache-lock fault in the test
+    /// harness) surfaces as a structured [`CompressError::WorkerPanic`]
+    /// for that segment while every other segment — including the rest
+    /// of this worker's batch stride — still encodes normally.
+    fn encode_segment_isolated(
+        &self,
+        arena: &mut ChartArena,
+        proc: &Procedure,
+        range: Range<usize>,
+    ) -> Result<EncodedSegment, CompressError> {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            self.encode_segment(arena, proc, range.clone())
+        }));
+        attempt.unwrap_or_else(|payload| {
+            Err(CompressError::WorkerPanic {
+                proc: proc.name.clone(),
+                segment_offset: range.start,
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
+    /// The graceful-degradation path: encode `raw` as a verbatim escape,
+    /// or propagate `err` when fallback is disabled, the grammar kept no
+    /// escape index, or the segment exceeds the escape's length field.
+    fn fall_back(&self, raw: &[u8], err: CompressError) -> Result<Vec<u8>, CompressError> {
+        if !self.fallback || !self.verbatim_ok {
+            return Err(err);
+        }
+        escape::encode_verbatim(raw).ok_or(err)
+    }
+
     /// Tokenize and encode one segment, consulting the memo cache.
     fn encode_segment(
         &self,
@@ -572,21 +687,33 @@ impl<'g> Compressor<'g> {
         // One enabled check per segment; workers never read the clock
         // unless someone is observing.
         let timed = self.timings_on();
+        let raw = &proc.code[range.clone()];
 
         let sw = Stopwatch::start_if(timed);
-        let tokens = tokenize_segment(&proc.code[range.clone()]).map_err(|error| {
-            CompressError::Tokenize {
-                proc: proc.name.clone(),
-                error,
+        let tokens = match tokenize_segment(raw) {
+            Ok(tokens) => tokens,
+            Err(error) => {
+                let err = CompressError::Tokenize {
+                    proc: proc.name.clone(),
+                    error,
+                };
+                let bytes = self.fall_back(raw, err)?;
+                return Ok(EncodedSegment {
+                    bytes,
+                    fallback: true,
+                    tokenize: sw.elapsed(),
+                    parse: Duration::default(),
+                });
             }
-        })?;
+        };
         let tokenize = sw.elapsed();
 
         if let Some(cache) = &self.cache {
-            if let Some(bytes) = cache.lock().expect("cache lock").get(&tokens) {
+            if let Some(bytes) = self.lock_cache(cache).get(&tokens) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(EncodedSegment {
                     bytes,
+                    fallback: false,
                     tokenize,
                     parse: Duration::default(),
                 });
@@ -595,28 +722,62 @@ impl<'g> Compressor<'g> {
         }
 
         let sw = Stopwatch::start_if(timed);
-        let derivation = self
-            .parser
-            .parse_into(arena, self.start, &tokens)
-            .map_err(|error| CompressError::NoParse {
-                proc: proc.name.clone(),
-                segment_offset: range.start,
-                error,
-            })?;
+        let parsed = if faults::fire(FaultPoint::Parse) {
+            Err(NoParse::NoDerivation { furthest: 0 })
+        } else {
+            self.parser
+                .parse_into_budgeted(arena, self.start, &tokens, &self.earley_budget)
+        };
+        let derivation = match parsed {
+            Ok(derivation) => derivation,
+            Err(error) => {
+                let err = CompressError::NoParse {
+                    proc: proc.name.clone(),
+                    segment_offset: range.start,
+                    error,
+                };
+                // Fallback segments are never cached: the cache must
+                // hold only derivation bytes, so cache-on and cache-off
+                // runs report identical fallback counts.
+                let bytes = self.fall_back(raw, err)?;
+                return Ok(EncodedSegment {
+                    bytes,
+                    fallback: true,
+                    tokenize,
+                    parse: sw.elapsed(),
+                });
+            }
+        };
         let bytes = derivation.to_bytes(&self.index_map);
         let parse = sw.elapsed();
 
         if let Some(cache) = &self.cache {
-            cache
-                .lock()
-                .expect("cache lock")
-                .insert(tokens, bytes.clone());
+            let mut guard = self.lock_cache(cache);
+            if faults::fire(FaultPoint::CacheLock) {
+                // Deliberately panic *while holding the lock*: this is
+                // the poisoning scenario the recovery path exists for.
+                panic!("injected cache-lock fault");
+            }
+            guard.insert(tokens, bytes.clone());
         }
         Ok(EncodedSegment {
             bytes,
+            fallback: false,
             tokenize,
             parse,
         })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -850,10 +1011,65 @@ entry f
             let engine = Compressor::with_config(
                 &ig.grammar,
                 ig.nt_start,
-                CompressorConfig::default().threads(threads),
+                CompressorConfig::default().threads(threads).fallback(false),
             );
             let err = engine.compress(&prog).unwrap_err();
             assert!(matches!(err, CompressError::NoParse { .. }), "{threads}");
         }
+    }
+
+    #[test]
+    fn unparseable_segments_fall_back_to_verbatim_escapes() {
+        let ig = InitialGrammar::build();
+        let mut prog = assemble("proc f frame=0 args=0\n\tRETV\nendproc\n").unwrap();
+        // A bare binary operator: valid instruction bytes, no derivation.
+        prog.procs[0].code = vec![Opcode::ADDU as u8];
+        for config in [
+            CompressorConfig::default().threads(1),
+            CompressorConfig::default().threads(4),
+            CompressorConfig::default()
+                .threads(1)
+                .segment_cache_capacity(0),
+        ] {
+            let engine = Compressor::with_config(&ig.grammar, ig.nt_start, config);
+            let (cp, stats) = engine.compress(&prog).unwrap();
+            assert_eq!(stats.fallback_segments, 1, "config {config:?}");
+            let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+            assert_eq!(back, canonicalize_program(&prog).unwrap());
+        }
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_fallback_and_roundtrips() {
+        let ig = InitialGrammar::build();
+        let prog = assemble(SAMPLE).unwrap();
+        let budget = pgr_earley::EarleyBudget::default().max_items(1);
+        let engine = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default().threads(1).earley_budget(budget),
+        );
+        let (cp, stats) = engine.compress(&prog).unwrap();
+        assert_eq!(stats.fallback_segments, stats.segments);
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp).unwrap();
+        assert_eq!(back, canonicalize_program(&prog).unwrap());
+
+        // Strict mode surfaces the budget verdict instead.
+        let strict = Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            CompressorConfig::default()
+                .threads(1)
+                .earley_budget(budget)
+                .fallback(false),
+        );
+        let err = strict.compress(&prog).unwrap_err();
+        assert!(matches!(
+            err,
+            CompressError::NoParse {
+                error: NoParse::BudgetExceeded { .. },
+                ..
+            }
+        ));
     }
 }

@@ -16,7 +16,7 @@
 //! every contraction relabels the parent and therefore changes the keys of
 //! all edges incident to it.
 
-use pgr_grammar::{Forest, Grammar, NodeId, RuleId, RuleOrigin};
+use pgr_grammar::{Forest, Grammar, NodeId, Nt, RuleId, RuleOrigin};
 use pgr_telemetry::{names, Metrics, Recorder};
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
@@ -46,6 +46,13 @@ pub struct ExpanderConfig {
     /// Optional hard cap on the number of created rules (ablation and
     /// test use; `None` in normal operation).
     pub max_new_rules: Option<usize>,
+    /// Reserve the last one-byte rule index of this non-terminal for the
+    /// verbatim-escape marker (`pgr_bytecode::escape::VERBATIM_MARKER`):
+    /// the non-terminal saturates at 255 rules instead of 256, so index
+    /// `0xFF` can never name a real rule at a segment start. The trainer
+    /// sets this to the start non-terminal; `None` keeps the full paper
+    /// budget (and forfeits the escape).
+    pub escape_reserve: Option<Nt>,
 }
 
 impl Default for ExpanderConfig {
@@ -57,6 +64,7 @@ impl Default for ExpanderConfig {
             remove_subsumed: true,
             dedupe_rules: false,
             max_new_rules: None,
+            escape_reserve: None,
         }
     }
 }
@@ -214,7 +222,14 @@ pub fn expand(
             continue; // stale heap entry
         }
         let lhs = grammar.rule(parent).lhs;
-        if grammar.rules_of(lhs).len() >= config.max_rules_per_nt {
+        // The escape-reserved non-terminal gives up its last one-byte
+        // rule index so the verbatim marker stays unambiguous.
+        let nt_budget = if config.escape_reserve == Some(lhs) {
+            config.max_rules_per_nt.min(255)
+        } else {
+            config.max_rules_per_nt
+        };
+        if grammar.rules_of(lhs).len() >= nt_budget {
             stats.saturated_skips += 1;
             continue; // this non-terminal is saturated (§4.1)
         }

@@ -180,7 +180,13 @@ pub fn train(programs: &[&Program], config: &TrainConfig) -> Result<Trained, Tra
 
     let stats = {
         let _expand_span = recorder.span("expand");
-        expand_with(&mut expanded, &mut forest, &config.expander, recorder)
+        // The trainer always reserves the start non-terminal's last
+        // one-byte rule index for the verbatim-escape marker, so every
+        // trained grammar supports graceful degradation on unparseable
+        // segments (at worst one forgone inlined rule).
+        let mut expander = config.expander.clone();
+        expander.escape_reserve = Some(initial.nt_start);
+        expand_with(&mut expanded, &mut forest, &expander, recorder)
     };
     if recorder.is_enabled() {
         let mut batch = Metrics::new();

@@ -68,27 +68,95 @@ use std::fmt;
 
 /// An error from the shortest-derivation parser.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct NoParse {
-    /// The furthest token position the parser scanned to before failing:
-    /// tokens `0..furthest` are a viable prefix, and the input is not in
-    /// the grammar's language at or near token `furthest`. Lookahead
-    /// pruning may reject a continuation at prediction time without ever
-    /// creating items beyond this position; the reported position is the
-    /// furthest *scanned* one either way.
-    pub furthest: usize,
+pub enum NoParse {
+    /// The input is not in the grammar's language.
+    NoDerivation {
+        /// The furthest token position the parser scanned to before
+        /// failing: tokens `0..furthest` are a viable prefix, and the
+        /// input is not in the grammar's language at or near token
+        /// `furthest`. Lookahead pruning may reject a continuation at
+        /// prediction time without ever creating items beyond this
+        /// position; the reported position is the furthest *scanned* one
+        /// either way.
+        furthest: usize,
+    },
+    /// The parse was abandoned because it hit an [`EarleyBudget`] limit
+    /// before reaching a verdict. This is a resource decision, not a
+    /// language one: the input may or may not be derivable.
+    BudgetExceeded {
+        /// Chart items created when the budget tripped.
+        items: usize,
+        /// Chart columns the parse required (`tokens + 1`).
+        columns: usize,
+    },
 }
 
 impl fmt::Display for NoParse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "input has no derivation (stuck near token {})",
-            self.furthest
-        )
+        match self {
+            NoParse::NoDerivation { furthest } => {
+                write!(f, "input has no derivation (stuck near token {furthest})")
+            }
+            NoParse::BudgetExceeded { items, columns } => write!(
+                f,
+                "parse abandoned: Earley budget exceeded ({items} chart items, {columns} columns)"
+            ),
+        }
     }
 }
 
 impl std::error::Error for NoParse {}
+
+/// A work budget for one parse: caps on chart growth that turn a
+/// pathological segment into a clean [`NoParse::BudgetExceeded`] instead
+/// of an unbounded chart. The expanded grammar is deliberately ambiguous,
+/// so grammar-fitting has bad worst cases; a budget makes the compressor
+/// total over them (callers degrade to the verbatim-escape fallback).
+///
+/// The default budget is unlimited; limited budgets cost one integer
+/// compare per worklist pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarleyBudget {
+    /// Maximum chart items (states across all columns) a parse may
+    /// create.
+    pub max_items: usize,
+    /// Maximum chart columns (`segment tokens + 1`) a parse may use;
+    /// checked up front, so over-long segments fail before any chart
+    /// work.
+    pub max_columns: usize,
+}
+
+impl Default for EarleyBudget {
+    fn default() -> EarleyBudget {
+        EarleyBudget::UNLIMITED
+    }
+}
+
+impl EarleyBudget {
+    /// No limits (the default): the parser behaves exactly as if no
+    /// budget existed.
+    pub const UNLIMITED: EarleyBudget = EarleyBudget {
+        max_items: usize::MAX,
+        max_columns: usize::MAX,
+    };
+
+    /// Whether this budget can never trip.
+    pub fn is_unlimited(&self) -> bool {
+        *self == EarleyBudget::UNLIMITED
+    }
+
+    /// Cap chart items (builder-style).
+    pub fn max_items(mut self, items: usize) -> EarleyBudget {
+        self.max_items = items;
+        self
+    }
+
+    /// Cap chart columns (builder-style).
+    pub fn max_columns(mut self, columns: usize) -> EarleyBudget {
+        self.max_columns = columns;
+        self
+    }
+}
 
 // ---- item-key packing --------------------------------------------------
 //
@@ -280,6 +348,9 @@ struct ParseCounts {
     predicted: u64,
     scanned: u64,
     completed: u64,
+    /// Distinct chart items created (inserts, not cost improvements);
+    /// this is what [`EarleyBudget::max_items`] meters.
+    items: usize,
 }
 
 /// A shortest-derivation Earley parser for a fixed grammar snapshot.
@@ -376,7 +447,41 @@ impl<'g> ShortestParser<'g> {
         start: Nt,
         tokens: &[Terminal],
     ) -> Result<Derivation, NoParse> {
+        self.parse_into_budgeted(arena, start, tokens, &EarleyBudget::UNLIMITED)
+    }
+
+    /// Like [`ShortestParser::parse_into`], but abandon the parse with
+    /// [`NoParse::BudgetExceeded`] if chart growth crosses `budget`.
+    ///
+    /// A successful parse under any budget is byte-identical to the
+    /// unbudgeted one: the budget can only convert a (possibly very
+    /// expensive) verdict into an early abandonment, never change which
+    /// derivation is found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoParse::NoDerivation`] if the tokens are not in the
+    /// language of `start`, or [`NoParse::BudgetExceeded`] if the chart
+    /// outgrew `budget` first.
+    pub fn parse_into_budgeted(
+        &self,
+        arena: &mut ChartArena,
+        start: Nt,
+        tokens: &[Terminal],
+        budget: &EarleyBudget,
+    ) -> Result<Derivation, NoParse> {
         let n = tokens.len();
+        if n + 1 > budget.max_columns {
+            // Over-long segments fail before any chart work (or arena
+            // growth) happens; the telemetry contract below still holds.
+            let outcome = Err(NoParse::BudgetExceeded {
+                items: 0,
+                columns: n + 1,
+            });
+            self.flush_parse_metrics(n, false, &ParseCounts::default(), 0, 0, &outcome);
+            return outcome;
+        }
+
         let reused = arena.warm;
         arena.warm = true;
         arena.prepare(n + 1, self.grammar.nt_count());
@@ -385,31 +490,54 @@ impl<'g> ShortestParser<'g> {
         let (outcome, chart_peak) = {
             let ChartArena { columns, work, .. } = &mut *arena;
             let chart = &mut columns[..=n];
-            let outcome = self.run(chart, work, start, tokens, &mut counts);
+            let outcome = self.run(chart, work, start, tokens, budget, &mut counts);
             let peak = chart.iter().map(|c| c.states.len()).max().unwrap_or(0);
             (outcome, peak)
         };
 
-        if self.recorder.is_enabled() {
-            let mut batch = Metrics::new();
-            batch.add(names::EARLEY_SEGMENTS_PARSED, 1);
-            batch.add(names::EARLEY_TOKENS, n as u64);
-            batch.add(names::EARLEY_ITEMS_PREDICTED, counts.predicted);
-            batch.add(names::EARLEY_ITEMS_SCANNED, counts.scanned);
-            batch.add(names::EARLEY_ITEMS_COMPLETED, counts.completed);
-            batch.add(names::EARLEY_ARENA_REUSE, u64::from(reused));
-            if outcome.is_err() {
-                batch.add(names::EARLEY_NO_PARSE, 1);
-            }
-            batch.gauge_max(names::EARLEY_CHART_STATES_PEAK, chart_peak as u64);
-            batch.gauge_max(
-                names::EARLEY_CHART_COLUMNS_PEAK,
-                arena.columns_peak() as u64,
-            );
-            self.recorder.record(batch);
-        }
-
+        self.flush_parse_metrics(
+            n,
+            reused,
+            &counts,
+            chart_peak,
+            arena.columns_peak(),
+            &outcome,
+        );
         outcome
+    }
+
+    fn flush_parse_metrics(
+        &self,
+        tokens: usize,
+        reused: bool,
+        counts: &ParseCounts,
+        chart_peak: usize,
+        columns_peak: usize,
+        outcome: &Result<Derivation, NoParse>,
+    ) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let mut batch = Metrics::new();
+        batch.add(names::EARLEY_SEGMENTS_PARSED, 1);
+        batch.add(names::EARLEY_TOKENS, tokens as u64);
+        batch.add(names::EARLEY_ITEMS_PREDICTED, counts.predicted);
+        batch.add(names::EARLEY_ITEMS_SCANNED, counts.scanned);
+        batch.add(names::EARLEY_ITEMS_COMPLETED, counts.completed);
+        batch.add(names::EARLEY_ARENA_REUSE, u64::from(reused));
+        if outcome.is_err() {
+            batch.add(names::EARLEY_NO_PARSE, 1);
+        }
+        // Pinned by the metrics schema: emitted (possibly as zero) on
+        // every parse so schema validation sees the key even in runs
+        // where no budget ever trips.
+        batch.add(
+            names::EARLEY_BUDGET_EXCEEDED,
+            u64::from(matches!(outcome, Err(NoParse::BudgetExceeded { .. }))),
+        );
+        batch.gauge_max(names::EARLEY_CHART_STATES_PEAK, chart_peak as u64);
+        batch.gauge_max(names::EARLEY_CHART_COLUMNS_PEAK, columns_peak as u64);
+        self.recorder.record(batch);
     }
 
     /// The chart fixpoint proper. `chart` has `tokens.len() + 1` cleared
@@ -420,6 +548,7 @@ impl<'g> ShortestParser<'g> {
         work: &mut Vec<u32>,
         start: Nt,
         tokens: &[Terminal],
+        budget: &EarleyBudget,
         counts: &mut ParseCounts,
     ) -> Result<Derivation, NoParse> {
         let n = tokens.len();
@@ -451,6 +580,16 @@ impl<'g> ShortestParser<'g> {
             // equals one, so a plain equality test decides every scan.
             let next_t = next_bucket as u32;
             while let Some(si) = work.pop() {
+                // The budget check sits on the worklist pop — the one
+                // place every chart item (and every cost improvement)
+                // flows through — so a limited budget costs exactly one
+                // compare per unit of parser work.
+                if counts.items > budget.max_items {
+                    return Err(NoParse::BudgetExceeded {
+                        items: counts.items,
+                        columns: n + 1,
+                    });
+                }
                 let s = chart[k].states[si as usize];
                 match tables.sym_at(s.rule, s.dot as usize) {
                     Some(sym) => match sym.nt() {
@@ -467,6 +606,7 @@ impl<'g> ShortestParser<'g> {
                                         cost: s.cost,
                                         back: Back::Scan { prev: si },
                                     },
+                                    &mut counts.items,
                                 );
                             }
                         }
@@ -501,7 +641,9 @@ impl<'g> ShortestParser<'g> {
                                         child_origin: k as u32,
                                     },
                                 };
-                                if let Some(idx) = Self::add_state(&mut chart[k], st) {
+                                if let Some(idx) =
+                                    Self::add_state(&mut chart[k], st, &mut counts.items)
+                                {
                                     work.push(idx);
                                 }
                             }
@@ -555,7 +697,9 @@ impl<'g> ShortestParser<'g> {
                                         child_origin: s.origin,
                                     },
                                 };
-                                if let Some(idx) = Self::add_state(&mut chart[k], st) {
+                                if let Some(idx) =
+                                    Self::add_state(&mut chart[k], st, &mut counts.items)
+                                {
                                     work.push(idx);
                                 }
                             }
@@ -571,7 +715,7 @@ impl<'g> ShortestParser<'g> {
                 let (_, root_idx) = chart[n].completed_info[slot as usize];
                 Ok(self.reconstruct(chart, n, root_idx))
             }
-            None => Err(NoParse { furthest }),
+            None => Err(NoParse::NoDerivation { furthest }),
         }
     }
 
@@ -594,7 +738,7 @@ impl<'g> ShortestParser<'g> {
                 cost: 1,
                 back: Back::Predicted,
             };
-            if let Some(idx) = Self::add_state(col, st) {
+            if let Some(idx) = Self::add_state(col, st, &mut counts.items) {
                 work.push(idx);
             }
         }
@@ -602,7 +746,9 @@ impl<'g> ShortestParser<'g> {
 
     /// Insert or improve an item; returns its index when the column
     /// changed (new item, or cheaper cost) so the caller can requeue it.
-    fn add_state(col: &mut Column, st: State) -> Option<u32> {
+    /// Fresh inserts bump `items`, the quantity metered by
+    /// [`EarleyBudget::max_items`].
+    fn add_state(col: &mut Column, st: State, items: &mut usize) -> Option<u32> {
         let k = item_key(st.rule, st.dot, st.origin);
         match col.index.get(k) {
             Some(idx) => {
@@ -619,6 +765,7 @@ impl<'g> ShortestParser<'g> {
                 col.states.push(st);
                 col.in_waiting.push(false);
                 col.index.insert(k, idx);
+                *items += 1;
                 Some(idx)
             }
         }

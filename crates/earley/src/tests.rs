@@ -57,13 +57,15 @@ fn rejects_non_language_input() {
     let tokens = vec![Terminal::Op(Opcode::ADDU)];
     assert_eq!(
         parser.parse(ig.nt_start, &tokens),
-        Err(NoParse { furthest: 0 })
+        Err(NoParse::NoDerivation { furthest: 0 })
     );
     // Valid prefix, then garbage.
     let mut tokens = paper_segment();
     tokens.push(Terminal::Op(Opcode::MULI));
     let err = parser.parse(ig.nt_start, &tokens).unwrap_err();
-    assert!(err.furthest >= paper_segment().len() - 1);
+    assert!(
+        matches!(err, NoParse::NoDerivation { furthest } if furthest >= paper_segment().len() - 1)
+    );
 }
 
 #[test]
@@ -274,7 +276,7 @@ fn furthest_reports_scan_frontier_under_prediction_pruning() {
     let err = parser
         .parse(s, &[Terminal::Op(Opcode::POPU), Terminal::Op(Opcode::MULI)])
         .unwrap_err();
-    assert_eq!(err, NoParse { furthest: 1 });
+    assert_eq!(err, NoParse::NoDerivation { furthest: 1 });
 
     // Same stuck point with more input after it: the dead column ends
     // the parse but must not change the reported frontier.
@@ -288,11 +290,11 @@ fn furthest_reports_scan_frontier_under_prediction_pruning() {
             ],
         )
         .unwrap_err();
-    assert_eq!(err, NoParse { furthest: 1 });
+    assert_eq!(err, NoParse::NoDerivation { furthest: 1 });
 
     // Rejected on the very first token: nothing was ever scanned.
     let err = parser.parse(s, &[Terminal::Op(Opcode::MULI)]).unwrap_err();
-    assert_eq!(err, NoParse { furthest: 0 });
+    assert_eq!(err, NoParse::NoDerivation { furthest: 0 });
 }
 
 #[test]
@@ -498,4 +500,57 @@ proptest! {
         // Inlining only ever shortens derivations.
         prop_assert!(d.len() <= reference.len());
     }
+}
+
+#[test]
+fn budgets_abandon_cleanly_and_never_change_successful_parses() {
+    use crate::EarleyBudget;
+
+    let ig = InitialGrammar::build();
+    let parser = ShortestParser::new(&ig.grammar);
+    let tokens = paper_segment();
+    let mut arena = ChartArena::new();
+
+    let unbudgeted = parser.parse(ig.nt_start, &tokens).unwrap();
+
+    // A generous budget changes nothing — same derivation, byte for byte.
+    let generous = EarleyBudget::default()
+        .max_items(1 << 20)
+        .max_columns(1 << 20);
+    assert!(generous != EarleyBudget::UNLIMITED);
+    assert_eq!(
+        parser
+            .parse_into_budgeted(&mut arena, ig.nt_start, &tokens, &generous)
+            .unwrap(),
+        unbudgeted
+    );
+
+    // A tiny item budget abandons the parse with the column count intact.
+    let tiny = EarleyBudget::default().max_items(2);
+    let err = parser
+        .parse_into_budgeted(&mut arena, ig.nt_start, &tokens, &tiny)
+        .unwrap_err();
+    match err {
+        NoParse::BudgetExceeded { items, columns } => {
+            assert!(items > 2);
+            assert_eq!(columns, tokens.len() + 1);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+
+    // The column cap trips before any chart work happens.
+    let narrow = EarleyBudget::default().max_columns(tokens.len());
+    assert_eq!(
+        parser.parse_into_budgeted(&mut arena, ig.nt_start, &tokens, &narrow),
+        Err(NoParse::BudgetExceeded {
+            items: 0,
+            columns: tokens.len() + 1,
+        })
+    );
+
+    // An abandoned parse leaves the arena fully reusable.
+    assert_eq!(
+        parser.parse_into(&mut arena, ig.nt_start, &tokens).unwrap(),
+        unbudgeted
+    );
 }

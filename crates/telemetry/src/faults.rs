@@ -1,0 +1,265 @@
+//! Deterministic fault injection for the robustness test suite.
+//!
+//! The hardening work (Earley budgets, verbatim fallback, checksummed
+//! images, panic-isolated workers) is only trustworthy if the degraded
+//! paths are *executed*, not just written. This module gives the tests a
+//! way to trip them on demand: the pipeline consults [`fire`] at a small
+//! set of named [`FaultPoint`]s, and an installed [`FaultPlan`] decides —
+//! deterministically — which occurrences fault.
+//!
+//! The design constraints mirror the [`Recorder`](crate::Recorder)
+//! disabled fast path: when no plan is installed (the production state),
+//! [`fire`] is a single relaxed atomic load and nothing else — no lock,
+//! no counter traffic, no allocation. Only an enabled plan pays for
+//! occurrence counting and mode evaluation.
+//!
+//! Plans are deterministic by construction: [`FaultMode::Nth`] trips one
+//! exact occurrence, and [`FaultMode::Seeded`] derives each verdict from
+//! a splitmix64 hash of `(seed, point, occurrence index)` — the same seed
+//! always faults the same occurrences, so a failing fuzz run is
+//! replayable from its seed alone.
+//!
+//! ```
+//! use pgr_telemetry::faults::{self, FaultMode, FaultPlan, FaultPoint};
+//!
+//! // Disabled (the default): nothing fires.
+//! assert!(!faults::fire(FaultPoint::Parse));
+//!
+//! // Trip exactly the second parse.
+//! let _guard = faults::install(
+//!     FaultPlan::new().with(FaultPoint::Parse, FaultMode::Nth(2)),
+//! );
+//! assert!(!faults::fire(FaultPoint::Parse));
+//! assert!(faults::fire(FaultPoint::Parse));
+//! assert!(!faults::fire(FaultPoint::Parse));
+//! assert_eq!(faults::fired(FaultPoint::Parse), 1);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A named place in the pipeline that asks [`fire`] whether to fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// `binfmt::read_program`: reading a program image from bytes.
+    ImageRead = 0,
+    /// The engine's per-segment Earley parse (fires as a `NoParse`).
+    Parse = 1,
+    /// The engine's derivation-cache insert (fires as a panic while the
+    /// cache lock is held, driving worker isolation and poison recovery).
+    CacheLock = 2,
+    /// The decompressor's per-segment derivation decode.
+    Decode = 3,
+}
+
+/// Number of distinct [`FaultPoint`]s.
+pub const POINT_COUNT: usize = 4;
+
+impl FaultPoint {
+    /// Every injection point, in discriminant order.
+    pub const ALL: [FaultPoint; POINT_COUNT] = [
+        FaultPoint::ImageRead,
+        FaultPoint::Parse,
+        FaultPoint::CacheLock,
+        FaultPoint::Decode,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// When a [`FaultPoint`] faults, over its sequence of occurrences
+/// (1-based, counted per installed plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Never fault (the default for every point).
+    #[default]
+    Never,
+    /// Fault on every occurrence.
+    Always,
+    /// Fault on exactly the `n`th occurrence (1-based).
+    Nth(u64),
+    /// Fault each occurrence independently with probability
+    /// `rate_per_1024 / 1024`, decided by a splitmix64 hash of
+    /// `(seed, point, occurrence)` — deterministic for a fixed seed.
+    Seeded {
+        /// The reproducibility seed.
+        seed: u64,
+        /// Fault rate in 1024ths (1024 = always).
+        rate_per_1024: u16,
+    },
+}
+
+/// A per-point assignment of [`FaultMode`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    modes: [FaultMode; POINT_COUNT],
+}
+
+impl FaultPlan {
+    /// A plan in which nothing faults.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Set the mode for one point (builder-style).
+    pub fn with(mut self, point: FaultPoint, mode: FaultMode) -> FaultPlan {
+        self.modes[point.index()] = mode;
+        self
+    }
+}
+
+/// The disabled fast-path flag; one relaxed load per [`fire`] call.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed plan (meaningful only while `ENABLED`).
+static PLAN: Mutex<FaultPlan> = Mutex::new(FaultPlan {
+    modes: [FaultMode::Never; POINT_COUNT],
+});
+/// Occurrences seen per point since the plan was installed.
+static SEEN: [AtomicU64; POINT_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+/// Faults actually fired per point since the plan was installed.
+static FIRED: [AtomicU64; POINT_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+/// Serializes plan installations so concurrent tests cannot interleave
+/// (the injected points panic on purpose, so recover from poisoning).
+static INSTALL_GATE: Mutex<()> = Mutex::new(());
+
+/// Keeps an installed [`FaultPlan`] active; dropping it disables
+/// injection and releases the (process-wide) installation gate.
+pub struct FaultGuard {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *lock_plan() = FaultPlan::new();
+    }
+}
+
+fn lock_plan() -> MutexGuard<'static, FaultPlan> {
+    // The plan is only read/replaced under the install gate or in
+    // fire_slow; a panic between lock and unlock cannot leave it torn,
+    // so poisoning is recoverable by construction.
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install `plan` and enable injection until the returned guard drops.
+///
+/// Installation is serialized process-wide: a second `install` blocks
+/// until the first guard drops, so concurrent tests never observe each
+/// other's faults. Occurrence and fired counters reset on install.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let gate = INSTALL_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    *lock_plan() = plan;
+    for i in 0..POINT_COUNT {
+        SEEN[i].store(0, Ordering::SeqCst);
+        FIRED[i].store(0, Ordering::SeqCst);
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+    FaultGuard { _gate: gate }
+}
+
+/// Ask whether this occurrence of `point` should fault.
+///
+/// With no plan installed this is a single relaxed atomic load returning
+/// `false` — cheap enough for per-segment hot paths, in the spirit of
+/// [`Recorder::is_enabled`](crate::Recorder::is_enabled).
+#[inline]
+pub fn fire(point: FaultPoint) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    fire_slow(point)
+}
+
+#[cold]
+fn fire_slow(point: FaultPoint) -> bool {
+    let i = point.index();
+    let n = SEEN[i].fetch_add(1, Ordering::SeqCst) + 1;
+    let mode = lock_plan().modes[i];
+    let hit = match mode {
+        FaultMode::Never => false,
+        FaultMode::Always => true,
+        FaultMode::Nth(k) => n == k,
+        FaultMode::Seeded {
+            seed,
+            rate_per_1024,
+        } => {
+            splitmix64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)) ^ n) % 1024
+                < u64::from(rate_per_1024)
+        }
+    };
+    if hit {
+        FIRED[i].fetch_add(1, Ordering::SeqCst);
+    }
+    hit
+}
+
+/// Occurrences of `point` seen since the current plan was installed.
+pub fn seen(point: FaultPoint) -> u64 {
+    SEEN[point.index()].load(Ordering::SeqCst)
+}
+
+/// Faults fired at `point` since the current plan was installed.
+pub fn fired(point: FaultPoint) -> u64 {
+    FIRED[point.index()].load(Ordering::SeqCst)
+}
+
+/// The splitmix64 mixer (public-domain constants); a full-avalanche
+/// 64-bit permutation, so per-occurrence verdicts are decorrelated.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert_and_modes_are_deterministic() {
+        // No plan: nothing fires, nothing is counted.
+        assert!(!fire(FaultPoint::ImageRead));
+
+        {
+            let _g = install(FaultPlan::new().with(FaultPoint::Decode, FaultMode::Nth(3)));
+            let pattern: Vec<bool> = (0..5).map(|_| fire(FaultPoint::Decode)).collect();
+            assert_eq!(pattern, [false, false, true, false, false]);
+            assert_eq!(seen(FaultPoint::Decode), 5);
+            assert_eq!(fired(FaultPoint::Decode), 1);
+            // Other points stay quiet.
+            assert!(!fire(FaultPoint::Parse));
+        }
+        // Guard dropped: disabled again.
+        assert!(!fire(FaultPoint::Decode));
+
+        // Seeded mode replays identically for the same seed.
+        let run = |seed| {
+            let _g = install(FaultPlan::new().with(
+                FaultPoint::Parse,
+                FaultMode::Seeded {
+                    seed,
+                    rate_per_1024: 512,
+                },
+            ));
+            (0..64).map(|_| fire(FaultPoint::Parse)).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7));
+        assert_ne!(a, run(8), "different seeds should diverge");
+        assert!(a.iter().any(|&b| b) && a.iter().any(|&b| !b));
+    }
+}

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod json;
 mod metrics;
 pub mod names;

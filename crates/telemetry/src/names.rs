@@ -44,6 +44,9 @@ pub const EARLEY_ITEMS_SCANNED: &str = "earley.items_scanned";
 pub const EARLEY_ITEMS_COMPLETED: &str = "earley.items_completed";
 /// Earley: parses that failed with `NoParse`.
 pub const EARLEY_NO_PARSE: &str = "earley.no_parse";
+/// Earley: parses abandoned because they hit the configured work budget
+/// (`EarleyBudget`); a normal degraded outcome, not an input error.
+pub const EARLEY_BUDGET_EXCEEDED: &str = "earley.budget.exceeded";
 /// Earley gauge: chart size high-water mark (states in the fullest
 /// column of any parse).
 pub const EARLEY_CHART_STATES_PEAK: &str = "earley.chart_states_peak";
@@ -65,6 +68,13 @@ pub const COMPRESS_SEGMENTS: &str = "compress.segments";
 pub const COMPRESS_ORIGINAL_BYTES: &str = "compress.original_bytes";
 /// Engine: compressed output bytes.
 pub const COMPRESS_COMPRESSED_BYTES: &str = "compress.compressed_bytes";
+/// Engine: segments that failed to parse (or blew the Earley budget)
+/// and were emitted as verbatim escapes instead.
+pub const COMPRESS_FALLBACK_SEGMENTS: &str = "compress.fallback.segments";
+/// Engine: derivation-cache poison recoveries (a worker panicked while
+/// holding the cache lock; the cache was cleared and compression went
+/// on).
+pub const COMPRESS_CACHE_POISONED: &str = "compress.cache.poisoned";
 /// Engine span: canonicalization phase.
 pub const SPAN_COMPRESS_CANONICALIZE: &str = "compress.canonicalize";
 /// Engine span: tokenize phase (summed across workers).
@@ -128,6 +138,9 @@ pub const VM_SEG_CACHE_ENTRIES: &str = "vm.segment_cache.entries";
 pub const VM_RULEPROG_BYTES: &str = "vm.ruleprog.bytes";
 /// VM gauge: micro-ops in the precompiled rule-program snapshot.
 pub const VM_RULEPROG_MICRO_OPS: &str = "vm.ruleprog.micro_ops";
+/// VM: verbatim-escape segments executed directly (raw bytecode embedded
+/// by the compressor's graceful-degradation fallback).
+pub const VM_VERBATIM_SEGMENTS: &str = "vm.verbatim.segments";
 /// Prefix of the per-opcode dispatch counter family.
 pub const VM_DISPATCH_PREFIX: &str = "vm.dispatch.";
 

@@ -17,7 +17,7 @@ use crate::memory::Memory;
 use crate::natives::{self, Native, NativeOutcome};
 use crate::ruleprog::{self, RuleProgram, SegStep, SegTrace};
 use crate::value::Slot;
-use pgr_bytecode::{GlobalEntry, Opcode, Procedure, Program};
+use pgr_bytecode::{escape, GlobalEntry, Opcode, Procedure, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
 use pgr_telemetry::{names, Metrics, Recorder};
 use std::collections::{HashMap, VecDeque};
@@ -200,6 +200,13 @@ pub struct Vm<'p> {
     seg_cache_bytes: usize,
     seg_hits: u64,
     seg_misses: u64,
+    /// Whether a stream byte equal to [`escape::VERBATIM_MARKER`] can
+    /// only mean a verbatim escape: true when the grammar's start
+    /// non-terminal has at most 255 rules (the compressor reserves the
+    /// 256th slot), so the marker never collides with a rule index.
+    verbatim_ok: bool,
+    /// Verbatim escapes executed, for `vm.verbatim.segments`.
+    verbatim_segments: u64,
 }
 
 impl<'p> Vm<'p> {
@@ -249,6 +256,12 @@ impl<'p> Vm<'p> {
                 Some(Arc::new(RuleProgram::build(grammar, *start, *byte_nt)))
             }
             _ => None,
+        };
+        let verbatim_ok = match &repr {
+            Repr::Compressed { grammar, start, .. } => {
+                grammar.rules_of(*start).len() <= usize::from(escape::VERBATIM_MARKER)
+            }
+            Repr::Plain => false,
         };
         let data_end = DATA_BASE + program.data.len() as u32;
         let bss_base = align8(data_end);
@@ -320,6 +333,8 @@ impl<'p> Vm<'p> {
             seg_cache_bytes: 0,
             seg_hits: 0,
             seg_misses: 0,
+            verbatim_ok,
+            verbatim_segments: 0,
         })
     }
 
@@ -377,6 +392,9 @@ impl<'p> Vm<'p> {
         batch.add(names::VM_STEPS, self.steps);
         batch.add(names::VM_CALLS, self.calls);
         batch.add(names::VM_RULES_WALKED, self.rules_walked);
+        if matches!(self.repr, Repr::Compressed { .. }) {
+            batch.add(names::VM_VERBATIM_SEGMENTS, self.verbatim_segments);
+        }
         batch.gauge_max(names::VM_CALL_DEPTH_PEAK, self.call_depth_peak as u64);
         batch.gauge_max(names::VM_WALK_DEPTH_PEAK, self.walk_depth_peak as u64);
         batch.gauge_max(names::VM_OPERAND_STACK_PEAK, self.operand_stack_peak as u64);
@@ -564,6 +582,82 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Execute a verbatim escape in a compressed stream: `pc` sits on
+    /// the marker byte (the caller has verified it and burnt that
+    /// iteration's fuel), the next two bytes give the raw payload length
+    /// little-endian, and the payload is plain canonical bytecode run
+    /// exactly as [`Vm::interp1`] would — one fuel per instruction,
+    /// identical telemetry, trace, and error shapes. Shared by both
+    /// compressed walkers so the escape cannot diverge between them.
+    ///
+    /// Returns where control goes next: the stream offset after the
+    /// payload (fall-through), a taken branch's label target, or out of
+    /// the procedure.
+    fn run_verbatim(
+        &mut self,
+        frame: &FrameCtx,
+        pc: usize,
+        stack: &mut Vec<Slot>,
+    ) -> Result<Replay, Stop> {
+        let program = self.program;
+        let proc = &program.procs[frame.proc_idx];
+        let code = &proc.code;
+        let overrun = |offset: usize| {
+            Stop::Error(VmError::CorruptDerivation {
+                proc: proc.name.clone(),
+                offset,
+                detail: "verbatim escape overruns the stream",
+            })
+        };
+        let Some(len) = escape::decode_verbatim_header(&code[pc..]) else {
+            return Err(overrun(pc));
+        };
+        let end = pc + escape::VERBATIM_HEADER + len;
+        if end > code.len() {
+            return Err(overrun(pc));
+        }
+        self.verbatim_segments += 1;
+        let mut ip = pc + escape::VERBATIM_HEADER;
+        while ip < end {
+            self.burn_fuel()?;
+            let byte = code[ip];
+            let Some(op) = Opcode::from_u8(byte) else {
+                return Err(Stop::Error(VmError::BadOpcode {
+                    proc: proc.name.clone(),
+                    offset: ip,
+                }));
+            };
+            let n = op.operand_bytes();
+            if ip + 1 + n > end {
+                // An instruction split by the payload boundary: the
+                // escape was not produced by the compressor.
+                return Err(Stop::Error(VmError::BadOpcode {
+                    proc: proc.name.clone(),
+                    offset: ip,
+                }));
+            }
+            let mut operands = [0u8; 4];
+            operands[..n].copy_from_slice(&code[ip + 1..ip + 1 + n]);
+            ip += 1 + n;
+            if self.telemetry_on {
+                self.dispatch[usize::from(byte)] += 1;
+            }
+            if self.trace_limit > 0 {
+                self.record(frame.proc_idx, op, u32::from_le_bytes(operands));
+            }
+            let flow = self.exec_op(op, operands, frame, stack)?;
+            if self.telemetry_on && stack.len() > self.operand_stack_peak {
+                self.operand_stack_peak = stack.len();
+            }
+            match flow {
+                Flow::Continue => {}
+                Flow::Branch(label) => return Ok(Replay::Goto(Self::branch_target(proc, label)?)),
+                Flow::Return(v) => return Ok(Replay::Returned(v)),
+            }
+        }
+        Ok(Replay::Goto(end))
+    }
+
     /// The initial interpreter: fetch an opcode and its literal operands
     /// from the code stream, execute, repeat (§5's `interp`/`interpret1`
     /// pair).
@@ -657,6 +751,17 @@ impl<'p> Vm<'p> {
                     return Err(Stop::Error(VmError::FellOffEnd {
                         proc: proc.name.clone(),
                     }));
+                }
+                if self.verbatim_ok && code[pc] == escape::VERBATIM_MARKER {
+                    // A verbatim escape instead of a derivation; the
+                    // loop-top fuel above covers the marker iteration.
+                    match self.run_verbatim(frame, pc, &mut stack)? {
+                        Replay::Goto(next) => {
+                            pc = next;
+                            continue;
+                        }
+                        Replay::Returned(v) => return Ok(v),
+                    }
                 }
                 let b = code[pc];
                 pc += 1;
@@ -773,6 +878,20 @@ impl<'p> Vm<'p> {
 
         loop {
             if walk.is_empty() {
+                if self.verbatim_ok && code.get(pc) == Some(&escape::VERBATIM_MARKER) {
+                    // A verbatim escape: burn the marker iteration's
+                    // fuel (matching the reference walker's loop-top
+                    // burn) and execute the raw payload. Escapes bypass
+                    // the segment cache — they are already decoded.
+                    self.burn_fuel()?;
+                    match self.run_verbatim(frame, pc, &mut stack)? {
+                        Replay::Goto(next) => {
+                            pc = next;
+                            continue;
+                        }
+                        Replay::Returned(v) => return Ok(v),
+                    }
+                }
                 // Segment boundary: replay a cached decode, or start
                 // recording this one.
                 if cache_on {

@@ -131,10 +131,14 @@ mod tests {
         let mut proc = Procedure::new("f");
         proc.code = vec![Opcode::ADDU as u8];
         prog.procs.push(proc);
-        let err: PgrError = pgr_core::Compressor::new(&ig.grammar, ig.nt_start)
-            .compress(&prog)
-            .unwrap_err()
-            .into();
+        let err: PgrError = pgr_core::Compressor::with_config(
+            &ig.grammar,
+            ig.nt_start,
+            pgr_core::CompressorConfig::default().fallback(false),
+        )
+        .compress(&prog)
+        .unwrap_err()
+        .into();
         let report = err.report();
         assert!(report.starts_with("compression failed"), "{report}");
         assert!(report.contains("caused by:"), "{report}");

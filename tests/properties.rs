@@ -101,4 +101,82 @@ proptest! {
         prop_assert_eq!(plain.ret, direct.ret);
         prop_assert_eq!(plain.exit_code, direct.exit_code);
     }
+
+    /// A starvation-level Earley budget must never break correctness:
+    /// every segment the parser cannot afford degrades to a verbatim
+    /// escape, the image round-trips byte-identically, and all three
+    /// interpreter paths execute it exactly like the uncompressed
+    /// program. Strict mode (`--no-fallback`) instead names the failing
+    /// segment's procedure and offset.
+    #[test]
+    fn tiny_budgets_degrade_to_verbatim_and_roundtrip(config in arb_config()) {
+        use pgr::core::{CompressError, Compressor, CompressorConfig, EarleyBudget, NoParse};
+
+        let source = generate_source(&config);
+        let program = pgr::minic::compile(&source).expect("valid mini-C");
+        let canonical = canonicalize_program(&program).unwrap();
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let ig = trained.initial();
+        let budget = EarleyBudget::UNLIMITED.max_items(2);
+
+        let engine = Compressor::with_config(
+            trained.expanded(),
+            ig.nt_start,
+            CompressorConfig::default().earley_budget(budget),
+        );
+        let (compressed, stats) = engine.compress(&program).unwrap();
+        prop_assert!(stats.fallback_segments >= 1, "a two-item budget must starve some parse");
+
+        let back = pgr::core::compress::decompress_program(
+            trained.expanded(),
+            ig.nt_start,
+            &compressed,
+        )
+        .unwrap();
+        prop_assert!(back == canonical, "verbatim fallback broke the round-trip");
+
+        // Behavioural equivalence on every interpreter path.
+        let fuel = 3_000_000;
+        if let Ok(plain) = Vm::new(&program, VmConfig { fuel, ..VmConfig::default() }).unwrap().run() {
+            let variants = [
+                ("fast path", VmConfig { fuel: fuel * 8, ..VmConfig::default() }),
+                ("fast path, cache off", VmConfig { fuel: fuel * 8, segment_cache_entries: 0, ..VmConfig::default() }),
+                ("reference walker", VmConfig { fuel: fuel * 8, reference_walker: true, ..VmConfig::default() }),
+            ];
+            for (label, ccfg) in variants {
+                let got = Vm::new_compressed(
+                    &compressed.program,
+                    trained.expanded(),
+                    ig.nt_start,
+                    ig.nt_byte,
+                    ccfg,
+                )
+                .unwrap()
+                .run()
+                .expect("escaped image runs within proportional budget");
+                prop_assert!(plain.output == got.output, "{}: output diverged", label);
+                prop_assert!(plain.ret == got.ret, "{}: return value diverged", label);
+                prop_assert!(plain.exit_code == got.exit_code, "{}: exit code diverged", label);
+            }
+        }
+
+        // Strict mode: the same budget is a structured error naming the
+        // first failing segment.
+        let strict = Compressor::with_config(
+            trained.expanded(),
+            ig.nt_start,
+            CompressorConfig::default().earley_budget(budget).fallback(false),
+        );
+        match strict.compress(&program).unwrap_err() {
+            CompressError::NoParse { proc, segment_offset, error } => {
+                prop_assert!(matches!(error, NoParse::BudgetExceeded { .. }),
+                             "strict failure should carry the budget error, got {:?}", error);
+                let failing = canonical.procs.iter().find(|p| p.name == proc);
+                prop_assert!(failing.is_some(), "reported proc {:?} is not in the program", proc);
+                prop_assert!(segment_offset < failing.unwrap().code.len(),
+                             "segment offset {} out of range", segment_offset);
+            }
+            other => panic!("wanted NoParse, got {other:?}"),
+        }
+    }
 }

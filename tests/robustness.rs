@@ -30,15 +30,22 @@ proptest! {
 
     #[test]
     fn image_reader_survives_mutation(flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
-        // A valid image with a handful of corrupted bytes either still
-        // parses (the mutation hit a don't-care byte) or errors cleanly.
+        // v2 images checksum their whole payload and frame every
+        // section, so there is no byte whose corruption parses
+        // silently: either the flips cancel out (XOR with zero, or a
+        // self-inverse pair) and the image is byte-identical, or the
+        // reader MUST reject it.
         let program = pgr::minic::compile("int main(void) { return 1; }").unwrap();
-        let mut bytes = binfmt::write_program(&program, binfmt::ImageKind::Uncompressed);
+        let original = binfmt::write_program(&program, binfmt::ImageKind::Uncompressed);
+        let mut bytes = original.clone();
         for (idx, val) in flips {
             let i = idx.index(bytes.len());
             bytes[i] ^= val;
         }
-        let _ = binfmt::read_program(&bytes);
+        match binfmt::read_program(&bytes) {
+            Ok(_) => prop_assert!(bytes == original, "a mutated image parsed silently"),
+            Err(_) => prop_assert!(bytes != original, "a pristine image was rejected"),
+        }
     }
 
     #[test]

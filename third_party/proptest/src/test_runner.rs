@@ -11,15 +11,27 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     /// A config running `cases` cases per test.
+    ///
+    /// Unlike the real crate, a `PROPTEST_CASES` environment variable
+    /// overrides even an explicit count: this workspace's CI fuzz-smoke
+    /// job scales the suites up without patching every
+    /// `proptest_config` attribute.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
+}
+
+/// The `PROPTEST_CASES` override, when set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 /// Why a single generated case failed.
