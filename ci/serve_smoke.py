@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Drive a running `pgr serve` instance end to end, stdlib-only (CI
+runners have no extra packages).
+
+    python3 ci/serve_smoke.py <socket> <grammar-id> <image.pgrb>
+
+Speaks the newline-delimited JSON protocol from pgr-registry's `serve`
+module and checks the contract the docs promise:
+
+  * an unknown op fails in-band without dropping the connection,
+  * compress -> decompress round-trips byte-identical on canonical
+    images (the compressor canonicalizes, so the first round-trip maps
+    the input to its canonical form and every later one is an identity),
+  * the compressed image runs via its embedded grammar id alone
+    (no "grammar" field in the request) with the same exit code and
+    output as the uncompressed original,
+  * a request declaring more than the server's --max-budget ceiling is
+    admitted with a clamped budget rather than rejected,
+  * stats reports a populated serve.request.<op>.micros histogram for
+    every op exercised,
+  * shutdown is acknowledged before the server exits.
+
+The caller is expected to validate the server's emitted metrics file
+against schema/metrics.schema.json afterwards.
+"""
+
+import base64
+import json
+import socket
+import sys
+
+
+def fail(msg):
+    print(f"serve smoke failure: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def call(self, **request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        line = self.reader.readline()
+        if not line:
+            fail(f"connection closed during {request.get('op')!r}")
+        return json.loads(line)
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path, grammar_id, image_path = sys.argv[1:]
+    original = open(image_path, "rb").read()
+    client = Client(path)
+
+    bad = client.call(op="frobnicate")
+    if bad.get("ok") is not False or "error" not in bad:
+        fail(f"unknown op did not fail in-band: {bad}")
+
+    def compress(image_b64, **extra):
+        packed = client.call(op="compress", grammar=grammar_id, image=image_b64, **extra)
+        if not packed.get("ok"):
+            fail(f"compress: {packed.get('error')}")
+        if packed.get("grammar") != grammar_id:
+            fail(f"compress stamped {packed.get('grammar')!r}, expected {grammar_id!r}")
+        return packed
+
+    def decompress(image_b64):
+        # No "grammar" field: the server must resolve it from the
+        # grammar id embedded in the compressed image's header.
+        back = client.call(op="decompress", image=image_b64)
+        if not back.get("ok"):
+            fail(f"decompress: {back.get('error')}")
+        return back["image"]
+
+    packed = compress(base64.b64encode(original).decode())
+    canonical = decompress(packed["image"])
+    again = decompress(compress(canonical)["image"])
+    if again != canonical:
+        fail("round-trip on the canonical image is not byte-identical")
+
+    # Admission control: a request declaring more than the server's
+    # --max-budget ceiling must be clamped (and say so), not rejected.
+    greedy = compress(canonical, budget={"max_items": 2**53, "max_columns": 2**53})
+    if greedy.get("clamped") is not True:
+        fail(f"over-ceiling budget was not clamped: {greedy}")
+
+    def run(image_b64):
+        ran = client.call(op="run", image=image_b64)
+        if not ran.get("ok"):
+            fail(f"run: {ran.get('error')}")
+        return ran
+
+    plain, compressed = run(base64.b64encode(original).decode()), run(packed["image"])
+    if plain.get("exit_code") != 0:
+        fail(f"uncompressed run exit code {plain.get('exit_code')!r}")
+    for key in ("exit_code", "output"):
+        if plain.get(key) != compressed.get(key):
+            fail(
+                f"compressed run diverged on {key}: "
+                f"{plain.get(key)!r} vs {compressed.get(key)!r}"
+            )
+
+    stats = client.call(op="stats")
+    if not stats.get("ok"):
+        fail(f"stats: {stats.get('error')}")
+    histograms = stats["metrics"]["histograms"]
+    for op in ("compress", "decompress", "run", "stats"):
+        name = f"serve.request.{op}.micros"
+        if histograms.get(name, {}).get("count", 0) < 1:
+            fail(f"stats lacks a populated {name} histogram")
+
+    down = client.call(op="shutdown")
+    if not down.get("ok"):
+        fail(f"shutdown: {down.get('error')}")
+    print("serve smoke: compress/decompress/run/stats round-trip ok")
+
+
+if __name__ == "__main__":
+    main()

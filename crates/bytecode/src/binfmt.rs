@@ -29,6 +29,19 @@
 //! to the header fails magic/version/length checks; section framing
 //! localizes structural damage. There is no v1 compatibility path — a
 //! version byte of 1 is rejected outright, never half-parsed.
+//!
+//! ## Optional meta section: the grammar id
+//!
+//! A compressed image is useless without the exact grammar that encoded
+//! it, so v2 images may carry one optional *meta* section after the
+//! trailer: a length-prefixed run of `(tag, value)` entries, of which tag
+//! 1 is a 32-byte content-addressed grammar id (the registry's
+//! `GrammarId` digest of the `.pgrg` bytes). Readers that predate a tag
+//! skip it by length; images written without meta end exactly where they
+//! always did, so [`write_program`] stays byte-identical to every image
+//! produced before the section existed (backward *and* forward
+//! compatible). The meta bytes sit inside the checksummed payload, so a
+//! flipped id byte is detected like any other corruption.
 
 use crate::program::{GlobalEntry, Procedure, Program};
 use pgr_telemetry::faults::{self, FaultPoint};
@@ -41,6 +54,15 @@ pub const VERSION: u8 = 2;
 /// Bytes before the checksummed payload: magic, version, payload length,
 /// CRC32.
 pub const HEADER_LEN: usize = 13;
+
+/// Bytes of a grammar id carried in the optional meta section: the
+/// registry's content-address digest of the `.pgrg` grammar file that
+/// decodes this image.
+pub const GRAMMAR_ID_LEN: usize = 32;
+
+/// Meta-section tag for a grammar id (followed by [`GRAMMAR_ID_LEN`]
+/// bytes).
+const META_TAG_GRAMMAR_ID: u8 = 1;
 
 /// The IEEE CRC32 (reflected, polynomial `0xEDB88320`) of `bytes` — the
 /// checksum v2 images carry over their payload.
@@ -244,8 +266,20 @@ fn end_section(w: &mut Writer, start: usize) {
 }
 
 /// Serialize a program as a v2 image (checksummed payload, framed
-/// sections).
+/// sections) with no meta section — byte-identical to every image
+/// written before the grammar-id extension existed.
 pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
+    write_program_tagged(program, kind, None)
+}
+
+/// Serialize a program as a v2 image, optionally stamping the meta
+/// section with the content-addressed id of the grammar that decodes it.
+/// `grammar_id: None` produces exactly the [`write_program`] bytes.
+pub fn write_program_tagged(
+    program: &Program,
+    kind: ImageKind,
+    grammar_id: Option<&[u8; GRAMMAR_ID_LEN]>,
+) -> Vec<u8> {
     // Build the payload first; the header's length and CRC32 cover it.
     let mut w = Writer { out: Vec::new() };
     w.u8(kind.to_u8());
@@ -297,6 +331,13 @@ pub fn write_program(program: &Program, kind: ImageKind) -> Vec<u8> {
     w.u32(program.entry);
     end_section(&mut w, trailer);
 
+    if let Some(id) = grammar_id {
+        let meta = begin_section(&mut w);
+        w.u8(META_TAG_GRAMMAR_ID);
+        w.out.extend_from_slice(id);
+        end_section(&mut w, meta);
+    }
+
     let payload = w.out;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(MAGIC);
@@ -321,14 +362,28 @@ fn check_section(section: &'static str, declared: usize, consumed: usize) -> Res
     }
 }
 
-/// Deserialize a v2 program image. The payload checksum is verified
-/// before any structural parsing, so a corrupted image is rejected
-/// deterministically — it can never half-parse.
+/// Deserialize a v2 program image, ignoring any meta section. The
+/// payload checksum is verified before any structural parsing, so a
+/// corrupted image is rejected deterministically — it can never
+/// half-parse.
 ///
 /// # Errors
 ///
 /// See [`BinError`].
 pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
+    read_program_tagged(bytes).map(|(program, kind, _)| (program, kind))
+}
+
+/// Deserialize a v2 program image along with the grammar id its meta
+/// section carries, if any. Images written before the meta section
+/// existed (or by [`write_program`]) read back with `None`.
+///
+/// # Errors
+///
+/// See [`BinError`].
+pub fn read_program_tagged(
+    bytes: &[u8],
+) -> Result<(Program, ImageKind, Option<[u8; GRAMMAR_ID_LEN]>), BinError> {
     if faults::fire(FaultPoint::ImageRead) {
         return Err(BinError::Injected);
     }
@@ -406,8 +461,31 @@ pub fn read_program(bytes: &[u8]) -> Result<(Program, ImageKind), BinError> {
     program.entry = r.u32()?;
     check_section("trailer", declared, r.pos - start)?;
 
+    // Optional meta section: absent entirely in pre-extension images.
+    let mut grammar_id = None;
+    if r.pos < bytes.len() {
+        let declared = r.u32()? as usize;
+        let start = r.pos;
+        let end = match start.checked_add(declared) {
+            Some(end) if end <= bytes.len() => end,
+            _ => return Err(BinError::Truncated),
+        };
+        while r.pos < end {
+            let offset = r.pos;
+            match r.u8()? {
+                META_TAG_GRAMMAR_ID => {
+                    let id: [u8; GRAMMAR_ID_LEN] =
+                        r.take(GRAMMAR_ID_LEN)?.try_into().expect("id length");
+                    grammar_id = Some(id);
+                }
+                _ => return Err(BinError::BadTag { offset }),
+            }
+        }
+        check_section("meta", declared, r.pos - start)?;
+    }
+
     match bytes.len() - r.pos {
-        0 => Ok((program, kind)),
+        0 => Ok((program, kind, grammar_id)),
         extra => Err(BinError::TrailingBytes { extra }),
     }
 }
@@ -526,6 +604,64 @@ mod tests {
             } | BinError::Truncated
                 | BinError::BadTag { .. }
                 | BinError::BadString
+        ));
+    }
+
+    #[test]
+    fn grammar_id_roundtrips_and_none_is_byte_identical() {
+        let program = sample();
+        let id = [0xABu8; GRAMMAR_ID_LEN];
+        for kind in [ImageKind::Uncompressed, ImageKind::Compressed] {
+            let tagged = write_program_tagged(&program, kind, Some(&id));
+            let (back, back_kind, back_id) = read_program_tagged(&tagged).unwrap();
+            assert_eq!(back, program);
+            assert_eq!(back_kind, kind);
+            assert_eq!(back_id, Some(id));
+            // The id-less readers still accept a tagged image.
+            let (back, back_kind) = read_program(&tagged).unwrap();
+            assert_eq!(back, program);
+            assert_eq!(back_kind, kind);
+            // Writing without an id reproduces the pre-extension bytes.
+            assert_eq!(
+                write_program_tagged(&program, kind, None),
+                write_program(&program, kind)
+            );
+        }
+    }
+
+    #[test]
+    fn pre_extension_images_read_back_with_no_id() {
+        // write_program emits exactly the old format; the tagged reader
+        // must accept it and report no grammar id.
+        let bytes = write_program(&sample(), ImageKind::Compressed);
+        let (_, _, id) = read_program_tagged(&bytes).unwrap();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn tagged_images_stay_tamper_evident_and_framed() {
+        let bytes = write_program_tagged(&sample(), ImageKind::Compressed, Some(&[7; 32]));
+        // Any payload flip — including inside the meta section — fails
+        // the checksum.
+        for offset in HEADER_LEN..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x40;
+            assert!(
+                matches!(
+                    read_program(&corrupt).unwrap_err(),
+                    BinError::ChecksumMismatch { .. }
+                ),
+                "flip at {offset} escaped the checksum"
+            );
+        }
+        // An unknown meta tag (with a consistent checksum) is rejected,
+        // not skipped into misparsing the id bytes.
+        let mut bad_tag = bytes.clone();
+        let tag_offset = bytes.len() - 1 - GRAMMAR_ID_LEN;
+        patch(&mut bad_tag, tag_offset, 0x7E);
+        assert!(matches!(
+            read_program(&bad_tag).unwrap_err(),
+            BinError::BadTag { .. }
         ));
     }
 

@@ -64,7 +64,10 @@ pub mod pass;
 pub mod program;
 pub mod validate;
 
-pub use binfmt::{read_program, write_program, ImageKind};
+pub use binfmt::{
+    read_program, read_program_tagged, write_program, write_program_tagged, ImageKind,
+    GRAMMAR_ID_LEN,
+};
 pub use insn::{decode, encode, DecodeError, Instruction};
 pub use opcode::{Opcode, StackKind, TypeSuffix};
 pub use pass::{

@@ -7,12 +7,21 @@
 //! pgr disasm hello.pgrb                       # textual assembly
 //! pgr train a.pgrb b.pgrb -o corp.pgrg        # expanded grammar
 //! pgr compress hello.pgrb -g corp.pgrg -o hello.pgrc
-//! pgr decompress hello.pgrc -g corp.pgrg -o back.pgrb
+//! pgr decompress hello.pgrc -o back.pgrb      # grammar via registry + image header
 //! pgr run hello.pgrb                          # interp1
 //! pgr run hello.pgrc -g corp.pgrg             # interp_nt, direct
 //! pgr stats hello.pgrb                        # image + native sizes
 //! pgr cgen -g corp.pgrg -o outdir             # generated C artifacts
+//! pgr registry add corp.pgrg                  # content-addressed grammar store
+//! pgr serve --socket pgr.sock                 # NDJSON request server
 //! ```
+//!
+//! Grammars come from two places, uniformly: `-g` takes either a
+//! `.pgrg` path or `id:HEX` (a full or prefix [`GrammarId`] resolved in
+//! the registry named by `--registry`/`$PGR_REGISTRY`). Compressed
+//! images carry their grammar's id in the image header, so `decompress`
+//! / `run` / `verify` can omit `-g` entirely when a registry is
+//! configured.
 //!
 //! The library entry point [`run`] is what the binary calls and what the
 //! integration tests drive directly.
@@ -20,15 +29,18 @@
 #![warn(missing_docs)]
 
 use pgr::PgrError;
-use pgr_bytecode::{read_program, validate_program, write_program, ImageKind, Program};
+use pgr_bytecode::{
+    read_program_tagged, validate_program, write_program, write_program_tagged, ImageKind, Program,
+};
 use pgr_core::{train, ExpanderConfig, TrainConfig};
-use pgr_grammar::encode::{decode_grammar, encode_grammar};
-use pgr_grammar::{Grammar, Nt};
+use pgr_grammar::{Grammar, GrammarFile, Nt};
+use pgr_registry::{GrammarId, Registry, ServeConfig, Server};
 use pgr_telemetry::{names, JsonSink, Metrics, Recorder, Sink, Stopwatch, TableSink};
 use pgr_vm::{Vm, VmConfig};
 use std::path::Path;
 
 /// Grammar-file magic.
+#[deprecated(note = "use pgr_grammar::file::MAGIC")]
 pub const GRAMMAR_MAGIC: &[u8; 4] = b"PGRG";
 
 /// Run the CLI with the given arguments (excluding the program name);
@@ -53,6 +65,8 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "stats" => stats(rest),
         "cgen" => cgen(rest),
         "metrics-check" => metrics_check(rest),
+        "registry" => cmd_registry(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
@@ -62,19 +76,25 @@ pub fn run(args: &[String]) -> Result<i32, String> {
 }
 
 fn usage() -> String {
-    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|metrics-check|help> ...\n\
+    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|registry|serve|metrics-check|help> ...\n\
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
-     \x20 compress <in.pgrb> -g <g.pgrg> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
+     \x20 compress <in.pgrb> -g <grammar> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
      \x20     [--earley-budget ITEMS[,COLUMNS]] [--no-fallback]\n\
-     \x20 decompress <in.pgrc> -g <g.pgrg> -o <out.pgrb>\n\
-     \x20 run <in.pgrb|in.pgrc> [-g <g.pgrg>] [--stdin TEXT] [--trace N]\n\
+     \x20 decompress <in.pgrc> [-g <grammar>] -o <out.pgrb>\n\
+     \x20 run <in.pgrb|in.pgrc> [-g <grammar>] [--stdin TEXT] [--trace N]\n\
      \x20     [--segment-cache N] [--reference-walker]\n\
-     \x20 verify <in.pgrb|in.pgrc> [-g <g.pgrg>]\n\
+     \x20 verify <in.pgrb|in.pgrc> [-g <grammar>]\n\
      \x20 stats <in.pgrb>\n\
-     \x20 cgen -g <g.pgrg> [-p <image>] -o <dir>\n\
+     \x20 cgen -g <grammar> [-p <image>] -o <dir>\n\
+     \x20 registry <add <g.pgrg> [--label TEXT] | list | rm <id> | gc [<keep-id>...]>\n\
+     \x20 serve --socket <path> [--max-budget ITEMS[,COLUMNS]] [--threads N]\n\
      \x20 metrics-check <metrics.json>\n\
+     a <grammar> is a .pgrg path or id:HEX (full id or unique prefix) looked up in\n\
+     the registry; compressed images name their grammar in the header, so commands\n\
+     reading them can omit -g when a registry is configured.\n\
+     registry/serve take --registry <dir> (default: $PGR_REGISTRY)\n\
      train/compress/decompress/run also take:\n\
      \x20 --metrics <human|json>   emit pipeline telemetry (stderr by default)\n\
      \x20 --metrics-out <path>     write telemetry to a file (implies json)"
@@ -118,6 +138,10 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--metrics"
             || a == "--metrics-out"
             || a == "-p"
+            || a == "--label"
+            || a == "--registry"
+            || a == "--socket"
+            || a == "--max-budget"
         {
             skip = true;
             continue;
@@ -221,9 +245,14 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
     std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_program(path: &str) -> Result<(Program, ImageKind), String> {
+/// Read an image, returning the embedded grammar id (if any) along with
+/// the program: commands reading compressed images use the id to find
+/// the right grammar without a `-g` flag.
+fn load_program(path: &str) -> Result<(Program, ImageKind, Option<GrammarId>), String> {
     let bytes = read_file(path)?;
-    read_program(&bytes).map_err(|e| format!("{path}: {e}"))
+    let (program, kind, raw_id) =
+        read_program_tagged(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    Ok((program, kind, raw_id.map(GrammarId::from_raw)))
 }
 
 /// Render a pipeline failure with its full cause chain. All train /
@@ -233,18 +262,13 @@ fn pipeline_err(e: impl Into<PgrError>) -> String {
     e.into().report()
 }
 
-// ---- grammar files -----------------------------------------------------
+// ---- grammar files and the registry ------------------------------------
 
 /// Serialize a grammar plus the two non-terminal handles the compressed
 /// interpreter needs.
+#[deprecated(note = "use pgr_grammar::GrammarFile::to_bytes")]
 pub fn write_grammar_file(grammar: &Grammar, start: Nt, byte_nt: Nt) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(GRAMMAR_MAGIC);
-    out.push(1); // version
-    out.push(start.0 as u8);
-    out.push(byte_nt.0 as u8);
-    out.extend_from_slice(&encode_grammar(grammar));
-    out
+    GrammarFile::new(grammar.clone(), start, byte_nt).to_bytes()
 }
 
 /// Parse a grammar file.
@@ -252,17 +276,96 @@ pub fn write_grammar_file(grammar: &Grammar, start: Nt, byte_nt: Nt) -> Vec<u8> 
 /// # Errors
 ///
 /// Reports bad magic/version or a malformed grammar body.
+#[deprecated(note = "use pgr_grammar::GrammarFile::from_bytes")]
 pub fn read_grammar_file(bytes: &[u8]) -> Result<(Grammar, Nt, Nt), String> {
-    if bytes.len() < 7 || &bytes[..4] != GRAMMAR_MAGIC {
-        return Err("not a PGRG grammar file".into());
+    let file = GrammarFile::from_bytes(bytes).map_err(|e| pgr::error_chain(&e))?;
+    Ok((file.grammar, file.start, file.byte_nt))
+}
+
+/// A grammar the CLI resolved, with its content address — the id is
+/// what `compress` stamps into the output image header.
+struct LoadedGrammar {
+    file: GrammarFile,
+    id: GrammarId,
+}
+
+/// The registry root: `--registry <dir>` wins, else `$PGR_REGISTRY`.
+fn registry_root(args: &[String]) -> Option<String> {
+    opt_value(args, "--registry")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("PGR_REGISTRY").ok())
+}
+
+fn open_registry(args: &[String]) -> Result<Registry, String> {
+    let root = registry_root(args)
+        .ok_or("no registry configured (pass --registry <dir> or set $PGR_REGISTRY)")?;
+    Registry::open(&root).map_err(pipeline_err)
+}
+
+fn grammar_of_bytes(origin: &str, bytes: &[u8]) -> Result<LoadedGrammar, String> {
+    let file =
+        GrammarFile::from_bytes(bytes).map_err(|e| format!("{origin}: {}", pipeline_err(e)))?;
+    Ok(LoadedGrammar {
+        id: GrammarId::of_bytes(bytes),
+        file,
+    })
+}
+
+/// Resolve a `-g` value: a `.pgrg` path, or `id:HEX` (full id or unique
+/// prefix) looked up in the registry.
+fn load_grammar_spec(args: &[String], spec: &str) -> Result<LoadedGrammar, String> {
+    if let Some(hex) = spec.strip_prefix("id:") {
+        let registry = open_registry(args)?;
+        let id = registry.resolve(hex).map_err(pipeline_err)?;
+        let bytes = registry.load_bytes(&id).map_err(pipeline_err)?;
+        grammar_of_bytes(spec, &bytes)
+    } else {
+        grammar_of_bytes(spec, &read_file(spec)?)
     }
-    if bytes[4] != 1 {
-        return Err(format!("unsupported grammar version {}", bytes[4]));
+}
+
+/// Find the grammar for a compressed image: an explicit `-g` wins;
+/// otherwise the image header's grammar id is resolved in the registry.
+fn grammar_for_image(
+    args: &[String],
+    input: &str,
+    header_id: Option<GrammarId>,
+) -> Result<LoadedGrammar, String> {
+    if let Some(spec) = opt_value(args, "-g") {
+        return load_grammar_spec(args, spec);
     }
-    let start = Nt(u16::from(bytes[5]));
-    let byte_nt = Nt(u16::from(bytes[6]));
-    let grammar = decode_grammar(&bytes[7..]).map_err(|e| e.to_string())?;
-    Ok((grammar, start, byte_nt))
+    let id =
+        header_id.ok_or_else(|| format!("{input}: image names no grammar; pass -g <grammar>"))?;
+    let registry =
+        open_registry(args).map_err(|e| format!("{input}: image names grammar {id}, but {e}"))?;
+    let bytes = registry.load_bytes(&id).map_err(pipeline_err)?;
+    grammar_of_bytes(&format!("registry grammar {id}"), &bytes)
+}
+
+/// Build the compressor configuration from the shared CLI flags
+/// (`--threads`, `--batch-bytes`, `--earley-budget`, `--no-fallback`,
+/// `--timings`) — the one place flag parsing produces a
+/// [`pgr_core::CompressorConfig`].
+fn compressor_config(args: &[String]) -> Result<pgr_core::CompressorConfig, String> {
+    let mut builder = pgr_core::CompressorConfig::builder()
+        .collect_timings(flag(args, "--timings"))
+        .fallback(!flag(args, "--no-fallback"));
+    if let Some(v) = opt_value(args, "--threads") {
+        builder = builder.threads(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --threads {v:?}"))?,
+        );
+    }
+    if let Some(v) = opt_value(args, "--batch-bytes") {
+        builder = builder.batch_bytes(
+            v.parse::<usize>()
+                .map_err(|_| format!("bad --batch-bytes {v:?}"))?,
+        );
+    }
+    if let Some(v) = opt_value(args, "--earley-budget") {
+        builder = builder.earley_budget(parse_budget(v)?);
+    }
+    Ok(builder.build())
 }
 
 // ---- commands -----------------------------------------------------------
@@ -293,7 +396,7 @@ fn disasm(args: &[String]) -> Result<i32, String> {
     let [input] = pos.as_slice() else {
         return Err("disasm takes exactly one image".into());
     };
-    let (program, kind) = load_program(input)?;
+    let (program, kind, _) = load_program(input)?;
     if kind == ImageKind::Compressed {
         return Err(format!(
             "{input} holds compressed derivations; decompress it first"
@@ -315,7 +418,7 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
     };
     let mut programs = Vec::new();
     for path in &inputs {
-        let (program, kind) = load_program(path)?;
+        let (program, kind, _) = load_program(path)?;
         if kind == ImageKind::Compressed {
             return Err(format!("{path}: cannot train on compressed images"));
         }
@@ -332,10 +435,8 @@ fn cmd_train(args: &[String]) -> Result<i32, String> {
     };
     let trained = train(&refs, &config).map_err(pipeline_err)?;
     let ig = trained.initial();
-    write_file(
-        out,
-        &write_grammar_file(trained.expanded(), ig.nt_start, ig.nt_byte),
-    )?;
+    let file = GrammarFile::new(trained.expanded().clone(), ig.nt_start, ig.nt_byte);
+    write_file(out, &file.to_bytes())?;
     eprintln!(
         "trained on {} image(s): +{} rules, grammar {} bytes -> {out}",
         inputs.len(),
@@ -352,38 +453,32 @@ fn compress(args: &[String]) -> Result<i32, String> {
         return Err("compress takes exactly one image".into());
     };
     let out = required(args, "-o")?;
-    let (grammar, start, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
-    let (program, kind) = load_program(input)?;
+    let loaded = load_grammar_spec(args, required(args, "-g")?)?;
+    let (program, kind, _) = load_program(input)?;
     if kind == ImageKind::Compressed {
         return Err(format!("{input} is already compressed"));
     }
-    let threads = match opt_value(args, "--threads") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| format!("bad --threads {v:?}"))?,
-        None => 0, // one worker per CPU
-    };
     let timings = flag(args, "--timings");
     let metrics = metrics_opts(args)?;
-    let mut config = pgr_core::CompressorConfig::default()
-        .threads(threads)
-        .collect_timings(timings);
-    if let Some(v) = opt_value(args, "--batch-bytes") {
-        config = config.batch_bytes(
-            v.parse::<usize>()
-                .map_err(|_| format!("bad --batch-bytes {v:?}"))?,
-        );
-    }
-    if let Some(v) = opt_value(args, "--earley-budget") {
-        config = config.earley_budget(parse_budget(v)?);
-    }
-    if flag(args, "--no-fallback") {
-        config = config.fallback(false);
-    }
-    let engine =
-        pgr_core::Compressor::with_recorder(&grammar, start, config, recorder_of(&metrics));
+    let config = compressor_config(args)?;
+    let engine = pgr_core::Compressor::with_recorder(
+        &loaded.file.grammar,
+        loaded.file.start,
+        config,
+        recorder_of(&metrics),
+    );
     let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;
-    write_file(out, &write_program(&cp.program, ImageKind::Compressed))?;
+    // Stamp the grammar's content address into the image header, so
+    // downstream commands (and the serve front end) can find the one
+    // grammar that decodes this image without being told.
+    write_file(
+        out,
+        &write_program_tagged(
+            &cp.program,
+            ImageKind::Compressed,
+            Some(loaded.id.as_bytes()),
+        ),
+    )?;
     eprintln!(
         "{input}: {} -> {} code bytes ({:.0}%) -> {out}",
         stats.original_code,
@@ -417,17 +512,17 @@ fn decompress(args: &[String]) -> Result<i32, String> {
         return Err("decompress takes exactly one image".into());
     };
     let out = required(args, "-o")?;
-    let (grammar, start, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
-    let (program, kind) = load_program(input)?;
+    let (program, kind, header_id) = load_program(input)?;
     if kind == ImageKind::Uncompressed {
         return Err(format!("{input} is not compressed"));
     }
+    let loaded = grammar_for_image(args, input, header_id)?;
     let cp = pgr_core::CompressedProgram { program };
     let metrics = metrics_opts(args)?;
     let recorder = recorder_of(&metrics);
     let sw = Stopwatch::start_if(recorder.is_enabled());
-    let back =
-        pgr_core::compress::decompress_program(&grammar, start, &cp).map_err(pipeline_err)?;
+    let back = pgr_core::compress::decompress_program(&loaded.file.grammar, loaded.file.start, &cp)
+        .map_err(pipeline_err)?;
     if recorder.is_enabled() {
         recorder.record_span(names::SPAN_DECOMPRESS, sw.elapsed());
         recorder.add(names::DECOMPRESS_CALLS, 1);
@@ -447,7 +542,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
     let [input] = pos.as_slice() else {
         return Err("run takes exactly one image".into());
     };
-    let (program, kind) = load_program(input)?;
+    let (program, kind, header_id) = load_program(input)?;
     let trace_limit = match opt_value(args, "--trace") {
         Some(v) => v
             .parse::<usize>()
@@ -475,11 +570,15 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             vm.run().map_err(|e| e.to_string())?
         }
         ImageKind::Compressed => {
-            let g = required(args, "-g")
-                .map_err(|_| "compressed image needs -g <grammar>".to_string())?;
-            let (grammar, start, byte_nt) = read_grammar_file(&read_file(g)?)?;
-            let mut vm = Vm::new_compressed(&program, &grammar, start, byte_nt, config)
-                .map_err(|e| e.to_string())?;
+            let loaded = grammar_for_image(args, input, header_id)?;
+            let mut vm = Vm::new_compressed(
+                &program,
+                &loaded.file.grammar,
+                loaded.file.start,
+                loaded.file.byte_nt,
+                config,
+            )
+            .map_err(|e| e.to_string())?;
             vm.run().map_err(|e| e.to_string())?
         }
     };
@@ -517,15 +616,17 @@ fn verify(args: &[String]) -> Result<i32, String> {
     let bytes = read_file(input)?;
     // Magic, version, lengths, and CRC32 are all checked here; any
     // mutation of the checksummed payload surfaces as an error.
-    let (program, kind) = read_program(&bytes).map_err(|e| format!("{input}: {e}"))?;
-    // The format is canonical: re-encoding the parsed contents must
-    // reproduce the file byte for byte, or something survived parsing
-    // that the writer would never emit.
-    if write_program(&program, kind) != bytes {
+    let (program, kind, raw_id) =
+        read_program_tagged(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    // The format is canonical: re-encoding the parsed contents (with the
+    // same grammar-id tag) must reproduce the file byte for byte, or
+    // something survived parsing that the writer would never emit.
+    if write_program_tagged(&program, kind, raw_id.as_ref()) != bytes {
         return Err(format!(
             "{input}: image is not the canonical serialization of its contents"
         ));
     }
+    let header_id = raw_id.map(GrammarId::from_raw);
     match kind {
         ImageKind::Uncompressed => {
             validate_program(&program).map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
@@ -535,25 +636,49 @@ fn verify(args: &[String]) -> Result<i32, String> {
                 program.code_size()
             );
         }
-        ImageKind::Compressed => match opt_value(args, "-g") {
-            Some(g) => {
-                let (grammar, start, _) = read_grammar_file(&read_file(g)?)?;
-                let cp = pgr_core::CompressedProgram { program };
-                let back = pgr_core::compress::decompress_program(&grammar, start, &cp)
+        ImageKind::Compressed => {
+            // `-g` wins; without it, an embedded grammar id plus a
+            // configured registry is enough. Neither is an error —
+            // framing and checksum checks already passed.
+            let loaded = if opt_value(args, "-g").is_some()
+                || (header_id.is_some() && registry_root(args).is_some())
+            {
+                Some(grammar_for_image(args, input, header_id)?)
+            } else {
+                None
+            };
+            match loaded {
+                Some(loaded) => {
+                    if let Some(id) = header_id {
+                        if id != loaded.id {
+                            return Err(format!(
+                                "{input}: image was compressed with grammar {id}, \
+                                 but the supplied grammar is {}",
+                                loaded.id
+                            ));
+                        }
+                    }
+                    let cp = pgr_core::CompressedProgram { program };
+                    let back = pgr_core::compress::decompress_program(
+                        &loaded.file.grammar,
+                        loaded.file.start,
+                        &cp,
+                    )
                     .map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
-                validate_program(&back).map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
-                eprintln!(
-                    "{input}: OK — compressed, {} procedure(s), decompresses to {} valid code bytes",
-                    cp.program.procs.len(),
-                    back.code_size()
-                );
+                    validate_program(&back).map_err(|e| format!("{input}: {}", pipeline_err(e)))?;
+                    eprintln!(
+                        "{input}: OK — compressed, {} procedure(s), decompresses to {} valid code bytes",
+                        cp.program.procs.len(),
+                        back.code_size()
+                    );
+                }
+                None => eprintln!(
+                    "{input}: OK — compressed, {} procedure(s), checksum and framing pass \
+                     (pass -g <grammar> or configure a registry to also check decompression)",
+                    program.procs.len()
+                ),
             }
-            None => eprintln!(
-                "{input}: OK — compressed, {} procedure(s), checksum and framing pass \
-                 (pass -g <grammar> to also check decompression)",
-                program.procs.len()
-            ),
-        },
+        }
     }
     Ok(0)
 }
@@ -563,7 +688,7 @@ fn stats(args: &[String]) -> Result<i32, String> {
     let [input] = pos.as_slice() else {
         return Err("stats takes exactly one image".into());
     };
-    let (program, kind) = load_program(input)?;
+    let (program, kind, _) = load_program(input)?;
     let s = pgr_bytecode::image::ImageStats::of(&program);
     println!("kind:          {kind:?}");
     println!("procedures:    {}", program.procs.len());
@@ -652,7 +777,7 @@ fn metrics_check(args: &[String]) -> Result<i32, String> {
 
 fn cgen(args: &[String]) -> Result<i32, String> {
     let out = required(args, "-o")?;
-    let (grammar, _, _) = read_grammar_file(&read_file(required(args, "-g")?)?)?;
+    let grammar = load_grammar_spec(args, required(args, "-g")?)?.file.grammar;
     std::fs::create_dir_all(out).map_err(|e| format!("{out}: {e}"))?;
     let dir = Path::new(out);
     let mut files = vec![
@@ -661,7 +786,7 @@ fn cgen(args: &[String]) -> Result<i32, String> {
         ("interp_nt.c", pgr_vm::cgen::interp_nt_source()),
     ];
     if let Some(image) = opt_value(args, "-p") {
-        let (program, _) = load_program(image)?;
+        let (program, _, _) = load_program(image)?;
         files.push(("package.c", pgr_vm::cgen::packaging_source(&program)));
     }
     for (name, content) in files {
@@ -672,5 +797,102 @@ fn cgen(args: &[String]) -> Result<i32, String> {
         "wrote interp1.c/tables.c/interp_nt.c to {out} (modeled: initial {} B, compressed {} B)",
         sizes.initial, sizes.compressed
     );
+    Ok(0)
+}
+
+// ---- registry and serve -------------------------------------------------
+
+fn cmd_registry(args: &[String]) -> Result<i32, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("usage: pgr registry <add|list|rm|gc> ...".into());
+    };
+    let registry = open_registry(args)?;
+    match sub.as_str() {
+        "add" => {
+            let pos = positionals(rest);
+            let [path] = pos.as_slice() else {
+                return Err("registry add takes exactly one .pgrg file".into());
+            };
+            let label = opt_value(rest, "--label").unwrap_or("");
+            let bytes = read_file(path)?;
+            let manifest = registry.store_bytes(&bytes, label).map_err(pipeline_err)?;
+            println!("{}", manifest.id);
+            eprintln!(
+                "stored {path}: {} B, {} non-terminal(s), {} rule(s)",
+                manifest.bytes, manifest.nt_count, manifest.rule_count
+            );
+            Ok(0)
+        }
+        "list" => {
+            for m in registry.list().map_err(pipeline_err)? {
+                println!(
+                    "{}  {:>8} B  {:>4} NTs  {:>5} rules  {}",
+                    m.id, m.bytes, m.nt_count, m.rule_count, m.label
+                );
+            }
+            Ok(0)
+        }
+        "rm" => {
+            let pos = positionals(rest);
+            let [spec] = pos.as_slice() else {
+                return Err("registry rm takes exactly one id (or prefix)".into());
+            };
+            let id = registry.resolve(spec).map_err(pipeline_err)?;
+            registry.remove(&id).map_err(pipeline_err)?;
+            eprintln!("removed {id}");
+            Ok(0)
+        }
+        "gc" => {
+            let mut keep = Vec::new();
+            for spec in positionals(rest) {
+                keep.push(registry.resolve(spec).map_err(pipeline_err)?);
+            }
+            let report = registry.gc(&keep).map_err(pipeline_err)?;
+            eprintln!(
+                "gc: removed {} grammar(s), pruned {} corrupt entr(ies)",
+                report.removed.len(),
+                report.pruned_corrupt.len()
+            );
+            Ok(0)
+        }
+        other => Err(format!("unknown registry subcommand {other:?}")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<i32, String> {
+    let socket = required(args, "--socket")?;
+    let root = registry_root(args)
+        .ok_or("no registry configured (pass --registry <dir> or set $PGR_REGISTRY)")?;
+    let max_budget = match opt_value(args, "--max-budget") {
+        Some(v) => parse_budget(v)?,
+        None => pgr_core::EarleyBudget::UNLIMITED,
+    };
+    let threads = match opt_value(args, "--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --threads {v:?}"))?,
+        None => 0, // one worker per CPU
+    };
+    let metrics = metrics_opts(args)?;
+    // The server always records: `stats` responses snapshot the
+    // recorder, so a disabled one would serve empty metrics.
+    let recorder = match &metrics {
+        Some(opts) => opts.recorder.clone(),
+        None => Recorder::new(),
+    };
+    let server = Server::bind(
+        socket,
+        ServeConfig {
+            registry_root: root.into(),
+            max_budget,
+            threads,
+            recorder,
+        },
+    )
+    .map_err(pipeline_err)?;
+    eprintln!("pgr serve: listening on {socket} (send {{\"op\":\"shutdown\"}} to stop)");
+    server.run().map_err(pipeline_err)?;
+    emit_metrics(&metrics)?;
+    eprintln!("pgr serve: shut down");
     Ok(0)
 }

@@ -68,10 +68,19 @@ fn full_pipeline_through_files() {
     run(&args(&["train", &image, "-o", &grammar])).unwrap();
     run(&args(&["compress", &image, "-g", &grammar, "-o", &packed])).unwrap();
 
-    // The compressed file is a different (smaller) image.
+    // The compressed image holds less code, and its header names the
+    // grammar that decodes it (the content address of the .pgrg file).
     let plain = std::fs::read(&image).unwrap();
     let packed_bytes = std::fs::read(&packed).unwrap();
-    assert!(packed_bytes.len() < plain.len());
+    let (plain_prog, _, plain_id) = pgr_bytecode::read_program_tagged(&plain).unwrap();
+    let (packed_prog, _, packed_id) = pgr_bytecode::read_program_tagged(&packed_bytes).unwrap();
+    assert!(packed_prog.code_size() < plain_prog.code_size());
+    assert_eq!(plain_id, None);
+    let grammar_bytes = std::fs::read(&grammar).unwrap();
+    assert_eq!(
+        packed_id,
+        Some(*pgr::registry::GrammarId::of_bytes(&grammar_bytes).as_bytes())
+    );
 
     // Direct execution of the compressed image matches.
     assert_eq!(run(&args(&["run", &packed, "-g", &grammar])).unwrap(), 7);
@@ -342,4 +351,111 @@ fn metrics_json_emits_documented_keys() {
 
     // A bad mode is a usage error.
     assert!(run(&args(&["run", &image, "--metrics", "xml"])).is_err());
+}
+
+#[test]
+fn registry_workflow_resolves_grammars_by_id() {
+    let s = Scratch::new("registry");
+    let c = s.write("hello.c", HELLO);
+    let image = s.path("hello.pgrb");
+    let grammar = s.path("hello.pgrg");
+    let packed = s.path("hello.pgrc");
+    let unpacked = s.path("back.pgrb");
+    let reg = s.path("reg");
+
+    run(&args(&["compile", &c, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+    run(&args(&[
+        "registry",
+        "add",
+        &grammar,
+        "--registry",
+        &reg,
+        "--label",
+        "cli test",
+    ]))
+    .unwrap();
+    run(&args(&["registry", "list", "--registry", &reg])).unwrap();
+
+    let grammar_bytes = std::fs::read(&grammar).unwrap();
+    let id = pgr::registry::GrammarId::of_bytes(&grammar_bytes).to_hex();
+    let id_spec = format!("id:{}", &id[..12]); // unique prefix resolution
+
+    // compress with an id: spec instead of a path.
+    run(&args(&[
+        "compress",
+        &image,
+        "-g",
+        &id_spec,
+        "-o",
+        &packed,
+        "--registry",
+        &reg,
+    ]))
+    .unwrap();
+
+    // decompress / run / verify with NO -g at all: the image header
+    // names the grammar, the registry supplies it.
+    run(&args(&[
+        "decompress",
+        &packed,
+        "-o",
+        &unpacked,
+        "--registry",
+        &reg,
+    ]))
+    .unwrap();
+    assert_eq!(run(&args(&["run", &unpacked])).unwrap(), 7);
+    assert_eq!(
+        run(&args(&["run", &packed, "--registry", &reg])).unwrap(),
+        7
+    );
+    assert_eq!(
+        run(&args(&["verify", &packed, "--registry", &reg])).unwrap(),
+        0
+    );
+
+    // The registry-resolved decompression matches the path-based one.
+    let via_path = s.path("back2.pgrb");
+    run(&args(&[
+        "decompress",
+        &packed,
+        "-g",
+        &grammar,
+        "-o",
+        &via_path,
+    ]))
+    .unwrap();
+    assert_eq!(
+        std::fs::read(&unpacked).unwrap(),
+        std::fs::read(&via_path).unwrap(),
+        "registry-resolved and path-based flows must agree byte for byte"
+    );
+
+    // Without a registry, the header id alone is a clear error.
+    let err = run(&args(&["decompress", &packed, "-o", &s.path("x.pgrb")])).unwrap_err();
+    assert!(err.contains("registry"), "unhelpful error: {err}");
+
+    // rm + gc.
+    run(&args(&[
+        "registry",
+        "rm",
+        &id_spec["id:".len()..],
+        "--registry",
+        &reg,
+    ]))
+    .unwrap();
+    let err = run(&args(&[
+        "compress",
+        &image,
+        "-g",
+        &id_spec,
+        "-o",
+        &packed,
+        "--registry",
+        &reg,
+    ]))
+    .unwrap_err();
+    assert!(err.contains("no grammar"), "unhelpful error: {err}");
+    run(&args(&["registry", "gc", "--registry", &reg])).unwrap();
 }

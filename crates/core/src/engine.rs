@@ -136,7 +136,76 @@ impl Default for CompressorConfig {
     }
 }
 
+/// Staged construction of a [`CompressorConfig`].
+///
+/// The builder exists so embedders that assemble a config from many
+/// sources (CLI flags, service admission policy, per-tenant overrides)
+/// have one place to do it, and so future knobs can grow validation
+/// without breaking the chainable-field style:
+///
+/// ```
+/// use pgr_core::{CompressorConfig, EarleyBudget};
+/// let config = CompressorConfig::builder()
+///     .threads(2)
+///     .batch_bytes(512)
+///     .earley_budget(EarleyBudget::UNLIMITED.max_items(10_000))
+///     .build();
+/// assert_eq!(config.threads, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompressorConfigBuilder {
+    config: CompressorConfig,
+}
+
+impl CompressorConfigBuilder {
+    /// Set the worker-thread count (`0` = one per available CPU).
+    pub fn threads(mut self, threads: usize) -> CompressorConfigBuilder {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Set the segment-cache capacity (`0` disables caching).
+    pub fn segment_cache_capacity(mut self, capacity: usize) -> CompressorConfigBuilder {
+        self.config.segment_cache_capacity = capacity;
+        self
+    }
+
+    /// Set the dispatch-batch size in input bytes (`0` = per segment).
+    pub fn batch_bytes(mut self, bytes: usize) -> CompressorConfigBuilder {
+        self.config.batch_bytes = bytes;
+        self
+    }
+
+    /// Enable or disable per-phase timing collection.
+    pub fn collect_timings(mut self, collect: bool) -> CompressorConfigBuilder {
+        self.config.collect_timings = collect;
+        self
+    }
+
+    /// Set the per-segment Earley work budget.
+    pub fn earley_budget(mut self, budget: EarleyBudget) -> CompressorConfigBuilder {
+        self.config.earley_budget = budget;
+        self
+    }
+
+    /// Enable or disable verbatim-escape fallback on parse failures.
+    pub fn fallback(mut self, fallback: bool) -> CompressorConfigBuilder {
+        self.config.fallback = fallback;
+        self
+    }
+
+    /// Finish, yielding the configured [`CompressorConfig`].
+    pub fn build(self) -> CompressorConfig {
+        self.config
+    }
+}
+
 impl CompressorConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> CompressorConfigBuilder {
+        CompressorConfigBuilder::default()
+    }
+
     /// Set the worker-thread count (`0` = one per available CPU).
     pub fn threads(mut self, threads: usize) -> CompressorConfig {
         self.threads = threads;
@@ -414,6 +483,29 @@ impl<'g> Compressor<'g> {
         &self,
         program: &Program,
     ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
+        self.compress_budgeted(program, self.earley_budget)
+    }
+
+    /// Compress a program under a caller-supplied per-call
+    /// [`EarleyBudget`], overriding the engine's configured budget.
+    ///
+    /// This is the multi-tenant entry point: a long-lived engine (one per
+    /// loaded grammar, with a shared derivation cache) can serve requests
+    /// with different work quotas — admission control picks the budget,
+    /// and a request that blows it degrades to verbatim escapes (or a
+    /// structured `NoParse::BudgetExceeded` with fallback off) without
+    /// affecting any other request. The derivation cache stays shared and
+    /// sound across budgets: only successful parses are cached, and a
+    /// successful shortest-derivation parse is budget-invariant.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`].
+    pub fn compress_budgeted(
+        &self,
+        program: &Program,
+        budget: EarleyBudget,
+    ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
         let timed = self.timings_on();
 
         let sw = Stopwatch::start_if(timed);
@@ -457,7 +549,7 @@ impl<'g> Compressor<'g> {
         }
 
         // Encode: fan segments out across the worker pool.
-        let results = self.run_jobs(&canon, &jobs);
+        let results = self.run_jobs(&canon, &jobs, budget);
         let mut encoded: Vec<EncodedSegment> = Vec::with_capacity(results.len());
         for result in results {
             encoded.push(result?); // first failure in job (= code) order
@@ -588,6 +680,7 @@ impl<'g> Compressor<'g> {
         &self,
         canon: &Program,
         jobs: &[Job],
+        budget: EarleyBudget,
     ) -> Vec<Result<EncodedSegment, CompressError>> {
         let threads = self.threads.min(jobs.len()).max(1);
         if threads == 1 {
@@ -599,6 +692,7 @@ impl<'g> Compressor<'g> {
                         &mut arena,
                         &canon.procs[job.proc],
                         job.range.clone(),
+                        budget,
                     )
                 })
                 .collect();
@@ -623,6 +717,7 @@ impl<'g> Compressor<'g> {
                                         &mut arena,
                                         &canon.procs[job.proc],
                                         job.range.clone(),
+                                        budget,
                                     ),
                                 ));
                             }
@@ -654,9 +749,10 @@ impl<'g> Compressor<'g> {
         arena: &mut ChartArena,
         proc: &Procedure,
         range: Range<usize>,
+        budget: EarleyBudget,
     ) -> Result<EncodedSegment, CompressError> {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            self.encode_segment(arena, proc, range.clone())
+            self.encode_segment(arena, proc, range.clone(), budget)
         }));
         attempt.unwrap_or_else(|payload| {
             Err(CompressError::WorkerPanic {
@@ -683,6 +779,7 @@ impl<'g> Compressor<'g> {
         arena: &mut ChartArena,
         proc: &Procedure,
         range: Range<usize>,
+        budget: EarleyBudget,
     ) -> Result<EncodedSegment, CompressError> {
         // One enabled check per segment; workers never read the clock
         // unless someone is observing.
@@ -726,7 +823,7 @@ impl<'g> Compressor<'g> {
             Err(NoParse::NoDerivation { furthest: 0 })
         } else {
             self.parser
-                .parse_into_budgeted(arena, self.start, &tokens, &self.earley_budget)
+                .parse_into_budgeted(arena, self.start, &tokens, &budget)
         };
         let derivation = match parsed {
             Ok(derivation) => derivation,
@@ -1000,6 +1097,59 @@ entry f
         // spans and on the compatibility stats view.
         assert!(m.span_total(names::SPAN_COMPRESS_PARSE) > Duration::ZERO);
         assert!(stats.timings.parse > Duration::ZERO);
+    }
+
+    #[test]
+    fn builder_and_chained_config_agree() {
+        let budget = pgr_earley::EarleyBudget::default()
+            .max_items(123)
+            .max_columns(9);
+        let built = CompressorConfig::builder()
+            .threads(3)
+            .segment_cache_capacity(17)
+            .batch_bytes(256)
+            .collect_timings(true)
+            .earley_budget(budget)
+            .fallback(false)
+            .build();
+        let chained = CompressorConfig::default()
+            .threads(3)
+            .segment_cache_capacity(17)
+            .batch_bytes(256)
+            .collect_timings(true)
+            .earley_budget(budget)
+            .fallback(false);
+        assert_eq!(built, chained);
+        assert_eq!(
+            CompressorConfig::builder().build(),
+            CompressorConfig::default()
+        );
+    }
+
+    #[test]
+    fn per_call_budgets_share_one_engine_without_interference() {
+        let ig = InitialGrammar::build();
+        let engine = Compressor::new(&ig.grammar, ig.nt_start);
+        let prog = assemble(SAMPLE).unwrap();
+
+        // A starved request degrades to all-verbatim…
+        let tiny = pgr_earley::EarleyBudget::default().max_items(1);
+        let (cp_tiny, stats_tiny) = engine.compress_budgeted(&prog, tiny).unwrap();
+        assert_eq!(stats_tiny.fallback_segments, stats_tiny.segments);
+        let back = decompress_program(&ig.grammar, ig.nt_start, &cp_tiny).unwrap();
+        assert_eq!(back, canonicalize_program(&prog).unwrap());
+
+        // …while an unlimited request on the same engine (same shared
+        // cache) still gets full compression, identical to a fresh
+        // engine's output.
+        let (cp_full, stats_full) = engine
+            .compress_budgeted(&prog, pgr_earley::EarleyBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(stats_full.fallback_segments, 0);
+        let reference = Compressor::new(&ig.grammar, ig.nt_start)
+            .compress(&prog)
+            .unwrap();
+        assert_eq!(cp_full, reference.0);
     }
 
     #[test]

@@ -19,12 +19,15 @@
 //! * [`derivation`] — leftmost derivations: extraction from parse trees,
 //!   expansion back to terminal strings, and byte encoding/decoding,
 //! * [`encode`] — the compact binary grammar serialization whose byte size
-//!   is reported by the interpreter-size experiments (§6).
+//!   is reported by the interpreter-size experiments (§6),
+//! * [`file`] — the `.pgrg` container (`GrammarFile`): the canonical
+//!   on-disk form the CLI writes and the registry content-addresses.
 
 #![warn(missing_docs)]
 
 pub mod derivation;
 pub mod encode;
+pub mod file;
 pub mod forest;
 pub mod grammar;
 pub mod initial;
@@ -33,6 +36,7 @@ pub mod tables;
 pub mod typed;
 
 pub use derivation::Derivation;
+pub use file::{GrammarFile, GrammarFileError};
 pub use forest::{Forest, NodeId};
 pub use grammar::{Grammar, Rule, RuleId, RuleOrigin};
 pub use initial::InitialGrammar;

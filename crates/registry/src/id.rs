@@ -1,0 +1,268 @@
+//! Content addressing: [`GrammarId`] is the SHA-256 digest of a
+//! grammar's canonical `.pgrg` bytes.
+//!
+//! The `.pgrg` codec is canonical (`from_bytes(x).to_bytes() == x`), so
+//! hashing the file bytes gives every trained grammar exactly one id:
+//! store the same grammar twice and you get the same id back; change one
+//! rule and the id changes. The id doubles as the integrity check on
+//! load (a registry object whose bytes no longer hash to its name is
+//! corrupt) and as the link from a compressed image's meta section to
+//! the grammar that decodes it.
+//!
+//! SHA-256 is implemented here directly (FIPS 180-4); the build
+//! environment vendors no external crates, and the compression function
+//! is ~40 lines. The NIST test vectors below pin it.
+
+use std::fmt;
+
+/// Length of a grammar id in bytes — matches
+/// [`pgr_bytecode::GRAMMAR_ID_LEN`] so ids embed in image meta sections.
+pub const ID_LEN: usize = 32;
+
+const _: () = assert!(ID_LEN == pgr_bytecode::GRAMMAR_ID_LEN);
+
+/// The content address of a trained grammar: the SHA-256 digest of its
+/// canonical `.pgrg` file bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GrammarId([u8; ID_LEN]);
+
+impl GrammarId {
+    /// Address a grammar file by content.
+    pub fn of_bytes(pgrg_bytes: &[u8]) -> GrammarId {
+        GrammarId(sha256(pgrg_bytes))
+    }
+
+    /// The raw digest, for embedding in an image meta section.
+    pub fn as_bytes(&self) -> &[u8; ID_LEN] {
+        &self.0
+    }
+
+    /// Rebuild an id from raw digest bytes (e.g. out of an image
+    /// header).
+    pub fn from_raw(bytes: [u8; ID_LEN]) -> GrammarId {
+        GrammarId(bytes)
+    }
+
+    /// The 64-character lowercase hex form used for file names and wire
+    /// messages.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(ID_LEN * 2);
+        for b in self.0 {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out
+    }
+
+    /// Parse a full 64-character hex id (case-insensitive). Returns
+    /// `None` for anything else — prefix resolution is the registry's
+    /// job, not the id type's.
+    pub fn parse(hex: &str) -> Option<GrammarId> {
+        if hex.len() != ID_LEN * 2 {
+            return None;
+        }
+        let mut out = [0u8; ID_LEN];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let s = std::str::from_utf8(chunk).ok()?;
+            out[i] = u8::from_str_radix(s, 16).ok()?;
+        }
+        Some(GrammarId(out))
+    }
+}
+
+impl fmt::Display for GrammarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for GrammarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GrammarId({})", &self.to_hex()[..12])
+    }
+}
+
+// ---- SHA-256 (FIPS 180-4) ----------------------------------------------
+
+const H0: [u32; 8] = [
+    0x6a09_e667,
+    0xbb67_ae85,
+    0x3c6e_f372,
+    0xa54f_f53a,
+    0x510e_527f,
+    0x9b05_688c,
+    0x1f83_d9ab,
+    0x5be0_cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a_2f98,
+    0x7137_4491,
+    0xb5c0_fbcf,
+    0xe9b5_dba5,
+    0x3956_c25b,
+    0x59f1_11f1,
+    0x923f_82a4,
+    0xab1c_5ed5,
+    0xd807_aa98,
+    0x1283_5b01,
+    0x2431_85be,
+    0x550c_7dc3,
+    0x72be_5d74,
+    0x80de_b1fe,
+    0x9bdc_06a7,
+    0xc19b_f174,
+    0xe49b_69c1,
+    0xefbe_4786,
+    0x0fc1_9dc6,
+    0x240c_a1cc,
+    0x2de9_2c6f,
+    0x4a74_84aa,
+    0x5cb0_a9dc,
+    0x76f9_88da,
+    0x983e_5152,
+    0xa831_c66d,
+    0xb003_27c8,
+    0xbf59_7fc7,
+    0xc6e0_0bf3,
+    0xd5a7_9147,
+    0x06ca_6351,
+    0x1429_2967,
+    0x27b7_0a85,
+    0x2e1b_2138,
+    0x4d2c_6dfc,
+    0x5338_0d13,
+    0x650a_7354,
+    0x766a_0abb,
+    0x81c2_c92e,
+    0x9272_2c85,
+    0xa2bf_e8a1,
+    0xa81a_664b,
+    0xc24b_8b70,
+    0xc76c_51a3,
+    0xd192_e819,
+    0xd699_0624,
+    0xf40e_3585,
+    0x106a_a070,
+    0x19a4_c116,
+    0x1e37_6c08,
+    0x2748_774c,
+    0x34b0_bcb5,
+    0x391c_0cb3,
+    0x4ed8_aa4a,
+    0x5b9c_ca4f,
+    0x682e_6ff3,
+    0x748f_82ee,
+    0x78a5_636f,
+    0x84c8_7814,
+    0x8cc7_0208,
+    0x90be_fffa,
+    0xa450_6ceb,
+    0xbef9_a3f7,
+    0xc671_78f2,
+];
+
+/// The SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = H0;
+
+    // Pad: message || 0x80 || zeros || 64-bit bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = Vec::with_capacity(data.len() + 72);
+    msg.extend_from_slice(data);
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(digest: [u8; 32]) -> String {
+        GrammarId::from_raw(digest).to_hex()
+    }
+
+    #[test]
+    fn sha256_matches_nist_vectors() {
+        assert_eq!(
+            hex(sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A multi-block message exercising padding around 64 bytes.
+        let long = vec![b'a'; 1_000];
+        assert_eq!(
+            hex(sha256(&long)),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+        );
+    }
+
+    #[test]
+    fn ids_roundtrip_through_hex() {
+        let id = GrammarId::of_bytes(b"some grammar bytes");
+        assert_eq!(GrammarId::parse(&id.to_hex()), Some(id));
+        assert_eq!(GrammarId::parse(&id.to_hex().to_uppercase()), Some(id));
+        assert_eq!(GrammarId::parse("abc"), None);
+        assert_eq!(GrammarId::parse(&"zz".repeat(32)), None);
+        assert_ne!(
+            GrammarId::of_bytes(b"some grammar bytes"),
+            GrammarId::of_bytes(b"some grammar byteS")
+        );
+    }
+}

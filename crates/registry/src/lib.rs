@@ -1,0 +1,39 @@
+//! # pgr-registry
+//!
+//! The grammar registry and the `pgr` request server.
+//!
+//! The paper's pipeline trains one grammar per corpus, and everything
+//! downstream — compression, decompression, the compressed interpreter —
+//! is only correct against *that exact grammar*. Once several trained
+//! grammars exist, "which grammar decodes this image?" must be answered
+//! by the system, not by operator discipline. This crate answers it with
+//! content addressing:
+//!
+//! * [`GrammarId`] — SHA-256 of a grammar's canonical `.pgrg` bytes; one
+//!   grammar, one id, and the id doubles as the load-time integrity
+//!   check.
+//! * [`Registry`] — a directory of grammars keyed by id, with manifests
+//!   ([`Manifest`]), prefix resolution, idempotent stores, stale-object
+//!   rejection, and [`Registry::gc`].
+//! * [`Server`] / [`serve`] — newline-delimited JSON over a Unix
+//!   socket: `compress` / `decompress` / `run` / `stats` / `shutdown`
+//!   requests dispatched onto shared per-grammar engines, with
+//!   per-request [`EarleyBudget`](pgr_core::EarleyBudget) admission
+//!   control and panic isolation.
+//!
+//! Compressed images produced here carry their grammar's id in the v2
+//! image meta section (see `pgr_bytecode::write_program_tagged`), so a
+//! stored image round-trips through any registry that holds its grammar
+//! — no paths, no "I think it was trained last Tuesday".
+
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod proto;
+pub mod serve;
+pub mod store;
+
+pub use id::{sha256, GrammarId, ID_LEN};
+pub use proto::{base64_decode, base64_encode, ResponseLine};
+pub use serve::{ServeConfig, ServeError, Server};
+pub use store::{GcReport, Manifest, Registry, RegistryError, MANIFEST_VERSION};

@@ -1,0 +1,210 @@
+//! The serve wire protocol: newline-delimited JSON over a Unix socket.
+//!
+//! Each request is one JSON object on one line; each response is one
+//! JSON object on one line. Binary payloads (bytecode images, VM input
+//! and output) travel as standard base64 strings, so the framing stays
+//! plain text and a session can be driven by hand:
+//!
+//! ```text
+//! → {"op":"compress","grammar":"9c0f…","image":"UEdSQg…"}
+//! ← {"ok":true,"image":"UEdSQg…","original_bytes":120,"compressed_bytes":61}
+//! → {"op":"stats"}
+//! ← {"ok":true,"metrics":{ … }}
+//! ```
+//!
+//! Errors are in-band — `{"ok":false,"error":"…"}` — and never tear down
+//! the connection; only transport failures do. The base64 codec is
+//! implemented here (RFC 4648, standard alphabet with padding) because
+//! the build environment vendors no external crates.
+
+/// Standard base64 alphabet (RFC 4648 §4).
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard padded base64.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = u32::from(b[0]) << 16 | u32::from(b[1]) << 8 | u32::from(b[2]);
+        let quad = [
+            B64[(n >> 18) as usize & 63],
+            B64[(n >> 12) as usize & 63],
+            B64[(n >> 6) as usize & 63],
+            B64[n as usize & 63],
+        ];
+        let keep = chunk.len() + 1;
+        for (i, c) in quad.into_iter().enumerate() {
+            out.push(if i < keep { c as char } else { '=' });
+        }
+    }
+    out
+}
+
+/// Decode standard base64 (padded or unpadded). Returns `None` on any
+/// alphabet violation or impossible length.
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let trimmed = text.trim_end_matches('=').as_bytes();
+    if trimmed.len() % 4 == 1 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(trimmed.len() * 3 / 4);
+    for chunk in trimmed.chunks(4) {
+        let mut n = 0u32;
+        for &c in chunk {
+            n = n << 6 | val(c)?;
+        }
+        n <<= 6 * (4 - chunk.len()) as u32;
+        let bytes = n.to_be_bytes();
+        out.extend_from_slice(&bytes[1..chunk.len()]);
+    }
+    Some(out)
+}
+
+/// Escape a string for embedding in a JSON document.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incrementally build one response line. Purely syntactic — the field
+/// vocabulary lives with each request handler in [`crate::serve`].
+#[derive(Debug, Default)]
+pub struct ResponseLine {
+    fields: Vec<String>,
+}
+
+impl ResponseLine {
+    /// Start a success response (`"ok":true`).
+    pub fn ok() -> ResponseLine {
+        let mut r = ResponseLine::default();
+        r.fields.push("\"ok\":true".to_string());
+        r
+    }
+
+    /// Build a complete error response (`"ok":false` plus the message).
+    pub fn err(message: &str) -> String {
+        format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+    }
+
+    /// Append a string field (JSON-escaped).
+    pub fn str_field(mut self, key: &str, value: &str) -> ResponseLine {
+        self.fields
+            .push(format!("\"{key}\":\"{}\"", json_escape(value)));
+        self
+    }
+
+    /// Append an integer field.
+    pub fn num_field(mut self, key: &str, value: u64) -> ResponseLine {
+        self.fields.push(format!("\"{key}\":{value}"));
+        self
+    }
+
+    /// Append a signed integer field.
+    pub fn int_field(mut self, key: &str, value: i64) -> ResponseLine {
+        self.fields.push(format!("\"{key}\":{value}"));
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool_field(mut self, key: &str, value: bool) -> ResponseLine {
+        self.fields.push(format!("\"{key}\":{value}"));
+        self
+    }
+
+    /// Append a field whose value is already serialized JSON (e.g. a
+    /// metrics snapshot).
+    pub fn raw_field(mut self, key: &str, json: &str) -> ResponseLine {
+        self.fields.push(format!("\"{key}\":{json}"));
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_matches_rfc4648_vectors() {
+        // RFC 4648 §10 test vectors.
+        let vectors: &[(&[u8], &str)] = &[
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, encoded) in vectors {
+            assert_eq!(base64_encode(raw), *encoded);
+            assert_eq!(base64_decode(encoded).as_deref(), Some(*raw));
+        }
+    }
+
+    #[test]
+    fn base64_roundtrips_binary_and_rejects_junk() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).cycle().take(1021).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        assert_eq!(base64_decode("not base64!"), None);
+        assert_eq!(base64_decode("Zg"), Some(b"f".to_vec())); // unpadded ok
+        assert_eq!(base64_decode("Z"), None); // impossible length
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        let line = ResponseLine::ok()
+            .str_field("image", "AA==")
+            .num_field("bytes", 7)
+            .int_field("exit_code", -1)
+            .bool_field("clamped", false)
+            .raw_field("metrics", "{\"counters\":{}}")
+            .finish();
+        let doc = pgr_telemetry::json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            doc.get("ok").and_then(pgr_telemetry::json::Value::as_str),
+            None
+        );
+        assert_eq!(
+            doc.get("bytes")
+                .and_then(pgr_telemetry::json::Value::as_u64),
+            Some(7)
+        );
+        let err = ResponseLine::err("bad \"quote\"\n");
+        let doc = pgr_telemetry::json::parse(&err).expect("valid JSON");
+        assert_eq!(
+            doc.get("error")
+                .and_then(pgr_telemetry::json::Value::as_str),
+            Some("bad \"quote\"\n")
+        );
+    }
+}

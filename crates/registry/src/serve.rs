@@ -1,0 +1,469 @@
+//! The `pgr` request server: NDJSON over a Unix socket, backed by the
+//! grammar registry.
+//!
+//! One [`Server`] owns one [`Registry`] and a map of *engines* — a
+//! loaded grammar plus a [`Compressor`] whose derivation cache is shared
+//! by every request that names that grammar. Connections get a thread
+//! each; inside a connection, requests are handled in order. Admission
+//! control is per request: a declared [`EarleyBudget`] is clamped to the
+//! server's ceiling before the compressor sees it, so one greedy request
+//! degrades itself (to verbatim fallback) without starving neighbours,
+//! and a worker panic surfaces as that request's error response, not a
+//! dead server.
+//!
+//! Loaded grammars are intentionally leaked (`Box::leak`): the engine
+//! map needs `&'static Grammar` for [`Compressor`]'s borrow, the leak is
+//! bounded (once per distinct grammar id) and the server is a long-lived
+//! process; its address space *is* the cache.
+//!
+//! Request latency lands in the `serve.request.<op>.micros` histograms;
+//! `serve.*` counters track connections, requests, errors, and budget
+//! clamps. A `stats` request snapshots all of it, including itself.
+
+use crate::id::GrammarId;
+use crate::proto::{base64_decode, base64_encode, ResponseLine};
+use crate::store::{Registry, RegistryError};
+use pgr_bytecode::{read_program_tagged, write_program_tagged, ImageKind, Program};
+use pgr_core::{Compressor, CompressorConfig, EarleyBudget};
+use pgr_grammar::{Grammar, Nt};
+use pgr_telemetry::json::{self, Value};
+use pgr_telemetry::{names, Recorder, Stopwatch};
+use pgr_vm::{Vm, VmConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a [`Server`] is put together.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registry root directory (created if missing).
+    pub registry_root: PathBuf,
+    /// Per-request Earley budget ceiling; declared budgets above this
+    /// are clamped down (and counted under `serve.budget.clamped`).
+    pub max_budget: EarleyBudget,
+    /// Compressor worker threads per engine (0 = one per CPU).
+    pub threads: usize,
+    /// Telemetry destination. Pass an enabled recorder — `stats`
+    /// responses snapshot it.
+    pub recorder: Recorder,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            registry_root: PathBuf::from("registry"),
+            max_budget: EarleyBudget::UNLIMITED,
+            threads: 0,
+            recorder: Recorder::new(),
+        }
+    }
+}
+
+/// A failure to stand the server up. Per-request failures are in-band
+/// error responses, never this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Binding the Unix socket failed.
+    Bind {
+        /// The socket path.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// Opening the registry failed.
+    Registry(RegistryError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { path, message } => {
+                write!(f, "cannot bind socket {path}: {message}")
+            }
+            ServeError::Registry(_) => write!(f, "cannot open the grammar registry"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Registry(e) => Some(e),
+            ServeError::Bind { .. } => None,
+        }
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> ServeError {
+        ServeError::Registry(e)
+    }
+}
+
+/// One loaded grammar: the leaked grammar, its interpreter handles, and
+/// a compressor whose derivation cache all requests for this grammar
+/// share.
+struct Engine {
+    id: GrammarId,
+    grammar: &'static Grammar,
+    start: Nt,
+    byte_nt: Nt,
+    compressor: Compressor<'static>,
+}
+
+struct State {
+    registry: Registry,
+    engines: Mutex<HashMap<GrammarId, Arc<Engine>>>,
+    max_budget: EarleyBudget,
+    threads: usize,
+    recorder: Recorder,
+    running: AtomicBool,
+    socket: PathBuf,
+}
+
+/// Render an error with its full `source()` chain, outermost first.
+fn error_chain(e: &dyn std::error::Error) -> String {
+    let mut out = e.to_string();
+    let mut cur = e.source();
+    while let Some(cause) = cur {
+        out.push_str(": ");
+        out.push_str(&cause.to_string());
+        cur = cause.source();
+    }
+    out
+}
+
+impl State {
+    /// Get (loading and caching if needed) the engine for a grammar id.
+    fn engine_for(&self, id: GrammarId) -> Result<Arc<Engine>, RegistryError> {
+        let mut engines = self.engines.lock().expect("engine map lock");
+        if let Some(engine) = engines.get(&id) {
+            return Ok(Arc::clone(engine));
+        }
+        let file = self.registry.load(&id)?;
+        // Bounded leak: once per distinct grammar, for the life of the
+        // process, in exchange for a 'static borrow the engine map and
+        // every worker thread can share.
+        let grammar: &'static Grammar = Box::leak(Box::new(file.grammar));
+        let config = CompressorConfig::builder()
+            .threads(self.threads)
+            .earley_budget(self.max_budget)
+            .build();
+        let compressor =
+            Compressor::with_recorder(grammar, file.start, config, self.recorder.clone());
+        let engine = Arc::new(Engine {
+            id,
+            grammar,
+            start: file.start,
+            byte_nt: file.byte_nt,
+            compressor,
+        });
+        engines.insert(id, Arc::clone(&engine));
+        self.recorder
+            .gauge_max(names::SERVE_GRAMMARS_LOADED, engines.len() as u64);
+        Ok(engine)
+    }
+
+    /// Resolve the engine for a request: an explicit `"grammar"` field
+    /// (full id or prefix) wins; otherwise the image's embedded grammar
+    /// id is used.
+    fn engine_of_request(
+        &self,
+        doc: &Value,
+        header_id: Option<GrammarId>,
+    ) -> Result<Arc<Engine>, String> {
+        let id = match doc.get("grammar").and_then(Value::as_str) {
+            Some(spec) => self.registry.resolve(spec).map_err(|e| error_chain(&e))?,
+            None => header_id.ok_or(
+                "no \"grammar\" field and the image carries no grammar id; \
+                 pass one or re-compress with a registry grammar",
+            )?,
+        };
+        self.engine_for(id).map_err(|e| error_chain(&e))
+    }
+
+    /// Clamp a request's declared budget to the server ceiling. Returns
+    /// the admitted budget and whether clamping happened.
+    fn admit_budget(&self, doc: &Value) -> (EarleyBudget, bool) {
+        let Some(declared) = doc.get("budget") else {
+            return (self.max_budget, false);
+        };
+        let field = |key: &str| {
+            declared
+                .get(key)
+                .and_then(Value::as_u64)
+                .map_or(usize::MAX, |v| usize::try_from(v).unwrap_or(usize::MAX))
+        };
+        let requested = EarleyBudget {
+            max_items: field("max_items"),
+            max_columns: field("max_columns"),
+        };
+        let admitted = EarleyBudget {
+            max_items: requested.max_items.min(self.max_budget.max_items),
+            max_columns: requested.max_columns.min(self.max_budget.max_columns),
+        };
+        let clamped = admitted != requested;
+        if clamped {
+            self.recorder.add(names::SERVE_BUDGET_CLAMPED, 1);
+        }
+        (admitted, clamped)
+    }
+}
+
+/// Pull and decode the request's base64 `"image"` field.
+fn image_of(doc: &Value) -> Result<(Program, ImageKind, Option<GrammarId>), String> {
+    let text = doc
+        .get("image")
+        .and_then(Value::as_str)
+        .ok_or("request needs a base64 \"image\" field")?;
+    let bytes = base64_decode(text).ok_or("\"image\" is not valid base64")?;
+    let (program, kind, raw_id) =
+        read_program_tagged(&bytes).map_err(|e| format!("bad image: {}", error_chain(&e)))?;
+    Ok((program, kind, raw_id.map(GrammarId::from_raw)))
+}
+
+fn handle_compress(state: &State, doc: &Value) -> Result<String, String> {
+    let (program, kind, _) = image_of(doc)?;
+    if kind == ImageKind::Compressed {
+        return Err("image is already compressed".into());
+    }
+    let engine = state.engine_of_request(doc, None)?;
+    let (budget, clamped) = state.admit_budget(doc);
+    let (cp, stats) = engine
+        .compressor
+        .compress_budgeted(&program, budget)
+        .map_err(|e| error_chain(&e))?;
+    let image = write_program_tagged(
+        &cp.program,
+        ImageKind::Compressed,
+        Some(engine.id.as_bytes()),
+    );
+    Ok(ResponseLine::ok()
+        .str_field("grammar", &engine.id.to_hex())
+        .str_field("image", &base64_encode(&image))
+        .num_field("original_bytes", stats.original_code as u64)
+        .num_field("compressed_bytes", stats.compressed_code as u64)
+        .num_field("fallback_segments", stats.fallback_segments as u64)
+        .bool_field("clamped", clamped)
+        .finish())
+}
+
+fn handle_decompress(state: &State, doc: &Value) -> Result<String, String> {
+    let (program, kind, header_id) = image_of(doc)?;
+    if kind == ImageKind::Uncompressed {
+        return Err("image is not compressed".into());
+    }
+    let engine = state.engine_of_request(doc, header_id)?;
+    let cp = pgr_core::CompressedProgram { program };
+    let back = pgr_core::compress::decompress_program(engine.grammar, engine.start, &cp)
+        .map_err(|e| error_chain(&e))?;
+    let image = write_program_tagged(&back, ImageKind::Uncompressed, None);
+    Ok(ResponseLine::ok()
+        .str_field("grammar", &engine.id.to_hex())
+        .str_field("image", &base64_encode(&image))
+        .num_field("bytes", back.code_size() as u64)
+        .finish())
+}
+
+fn handle_run(state: &State, doc: &Value) -> Result<String, String> {
+    let (program, kind, header_id) = image_of(doc)?;
+    let input = match doc.get("input").and_then(Value::as_str) {
+        Some(text) => base64_decode(text).ok_or("\"input\" is not valid base64")?,
+        None => Vec::new(),
+    };
+    let config = VmConfig {
+        input,
+        recorder: state.recorder.clone(),
+        ..VmConfig::default()
+    };
+    let result = match kind {
+        ImageKind::Uncompressed => {
+            let mut vm = Vm::new(&program, config).map_err(|e| error_chain(&e))?;
+            vm.run().map_err(|e| error_chain(&e))?
+        }
+        ImageKind::Compressed => {
+            let engine = state.engine_of_request(doc, header_id)?;
+            let mut vm = Vm::new_compressed(
+                &program,
+                engine.grammar,
+                engine.start,
+                engine.byte_nt,
+                config,
+            )
+            .map_err(|e| error_chain(&e))?;
+            vm.run().map_err(|e| error_chain(&e))?
+        }
+    };
+    Ok(ResponseLine::ok()
+        .int_field(
+            "exit_code",
+            i64::from(result.exit_code.unwrap_or_else(|| result.ret.i())),
+        )
+        .str_field("output", &base64_encode(&result.output))
+        .num_field("steps", result.steps)
+        .finish())
+}
+
+/// `stats` records its own latency *before* snapshotting, so the
+/// response's `serve.request.stats.micros` histogram includes the very
+/// request that produced it.
+fn handle_stats(state: &State, sw: Stopwatch) -> Result<String, String> {
+    state.recorder.observe(
+        names::SERVE_REQUEST_STATS_MICROS,
+        sw.elapsed().as_micros() as u64,
+    );
+    let snapshot = state.recorder.snapshot();
+    // `Metrics::to_json` pretty-prints across lines; NDJSON framing
+    // needs the whole response on one. Metric names and values contain
+    // no newlines, so dropping them is safe.
+    let compact: String = snapshot.to_json().chars().filter(|c| *c != '\n').collect();
+    Ok(ResponseLine::ok().raw_field("metrics", &compact).finish())
+}
+
+/// Handle one request line, returning the response line.
+fn handle_line(state: &State, line: &str) -> String {
+    let sw = Stopwatch::start_if(true);
+    state.recorder.add(names::SERVE_REQUESTS, 1);
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let doc = match json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => return Err(format!("bad request JSON: {e}")),
+        };
+        let op = doc.get("op").and_then(Value::as_str).unwrap_or("");
+        let result = match op {
+            "compress" => handle_compress(state, &doc),
+            "decompress" => handle_decompress(state, &doc),
+            "run" => handle_run(state, &doc),
+            "stats" => handle_stats(state, sw),
+            "shutdown" => {
+                state.running.store(false, Ordering::SeqCst);
+                Ok(ResponseLine::ok().bool_field("shutdown", true).finish())
+            }
+            other => Err(format!(
+                "unknown op {other:?} (expected compress/decompress/run/stats/shutdown)"
+            )),
+        };
+        let hist = match op {
+            "compress" => Some(names::SERVE_REQUEST_COMPRESS_MICROS),
+            "decompress" => Some(names::SERVE_REQUEST_DECOMPRESS_MICROS),
+            "run" => Some(names::SERVE_REQUEST_RUN_MICROS),
+            _ => None, // stats records itself; unknown ops record nothing
+        };
+        if let Some(name) = hist {
+            state
+                .recorder
+                .observe(name, sw.elapsed().as_micros() as u64);
+        }
+        result
+    }));
+    match outcome {
+        Ok(Ok(response)) => response,
+        Ok(Err(message)) => {
+            state.recorder.add(names::SERVE_ERRORS, 1);
+            ResponseLine::err(&message)
+        }
+        // A panic is this request's failure, not the server's: the
+        // compressor already isolates worker panics, and this outer
+        // guard keeps a handler bug from tearing the connection down.
+        Err(_) => {
+            state.recorder.add(names::SERVE_ERRORS, 1);
+            ResponseLine::err("internal panic while handling request")
+        }
+    }
+}
+
+/// Serve one connection: read request lines, write response lines.
+fn connection(state: &State, stream: UnixStream) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let shutting_down_before = !state.running.load(Ordering::SeqCst);
+        let response = handle_line(state, &line);
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if !state.running.load(Ordering::SeqCst) {
+            // This request (or an earlier one) asked for shutdown: poke
+            // the acceptor awake so `run` can stop listening.
+            if !shutting_down_before {
+                let _ = UnixStream::connect(&state.socket);
+            }
+            break;
+        }
+    }
+}
+
+/// A bound, not-yet-running request server.
+pub struct Server {
+    listener: UnixListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind `socket` (removing any stale socket file first) and open the
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] / [`ServeError::Registry`].
+    pub fn bind(socket: impl AsRef<Path>, config: ServeConfig) -> Result<Server, ServeError> {
+        let socket = socket.as_ref().to_path_buf();
+        let registry = Registry::open(&config.registry_root)?;
+        if socket.exists() {
+            let _ = std::fs::remove_file(&socket);
+        }
+        let listener = UnixListener::bind(&socket).map_err(|e| ServeError::Bind {
+            path: socket.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                registry,
+                engines: Mutex::new(HashMap::new()),
+                max_budget: config.max_budget,
+                threads: config.threads,
+                recorder: config.recorder,
+                running: AtomicBool::new(true),
+                socket,
+            }),
+        })
+    }
+
+    /// The socket path the server is listening on.
+    pub fn socket(&self) -> &Path {
+        &self.state.socket
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives.
+    /// Each connection gets a thread; all are joined before return, and
+    /// the socket file is removed.
+    pub fn run(self) -> Result<(), ServeError> {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if !self.state.running.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            self.state.recorder.add(names::SERVE_CONNECTIONS, 1);
+            let state = Arc::clone(&self.state);
+            workers.push(std::thread::spawn(move || connection(&state, stream)));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let _ = std::fs::remove_file(&self.state.socket);
+        Ok(())
+    }
+}

@@ -1,0 +1,473 @@
+//! The on-disk grammar registry.
+//!
+//! A [`Registry`] is a directory of trained grammars addressed by
+//! content ([`GrammarId`] = SHA-256 of the canonical `.pgrg` bytes):
+//!
+//! ```text
+//! <root>/objects/<id>.pgrg      exact grammar-file bytes
+//! <root>/manifests/<id>.json    size, shape, provenance
+//! ```
+//!
+//! Content addressing is what turns "many trained grammars" from a fork
+//! hazard into a feature: storing the same grammar twice is idempotent,
+//! two registries agree on ids without coordination, and an image header
+//! that names a `GrammarId` names *exactly one* decoder. Loads re-hash
+//! the object bytes, so a stale or tampered object (the id no longer
+//! matches the content) is rejected as [`RegistryError::Corrupt`] rather
+//! than silently decoding the wrong grammar.
+//!
+//! Writes go through a temp-file rename, so a crashed writer leaves no
+//! half-object under a valid id; [`Registry::gc`] prunes everything a
+//! keep-list doesn't name, plus any orphaned or corrupt entries.
+
+use crate::id::GrammarId;
+use crate::proto::json_escape;
+use pgr_grammar::{GrammarFile, GrammarFileError};
+use pgr_telemetry::json::{self, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// A registry failure.
+///
+/// I/O problems are captured as `(path, message)` strings so the type
+/// stays `Clone + Eq` (and therefore composes into `PgrError`); the
+/// message preserves the OS error text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path being operated on.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// No stored grammar matches the requested id or prefix.
+    NotFound {
+        /// The id (or prefix) that failed to resolve.
+        id: String,
+    },
+    /// A prefix matched more than one stored grammar.
+    Ambiguous {
+        /// The ambiguous prefix.
+        prefix: String,
+        /// Every matching full id, sorted.
+        matches: Vec<String>,
+    },
+    /// An object's bytes no longer hash to its id: the entry is stale or
+    /// tampered, and is never returned as a grammar.
+    Corrupt {
+        /// The id the object is filed under.
+        id: String,
+        /// The id its current bytes actually have.
+        found: String,
+    },
+    /// The stored bytes are not a valid grammar file.
+    Codec(GrammarFileError),
+    /// A manifest file is unreadable or malformed.
+    BadManifest {
+        /// The id whose manifest is bad.
+        id: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, message } => write!(f, "{path}: {message}"),
+            RegistryError::NotFound { id } => write!(f, "no grammar {id} in the registry"),
+            RegistryError::Ambiguous { prefix, matches } => write!(
+                f,
+                "grammar prefix {prefix} is ambiguous ({} matches: {}…)",
+                matches.len(),
+                &matches[0][..12]
+            ),
+            RegistryError::Corrupt { id, found } => write!(
+                f,
+                "registry object {id} is corrupt (content hashes to {found}): refusing stale id"
+            ),
+            RegistryError::Codec(_) => write!(f, "stored grammar failed to decode"),
+            RegistryError::BadManifest { id, message } => {
+                write!(f, "manifest for {id} is malformed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GrammarFileError> for RegistryError {
+    fn from(e: GrammarFileError) -> RegistryError {
+        RegistryError::Codec(e)
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> RegistryError {
+    RegistryError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// What the registry knows about one stored grammar without loading it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The grammar's content address.
+    pub id: GrammarId,
+    /// Manifest format version.
+    pub version: u64,
+    /// Size of the `.pgrg` object in bytes.
+    pub bytes: u64,
+    /// Non-terminals in the grammar.
+    pub nt_count: u64,
+    /// Total rules across all non-terminals.
+    pub rule_count: u64,
+    /// Seconds since the Unix epoch when the grammar was stored.
+    pub created_unix: u64,
+    /// Free-text provenance (e.g. "trained on 3 images, +180 rules").
+    pub label: String,
+}
+
+impl Manifest {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"version\":{},\"bytes\":{},\"nt_count\":{},\"rule_count\":{},\"created_unix\":{},\"label\":\"{}\"}}\n",
+            self.id.to_hex(),
+            self.version,
+            self.bytes,
+            self.nt_count,
+            self.rule_count,
+            self.created_unix,
+            json_escape(&self.label),
+        )
+    }
+
+    fn from_json(id: &GrammarId, text: &str) -> Result<Manifest, RegistryError> {
+        let bad = |message: &str| RegistryError::BadManifest {
+            id: id.to_hex(),
+            message: message.to_string(),
+        };
+        let doc = json::parse(text).map_err(|e| bad(&e.to_string()))?;
+        let num = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(&format!("missing integer field {key:?}")))
+        };
+        let manifest_id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .and_then(GrammarId::parse)
+            .ok_or_else(|| bad("missing or unparseable \"id\""))?;
+        if manifest_id != *id {
+            return Err(bad("manifest id disagrees with its file name"));
+        }
+        Ok(Manifest {
+            id: manifest_id,
+            version: num("version")?,
+            bytes: num("bytes")?,
+            nt_count: num("nt_count")?,
+            rule_count: num("rule_count")?,
+            created_unix: num("created_unix")?,
+            label: doc
+                .get("label")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+        })
+    }
+}
+
+/// What [`Registry::gc`] did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Ids removed because the keep-list did not name them.
+    pub removed: Vec<GrammarId>,
+    /// Entries removed because their object bytes no longer hashed to
+    /// their id, or half of the entry (object or manifest) was missing.
+    pub pruned_corrupt: Vec<String>,
+}
+
+/// A content-addressed store of trained grammars under one root
+/// directory. Cheap to construct; every operation talks straight to the
+/// filesystem, so concurrent readers (and the serve front end) need no
+/// shared in-process state.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+}
+
+impl Registry {
+    /// Open (creating if needed) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] if the layout directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Registry, RegistryError> {
+        let root = root.into();
+        for dir in [root.join("objects"), root.join("manifests")] {
+            std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        Ok(Registry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, id: &GrammarId) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{}.pgrg", id.to_hex()))
+    }
+
+    fn manifest_path(&self, id: &GrammarId) -> PathBuf {
+        self.root
+            .join("manifests")
+            .join(format!("{}.json", id.to_hex()))
+    }
+
+    /// Write `bytes` to `path` via a temp-file rename, so no valid path
+    /// ever holds partial content.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), RegistryError> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Store a grammar file's canonical bytes, returning its content
+    /// address. Idempotent: re-storing existing content rewrites nothing
+    /// and returns the same id. The bytes are decoded first, so the
+    /// registry never holds an object it cannot serve.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Codec`] for invalid grammar bytes,
+    /// [`RegistryError::Io`] for filesystem failures.
+    pub fn store_bytes(&self, pgrg: &[u8], label: &str) -> Result<Manifest, RegistryError> {
+        let file = GrammarFile::from_bytes(pgrg)?;
+        let id = GrammarId::of_bytes(pgrg);
+        if let Ok(existing) = self.manifest(&id) {
+            return Ok(existing);
+        }
+        let grammar = &file.grammar;
+        let rule_count = (0..grammar.nt_count())
+            .map(|nt| grammar.rules_of(pgr_grammar::Nt(nt as u16)).len() as u64)
+            .sum();
+        let manifest = Manifest {
+            id,
+            version: MANIFEST_VERSION,
+            bytes: pgrg.len() as u64,
+            nt_count: grammar.nt_count() as u64,
+            rule_count,
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            label: label.to_string(),
+        };
+        self.write_atomic(&self.object_path(&id), pgrg)?;
+        self.write_atomic(&self.manifest_path(&id), manifest.to_json().as_bytes())?;
+        Ok(manifest)
+    }
+
+    /// Store a [`GrammarFile`], returning its manifest.
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::store_bytes`].
+    pub fn store(&self, file: &GrammarFile, label: &str) -> Result<Manifest, RegistryError> {
+        self.store_bytes(&file.to_bytes(), label)
+    }
+
+    /// Load a grammar's exact stored bytes, verifying they still hash to
+    /// `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] for unknown ids,
+    /// [`RegistryError::Corrupt`] when the object fails its content
+    /// check (the stale-id rejection path).
+    pub fn load_bytes(&self, id: &GrammarId) -> Result<Vec<u8>, RegistryError> {
+        let path = self.object_path(id);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound { id: id.to_hex() })
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let found = GrammarId::of_bytes(&bytes);
+        if found != *id {
+            return Err(RegistryError::Corrupt {
+                id: id.to_hex(),
+                found: found.to_hex(),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Load and decode a stored grammar.
+    ///
+    /// # Errors
+    ///
+    /// See [`Registry::load_bytes`]; additionally
+    /// [`RegistryError::Codec`] if the (integrity-checked) bytes fail to
+    /// decode.
+    pub fn load(&self, id: &GrammarId) -> Result<GrammarFile, RegistryError> {
+        Ok(GrammarFile::from_bytes(&self.load_bytes(id)?)?)
+    }
+
+    /// Read one grammar's manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] / [`RegistryError::BadManifest`].
+    pub fn manifest(&self, id: &GrammarId) -> Result<Manifest, RegistryError> {
+        let path = self.manifest_path(id);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound { id: id.to_hex() })
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        Manifest::from_json(id, &text)
+    }
+
+    /// Every stored id, sorted. Files that are not `<64-hex>.pgrg` are
+    /// ignored (temp files, stray editors droppings).
+    pub fn ids(&self) -> Result<Vec<GrammarId>, RegistryError> {
+        let dir = self.root.join("objects");
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            let name = entry.file_name();
+            let Some(hex) = name.to_str().and_then(|n| n.strip_suffix(".pgrg")) else {
+                continue;
+            };
+            if let Some(id) = GrammarId::parse(hex) {
+                out.push(id);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Every stored grammar's manifest, sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed manifests; use [`Registry::gc`] to
+    /// prune the latter.
+    pub fn list(&self) -> Result<Vec<Manifest>, RegistryError> {
+        self.ids()?.iter().map(|id| self.manifest(id)).collect()
+    }
+
+    /// Resolve a full hex id or an unambiguous prefix (at least 4 hex
+    /// digits) to a stored grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] / [`RegistryError::Ambiguous`].
+    pub fn resolve(&self, spec: &str) -> Result<GrammarId, RegistryError> {
+        if let Some(id) = GrammarId::parse(spec) {
+            return Ok(id);
+        }
+        let not_found = || RegistryError::NotFound {
+            id: spec.to_string(),
+        };
+        if spec.len() < 4 || !spec.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(not_found());
+        }
+        let prefix = spec.to_ascii_lowercase();
+        let matches: Vec<GrammarId> = self
+            .ids()?
+            .into_iter()
+            .filter(|id| id.to_hex().starts_with(&prefix))
+            .collect();
+        match matches.as_slice() {
+            [] => Err(not_found()),
+            [one] => Ok(*one),
+            many => Err(RegistryError::Ambiguous {
+                prefix,
+                matches: many.iter().map(GrammarId::to_hex).collect(),
+            }),
+        }
+    }
+
+    /// Remove one stored grammar (object and manifest).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] if nothing is stored under `id`.
+    pub fn remove(&self, id: &GrammarId) -> Result<(), RegistryError> {
+        let object = self.object_path(id);
+        if !object.exists() {
+            return Err(RegistryError::NotFound { id: id.to_hex() });
+        }
+        std::fs::remove_file(&object).map_err(|e| io_err(&object, e))?;
+        let manifest = self.manifest_path(id);
+        if manifest.exists() {
+            std::fs::remove_file(&manifest).map_err(|e| io_err(&manifest, e))?;
+        }
+        Ok(())
+    }
+
+    /// Garbage-collect: keep exactly the grammars in `keep` (plus
+    /// everything, if `keep` is empty — an empty keep-list only prunes),
+    /// and always remove entries whose object fails its content check or
+    /// whose object/manifest half is missing.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] on filesystem failures mid-sweep.
+    pub fn gc(&self, keep: &[GrammarId]) -> Result<GcReport, RegistryError> {
+        let mut report = GcReport::default();
+        for id in self.ids()? {
+            let stale = self.load_bytes(&id).is_err() || self.manifest(&id).is_err();
+            if stale {
+                let object = self.object_path(&id);
+                let manifest = self.manifest_path(&id);
+                let _ = std::fs::remove_file(&object);
+                let _ = std::fs::remove_file(&manifest);
+                report.pruned_corrupt.push(id.to_hex());
+                continue;
+            }
+            if !keep.is_empty() && !keep.contains(&id) {
+                self.remove(&id)?;
+                report.removed.push(id);
+            }
+        }
+        // Manifests whose object vanished.
+        let dir = self.root.join("manifests");
+        let entries = std::fs::read_dir(&dir).map_err(|e| io_err(&dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&dir, e))?;
+            let name = entry.file_name();
+            let Some(hex) = name.to_str().and_then(|n| n.strip_suffix(".json")) else {
+                continue;
+            };
+            let Some(id) = GrammarId::parse(hex) else {
+                continue;
+            };
+            if !self.object_path(&id).exists() {
+                let _ = std::fs::remove_file(entry.path());
+                report.pruned_corrupt.push(id.to_hex());
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,431 @@
+//! End-to-end tests for the grammar registry and the request server:
+//! content-addressed round-trips, stale-id rejection, and a concurrent
+//! serve session with mixed per-request budgets.
+
+use pgr_bytecode::asm::assemble;
+use pgr_bytecode::{read_program_tagged, write_program, write_program_tagged, ImageKind};
+use pgr_grammar::{GrammarFile, InitialGrammar};
+use pgr_registry::{
+    base64_decode, base64_encode, GrammarId, Registry, RegistryError, ServeConfig, Server,
+};
+use pgr_telemetry::json::{self, Value};
+use pgr_telemetry::{names, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+/// A throwaway directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("pgr-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sample_grammar() -> GrammarFile {
+    let ig = InitialGrammar::build();
+    GrammarFile::new(ig.grammar, ig.nt_start, ig.nt_byte)
+}
+
+const SAMPLE: &str = r#"
+proc f frame=8 args=0
+    ADDRLP 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ADDRLP 0
+    ASGNU
+    label 0
+    ADDRLP 0
+    INDIRU
+    LIT1 1
+    ADDU
+    ADDRLP 0
+    ASGNU
+    LIT1 1
+    BrTrue 0
+    RETV
+endproc
+entry f
+"#;
+
+// ---- registry ----------------------------------------------------------
+
+#[test]
+fn store_load_roundtrip_is_byte_identical() {
+    let scratch = Scratch::new("roundtrip");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let file = sample_grammar();
+    let bytes = file.to_bytes();
+
+    let manifest = registry.store(&file, "initial grammar").unwrap();
+    assert_eq!(manifest.id, GrammarId::of_bytes(&bytes));
+    assert_eq!(manifest.bytes, bytes.len() as u64);
+    assert_eq!(manifest.nt_count, file.grammar.nt_count() as u64);
+    assert_eq!(manifest.label, "initial grammar");
+
+    // Byte-identical load, and an identical re-store is idempotent.
+    assert_eq!(registry.load_bytes(&manifest.id).unwrap(), bytes);
+    let again = registry.store_bytes(&bytes, "different label").unwrap();
+    assert_eq!(again.id, manifest.id);
+    assert_eq!(again.label, "initial grammar"); // first store wins
+
+    // Listing and prefix resolution see it.
+    let listed = registry.list().unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].id, manifest.id);
+    let prefix = &manifest.id.to_hex()[..8];
+    assert_eq!(registry.resolve(prefix).unwrap(), manifest.id);
+    assert!(matches!(
+        registry.resolve("ffff").unwrap_err(),
+        RegistryError::NotFound { .. }
+    ));
+}
+
+#[test]
+fn stale_objects_are_rejected_and_gc_prunes_them() {
+    let scratch = Scratch::new("stale");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id = manifest.id;
+
+    // Tamper with the stored object: the id no longer matches the
+    // content, so the registry must refuse to serve it.
+    let object = scratch.path(&format!("reg/objects/{}.pgrg", id.to_hex()));
+    let mut bytes = std::fs::read(&object).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&object, &bytes).unwrap();
+
+    match registry.load_bytes(&id).unwrap_err() {
+        RegistryError::Corrupt { id: bad, found } => {
+            assert_eq!(bad, id.to_hex());
+            assert_ne!(found, id.to_hex());
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    assert!(registry.load(&id).is_err());
+
+    // gc removes the corrupt entry (and nothing else).
+    let good = {
+        let mut file = sample_grammar();
+        file.start = file.byte_nt; // any distinct-but-valid variant
+        registry.store(&file, "survivor").unwrap()
+    };
+    let report = registry.gc(&[]).unwrap();
+    assert_eq!(report.pruned_corrupt, vec![id.to_hex()]);
+    assert!(report.removed.is_empty());
+    assert_eq!(registry.ids().unwrap(), vec![good.id]);
+
+    // A keep-list evicts everything it does not name.
+    let report = registry.gc(&[GrammarId::of_bytes(b"unrelated")]).unwrap();
+    assert_eq!(report.removed, vec![good.id]);
+    assert!(registry.ids().unwrap().is_empty());
+}
+
+// ---- serve -------------------------------------------------------------
+
+/// One NDJSON request/response exchange over an existing connection.
+fn exchange(stream: &mut UnixStream, request: &str) -> Value {
+    writeln!(stream, "{request}").expect("send request");
+    stream.flush().expect("flush request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    json::parse(&line).expect("response is JSON")
+}
+
+fn connect(socket: &Path) -> UnixStream {
+    // The server binds the socket before its accept loop starts, but
+    // give the spawn a moment on slow machines.
+    for _ in 0..100 {
+        if let Ok(stream) = UnixStream::connect(socket) {
+            return stream;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("server socket never came up at {}", socket.display());
+}
+
+#[test]
+fn concurrent_serve_with_mixed_budgets() {
+    let scratch = Scratch::new("serve");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "serve test").unwrap();
+    let id_hex = manifest.id.to_hex();
+
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            // A real ceiling (not UNLIMITED), so an extravagant request
+            // demonstrably gets clamped while still succeeding.
+            max_budget: pgr_core::EarleyBudget {
+                max_items: 1_000_000,
+                max_columns: 10_000,
+            },
+            threads: 2,
+            recorder: Recorder::new(),
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let program = assemble(SAMPLE).expect("assemble sample");
+    let image_b64 = base64_encode(&write_program(&program, ImageKind::Uncompressed));
+    // The starved client gets a program with different operand bytes:
+    // the engine's derivation cache is shared across requests, so if it
+    // compressed the same segments a warm cache would (correctly) hand
+    // it successful derivations without ever consulting its budget.
+    let starved_program = assemble(&SAMPLE.replace("LIT1 1", "LIT1 9")).expect("assemble variant");
+    let starved_b64 = base64_encode(&write_program(&starved_program, ImageKind::Uncompressed));
+
+    // Fan out mixed-budget compress requests concurrently: ample (and
+    // over-ceiling, so clamped) requests must compress cleanly while a
+    // starved neighbour degrades to verbatim fallback — on the same
+    // shared engine, at the same time.
+    let mut clients = Vec::new();
+    for i in 0..4 {
+        let socket = socket.clone();
+        let id_hex = id_hex.clone();
+        let starved = i == 0;
+        let image_b64 = if starved {
+            starved_b64.clone()
+        } else {
+            image_b64.clone()
+        };
+        clients.push(std::thread::spawn(move || {
+            let budget = if starved {
+                r#","budget":{"max_items":1,"max_columns":1}"#.to_string()
+            } else {
+                // Far above the server ceiling: admission must clamp it.
+                r#","budget":{"max_items":18446744073709551615}"#.to_string()
+            };
+            let mut stream = connect(&socket);
+            let resp = exchange(
+                &mut stream,
+                &format!(
+                    r#"{{"op":"compress","grammar":"{id_hex}","image":"{image_b64}"{budget}}}"#
+                ),
+            );
+            assert_eq!(
+                resp.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "compress failed: {resp:?}"
+            );
+            let fallback = resp
+                .get("fallback_segments")
+                .and_then(Value::as_u64)
+                .unwrap();
+            let clamped = resp.get("clamped").and_then(Value::as_bool) == Some(true);
+            let image = resp
+                .get("image")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string();
+            (starved, fallback, clamped, image)
+        }));
+    }
+    let results: Vec<(bool, u64, bool, String)> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let mut clean_image = None;
+    for (starved, fallback, clamped, image) in &results {
+        if *starved {
+            // The budget admitted one chart item per segment: every
+            // segment degrades to a verbatim escape, but the request
+            // still succeeds.
+            assert!(*fallback > 0, "starved request should degrade");
+            assert!(!clamped, "a tiny budget is admitted as-is");
+        } else {
+            assert_eq!(*fallback, 0, "ample request must not degrade");
+            assert!(*clamped, "over-ceiling budget must be clamped");
+            clean_image = Some(image.clone());
+        }
+    }
+
+    // Every produced image — degraded or not — decompresses back to its
+    // canonical original, resolved purely from the image's embedded
+    // grammar id (no "grammar" field).
+    let canonical_image = write_program(
+        &pgr_core::canonicalize_program(&program).unwrap(),
+        ImageKind::Uncompressed,
+    );
+    let starved_canonical_image = write_program(
+        &pgr_core::canonicalize_program(&starved_program).unwrap(),
+        ImageKind::Uncompressed,
+    );
+    let mut stream = connect(&socket);
+    for (starved, _, _, image) in &results {
+        let resp = exchange(
+            &mut stream,
+            &format!(r#"{{"op":"decompress","image":"{image}"}}"#),
+        );
+        let back = base64_decode(resp.get("image").and_then(Value::as_str).unwrap()).unwrap();
+        let expected = if *starved {
+            &starved_canonical_image
+        } else {
+            &canonical_image
+        };
+        assert_eq!(&back, expected, "round-trip must be byte-identical");
+        assert_eq!(
+            resp.get("grammar").and_then(Value::as_str),
+            Some(id_hex.as_str())
+        );
+    }
+
+    // The compressed image header names the grammar.
+    let compressed = base64_decode(&clean_image.unwrap()).unwrap();
+    let (_, kind, header_id) = read_program_tagged(&compressed).unwrap();
+    assert_eq!(kind, ImageKind::Compressed);
+    assert_eq!(header_id, Some(*manifest.id.as_bytes()));
+
+    // `run` executes a compressed image via the registry grammar,
+    // resolved from the image header alone.
+    let halting = assemble("proc main frame=0 args=0\n\tRETV\nendproc\nentry main\n").unwrap();
+    let halting_b64 = base64_encode(&write_program(&halting, ImageKind::Uncompressed));
+    let resp = exchange(
+        &mut stream,
+        &format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{halting_b64}"}}"#),
+    );
+    let halting_compressed = resp
+        .get("image")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let resp = exchange(
+        &mut stream,
+        &format!(r#"{{"op":"run","image":"{halting_compressed}"}}"#),
+    );
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("exit_code").and_then(Value::as_u64), Some(0));
+
+    // Errors are in-band and do not poison the connection.
+    let resp = exchange(&mut stream, r#"{"op":"compress","grammar":"beef"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(resp.get("error").and_then(Value::as_str).is_some());
+
+    // Stats: pinned serve metrics are present, including the request
+    // latency histograms and the stats request's own latency.
+    let resp = exchange(&mut stream, r#"{"op":"stats"}"#);
+    let metrics = resp.get("metrics").expect("metrics object");
+    let counters = metrics.get("counters").expect("counters");
+    assert!(
+        counters
+            .get(names::SERVE_REQUESTS)
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 7
+    );
+    assert!(
+        counters
+            .get(names::SERVE_ERRORS)
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        counters
+            .get(names::SERVE_BUDGET_CLAMPED)
+            .and_then(Value::as_u64),
+        Some(3)
+    );
+    let hists = metrics.get("histograms").expect("histograms");
+    for name in [
+        names::SERVE_REQUEST_COMPRESS_MICROS,
+        names::SERVE_REQUEST_DECOMPRESS_MICROS,
+        names::SERVE_REQUEST_RUN_MICROS,
+        names::SERVE_REQUEST_STATS_MICROS,
+    ] {
+        assert!(
+            hists.get(name).is_some(),
+            "stats response missing histogram {name}"
+        );
+    }
+    assert_eq!(
+        metrics
+            .get("gauges")
+            .and_then(|g| g.get(names::SERVE_GRAMMARS_LOADED))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    // Shut down and join; the socket file is gone afterwards.
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+    assert!(!socket.exists());
+}
+
+#[test]
+fn serve_rejects_unknown_grammars_and_bad_payloads() {
+    let scratch = Scratch::new("serve-errs");
+    Registry::open(scratch.path("reg")).unwrap();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+    let mut stream = connect(&socket);
+
+    for bad in [
+        "this is not json",
+        r#"{"op":"frobnicate"}"#,
+        r#"{"op":"compress"}"#,
+        r#"{"op":"compress","image":"!!!","grammar":"abcd"}"#,
+        r#"{"op":"decompress","image":"AAAA"}"#,
+    ] {
+        let resp = exchange(&mut stream, bad);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "request {bad:?} must fail in-band"
+        );
+        assert!(resp.get("error").and_then(Value::as_str).is_some());
+    }
+
+    // A compressed image whose header names an absent grammar reports a
+    // registry miss, with the id in the message.
+    let program = assemble(SAMPLE).unwrap();
+    let fake_id = [0xabu8; 32];
+    let image = write_program_tagged(&program, ImageKind::Compressed, Some(&fake_id));
+    let resp = exchange(
+        &mut stream,
+        &format!(
+            r#"{{"op":"decompress","image":"{}"}}"#,
+            base64_encode(&image)
+        ),
+    );
+    let error = resp.get("error").and_then(Value::as_str).unwrap();
+    assert!(
+        error.contains("abab"),
+        "error should name the missing id: {error}"
+    );
+
+    exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    server_thread.join().unwrap();
+}

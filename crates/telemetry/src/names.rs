@@ -144,6 +144,32 @@ pub const VM_VERBATIM_SEGMENTS: &str = "vm.verbatim.segments";
 /// Prefix of the per-opcode dispatch counter family.
 pub const VM_DISPATCH_PREFIX: &str = "vm.dispatch.";
 
+/// Serve: connections accepted by the request server.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Serve: requests handled, across all operations and outcomes.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Serve: requests answered with an error response (bad JSON, unknown
+/// grammar, VM faults); transport-level drops are not counted.
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Serve: requests whose declared Earley budget exceeded the server's
+/// ceiling and was clamped down before admission.
+pub const SERVE_BUDGET_CLAMPED: &str = "serve.budget.clamped";
+/// Serve gauge: grammars resident in the server's engine map (each holds
+/// one shared derivation cache).
+pub const SERVE_GRAMMARS_LOADED: &str = "serve.grammars.loaded";
+/// Serve histogram: end-to-end latency of `compress` requests, in
+/// microseconds.
+pub const SERVE_REQUEST_COMPRESS_MICROS: &str = "serve.request.compress.micros";
+/// Serve histogram: end-to-end latency of `decompress` requests, in
+/// microseconds.
+pub const SERVE_REQUEST_DECOMPRESS_MICROS: &str = "serve.request.decompress.micros";
+/// Serve histogram: end-to-end latency of `run` requests, in
+/// microseconds.
+pub const SERVE_REQUEST_RUN_MICROS: &str = "serve.request.run.micros";
+/// Serve histogram: end-to-end latency of `stats` requests, in
+/// microseconds.
+pub const SERVE_REQUEST_STATS_MICROS: &str = "serve.request.stats.micros";
+
 /// The per-opcode dispatch counter name for `opcode_name`
 /// (`vm.dispatch.ADDU`, …).
 pub fn vm_dispatch(opcode_name: &str) -> String {

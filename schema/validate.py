@@ -5,7 +5,7 @@ schema, stdlib-only (CI runners have no jsonschema package).
     python3 schema/validate.py schema/metrics.schema.json out.json [command]
 
 Checks the generic pgr-metrics/1 shape (sections, name patterns, integer
-fields) and, when `command` (train | compress | run) is given, that every
+fields) and, when `command` (train | compress | run | serve) is given, that every
 metric name the schema pins for that command is present — so renaming or
 dropping a documented metric fails CI instead of drifting silently.
 """
@@ -72,8 +72,8 @@ def main():
         pinned = schema["x-required-keys"].get(command)
         if pinned is None:
             fail(f"unknown command {command!r} in x-required-keys")
-        for section in ("counters", "gauges", "spans"):
-            missing = [k for k in pinned[section] if k not in doc[section]]
+        for section in sections:
+            missing = [k for k in pinned.get(section, []) if k not in doc[section]]
             if missing:
                 fail(f"{command} output lacks pinned {section}: {missing}")
 

@@ -9,11 +9,14 @@
 
 use pgr_bytecode::ValidateError;
 use pgr_core::{CompressError, DecompressError, TrainError};
+use pgr_grammar::GrammarFileError;
+use pgr_registry::{RegistryError, ServeError};
 use std::error::Error;
 use std::fmt;
 
-/// Any failure in the train → compress → decompress pipeline, or in the
-/// validation that guards it.
+/// Any failure in the train → compress → decompress pipeline, in the
+/// validation that guards it, or in the grammar storage and serving
+/// layers around it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PgrError {
     /// Grammar training failed.
@@ -24,6 +27,12 @@ pub enum PgrError {
     Decompress(DecompressError),
     /// A program failed static validation.
     Validate(ValidateError),
+    /// A `.pgrg` grammar file failed to decode.
+    GrammarFile(GrammarFileError),
+    /// The grammar registry refused an operation.
+    Registry(RegistryError),
+    /// The request server failed to start.
+    Serve(ServeError),
 }
 
 impl fmt::Display for PgrError {
@@ -33,6 +42,9 @@ impl fmt::Display for PgrError {
             PgrError::Compress(e) => write!(f, "compression failed: {e}"),
             PgrError::Decompress(e) => write!(f, "decompression failed: {e}"),
             PgrError::Validate(e) => write!(f, "validation failed: {e}"),
+            PgrError::GrammarFile(_) => write!(f, "grammar file rejected"),
+            PgrError::Registry(_) => write!(f, "registry operation failed"),
+            PgrError::Serve(_) => write!(f, "serve failed"),
         }
     }
 }
@@ -44,6 +56,9 @@ impl Error for PgrError {
             PgrError::Compress(e) => Some(e),
             PgrError::Decompress(e) => Some(e),
             PgrError::Validate(e) => Some(e),
+            PgrError::GrammarFile(e) => Some(e),
+            PgrError::Registry(e) => Some(e),
+            PgrError::Serve(e) => Some(e),
         }
     }
 }
@@ -69,6 +84,24 @@ impl From<DecompressError> for PgrError {
 impl From<ValidateError> for PgrError {
     fn from(e: ValidateError) -> PgrError {
         PgrError::Validate(e)
+    }
+}
+
+impl From<GrammarFileError> for PgrError {
+    fn from(e: GrammarFileError) -> PgrError {
+        PgrError::GrammarFile(e)
+    }
+}
+
+impl From<RegistryError> for PgrError {
+    fn from(e: RegistryError) -> PgrError {
+        PgrError::Registry(e)
+    }
+}
+
+impl From<ServeError> for PgrError {
+    fn from(e: ServeError) -> PgrError {
+        PgrError::Serve(e)
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`corpus`] | §6's gcc/lcc/gzip/8q corpora, real + synthetic |
 //! | [`baselines`] | Huffman, LZSS+Huffman (gzip), Tunstall, superoperators |
 //! | [`native`] | synthetic x86 code-size model (Table 2) |
+//! | [`registry`] | content-addressed grammar store + the request server |
 //!
 //! ## End to end
 //!
@@ -62,6 +63,7 @@ pub use pgr_earley as earley;
 pub use pgr_grammar as grammar;
 pub use pgr_minic as minic;
 pub use pgr_native as native;
+pub use pgr_registry as registry;
 pub use pgr_telemetry as telemetry;
 pub use pgr_vm as vm;
 
