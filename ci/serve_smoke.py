@@ -2,12 +2,14 @@
 """Drive a running `pgr serve` instance end to end, stdlib-only (CI
 runners have no extra packages).
 
-    python3 ci/serve_smoke.py <socket> <grammar-id> <image.pgrb>
+    python3 ci/serve_smoke.py <socket> <grammar-id> <image.pgrb> [slow.ndjson]
 
 Speaks the newline-delimited JSON protocol from pgr-registry's `serve`
 module and checks the contract the docs promise:
 
-  * an unknown op fails in-band without dropping the connection,
+  * an unknown op fails in-band without dropping the connection, and
+    the error payload carries the request's trace id and elapsed micros,
+  * every response (ok or not) carries a 16-hex-digit trace id,
   * compress -> decompress round-trips byte-identical on canonical
     images (the compressor canonicalizes, so the first round-trip maps
     the input to its canonical form and every later one is an identity),
@@ -16,9 +18,13 @@ module and checks the contract the docs promise:
     output as the uncompressed original,
   * a request declaring more than the server's --max-budget ceiling is
     admitted with a clamped budget rather than rejected,
-  * stats reports a populated serve.request.<op>.micros histogram for
-    every op exercised,
-  * shutdown is acknowledged before the server exits.
+  * stats reports a populated serve.request.<op>.micros histogram with
+    quantile fields (p50/p90/p95/p99) for every op exercised, plus the
+    sliding-window aggregates and uptime,
+  * shutdown is acknowledged before the server exits,
+  * when a slow-trace path is given (the server ran with --slow-ms 0),
+    the NDJSON dump exists, every line parses, and the header trace ids
+    include the ids the client saw in its responses.
 
 The caller is expected to validate the server's emitted metrics file
 against schema/metrics.schema.json afterwards.
@@ -49,17 +55,68 @@ class Client:
         return json.loads(line)
 
 
+TRACES = []
+
+
+def trace_of(resp):
+    """The response's trace id, checked for shape and collected."""
+    trace = resp.get("trace")
+    if not isinstance(trace, str) or len(trace) != 16:
+        fail(f"response lacks a 16-hex trace id: {resp}")
+    try:
+        int(trace, 16)
+    except ValueError:
+        fail(f"trace id is not hex: {trace!r}")
+    TRACES.append(trace)
+    return trace
+
+
+def check_slow_trace(path):
+    """Every slow-log line parses; headers announce their event counts
+    and cover the trace ids the client saw in its responses."""
+    try:
+        text = open(path).read()
+    except OSError as e:
+        fail(f"slow-trace dump missing: {e}")
+    headers, pending = [], 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        try:
+            value = json.loads(line)
+        except ValueError as e:
+            fail(f"{path}:{lineno}: not JSON ({e})")
+        if pending == 0:
+            for key in ("trace", "op", "micros", "events"):
+                if key not in value:
+                    fail(f"{path}:{lineno}: header lacks {key!r}: {value}")
+            headers.append(value["trace"])
+            pending = value["events"]
+        else:
+            if "name" not in value or "ph" not in value:
+                fail(f"{path}:{lineno}: span event lacks name/ph: {value}")
+            pending -= 1
+    if pending:
+        fail(f"{path} ends mid-request ({pending} events short)")
+    missing = [t for t in TRACES if t not in headers]
+    if missing:
+        fail(f"response traces absent from slow log: {missing}")
+    print(f"serve smoke: slow-trace dump ok ({len(headers)} request trees)")
+
+
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    path, grammar_id, image_path = sys.argv[1:]
+    path, grammar_id, image_path = sys.argv[1:4]
+    slow_trace = sys.argv[4] if len(sys.argv) == 5 else None
     original = open(image_path, "rb").read()
     client = Client(path)
 
     bad = client.call(op="frobnicate")
     if bad.get("ok") is not False or "error" not in bad:
         fail(f"unknown op did not fail in-band: {bad}")
+    trace_of(bad)
+    if not isinstance(bad.get("micros"), int):
+        fail(f"error payload lacks elapsed micros: {bad}")
 
     def compress(image_b64, **extra):
         packed = client.call(op="compress", grammar=grammar_id, image=image_b64, **extra)
@@ -67,6 +124,7 @@ def main():
             fail(f"compress: {packed.get('error')}")
         if packed.get("grammar") != grammar_id:
             fail(f"compress stamped {packed.get('grammar')!r}, expected {grammar_id!r}")
+        trace_of(packed)
         return packed
 
     def decompress(image_b64):
@@ -75,6 +133,7 @@ def main():
         back = client.call(op="decompress", image=image_b64)
         if not back.get("ok"):
             fail(f"decompress: {back.get('error')}")
+        trace_of(back)
         return back["image"]
 
     packed = compress(base64.b64encode(original).decode())
@@ -93,6 +152,7 @@ def main():
         ran = client.call(op="run", image=image_b64)
         if not ran.get("ok"):
             fail(f"run: {ran.get('error')}")
+        trace_of(ran)
         return ran
 
     plain, compressed = run(base64.b64encode(original).decode()), run(packed["image"])
@@ -108,16 +168,38 @@ def main():
     stats = client.call(op="stats")
     if not stats.get("ok"):
         fail(f"stats: {stats.get('error')}")
+    trace_of(stats)
+    if not isinstance(stats.get("uptime_secs"), int):
+        fail(f"stats lacks uptime_secs: {list(stats)}")
     histograms = stats["metrics"]["histograms"]
     for op in ("compress", "decompress", "run", "stats"):
         name = f"serve.request.{op}.micros"
-        if histograms.get(name, {}).get("count", 0) < 1:
+        hist = histograms.get(name, {})
+        if hist.get("count", 0) < 1:
             fail(f"stats lacks a populated {name} histogram")
+        for q in ("p50", "p90", "p95", "p99"):
+            if not isinstance(hist.get(q), int):
+                fail(f"{name} lacks quantile {q}: {hist}")
+
+    window = stats.get("window")
+    if not isinstance(window, dict):
+        fail(f"stats lacks a window object: {list(stats)}")
+    if window.get("requests", 0) < 1:
+        fail(f"window saw no requests: {window}")
+    for op, entry in window.get("ops", {}).items():
+        for field in ("count", "p50", "p90", "p95", "p99", "max"):
+            if not isinstance(entry.get(field), int):
+                fail(f"window op {op!r} lacks {field}: {entry}")
+    if "compress" not in window.get("ops", {}):
+        fail(f"window lacks a compress entry: {window.get('ops')}")
 
     down = client.call(op="shutdown")
     if not down.get("ok"):
         fail(f"shutdown: {down.get('error')}")
     print("serve smoke: compress/decompress/run/stats round-trip ok")
+
+    if slow_trace is not None:
+        check_slow_trace(slow_trace)
 
 
 if __name__ == "__main__":

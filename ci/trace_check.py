@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate a `pgr --trace-out` Chrome trace_event file, stdlib-only.
+
+    python3 ci/trace_check.py <trace.json> [min_depth] [min_lanes]
+
+Mirrors pgr-telemetry's `validate_chrome_trace` so CI can gate the
+exported artifact without a Rust build step:
+
+  * the document is `{"displayTimeUnit": ..., "traceEvents": [...]}`,
+  * every event has a name, a phase in B/E/i/M, integer ts and tid,
+  * on each lane (tid), every E closes the matching open B by name,
+    no lane ends with an open span, and timestamps never go backwards,
+  * all span events that carry args.trace agree on one nonzero id,
+  * nesting reaches at least `min_depth` (default 3) on some lane and
+    at least `min_lanes` (default 2) lanes recorded events — the
+    acceptance bar for per-worker lanes in a parallel compress.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace check failure: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) not in (2, 3, 4):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    min_depth = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    min_lanes = int(sys.argv[3]) if len(sys.argv) > 3 else 2
+
+    try:
+        doc = json.load(open(path))
+    except ValueError as e:
+        fail(f"{path} is not JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is missing or empty")
+
+    stacks = {}  # tid -> open span names
+    last_ts = {}  # tid -> last timestamp seen
+    max_depth = 0
+    trace_ids = set()
+    for i, ev in enumerate(events):
+        name, ph, ts, tid = ev.get("name"), ev.get("ph"), ev.get("ts"), ev.get("tid")
+        if not isinstance(name, str) or not name:
+            fail(f"event {i} has no name: {ev}")
+        if ph not in ("B", "E", "i", "M"):
+            fail(f"event {i} has unknown phase {ph!r}")
+        if ph == "M":
+            continue  # metadata: no timestamp/lane discipline
+        if not isinstance(ts, int) or not isinstance(tid, int):
+            fail(f"event {i} lacks integer ts/tid: {ev}")
+        if ts < last_ts.get(tid, 0):
+            fail(f"event {i} goes back in time on lane {tid}: {ev}")
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+            max_depth = max(max_depth, len(stack))
+        elif ph == "E":
+            if not stack:
+                fail(f"event {i} ends with nothing open on lane {tid}: {ev}")
+            opened = stack.pop()
+            if opened != name:
+                fail(f"event {i} ends {name!r} but {opened!r} is open on lane {tid}")
+        trace = ev.get("args", {}).get("trace")
+        if trace is not None:
+            trace_ids.add(trace)
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"lane {tid} ends with open spans {stack}")
+    if "0" * 16 in trace_ids:
+        fail("an event carries the null trace id")
+    if len(trace_ids) > 1:
+        fail(f"events disagree on the trace id: {sorted(trace_ids)}")
+    lanes = len(stacks)
+    if max_depth < min_depth:
+        fail(f"max nesting depth {max_depth} < required {min_depth}")
+    if lanes < min_lanes:
+        fail(f"only {lanes} lanes recorded events, required {min_lanes}")
+    print(
+        f"{path}: valid trace_event JSON — {len(events)} events, "
+        f"{lanes} lanes, depth {max_depth}, trace {sorted(trace_ids) or ['-']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,7 @@
 //! Machine-readable metric dumps: the `BENCH_*.json` hook.
 //!
 //! Every bench or experiment can ship its telemetry as a
-//! `pgr-metrics/1` JSON document (the same shape `pgr ... --metrics
+//! `pgr-metrics/2` JSON document (the same shape `pgr ... --metrics
 //! json` emits, so `pgr metrics-check` validates it). Dumps are written
 //! to the directory named by the `PGR_BENCH_METRICS_DIR` environment
 //! variable as `BENCH_<name>.json`; when the variable is unset the hook

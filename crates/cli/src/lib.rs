@@ -34,8 +34,11 @@ use pgr_bytecode::{
 };
 use pgr_core::{train, ExpanderConfig, TrainConfig};
 use pgr_grammar::{Grammar, GrammarFile, Nt};
-use pgr_registry::{GrammarId, Registry, ServeConfig, Server};
-use pgr_telemetry::{names, JsonSink, Metrics, Recorder, Sink, Stopwatch, TableSink};
+use pgr_registry::{op_of_hist_name, GrammarId, Registry, ServeConfig, Server};
+use pgr_telemetry::{
+    names, trace, JsonSink, Metrics, Recorder, Sink, Stopwatch, TableSink, TraceId,
+    DEFAULT_TRACE_CAPACITY,
+};
 use pgr_vm::{Vm, VmConfig};
 use std::path::Path;
 
@@ -67,6 +70,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "metrics-check" => metrics_check(rest),
         "registry" => cmd_registry(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(0)
@@ -76,20 +80,22 @@ pub fn run(args: &[String]) -> Result<i32, String> {
 }
 
 fn usage() -> String {
-    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|registry|serve|metrics-check|help> ...\n\
+    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|registry|serve|top|metrics-check|help> ...\n\
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
      \x20 compress <in.pgrb> -g <grammar> -o <out.pgrc> [--threads N] [--batch-bytes N] [--timings]\n\
-     \x20     [--earley-budget ITEMS[,COLUMNS]] [--no-fallback]\n\
+     \x20     [--earley-budget ITEMS[,COLUMNS]] [--no-fallback] [--trace-out <t.json>]\n\
      \x20 decompress <in.pgrc> [-g <grammar>] -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <grammar>] [--stdin TEXT] [--trace N]\n\
-     \x20     [--segment-cache N] [--reference-walker]\n\
+     \x20     [--segment-cache N] [--reference-walker] [--trace-out <t.json>]\n\
      \x20 verify <in.pgrb|in.pgrc> [-g <grammar>]\n\
      \x20 stats <in.pgrb>\n\
      \x20 cgen -g <grammar> [-p <image>] -o <dir>\n\
      \x20 registry <add <g.pgrg> [--label TEXT] | list | rm <id> | gc [<keep-id>...]>\n\
      \x20 serve --socket <path> [--max-budget ITEMS[,COLUMNS]] [--threads N]\n\
+     \x20     [--slow-ms N [--slow-trace <out.ndjson>]]\n\
+     \x20 top --socket <path> [--interval-ms N] [--iterations N]\n\
      \x20 metrics-check <metrics.json>\n\
      a <grammar> is a .pgrg path or id:HEX (full id or unique prefix) looked up in\n\
      the registry; compressed images name their grammar in the header, so commands\n\
@@ -97,7 +103,9 @@ fn usage() -> String {
      registry/serve take --registry <dir> (default: $PGR_REGISTRY)\n\
      train/compress/decompress/run also take:\n\
      \x20 --metrics <human|json>   emit pipeline telemetry (stderr by default)\n\
-     \x20 --metrics-out <path>     write telemetry to a file (implies json)"
+     \x20 --metrics-out <path>     write telemetry to a file (implies json)\n\
+     compress/run also take:\n\
+     \x20 --trace-out <path>       write a Chrome trace-event JSON span tree"
         .to_string()
 }
 
@@ -142,6 +150,11 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--registry"
             || a == "--socket"
             || a == "--max-budget"
+            || a == "--trace-out"
+            || a == "--slow-ms"
+            || a == "--slow-trace"
+            || a == "--interval-ms"
+            || a == "--iterations"
         {
             skip = true;
             continue;
@@ -235,6 +248,46 @@ fn emit_metrics(opts: &Option<MetricsOpts>) -> Result<(), String> {
         }
         None => sink_to(opts.mode, std::io::stderr().lock(), &metrics).map_err(|e| e.to_string()),
     }
+}
+
+// ---- request tracing ----------------------------------------------------
+
+/// Resolve a command's recorder together with `--trace-out`: tracing
+/// rides on the metrics recorder when `--metrics` was also given, and on
+/// a private enabled recorder (whose metrics are never emitted)
+/// otherwise. Returns the recorder to thread through the pipeline and
+/// the trace output path, if any.
+fn recorder_and_trace(
+    args: &[String],
+    metrics: &Option<MetricsOpts>,
+) -> (Recorder, Option<String>) {
+    let out = opt_value(args, "--trace-out").map(str::to_owned);
+    let recorder = match (metrics, &out) {
+        (Some(o), _) => o.recorder.clone(),
+        (None, Some(_)) => Recorder::new(),
+        (None, None) => Recorder::disabled(),
+    };
+    if out.is_some() {
+        recorder.enable_tracing(DEFAULT_TRACE_CAPACITY);
+    }
+    (recorder, out)
+}
+
+/// Drain the recorder's trace buffer and write it as Chrome trace-event
+/// JSON (loadable in `chrome://tracing` / Perfetto). A no-op without
+/// `--trace-out`.
+fn write_trace(recorder: &Recorder, out: Option<&str>) -> Result<(), String> {
+    let Some(path) = out else { return Ok(()) };
+    let trace = recorder.take_trace();
+    if trace.dropped > 0 {
+        eprintln!(
+            "warning: trace buffer overflowed; {} event(s) dropped",
+            trace.dropped
+        );
+    }
+    write_file(path, trace.to_chrome_json().as_bytes())?;
+    eprintln!("trace: {} event(s) -> {path}", trace.events.len());
+    Ok(())
 }
 
 fn read_file(path: &str) -> Result<Vec<u8>, String> {
@@ -460,14 +513,20 @@ fn compress(args: &[String]) -> Result<i32, String> {
     }
     let timings = flag(args, "--timings");
     let metrics = metrics_opts(args)?;
+    let (recorder, trace_out) = recorder_and_trace(args, &metrics);
     let config = compressor_config(args)?;
     let engine = pgr_core::Compressor::with_recorder(
         &loaded.file.grammar,
         loaded.file.start,
         config,
-        recorder_of(&metrics),
+        recorder.clone(),
     );
+    // One root trace id for the whole command; engine workers inherit it
+    // and show up as their own lanes under this root span.
+    let _trace_id = trace_out.as_ref().map(|_| trace::scope(TraceId::mint()));
+    let root_span = recorder.trace_span("pgr.compress");
     let (cp, stats) = engine.compress(&program).map_err(pipeline_err)?;
+    drop(root_span);
     // Stamp the grammar's content address into the image header, so
     // downstream commands (and the serve front end) can find the one
     // grammar that decodes this image without being told.
@@ -502,6 +561,7 @@ fn compress(args: &[String]) -> Result<i32, String> {
             engine.threads()
         );
     }
+    write_trace(&recorder, trace_out.as_deref())?;
     emit_metrics(&metrics)?;
     Ok(0)
 }
@@ -550,6 +610,7 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
         None => 0,
     };
     let metrics = metrics_opts(args)?;
+    let (recorder, trace_out) = recorder_and_trace(args, &metrics);
     let segment_cache_entries = match opt_value(args, "--segment-cache") {
         Some(v) => v
             .parse::<usize>()
@@ -559,11 +620,16 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
     let config = VmConfig {
         input: opt_value(args, "--stdin").unwrap_or("").as_bytes().to_vec(),
         trace_limit,
-        recorder: recorder_of(&metrics),
+        recorder: recorder.clone(),
         reference_walker: flag(args, "--reference-walker"),
         segment_cache_entries,
         ..VmConfig::default()
     };
+    // Root trace id for the command; the VM's interpreter thread
+    // inherits it and traces `vm.run` / per-procedure `vm.call` spans on
+    // its own lane.
+    let _trace_id = trace_out.as_ref().map(|_| trace::scope(TraceId::mint()));
+    let root_span = recorder.trace_span("pgr.run");
     let result = match kind {
         ImageKind::Uncompressed => {
             let mut vm = Vm::new(&program, config).map_err(|e| e.to_string())?;
@@ -582,6 +648,8 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             vm.run().map_err(|e| e.to_string())?
         }
     };
+    drop(root_span);
+    write_trace(&recorder, trace_out.as_deref())?;
     for ev in &result.trace {
         eprintln!(
             "trace: #{:<3} depth {:<2} {} {}",
@@ -706,7 +774,7 @@ fn stats(args: &[String]) -> Result<i32, String> {
     Ok(0)
 }
 
-/// Validate that `text` is a well-formed `pgr-metrics/1` document: the
+/// Validate that `text` is a well-formed `pgr-metrics/2` document: the
 /// shape `--metrics json` emits and `schema/metrics.schema.json` pins.
 ///
 /// Checks the schema tag, that the four sections are objects, that
@@ -744,15 +812,18 @@ pub fn check_metrics_json(text: &str) -> Result<(), String> {
         }
     }
     for (name, fields) in [
-        ("histograms", ["count", "sum", "min", "max"]),
-        ("spans", ["count", "total_ns", "min_ns", "max_ns"]),
+        (
+            "histograms",
+            &["count", "sum", "min", "max", "p50", "p90", "p95", "p99"][..],
+        ),
+        ("spans", &["count", "total_ns", "min_ns", "max_ns"][..]),
     ] {
         for (k, v) in section(name)? {
             let entry = v
                 .as_obj()
                 .ok_or_else(|| format!("{name}[{k:?}] is not an object"))?;
             for field in fields {
-                if entry.get(field).and_then(Value::as_u64).is_none() {
+                if entry.get(*field).and_then(Value::as_u64).is_none() {
                     return Err(format!("{name}[{k:?}] lacks integer field {field:?}"));
                 }
             }
@@ -873,6 +944,20 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
             .map_err(|_| format!("bad --threads {v:?}"))?,
         None => 0, // one worker per CPU
     };
+    let slow_ms = match opt_value(args, "--slow-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --slow-ms {v:?}"))?,
+        ),
+        None => None,
+    };
+    let slow_trace: Option<std::path::PathBuf> = opt_value(args, "--slow-trace").map(Into::into);
+    if slow_trace.is_some() && slow_ms.is_none() {
+        return Err("--slow-trace needs --slow-ms <threshold>".into());
+    }
+    let slow_path = slow_trace
+        .clone()
+        .unwrap_or_else(|| Path::new(socket).with_extension("slow.ndjson"));
     let metrics = metrics_opts(args)?;
     // The server always records: `stats` responses snapshot the
     // recorder, so a disabled one would serve empty metrics.
@@ -887,12 +972,177 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
             max_budget,
             threads,
             recorder,
+            slow_ms,
+            slow_trace,
         },
     )
     .map_err(pipeline_err)?;
+    if let Some(ms) = slow_ms {
+        eprintln!(
+            "pgr serve: tracing requests >= {ms} ms to {}",
+            slow_path.display()
+        );
+    }
     eprintln!("pgr serve: listening on {socket} (send {{\"op\":\"shutdown\"}} to stop)");
     server.run().map_err(pipeline_err)?;
     emit_metrics(&metrics)?;
     eprintln!("pgr serve: shut down");
     Ok(0)
+}
+
+/// Render one serve `stats` response (one NDJSON line) as the `pgr top`
+/// screen: a header with uptime and rolling-window rates, then one row
+/// per op combining windowed and lifetime latency quantiles, then the
+/// window's per-grammar breakdown. Pure — `cmd_top` polls the socket
+/// and repaints with this.
+///
+/// # Errors
+///
+/// When the response is not valid JSON, is an error response, or lacks
+/// the `stats` shape.
+pub fn render_top(response: &str) -> Result<String, String> {
+    use pgr_telemetry::json::Value;
+    use std::fmt::Write as _;
+
+    let doc = pgr_telemetry::json::parse(response).map_err(|e| format!("bad stats JSON: {e}"))?;
+    if doc.get("ok").and_then(Value::as_bool) != Some(true) {
+        let why = doc
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("not a stats response");
+        return Err(format!("server error: {why}"));
+    }
+    let window = doc.get("window").ok_or("stats response lacks \"window\"")?;
+    let metrics = doc
+        .get("metrics")
+        .ok_or("stats response lacks \"metrics\"")?;
+    let num = |v: &Value, key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let fnum = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pgr top — uptime {}s   window {}s   requests {}   rps {:.3}   errors {} ({:.2}%)",
+        num(&doc, "uptime_secs"),
+        num(window, "window_secs"),
+        num(window, "requests"),
+        fnum(window, "rps"),
+        num(window, "errors"),
+        100.0 * fnum(window, "error_rate"),
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>8} {:>8} | {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "op", "win", "p50", "p99", "life", "p50", "p90", "p95", "p99", "max"
+    );
+
+    // Every op the lifetime histograms know about (pre-registered at
+    // bind, so all serve ops appear even before their first request),
+    // joined with the rolling window's view.
+    let hists = metrics.get("histograms").and_then(Value::as_obj);
+    let win_ops = window.get("ops").and_then(Value::as_obj);
+    let mut rows = 0;
+    if let Some(hists) = hists {
+        for (name, life) in hists {
+            let Some(op) = op_of_hist_name(name) else {
+                continue;
+            };
+            let win = win_ops.and_then(|m| m.get(op));
+            let (wc, wp50, wp99) = match win {
+                Some(w) => (num(w, "count"), num(w, "p50"), num(w, "p99")),
+                None => (0, 0, 0),
+            };
+            let _ = writeln!(
+                out,
+                "{op:<12} {wc:>7} {wp50:>8} {wp99:>8} | {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}",
+                num(life, "count"),
+                num(life, "p50"),
+                num(life, "p90"),
+                num(life, "p95"),
+                num(life, "p99"),
+                num(life, "max"),
+            );
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        out.push_str("(no serve.request.<op>.micros histograms yet)\n");
+    }
+
+    if let Some(grammars) = window.get("grammars").and_then(Value::as_obj) {
+        if !grammars.is_empty() {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "{:<20} {:>7} {:>8} {:>8} {:>9}",
+                "grammar (window)", "count", "p50", "p99", "max"
+            );
+            for (id, h) in grammars {
+                let short: String = id.chars().take(16).collect();
+                let _ = writeln!(
+                    out,
+                    "{short:<20} {:>7} {:>8} {:>8} {:>9}",
+                    num(h, "count"),
+                    num(h, "p50"),
+                    num(h, "p99"),
+                    num(h, "max"),
+                );
+            }
+        }
+    }
+    out.push_str("\nlatencies in micros — window columns roll, life columns accumulate\n");
+    Ok(out)
+}
+
+/// `pgr top --socket <path>`: poll the server's `stats` op and repaint a
+/// live latency/throughput table. `--interval-ms` sets the poll period
+/// (default 1000); `--iterations N` stops after N paints (0 = forever,
+/// the default) so scripts and tests can take one sample.
+fn cmd_top(args: &[String]) -> Result<i32, String> {
+    use std::io::{BufRead, BufReader, IsTerminal, Write as _};
+
+    let socket = required(args, "--socket")?;
+    let interval_ms = match opt_value(args, "--interval-ms") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --interval-ms {v:?}"))?,
+        None => 1000,
+    };
+    let iterations = match opt_value(args, "--iterations") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --iterations {v:?}"))?,
+        None => 0,
+    };
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("{socket}: {e}"))?);
+    let mut writer = stream;
+    // Repaint via ANSI clear only when stdout is a live terminal;
+    // redirected output gets plain appended frames.
+    let clear = std::io::stdout().is_terminal();
+    let mut painted = 0u64;
+    loop {
+        writeln!(writer, "{{\"op\":\"stats\"}}").map_err(|e| format!("{socket}: {e}"))?;
+        let mut line = String::new();
+        if reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{socket}: {e}"))?
+            == 0
+        {
+            return Err(format!("{socket}: server closed the connection"));
+        }
+        let screen = render_top(&line)?;
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{screen}");
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        painted += 1;
+        if iterations != 0 && painted >= iterations {
+            return Ok(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }

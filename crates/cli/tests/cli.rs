@@ -459,3 +459,133 @@ fn registry_workflow_resolves_grammars_by_id() {
     assert!(err.contains("no grammar"), "unhelpful error: {err}");
     run(&args(&["registry", "gc", "--registry", &reg])).unwrap();
 }
+
+#[test]
+fn trace_out_writes_perfetto_loadable_span_trees() {
+    use pgr_telemetry::{json, trace};
+
+    let s = Scratch::new("trace");
+    let src = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../corpus/src/programs/eightq.c"
+    );
+    let image = s.path("8q.pgrb");
+    let grammar = s.path("8q.pgrg");
+    let packed = s.path("8q.pgrc");
+    run(&args(&["compile", src, "-o", &image])).unwrap();
+    run(&args(&["train", &image, "-o", &grammar])).unwrap();
+
+    // Compress with two workers: a root span on the main lane plus a
+    // lane per worker, all properly nested and all carrying one trace
+    // id.
+    let ctrace = s.path("compress-trace.json");
+    run(&args(&[
+        "compress",
+        &image,
+        "-g",
+        &grammar,
+        "-o",
+        &packed,
+        "--threads",
+        "2",
+        // Small batches so both workers demonstrably get work (and
+        // lanes) even on the tiny 8q image.
+        "--batch-bytes",
+        "64",
+        "--trace-out",
+        &ctrace,
+    ]))
+    .unwrap();
+    let text = std::fs::read_to_string(&ctrace).unwrap();
+    let summary = trace::validate_chrome_trace(&text).expect("compress trace is well formed");
+    assert!(summary.events > 0, "empty compress trace");
+    assert!(
+        summary.lanes >= 3,
+        "main lane + 2 worker lanes expected: {summary:?}"
+    );
+    assert!(summary.max_depth >= 2, "flat compress trace: {summary:?}");
+
+    // Every event carries the same nonzero trace id.
+    let doc = json::parse(&text).unwrap();
+    let events = doc.get("traceEvents").unwrap();
+    let ids: std::collections::BTreeSet<String> = events
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(json::Value::as_str)
+                .expect("event lacks args.trace")
+                .to_string()
+        })
+        .collect();
+    assert_eq!(ids.len(), 1, "more than one trace id in one command");
+    assert_ne!(ids.iter().next().unwrap(), "0000000000000000");
+
+    // Run the compressed 8-queens image: the VM's interpreter thread is
+    // its own lane, and recursive vm.call spans nest at least three
+    // deep (vm.run -> vm.call main -> vm.call <helper>).
+    let rtrace = s.path("run-trace.json");
+    let code = run(&args(&[
+        "run",
+        &packed,
+        "-g",
+        &grammar,
+        "--trace-out",
+        &rtrace,
+    ]))
+    .unwrap();
+    assert_eq!(code, 92, "8q must still solve 92 boards");
+    let text = std::fs::read_to_string(&rtrace).unwrap();
+    let summary = trace::validate_chrome_trace(&text).expect("run trace is well formed");
+    assert!(
+        summary.lanes >= 2,
+        "main + VM interpreter lanes expected: {summary:?}"
+    );
+    assert!(
+        summary.max_depth >= 3,
+        "recursive vm.call spans should nest >= 3 deep: {summary:?}"
+    );
+    let names: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"name\""))
+        .flat_map(|l| {
+            l.split("\"name\":\"")
+                .skip(1)
+                .map(|s| s.split('"').next().unwrap())
+        })
+        .collect();
+    assert!(names.contains(&"pgr.run"));
+    assert!(names.contains(&"vm.run"));
+    assert!(names.iter().any(|n| n.starts_with("vm.call ")));
+}
+
+#[test]
+fn render_top_formats_a_stats_response() {
+    let response = concat!(
+        "{\"ok\":true,\"metrics\":{\"schema\":\"pgr-metrics/2\",\"counters\":{},",
+        "\"gauges\":{},\"histograms\":{\"serve.request.compress.micros\":",
+        "{\"count\":4,\"sum\":100,\"min\":10,\"max\":40,\"p50\":20,\"p90\":38,",
+        "\"p95\":39,\"p99\":40}},\"spans\":{}},",
+        "\"window\":{\"window_secs\":60,\"requests\":4,\"errors\":1,\"rps\":0.067,",
+        "\"error_rate\":0.25,\"ops\":{\"compress\":{\"count\":4,\"p50\":20,",
+        "\"p90\":38,\"p95\":39,\"p99\":40,\"max\":40}},\"grammars\":{}},",
+        "\"uptime_secs\":42,\"trace\":\"00000000000000aa\"}",
+    );
+    let screen = pgr_cli::render_top(response).expect("stats response renders");
+    assert!(screen.contains("uptime 42s"), "{screen}");
+    assert!(screen.contains("compress"), "{screen}");
+    assert!(screen.contains("rps 0.067"), "{screen}");
+    // Windowed and lifetime p50 both present on the compress row.
+    let row = screen
+        .lines()
+        .find(|l| l.starts_with("compress"))
+        .expect("compress row");
+    assert!(row.matches("20").count() >= 2, "{row}");
+
+    // Error responses surface as errors, not empty screens.
+    let err = pgr_cli::render_top("{\"ok\":false,\"error\":\"nope\"}").unwrap_err();
+    assert!(err.contains("nope"), "{err}");
+    assert!(pgr_cli::render_top("not json").is_err());
+}

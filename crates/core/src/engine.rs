@@ -40,7 +40,7 @@ use pgr_earley::{ChartArena, EarleyBudget, NoParse, ShortestParser};
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Grammar, Nt, Terminal};
 use pgr_telemetry::faults::{self, FaultPoint};
-use pgr_telemetry::{names, Metrics, Recorder, Stopwatch};
+use pgr_telemetry::{names, trace, Metrics, Recorder, Stopwatch};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -508,9 +508,11 @@ impl<'g> Compressor<'g> {
     ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
         let timed = self.timings_on();
 
+        let trace_canon = self.recorder.trace_span(names::SPAN_COMPRESS_CANONICALIZE);
         let sw = Stopwatch::start_if(timed);
         let canon = canonicalize_program(program)?;
         let canonicalize_time = sw.elapsed();
+        drop(trace_canon);
 
         let cache_hits_before = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses_before = self.cache_misses.load(Ordering::Relaxed);
@@ -549,14 +551,17 @@ impl<'g> Compressor<'g> {
         }
 
         // Encode: fan segments out across the worker pool.
+        let trace_encode = self.recorder.trace_span("compress.encode");
         let results = self.run_jobs(&canon, &jobs, budget);
         let mut encoded: Vec<EncodedSegment> = Vec::with_capacity(results.len());
         for result in results {
             encoded.push(result?); // first failure in job (= code) order
         }
+        drop(trace_encode);
 
         // Emit: reassemble procedures in order, rewriting label tables to
         // compressed-stream offsets (§3).
+        let trace_emit = self.recorder.trace_span(names::SPAN_COMPRESS_EMIT);
         let sw = Stopwatch::start_if(timed);
         let mut stats = CompressionStats::default();
         let mut out = canon.clone();
@@ -609,6 +614,7 @@ impl<'g> Compressor<'g> {
         }
         stats.timings.canonicalize = canonicalize_time;
         stats.timings.emit = sw.elapsed();
+        drop(trace_emit);
 
         if self.recorder.is_enabled() {
             let mut batch = Metrics::new();
@@ -698,6 +704,10 @@ impl<'g> Compressor<'g> {
                 .collect();
         }
         let batches = plan_batches(jobs, self.batch_bytes);
+        // Thread-locals don't cross `thread::scope`: capture the calling
+        // thread's trace attribution and re-install it in each worker, so
+        // worker-lane events still carry the request's trace id.
+        let trace_ctx = trace::current();
         let mut slots: Vec<Option<Result<EncodedSegment, CompressError>>> =
             (0..jobs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -705,6 +715,7 @@ impl<'g> Compressor<'g> {
             let workers: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
+                        let _trace = trace::scope_raw(trace_ctx);
                         let mut arena = ChartArena::new();
                         let mut done = Vec::new();
                         let mut b = w;
@@ -785,7 +796,9 @@ impl<'g> Compressor<'g> {
         // unless someone is observing.
         let timed = self.timings_on();
         let raw = &proc.code[range.clone()];
+        let _trace_seg = self.recorder.trace_span("compress.segment");
 
+        let trace_tok = self.recorder.trace_span(names::SPAN_COMPRESS_TOKENIZE);
         let sw = Stopwatch::start_if(timed);
         let tokens = match tokenize_segment(raw) {
             Ok(tokens) => tokens,
@@ -804,6 +817,7 @@ impl<'g> Compressor<'g> {
             }
         };
         let tokenize = sw.elapsed();
+        drop(trace_tok);
 
         if let Some(cache) = &self.cache {
             if let Some(bytes) = self.lock_cache(cache).get(&tokens) {
@@ -818,6 +832,7 @@ impl<'g> Compressor<'g> {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
 
+        let trace_parse = self.recorder.trace_span(names::SPAN_COMPRESS_PARSE);
         let sw = Stopwatch::start_if(timed);
         let parsed = if faults::fire(FaultPoint::Parse) {
             Err(NoParse::NoDerivation { furthest: 0 })
@@ -847,6 +862,7 @@ impl<'g> Compressor<'g> {
         };
         let bytes = derivation.to_bytes(&self.index_map);
         let parse = sw.elapsed();
+        drop(trace_parse);
 
         if let Some(cache) = &self.cache {
             let mut guard = self.lock_cache(cache);

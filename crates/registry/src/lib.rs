@@ -32,8 +32,10 @@ pub mod id;
 pub mod proto;
 pub mod serve;
 pub mod store;
+pub mod window;
 
 pub use id::{sha256, GrammarId, ID_LEN};
 pub use proto::{base64_decode, base64_encode, ResponseLine};
 pub use serve::{ServeConfig, ServeError, Server};
 pub use store::{GcReport, Manifest, Registry, RegistryError, MANIFEST_VERSION};
+pub use window::{op_of_hist_name, SlidingWindow, WindowStats, DEFAULT_WINDOW_SECS};

@@ -91,6 +91,11 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
+/// Render a string as a complete JSON string literal.
+pub(crate) fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
 /// Incrementally build one response line. Purely syntactic — the field
 /// vocabulary lives with each request handler in [`crate::serve`].
 #[derive(Debug, Default)]
@@ -109,6 +114,17 @@ impl ResponseLine {
     /// Build a complete error response (`"ok":false` plus the message).
     pub fn err(message: &str) -> String {
         format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+    }
+
+    /// Build a complete error response carrying the request's trace id
+    /// and end-to-end latency, so a failure line correlates with the
+    /// slow-trace dump and server logs.
+    pub fn err_traced(message: &str, trace_hex: &str, micros: u64) -> String {
+        format!(
+            "{{\"ok\":false,\"error\":\"{}\",\"trace\":\"{}\",\"micros\":{micros}}}",
+            json_escape(message),
+            json_escape(trace_hex),
+        )
     }
 
     /// Append a string field (JSON-escaped).

@@ -16,27 +16,45 @@
 //! bounded (once per distinct grammar id) and the server is a long-lived
 //! process; its address space *is* the cache.
 //!
-//! Request latency lands in the `serve.request.<op>.micros` histograms;
-//! `serve.*` counters track connections, requests, errors, and budget
-//! clamps. A `stats` request snapshots all of it, including itself.
+//! Every request is minted a [`TraceId`] and handled under its trace
+//! scope, so spans recorded anywhere below — engine workers, the Earley
+//! parser, the VM's interpreter thread — attribute back to the request.
+//! Responses (success and error alike) carry the id in a `"trace"`
+//! field; error responses also carry elapsed `"micros"`. With
+//! [`ServeConfig::slow_ms`] set, any request over the threshold has its
+//! full span tree appended to an NDJSON slow-trace log.
+//!
+//! Request latency lands in the `serve.request.<op>.micros` histograms
+//! (pre-registered at bind, so `stats` always reports quantiles for
+//! every op); errors land in `serve.request.<op>.errors`; and a
+//! [`SlidingWindow`] keeps rolling RPS / error-rate / per-op and
+//! per-grammar quantiles for the trailing minute. A `stats` request
+//! snapshots all of it, including itself.
 
 use crate::id::GrammarId;
-use crate::proto::{base64_decode, base64_encode, ResponseLine};
+use crate::proto::{base64_decode, base64_encode, json_string, ResponseLine};
 use crate::store::{Registry, RegistryError};
+use crate::window::{SlidingWindow, DEFAULT_WINDOW_SECS};
 use pgr_bytecode::{read_program_tagged, write_program_tagged, ImageKind, Program};
 use pgr_core::{Compressor, CompressorConfig, EarleyBudget};
 use pgr_grammar::{Grammar, Nt};
 use pgr_telemetry::json::{self, Value};
-use pgr_telemetry::{names, Recorder, Stopwatch};
+use pgr_telemetry::{names, trace, Metrics, Recorder, Stopwatch, TraceId, DEFAULT_TRACE_CAPACITY};
 use pgr_vm::{Vm, VmConfig};
 use std::collections::HashMap;
 use std::fmt;
+use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The operations the server understands (shutdown aside). Metric names
+/// for each are pre-registered at bind.
+pub const SERVE_OPS: [&str; 4] = ["compress", "decompress", "run", "stats"];
 
 /// How a [`Server`] is put together.
 #[derive(Debug, Clone)]
@@ -51,6 +69,13 @@ pub struct ServeConfig {
     /// Telemetry destination. Pass an enabled recorder — `stats`
     /// responses snapshot it.
     pub recorder: Recorder,
+    /// Slow-request threshold in milliseconds: any request at or over it
+    /// has its span tree appended to the slow-trace log. `None` disables
+    /// per-request tracing entirely.
+    pub slow_ms: Option<u64>,
+    /// Where the slow-trace NDJSON log goes. Defaults to the socket path
+    /// with a `.slow.ndjson` extension. Ignored unless `slow_ms` is set.
+    pub slow_trace: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +85,8 @@ impl Default for ServeConfig {
             max_budget: EarleyBudget::UNLIMITED,
             threads: 0,
             recorder: Recorder::new(),
+            slow_ms: None,
+            slow_trace: None,
         }
     }
 }
@@ -77,6 +104,13 @@ pub enum ServeError {
     },
     /// Opening the registry failed.
     Registry(RegistryError),
+    /// Opening the slow-trace log failed.
+    SlowLog {
+        /// The log path.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -86,6 +120,9 @@ impl fmt::Display for ServeError {
                 write!(f, "cannot bind socket {path}: {message}")
             }
             ServeError::Registry(_) => write!(f, "cannot open the grammar registry"),
+            ServeError::SlowLog { path, message } => {
+                write!(f, "cannot open slow-trace log {path}: {message}")
+            }
         }
     }
 }
@@ -94,7 +131,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Registry(e) => Some(e),
-            ServeError::Bind { .. } => None,
+            ServeError::Bind { .. } | ServeError::SlowLog { .. } => None,
         }
     }
 }
@@ -124,7 +161,19 @@ struct State {
     recorder: Recorder,
     running: AtomicBool,
     socket: PathBuf,
+    /// Server start, the zero point for uptime and the sliding window.
+    start: Instant,
+    window: Mutex<SlidingWindow>,
+    /// Slow-request threshold in micros, when slow tracing is on.
+    slow_micros: Option<u64>,
+    /// The open slow-trace NDJSON log, when slow tracing is on.
+    slow_log: Option<Mutex<File>>,
 }
+
+/// What one request handler produced: the response under construction
+/// (the dispatcher appends the trace id and closes it) and the grammar
+/// the request resolved to, for per-grammar window accounting.
+type Handled = (ResponseLine, Option<GrammarId>);
 
 /// Render an error with its full `source()` chain, outermost first.
 fn error_chain(e: &dyn std::error::Error) -> String {
@@ -213,6 +262,37 @@ impl State {
         }
         (admitted, clamped)
     }
+
+    /// Retire a request's trace events: always drained (completed
+    /// requests must not pool in the shared buffer), dumped to the
+    /// slow-trace log only when the request was over threshold.
+    fn retire_trace(&self, id: TraceId, op: &str, micros: u64) {
+        let Some(log) = &self.slow_log else {
+            return;
+        };
+        let events = self.recorder.drain_trace(id);
+        let over = self.slow_micros.is_some_and(|t| micros >= t);
+        if !over {
+            return;
+        }
+        self.recorder.add(names::SERVE_SLOW_REQUESTS, 1);
+        // Header line, then one line per event — all independently
+        // parseable JSON, greppable by trace id.
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str(&format!(
+            "{{\"trace\":\"{}\",\"op\":{},\"micros\":{micros},\"events\":{}}}\n",
+            id.to_hex(),
+            json_string(op),
+            events.len(),
+        ));
+        for event in &events {
+            out.push_str(&event.to_ndjson());
+            out.push('\n');
+        }
+        let mut file = log.lock().expect("slow log lock");
+        let _ = file.write_all(out.as_bytes());
+        let _ = file.flush();
+    }
 }
 
 /// Pull and decode the request's base64 `"image"` field.
@@ -227,7 +307,7 @@ fn image_of(doc: &Value) -> Result<(Program, ImageKind, Option<GrammarId>), Stri
     Ok((program, kind, raw_id.map(GrammarId::from_raw)))
 }
 
-fn handle_compress(state: &State, doc: &Value) -> Result<String, String> {
+fn handle_compress(state: &State, doc: &Value) -> Result<Handled, String> {
     let (program, kind, _) = image_of(doc)?;
     if kind == ImageKind::Compressed {
         return Err("image is already compressed".into());
@@ -243,17 +323,19 @@ fn handle_compress(state: &State, doc: &Value) -> Result<String, String> {
         ImageKind::Compressed,
         Some(engine.id.as_bytes()),
     );
-    Ok(ResponseLine::ok()
-        .str_field("grammar", &engine.id.to_hex())
-        .str_field("image", &base64_encode(&image))
-        .num_field("original_bytes", stats.original_code as u64)
-        .num_field("compressed_bytes", stats.compressed_code as u64)
-        .num_field("fallback_segments", stats.fallback_segments as u64)
-        .bool_field("clamped", clamped)
-        .finish())
+    Ok((
+        ResponseLine::ok()
+            .str_field("grammar", &engine.id.to_hex())
+            .str_field("image", &base64_encode(&image))
+            .num_field("original_bytes", stats.original_code as u64)
+            .num_field("compressed_bytes", stats.compressed_code as u64)
+            .num_field("fallback_segments", stats.fallback_segments as u64)
+            .bool_field("clamped", clamped),
+        Some(engine.id),
+    ))
 }
 
-fn handle_decompress(state: &State, doc: &Value) -> Result<String, String> {
+fn handle_decompress(state: &State, doc: &Value) -> Result<Handled, String> {
     let (program, kind, header_id) = image_of(doc)?;
     if kind == ImageKind::Uncompressed {
         return Err("image is not compressed".into());
@@ -263,14 +345,16 @@ fn handle_decompress(state: &State, doc: &Value) -> Result<String, String> {
     let back = pgr_core::compress::decompress_program(engine.grammar, engine.start, &cp)
         .map_err(|e| error_chain(&e))?;
     let image = write_program_tagged(&back, ImageKind::Uncompressed, None);
-    Ok(ResponseLine::ok()
-        .str_field("grammar", &engine.id.to_hex())
-        .str_field("image", &base64_encode(&image))
-        .num_field("bytes", back.code_size() as u64)
-        .finish())
+    Ok((
+        ResponseLine::ok()
+            .str_field("grammar", &engine.id.to_hex())
+            .str_field("image", &base64_encode(&image))
+            .num_field("bytes", back.code_size() as u64),
+        Some(engine.id),
+    ))
 }
 
-fn handle_run(state: &State, doc: &Value) -> Result<String, String> {
+fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
     let (program, kind, header_id) = image_of(doc)?;
     let input = match doc.get("input").and_then(Value::as_str) {
         Some(text) => base64_decode(text).ok_or("\"input\" is not valid base64")?,
@@ -281,10 +365,10 @@ fn handle_run(state: &State, doc: &Value) -> Result<String, String> {
         recorder: state.recorder.clone(),
         ..VmConfig::default()
     };
-    let result = match kind {
+    let (result, grammar) = match kind {
         ImageKind::Uncompressed => {
             let mut vm = Vm::new(&program, config).map_err(|e| error_chain(&e))?;
-            vm.run().map_err(|e| error_chain(&e))?
+            (vm.run().map_err(|e| error_chain(&e))?, None)
         }
         ImageKind::Compressed => {
             let engine = state.engine_of_request(doc, header_id)?;
@@ -296,23 +380,25 @@ fn handle_run(state: &State, doc: &Value) -> Result<String, String> {
                 config,
             )
             .map_err(|e| error_chain(&e))?;
-            vm.run().map_err(|e| error_chain(&e))?
+            (vm.run().map_err(|e| error_chain(&e))?, Some(engine.id))
         }
     };
-    Ok(ResponseLine::ok()
-        .int_field(
-            "exit_code",
-            i64::from(result.exit_code.unwrap_or_else(|| result.ret.i())),
-        )
-        .str_field("output", &base64_encode(&result.output))
-        .num_field("steps", result.steps)
-        .finish())
+    Ok((
+        ResponseLine::ok()
+            .int_field(
+                "exit_code",
+                i64::from(result.exit_code.unwrap_or_else(|| result.ret.i())),
+            )
+            .str_field("output", &base64_encode(&result.output))
+            .num_field("steps", result.steps),
+        grammar,
+    ))
 }
 
 /// `stats` records its own latency *before* snapshotting, so the
 /// response's `serve.request.stats.micros` histogram includes the very
 /// request that produced it.
-fn handle_stats(state: &State, sw: Stopwatch) -> Result<String, String> {
+fn handle_stats(state: &State, sw: Stopwatch) -> Result<Handled, String> {
     state.recorder.observe(
         names::SERVE_REQUEST_STATS_MICROS,
         sw.elapsed().as_micros() as u64,
@@ -322,59 +408,116 @@ fn handle_stats(state: &State, sw: Stopwatch) -> Result<String, String> {
     // needs the whole response on one. Metric names and values contain
     // no newlines, so dropping them is safe.
     let compact: String = snapshot.to_json().chars().filter(|c| *c != '\n').collect();
-    Ok(ResponseLine::ok().raw_field("metrics", &compact).finish())
+    let now_sec = state.start.elapsed().as_secs();
+    let window = state.window.lock().expect("window lock").aggregate(now_sec);
+    Ok((
+        ResponseLine::ok()
+            .raw_field("metrics", &compact)
+            .raw_field("window", &window.to_json())
+            .num_field("uptime_secs", now_sec),
+        None,
+    ))
 }
 
 /// Handle one request line, returning the response line.
 fn handle_line(state: &State, line: &str) -> String {
     let sw = Stopwatch::start_if(true);
+    // One trace id per request, installed as this thread's trace scope:
+    // every span below — engine workers and the VM thread included, via
+    // explicit propagation — attributes to this request.
+    let id = TraceId::mint();
+    let _attribution = trace::scope(id);
     state.recorder.add(names::SERVE_REQUESTS, 1);
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let doc = match json::parse(line) {
-            Ok(doc) => doc,
-            Err(e) => return Err(format!("bad request JSON: {e}")),
-        };
-        let op = doc.get("op").and_then(Value::as_str).unwrap_or("");
-        let result = match op {
+    let parsed = json::parse(line);
+    let op: String = parsed
+        .as_ref()
+        .ok()
+        .and_then(|doc| doc.get("op").and_then(Value::as_str))
+        .unwrap_or("")
+        .to_string();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<Handled, String> {
+        let doc = parsed.map_err(|e| format!("bad request JSON: {e}"))?;
+        let span_name = format!(
+            "serve.{}",
+            if op.is_empty() {
+                "request"
+            } else {
+                op.as_str()
+            }
+        );
+        let _op_span = state.recorder.trace_span(&span_name);
+        match op.as_str() {
             "compress" => handle_compress(state, &doc),
             "decompress" => handle_decompress(state, &doc),
             "run" => handle_run(state, &doc),
             "stats" => handle_stats(state, sw),
             "shutdown" => {
                 state.running.store(false, Ordering::SeqCst);
-                Ok(ResponseLine::ok().bool_field("shutdown", true).finish())
+                Ok((ResponseLine::ok().bool_field("shutdown", true), None))
             }
             other => Err(format!(
                 "unknown op {other:?} (expected compress/decompress/run/stats/shutdown)"
             )),
-        };
-        let hist = match op {
-            "compress" => Some(names::SERVE_REQUEST_COMPRESS_MICROS),
-            "decompress" => Some(names::SERVE_REQUEST_DECOMPRESS_MICROS),
-            "run" => Some(names::SERVE_REQUEST_RUN_MICROS),
-            _ => None, // stats records itself; unknown ops record nothing
-        };
-        if let Some(name) = hist {
-            state
-                .recorder
-                .observe(name, sw.elapsed().as_micros() as u64);
         }
-        result
     }));
-    match outcome {
-        Ok(Ok(response)) => response,
+    let micros = sw.elapsed().as_micros() as u64;
+    let known_op = SERVE_OPS.contains(&op.as_str());
+    // stats records itself before snapshotting; the other ops land here.
+    if known_op && op != "stats" {
+        state
+            .recorder
+            .observe(&names::serve_request_micros(&op), micros);
+    }
+    let record_error = || {
+        state.recorder.add(names::SERVE_ERRORS, 1);
+        if known_op {
+            state.recorder.add(&names::serve_request_errors(&op), 1);
+        }
+    };
+    let (response, grammar, ok) = match outcome {
+        Ok(Ok((line, grammar))) => (
+            line.str_field("trace", &id.to_hex()).finish(),
+            grammar,
+            true,
+        ),
         Ok(Err(message)) => {
-            state.recorder.add(names::SERVE_ERRORS, 1);
-            ResponseLine::err(&message)
+            record_error();
+            (
+                ResponseLine::err_traced(&message, &id.to_hex(), micros),
+                None,
+                false,
+            )
         }
         // A panic is this request's failure, not the server's: the
         // compressor already isolates worker panics, and this outer
         // guard keeps a handler bug from tearing the connection down.
         Err(_) => {
-            state.recorder.add(names::SERVE_ERRORS, 1);
-            ResponseLine::err("internal panic while handling request")
+            record_error();
+            (
+                ResponseLine::err_traced(
+                    "internal panic while handling request",
+                    &id.to_hex(),
+                    micros,
+                ),
+                None,
+                false,
+            )
         }
-    }
+    };
+    // Window accounting: known ops keep their name; everything else
+    // (unknown ops, shutdown, unparseable lines) pools under "other" so
+    // client typos can't grow the op map without bound.
+    let window_op = if known_op { op.as_str() } else { "other" };
+    let grammar_hex = grammar.map(|g| g.to_hex());
+    state.window.lock().expect("window lock").record(
+        state.start.elapsed().as_secs(),
+        window_op,
+        grammar_hex.as_deref(),
+        micros,
+        ok,
+    );
+    state.retire_trace(id, window_op, micros);
+    response
 }
 
 /// Serve one connection: read request lines, write response lines.
@@ -411,12 +554,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `socket` (removing any stale socket file first) and open the
-    /// registry.
+    /// Bind `socket` (removing any stale socket file first), open the
+    /// registry, and pre-register the serve metric names — every
+    /// `serve.request.<op>.micros` histogram and `.errors` counter shows
+    /// up in `stats` (quantiles and all) from the first response, not
+    /// after the first request of each kind.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Bind`] / [`ServeError::Registry`].
+    /// [`ServeError::Bind`] / [`ServeError::Registry`] /
+    /// [`ServeError::SlowLog`].
     pub fn bind(socket: impl AsRef<Path>, config: ServeConfig) -> Result<Server, ServeError> {
         let socket = socket.as_ref().to_path_buf();
         let registry = Registry::open(&config.registry_root)?;
@@ -427,6 +574,46 @@ impl Server {
             path: socket.display().to_string(),
             message: e.to_string(),
         })?;
+
+        let mut pre = Metrics::new();
+        for counter in [
+            names::SERVE_CONNECTIONS,
+            names::SERVE_REQUESTS,
+            names::SERVE_ERRORS,
+            names::SERVE_BUDGET_CLAMPED,
+            names::SERVE_SLOW_REQUESTS,
+        ] {
+            pre.add(counter, 0);
+        }
+        for op in SERVE_OPS {
+            pre.ensure_hist(names::serve_request_micros(op));
+            pre.add(names::serve_request_errors(op), 0);
+        }
+        config.recorder.record(pre);
+
+        let slow_log = match config.slow_ms {
+            Some(_) => {
+                // Per-request tracing rides on the metrics recorder; the
+                // buffer is drained request-by-request, so capacity only
+                // bounds concurrent in-flight spans.
+                config.recorder.enable_tracing(DEFAULT_TRACE_CAPACITY);
+                let path = config
+                    .slow_trace
+                    .clone()
+                    .unwrap_or_else(|| socket.with_extension("slow.ndjson"));
+                let file = File::options()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| ServeError::SlowLog {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                Some(Mutex::new(file))
+            }
+            None => None,
+        };
+
         Ok(Server {
             listener,
             state: Arc::new(State {
@@ -437,6 +624,10 @@ impl Server {
                 recorder: config.recorder,
                 running: AtomicBool::new(true),
                 socket,
+                start: Instant::now(),
+                window: Mutex::new(SlidingWindow::new(DEFAULT_WINDOW_SECS)),
+                slow_micros: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
+                slow_log,
             }),
         })
     }

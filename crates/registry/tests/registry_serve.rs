@@ -181,6 +181,7 @@ fn concurrent_serve_with_mixed_budgets() {
             },
             threads: 2,
             recorder: Recorder::new(),
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -428,4 +429,149 @@ fn serve_rejects_unknown_grammars_and_bad_payloads() {
 
     exchange(&mut stream, r#"{"op":"shutdown"}"#);
     server_thread.join().unwrap();
+}
+
+#[test]
+fn serve_traces_requests_and_dumps_slow_span_trees() {
+    let scratch = Scratch::new("serve-trace");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "trace test").unwrap();
+    let id_hex = manifest.id.to_hex();
+
+    let socket = scratch.path("pgr.sock");
+    let slow_log = scratch.path("slow.ndjson");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            recorder: Recorder::new(),
+            // Threshold 0: every request is "slow", so each one dumps
+            // its span tree to the NDJSON log.
+            slow_ms: Some(0),
+            slow_trace: Some(slow_log.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+    let mut stream = connect(&socket);
+
+    let trace_of = |resp: &Value| -> String {
+        let hex = resp
+            .get("trace")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("response lacks trace id: {resp:?}"))
+            .to_string();
+        assert_eq!(hex.len(), 16, "trace id is 16 hex chars: {hex}");
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        hex
+    };
+    let mut seen = Vec::new();
+
+    // Successful requests carry a per-request trace id. (A halting
+    // program — SAMPLE spins forever, which `run` would not survive.)
+    let program = assemble("proc main frame=0 args=0\n\tRETV\nendproc\nentry main\n").unwrap();
+    let image_b64 = base64_encode(&write_program(&program, ImageKind::Uncompressed));
+    let resp = exchange(
+        &mut stream,
+        &format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{image_b64}"}}"#),
+    );
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    seen.push(trace_of(&resp));
+    let compressed = resp
+        .get("image")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let resp = exchange(
+        &mut stream,
+        &format!(r#"{{"op":"run","image":"{compressed}"}}"#),
+    );
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    seen.push(trace_of(&resp));
+
+    // Errors carry the trace id and elapsed micros in-band, and bump the
+    // per-op error counter.
+    let resp = exchange(&mut stream, r#"{"op":"compress","grammar":"beef"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    seen.push(trace_of(&resp));
+    assert!(
+        resp.get("micros").and_then(Value::as_u64).is_some(),
+        "error response lacks elapsed micros: {resp:?}"
+    );
+
+    // Stats: sliding-window aggregates with per-op quantiles, uptime,
+    // the slow-request counter, and the per-op error counter.
+    let resp = exchange(&mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    seen.push(trace_of(&resp));
+    assert!(resp.get("uptime_secs").and_then(Value::as_u64).is_some());
+    let window = resp.get("window").expect("stats carries window object");
+    assert!(window.get("window_secs").and_then(Value::as_u64).is_some());
+    assert!(window.get("requests").and_then(Value::as_u64).unwrap() >= 3);
+    assert!(window.get("errors").and_then(Value::as_u64).unwrap() >= 1);
+    let ops = window.get("ops").expect("window carries per-op stats");
+    let compress_win = ops.get("compress").expect("compress window entry");
+    for field in ["count", "p50", "p90", "p95", "p99", "max"] {
+        assert!(
+            compress_win.get(field).and_then(Value::as_u64).is_some(),
+            "window op entry lacks {field}: {compress_win:?}"
+        );
+    }
+    assert!(
+        window
+            .get("grammars")
+            .and_then(|g| g.get(&id_hex))
+            .is_some(),
+        "window lacks per-grammar entry for {id_hex}"
+    );
+    let counters = resp.get("metrics").and_then(|m| m.get("counters")).unwrap();
+    assert!(
+        counters
+            .get(names::SERVE_SLOW_REQUESTS)
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 3
+    );
+    assert!(
+        counters
+            .get(&pgr_telemetry::names::serve_request_errors("compress"))
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    server_thread.join().unwrap();
+
+    // The slow log holds one header line per retired request followed by
+    // that request's span events, all parseable NDJSON, and the header
+    // trace ids match the ids the client saw in its responses.
+    let text = std::fs::read_to_string(&slow_log).expect("slow trace NDJSON exists");
+    let mut headers = Vec::new();
+    let mut pending_events = 0u64;
+    for line in text.lines() {
+        let value = json::parse(line).expect("slow-log line parses as JSON");
+        if pending_events == 0 {
+            let trace = value.get("trace").and_then(Value::as_str).unwrap();
+            assert!(value.get("op").and_then(Value::as_str).is_some());
+            assert!(value.get("micros").and_then(Value::as_u64).is_some());
+            pending_events = value.get("events").and_then(Value::as_u64).unwrap();
+            headers.push(trace.to_string());
+        } else {
+            // Span events of the request the preceding header announced.
+            assert!(value.get("name").and_then(Value::as_str).is_some());
+            assert!(value.get("ph").and_then(Value::as_str).is_some());
+            pending_events -= 1;
+        }
+    }
+    assert_eq!(pending_events, 0, "slow log ends mid-request");
+    assert!(headers.len() >= seen.len(), "every request dumps a tree");
+    for id in &seen {
+        assert!(
+            headers.contains(id),
+            "response trace {id} missing from slow log headers {headers:?}"
+        );
+    }
 }

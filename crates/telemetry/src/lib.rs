@@ -47,7 +47,7 @@
 //!
 //! let mut out = Vec::new();
 //! JsonSink(&mut out).emit(&snapshot).unwrap();
-//! assert!(String::from_utf8(out).unwrap().contains("pgr-metrics/1"));
+//! assert!(String::from_utf8(out).unwrap().contains("pgr-metrics/2"));
 //! ```
 
 #![warn(missing_docs)]
@@ -58,12 +58,14 @@ mod metrics;
 pub mod names;
 mod recorder;
 mod sink;
+pub mod trace;
 
-pub use metrics::{Hist, Metrics};
-pub use recorder::{Recorder, Span, Stopwatch};
+pub use metrics::{Hist, Metrics, HIST_BUCKETS};
+pub use recorder::{Recorder, Span, Stopwatch, TraceSpan, DEFAULT_TRACE_CAPACITY};
 pub use sink::{JsonSink, Sink, TableSink};
+pub use trace::{Trace, TraceEvent, TraceId, TraceScope};
 
 /// The schema identifier stamped into every JSON metrics report. Bump it
 /// when the report *shape* changes; adding metric names is not a schema
-/// change.
-pub const SCHEMA: &str = "pgr-metrics/1";
+/// change. (v2: histograms grew log-bucketed quantile fields.)
+pub const SCHEMA: &str = "pgr-metrics/2";

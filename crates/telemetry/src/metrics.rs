@@ -3,30 +3,66 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-/// A compact histogram summary: count / sum / min / max. Used both for
-/// explicitly observed distributions and for span durations (in
-/// nanoseconds).
+/// Number of log2 buckets: one for zero, one per bit length 1..=64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed log-bucketed histogram: count / sum / min / max plus 65
+/// power-of-two buckets (one for zero, one per bit length), enough to
+/// estimate any quantile to within its bucket. Used both for explicitly
+/// observed distributions and for span durations (in nanoseconds).
+///
+/// `Hist::default()` is the merge identity (the `min` field holds a
+/// `u64::MAX` sentinel until the first observation; [`Hist::min_or_zero`]
+/// is the reporting form).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hist {
     /// Number of observations.
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
-    /// Smallest observed value.
+    /// Smallest observed value (`u64::MAX` until anything is observed).
     pub min: u64,
     /// Largest observed value.
     pub max: u64,
+    /// `buckets[0]` counts zeros; `buckets[b]` counts values in
+    /// `[2^(b-1), 2^b)` for `b` in 1..=64.
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    /// The empty histogram — the identity of [`Hist::merge`].
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index a value lands in: its bit length (0 for 0).
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `b`.
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    match b {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (b - 1), (1 << b) - 1),
+    }
 }
 
 impl Hist {
     /// A histogram holding a single observation.
     pub fn single(value: u64) -> Hist {
-        Hist {
-            count: 1,
-            sum: value,
-            min: value,
-            max: value,
-        }
+        let mut h = Hist::default();
+        h.observe(value);
+        h
     }
 
     /// Fold one more observation in.
@@ -35,15 +71,22 @@ impl Hist {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
     }
 
-    /// Merge two summaries (componentwise; commutative and associative).
+    /// Merge two summaries (componentwise; commutative and associative,
+    /// with [`Hist::default`] as the identity).
     pub fn merge(self, other: Hist) -> Hist {
+        let mut buckets = self.buckets;
+        for (slot, n) in buckets.iter_mut().zip(other.buckets) {
+            *slot += n;
+        }
         Hist {
             count: self.count + other.count,
             sum: self.sum.saturating_add(other.sum),
             min: self.min.min(other.min),
             max: self.max.max(other.max),
+            buckets,
         }
     }
 
@@ -54,6 +97,68 @@ impl Hist {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The minimum as reported (0 when empty, hiding the sentinel).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) of the observed
+    /// distribution: rank-walk the buckets, linearly interpolate within
+    /// the bucket holding the rank, clamp to `[min, max]`. The estimate
+    /// always lands in the same power-of-two bucket as the exact
+    /// quantile (property-tested in `tests/telemetry_quantiles.rs`).
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                // Position of the rank within this bucket, in [0, 1).
+                let pos = (rank - seen - 1) as f64 / n as f64;
+                let est = lo + ((hi - lo) as f64 * pos) as u64;
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The raw bucket counts (zeros bucket first, then bit lengths).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
     }
 }
 
@@ -109,19 +214,21 @@ impl Metrics {
 
     /// Fold `value` into the histogram `name`.
     pub fn observe(&mut self, name: impl Into<String>, value: u64) {
-        self.hists
-            .entry(name.into())
-            .and_modify(|h| h.observe(value))
-            .or_insert_with(|| Hist::single(value));
+        self.hists.entry(name.into()).or_default().observe(value);
+    }
+
+    /// Ensure the histogram `name` exists (empty if new), so it appears
+    /// in reports before its first observation. Serve pre-registers its
+    /// per-op request histograms this way: `stats` always shows every
+    /// op, quantiles and all, even before traffic arrives.
+    pub fn ensure_hist(&mut self, name: impl Into<String>) {
+        self.hists.entry(name.into()).or_default();
     }
 
     /// Fold one span duration into the timing summary at `path`.
     pub fn record_span(&mut self, path: impl Into<String>, duration: Duration) {
         let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
-        self.spans
-            .entry(path.into())
-            .and_modify(|h| h.observe(ns))
-            .or_insert_with(|| Hist::single(ns));
+        self.spans.entry(path.into()).or_default().observe(ns);
     }
 
     /// Absorb `other` into `self` (the in-place form of [`Metrics::merge`]).
@@ -134,16 +241,12 @@ impl Metrics {
             *slot = (*slot).max(v);
         }
         for (k, v) in other.hists {
-            self.hists
-                .entry(k)
-                .and_modify(|h| *h = h.merge(v))
-                .or_insert(v);
+            let slot = self.hists.entry(k).or_default();
+            *slot = slot.merge(v);
         }
         for (k, v) in other.spans {
-            self.spans
-                .entry(k)
-                .and_modify(|h| *h = h.merge(v))
-                .or_insert(v);
+            let slot = self.spans.entry(k).or_default();
+            *slot = slot.merge(v);
         }
     }
 
@@ -203,7 +306,8 @@ impl Metrics {
     /// Render the batch as a stable JSON document (see
     /// [`crate::SCHEMA`]): objects keyed by metric name under
     /// `"counters"`, `"gauges"`, `"histograms"`, and `"spans"`, with
-    /// deterministic (sorted) key order.
+    /// deterministic (sorted) key order. Histograms carry quantile
+    /// estimates; span summaries keep the flat pre-quantile shape.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\n  \"schema\": ");
@@ -230,8 +334,16 @@ impl Metrics {
             sep(&mut out, &mut first);
             push_json_str(&mut out, k);
             out.push_str(&format!(
-                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
-                h.count, h.sum, h.min, h.max
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                h.min_or_zero(),
+                h.max,
+                h.p50(),
+                h.p90(),
+                h.p95(),
+                h.p99()
             ));
         }
         out.push_str("\n  },\n  \"spans\": {");
@@ -241,7 +353,10 @@ impl Metrics {
             push_json_str(&mut out, k);
             out.push_str(&format!(
                 ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
-                h.count, h.sum, h.min, h.max
+                h.count,
+                h.sum,
+                h.min_or_zero(),
+                h.max
             ));
         }
         out.push_str("\n  }\n}\n");
@@ -284,13 +399,16 @@ impl Metrics {
             }
         }
         if !self.hists.is_empty() {
-            out.push_str("histograms (count / mean / min / max):\n");
+            out.push_str("histograms (count / mean / min / p50 / p90 / p99 / max):\n");
             for (k, h) in &self.hists {
                 out.push_str(&format!(
-                    "  {k:<width$}  {:>8}  {:>10.1}  {:>8}  {:>8}\n",
+                    "  {k:<width$}  {:>8}  {:>10.1}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
                     h.count,
                     h.mean(),
-                    h.min,
+                    h.min_or_zero(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.max
                 ));
             }
@@ -371,11 +489,69 @@ mod tests {
     }
 
     #[test]
+    fn buckets_cover_the_value_space() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_of(lo), b, "lower bound of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "upper bound of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        // Exact p50 is 50 (bucket [32,63]); estimate must land there.
+        let p50 = h.p50();
+        assert!((32..=63).contains(&p50), "p50 = {p50}");
+        // Exact p99 is 99 (bucket [64,100 clamped]); estimate in [64,100].
+        let p99 = h.p99();
+        assert!((64..=100).contains(&p99), "p99 = {p99}");
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+        // Degenerate distributions are exact.
+        let single = Hist::single(42);
+        assert_eq!(single.p50(), 42);
+        assert_eq!(single.p99(), 42);
+        assert_eq!(Hist::default().p50(), 0);
+        assert_eq!(Hist::default().min_or_zero(), 0);
+    }
+
+    #[test]
+    fn hist_merge_preserves_quantile_structure() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        let mut whole = Hist::default();
+        for v in 0..200u64 {
+            if v % 2 == 0 {
+                a.observe(v * 17 % 101);
+            } else {
+                b.observe(v * 17 % 101);
+            }
+            whole.observe(v * 17 % 101);
+        }
+        assert_eq!(a.merge(b), whole);
+        assert_eq!(Hist::default().merge(whole), whole);
+    }
+
+    #[test]
     fn json_is_parseable_and_complete() {
         let mut m = Metrics::new();
         m.add("earley.items_completed", 7);
         m.gauge_max("earley.chart_states_peak", 3);
         m.observe("seg.len", 11);
+        m.ensure_hist("pre.registered");
         m.record_span("compress.parse", Duration::from_micros(2));
         let doc = crate::json::parse(&m.to_json()).expect("valid JSON");
         assert_eq!(
@@ -387,9 +563,23 @@ mod tests {
             counters.get("earley.items_completed").unwrap().as_u64(),
             Some(7)
         );
+        let hist = doc.get("histograms").unwrap().get("seg.len").unwrap();
+        for field in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
+            assert!(hist.get(field).is_some(), "histogram field {field}");
+        }
+        assert_eq!(hist.get("p50").unwrap().as_u64(), Some(11));
+        // Pre-registered empty histograms report zeros, not sentinels.
+        let empty = doc
+            .get("histograms")
+            .unwrap()
+            .get("pre.registered")
+            .unwrap();
+        assert_eq!(empty.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(empty.get("min").unwrap().as_u64(), Some(0));
         let span = doc.get("spans").unwrap().get("compress.parse").unwrap();
         assert_eq!(span.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(span.get("total_ns").unwrap().as_u64(), Some(2000));
+        assert!(span.get("p50").is_none(), "spans keep the flat shape");
     }
 
     #[test]

@@ -169,9 +169,35 @@ pub const SERVE_REQUEST_RUN_MICROS: &str = "serve.request.run.micros";
 /// Serve histogram: end-to-end latency of `stats` requests, in
 /// microseconds.
 pub const SERVE_REQUEST_STATS_MICROS: &str = "serve.request.stats.micros";
+/// Serve: `compress` requests answered with an error response.
+pub const SERVE_REQUEST_COMPRESS_ERRORS: &str = "serve.request.compress.errors";
+/// Serve: `decompress` requests answered with an error response.
+pub const SERVE_REQUEST_DECOMPRESS_ERRORS: &str = "serve.request.decompress.errors";
+/// Serve: `run` requests answered with an error response.
+pub const SERVE_REQUEST_RUN_ERRORS: &str = "serve.request.run.errors";
+/// Serve: `stats` requests answered with an error response.
+pub const SERVE_REQUEST_STATS_ERRORS: &str = "serve.request.stats.errors";
+/// Serve: requests over the `--slow-ms` threshold whose span tree was
+/// dumped to the slow-trace NDJSON log.
+pub const SERVE_SLOW_REQUESTS: &str = "serve.slow.requests";
+/// Prefix of the per-operation serve request metric family
+/// (`serve.request.<op>.micros` / `serve.request.<op>.errors`).
+pub const SERVE_REQUEST_PREFIX: &str = "serve.request.";
 
 /// The per-opcode dispatch counter name for `opcode_name`
 /// (`vm.dispatch.ADDU`, …).
 pub fn vm_dispatch(opcode_name: &str) -> String {
     format!("{VM_DISPATCH_PREFIX}{opcode_name}")
+}
+
+/// The latency-histogram name for serve operation `op`
+/// (`serve.request.compress.micros`, …).
+pub fn serve_request_micros(op: &str) -> String {
+    format!("{SERVE_REQUEST_PREFIX}{op}.micros")
+}
+
+/// The error-counter name for serve operation `op`
+/// (`serve.request.compress.errors`, …).
+pub fn serve_request_errors(op: &str) -> String {
+    format!("{SERVE_REQUEST_PREFIX}{op}.errors")
 }

@@ -1,22 +1,60 @@
 //! The shared recorder handle, span guards, and the gated stopwatch.
 
 use crate::metrics::Metrics;
+use crate::trace::{self, Phase, Trace, TraceEvent, TraceId};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+/// Default trace-buffer capacity (events). Roomy enough for a full
+/// corpus compress at default settings; serve drains per-request so it
+/// never gets near this.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// The bounded trace-event buffer behind a tracing-enabled recorder.
+#[derive(Debug, Default)]
+struct TraceBuf {
+    /// The zero point for event timestamps, set when tracing turns on.
+    epoch: Option<Instant>,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuf {
+    fn push(&mut self, name: &str, phase: Phase) {
+        let Some(epoch) = self.epoch else { return };
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let ts_micros = u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            phase,
+            ts_micros,
+            lane: trace::lane(),
+            trace: trace::current(),
+        });
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     enabled: AtomicBool,
+    tracing: AtomicBool,
     metrics: Mutex<Metrics>,
+    trace: Mutex<TraceBuf>,
 }
 
 impl Inner {
     fn new(enabled: bool) -> Inner {
         Inner {
             enabled: AtomicBool::new(enabled),
+            tracing: AtomicBool::new(false),
             metrics: Mutex::new(Metrics::new()),
+            trace: Mutex::new(TraceBuf::default()),
         }
     }
 }
@@ -40,6 +78,13 @@ thread_local! {
 /// [`Recorder::new`] and threading the handle through the relevant
 /// config (`CompressorConfig`-adjacent builders, `TrainConfig`,
 /// `VmConfig`).
+///
+/// An enabled recorder can additionally have **tracing** switched on
+/// ([`Recorder::enable_tracing`]), which makes [`Recorder::span`] guards
+/// and the explicit `trace_*` hooks append begin/end events to a bounded
+/// buffer for export as Chrome `trace_event` JSON or per-request NDJSON
+/// (see [`crate::trace`]). Tracing is a second independent flag: metrics
+/// without tracing stays exactly as cheap as before.
 #[derive(Debug, Clone)]
 pub struct Recorder {
     inner: Arc<Inner>,
@@ -76,6 +121,101 @@ impl Recorder {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn on trace-event collection with a buffer of at most
+    /// `capacity` events (use [`DEFAULT_TRACE_CAPACITY`] unless you have
+    /// a reason). Returns `false` — and stays off — on a disabled
+    /// handle, so the shared [`Recorder::disabled`] singleton can never
+    /// start buffering. Enabling resets the timestamp epoch and clears
+    /// any previous buffer.
+    pub fn enable_tracing(&self, capacity: usize) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let mut buf = self.lock_trace();
+        *buf = TraceBuf {
+            epoch: Some(Instant::now()),
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        };
+        self.inner.tracing.store(true, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether trace events are being collected.
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.inner.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Record a begin event. No-op unless tracing.
+    pub fn trace_begin(&self, name: &str) {
+        if self.is_tracing() {
+            self.lock_trace().push(name, Phase::Begin);
+        }
+    }
+
+    /// Record an end event (must pair with a begin on the same thread).
+    pub fn trace_end(&self, name: &str) {
+        if self.is_tracing() {
+            self.lock_trace().push(name, Phase::End);
+        }
+    }
+
+    /// Record a point-in-time mark. No-op unless tracing.
+    pub fn trace_instant(&self, name: &str) {
+        if self.is_tracing() {
+            self.lock_trace().push(name, Phase::Instant);
+        }
+    }
+
+    /// Open a begin/end pair closed by the returned guard's drop. Unlike
+    /// [`Recorder::span`] this records no duration histogram and accepts
+    /// non-static names, so it suits per-request scopes whose names are
+    /// built at runtime. Inert (no allocation) unless tracing.
+    pub fn trace_span(&self, name: &str) -> TraceSpan<'_> {
+        if !self.is_tracing() {
+            return TraceSpan {
+                recorder: self,
+                name: None,
+            };
+        }
+        self.trace_begin(name);
+        TraceSpan {
+            recorder: self,
+            name: Some(name.to_string()),
+        }
+    }
+
+    /// Take everything traced so far, leaving the buffer empty (tracing
+    /// stays on; the epoch is preserved so timestamps keep advancing).
+    pub fn take_trace(&self) -> Trace {
+        let mut buf = self.lock_trace();
+        Trace {
+            events: std::mem::take(&mut buf.events),
+            dropped: std::mem::take(&mut buf.dropped),
+        }
+    }
+
+    /// Remove and return only the events attributed to `id`, leaving
+    /// other requests' in-flight events buffered. This is how serve
+    /// keeps the shared buffer bounded: every request drains its own
+    /// events at completion, dumping them only when slow.
+    pub fn drain_trace(&self, id: TraceId) -> Vec<TraceEvent> {
+        let mut buf = self.lock_trace();
+        let raw = id.as_u64();
+        let mut drained = Vec::new();
+        buf.events.retain(|ev| {
+            if ev.trace == raw {
+                drained.push(ev.clone());
+                false
+            } else {
+                true
+            }
+        });
+        drained
     }
 
     /// Add `n` to counter `name`. No-op when disabled.
@@ -120,18 +260,22 @@ impl Recorder {
 
     /// Open a timing span named `name`, nested under any span already
     /// open **on this thread**; the guard records `outer.inner` dotted
-    /// paths into the registry when dropped. Inert (no clock read, no
+    /// paths into the registry when dropped, and emits a begin/end
+    /// trace-event pair when tracing. Inert (no clock read, no
     /// allocation) when disabled.
     pub fn span(&self, name: &'static str) -> Span<'_> {
         if !self.is_enabled() {
             return Span {
                 recorder: self,
+                name,
                 start: None,
             };
         }
         SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        self.trace_begin(name);
         Span {
             recorder: self,
+            name,
             start: Some(Instant::now()),
         }
     }
@@ -150,14 +294,20 @@ impl Recorder {
     fn lock(&self) -> std::sync::MutexGuard<'_, Metrics> {
         self.inner.metrics.lock().expect("telemetry registry lock")
     }
+
+    fn lock_trace(&self) -> std::sync::MutexGuard<'_, TraceBuf> {
+        self.inner.trace.lock().expect("telemetry trace lock")
+    }
 }
 
 /// An RAII timing guard from [`Recorder::span`]. On drop it records the
 /// elapsed wall-clock time under the dotted path of every span open on
-/// this thread (`train`, `train.expand`, …).
+/// this thread (`train`, `train.expand`, …) and closes the matching
+/// trace event when tracing.
 #[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
 pub struct Span<'r> {
     recorder: &'r Recorder,
+    name: &'static str,
     start: Option<Instant>,
 }
 
@@ -174,6 +324,23 @@ impl Drop for Span<'_> {
             path
         });
         self.recorder.record_span(&path, elapsed);
+        self.recorder.trace_end(self.name);
+    }
+}
+
+/// An RAII trace-only guard from [`Recorder::trace_span`]: closes the
+/// begin event on drop, records nothing in the metrics registry.
+#[must_use = "a trace span marks the scope it is bound to; binding to _ drops it immediately"]
+pub struct TraceSpan<'r> {
+    recorder: &'r Recorder,
+    name: Option<String>,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            self.recorder.trace_end(&name);
+        }
     }
 }
 
@@ -271,6 +438,59 @@ mod tests {
         // The worker's stack was empty, so its span is top-level.
         assert!(r.snapshot().span_stat("worker").is_some());
         assert!(r.snapshot().span_stat("outer.worker").is_none());
+    }
+
+    #[test]
+    fn span_guards_emit_balanced_trace_events_when_tracing() {
+        let r = Recorder::new();
+        assert!(r.enable_tracing(1024));
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span("inner");
+        }
+        let trace = r.take_trace();
+        let names: Vec<(&str, Phase)> = trace
+            .events
+            .iter()
+            .map(|e| (e.name.as_str(), e.phase))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", Phase::Begin),
+                ("inner", Phase::Begin),
+                ("inner", Phase::End),
+                ("outer", Phase::End),
+            ]
+        );
+        // Metrics were still recorded alongside.
+        assert!(r.snapshot().span_stat("outer.inner").is_some());
+    }
+
+    #[test]
+    fn drain_trace_extracts_one_request_and_keeps_the_rest() {
+        let r = Recorder::new();
+        assert!(r.enable_tracing(1024));
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        {
+            let _s = trace::scope(a);
+            r.trace_instant("a1");
+        }
+        {
+            let _s = trace::scope(b);
+            r.trace_instant("b1");
+        }
+        {
+            let _s = trace::scope(a);
+            r.trace_instant("a2");
+        }
+        let drained = r.drain_trace(a);
+        assert_eq!(drained.len(), 2);
+        assert!(drained.iter().all(|e| e.trace == a.as_u64()));
+        let rest = r.take_trace();
+        assert_eq!(rest.events.len(), 1);
+        assert_eq!(rest.events[0].trace, b.as_u64());
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl<W: Write> Sink for TableSink<W> {
     }
 }
 
-/// Render as the stable `pgr-metrics/1` JSON document.
+/// Render as the stable `pgr-metrics/2` JSON document.
 pub struct JsonSink<W: Write>(pub W);
 
 impl<W: Write> Sink for JsonSink<W> {

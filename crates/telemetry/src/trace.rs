@@ -1,0 +1,424 @@
+//! Structured request tracing: trace ids, thread lanes, and the
+//! begin/end event stream behind `--trace-out` and slow-trace dumps.
+//!
+//! The metrics registry answers "how much, in aggregate"; this module
+//! answers "what happened, in order, on which thread, for which
+//! request". Three pieces:
+//!
+//! * **Trace ids** ([`TraceId`]) are minted per unit of attribution —
+//!   one per serve request, one per CLI invocation — and installed in a
+//!   thread-local *scope* ([`scope`]). Every trace event captures the
+//!   scope active on its thread, so a request's events can be pulled out
+//!   of the shared buffer even when requests interleave. Scopes are
+//!   explicitly propagated into worker pools (see
+//!   `Compressor::run_jobs`), because thread-locals do not cross
+//!   `thread::scope` boundaries on their own.
+//! * **Lanes** are per-thread integer ids assigned on first use; they
+//!   become `tid` values in the Chrome export, so the parallel compress
+//!   workers render as separate swim-lanes.
+//! * **Events** are begin/end (and instant) records with a microsecond
+//!   timestamp relative to the moment tracing was enabled. They are
+//!   appended to a bounded buffer on the [`Recorder`](crate::Recorder)
+//!   (`enable_tracing`), emitted by the same [`Span`](crate::Span)
+//!   guards that feed the span histograms plus explicit
+//!   `trace_begin`/`trace_end` hooks in paths too hot for guards.
+//!
+//! Export formats: [`Trace::to_chrome_json`] writes the Chrome
+//! `trace_event` array (load it in `chrome://tracing` or Perfetto);
+//! [`TraceEvent::to_ndjson`] writes one event per line for the serve
+//! slow-trace dump. [`validate_chrome_trace`] is the shared checker the
+//! golden tests and CI use: balanced, properly nested begin/end pairs
+//! per lane, monotone timestamps, nesting depth, lane count.
+
+use crate::json::{self, Value};
+use crate::metrics::push_json_str;
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide trace-id mint (0 is reserved for "unattributed").
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+/// Process-wide lane mint (0 means "not yet assigned to this thread").
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The trace id attributed to work on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// This thread's lane id (0 until first assigned).
+    static LANE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// An opaque per-request (or per-invocation) attribution id.
+///
+/// Ids are process-unique, minted from an atomic counter, and rendered
+/// as 16 hex digits — stable to grep for across a response line, a
+/// slow-trace dump, and a metrics report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Mint the next process-unique id.
+    pub fn mint() -> TraceId {
+        TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id value (never 0 for minted ids).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw value (e.g. parsed back from a response line).
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The 16-hex-digit rendering used in wire payloads and dumps.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The trace id currently attributed to this thread (0 = none). Workers
+/// capture this before spawning and re-install it with [`scope_raw`].
+pub fn current() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Attribute subsequent work on this thread to `id` until the returned
+/// guard drops (the previous attribution is restored).
+pub fn scope(id: TraceId) -> TraceScope {
+    scope_raw(id.0)
+}
+
+/// [`scope`] over a raw id — the propagation form (`scope_raw(current())`
+/// captured on the spawning thread re-attributes a worker).
+pub fn scope_raw(raw: u64) -> TraceScope {
+    let prev = CURRENT.with(|c| c.replace(raw));
+    TraceScope { prev }
+}
+
+/// RAII guard from [`scope`]; restores the previous attribution on drop.
+#[must_use = "a scope attributes the region it is bound to; binding to _ drops it immediately"]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// This thread's lane id, assigning one on first use. Lanes become `tid`
+/// values in the Chrome export.
+pub(crate) fn lane() -> u64 {
+    LANE.with(|l| {
+        let v = l.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+        l.set(v);
+        v
+    })
+}
+
+/// What kind of mark an event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A span opened (`ph:"B"`).
+    Begin,
+    /// A span closed (`ph:"E"`).
+    End,
+    /// A point-in-time mark (`ph:"i"`).
+    Instant,
+}
+
+impl Phase {
+    /// The Chrome `trace_event` phase letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span or mark name (dotted, like metric names).
+    pub name: String,
+    /// Begin / end / instant.
+    pub phase: Phase,
+    /// Microseconds since tracing was enabled.
+    pub ts_micros: u64,
+    /// The recording thread's lane (Chrome `tid`).
+    pub lane: u64,
+    /// The trace id attributed at record time (0 = unattributed).
+    pub trace: u64,
+}
+
+impl TraceEvent {
+    /// Append this event as one Chrome `trace_event` object.
+    fn push_chrome(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        push_json_str(out, &self.name);
+        out.push_str(&format!(
+            ",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            self.phase.letter(),
+            self.ts_micros,
+            self.lane
+        ));
+        if self.phase == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if self.trace != 0 {
+            out.push_str(&format!(",\"args\":{{\"trace\":\"{:016x}\"}}", self.trace));
+        }
+        out.push('}');
+    }
+
+    /// Render as one NDJSON line (no trailing newline): the slow-trace
+    /// dump format.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!("{{\"trace\":\"{:016x}\",\"name\":", self.trace));
+        push_json_str(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\"ph\":\"{}\",\"ts\":{},\"tid\":{}}}",
+            self.phase.letter(),
+            self.ts_micros,
+            self.lane
+        ));
+        out
+    }
+}
+
+/// A drained batch of trace events (see `Recorder::take_trace`).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in record order (globally ordered: the buffer is appended
+    /// under one lock, so per-lane timestamps are monotone).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the buffer hit its capacity.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Serialize as a Chrome `trace_event` JSON document, loadable by
+    /// `chrome://tracing` and Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            ev.push_chrome(&mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// The subset of events attributed to `id`, in record order.
+    pub fn events_for(&self, id: TraceId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.trace == id.0).collect()
+    }
+}
+
+/// What [`validate_chrome_trace`] measured about a well-formed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total begin/end/instant events.
+    pub events: usize,
+    /// Distinct lanes (Chrome `tid`s) that recorded at least one event.
+    pub lanes: usize,
+    /// Deepest begin/end nesting reached on any single lane.
+    pub max_depth: usize,
+}
+
+/// Check that `text` is a valid Chrome `trace_event` document with
+/// properly nested begin/end pairs: every `E` closes the matching open
+/// `B` on its lane, no lane ends with an open span, and per-lane
+/// timestamps never go backwards.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut max_depth = 0usize;
+    let mut counted = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| ev.get(key);
+        let name = field("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = field("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = field("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = field("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let prev = last_ts.entry(tid).or_insert(0);
+        if ts < *prev {
+            return Err(format!(
+                "event {i} ({name}): lane {tid} time went backwards"
+            ));
+        }
+        *prev = ts;
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: lane {tid} closes {name:?} while {open:?} is open"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: lane {tid} closes {name:?} with nothing open"
+                    ))
+                }
+            },
+            "i" | "M" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+        counted += 1;
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("lane {tid} ends with {open:?} still open"));
+        }
+    }
+    Ok(TraceSummary {
+        events: counted,
+        lanes: last_ts.len(),
+        max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn ids_are_unique_and_hex_renders_16_digits() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_eq!(a.to_hex().len(), 16);
+        assert_eq!(TraceId::from_u64(a.as_u64()), a);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current(), 0);
+        let outer = TraceId::mint();
+        let inner = TraceId::mint();
+        {
+            let _o = scope(outer);
+            assert_eq!(current(), outer.as_u64());
+            {
+                let _i = scope(inner);
+                assert_eq!(current(), inner.as_u64());
+            }
+            assert_eq!(current(), outer.as_u64());
+        }
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn events_attribute_to_the_active_scope_and_export_validly() {
+        let r = Recorder::new();
+        assert!(r.enable_tracing(1024));
+        let id = TraceId::mint();
+        {
+            let _s = scope(id);
+            let _outer = r.trace_span("outer");
+            let _inner = r.trace_span("inner");
+        }
+        r.trace_instant("unattributed");
+        let trace = r.take_trace();
+        assert_eq!(trace.events.len(), 5);
+        assert_eq!(trace.events_for(id).len(), 4);
+        let summary = validate_chrome_trace(&trace.to_chrome_json()).unwrap();
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.lanes, 1);
+        for line in trace.events.iter().map(TraceEvent::to_ndjson) {
+            crate::json::parse(&line).expect("NDJSON line parses");
+        }
+    }
+
+    #[test]
+    fn unbalanced_and_misnested_traces_are_rejected() {
+        let open = r#"{"traceEvents":[{"name":"a","ph":"B","ts":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(open).is_err());
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"tid":1},
+            {"name":"b","ph":"B","ts":2,"tid":1},
+            {"name":"a","ph":"E","ts":3,"tid":1},
+            {"name":"b","ph":"E","ts":4,"tid":1}]}"#;
+        assert!(validate_chrome_trace(crossed).is_err());
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"tid":1},
+            {"name":"a","ph":"E","ts":3,"tid":1}]}"#;
+        assert!(validate_chrome_trace(backwards).is_err());
+        // Separate lanes nest independently.
+        let lanes = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"tid":1},
+            {"name":"b","ph":"B","ts":2,"tid":2},
+            {"name":"b","ph":"E","ts":3,"tid":2},
+            {"name":"a","ph":"E","ts":4,"tid":1}]}"#;
+        let summary = validate_chrome_trace(lanes).unwrap();
+        assert_eq!(summary.lanes, 2);
+        assert_eq!(summary.max_depth, 1);
+    }
+
+    #[test]
+    fn buffer_capacity_bounds_growth() {
+        let r = Recorder::new();
+        assert!(r.enable_tracing(4));
+        for _ in 0..10 {
+            r.trace_instant("tick");
+        }
+        let trace = r.take_trace();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.dropped, 6);
+    }
+
+    #[test]
+    fn tracing_cannot_be_enabled_on_the_shared_disabled_recorder() {
+        let r = Recorder::disabled();
+        assert!(!r.enable_tracing(16));
+        assert!(!r.is_tracing());
+        r.trace_instant("nope");
+        let _guard = r.trace_span("nope");
+        assert!(r.take_trace().events.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The disabled-recorder fast path must stay zero-cost after the
+//! histogram/tracing upgrades: one relaxed atomic load per flush site,
+//! no allocations (counted by a wrapping global allocator), and no
+//! clock reads (a `Stopwatch::start_if(false)` never starts).
+
+use pgr_telemetry::{Recorder, Stopwatch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: defers entirely to the system allocator; only a counter is
+// added on the allocation path.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+#[test]
+fn disabled_recorder_fast_path_never_allocates_or_reads_the_clock() {
+    let r = Recorder::disabled();
+    assert!(!r.is_enabled());
+    assert!(!r.is_tracing());
+    // A disabled handle refuses to start tracing — the fast path must
+    // stay fast even if a caller tries.
+    assert!(!r.enable_tracing(1024));
+
+    // Warm up once so lazily-initialized runtime state (if any) is paid
+    // for outside the measured window.
+    r.add("warm.up", 1);
+    r.observe("warm.up.micros", 1);
+    drop(r.span("warm.up.span"));
+    drop(r.trace_span("warm.up.trace"));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        r.add("fast.counter", i);
+        r.observe("fast.hist", i);
+        r.gauge_max("fast.gauge", i);
+        r.trace_begin("fast.begin");
+        r.trace_end("fast.begin");
+        drop(r.span("fast.span"));
+        drop(r.trace_span("fast.trace"));
+        let sw = Stopwatch::start_if(r.is_enabled());
+        assert!(
+            !sw.is_running(),
+            "a disabled stopwatch must never touch the clock"
+        );
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "the disabled telemetry fast path allocated"
+    );
+}

@@ -1,0 +1,101 @@
+//! Property tests for the log-bucketed histogram: quantile estimates
+//! must land inside the bucket the exact quantile falls in, for
+//! arbitrary inputs and arbitrary merge splits.
+
+use pgr_telemetry::Hist;
+use proptest::prelude::*;
+
+/// The exact q-quantile by sorting: the value at ceil(q * n) rank
+/// (1-based), the same rank convention `Hist::quantile` estimates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Both bounds of the log2 bucket holding `v` — the guarantee is that
+/// the estimate lands in the same bucket (or exactly clamps to observed
+/// min/max).
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let b = 64 - v.leading_zeros();
+    if b >= 64 {
+        return (1 << 63, u64::MAX);
+    }
+    (1u64 << (b - 1), (1u64 << b) - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_estimates_stay_within_one_bucket_of_exact(
+        values in prop::collection::vec(0u64..=1_000_000_000, 1..300),
+    ) {
+        const QS: [f64; 8] = [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let mut h = Hist::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for q in QS {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let (lo, hi) = bucket_bounds(exact);
+            // Clamping to observed min/max can pull the estimate out of
+            // the bucket — but only toward the true order statistics.
+            let lo = lo.min(*sorted.last().unwrap()).max(sorted[0].min(lo));
+            prop_assert!(
+                (lo <= est && est <= hi) || est == sorted[0] || est == *sorted.last().unwrap(),
+                "q={q}: estimate {est} not in bucket [{lo},{hi}] of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_histograms_agree_with_one_big_histogram(
+        a in prop::collection::vec(0u64..=1_000_000, 0..100),
+        b in prop::collection::vec(0u64..=1_000_000, 0..100),
+    ) {
+        let mut ha = Hist::default();
+        let mut hb = Hist::default();
+        let mut hall = Hist::default();
+        for &v in &a {
+            ha.observe(v);
+            hall.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            hall.observe(v);
+        }
+        let merged = ha.merge(hb);
+        prop_assert_eq!(merged, hall);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..=u64::MAX / 2, 1..200),
+    ) {
+        let mut h = Hist::default();
+        for &v in &values {
+            h.observe(v);
+        }
+        let (p50, p90, p95, p99) = (h.p50(), h.p90(), h.p95(), h.p99());
+        prop_assert!(p50 <= p90 && p90 <= p95 && p95 <= p99);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert!(lo <= p50 && p99 <= hi);
+    }
+}
+
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Hist::default();
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p99(), 0);
+    assert_eq!(h.min_or_zero(), 0);
+}

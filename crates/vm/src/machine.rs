@@ -19,7 +19,7 @@ use crate::ruleprog::{self, RuleProgram, SegStep, SegTrace};
 use crate::value::Slot;
 use pgr_bytecode::{escape, GlobalEntry, Opcode, Procedure, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
-use pgr_telemetry::{names, Metrics, Recorder};
+use pgr_telemetry::{names, trace, Metrics, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -346,12 +346,19 @@ impl<'p> Vm<'p> {
     pub fn run(&mut self) -> Result<RunResult, VmError> {
         // Run on a dedicated thread with a generous stack: VM calls
         // recurse on the host stack, and debug-build frames are large.
+        // The interpreter thread gets its own trace lane; the caller's
+        // trace attribution is carried across explicitly (thread-locals
+        // don't cross `thread::scope`).
         let stack = self.host_stack_bytes;
+        let trace_ctx = trace::current();
         std::thread::scope(|scope| {
             std::thread::Builder::new()
                 .name("pgr-vm".into())
                 .stack_size(stack)
-                .spawn_scoped(scope, || self.run_on_this_thread())
+                .spawn_scoped(scope, || {
+                    let _trace = trace::scope_raw(trace_ctx);
+                    self.run_on_this_thread()
+                })
                 .expect("spawn interpreter thread")
                 .join()
                 .expect("interpreter thread never panics")
@@ -359,6 +366,8 @@ impl<'p> Vm<'p> {
     }
 
     fn run_on_this_thread(&mut self) -> Result<RunResult, VmError> {
+        let recorder = self.recorder.clone();
+        let _vm_span = recorder.trace_span("vm.run");
         let entry = self.program.entry as u16;
         let outcome = self.call_descriptor(entry);
         self.flush_telemetry();
@@ -519,6 +528,14 @@ impl<'p> Vm<'p> {
             args_base,
             locals_base,
         };
+        // Per-call begin/end trace events, named by procedure so the
+        // chrome://tracing flame graph reads like a call tree. Opened
+        // after every validation early-return so pairs stay balanced.
+        let call_name = (self.telemetry_on && self.recorder.is_tracing())
+            .then(|| format!("vm.call {}", proc.name));
+        if let Some(name) = &call_name {
+            self.recorder.trace_begin(name);
+        }
         let result = match self.repr {
             Repr::Plain => self.interp1(&frame),
             Repr::Compressed {
@@ -530,6 +547,9 @@ impl<'p> Vm<'p> {
                 None => self.interp_nt(&frame, grammar, start, byte_nt),
             },
         };
+        if let Some(name) = &call_name {
+            self.recorder.trace_end(name);
+        }
         self.depth -= 1;
         self.stack_next = saved_stack;
         result
