@@ -21,10 +21,25 @@ module and checks the contract the docs promise:
   * stats reports a populated serve.request.<op>.micros histogram with
     quantile fields (p50/p90/p95/p99) for every op exercised, plus the
     sliding-window aggregates and uptime,
+  * stats exposes the reactor's live queue depth and resident engine
+    count, and the batching histograms (serve.batch.size,
+    serve.batch.wait_micros) are populated once a compress has run,
   * shutdown is acknowledged before the server exits,
   * when a slow-trace path is given (the server ran with --slow-ms 0),
     the NDJSON dump exists, every line parses, and the header trace ids
     include the ids the client saw in its responses.
+
+Overload mode — run against a server started with a tiny queue (e.g.
+`--workers 1 --batch-window-us 200000 --max-queue 2`):
+
+    python3 ci/serve_smoke.py --overload <socket> <grammar-id> <image.pgrb>
+
+Pipelines 4x the queue bound of compress requests in one write and
+checks that admission control answers the overflow in-band — some
+requests succeed, the rest get `{"ok":false,"error":"overloaded"}` with
+a retry_after_ms hint — with every response delivered in request order
+on a connection that stays open, and that serve.rejected.overload and
+the window's rejected counter agree with what the client saw.
 
 The caller is expected to validate the server's emitted metrics file
 against schema/metrics.schema.json afterwards.
@@ -102,7 +117,65 @@ def check_slow_trace(path):
     print(f"serve smoke: slow-trace dump ok ({len(headers)} request trees)")
 
 
+def check_overload(path, grammar_id, image_path):
+    """Pipeline 8 compresses at a server with a tiny queue: overflow is
+    refused in-band, in order, without dropping the connection."""
+    original = open(image_path, "rb").read()
+    request = (
+        json.dumps(
+            {
+                "op": "compress",
+                "grammar": grammar_id,
+                "image": base64.b64encode(original).decode(),
+            }
+        )
+        + "\n"
+    ).encode()
+    client = Client(path)
+    burst = 8
+    client.sock.sendall(request * burst)
+    ok = overloaded = 0
+    for i in range(burst):
+        line = client.reader.readline()
+        if not line:
+            fail(f"connection dropped after {i} of {burst} pipelined responses")
+        resp = json.loads(line)
+        trace_of(resp)
+        if resp.get("ok"):
+            ok += 1
+        elif resp.get("error") == "overloaded":
+            if not isinstance(resp.get("retry_after_ms"), int) or resp["retry_after_ms"] < 1:
+                fail(f"overloaded response lacks a retry_after_ms hint: {resp}")
+            overloaded += 1
+        else:
+            fail(f"unexpected failure under load: {resp}")
+    if not ok or not overloaded:
+        fail(f"saturation did not split the burst: ok={ok} overloaded={overloaded}")
+
+    stats = client.call(op="stats")
+    if not stats.get("ok"):
+        fail(f"stats: {stats.get('error')}")
+    rejected = stats["metrics"]["counters"].get("serve.rejected.overload", 0)
+    if rejected != overloaded:
+        fail(f"serve.rejected.overload={rejected} but client saw {overloaded}")
+    if stats.get("window", {}).get("rejected") != overloaded:
+        fail(f"window rejected diverges from client: {stats.get('window')}")
+
+    down = client.call(op="shutdown")
+    if not down.get("ok"):
+        fail(f"shutdown: {down.get('error')}")
+    print(f"serve smoke: overload split {burst} pipelined requests into "
+          f"{ok} ok + {overloaded} in-band rejections")
+
+
 def main():
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--overload":
+        if len(argv) != 4:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_overload(*argv[1:])
+        return
     if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
@@ -181,11 +254,32 @@ def main():
             if not isinstance(hist.get(q), int):
                 fail(f"{name} lacks quantile {q}: {hist}")
 
+    # Reactor surface: live queue depth and resident engines, plus the
+    # batching histograms (every compress passes through the batcher, so
+    # a singleton dispatch still records a batch of one).
+    for field in ("queue_depth", "engines"):
+        if not isinstance(stats.get(field), int):
+            fail(f"stats lacks {field}: {list(stats)}")
+    if stats["engines"] < 1:
+        fail(f"stats reports no resident engines after compressing: {stats['engines']}")
+    for name in ("serve.batch.size", "serve.batch.wait_micros"):
+        hist = histograms.get(name)
+        if not isinstance(hist, dict):
+            fail(f"stats lacks the {name} histogram")
+        if name == "serve.batch.size" and hist.get("count", 0) < 1:
+            fail(f"{name} never recorded a dispatch: {hist}")
+
     window = stats.get("window")
     if not isinstance(window, dict):
         fail(f"stats lacks a window object: {list(stats)}")
     if window.get("requests", 0) < 1:
         fail(f"window saw no requests: {window}")
+    if not isinstance(window.get("rejected"), int):
+        fail(f"window lacks a rejected counter: {window}")
+    for agg in ("batch_size", "batch_wait"):
+        entry = window.get(agg)
+        if not isinstance(entry, dict) or not isinstance(entry.get("count"), int):
+            fail(f"window lacks a {agg} aggregate: {window}")
     for op, entry in window.get("ops", {}).items():
         for field in ("count", "p50", "p90", "p95", "p99", "max"):
             if not isinstance(entry.get(field), int):

@@ -94,6 +94,8 @@ fn usage() -> String {
      \x20 cgen -g <grammar> [-p <image>] -o <dir>\n\
      \x20 registry <add <g.pgrg> [--label TEXT] | list | rm <id> | gc [<keep-id>...]>\n\
      \x20 serve --socket <path> [--max-budget ITEMS[,COLUMNS]] [--threads N]\n\
+     \x20     [--workers N] [--batch-window-us N] [--max-connections N]\n\
+     \x20     [--max-queue N] [--max-engines N] [--thread-per-conn]\n\
      \x20     [--slow-ms N [--slow-trace <out.ndjson>]]\n\
      \x20 top --socket <path> [--interval-ms N] [--iterations N]\n\
      \x20 metrics-check <metrics.json>\n\
@@ -155,6 +157,11 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--slow-trace"
             || a == "--interval-ms"
             || a == "--iterations"
+            || a == "--workers"
+            || a == "--batch-window-us"
+            || a == "--max-connections"
+            || a == "--max-queue"
+            || a == "--max-engines"
         {
             skip = true;
             continue;
@@ -951,6 +958,19 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
         ),
         None => None,
     };
+    let uint = |name: &str, default: u64| -> Result<u64, String> {
+        match opt_value(args, name) {
+            Some(v) => v.parse::<u64>().map_err(|_| format!("bad {name} {v:?}")),
+            None => Ok(default),
+        }
+    };
+    let defaults = ServeConfig::default();
+    let workers = uint("--workers", defaults.workers as u64)? as usize;
+    let batch_window_us = uint("--batch-window-us", defaults.batch_window_us)?;
+    let max_connections = uint("--max-connections", defaults.max_connections as u64)? as usize;
+    let max_queue = uint("--max-queue", defaults.max_queue as u64)? as usize;
+    let max_engines = uint("--max-engines", defaults.max_engines as u64)? as usize;
+    let thread_per_conn = flag(args, "--thread-per-conn");
     let slow_trace: Option<std::path::PathBuf> = opt_value(args, "--slow-trace").map(Into::into);
     if slow_trace.is_some() && slow_ms.is_none() {
         return Err("--slow-trace needs --slow-ms <threshold>".into());
@@ -974,6 +994,12 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
             recorder,
             slow_ms,
             slow_trace,
+            workers,
+            batch_window_us,
+            max_connections,
+            max_queue,
+            max_engines,
+            thread_per_conn,
         },
     )
     .map_err(pipeline_err)?;
@@ -1029,6 +1055,30 @@ pub fn render_top(response: &str) -> Result<String, String> {
         fnum(window, "rps"),
         num(window, "errors"),
         100.0 * fnum(window, "error_rate"),
+    );
+    // Backpressure and batching at a glance: the live queue depth and
+    // resident-engine count, the window's rejected count/rate, and the
+    // window's batch-size / batch-wait quantiles.
+    let rejected = num(window, "rejected");
+    let win_requests = num(window, "requests");
+    let rejected_pct = if win_requests == 0 {
+        0.0
+    } else {
+        100.0 * rejected as f64 / win_requests as f64
+    };
+    let batch_size = window.get("batch_size");
+    let batch_wait = window.get("batch_wait");
+    let quant = |h: Option<&Value>, key: &str| h.map_or(0, |h| num(h, key));
+    let _ = writeln!(
+        out,
+        "queue depth {}   engines {}   rejected {rejected} ({rejected_pct:.2}%)   \
+         batch size p50/p99 {}/{}   batch wait µs p50/p99 {}/{}",
+        num(&doc, "queue_depth"),
+        num(&doc, "engines"),
+        quant(batch_size, "p50"),
+        quant(batch_size, "p99"),
+        quant(batch_wait, "p50"),
+        quant(batch_wait, "p99"),
     );
     out.push('\n');
     let _ = writeln!(

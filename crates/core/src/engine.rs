@@ -295,8 +295,12 @@ impl SegmentCache {
     }
 }
 
-/// One unit of parallel work: a straight-line segment of one procedure.
+/// One unit of parallel work: a straight-line segment of one procedure
+/// of one batch entry. `entry` indexes the program the segment belongs
+/// to, so a single fan-out can serve many programs at once
+/// ([`Compressor::compress_batch`]).
 struct Job {
+    entry: usize,
     proc: usize,
     range: Range<usize>,
 }
@@ -309,6 +313,53 @@ enum Event {
     /// A `LABELV` at this original offset: record the current output
     /// length as its compressed offset.
     Label(usize),
+}
+
+/// One batch entry's plan: its canonical program, the per-procedure
+/// assembly scripts (whose [`Event::Segment`] indices address the
+/// *global* job list), and the contiguous global job range the entry
+/// owns.
+struct EntryPlan {
+    canon: Program,
+    scripts: Vec<Vec<Event>>,
+    canonicalize_time: Duration,
+    job_range: Range<usize>,
+}
+
+/// Plan one canonical program: push one job per non-empty straight-line
+/// segment onto the shared job list (tagged with `entry`) and return the
+/// per-procedure assembly scripts.
+fn plan_jobs(canon: &Program, entry: usize, jobs: &mut Vec<Job>) -> Vec<Vec<Event>> {
+    let mut scripts: Vec<Vec<Event>> = Vec::with_capacity(canon.procs.len());
+    for (pi, proc) in canon.procs.iter().enumerate() {
+        let mut script = Vec::new();
+        let mut seg_start = 0usize;
+        for insn in instrs(&proc.code) {
+            let insn = insn.expect("canonical code decodes");
+            if insn.opcode == Opcode::LABELV {
+                if insn.offset > seg_start {
+                    script.push(Event::Segment(jobs.len()));
+                    jobs.push(Job {
+                        entry,
+                        proc: pi,
+                        range: seg_start..insn.offset,
+                    });
+                }
+                script.push(Event::Label(insn.offset));
+                seg_start = insn.offset + 1;
+            }
+        }
+        if proc.code.len() > seg_start {
+            script.push(Event::Segment(jobs.len()));
+            jobs.push(Job {
+                entry,
+                proc: pi,
+                range: seg_start..proc.code.len(),
+            });
+        }
+        scripts.push(script);
+    }
+    scripts
 }
 
 /// The product of one encoded segment.
@@ -506,63 +557,146 @@ impl<'g> Compressor<'g> {
         program: &Program,
         budget: EarleyBudget,
     ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
-        let timed = self.timings_on();
+        self.compress_batch(&[(program, budget)])
+            .pop()
+            .expect("one entry in, one result out")
+    }
 
-        let trace_canon = self.recorder.trace_span(names::SPAN_COMPRESS_CANONICALIZE);
-        let sw = Stopwatch::start_if(timed);
-        let canon = canonicalize_program(program)?;
-        let canonicalize_time = sw.elapsed();
-        drop(trace_canon);
+    /// Compress several programs in one engine dispatch.
+    ///
+    /// All entries' segments are planned up front and fanned out across
+    /// the worker pool as a *single* job list, so a batch of concurrent
+    /// requests shares one parallel stride and one derivation-cache epoch
+    /// instead of paying per-call dispatch overhead. Entries are
+    /// independent: each gets its own `Result`, in input order, and a
+    /// failing entry never affects its neighbours.
+    ///
+    /// Output is byte-identical to calling
+    /// [`Compressor::compress_budgeted`] once per entry: segment encoding
+    /// is deterministic given the grammar and budget, and the shared
+    /// cache only ever holds successful (budget-invariant) parses.
+    pub fn compress_batch(
+        &self,
+        entries: &[(&Program, EarleyBudget)],
+    ) -> Vec<Result<(CompressedProgram, CompressionStats), CompressError>> {
+        let timed = self.timings_on();
 
         let cache_hits_before = self.cache_hits.load(Ordering::Relaxed);
         let cache_misses_before = self.cache_misses.load(Ordering::Relaxed);
         let cache_poisoned_before = self.cache_poisoned.load(Ordering::Relaxed);
 
-        // Plan: one job per non-empty straight-line segment, plus the
-        // assembly script (segments and labels in code order) per
-        // procedure.
+        // Plan: per entry, one job per non-empty straight-line segment,
+        // plus the assembly script (segments and labels in code order)
+        // per procedure. Jobs land in one flat list — each entry's jobs
+        // are contiguous at `job_range` — so a single fan-out covers the
+        // whole batch.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut scripts: Vec<Vec<Event>> = Vec::with_capacity(canon.procs.len());
-        for (pi, proc) in canon.procs.iter().enumerate() {
-            let mut script = Vec::new();
-            let mut seg_start = 0usize;
-            for insn in instrs(&proc.code) {
-                let insn = insn.expect("canonical code decodes");
-                if insn.opcode == Opcode::LABELV {
-                    if insn.offset > seg_start {
-                        script.push(Event::Segment(jobs.len()));
-                        jobs.push(Job {
-                            proc: pi,
-                            range: seg_start..insn.offset,
-                        });
-                    }
-                    script.push(Event::Label(insn.offset));
-                    seg_start = insn.offset + 1;
+        let mut plans: Vec<Result<EntryPlan, CompressError>> = Vec::with_capacity(entries.len());
+        for (entry, &(program, _)) in entries.iter().enumerate() {
+            let trace_canon = self.recorder.trace_span(names::SPAN_COMPRESS_CANONICALIZE);
+            let sw = Stopwatch::start_if(timed);
+            let canon = match canonicalize_program(program) {
+                Ok(canon) => canon,
+                Err(error) => {
+                    plans.push(Err(error.into()));
+                    continue;
                 }
-            }
-            if proc.code.len() > seg_start {
-                script.push(Event::Segment(jobs.len()));
-                jobs.push(Job {
-                    proc: pi,
-                    range: seg_start..proc.code.len(),
-                });
-            }
-            scripts.push(script);
-        }
+            };
+            let canonicalize_time = sw.elapsed();
+            drop(trace_canon);
 
-        // Encode: fan segments out across the worker pool.
-        let trace_encode = self.recorder.trace_span("compress.encode");
-        let results = self.run_jobs(&canon, &jobs, budget);
-        let mut encoded: Vec<EncodedSegment> = Vec::with_capacity(results.len());
-        for result in results {
-            encoded.push(result?); // first failure in job (= code) order
+            let job_start = jobs.len();
+            let scripts = plan_jobs(&canon, entry, &mut jobs);
+            plans.push(Ok(EntryPlan {
+                canon,
+                scripts,
+                canonicalize_time,
+                job_range: job_start..jobs.len(),
+            }));
         }
+        let budgets: Vec<EarleyBudget> = entries.iter().map(|&(_, budget)| budget).collect();
+
+        // Encode: fan every entry's segments out across the worker pool
+        // in one stride.
+        let trace_encode = self.recorder.trace_span("compress.encode");
+        let results = self.run_jobs(&plans, &jobs, &budgets);
+        let mut results: Vec<Option<Result<EncodedSegment, CompressError>>> =
+            results.into_iter().map(Some).collect();
         drop(trace_encode);
 
-        // Emit: reassemble procedures in order, rewriting label tables to
-        // compressed-stream offsets (§3).
+        // Emit: per entry, reassemble procedures in order, rewriting
+        // label tables to compressed-stream offsets (§3).
+        let mut out: Vec<Result<(CompressedProgram, CompressionStats), CompressError>> =
+            Vec::with_capacity(entries.len());
+        for plan in plans {
+            let plan = match plan {
+                Ok(plan) => plan,
+                Err(error) => {
+                    out.push(Err(error));
+                    continue;
+                }
+            };
+            let base = plan.job_range.start;
+            let mut encoded: Vec<EncodedSegment> = Vec::with_capacity(plan.job_range.len());
+            let mut failed = None;
+            for i in plan.job_range.clone() {
+                // First failure in job (= code) order wins, matching the
+                // single-call path.
+                match results[i].take().expect("every job ran once") {
+                    Ok(segment) => encoded.push(segment),
+                    Err(error) => {
+                        failed = Some(error);
+                        break;
+                    }
+                }
+            }
+            if let Some(error) = failed {
+                out.push(Err(error));
+                continue;
+            }
+            out.push(Ok(self.emit_entry(plan, base, &encoded, timed)));
+        }
+
+        if self.recorder.is_enabled() {
+            // Cache and poisoning deltas are measured over the whole
+            // batch (workers interleave entries, so per-entry attribution
+            // is meaningless); totals match serial dispatch. Pinned by
+            // the metrics schema: always emitted, zero or not.
+            let mut batch = Metrics::new();
+            batch.add(
+                names::CACHE_HITS,
+                self.cache_hits.load(Ordering::Relaxed) - cache_hits_before,
+            );
+            batch.add(
+                names::CACHE_MISSES,
+                self.cache_misses.load(Ordering::Relaxed) - cache_misses_before,
+            );
+            batch.add(
+                names::COMPRESS_CACHE_POISONED,
+                self.cache_poisoned.load(Ordering::Relaxed) - cache_poisoned_before,
+            );
+            let cache = self.cache_stats();
+            batch.gauge_max(names::CACHE_ENTRIES, cache.entries as u64);
+            batch.gauge_max(names::CACHE_CAPACITY, cache.capacity as u64);
+            self.recorder.record(batch);
+        }
+
+        out
+    }
+
+    /// Reassemble one planned entry from its encoded segments and record
+    /// its per-entry telemetry. `base` is the entry's first global job
+    /// index (scripts address jobs globally).
+    fn emit_entry(
+        &self,
+        plan: EntryPlan,
+        base: usize,
+        encoded: &[EncodedSegment],
+        timed: bool,
+    ) -> (CompressedProgram, CompressionStats) {
         let trace_emit = self.recorder.trace_span(names::SPAN_COMPRESS_EMIT);
         let sw = Stopwatch::start_if(timed);
+        let canon = plan.canon;
         let mut stats = CompressionStats::default();
         let mut out = canon.clone();
         for (pi, proc) in canon.procs.iter().enumerate() {
@@ -572,16 +706,17 @@ impl<'g> Compressor<'g> {
                 original_code: proc.code.len(),
                 ..CompressionStats::default()
             };
-            for event in &scripts[pi] {
+            for event in &plan.scripts[pi] {
                 match *event {
                     Event::Segment(job) => {
-                        code.extend_from_slice(&encoded[job].bytes);
+                        let seg = &encoded[job - base];
+                        code.extend_from_slice(&seg.bytes);
                         proc_stats = proc_stats.merge(CompressionStats {
                             segments: 1,
-                            fallback_segments: usize::from(encoded[job].fallback),
+                            fallback_segments: usize::from(seg.fallback),
                             timings: PhaseTimings {
-                                tokenize: encoded[job].tokenize,
-                                parse: encoded[job].parse,
+                                tokenize: seg.tokenize,
+                                parse: seg.parse,
                                 ..PhaseTimings::default()
                             },
                             ..CompressionStats::default()
@@ -612,7 +747,7 @@ impl<'g> Compressor<'g> {
                 needs_trampoline: proc.needs_trampoline,
             };
         }
-        stats.timings.canonicalize = canonicalize_time;
+        stats.timings.canonicalize = plan.canonicalize_time;
         stats.timings.emit = sw.elapsed();
         drop(trace_emit);
 
@@ -625,27 +760,12 @@ impl<'g> Compressor<'g> {
                 names::COMPRESS_COMPRESSED_BYTES,
                 stats.compressed_code as u64,
             );
-            batch.add(
-                names::CACHE_HITS,
-                self.cache_hits.load(Ordering::Relaxed) - cache_hits_before,
-            );
-            batch.add(
-                names::CACHE_MISSES,
-                self.cache_misses.load(Ordering::Relaxed) - cache_misses_before,
-            );
             // Pinned by the metrics schema: always emitted, zero or not,
             // so schema validation sees the keys on every compress run.
             batch.add(
                 names::COMPRESS_FALLBACK_SEGMENTS,
                 stats.fallback_segments as u64,
             );
-            batch.add(
-                names::COMPRESS_CACHE_POISONED,
-                self.cache_poisoned.load(Ordering::Relaxed) - cache_poisoned_before,
-            );
-            let cache = self.cache_stats();
-            batch.gauge_max(names::CACHE_ENTRIES, cache.entries as u64);
-            batch.gauge_max(names::CACHE_CAPACITY, cache.capacity as u64);
             // The worker phases are measured per segment on worker
             // threads and summed, so they land here as direct span
             // records rather than thread-local span guards.
@@ -659,7 +779,7 @@ impl<'g> Compressor<'g> {
             self.recorder.record(batch);
         }
 
-        Ok((CompressedProgram { program: out }, stats))
+        (CompressedProgram { program: out }, stats)
     }
 
     /// Decompress a program compressed under this engine's grammar (the
@@ -684,10 +804,16 @@ impl<'g> Compressor<'g> {
     /// [`ChartArena`] for everything it encodes.
     fn run_jobs(
         &self,
-        canon: &Program,
+        plans: &[Result<EntryPlan, CompressError>],
         jobs: &[Job],
-        budget: EarleyBudget,
+        budgets: &[EarleyBudget],
     ) -> Vec<Result<EncodedSegment, CompressError>> {
+        let proc_of = |job: &Job| -> &Procedure {
+            let plan = plans[job.entry]
+                .as_ref()
+                .expect("jobs exist only for planned entries");
+            &plan.canon.procs[job.proc]
+        };
         let threads = self.threads.min(jobs.len()).max(1);
         if threads == 1 {
             let mut arena = ChartArena::new();
@@ -696,9 +822,9 @@ impl<'g> Compressor<'g> {
                 .map(|job| {
                     self.encode_segment_isolated(
                         &mut arena,
-                        &canon.procs[job.proc],
+                        proc_of(job),
                         job.range.clone(),
-                        budget,
+                        budgets[job.entry],
                     )
                 })
                 .collect();
@@ -712,6 +838,7 @@ impl<'g> Compressor<'g> {
             (0..jobs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let batches = &batches;
+            let proc_of = &proc_of;
             let workers: Vec<_> = (0..threads)
                 .map(|w| {
                     scope.spawn(move || {
@@ -726,9 +853,9 @@ impl<'g> Compressor<'g> {
                                     i,
                                     self.encode_segment_isolated(
                                         &mut arena,
-                                        &canon.procs[job.proc],
+                                        proc_of(job),
                                         job.range.clone(),
-                                        budget,
+                                        budgets[job.entry],
                                     ),
                                 ));
                             }
@@ -967,7 +1094,11 @@ entry f
     fn batches_cover_all_jobs_exactly_once() {
         let jobs: Vec<Job> = [0..5, 5..9, 9..10, 10..40, 40..41]
             .into_iter()
-            .map(|range| Job { proc: 0, range })
+            .map(|range| Job {
+                entry: 0,
+                proc: 0,
+                range,
+            })
             .collect();
         for batch_bytes in [0, 1, 4, 9, 17, 1 << 20] {
             let batches = plan_batches(&jobs, batch_bytes);
@@ -1237,5 +1368,70 @@ entry f
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn compress_batch_is_bytewise_identical_to_serial_dispatch() {
+        let ig = InitialGrammar::build();
+        // Program variants differing only in one literal, plus repeats:
+        // the batch mixes fresh parses and memo-cache hits.
+        let programs: Vec<Program> = [1, 7, 1, 13, 7]
+            .into_iter()
+            .map(|lit| assemble(&SAMPLE.replace("LIT1 1", &format!("LIT1 {lit}"))).unwrap())
+            .collect();
+        let ample = pgr_earley::EarleyBudget::UNLIMITED;
+        let fresh = |threads: usize| {
+            Compressor::with_config(
+                &ig.grammar,
+                ig.nt_start,
+                CompressorConfig::default().threads(threads),
+            )
+        };
+        let check = |threads: usize, entries: &[(&Program, pgr_earley::EarleyBudget)]| {
+            // Fresh engine per dispatch style: both start from the same
+            // (empty) cache state, like a serve engine at either end of
+            // a batch window.
+            let batched = fresh(threads).compress_batch(entries);
+            assert_eq!(batched.len(), entries.len());
+            let serial_engine = fresh(threads);
+            for (i, (got, (program, budget))) in batched.iter().zip(entries).enumerate() {
+                let want = serial_engine.compress_budgeted(program, *budget).unwrap();
+                let got = got.as_ref().unwrap();
+                assert_eq!(got.0, want.0, "entry {i}, threads {threads}");
+                assert_eq!(
+                    (
+                        got.1.compressed_code,
+                        got.1.segments,
+                        got.1.fallback_segments
+                    ),
+                    (
+                        want.1.compressed_code,
+                        want.1.segments,
+                        want.1.fallback_segments
+                    ),
+                    "entry {i}, threads {threads}"
+                );
+            }
+        };
+
+        // Uniform budgets: identical at any thread count (successful
+        // parses are budget- and schedule-invariant).
+        for threads in [1, 3] {
+            let entries: Vec<(&Program, pgr_earley::EarleyBudget)> =
+                programs.iter().map(|p| (p, ample)).collect();
+            check(threads, &entries);
+        }
+
+        // Mixed per-entry budgets, single worker: batch job order equals
+        // serial call order, so cache evolution — and therefore which
+        // starved segments luck into budget-free cache hits — matches
+        // exactly.
+        let starved = pgr_earley::EarleyBudget::default().max_items(1);
+        let entries: Vec<(&Program, pgr_earley::EarleyBudget)> = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, if i % 2 == 0 { ample } else { starved }))
+            .collect();
+        check(1, &entries);
     }
 }

@@ -28,10 +28,21 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
 pub mod id;
 pub mod proto;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod reactor;
 pub mod serve;
 pub mod store;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod sys;
 pub mod window;
 
 pub use id::{sha256, GrammarId, ID_LEN};

@@ -98,7 +98,7 @@ pub(crate) fn json_string(s: &str) -> String {
 
 /// Incrementally build one response line. Purely syntactic — the field
 /// vocabulary lives with each request handler in [`crate::serve`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ResponseLine {
     fields: Vec<String>,
 }
@@ -123,6 +123,17 @@ impl ResponseLine {
         format!(
             "{{\"ok\":false,\"error\":\"{}\",\"trace\":\"{}\",\"micros\":{micros}}}",
             json_escape(message),
+            json_escape(trace_hex),
+        )
+    }
+
+    /// Build a complete admission-control rejection: an in-band
+    /// `overloaded` error telling the client how long to back off before
+    /// retrying. The error token is fixed so clients can match on it.
+    pub fn overloaded(retry_after_ms: u64, trace_hex: &str) -> String {
+        format!(
+            "{{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\
+             \"trace\":\"{}\"}}",
             json_escape(trace_hex),
         )
     }

@@ -1,0 +1,681 @@
+//! The epoll-driven serve core: one event thread, a fixed worker pool,
+//! per-connection NDJSON framing, same-grammar batching, and in-band
+//! backpressure.
+//!
+//! The event thread owns every socket. It accepts on the (nonblocking)
+//! listener, reads whatever bytes are ready, frames complete request
+//! lines, and *routes* them — `compress` lines naming a grammar go to
+//! the [`Batcher`], everything else is queued to the worker pool
+//! directly. Workers never touch a socket: they hand finished
+//! [`Done`] responses back through a completion list and wake the
+//! event thread over an eventfd ([`WakeFd`]), which writes each
+//! response on its connection in request (`seq`) order — a protocol
+//! invariant pipelined clients rely on, upheld for rejections too.
+//!
+//! Batching is adaptive. A pending batch flushes immediately while a
+//! worker sits idle with an empty queue — a lone request never pays the
+//! window — and otherwise waits out
+//! [`ReactorConfig::batch_window`] for company, the deadline doubling
+//! as the epoll timeout. Backpressure is layered and always in-band:
+//! beyond [`ReactorConfig::max_connections`] a new connection gets one
+//! `overloaded` line and is closed; beyond [`ReactorConfig::max_queue`]
+//! pending same-grammar requests (or four times that across the whole
+//! queue for singles), a request is answered
+//! `{"ok":false,"error":"overloaded","retry_after_ms":N}` without
+//! touching an engine. A client that keeps pipelining past its own
+//! unanswered requests has its reads paused until responses drain, so
+//! per-connection buffers stay bounded as well.
+//!
+//! Shutdown is a drain, not a cliff: once a worker handles a `shutdown`
+//! request the event thread stops accepting, pauses every read, force-
+//! flushes held batches, and keeps polling until every dispatched
+//! request has produced a response and every response byte is written —
+//! then joins the pool and returns.
+
+use crate::batch::{Batcher, Done, PendingRequest};
+use crate::serve::{handle_batch, handle_single, State};
+use crate::sys::{
+    EpollEvent, Interest, Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use pgr_telemetry::{names, TraceId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reactor-specific knobs, split off [`crate::serve::ServeConfig`] by
+/// [`crate::Server::run`].
+pub(crate) struct ReactorConfig {
+    /// Worker threads handling requests (0 = one per CPU).
+    pub workers: usize,
+    /// How long a pending batch may wait for company.
+    pub batch_window: Duration,
+    /// Connection-table bound.
+    pub max_connections: usize,
+    /// Per-grammar pending-batch bound; ×4, the global bound on queued
+    /// single requests.
+    pub max_queue: usize,
+}
+
+/// Epoll token of the listener.
+const LISTENER: u64 = 0;
+/// Epoll token of the worker-completion eventfd.
+const WAKE: u64 = 1;
+/// First connection token.
+const FIRST_CONN: u64 = 2;
+
+/// `retry_after_ms` hint when the connection table is full — new
+/// connections, unlike queued requests, have no batch window to key off.
+const CONN_RETRY_AFTER_MS: u64 = 100;
+
+/// One unit of work for the pool.
+enum Work {
+    /// A request handled on its own (`decompress`, `run`, `stats`, …).
+    Single(PendingRequest),
+    /// A flushed same-grammar compress batch: one engine dispatch.
+    Batch(crate::batch::Batch),
+    /// Poison pill: the reactor is done, exit the worker loop.
+    Shutdown,
+}
+
+/// What the event thread shares with the workers.
+struct Pool {
+    queue: Mutex<VecDeque<Work>>,
+    available: Condvar,
+    /// Workers currently handling a work item (for the adaptive flush
+    /// heuristic: flush early only when someone is free to start now).
+    busy: AtomicUsize,
+    /// Requests handed to the pool whose responses have not yet been
+    /// collected by the event thread — the shutdown-drain counter.
+    outstanding: AtomicU64,
+    /// Finished responses, drained by the event thread on wake.
+    completions: Mutex<Vec<Done>>,
+    wake: Arc<WakeFd>,
+    state: Arc<State>,
+}
+
+impl Pool {
+    fn push(&self, work: Work) {
+        let requests = match &work {
+            Work::Single(_) => 1,
+            Work::Batch(batch) => batch.requests.len() as u64,
+            Work::Shutdown => 0,
+        };
+        self.outstanding.fetch_add(requests, Ordering::Relaxed);
+        self.queue.lock().expect("work queue lock").push_back(work);
+        self.available.notify_one();
+    }
+
+    /// Whether dispatching right now would start immediately: the queue
+    /// is empty and at least one worker is free.
+    fn can_start_now(&self, workers: usize) -> bool {
+        self.busy.load(Ordering::Relaxed) < workers
+            && self.queue.lock().expect("work queue lock").is_empty()
+    }
+}
+
+/// The worker loop: pop, handle, hand the response back, wake the
+/// event thread.
+fn worker(pool: &Pool) {
+    loop {
+        let work = {
+            let mut queue = pool.queue.lock().expect("work queue lock");
+            loop {
+                if let Some(work) = queue.pop_front() {
+                    break work;
+                }
+                queue = pool.available.wait(queue).expect("work queue lock");
+            }
+        };
+        pool.busy.fetch_add(1, Ordering::Relaxed);
+        let done = match work {
+            Work::Single(req) => {
+                pool.state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                vec![handle_single(&pool.state, req)]
+            }
+            Work::Batch(batch) => {
+                pool.state
+                    .queue_depth
+                    .fetch_sub(batch.requests.len() as u64, Ordering::Relaxed);
+                handle_batch(&pool.state, batch)
+            }
+            Work::Shutdown => {
+                pool.busy.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        pool.completions
+            .lock()
+            .expect("completion list lock")
+            .extend(done);
+        pool.busy.fetch_sub(1, Ordering::Relaxed);
+        pool.wake.wake();
+    }
+}
+
+/// One connection's reactor-side state.
+struct Conn {
+    /// This connection's epoll token — the address completions carry.
+    token: u64,
+    stream: UnixStream,
+    /// Bytes read but not yet framed into a complete line.
+    read_buf: Vec<u8>,
+    /// Serialized responses waiting for the socket to accept them.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` is already written.
+    write_pos: usize,
+    /// Next sequence number to assign to an arriving request.
+    next_seq: u64,
+    /// The sequence number the next written response must carry.
+    next_write: u64,
+    /// Out-of-order completions parked until their turn.
+    ready: BTreeMap<u64, String>,
+    /// Peer sent EOF (or the read side failed): no more requests.
+    read_closed: bool,
+    /// What the poller currently watches this fd for.
+    registered: Interest,
+}
+
+impl Conn {
+    /// Requests accepted from this connection and not yet answered on
+    /// the wire.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    /// Whether every accepted request has been answered and flushed.
+    fn flushed(&self) -> bool {
+        self.in_flight() == 0 && self.write_pos == self.write_buf.len()
+    }
+}
+
+/// Extract the string value of a top-level `"key":"value"` pair by
+/// lexical scan — no allocation, no parse. Only trustworthy on lines
+/// with **no backslash** (checked by the caller): without escapes, a
+/// JSON string cannot contain `"`, so quote-delimited tokens are exact.
+/// Returns `None` on anything surprising; the caller then falls back to
+/// the single-request path, which does a full parse.
+fn scan_str_field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let bytes = line.as_bytes();
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(at) = line[from..].find(&needle) {
+        let mut i = from + at + needle.len();
+        while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b':' {
+            i += 1;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'"' {
+                let start = i + 1;
+                let end = line[start..].find('"')? + start;
+                return Some(&line[start..end]);
+            }
+            // A key match with a non-string value: not what we want.
+            return None;
+        }
+        // Matched a string *value* spelled like the key; keep looking.
+        from = from + at + needle.len();
+    }
+    None
+}
+
+/// Where a framed request line should go.
+enum Route<'l> {
+    /// A compress naming this grammar: batchable.
+    Batch(&'l str),
+    /// Everything else — including anything the scan cannot vouch for.
+    Single,
+}
+
+/// Classify a line with [`scan_str_field`]. Conservative by design:
+/// misrouting *into* a batch is caught by `handle_batch`'s full parse
+/// (it diverts mismatches back to the single path), and misrouting out
+/// of one only forgoes coalescing.
+fn route(line: &str) -> Route<'_> {
+    if line.contains('\\') {
+        // Escapes defeat the lexical scan; let the real parser decide.
+        return Route::Single;
+    }
+    match (scan_str_field(line, "op"), scan_str_field(line, "grammar")) {
+        (Some("compress"), Some(grammar)) => Route::Batch(grammar),
+        _ => Route::Single,
+    }
+}
+
+/// The reactor proper. Runs on the calling thread until shutdown has
+/// fully drained; returns early only on unrecoverable poller errors.
+pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let wake = Arc::new(WakeFd::new()?);
+    let read_only = Interest {
+        readable: true,
+        writable: false,
+    };
+    poller.add(listener.as_raw_fd(), LISTENER, read_only)?;
+    poller.add(wake.as_raw_fd(), WAKE, read_only)?;
+
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.workers
+    };
+    let pool = Arc::new(Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        busy: AtomicUsize::new(0),
+        outstanding: AtomicU64::new(0),
+        completions: Mutex::new(Vec::new()),
+        wake: Arc::clone(&wake),
+        state: Arc::clone(&state),
+    });
+    let mut pool_handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let pool = Arc::clone(&pool);
+        pool_handles.push(std::thread::spawn(move || worker(&pool)));
+    }
+
+    let mut batcher = Batcher::new(cfg.batch_window, cfg.max_queue.max(1));
+    // The bound on one connection's unanswered pipeline; past it the
+    // reactor stops reading that socket until responses drain.
+    let pipeline_bound = (cfg.max_queue.saturating_mul(4)).max(16) as u64;
+    // The bound on queued single requests, across all connections.
+    let singles_bound = (cfg.max_queue.saturating_mul(4)).max(1) as u64;
+    let queue_retry_ms = (cfg.batch_window.as_millis() as u64).max(1);
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut listening = true;
+    let mut draining = false;
+    let mut events = vec![EpollEvent::default(); 64];
+
+    loop {
+        let timeout = if draining {
+            // Completions wake us; this is only a safety tick.
+            Some(Duration::from_millis(20))
+        } else {
+            batcher
+                .next_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+        };
+        let fired = poller.wait(&mut events, timeout)?;
+
+        for event in &events[..fired] {
+            let readiness = event.readiness();
+            match event.token() {
+                LISTENER => accept_ready(
+                    &state,
+                    &poller,
+                    &listener,
+                    &mut conns,
+                    &mut next_token,
+                    &cfg,
+                    read_only,
+                ),
+                WAKE => wake.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue; // closed earlier this sweep
+                    };
+                    if readiness & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+                        read_ready(conn);
+                    }
+                    if readiness & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0 {
+                        write_some(conn);
+                    }
+                }
+            }
+        }
+
+        // Frame and route whatever the reads produced. A paused
+        // connection's buffered lines are reconsidered every sweep, so
+        // responses draining (below) unblocks its pipeline.
+        for conn in conns.values_mut() {
+            ingest(
+                &state,
+                &pool,
+                &mut batcher,
+                conn,
+                draining,
+                pipeline_bound,
+                singles_bound,
+                queue_retry_ms,
+            );
+        }
+
+        // Apply worker completions: park each response under its seq,
+        // then write everything now in order.
+        let done = std::mem::take(&mut *pool.completions.lock().expect("completion list lock"));
+        pool.outstanding
+            .fetch_sub(done.len() as u64, Ordering::Relaxed);
+        for d in done {
+            if let Some(conn) = conns.get_mut(&d.conn) {
+                conn.ready.insert(d.seq, d.response);
+            }
+            // A vanished connection means the peer hung up before its
+            // answer: nothing to write to.
+        }
+        for conn in conns.values_mut() {
+            promote_ready(conn);
+        }
+
+        // A worker saw `shutdown`: stop accepting, stop reading, flush
+        // every held batch, and drain.
+        if !draining && !state.running.load(Ordering::SeqCst) {
+            draining = true;
+            if listening {
+                let _ = poller.delete(listener.as_raw_fd());
+                listening = false;
+            }
+        }
+
+        // Flush batches: due ones always; everything while a worker
+        // could start it immediately (or the server is draining) —
+        // holding a batch nobody is ahead of only adds latency.
+        let now = Instant::now();
+        let force = draining || pool.can_start_now(workers);
+        for batch in batcher.take_due(now, force) {
+            pool.push(Work::Batch(batch));
+        }
+
+        // Sync each connection's epoll interest with what it can
+        // currently make progress on, and reap finished connections.
+        let mut closed: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut conns {
+            let gone = conn.read_closed && conn.flushed() && conn.ready.is_empty();
+            if gone || (draining && conn.flushed()) {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+                closed.push(token);
+                continue;
+            }
+            let want = Interest {
+                readable: !draining && !conn.read_closed && conn.in_flight() < pipeline_bound,
+                writable: conn.write_pos < conn.write_buf.len(),
+            };
+            if want != conn.registered
+                && poller.modify(conn.stream.as_raw_fd(), token, want).is_ok()
+            {
+                conn.registered = want;
+            }
+        }
+        for token in closed {
+            conns.remove(&token);
+        }
+
+        if draining
+            && pool.outstanding.load(Ordering::Relaxed) == 0
+            && batcher.held() == 0
+            && conns.values().all(Conn::flushed)
+        {
+            break;
+        }
+    }
+
+    for _ in 0..workers {
+        pool.push(Work::Shutdown);
+    }
+    pool.available.notify_all();
+    for handle in pool_handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Accept every pending connection; beyond the table bound, answer one
+/// `overloaded` line best-effort and close.
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    state: &State,
+    poller: &Poller,
+    listener: &UnixListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    cfg: &ReactorConfig,
+    read_only: Interest,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conns.len() >= cfg.max_connections.max(1) {
+                    reject_connection(state, stream);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let token = *next_token;
+                *next_token += 1;
+                if poller.add(stream.as_raw_fd(), token, read_only).is_err() {
+                    continue;
+                }
+                state.recorder.add(names::SERVE_CONNECTIONS, 1);
+                conns.insert(
+                    token,
+                    Conn {
+                        token,
+                        stream,
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        next_seq: 0,
+                        next_write: 0,
+                        ready: BTreeMap::new(),
+                        read_closed: false,
+                        registered: read_only,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Turn away a connection the table has no room for: one in-band
+/// `overloaded` line (best effort — the socket buffer is empty, so a
+/// short nonblocking write only fails if the peer is already gone).
+fn reject_connection(state: &State, stream: UnixStream) {
+    let mut stream = stream;
+    record_rejection(state);
+    let line =
+        crate::proto::ResponseLine::overloaded(CONN_RETRY_AFTER_MS, &TraceId::mint().to_hex());
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+/// Count one admission-control rejection everywhere it is observable.
+fn record_rejection(state: &State) {
+    state.recorder.add(names::SERVE_REQUESTS, 1);
+    state.recorder.add(names::SERVE_ERRORS, 1);
+    state.recorder.add(names::SERVE_REJECTED_OVERLOAD, 1);
+    state
+        .window
+        .lock()
+        .expect("window lock")
+        .record_rejected(state.start.elapsed().as_secs());
+}
+
+/// Read whatever is available into the connection's buffer. EOF and
+/// read errors both mean "no more requests"; queued responses still get
+/// written.
+fn read_ready(conn: &mut Conn) {
+    if conn.read_closed {
+        return;
+    }
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.read_closed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Frame complete lines out of the read buffer and route each, up to
+/// the connection's pipeline bound.
+#[allow(clippy::too_many_arguments)]
+fn ingest(
+    state: &Arc<State>,
+    pool: &Pool,
+    batcher: &mut Batcher,
+    conn: &mut Conn,
+    draining: bool,
+    pipeline_bound: u64,
+    singles_bound: u64,
+    queue_retry_ms: u64,
+) {
+    if draining {
+        // Lines still buffered when shutdown lands were never accepted;
+        // only already-dispatched requests are owed responses.
+        return;
+    }
+    while conn.in_flight() < pipeline_bound {
+        let Some(nl) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+            return;
+        };
+        let line_bytes: Vec<u8> = conn.read_buf.drain(..=nl).collect();
+        let Ok(text) = std::str::from_utf8(&line_bytes[..nl]) else {
+            // Not UTF-8, so not JSON either; let the normal handler
+            // produce the parse-error response (lossily decoded).
+            let text = String::from_utf8_lossy(&line_bytes[..nl]).into_owned();
+            dispatch_single(state, pool, conn, text, singles_bound, queue_retry_ms);
+            continue;
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match route(line) {
+            Route::Batch(grammar) => {
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let request = PendingRequest {
+                    conn: conn.token,
+                    seq,
+                    line: line.to_string(),
+                    received: Instant::now(),
+                    trace: TraceId::mint(),
+                };
+                let grammar = grammar.to_string();
+                match batcher.push(&grammar, request) {
+                    Ok(()) => bump_queue_depth(state),
+                    Err(bounced) => {
+                        record_rejection(state);
+                        conn.ready.insert(
+                            bounced.seq,
+                            crate::proto::ResponseLine::overloaded(
+                                queue_retry_ms,
+                                &bounced.trace.to_hex(),
+                            ),
+                        );
+                    }
+                }
+            }
+            Route::Single => {
+                dispatch_single(
+                    state,
+                    pool,
+                    conn,
+                    line.to_string(),
+                    singles_bound,
+                    queue_retry_ms,
+                );
+            }
+        }
+        promote_ready(conn);
+    }
+}
+
+/// Queue one request for individual handling, applying the global
+/// singles bound (stats and shutdown are exempt: operators must be able
+/// to observe and stop an overloaded server).
+fn dispatch_single(
+    state: &Arc<State>,
+    pool: &Pool,
+    conn: &mut Conn,
+    line: String,
+    singles_bound: u64,
+    queue_retry_ms: u64,
+) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    let trace = TraceId::mint();
+    let exempt = line.contains("\"stats\"") || line.contains("\"shutdown\"");
+    if !exempt && state.queue_depth.load(Ordering::Relaxed) >= singles_bound {
+        record_rejection(state);
+        conn.ready.insert(
+            seq,
+            crate::proto::ResponseLine::overloaded(queue_retry_ms, &trace.to_hex()),
+        );
+        return;
+    }
+    bump_queue_depth(state);
+    pool.push(Work::Single(PendingRequest {
+        conn: conn.token,
+        seq,
+        line,
+        received: Instant::now(),
+        trace,
+    }));
+}
+
+/// Count a request into the queue-depth gauge.
+fn bump_queue_depth(state: &State) {
+    let depth = state.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    state.recorder.gauge_max(names::SERVE_QUEUE_DEPTH, depth);
+}
+
+/// Move responses whose turn has come from the parking map into the
+/// write buffer, then push bytes.
+fn promote_ready(conn: &mut Conn) {
+    while let Some(response) = conn.ready.remove(&conn.next_write) {
+        conn.write_buf.extend_from_slice(response.as_bytes());
+        conn.write_buf.push(b'\n');
+        conn.next_write += 1;
+    }
+    write_some(conn);
+}
+
+/// Write as much buffered response data as the socket accepts.
+fn write_some(conn: &mut Conn) {
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => break,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Peer is gone: discard what it will never read so the
+                // connection counts as flushed and can be reaped.
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                conn.ready.clear();
+                conn.next_write = conn.next_seq;
+                conn.read_closed = true;
+                return;
+            }
+        }
+    }
+    if conn.write_pos == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+}

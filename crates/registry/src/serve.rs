@@ -1,20 +1,35 @@
 //! The `pgr` request server: NDJSON over a Unix socket, backed by the
 //! grammar registry.
 //!
-//! One [`Server`] owns one [`Registry`] and a map of *engines* — a
-//! loaded grammar plus a [`Compressor`] whose derivation cache is shared
-//! by every request that names that grammar. Connections get a thread
-//! each; inside a connection, requests are handled in order. Admission
-//! control is per request: a declared [`EarleyBudget`] is clamped to the
-//! server's ceiling before the compressor sees it, so one greedy request
-//! degrades itself (to verbatim fallback) without starving neighbours,
-//! and a worker panic surfaces as that request's error response, not a
-//! dead server.
+//! One [`Server`] owns one [`Registry`] and a sharded map of *engines* —
+//! a loaded grammar plus a [`Compressor`] whose derivation cache is
+//! shared by every request that names that grammar. The default
+//! transport is an epoll reactor (see [`crate::reactor`]): one event
+//! thread owns every socket in nonblocking mode, frames NDJSON
+//! incrementally, and hands complete requests to a fixed worker pool;
+//! responses are written back in per-connection request order however
+//! the pool completes them. Same-grammar `compress` requests arriving
+//! within [`ServeConfig::batch_window_us`] coalesce into one engine
+//! dispatch (see [`crate::batch`]); `decompress`/`run`/`stats` stay
+//! per-request. [`ServeConfig::thread_per_conn`] selects the legacy
+//! thread-per-connection transport (also the non-Linux fallback and the
+//! benchmark baseline).
 //!
-//! Loaded grammars are intentionally leaked (`Box::leak`): the engine
-//! map needs `&'static Grammar` for [`Compressor`]'s borrow, the leak is
-//! bounded (once per distinct grammar id) and the server is a long-lived
-//! process; its address space *is* the cache.
+//! Admission control is layered: per request, a declared
+//! [`EarleyBudget`] is clamped to the server's ceiling before the
+//! compressor sees it, so one greedy request degrades itself (to
+//! verbatim fallback) without starving neighbours; per server,
+//! [`ServeConfig::max_connections`] bounds the connection table and
+//! [`ServeConfig::max_queue`] bounds each grammar's pending batch —
+//! overflow is answered in-band with
+//! `{"ok":false,"error":"overloaded","retry_after_ms":N}` rather than
+//! queued unboundedly, counted under `serve.rejected.overload`. A worker
+//! panic surfaces as that request's error response, not a dead server.
+//!
+//! Engines are evicted least-recently-used once
+//! [`ServeConfig::max_engines`] are resident, and drop cleanly — the
+//! grammar is a heap allocation the engine owns (no `Box::leak`), so a
+//! many-tenant server's memory stays bounded.
 //!
 //! Every request is minted a [`TraceId`] and handled under its trace
 //! scope, so spans recorded anywhere below — engine workers, the Earley
@@ -31,6 +46,7 @@
 //! per-grammar quantiles for the trailing minute. A `stats` request
 //! snapshots all of it, including itself.
 
+use crate::batch::{Batch, Done, PendingRequest};
 use crate::id::GrammarId;
 use crate::proto::{base64_decode, base64_encode, json_string, ResponseLine};
 use crate::store::{Registry, RegistryError};
@@ -48,7 +64,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -76,6 +92,28 @@ pub struct ServeConfig {
     /// Where the slow-trace NDJSON log goes. Defaults to the socket path
     /// with a `.slow.ndjson` extension. Ignored unless `slow_ms` is set.
     pub slow_trace: Option<PathBuf>,
+    /// Request-handling worker threads in the reactor's pool (0 = one
+    /// per CPU). Distinct from `threads`, which sizes each engine's
+    /// *segment-encoding* fan-out within one dispatch.
+    pub workers: usize,
+    /// How long a pending same-grammar compress batch may wait for
+    /// company, in microseconds. The reactor flushes early whenever
+    /// workers sit idle, so a lone request never pays the window.
+    pub batch_window_us: u64,
+    /// Connection-table bound; connections beyond it are answered with
+    /// an in-band `overloaded` line and closed.
+    pub max_connections: usize,
+    /// Per-grammar pending-batch bound (and, ×4, the bound on queued
+    /// non-compress requests). Overflow is answered `overloaded`.
+    pub max_queue: usize,
+    /// Resident-engine bound: loading a grammar beyond it evicts the
+    /// least-recently-used engine (which reloads on next use).
+    pub max_engines: usize,
+    /// Use the legacy thread-per-connection transport instead of the
+    /// reactor. Batching, queue bounds, and `max_connections` only apply
+    /// to the reactor; this mode is the benchmark baseline and the
+    /// fallback on platforms without epoll.
+    pub thread_per_conn: bool,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +125,12 @@ impl Default for ServeConfig {
             recorder: Recorder::new(),
             slow_ms: None,
             slow_trace: None,
+            workers: 0,
+            batch_window_us: 200,
+            max_connections: 1024,
+            max_queue: 64,
+            max_engines: 64,
+            thread_per_conn: false,
         }
     }
 }
@@ -111,6 +155,12 @@ pub enum ServeError {
         /// The OS error text.
         message: String,
     },
+    /// The epoll reactor failed to stand up or died on a transport
+    /// fault (never a per-request failure).
+    Reactor {
+        /// The OS error text.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -123,6 +173,9 @@ impl fmt::Display for ServeError {
             ServeError::SlowLog { path, message } => {
                 write!(f, "cannot open slow-trace log {path}: {message}")
             }
+            ServeError::Reactor { message } => {
+                write!(f, "serve reactor failed: {message}")
+            }
         }
     }
 }
@@ -131,7 +184,9 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Registry(e) => Some(e),
-            ServeError::Bind { .. } | ServeError::SlowLog { .. } => None,
+            ServeError::Bind { .. } | ServeError::SlowLog { .. } | ServeError::Reactor { .. } => {
+                None
+            }
         }
     }
 }
@@ -142,28 +197,186 @@ impl From<RegistryError> for ServeError {
     }
 }
 
-/// One loaded grammar: the leaked grammar, its interpreter handles, and
-/// a compressor whose derivation cache all requests for this grammar
-/// share.
-struct Engine {
-    id: GrammarId,
-    grammar: &'static Grammar,
-    start: Nt,
-    byte_nt: Nt,
-    compressor: Compressor<'static>,
+/// One loaded grammar: the grammar allocation itself, its interpreter
+/// handles, and a compressor whose derivation cache all requests for
+/// this grammar share.
+///
+/// The struct is self-referential — `compressor` borrows `grammar`'s
+/// heap allocation — which is what lets an evicted engine *drop*
+/// instead of leaking the way the old `Box::leak` map did. Soundness
+/// rests on three invariants, all local to this type: the `Box` gives
+/// the grammar a stable heap address (moving the `Engine` moves the
+/// pointer, not the pointee); `grammar` is never mutated, replaced, or
+/// taken for the engine's lifetime; and `compressor` is declared first,
+/// so it drops before the allocation it borrows.
+pub(crate) struct Engine {
+    pub(crate) id: GrammarId,
+    pub(crate) start: Nt,
+    pub(crate) byte_nt: Nt,
+    pub(crate) compressor: Compressor<'static>,
+    grammar: Box<Grammar>,
 }
 
-struct State {
-    registry: Registry,
-    engines: Mutex<HashMap<GrammarId, Arc<Engine>>>,
+impl Engine {
+    fn new(
+        id: GrammarId,
+        file: pgr_grammar::GrammarFile,
+        config: CompressorConfig,
+        recorder: Recorder,
+    ) -> Arc<Engine> {
+        let grammar = Box::new(file.grammar);
+        // SAFETY: the reference is to the boxed heap allocation, whose
+        // address is stable under moves of the box and which lives until
+        // `Engine::drop` — where `compressor` (the only borrower, and
+        // the field declared first) is dropped before it. The 'static
+        // lifetime never escapes the Engine: every public access borrows
+        // through `&self`.
+        let grammar_ref: &'static Grammar = unsafe { &*(grammar.as_ref() as *const Grammar) };
+        let compressor = Compressor::with_recorder(grammar_ref, file.start, config, recorder);
+        Arc::new(Engine {
+            id,
+            start: file.start,
+            byte_nt: file.byte_nt,
+            compressor,
+            grammar,
+        })
+    }
+
+    /// The engine's grammar, reborrowed at `&self`'s lifetime.
+    pub(crate) fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+}
+
+/// How many shards the engine map splits into. Requests hash by grammar
+/// id, so multi-tenant load spreads across locks instead of serializing
+/// on one.
+const ENGINE_SHARD_COUNT: usize = 8;
+
+struct ShardEntry {
+    engine: Arc<Engine>,
+    /// Global LRU tick at last use.
+    last_used: u64,
+}
+
+/// The sharded, LRU-bounded engine map.
+pub(crate) struct EngineShards {
+    shards: Vec<Mutex<HashMap<GrammarId, ShardEntry>>>,
+    max_engines: usize,
+    /// Monotonic use counter; per-entry `last_used` snapshots order the
+    /// LRU scan.
+    clock: AtomicU64,
+    /// Engines resident across all shards.
+    resident: AtomicU64,
+}
+
+impl EngineShards {
+    fn new(max_engines: usize) -> EngineShards {
+        EngineShards {
+            shards: (0..ENGINE_SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            max_engines: max_engines.max(1),
+            clock: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, id: &GrammarId) -> &Mutex<HashMap<GrammarId, ShardEntry>> {
+        // Grammar ids are SHA-256, so any byte is uniformly distributed.
+        &self.shards[id.as_bytes()[0] as usize % self.shards.len()]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up an engine, refreshing its LRU position.
+    fn get(&self, id: &GrammarId) -> Option<Arc<Engine>> {
+        let mut shard = self.shard_of(id).lock().expect("engine shard lock");
+        let entry = shard.get_mut(id)?;
+        entry.last_used = self.tick();
+        Some(Arc::clone(&entry.engine))
+    }
+
+    /// Insert an engine loaded outside the lock, evicting LRU engines
+    /// first if the map is at its bound. If a racing loader beat us to
+    /// this id, their engine wins (and ours drops) so the map never
+    /// double-counts.
+    fn insert(&self, engine: Arc<Engine>, recorder: &Recorder) -> Arc<Engine> {
+        while self.resident.load(Ordering::Relaxed) >= self.max_engines as u64 {
+            if !self.evict_lru(recorder) {
+                break;
+            }
+        }
+        let id = engine.id;
+        let mut shard = self.shard_of(&id).lock().expect("engine shard lock");
+        match shard.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut racing) => {
+                racing.get_mut().last_used = self.tick();
+                Arc::clone(&racing.get().engine)
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(ShardEntry {
+                    engine: Arc::clone(&engine),
+                    last_used: self.tick(),
+                });
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                engine
+            }
+        }
+    }
+
+    /// Evict the globally least-recently-used engine. Shards are locked
+    /// one at a time (scan, then re-lock the winner), so a concurrent
+    /// touch can save an engine — the bound is enforced, strict LRU is
+    /// best-effort. Returns whether anything was evicted.
+    fn evict_lru(&self, recorder: &Recorder) -> bool {
+        let mut oldest: Option<(usize, GrammarId, u64)> = None;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("engine shard lock");
+            for (id, entry) in shard.iter() {
+                if oldest.is_none_or(|(_, _, t)| entry.last_used < t) {
+                    oldest = Some((si, *id, entry.last_used));
+                }
+            }
+        }
+        let Some((si, id, seen)) = oldest else {
+            return false;
+        };
+        let mut shard = self.shards[si].lock().expect("engine shard lock");
+        if shard.get(&id).is_some_and(|e| e.last_used == seen) {
+            shard.remove(&id);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            recorder.add(names::SERVE_ENGINES_EVICTED, 1);
+            true
+        } else {
+            // Touched (or already gone) since the scan: treat the
+            // attempt as progress and let the caller re-check the bound.
+            true
+        }
+    }
+
+    /// Engines currently resident across all shards.
+    pub(crate) fn len(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct State {
+    pub(crate) registry: Registry,
+    pub(crate) engines: EngineShards,
     max_budget: EarleyBudget,
     threads: usize,
-    recorder: Recorder,
-    running: AtomicBool,
-    socket: PathBuf,
+    pub(crate) recorder: Recorder,
+    pub(crate) running: AtomicBool,
+    pub(crate) socket: PathBuf,
     /// Server start, the zero point for uptime and the sliding window.
-    start: Instant,
-    window: Mutex<SlidingWindow>,
+    pub(crate) start: Instant,
+    pub(crate) window: Mutex<SlidingWindow>,
+    /// Requests accepted but not yet picked up by a worker (batch-held
+    /// included); the live value behind `serve.queue.depth`.
+    pub(crate) queue_depth: AtomicU64,
     /// Slow-request threshold in micros, when slow tracing is on.
     slow_micros: Option<u64>,
     /// The open slow-trace NDJSON log, when slow tracing is on.
@@ -189,32 +402,21 @@ fn error_chain(e: &dyn std::error::Error) -> String {
 
 impl State {
     /// Get (loading and caching if needed) the engine for a grammar id.
+    /// The registry read happens outside any shard lock; a racing load
+    /// of the same id is resolved by [`EngineShards::insert`].
     fn engine_for(&self, id: GrammarId) -> Result<Arc<Engine>, RegistryError> {
-        let mut engines = self.engines.lock().expect("engine map lock");
-        if let Some(engine) = engines.get(&id) {
-            return Ok(Arc::clone(engine));
+        if let Some(engine) = self.engines.get(&id) {
+            return Ok(engine);
         }
         let file = self.registry.load(&id)?;
-        // Bounded leak: once per distinct grammar, for the life of the
-        // process, in exchange for a 'static borrow the engine map and
-        // every worker thread can share.
-        let grammar: &'static Grammar = Box::leak(Box::new(file.grammar));
         let config = CompressorConfig::builder()
             .threads(self.threads)
             .earley_budget(self.max_budget)
             .build();
-        let compressor =
-            Compressor::with_recorder(grammar, file.start, config, self.recorder.clone());
-        let engine = Arc::new(Engine {
-            id,
-            grammar,
-            start: file.start,
-            byte_nt: file.byte_nt,
-            compressor,
-        });
-        engines.insert(id, Arc::clone(&engine));
+        let engine = Engine::new(id, file, config, self.recorder.clone());
+        let engine = self.engines.insert(engine, &self.recorder);
         self.recorder
-            .gauge_max(names::SERVE_GRAMMARS_LOADED, engines.len() as u64);
+            .gauge_max(names::SERVE_GRAMMARS_LOADED, self.engines.len());
         Ok(engine)
     }
 
@@ -236,9 +438,21 @@ impl State {
         self.engine_for(id).map_err(|e| error_chain(&e))
     }
 
-    /// Clamp a request's declared budget to the server ceiling. Returns
-    /// the admitted budget and whether clamping happened.
+    /// Clamp a request's declared budget to the server ceiling, counting
+    /// the clamp. Returns the admitted budget and whether clamping
+    /// happened.
     fn admit_budget(&self, doc: &Value) -> (EarleyBudget, bool) {
+        let (admitted, clamped) = self.admit_budget_quiet(doc);
+        if clamped {
+            self.recorder.add(names::SERVE_BUDGET_CLAMPED, 1);
+        }
+        (admitted, clamped)
+    }
+
+    /// [`State::admit_budget`] without the counter — the batch path
+    /// admits once per *distinct* request line but counts once per
+    /// request, so it does its own accounting.
+    fn admit_budget_quiet(&self, doc: &Value) -> (EarleyBudget, bool) {
         let Some(declared) = doc.get("budget") else {
             return (self.max_budget, false);
         };
@@ -256,11 +470,7 @@ impl State {
             max_items: requested.max_items.min(self.max_budget.max_items),
             max_columns: requested.max_columns.min(self.max_budget.max_columns),
         };
-        let clamped = admitted != requested;
-        if clamped {
-            self.recorder.add(names::SERVE_BUDGET_CLAMPED, 1);
-        }
-        (admitted, clamped)
+        (admitted, admitted != requested)
     }
 
     /// Retire a request's trace events: always drained (completed
@@ -342,7 +552,7 @@ fn handle_decompress(state: &State, doc: &Value) -> Result<Handled, String> {
     }
     let engine = state.engine_of_request(doc, header_id)?;
     let cp = pgr_core::CompressedProgram { program };
-    let back = pgr_core::compress::decompress_program(engine.grammar, engine.start, &cp)
+    let back = pgr_core::compress::decompress_program(engine.grammar(), engine.start, &cp)
         .map_err(|e| error_chain(&e))?;
     let image = write_program_tagged(&back, ImageKind::Uncompressed, None);
     Ok((
@@ -374,7 +584,7 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
             let engine = state.engine_of_request(doc, header_id)?;
             let mut vm = Vm::new_compressed(
                 &program,
-                engine.grammar,
+                engine.grammar(),
                 engine.start,
                 engine.byte_nt,
                 config,
@@ -398,10 +608,10 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
 /// `stats` records its own latency *before* snapshotting, so the
 /// response's `serve.request.stats.micros` histogram includes the very
 /// request that produced it.
-fn handle_stats(state: &State, sw: Stopwatch) -> Result<Handled, String> {
+fn handle_stats(state: &State, received: Instant) -> Result<Handled, String> {
     state.recorder.observe(
         names::SERVE_REQUEST_STATS_MICROS,
-        sw.elapsed().as_micros() as u64,
+        received.elapsed().as_micros() as u64,
     );
     let snapshot = state.recorder.snapshot();
     // `Metrics::to_json` pretty-prints across lines; NDJSON framing
@@ -414,18 +624,38 @@ fn handle_stats(state: &State, sw: Stopwatch) -> Result<Handled, String> {
         ResponseLine::ok()
             .raw_field("metrics", &compact)
             .raw_field("window", &window.to_json())
+            .num_field("queue_depth", state.queue_depth.load(Ordering::Relaxed))
+            .num_field("engines", state.engines.len())
             .num_field("uptime_secs", now_sec),
         None,
     ))
 }
 
-/// Handle one request line, returning the response line.
+/// Handle one request line, minting its trace id and timing from now —
+/// the legacy transport's entry point, where a request is handled the
+/// moment it is read.
 fn handle_line(state: &State, line: &str) -> String {
-    let sw = Stopwatch::start_if(true);
-    // One trace id per request, installed as this thread's trace scope:
-    // every span below — engine workers and the VM thread included, via
-    // explicit propagation — attributes to this request.
-    let id = TraceId::mint();
+    handle_line_at(state, line, TraceId::mint(), Instant::now())
+}
+
+/// Handle one reactor-queued request end to end: the response's latency
+/// runs from `req.received`, so queue wait is part of what the
+/// histograms see.
+pub(crate) fn handle_single(state: &State, req: PendingRequest) -> Done {
+    let response = handle_line_at(state, &req.line, req.trace, req.received);
+    Done {
+        conn: req.conn,
+        seq: req.seq,
+        response,
+    }
+}
+
+/// Handle one request line under a caller-supplied trace id and arrival
+/// time, returning the response line.
+fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> String {
+    // The trace id is installed as this thread's trace scope: every span
+    // below — engine workers and the VM thread included, via explicit
+    // propagation — attributes to this request.
     let _attribution = trace::scope(id);
     state.recorder.add(names::SERVE_REQUESTS, 1);
     let parsed = json::parse(line);
@@ -450,7 +680,7 @@ fn handle_line(state: &State, line: &str) -> String {
             "compress" => handle_compress(state, &doc),
             "decompress" => handle_decompress(state, &doc),
             "run" => handle_run(state, &doc),
-            "stats" => handle_stats(state, sw),
+            "stats" => handle_stats(state, received),
             "shutdown" => {
                 state.running.store(false, Ordering::SeqCst);
                 Ok((ResponseLine::ok().bool_field("shutdown", true), None))
@@ -460,7 +690,7 @@ fn handle_line(state: &State, line: &str) -> String {
             )),
         }
     }));
-    let micros = sw.elapsed().as_micros() as u64;
+    let micros = received.elapsed().as_micros() as u64;
     let known_op = SERVE_OPS.contains(&op.as_str());
     // stats records itself before snapshotting; the other ops land here.
     if known_op && op != "stats" {
@@ -520,6 +750,251 @@ fn handle_line(state: &State, line: &str) -> String {
     response
 }
 
+/// One distinct request line's preparation outcome within a batch.
+enum Prep {
+    /// Parsed, validated, budget admitted: ready for the engine.
+    Ready {
+        program: Program,
+        budget: EarleyBudget,
+        clamped: bool,
+    },
+    /// Failed before the engine (bad JSON, bad image, …); every request
+    /// sharing the line gets this message.
+    Failed(String),
+    /// The line is not actually a same-grammar compress request (the
+    /// reactor's cheap field scan can be fooled by adversarial nesting);
+    /// its requests take the full single-request path instead.
+    Divert,
+}
+
+/// Handle one flushed same-grammar compress batch: one engine dispatch
+/// for every *distinct* request line, fanned back out to each member.
+///
+/// Duplicate lines — the common case under closed-loop load, where many
+/// clients compress the same artifact — are prepared and compressed
+/// once; compression is deterministic, so their responses differ only
+/// in trace id. Distinct lines become entries of one
+/// [`Compressor::compress_batch`] call, sharing a single parallel
+/// stride and cache epoch. Byte-for-byte, every response is identical
+/// to what serial per-request dispatch would have produced.
+pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
+    // Engine work runs under a batch-level trace id (segment spans can't
+    // be attributed to one member of a shared dispatch); each member's
+    // response still carries its own per-request id.
+    let batch_trace = TraceId::mint();
+    let _attribution = trace::scope(batch_trace);
+    let batch_sw = Stopwatch::start_if(true);
+
+    // Dispatch-level telemetry: how many requests coalesced, and how
+    // long the oldest member waited between arrival and dispatch.
+    let size = batch.requests.len() as u64;
+    let wait_micros = batch
+        .requests
+        .first()
+        .map_or(0, |r| r.received.elapsed().as_micros() as u64);
+    state.recorder.observe(names::SERVE_BATCH_SIZE, size);
+    state
+        .recorder
+        .observe(names::SERVE_BATCH_WAIT_MICROS, wait_micros);
+    state.window.lock().expect("window lock").record_batch(
+        state.start.elapsed().as_secs(),
+        size,
+        wait_micros,
+    );
+
+    // Group identical lines.
+    let mut distinct: Vec<&str> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(batch.requests.len());
+    {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for req in &batch.requests {
+            let next = distinct.len();
+            let g = *index.entry(req.line.as_str()).or_insert(next);
+            if g == next {
+                distinct.push(req.line.as_str());
+            }
+            group_of.push(g);
+        }
+    }
+
+    // Resolve the shared grammar once for the whole batch.
+    let engine = state
+        .registry
+        .resolve(&batch.grammar)
+        .map_err(|e| error_chain(&e))
+        .and_then(|id| state.engine_for(id).map_err(|e| error_chain(&e)));
+
+    // Prepare each distinct line.
+    let mut preps: Vec<Prep> = Vec::with_capacity(distinct.len());
+    for line in &distinct {
+        let prep = (|| -> Prep {
+            let doc = match json::parse(line) {
+                Ok(doc) => doc,
+                Err(e) => return Prep::Failed(format!("bad request JSON: {e}")),
+            };
+            if doc.get("op").and_then(Value::as_str) != Some("compress")
+                || doc.get("grammar").and_then(Value::as_str) != Some(batch.grammar.as_str())
+            {
+                return Prep::Divert;
+            }
+            let (program, kind, _) = match image_of(&doc) {
+                Ok(image) => image,
+                Err(message) => return Prep::Failed(message),
+            };
+            if kind == ImageKind::Compressed {
+                return Prep::Failed("image is already compressed".into());
+            }
+            let (budget, clamped) = state.admit_budget_quiet(&doc);
+            Prep::Ready {
+                program,
+                budget,
+                clamped,
+            }
+        })();
+        preps.push(prep);
+    }
+    if engine.is_err() {
+        // Unknown grammar: nothing to dispatch; every Ready line fails
+        // with the resolution error below.
+        for prep in &mut preps {
+            if let Prep::Ready { .. } = prep {
+                *prep = Prep::Failed(engine.as_ref().err().cloned().unwrap_or_default());
+            }
+        }
+    }
+
+    // One engine dispatch for everything Ready.
+    let _op_span = state.recorder.trace_span("serve.compress");
+    let ready: Vec<usize> = (0..preps.len())
+        .filter(|&i| matches!(preps[i], Prep::Ready { .. }))
+        .collect();
+    let mut templates: Vec<Option<Result<ResponseLine, String>>> =
+        (0..preps.len()).map(|_| None).collect();
+    if let (Ok(engine), false) = (&engine, ready.is_empty()) {
+        let entries: Vec<(&Program, EarleyBudget)> = ready
+            .iter()
+            .map(|&i| match &preps[i] {
+                Prep::Ready {
+                    program, budget, ..
+                } => (program, *budget),
+                _ => unreachable!("filtered to Ready"),
+            })
+            .collect();
+        let results = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.compressor.compress_batch(&entries)
+        }));
+        match results {
+            Ok(results) => {
+                for (&i, result) in ready.iter().zip(results) {
+                    let &Prep::Ready { clamped, .. } = &preps[i] else {
+                        unreachable!("filtered to Ready");
+                    };
+                    templates[i] = Some(match result {
+                        Ok((cp, stats)) => {
+                            let image = write_program_tagged(
+                                &cp.program,
+                                ImageKind::Compressed,
+                                Some(engine.id.as_bytes()),
+                            );
+                            Ok(ResponseLine::ok()
+                                .str_field("grammar", &engine.id.to_hex())
+                                .str_field("image", &base64_encode(&image))
+                                .num_field("original_bytes", stats.original_code as u64)
+                                .num_field("compressed_bytes", stats.compressed_code as u64)
+                                .num_field("fallback_segments", stats.fallback_segments as u64)
+                                .bool_field("clamped", clamped))
+                        }
+                        Err(e) => Err(error_chain(&e)),
+                    });
+                }
+            }
+            Err(_) => {
+                for &i in &ready {
+                    templates[i] = Some(Err("internal panic while handling request".to_string()));
+                }
+            }
+        }
+    }
+
+    // Fan back out: one response per member, with per-request trace id,
+    // latency, and window/metric accounting.
+    let grammar_hex = engine.as_ref().ok().map(|e| e.id.to_hex());
+    let now_sec = state.start.elapsed().as_secs();
+    let mut out = Vec::with_capacity(batch.requests.len());
+    for (req, &group) in batch.requests.iter().zip(&group_of) {
+        if matches!(preps[group], Prep::Divert) {
+            out.push(handle_single(
+                state,
+                PendingRequest {
+                    conn: req.conn,
+                    seq: req.seq,
+                    line: req.line.clone(),
+                    received: req.received,
+                    trace: req.trace,
+                },
+            ));
+            continue;
+        }
+        state.recorder.add(names::SERVE_REQUESTS, 1);
+        let micros = req.received.elapsed().as_micros() as u64;
+        state
+            .recorder
+            .observe(names::SERVE_REQUEST_COMPRESS_MICROS, micros);
+        let (response, ok) = match &templates[group] {
+            Some(Ok(template)) => {
+                if matches!(&preps[group], Prep::Ready { clamped: true, .. }) {
+                    state.recorder.add(names::SERVE_BUDGET_CLAMPED, 1);
+                }
+                (
+                    template
+                        .clone()
+                        .str_field("trace", &req.trace.to_hex())
+                        .finish(),
+                    true,
+                )
+            }
+            Some(Err(message)) => (
+                ResponseLine::err_traced(message, &req.trace.to_hex(), micros),
+                false,
+            ),
+            None => {
+                let Prep::Failed(message) = &preps[group] else {
+                    unreachable!("non-Ready groups carry a failure message");
+                };
+                (
+                    ResponseLine::err_traced(message, &req.trace.to_hex(), micros),
+                    false,
+                )
+            }
+        };
+        if !ok {
+            state.recorder.add(names::SERVE_ERRORS, 1);
+            state.recorder.add(names::SERVE_REQUEST_COMPRESS_ERRORS, 1);
+        }
+        state.window.lock().expect("window lock").record(
+            now_sec,
+            "compress",
+            grammar_hex.as_deref(),
+            micros,
+            ok,
+        );
+        state.retire_trace(req.trace, "compress", micros);
+        out.push(Done {
+            conn: req.conn,
+            seq: req.seq,
+            response,
+        });
+    }
+    // Retire the batch-level trace (engine spans accumulated here); it
+    // reports to the slow log under the whole dispatch's elapsed time.
+    state.retire_trace(
+        batch_trace,
+        "compress.batch",
+        batch_sw.elapsed().as_micros() as u64,
+    );
+    out
+}
+
 /// Serve one connection: read request lines, write response lines.
 fn connection(state: &State, stream: UnixStream) {
     let Ok(reader) = stream.try_clone() else {
@@ -550,6 +1025,11 @@ fn connection(state: &State, stream: UnixStream) {
 /// A bound, not-yet-running request server.
 pub struct Server {
     listener: UnixListener,
+    workers: usize,
+    batch_window_us: u64,
+    max_connections: usize,
+    max_queue: usize,
+    thread_per_conn: bool,
     state: Arc<State>,
 }
 
@@ -582,9 +1062,14 @@ impl Server {
             names::SERVE_ERRORS,
             names::SERVE_BUDGET_CLAMPED,
             names::SERVE_SLOW_REQUESTS,
+            names::SERVE_REJECTED_OVERLOAD,
+            names::SERVE_ENGINES_EVICTED,
         ] {
             pre.add(counter, 0);
         }
+        pre.gauge_max(names::SERVE_QUEUE_DEPTH, 0);
+        pre.ensure_hist(names::SERVE_BATCH_SIZE);
+        pre.ensure_hist(names::SERVE_BATCH_WAIT_MICROS);
         for op in SERVE_OPS {
             pre.ensure_hist(names::serve_request_micros(op));
             pre.add(names::serve_request_errors(op), 0);
@@ -616,9 +1101,14 @@ impl Server {
 
         Ok(Server {
             listener,
+            workers: config.workers,
+            batch_window_us: config.batch_window_us,
+            max_connections: config.max_connections,
+            max_queue: config.max_queue,
+            thread_per_conn: config.thread_per_conn,
             state: Arc::new(State {
                 registry,
-                engines: Mutex::new(HashMap::new()),
+                engines: EngineShards::new(config.max_engines),
                 max_budget: config.max_budget,
                 threads: config.threads,
                 recorder: config.recorder,
@@ -626,6 +1116,7 @@ impl Server {
                 socket,
                 start: Instant::now(),
                 window: Mutex::new(SlidingWindow::new(DEFAULT_WINDOW_SECS)),
+                queue_depth: AtomicU64::new(0),
                 slow_micros: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
                 slow_log,
             }),
@@ -637,10 +1128,43 @@ impl Server {
         &self.state.socket
     }
 
-    /// Accept and serve connections until a `shutdown` request arrives.
-    /// Each connection gets a thread; all are joined before return, and
-    /// the socket file is removed.
+    /// Serve until a `shutdown` request arrives, then drain in-flight
+    /// work, remove the socket file, and return.
+    ///
+    /// The default transport is the epoll reactor; with
+    /// [`ServeConfig::thread_per_conn`] set (or on platforms without
+    /// epoll) each connection gets a thread instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Reactor`] when the event loop hits an
+    /// unrecoverable I/O error (epoll or eventfd setup, listener
+    /// registration).
     pub fn run(self) -> Result<(), ServeError> {
+        let use_reactor = !self.thread_per_conn;
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if use_reactor {
+            let cfg = crate::reactor::ReactorConfig {
+                workers: self.workers,
+                batch_window: std::time::Duration::from_micros(self.batch_window_us.max(1)),
+                max_connections: self.max_connections,
+                max_queue: self.max_queue,
+            };
+            let state = Arc::clone(&self.state);
+            let result = crate::reactor::run(state, self.listener, cfg);
+            let _ = std::fs::remove_file(&self.state.socket);
+            return result.map_err(|e| ServeError::Reactor {
+                message: e.to_string(),
+            });
+        }
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
+        let _ = use_reactor; // no epoll here: always thread-per-connection
         let mut workers = Vec::new();
         for conn in self.listener.incoming() {
             if !self.state.running.load(Ordering::SeqCst) {
@@ -656,5 +1180,70 @@ impl Server {
         }
         let _ = std::fs::remove_file(&self.state.socket);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_grammar::{GrammarFile, InitialGrammar};
+    use std::sync::Weak;
+
+    fn sample_file() -> GrammarFile {
+        let ig = InitialGrammar::build();
+        GrammarFile::new(ig.grammar, ig.nt_start, ig.nt_byte)
+    }
+
+    fn engine(first_byte: u8, recorder: &Recorder) -> Arc<Engine> {
+        let mut raw = [0u8; crate::id::ID_LEN];
+        raw[0] = first_byte;
+        Engine::new(
+            GrammarId::from_raw(raw),
+            sample_file(),
+            CompressorConfig::builder().threads(1).build(),
+            recorder.clone(),
+        )
+    }
+
+    #[test]
+    fn engine_shards_evict_lru_at_bound_and_drop_cleanly() {
+        let recorder = Recorder::new();
+        let shards = EngineShards::new(2);
+        let a = shards.insert(engine(1, &recorder), &recorder);
+        let weak_a: Weak<Engine> = Arc::downgrade(&a);
+        let id_a = a.id;
+        drop(a);
+        let id_b = shards.insert(engine(2, &recorder), &recorder).id;
+        assert_eq!(shards.len(), 2);
+
+        // Touch A so B is the least-recently-used entry at the bound.
+        assert!(shards.get(&id_a).is_some());
+        let id_c = shards.insert(engine(3, &recorder), &recorder).id;
+        assert_eq!(shards.len(), 2, "resident bound holds");
+        assert!(shards.get(&id_b).is_none(), "LRU engine was evicted");
+        assert!(shards.get(&id_a).is_some(), "recently-used engine survives");
+        assert!(shards.get(&id_c).is_some(), "new engine is resident");
+        assert_eq!(recorder.snapshot().counter(names::SERVE_ENGINES_EVICTED), 1);
+
+        // Leak regression: before eviction existed, every engine's
+        // grammar was `Box::leak`ed and lived until process exit. Evict
+        // A (C is fresher) and prove its memory is actually released.
+        assert!(shards.get(&id_c).is_some());
+        let _d = shards.insert(engine(4, &recorder), &recorder);
+        assert!(shards.get(&id_a).is_none());
+        assert!(
+            weak_a.upgrade().is_none(),
+            "evicted engine must drop, grammar and compressor included"
+        );
+    }
+
+    #[test]
+    fn racing_inserts_of_one_id_share_an_engine() {
+        let recorder = Recorder::new();
+        let shards = EngineShards::new(4);
+        let first = shards.insert(engine(9, &recorder), &recorder);
+        let second = shards.insert(engine(9, &recorder), &recorder);
+        assert!(Arc::ptr_eq(&first, &second), "existing entry wins the race");
+        assert_eq!(shards.len(), 1);
     }
 }

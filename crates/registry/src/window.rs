@@ -25,8 +25,14 @@ struct Slot {
     second: u64,
     requests: u64,
     errors: u64,
+    /// Requests refused by admission control (a subset of `errors`).
+    rejected: u64,
     per_op: BTreeMap<String, Hist>,
     per_grammar: BTreeMap<String, Hist>,
+    /// Requests coalesced per engine dispatch (1 = unbatched).
+    batch_size: Hist,
+    /// Oldest-request wait per dispatched batch, micros.
+    batch_wait: Hist,
 }
 
 impl Slot {
@@ -34,8 +40,17 @@ impl Slot {
         self.second = second;
         self.requests = 0;
         self.errors = 0;
+        self.rejected = 0;
         self.per_op.clear();
         self.per_grammar.clear();
+        self.batch_size = Hist::default();
+        self.batch_wait = Hist::default();
+    }
+
+    /// Whether the slot recorded anything at all (a batch dispatch or a
+    /// rejection can land in a second with no completed requests).
+    fn live(&self) -> bool {
+        self.requests > 0 || self.rejected > 0 || self.batch_size.count > 0
     }
 }
 
@@ -55,10 +70,17 @@ pub struct WindowStats {
     pub requests: u64,
     /// Requests answered with an error response inside the window.
     pub errors: u64,
+    /// Requests refused by admission control inside the window (also
+    /// counted in `errors`).
+    pub rejected: u64,
     /// Latency summary per operation (`compress`, `run`, …), micros.
     pub per_op: BTreeMap<String, Hist>,
     /// Latency summary per grammar (hex id), micros.
     pub per_grammar: BTreeMap<String, Hist>,
+    /// Requests coalesced per engine dispatch (1 = unbatched).
+    pub batch_size: Hist,
+    /// Oldest-request wait per dispatched batch, micros.
+    pub batch_wait: Hist,
 }
 
 impl WindowStats {
@@ -98,15 +120,19 @@ impl WindowStats {
             format!("{{{}}}", fields.join(","))
         }
         format!(
-            "{{\"window_secs\":{},\"requests\":{},\"errors\":{},\
-             \"rps\":{:.3},\"error_rate\":{:.4},\"ops\":{},\"grammars\":{}}}",
+            "{{\"window_secs\":{},\"requests\":{},\"errors\":{},\"rejected\":{},\
+             \"rps\":{:.3},\"error_rate\":{:.4},\"ops\":{},\"grammars\":{},\
+             \"batch_size\":{},\"batch_wait\":{}}}",
             self.window_secs,
             self.requests,
             self.errors,
+            self.rejected,
             self.rps(),
             self.error_rate(),
             map_json(&self.per_op),
             map_json(&self.per_grammar),
+            hist_json(&self.batch_size),
+            hist_json(&self.batch_wait),
         )
     }
 }
@@ -125,11 +151,7 @@ impl SlidingWindow {
     /// start; `grammar` is the request's grammar id hex when one was
     /// resolved; `micros` is end-to-end latency.
     pub fn record(&mut self, now_sec: u64, op: &str, grammar: Option<&str>, micros: u64, ok: bool) {
-        let idx = (now_sec % self.secs) as usize;
-        let slot = &mut self.slots[idx];
-        if slot.second != now_sec {
-            slot.reset(now_sec);
-        }
+        let slot = self.slot_at(now_sec);
         slot.requests += 1;
         if !ok {
             slot.errors += 1;
@@ -146,6 +168,33 @@ impl SlidingWindow {
         }
     }
 
+    /// Record one admission-control rejection (the request was answered
+    /// with an in-band `overloaded` error, not handled).
+    pub fn record_rejected(&mut self, now_sec: u64) {
+        let slot = self.slot_at(now_sec);
+        slot.requests += 1;
+        slot.errors += 1;
+        slot.rejected += 1;
+    }
+
+    /// Record one engine dispatch of `size` coalesced requests whose
+    /// oldest member waited `wait_micros` between arrival and dispatch.
+    pub fn record_batch(&mut self, now_sec: u64, size: u64, wait_micros: u64) {
+        let slot = self.slot_at(now_sec);
+        slot.batch_size.observe(size);
+        slot.batch_wait.observe(wait_micros);
+    }
+
+    /// The live slot for `now_sec`, reset first if its second is stale.
+    fn slot_at(&mut self, now_sec: u64) -> &mut Slot {
+        let idx = (now_sec % self.secs) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.second != now_sec {
+            slot.reset(now_sec);
+        }
+        slot
+    }
+
     /// Fold every slot still inside the trailing window (relative to
     /// `now_sec`) into one [`WindowStats`].
     pub fn aggregate(&self, now_sec: u64) -> WindowStats {
@@ -157,11 +206,14 @@ impl SlidingWindow {
         for slot in &self.slots {
             // Slot 0's default second of 0 is only live when second 0
             // really is in the window and something recorded into it.
-            if slot.second < oldest || slot.second > now_sec || slot.requests == 0 {
+            if slot.second < oldest || slot.second > now_sec || !slot.live() {
                 continue;
             }
             stats.requests += slot.requests;
             stats.errors += slot.errors;
+            stats.rejected += slot.rejected;
+            stats.batch_size = stats.batch_size.merge(slot.batch_size);
+            stats.batch_wait = stats.batch_wait.merge(slot.batch_wait);
             for (k, h) in &slot.per_op {
                 let slot = stats.per_op.entry(k.clone()).or_default();
                 *slot = slot.merge(*h);

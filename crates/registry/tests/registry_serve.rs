@@ -575,3 +575,420 @@ fn serve_traces_requests_and_dumps_slow_span_trees() {
         );
     }
 }
+
+// ---- reactor: batching, backpressure, eviction, drain ------------------
+
+/// Pipeline several request lines in one write (so they arrive in one
+/// readiness sweep) and read back exactly as many responses, in order.
+fn pipeline(stream: &mut UnixStream, requests: &[String]) -> Vec<Value> {
+    let mut wire = String::new();
+    for r in requests {
+        wire.push_str(r);
+        wire.push('\n');
+    }
+    stream.write_all(wire.as_bytes()).expect("pipeline write");
+    stream.flush().expect("pipeline flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut responses = Vec::with_capacity(requests.len());
+    for _ in requests {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert!(!line.is_empty(), "connection closed mid-pipeline");
+        responses.push(json::parse(&line).expect("response is JSON"));
+    }
+    responses
+}
+
+#[test]
+fn batched_compresses_are_byte_identical_to_serial_dispatch() {
+    let scratch = Scratch::new("serve-batch");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id_hex = manifest.id.to_hex();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            workers: 1,
+            batch_window_us: 200_000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let a = assemble(SAMPLE).unwrap();
+    let b = assemble(&SAMPLE.replace("LIT1 1", "LIT1 7")).unwrap();
+    let a64 = base64_encode(&write_program(&a, ImageKind::Uncompressed));
+    let b64 = base64_encode(&write_program(&b, ImageKind::Uncompressed));
+    let req_a = format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{a64}"}}"#);
+    let req_b = format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{b64}"}}"#);
+
+    // Serial reference: one request at a time, each its own dispatch.
+    let mut serial = connect(&socket);
+    let serial_a = exchange(&mut serial, &req_a);
+    let serial_b = exchange(&mut serial, &req_b);
+    let image_of = |resp: &Value| {
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{resp:?}"
+        );
+        resp.get("image")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let serial_a_image = image_of(&serial_a);
+    let serial_b_image = image_of(&serial_b);
+
+    // Occupy the single worker so the pipelined burst is *held* and
+    // coalesced rather than adaptively flushed one by one.
+    writeln!(serial, "{req_a}").unwrap();
+    serial.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+
+    // Three same-grammar compresses (two identical lines) in one burst:
+    // one engine dispatch, three responses, in request order.
+    let mut burst = connect(&socket);
+    let responses = pipeline(&mut burst, &[req_a.clone(), req_b.clone(), req_a.clone()]);
+    // The occupied worker's own response still arrives.
+    let mut reader = BufReader::new(serial.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(image_of(&json::parse(&line).unwrap()), serial_a_image);
+
+    let expected = [&serial_a_image, &serial_b_image, &serial_a_image];
+    let mut traces = std::collections::HashSet::new();
+    for (resp, want) in responses.iter().zip(expected) {
+        assert_eq!(
+            &image_of(resp),
+            want,
+            "batched compress must be byte-identical to serial dispatch"
+        );
+        let trace = resp.get("trace").and_then(Value::as_str).unwrap();
+        assert!(traces.insert(trace.to_string()), "trace ids stay distinct");
+    }
+
+    // The stats response proves a real multi-request dispatch happened.
+    let resp = exchange(&mut serial, r#"{"op":"stats"}"#);
+    let batch_size = resp
+        .get("metrics")
+        .and_then(|m| m.get("histograms"))
+        .and_then(|h| h.get(names::SERVE_BATCH_SIZE))
+        .expect("serve.batch.size histogram");
+    assert!(
+        batch_size.get("max").and_then(Value::as_u64).unwrap() >= 3,
+        "burst of three must coalesce: {batch_size:?}"
+    );
+    let window = resp.get("window").expect("window");
+    assert!(window.get("batch_size").is_some());
+    assert!(window.get("batch_wait").is_some());
+    assert!(
+        resp.get("queue_depth").and_then(Value::as_u64).is_some(),
+        "stats must expose live queue depth"
+    );
+    assert_eq!(resp.get("engines").and_then(Value::as_u64), Some(1));
+
+    let resp = exchange(&mut serial, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+    assert!(!socket.exists());
+}
+
+#[test]
+fn mixed_grammar_requests_never_share_a_batch() {
+    let scratch = Scratch::new("serve-mixed");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let first = registry.store(&sample_grammar(), "a").unwrap();
+    let second = {
+        let mut file = sample_grammar();
+        file.start = file.byte_nt; // distinct bytes, distinct id
+        registry.store(&file, "b").unwrap()
+    };
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            workers: 1,
+            batch_window_us: 200_000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let image = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    let req = |hex: &str| format!(r#"{{"op":"compress","grammar":"{hex}","image":"{image}"}}"#);
+    let a_hex = first.id.to_hex();
+    let b_hex = second.id.to_hex();
+
+    // Interleave the two grammars in one burst: each response must name
+    // the grammar its request asked for, whatever got batched with what.
+    let mut stream = connect(&socket);
+    let requests = [req(&a_hex), req(&b_hex), req(&a_hex), req(&b_hex)];
+    let responses = pipeline(&mut stream, &requests);
+    for (i, resp) in responses.iter().enumerate() {
+        let want = if i % 2 == 0 { &a_hex } else { &b_hex };
+        // Grammar B's start symbol is degenerate, so its compresses may
+        // degrade or fail — but never cross into A's batch: a response
+        // that names a grammar must name the right one.
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            assert_eq!(
+                resp.get("grammar").and_then(Value::as_str),
+                Some(want.as_str()),
+                "response {i} answered with the wrong grammar"
+            );
+        }
+    }
+    assert_eq!(
+        responses[0].get("image").and_then(Value::as_str),
+        responses[2].get("image").and_then(Value::as_str),
+        "same request, same batch key, same bytes"
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn queue_saturation_answers_overloaded_in_band_without_dropping_connections() {
+    let scratch = Scratch::new("serve-overload");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id_hex = manifest.id.to_hex();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            workers: 1,
+            // A long window and a tiny queue: pipelining 4x the queue
+            // bound must trip admission control, not grow a backlog.
+            batch_window_us: 300_000,
+            max_queue: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let image = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    let req = format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{image}"}}"#);
+    let mut stream = connect(&socket);
+    let burst: Vec<String> = std::iter::repeat_with(|| req.clone()).take(8).collect();
+    let responses = pipeline(&mut stream, &burst);
+
+    let (mut ok, mut overloaded) = (0, 0);
+    for resp in &responses {
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            ok += 1;
+        } else {
+            assert_eq!(
+                resp.get("error").and_then(Value::as_str),
+                Some("overloaded"),
+                "rejections must be the fixed overloaded token: {resp:?}"
+            );
+            assert!(
+                resp.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 1,
+                "overloaded responses carry a backoff hint"
+            );
+            assert!(resp.get("trace").and_then(Value::as_str).is_some());
+            overloaded += 1;
+        }
+    }
+    assert_eq!(ok, 2, "exactly the queue bound is admitted");
+    assert_eq!(overloaded, 6, "the rest is refused in-band");
+
+    // The connection survived saturation; stats sees the rejections.
+    let resp = exchange(&mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(
+        resp.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(names::SERVE_REJECTED_OVERLOAD))
+            .and_then(Value::as_u64),
+        Some(6)
+    );
+    assert_eq!(
+        resp.get("window")
+            .and_then(|w| w.get("rejected"))
+            .and_then(Value::as_u64),
+        Some(6)
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_batched_requests() {
+    let scratch = Scratch::new("serve-drain");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id_hex = manifest.id.to_hex();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            // Two workers: one can carry a slow compress while the other
+            // takes the shutdown.
+            workers: 2,
+            // A long window: the second compress is still *held* (not
+            // even dispatched) when shutdown lands, and must drain too.
+            batch_window_us: 500_000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // A slow request: many distinct segments, compressed fresh.
+    let mut big = String::from("proc f frame=8 args=0\n");
+    for i in 0..120 {
+        big.push_str(&format!(
+            "\tADDRLP {}\n\tINDIRU\n\tLIT1 {}\n\tADDU\n\tADDRLP 0\n\tASGNU\n",
+            i % 8,
+            (i * 7) % 250 + 1,
+        ));
+    }
+    big.push_str("\tRETV\nendproc\nentry f\n");
+    let slow64 = base64_encode(&write_program(
+        &assemble(&big).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+
+    let mut slow_conn = connect(&socket);
+    writeln!(
+        slow_conn,
+        r#"{{"op":"compress","grammar":"{id_hex}","image":"{slow64}"}}"#
+    )
+    .unwrap();
+    slow_conn.flush().unwrap();
+    // Give the reactor a beat to dispatch it, then park one more in the
+    // batcher behind the long window.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let small64 = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    let mut held_conn = connect(&socket);
+    writeln!(
+        held_conn,
+        r#"{{"op":"compress","grammar":"{id_hex}","image":"{small64}"}}"#
+    )
+    .unwrap();
+    held_conn.flush().unwrap();
+
+    // Shutdown while the slow request is in flight and the small one is
+    // still held in its batch window.
+    let mut shutdown_conn = connect(&socket);
+    let resp = exchange(&mut shutdown_conn, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+
+    // Both outstanding requests still get their responses.
+    for conn in [&mut slow_conn, &mut held_conn] {
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("drained response");
+        assert!(!line.is_empty(), "response must arrive before shutdown");
+        let resp = json::parse(&line).expect("response is JSON");
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "in-flight request must complete during drain: {resp:?}"
+        );
+    }
+    server_thread.join().unwrap();
+    assert!(!socket.exists());
+}
+
+#[test]
+fn engine_eviction_bounds_resident_engines() {
+    let scratch = Scratch::new("serve-evict");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let mut hexes = Vec::new();
+    hexes.push(registry.store(&sample_grammar(), "g0").unwrap().id.to_hex());
+    for variant in 0..2 {
+        let mut file = sample_grammar();
+        if variant == 0 {
+            file.start = file.byte_nt;
+        } else {
+            file.byte_nt = file.start;
+        }
+        hexes.push(registry.store(&file, "gx").unwrap().id.to_hex());
+    }
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            max_engines: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Touch more grammars than may stay resident (success not required —
+    // an engine loads before its request can fail), then loop back to
+    // the first: it must reload transparently after eviction.
+    let image = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    let mut stream = connect(&socket);
+    for hex in hexes.iter().chain([&hexes[0]]) {
+        let _ = exchange(
+            &mut stream,
+            &format!(r#"{{"op":"compress","grammar":"{hex}","image":"{image}"}}"#),
+        );
+    }
+    let resp = exchange(
+        &mut stream,
+        &format!(
+            r#"{{"op":"compress","grammar":"{}","image":"{image}"}}"#,
+            hexes[0]
+        ),
+    );
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "evicted grammar must reload on demand: {resp:?}"
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(
+        resp.get("engines").and_then(Value::as_u64),
+        Some(1),
+        "resident engines stay at the bound"
+    );
+    assert!(
+        resp.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(names::SERVE_ENGINES_EVICTED))
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 3,
+        "each over-bound load evicts"
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+}

@@ -180,6 +180,22 @@ pub const SERVE_REQUEST_STATS_ERRORS: &str = "serve.request.stats.errors";
 /// Serve: requests over the `--slow-ms` threshold whose span tree was
 /// dumped to the slow-trace NDJSON log.
 pub const SERVE_SLOW_REQUESTS: &str = "serve.slow.requests";
+/// Serve: requests (or connection attempts) refused by admission control
+/// — the pending queue or connection table was full — and answered with
+/// an in-band `overloaded` error instead of queueing unboundedly.
+pub const SERVE_REJECTED_OVERLOAD: &str = "serve.rejected.overload";
+/// Serve gauge: pending-request queue depth high-water mark (requests
+/// accepted but not yet dispatched to a worker).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Serve histogram: requests coalesced per engine dispatch — every
+/// same-grammar compress batch observes its size here (1 = unbatched).
+pub const SERVE_BATCH_SIZE: &str = "serve.batch.size";
+/// Serve histogram: how long a batch's oldest request waited between
+/// arrival and engine dispatch, in microseconds.
+pub const SERVE_BATCH_WAIT_MICROS: &str = "serve.batch.wait_micros";
+/// Serve: engines evicted from the sharded engine map by the
+/// `--max-engines` LRU bound (the grammar reloads on next use).
+pub const SERVE_ENGINES_EVICTED: &str = "serve.engines.evicted";
 /// Prefix of the per-operation serve request metric family
 /// (`serve.request.<op>.micros` / `serve.request.<op>.errors`).
 pub const SERVE_REQUEST_PREFIX: &str = "serve.request.";
