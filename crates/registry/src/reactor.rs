@@ -334,30 +334,26 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
             }
         }
 
-        // Frame and route whatever the reads produced. A paused
-        // connection's buffered lines are reconsidered every sweep, so
-        // responses draining (below) unblocks its pipeline.
-        for conn in conns.values_mut() {
-            ingest(
-                &state,
-                &pool,
-                &mut batcher,
-                conn,
-                draining,
-                pipeline_bound,
-                singles_bound,
-                queue_retry_ms,
-            );
-        }
-
-        // Apply worker completions: park each response under its seq,
-        // then write everything now in order.
+        // Apply worker completions before ingesting: park each response
+        // under its seq, then write everything now in order. Ingest runs
+        // after, so pipeline capacity these responses free up is usable
+        // this very sweep — ingesting first could strand a burst's
+        // framed-but-over-bound lines in read_buf with nothing left to
+        // wake the poller (the completions that lifted the bound already
+        // fired their one wake).
         let done = std::mem::take(&mut *pool.completions.lock().expect("completion list lock"));
         pool.outstanding
             .fetch_sub(done.len() as u64, Ordering::Relaxed);
         for d in done {
             if let Some(conn) = conns.get_mut(&d.conn) {
-                conn.ready.insert(d.seq, d.response);
+                // The write path skips next_write past requests it gave
+                // up on (peer died mid-pipeline); a completion arriving
+                // for such a seq must be discarded — promote_ready never
+                // visits seqs below next_write, so parking it would hold
+                // `ready` non-empty and block reaping forever.
+                if d.seq >= conn.next_write {
+                    conn.ready.insert(d.seq, d.response);
+                }
             }
             // A vanished connection means the peer hung up before its
             // answer: nothing to write to.
@@ -374,6 +370,24 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
                 let _ = poller.delete(listener.as_raw_fd());
                 listening = false;
             }
+        }
+
+        // Frame and route whatever the reads produced — and whatever a
+        // paused pipeline still holds buffered, now that completions
+        // have been applied. After this pass a connection only keeps a
+        // framed-but-undispatched line while at its pipeline bound, and
+        // the completions that lift the bound always wake the poller.
+        for conn in conns.values_mut() {
+            ingest(
+                &state,
+                &pool,
+                &mut batcher,
+                conn,
+                draining,
+                pipeline_bound,
+                singles_bound,
+                queue_retry_ms,
+            );
         }
 
         // Flush batches: due ones always; everything while a worker
@@ -618,7 +632,17 @@ fn dispatch_single(
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let trace = TraceId::mint();
-    let exempt = line.contains("\"stats\"") || line.contains("\"shutdown\"");
+    // Match the actual `op` field, not a whole-line substring — a
+    // payload merely *containing* "stats" must not bypass the bound.
+    // Escapes defeat the lexical scan (see `route`), but no plain
+    // stats/shutdown request needs them; an unscannable line simply
+    // gets no exemption.
+    let op = if line.contains('\\') {
+        None
+    } else {
+        scan_str_field(&line, "op")
+    };
+    let exempt = matches!(op, Some("stats" | "shutdown"));
     if !exempt && state.queue_depth.load(Ordering::Relaxed) >= singles_bound {
         record_rejection(state);
         conn.ready.insert(

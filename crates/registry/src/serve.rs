@@ -201,20 +201,49 @@ impl From<RegistryError> for ServeError {
 /// handles, and a compressor whose derivation cache all requests for
 /// this grammar share.
 ///
-/// The struct is self-referential — `compressor` borrows `grammar`'s
-/// heap allocation — which is what lets an evicted engine *drop*
-/// instead of leaking the way the old `Box::leak` map did. Soundness
-/// rests on three invariants, all local to this type: the `Box` gives
-/// the grammar a stable heap address (moving the `Engine` moves the
-/// pointer, not the pointee); `grammar` is never mutated, replaced, or
-/// taken for the engine's lifetime; and `compressor` is declared first,
-/// so it drops before the allocation it borrows.
+/// The struct is self-referential — `compressor` borrows the grammar
+/// allocation — which is what lets an evicted engine *drop* instead of
+/// leaking the way the old `Box::leak` map did. Soundness rests on
+/// three invariants, all local to this type: the allocation is held as
+/// a raw `Box::into_raw` pointer (a `Box` field would be *moved* into
+/// the struct while borrowed, which invalidates derived references
+/// under Stacked Borrows; a raw pointer is inert under moves); the
+/// grammar is never mutated, replaced, or freed before drop; and
+/// `compressor` is declared first, so it drops before [`GrammarBox`]
+/// frees the allocation it borrows.
 pub(crate) struct Engine {
     pub(crate) id: GrammarId,
     pub(crate) start: Nt,
     pub(crate) byte_nt: Nt,
     pub(crate) compressor: Compressor<'static>,
-    grammar: Box<Grammar>,
+    grammar: GrammarBox,
+}
+
+/// Owner of an [`Engine`]'s grammar allocation, as a raw pointer so the
+/// borrowed allocation's `Box` is never moved. Must be declared after
+/// `compressor`: fields drop in declaration order, and the borrower has
+/// to go first.
+struct GrammarBox(*mut Grammar);
+
+impl Drop for GrammarBox {
+    fn drop(&mut self) {
+        // SAFETY: the pointer came from `Box::into_raw` and is freed
+        // exactly once, here — after `compressor` (declared earlier in
+        // `Engine`, so already dropped) released its borrow.
+        drop(unsafe { Box::from_raw(self.0) });
+    }
+}
+
+// SAFETY: GrammarBox owns its allocation exactly like the Box<Grammar>
+// it was made from (which is Send — see the witness below); the raw
+// pointer is only a device to avoid moving a borrowed box.
+unsafe impl Send for GrammarBox {}
+// SAFETY: as above; shared access to the grammar is read-only.
+unsafe impl Sync for GrammarBox {}
+
+/// Compile-time witness backing the `unsafe impl`s above.
+fn _grammar_box_is_send_sync(b: Box<Grammar>) -> impl Send + Sync {
+    b
 }
 
 impl Engine {
@@ -224,27 +253,28 @@ impl Engine {
         config: CompressorConfig,
         recorder: Recorder,
     ) -> Arc<Engine> {
-        let grammar = Box::new(file.grammar);
-        // SAFETY: the reference is to the boxed heap allocation, whose
-        // address is stable under moves of the box and which lives until
-        // `Engine::drop` — where `compressor` (the only borrower, and
-        // the field declared first) is dropped before it. The 'static
-        // lifetime never escapes the Engine: every public access borrows
-        // through `&self`.
-        let grammar_ref: &'static Grammar = unsafe { &*(grammar.as_ref() as *const Grammar) };
+        let grammar = Box::into_raw(Box::new(file.grammar));
+        // SAFETY: the allocation was just leaked out of its box, is
+        // never mutated, and lives until `GrammarBox::drop` — where
+        // `compressor` (the only borrower, and the field declared
+        // first) is dropped before it. The 'static lifetime never
+        // escapes the Engine: every public access borrows through
+        // `&self`.
+        let grammar_ref: &'static Grammar = unsafe { &*grammar };
         let compressor = Compressor::with_recorder(grammar_ref, file.start, config, recorder);
         Arc::new(Engine {
             id,
             start: file.start,
             byte_nt: file.byte_nt,
             compressor,
-            grammar,
+            grammar: GrammarBox(grammar),
         })
     }
 
     /// The engine's grammar, reborrowed at `&self`'s lifetime.
     pub(crate) fn grammar(&self) -> &Grammar {
-        &self.grammar
+        // SAFETY: points at the live allocation `self.grammar` owns.
+        unsafe { &*self.grammar.0 }
     }
 }
 

@@ -272,8 +272,13 @@ impl Poller {
     /// `epoll_pwait2`, ceiling-rounded milliseconds otherwise). A signal
     /// interruption reports as zero events.
     pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
+        if events.is_empty() {
+            // maxevents must be positive, and rounding it up to 1 would
+            // license the kernel to write past a zero-length slice.
+            return Ok(0);
+        }
         let ptr = events.as_mut_ptr() as usize;
-        let cap = events.len().max(1);
+        let cap = events.len();
         if !self.no_pwait2.load(Ordering::Relaxed) {
             let ts = timeout.map(|d| Timespec {
                 tv_sec: d.as_secs() as i64,

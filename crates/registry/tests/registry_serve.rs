@@ -834,6 +834,129 @@ fn queue_saturation_answers_overloaded_in_band_without_dropping_connections() {
 }
 
 #[test]
+fn burst_past_pipeline_bound_completes_without_hanging() {
+    let scratch = Scratch::new("serve-burst");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id_hex = manifest.id.to_hex();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            workers: 1,
+            // max_queue=4 puts the per-connection pipeline bound at its
+            // floor of 16: a 20-line burst overruns it, so the last
+            // lines sit framed-but-undispatched until responses drain.
+            // Regression: when the bound-lifting completions all landed
+            // in one wake (one flushed batch), those lines were stranded
+            // forever — the reactor ingested before applying completions
+            // and then had nothing left to wake it.
+            max_queue: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let image = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    let req = format!(r#"{{"op":"compress","grammar":"{id_hex}","image":"{image}"}}"#);
+    let mut stream = connect(&socket);
+    // A hang must fail the test, not wedge the suite.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let burst: Vec<String> = std::iter::repeat_with(|| req.clone()).take(20).collect();
+    let responses = pipeline(&mut stream, &burst);
+
+    assert_eq!(responses.len(), 20, "every pipelined request is answered");
+    let mut ok = 0;
+    for resp in &responses {
+        if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+            ok += 1;
+        } else {
+            assert_eq!(
+                resp.get("error").and_then(Value::as_str),
+                Some("overloaded"),
+                "failures past the bound must be in-band rejections: {resp:?}"
+            );
+        }
+    }
+    assert!(
+        ok >= 4,
+        "at least one full batch beyond the stranded tail must succeed, got {ok}"
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn aborted_connections_are_reaped_and_do_not_erode_capacity() {
+    let scratch = Scratch::new("serve-abort");
+    let registry = Registry::open(scratch.path("reg")).unwrap();
+    let manifest = registry.store(&sample_grammar(), "").unwrap();
+    let id_hex = manifest.id.to_hex();
+    let socket = scratch.path("pgr.sock");
+    let server = Server::bind(
+        &socket,
+        ServeConfig {
+            registry_root: scratch.path("reg"),
+            threads: 1,
+            workers: 1,
+            // One connection slot: a leaked entry for the aborted client
+            // would lock every later client out as overloaded.
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let image = base64_encode(&write_program(
+        &assemble(SAMPLE).unwrap(),
+        ImageKind::Uncompressed,
+    ));
+    // Pipeline two requests and hang up before reading either response:
+    // the first response's write fails against the closed peer, and the
+    // second completes only afterwards. Regression: the connection-table
+    // entry leaked (a completion below the skipped-ahead write cursor
+    // parked forever), permanently consuming the only slot.
+    {
+        let mut aborted = connect(&socket);
+        write!(
+            aborted,
+            "{{\"op\":\"stats\"}}\n{{\"op\":\"compress\",\"grammar\":\"{id_hex}\",\"image\":\"{image}\"}}\n"
+        )
+        .unwrap();
+        aborted.flush().unwrap();
+    } // dropped: peer aborts mid-pipeline
+
+    // Give both requests time to complete against the dead connection.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+
+    let mut stream = connect(&socket);
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let resp = exchange(&mut stream, r#"{"op":"stats"}"#);
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "the aborted connection must have been reaped, freeing its slot: {resp:?}"
+    );
+
+    let resp = exchange(&mut stream, r#"{"op":"shutdown"}"#);
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    server_thread.join().unwrap();
+}
+
+#[test]
 fn shutdown_drains_in_flight_and_batched_requests() {
     let scratch = Scratch::new("serve-drain");
     let registry = Registry::open(scratch.path("reg")).unwrap();
