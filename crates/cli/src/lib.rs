@@ -33,7 +33,7 @@ use pgr_bytecode::{
     read_program_tagged, validate_program, write_program, write_program_tagged, ImageKind, Program,
 };
 use pgr_core::{train, ExpanderConfig, TrainConfig};
-use pgr_grammar::{Grammar, GrammarFile, Nt};
+use pgr_grammar::GrammarFile;
 use pgr_registry::{op_of_hist_name, GrammarId, Registry, ServeConfig, Server};
 use pgr_telemetry::{
     names, trace, JsonSink, Metrics, Recorder, Sink, Stopwatch, TableSink, TraceId,
@@ -41,10 +41,6 @@ use pgr_telemetry::{
 };
 use pgr_vm::{Vm, VmConfig};
 use std::path::Path;
-
-/// Grammar-file magic.
-#[deprecated(note = "use pgr_grammar::file::MAGIC")]
-pub const GRAMMAR_MAGIC: &[u8; 4] = b"PGRG";
 
 /// Run the CLI with the given arguments (excluding the program name);
 /// returns the process exit code.
@@ -88,7 +84,8 @@ fn usage() -> String {
      \x20     [--earley-budget ITEMS[,COLUMNS]] [--no-fallback] [--trace-out <t.json>]\n\
      \x20 decompress <in.pgrc> [-g <grammar>] -o <out.pgrb>\n\
      \x20 run <in.pgrb|in.pgrc> [-g <grammar>] [--stdin TEXT] [--trace N]\n\
-     \x20     [--segment-cache N] [--reference-walker] [--trace-out <t.json>]\n\
+     \x20     [--segment-cache N] [--tier {0|1|2}] [--tier-up N]\n\
+     \x20     [--reference-walker] [--trace-out <t.json>]\n\
      \x20 verify <in.pgrb|in.pgrc> [-g <grammar>]\n\
      \x20 stats <in.pgrb>\n\
      \x20 cgen -g <grammar> [-p <image>] -o <dir>\n\
@@ -145,6 +142,8 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--batch-bytes"
             || a == "--earley-budget"
             || a == "--segment-cache"
+            || a == "--tier"
+            || a == "--tier-up"
             || a == "--metrics"
             || a == "--metrics-out"
             || a == "-p"
@@ -323,24 +322,6 @@ fn pipeline_err(e: impl Into<PgrError>) -> String {
 }
 
 // ---- grammar files and the registry ------------------------------------
-
-/// Serialize a grammar plus the two non-terminal handles the compressed
-/// interpreter needs.
-#[deprecated(note = "use pgr_grammar::GrammarFile::to_bytes")]
-pub fn write_grammar_file(grammar: &Grammar, start: Nt, byte_nt: Nt) -> Vec<u8> {
-    GrammarFile::new(grammar.clone(), start, byte_nt).to_bytes()
-}
-
-/// Parse a grammar file.
-///
-/// # Errors
-///
-/// Reports bad magic/version or a malformed grammar body.
-#[deprecated(note = "use pgr_grammar::GrammarFile::from_bytes")]
-pub fn read_grammar_file(bytes: &[u8]) -> Result<(Grammar, Nt, Nt), String> {
-    let file = GrammarFile::from_bytes(bytes).map_err(|e| pgr::error_chain(&e))?;
-    Ok((file.grammar, file.start, file.byte_nt))
-}
 
 /// A grammar the CLI resolved, with its content address — the id is
 /// what `compress` stamps into the output image header.
@@ -624,12 +605,27 @@ fn cmd_run(args: &[String]) -> Result<i32, String> {
             .map_err(|_| format!("bad --segment-cache {v:?}"))?,
         None => VmConfig::default().segment_cache_entries,
     };
+    let tier = match opt_value(args, "--tier") {
+        Some(v) => match v.parse::<u8>() {
+            Ok(t @ 0..=2) => t,
+            _ => return Err(format!("bad --tier {v:?} (expected 0, 1, or 2)")),
+        },
+        None => VmConfig::default().tier,
+    };
+    let tier_up = match opt_value(args, "--tier-up") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| format!("bad --tier-up {v:?}"))?,
+        None => VmConfig::default().tier_up,
+    };
     let config = VmConfig {
         input: opt_value(args, "--stdin").unwrap_or("").as_bytes().to_vec(),
         trace_limit,
         recorder: recorder.clone(),
         reference_walker: flag(args, "--reference-walker"),
         segment_cache_entries,
+        tier,
+        tier_up,
         ..VmConfig::default()
     };
     // Root trace id for the command; the VM's interpreter thread
@@ -1072,13 +1068,16 @@ pub fn render_top(response: &str) -> Result<String, String> {
     let _ = writeln!(
         out,
         "queue depth {}   engines {}   rejected {rejected} ({rejected_pct:.2}%)   \
-         batch size p50/p99 {}/{}   batch wait µs p50/p99 {}/{}",
+         batch size p50/p99 {}/{}   batch wait µs p50/p99 {}/{}   \
+         tier2 compiled {} deopts {}",
         num(&doc, "queue_depth"),
         num(&doc, "engines"),
         quant(batch_size, "p50"),
         quant(batch_size, "p99"),
         quant(batch_wait, "p50"),
         quant(batch_wait, "p99"),
+        num(window, "tier2_compiled"),
+        num(window, "tier2_deopts"),
     );
     out.push('\n');
     let _ = writeln!(

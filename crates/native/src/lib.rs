@@ -16,8 +16,17 @@
 //! executable needs no interpreter, no label tables (branch offsets are
 //! inline), no descriptors and no trampolines, so its total is code +
 //! data — which is what Table 2's third row reflects.
+//!
+//! This crate is the home of everything that lowers bytecode *below*
+//! the grammar level. Besides the x86-size model, the [`fuse`] module
+//! performs superinstruction selection for the VM's profile-guided
+//! tier-2 backend: it fuses a hot segment's resolved instruction trace
+//! into specialized superinstructions (the same peephole vocabulary,
+//! re-targeted at interpreter handlers instead of a listing).
 
 #![warn(missing_docs)]
+
+pub mod fuse;
 
 use pgr_bytecode::{decode, Instruction, Opcode, Procedure, Program};
 

@@ -605,10 +605,11 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
         recorder: state.recorder.clone(),
         ..VmConfig::default()
     };
-    let (result, grammar) = match kind {
+    let (result, grammar, tier2) = match kind {
         ImageKind::Uncompressed => {
             let mut vm = Vm::new(&program, config).map_err(|e| error_chain(&e))?;
-            (vm.run().map_err(|e| error_chain(&e))?, None)
+            let result = vm.run().map_err(|e| error_chain(&e))?;
+            (result, None, vm.tier2_stats())
         }
         ImageKind::Compressed => {
             let engine = state.engine_of_request(doc, header_id)?;
@@ -620,9 +621,17 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
                 config,
             )
             .map_err(|e| error_chain(&e))?;
-            (vm.run().map_err(|e| error_chain(&e))?, Some(engine.id))
+            let result = vm.run().map_err(|e| error_chain(&e))?;
+            (result, Some(engine.id), vm.tier2_stats())
         }
     };
+    // Surface this request's tier-2 activity in the sliding stats
+    // window, so `pgr top` shows tier-up churn as it happens.
+    state.window.lock().expect("window lock").record_tier2(
+        state.start.elapsed().as_secs(),
+        tier2.compiled,
+        tier2.deopts,
+    );
     Ok((
         ResponseLine::ok()
             .int_field(

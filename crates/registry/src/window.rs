@@ -33,6 +33,10 @@ struct Slot {
     batch_size: Hist,
     /// Oldest-request wait per dispatched batch, micros.
     batch_wait: Hist,
+    /// Hot segments tier-2-compiled by run requests.
+    tier2_compiled: u64,
+    /// Tiered replays deoptimized to tier-1 by run requests.
+    tier2_deopts: u64,
 }
 
 impl Slot {
@@ -45,12 +49,18 @@ impl Slot {
         self.per_grammar.clear();
         self.batch_size = Hist::default();
         self.batch_wait = Hist::default();
+        self.tier2_compiled = 0;
+        self.tier2_deopts = 0;
     }
 
     /// Whether the slot recorded anything at all (a batch dispatch or a
     /// rejection can land in a second with no completed requests).
     fn live(&self) -> bool {
-        self.requests > 0 || self.rejected > 0 || self.batch_size.count > 0
+        self.requests > 0
+            || self.rejected > 0
+            || self.batch_size.count > 0
+            || self.tier2_compiled > 0
+            || self.tier2_deopts > 0
     }
 }
 
@@ -81,6 +91,11 @@ pub struct WindowStats {
     pub batch_size: Hist,
     /// Oldest-request wait per dispatched batch, micros.
     pub batch_wait: Hist,
+    /// Hot segments tier-2-compiled by run requests inside the window.
+    pub tier2_compiled: u64,
+    /// Tiered replays deoptimized to tier-1 (telemetry or tracing
+    /// active) by run requests inside the window.
+    pub tier2_deopts: u64,
 }
 
 impl WindowStats {
@@ -122,7 +137,8 @@ impl WindowStats {
         format!(
             "{{\"window_secs\":{},\"requests\":{},\"errors\":{},\"rejected\":{},\
              \"rps\":{:.3},\"error_rate\":{:.4},\"ops\":{},\"grammars\":{},\
-             \"batch_size\":{},\"batch_wait\":{}}}",
+             \"batch_size\":{},\"batch_wait\":{},\
+             \"tier2_compiled\":{},\"tier2_deopts\":{}}}",
             self.window_secs,
             self.requests,
             self.errors,
@@ -133,6 +149,8 @@ impl WindowStats {
             map_json(&self.per_grammar),
             hist_json(&self.batch_size),
             hist_json(&self.batch_wait),
+            self.tier2_compiled,
+            self.tier2_deopts,
         )
     }
 }
@@ -185,6 +203,17 @@ impl SlidingWindow {
         slot.batch_wait.observe(wait_micros);
     }
 
+    /// Record one run request's tier-2 activity: segments compiled and
+    /// replays deoptimized during that request's execution.
+    pub fn record_tier2(&mut self, now_sec: u64, compiled: u64, deopts: u64) {
+        if compiled == 0 && deopts == 0 {
+            return;
+        }
+        let slot = self.slot_at(now_sec);
+        slot.tier2_compiled += compiled;
+        slot.tier2_deopts += deopts;
+    }
+
     /// The live slot for `now_sec`, reset first if its second is stale.
     fn slot_at(&mut self, now_sec: u64) -> &mut Slot {
         let idx = (now_sec % self.secs) as usize;
@@ -212,6 +241,8 @@ impl SlidingWindow {
             stats.requests += slot.requests;
             stats.errors += slot.errors;
             stats.rejected += slot.rejected;
+            stats.tier2_compiled += slot.tier2_compiled;
+            stats.tier2_deopts += slot.tier2_deopts;
             stats.batch_size = stats.batch_size.merge(slot.batch_size);
             stats.batch_wait = stats.batch_wait.merge(slot.batch_wait);
             for (k, h) in &slot.per_op {
@@ -295,6 +326,31 @@ mod tests {
         let p50 = op.get("p50").unwrap().as_u64().unwrap();
         assert!((100..=149).contains(&p50), "p50 = {p50}");
         assert!(doc.get("grammars").unwrap().get("abcd").is_some());
+    }
+
+    #[test]
+    fn tier2_counters_roll_through_the_window() {
+        let mut w = SlidingWindow::new(3);
+        w.record_tier2(0, 2, 5);
+        w.record_tier2(1, 1, 0);
+        // Zero activity records nothing (and must not keep an otherwise
+        // empty slot alive).
+        w.record_tier2(2, 0, 0);
+
+        let all = w.aggregate(2);
+        assert_eq!(all.tier2_compiled, 3);
+        assert_eq!(all.tier2_deopts, 5);
+
+        // Second 0 expires at t=3.
+        let later = w.aggregate(3);
+        assert_eq!(later.tier2_compiled, 1);
+        assert_eq!(later.tier2_deopts, 0);
+
+        let text = all.to_json();
+        let doc = pgr_telemetry::json::parse(&text).expect("window JSON parses");
+        use pgr_telemetry::json::Value;
+        assert_eq!(doc.get("tier2_compiled").and_then(Value::as_u64), Some(3));
+        assert_eq!(doc.get("tier2_deopts").and_then(Value::as_u64), Some(5));
     }
 
     #[test]

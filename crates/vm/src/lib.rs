@@ -60,8 +60,10 @@ pub mod machine;
 pub mod memory;
 pub mod natives;
 pub mod ruleprog;
+pub mod tier;
 pub mod value;
 
 pub use error::VmError;
 pub use machine::{RunResult, TraceEvent, Vm, VmConfig};
+pub use tier::Tier2Stats;
 pub use value::Slot;

@@ -16,11 +16,13 @@ use crate::exec::Flow;
 use crate::memory::Memory;
 use crate::natives::{self, Native, NativeOutcome};
 use crate::ruleprog::{self, RuleProgram, SegStep, SegTrace};
+use crate::tier::{self, Tier2Program, Tier2Stats, TieredCache};
 use crate::value::Slot;
 use pgr_bytecode::{escape, GlobalEntry, Opcode, Procedure, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
+use pgr_native::fuse::Fused;
 use pgr_telemetry::{names, trace, Metrics, Recorder};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// First mapped data address (0 stays unmapped so null faults).
@@ -74,6 +76,15 @@ pub struct VmConfig {
     /// trace by stream offset, so loop back-edges replay instructions
     /// without re-walking derivations.
     pub segment_cache_entries: usize,
+    /// Highest execution tier for compressed programs: 0 = derivation
+    /// walk only (segment cache off), 1 = decoded-segment replay,
+    /// 2 = profile-guided superinstruction compilation of hot segments
+    /// (the default).
+    pub tier: u8,
+    /// Replay count at which a cached segment compiles to tier 2.
+    pub tier_up: u32,
+    /// Tier-2 program cache capacity in entries (LRU-evicted).
+    pub tier2_cache_entries: usize,
 }
 
 impl Default for VmConfig {
@@ -89,6 +100,9 @@ impl Default for VmConfig {
             recorder: Recorder::disabled(),
             reference_walker: false,
             segment_cache_entries: 1024,
+            tier: 2,
+            tier_up: 64,
+            tier2_cache_entries: 256,
         }
     }
 }
@@ -191,15 +205,20 @@ pub struct Vm<'p> {
     /// The compiled rule programs, when the compressed fast path is
     /// active (compressed repr and `reference_walker` off).
     ruleprog: Option<Arc<RuleProgram>>,
-    /// Decoded-segment cache: `(proc, pc)` → replayable trace, or `None`
-    /// for segments proven uncacheable (their decode faults). Entries
-    /// are `Arc`s so replay can iterate a trace while `exec_op` borrows
+    /// Decoded-segment cache: `(proc, pc)` → replayable trace plus its
+    /// tier-2 state ([`tier::SegEntry`]), or `None` for segments proven
+    /// uncacheable (their decode faults). Traces and compiled programs
+    /// are `Arc`s so replay can iterate them while `exec_op` borrows
     /// the VM mutably.
-    seg_cache: HashMap<u64, Option<Arc<SegTrace>>>,
+    seg_cache: tier::SegKeyMap<Option<tier::SegEntry>>,
     seg_cache_cap: usize,
     seg_cache_bytes: usize,
     seg_hits: u64,
     seg_misses: u64,
+    /// Tier-2 state: hot-segment replay counters and compiled
+    /// superinstruction programs. `None` below tier 2 (and for plain or
+    /// reference-walker execution).
+    tier2: Option<TieredCache>,
     /// Whether a stream byte equal to [`escape::VERBATIM_MARKER`] can
     /// only mean a verbatim escape: true when the grammar's start
     /// non-terminal has at most 255 rules (the compressor reserves the
@@ -327,12 +346,20 @@ impl<'p> Vm<'p> {
             call_depth_peak: 0,
             walk_depth_peak: 0,
             operand_stack_peak: 0,
-            ruleprog,
-            seg_cache: HashMap::new(),
-            seg_cache_cap: config.segment_cache_entries,
+            seg_cache: tier::SegKeyMap::default(),
+            // Tier 0 forces the pure derivation walk: no segment cache,
+            // and therefore nothing to tier up from.
+            seg_cache_cap: if config.tier == 0 {
+                0
+            } else {
+                config.segment_cache_entries
+            },
             seg_cache_bytes: 0,
             seg_hits: 0,
             seg_misses: 0,
+            tier2: (config.tier >= 2 && config.segment_cache_entries > 0 && ruleprog.is_some())
+                .then(|| TieredCache::new(config.tier2_cache_entries, config.tier_up)),
+            ruleprog,
             verbatim_ok,
             verbatim_segments: 0,
         })
@@ -414,6 +441,14 @@ impl<'p> Vm<'p> {
             batch.gauge_max(names::VM_SEG_CACHE_ENTRIES, self.seg_cache.len() as u64);
             batch.gauge_max(names::VM_RULEPROG_BYTES, rp.table_bytes() as u64);
             batch.gauge_max(names::VM_RULEPROG_MICRO_OPS, rp.micro_ops() as u64);
+        }
+        if let Some(t2) = &self.tier2 {
+            let s = t2.stats();
+            batch.add(names::VM_TIER2_COMPILED, s.compiled);
+            batch.add(names::VM_TIER2_FUSED_OPS, s.fused_ops);
+            batch.add(names::VM_TIER2_HITS, s.hits);
+            batch.add(names::VM_TIER2_DEOPTS, s.deopts);
+            batch.gauge_max(names::VM_TIER2_BYTES, s.bytes);
         }
         for (byte, &count) in self.dispatch.iter().enumerate() {
             if count > 0 {
@@ -894,6 +929,12 @@ impl<'p> Vm<'p> {
         let mut stack: Vec<Slot> = Vec::with_capacity(16);
         let mut walk: Vec<WalkFrame> = Vec::with_capacity(64);
         let cache_on = self.seg_cache_cap > 0;
+        // Both inputs to the tier decision are fixed for the whole run
+        // (`telemetry_on` and `trace_limit` are set at construction),
+        // so hoist them out of the dispatch loop. `tier_up == 0` means
+        // tiering is off and segments never heat up.
+        let tier2_quiet = self.tier2.is_some() && !self.telemetry_on && self.trace_limit == 0;
+        let tier_up = self.tier2.as_ref().map_or(0, TieredCache::threshold);
         let mut rec = SegRecorder::default();
 
         loop {
@@ -915,27 +956,76 @@ impl<'p> Vm<'p> {
                 // Segment boundary: replay a cached decode, or start
                 // recording this one.
                 if cache_on {
+                    // One map lookup decides the whole tier ladder: the
+                    // entry carries the trace, the compiled program,
+                    // and the heat/recency counters, so the borrow of
+                    // the cache slot is all the steady state pays.
                     let key = seg_key(frame.proc_idx, pc);
-                    match self.seg_cache.get(&key) {
-                        Some(Some(trace)) if self.fuel >= trace.total_fuel => {
-                            let trace = trace.clone();
+                    let path = match self.seg_cache.get_mut(&key) {
+                        Some(Some(entry)) if self.fuel >= entry.trace.total_fuel => {
                             self.seg_hits += 1;
-                            match self.replay_segment(frame, proc, &trace, &mut stack)? {
-                                Replay::Goto(next) => {
-                                    pc = next;
-                                    continue;
+                            entry.tick = self.seg_hits;
+                            if let Some(prog) = &entry.tier2 {
+                                if tier2_quiet {
+                                    Some(TierPath::Fused(prog.clone()))
+                                } else {
+                                    Some(TierPath::Deopt(entry.trace.clone()))
                                 }
-                                Replay::Returned(v) => return Ok(v),
+                            } else if tier_up > 0 && !entry.trace.has_calls {
+                                // Call-carrying traces never tier up:
+                                // callee fuel is data-dependent, so
+                                // their windows cannot burn up front.
+                                entry.heat += 1;
+                                if entry.heat >= tier_up {
+                                    entry.heat = 0;
+                                    Some(TierPath::Compile(entry.trace.clone()))
+                                } else {
+                                    Some(TierPath::Replay(entry.trace.clone()))
+                                }
+                            } else {
+                                Some(TierPath::Replay(entry.trace.clone()))
                             }
                         }
                         // Known-uncacheable segment, or not enough fuel
                         // left for an exact batched replay: walk it.
-                        Some(_) => self.seg_misses += 1,
+                        Some(_) => {
+                            self.seg_misses += 1;
+                            None
+                        }
                         None => {
                             self.seg_misses += 1;
                             if self.seg_cache.len() < self.seg_cache_cap {
                                 rec.begin(key);
                             }
+                            None
+                        }
+                    };
+                    if let Some(path) = path {
+                        let replayed = match path {
+                            TierPath::Fused(prog) => {
+                                self.tier2_mut().note_hit();
+                                self.run_tier2(frame, proc, &prog, &mut stack)?
+                            }
+                            TierPath::Deopt(trace) => {
+                                let t2 = self.tier2_mut();
+                                t2.note_hit();
+                                t2.note_deopt();
+                                self.replay_segment(frame, proc, &trace, &mut stack)?
+                            }
+                            TierPath::Compile(trace) => {
+                                self.tier_up(key, &trace, proc);
+                                self.replay_segment(frame, proc, &trace, &mut stack)?
+                            }
+                            TierPath::Replay(trace) => {
+                                self.replay_segment(frame, proc, &trace, &mut stack)?
+                            }
+                        };
+                        match replayed {
+                            Replay::Goto(next) => {
+                                pc = next;
+                                continue;
+                            }
+                            Replay::Returned(v) => return Ok(v),
                         }
                     }
                 }
@@ -1174,6 +1264,190 @@ impl<'p> Vm<'p> {
         Ok(Replay::Goto(trace.end_pc as usize))
     }
 
+    /// The tier-2 ledger; only called on paths the dispatch loop takes
+    /// when a program is (or is about to be) tiered, which implies the
+    /// ladder is active.
+    fn tier2_mut(&mut self) -> &mut TieredCache {
+        self.tier2.as_mut().expect("tiered segment implies tier 2")
+    }
+
+    /// Compile a hot segment and admit its program under the tier-2
+    /// cap, first evicting the least recently replayed program
+    /// (minimum [`tier::SegEntry::tick`]) while over it. Eviction drops
+    /// the compiled program only — the tier-1 trace stays cached, and a
+    /// segment that stays hot simply recompiles.
+    fn tier_up(&mut self, key: u64, trace: &SegTrace, proc: &Procedure) {
+        let prog = Arc::new(tier::compile(trace, proc, &self.globals));
+        let Some(t2) = self.tier2.as_mut() else {
+            return;
+        };
+        while t2.resident() >= t2.cap() as u64 {
+            let victim = self
+                .seg_cache
+                .values_mut()
+                .filter_map(Option::as_mut)
+                .filter(|e| e.tier2.is_some())
+                .min_by_key(|e| e.tick);
+            let Some(entry) = victim else { break };
+            let old = entry.tier2.take().expect("victim holds a program");
+            t2.note_evicted(&old);
+        }
+        t2.note_compiled(&prog);
+        let entry = self
+            .seg_cache
+            .get_mut(&key)
+            .and_then(Option::as_mut)
+            .expect("compiling segment is cached");
+        entry.tier2 = Some(prog);
+    }
+
+    /// Execute a compiled tier-2 program: the whole segment's fuel is
+    /// debited in one subtraction, straight-line runs execute as fused
+    /// handlers with operands and branch targets burnt in, and every
+    /// side exit (taken branch, return, fault) refunds the unexecuted
+    /// remainder through the program's fuel prefix sums — byte-identical
+    /// accounting to [`Vm::replay_segment_lean`], pinned by the
+    /// differential proptests. Only quiet, call-free segments reach this
+    /// loop (dispatch and compilation guarantee it), so no step consumes
+    /// fuel of its own and no per-step telemetry is owed.
+    fn run_tier2(
+        &mut self,
+        frame: &FrameCtx,
+        proc: &Procedure,
+        prog: &Tier2Program,
+        stack: &mut Vec<Slot>,
+    ) -> Result<Replay, Stop> {
+        self.fuel -= prog.total_fuel;
+        self.steps += prog.total_fuel;
+        // A side exit at source step `i` has consumed `prefix[i]` fuel;
+        // the rest of the upfront debit is refunded before leaving.
+        macro_rules! exit {
+            ($consumed:expr, $out:expr) => {{
+                let refund = prog.total_fuel - $consumed;
+                self.fuel += refund;
+                self.steps -= refund;
+                return $out;
+            }};
+        }
+        macro_rules! underflow {
+            ($op:expr, $consumed:expr) => {
+                exit!(
+                    $consumed,
+                    Err(Stop::Error(VmError::StackUnderflow {
+                        proc: proc.name.clone(),
+                        opcode: $op,
+                    }))
+                )
+            };
+        }
+        for sop in prog.ops.iter() {
+            let last = sop.last as usize;
+            match sop.fused {
+                Fused::Push { imm } => stack.push(Slot::from_u(imm)),
+                Fused::PushLocal { off } => stack.push(Slot::from_u(frame.locals_base + off)),
+                Fused::PushArg { off } => stack.push(Slot::from_u(frame.args_base + off)),
+                Fused::LoadLocal { off } => match self.mem.load_u32(frame.locals_base + off) {
+                    Ok(v) => stack.push(Slot::from_u(v)),
+                    Err(e) => exit!(prog.prefix[last], Err(Stop::Error(e))),
+                },
+                Fused::LoadArg { off } => match self.mem.load_u32(frame.args_base + off) {
+                    Ok(v) => stack.push(Slot::from_u(v)),
+                    Err(e) => exit!(prog.prefix[last], Err(Stop::Error(e))),
+                },
+                Fused::StoreLocal { off } => {
+                    let Some(v) = stack.pop() else {
+                        underflow!(Opcode::ASGNU, prog.prefix[last]);
+                    };
+                    if let Err(e) = self.mem.store_u32(frame.locals_base + off, v.u()) {
+                        exit!(prog.prefix[last], Err(Stop::Error(e)));
+                    }
+                }
+                Fused::StoreArg { off } => {
+                    let Some(v) = stack.pop() else {
+                        underflow!(Opcode::ASGNU, prog.prefix[last]);
+                    };
+                    if let Err(e) = self.mem.store_u32(frame.args_base + off, v.u()) {
+                        exit!(prog.prefix[last], Err(Stop::Error(e)));
+                    }
+                }
+                Fused::LoadGlobal { addr } => match self.mem.load_u32(addr) {
+                    Ok(v) => stack.push(Slot::from_u(v)),
+                    Err(e) => exit!(prog.prefix[last], Err(Stop::Error(e))),
+                },
+                Fused::StoreGlobal { addr } => {
+                    let Some(v) = stack.pop() else {
+                        underflow!(Opcode::ASGNU, prog.prefix[last]);
+                    };
+                    if let Err(e) = self.mem.store_u32(addr, v.u()) {
+                        exit!(prog.prefix[last], Err(Stop::Error(e)));
+                    }
+                }
+                Fused::AluImm { op, imm } => {
+                    let Some(a) = stack.pop() else {
+                        underflow!(op, prog.prefix[last]);
+                    };
+                    stack.push(alu_imm(op, a, imm));
+                }
+                Fused::CmpBr { cmp, target } => {
+                    // The comparison is the second-to-last constituent;
+                    // an underflow there (either pop — the operator pops
+                    // b first, like `exec_op`) charges its step, while a
+                    // taken branch charges through the BrTrue.
+                    let Some(b) = stack.pop() else {
+                        underflow!(cmp, prog.prefix[last - 1]);
+                    };
+                    let Some(a) = stack.pop() else {
+                        underflow!(cmp, prog.prefix[last - 1]);
+                    };
+                    if cmp_eval(cmp, a, b) {
+                        exit!(prog.prefix[last], Ok(Replay::Goto(target as usize)));
+                    }
+                }
+                Fused::CmpImmBr { cmp, imm, target } => {
+                    let Some(a) = stack.pop() else {
+                        underflow!(cmp, prog.prefix[last - 1]);
+                    };
+                    if cmp_eval(cmp, a, Slot::from_u(imm)) {
+                        exit!(prog.prefix[last], Ok(Replay::Goto(target as usize)));
+                    }
+                }
+                Fused::BrTruePop { target } => {
+                    let Some(flag) = stack.pop() else {
+                        underflow!(Opcode::BrTrue, prog.prefix[last]);
+                    };
+                    if flag.u() != 0 {
+                        exit!(prog.prefix[last], Ok(Replay::Goto(target as usize)));
+                    }
+                }
+                Fused::Jump { target } => {
+                    exit!(prog.prefix[last], Ok(Replay::Goto(target as usize)))
+                }
+                Fused::Exec { op, operands } => match self.exec_op(op, operands, frame, stack) {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Branch(label)) => match Self::branch_target(proc, label) {
+                        Ok(t) => exit!(prog.prefix[last], Ok(Replay::Goto(t))),
+                        Err(e) => exit!(prog.prefix[last], Err(e)),
+                    },
+                    Ok(Flow::Return(v)) => {
+                        exit!(prog.prefix[last], Ok(Replay::Returned(v)))
+                    }
+                    Err(stop) => exit!(prog.prefix[last], Err(stop)),
+                },
+            }
+        }
+        Ok(Replay::Goto(prog.end_pc as usize))
+    }
+
+    /// Snapshot of tier-2 activity (all zeros when tiering is
+    /// inactive). Live regardless of telemetry, so serving hosts can
+    /// surface tier-up behavior without enabling a recorder.
+    pub fn tier2_stats(&self) -> Tier2Stats {
+        self.tier2
+            .as_ref()
+            .map(TieredCache::stats)
+            .unwrap_or_default()
+    }
+
     /// A branch or return abandoned the walk mid-segment while
     /// recording: continue the *decode* (no fuel, no execution) over a
     /// shadow walk until the segment drains, so the cached trace is
@@ -1259,7 +1533,8 @@ impl<'p> Vm<'p> {
         rec.active = false;
         if self.seg_cache.len() < self.seg_cache_cap && !self.seg_cache.contains_key(&rec.key) {
             self.seg_cache_bytes += trace.bytes();
-            self.seg_cache.insert(rec.key, Some(Arc::new(trace)));
+            self.seg_cache
+                .insert(rec.key, Some(tier::SegEntry::new(Arc::new(trace))));
         }
     }
 
@@ -1269,7 +1544,7 @@ impl<'p> Vm<'p> {
         rec.active = false;
         rec.steps.clear();
         if self.seg_cache.len() < self.seg_cache_cap && !self.seg_cache.contains_key(&rec.key) {
-            self.seg_cache_bytes += size_of::<u64>() + size_of::<Option<Arc<SegTrace>>>();
+            self.seg_cache_bytes += size_of::<u64>() + size_of::<Option<tier::SegEntry>>();
             self.seg_cache.insert(rec.key, None);
         }
     }
@@ -1290,8 +1565,66 @@ enum Replay {
     Returned(Slot),
 }
 
+/// How a segment-cache hit is serviced, decided in the dispatch loop
+/// while the single cache-entry borrow is live. Cloning the `Arc`s out
+/// lets the replay methods take `&mut self` afterwards.
+enum TierPath {
+    /// Run the compiled tier-2 superinstruction program.
+    Fused(Arc<Tier2Program>),
+    /// The segment is tiered, but telemetry or tracing needs per-step
+    /// bookkeeping: deoptimize to tier-1 replay.
+    Deopt(Arc<SegTrace>),
+    /// This replay crossed the tier-up threshold: compile, then replay
+    /// at tier 1 (the program serves the next quiet hit).
+    Compile(Arc<SegTrace>),
+    /// Plain tier-1 replay.
+    Replay(Arc<SegTrace>),
+}
+
 fn seg_key(proc_idx: usize, pc: usize) -> u64 {
     ((proc_idx as u64) << 32) | pc as u64
+}
+
+/// Evaluate a fused integer comparison. Mirrors the `cmp!` arms of
+/// [`exec::exec_op`]; [`pgr_native::fuse`] only emits the operators
+/// listed here.
+#[inline]
+fn cmp_eval(cmp: Opcode, a: Slot, b: Slot) -> bool {
+    match cmp {
+        Opcode::EQU => a.u() == b.u(),
+        Opcode::NEU => a.u() != b.u(),
+        Opcode::LTU => a.u() < b.u(),
+        Opcode::LEU => a.u() <= b.u(),
+        Opcode::GTU => a.u() > b.u(),
+        Opcode::GEU => a.u() >= b.u(),
+        Opcode::LTI => a.i() < b.i(),
+        Opcode::LEI => a.i() <= b.i(),
+        Opcode::GTI => a.i() > b.i(),
+        Opcode::GEI => a.i() >= b.i(),
+        other => unreachable!("non-fusable comparison {other:?}"),
+    }
+}
+
+/// Apply a fused ALU operator to `a` with the burnt-in immediate as the
+/// right operand. Mirrors the `bin_u!`/`bin_i!` arms of
+/// [`exec::exec_op`]; [`pgr_native::fuse`] never fuses an immediate
+/// into DIV/MOD (their divide-by-zero fault is data-dependent).
+#[inline]
+fn alu_imm(op: Opcode, a: Slot, imm: u32) -> Slot {
+    match op {
+        Opcode::ADDU => Slot::from_u(a.u().wrapping_add(imm)),
+        Opcode::SUBU => Slot::from_u(a.u().wrapping_sub(imm)),
+        Opcode::MULU => Slot::from_u(a.u().wrapping_mul(imm)),
+        Opcode::MULI => Slot::from_i(a.i().wrapping_mul(imm as i32)),
+        Opcode::BANDU => Slot::from_u(a.u() & imm),
+        Opcode::BORU => Slot::from_u(a.u() | imm),
+        Opcode::BXORU => Slot::from_u(a.u() ^ imm),
+        Opcode::LSHI => Slot::from_i(a.i().wrapping_shl(imm & 31)),
+        Opcode::LSHU => Slot::from_u(a.u().wrapping_shl(imm & 31)),
+        Opcode::RSHI => Slot::from_i(a.i().wrapping_shr(imm & 31)),
+        Opcode::RSHU => Slot::from_u(a.u().wrapping_shr(imm & 31)),
+        other => unreachable!("non-fusable ALU operator {other:?}"),
+    }
 }
 
 /// Accumulates a segment decode into [`SegStep`] windows while the fast
@@ -1356,5 +1689,77 @@ impl SegRecorder {
             self.win_rules = 0;
             self.win_depth = 0;
         }
+    }
+}
+
+#[cfg(test)]
+mod tier_dispatch_tests {
+    use super::*;
+    use pgr_bytecode::asm::assemble;
+    use pgr_core::{train, TrainConfig};
+
+    /// Counting loop — every segment replays enough to tier up at any
+    /// threshold.
+    const LOOP: &str = "proc main frame=16 args=0\n\
+         \tLIT1 0\n\tADDRLP 0\n\tASGNU\n\
+         \tLIT1 0\n\tADDRLP 8\n\tASGNU\n\
+         \tlabel 0\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 12\n\tLTI\n\tBrTrue 1\n\
+         \tJUMPV 2\n\
+         \tlabel 1\n\
+         \tADDRLP 8\n\tINDIRU\n\tLIT1 5\n\tADDU\n\tADDRLP 8\n\tASGNU\n\
+         \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+         \tJUMPV 0\n\
+         \tlabel 2\n\
+         \tADDRLP 8\n\tINDIRU\n\tRETU\n\
+         endproc\nentry main\n";
+
+    /// Negative cache entries ("this segment's decode faults") must
+    /// never reach the tier ladder: a fully poisoned cache walks every
+    /// segment fresh, compiles nothing, and still produces the
+    /// byte-identical result.
+    #[test]
+    fn negative_segments_never_tier_up() {
+        let program = assemble(LOOP).unwrap();
+        let trained = train(&[&program], &TrainConfig::default()).unwrap();
+        let (cp, _) = trained.compress(&program).unwrap();
+        let ig = trained.initial();
+        let config = VmConfig {
+            tier_up: 1,
+            ..VmConfig::default()
+        };
+        let mk = || {
+            Vm::new_compressed(
+                &cp.program,
+                trained.expanded(),
+                ig.nt_start,
+                ig.nt_byte,
+                config.clone(),
+            )
+            .unwrap()
+        };
+
+        let mut vm = mk();
+        let clean = vm.run().unwrap();
+        assert!(
+            vm.tier2_stats().compiled > 0,
+            "hot loop should tier up in the clean run"
+        );
+
+        let mut vm = mk();
+        for (proc_idx, p) in cp.program.procs.iter().enumerate() {
+            for pc in 0..=p.code.len() {
+                vm.seg_cache.insert(seg_key(proc_idx, pc), None);
+            }
+        }
+        let poisoned = vm.run().unwrap();
+        let stats = vm.tier2_stats();
+        assert_eq!(stats.compiled, 0, "negative segment tiered up");
+        assert_eq!(stats.hits, 0);
+        assert!(
+            vm.seg_misses > 2,
+            "poisoned segments should be re-walked on every visit"
+        );
+        assert_eq!(poisoned, clean);
     }
 }

@@ -1,0 +1,310 @@
+//! Tier-2 execution state: compiled superinstruction programs and the
+//! bounded cache that owns them.
+//!
+//! The execution tiers of a compressed program, lowest to highest:
+//!
+//! * **tier 0** — the derivation walk itself (`interp_nt` /
+//!   `interp_nt_fast` with the segment cache disabled);
+//! * **tier 1** — the decoded-segment cache of PR 4: the first walk of
+//!   a label-delimited segment records its resolved instruction trace,
+//!   and later entries at the same `pc` replay it;
+//! * **tier 2** — this module: when a cached segment's replay count
+//!   crosses [`TieredCache::threshold`], its trace is fused (by
+//!   [`pgr_native::fuse`]) into a [`Tier2Program`] of superinstructions
+//!   executed by `Vm::run_tier2` in `machine.rs`.
+//!
+//! A [`Tier2Program`] carries the fuel prefix sums of its source trace,
+//! so the fused loop burns the whole segment's fuel in one subtraction
+//! and maps any side exit (taken branch, return, fault) back to the
+//! exact source-step boundary the tier-1 replay would have charged —
+//! the equivalence contract of DESIGN.md §5j. Segments whose traces
+//! contain calls never tier up (callee fuel is data-dependent, so their
+//! windows cannot burn up front), and negative cache entries (segments
+//! whose decode faults) never replay at all, so they never get hot.
+//!
+//! Compiled programs are embedded in the owning segment-cache entries
+//! ([`SegEntry`]) so a steady-state tiered replay costs exactly one map
+//! lookup; [`TieredCache`] is the policy and ledger that bounds them.
+//! The bound matters: serving hosts run many grammars through
+//! long-lived engines, and an unbounded population of compiled programs
+//! is exactly the leak the engine LRU of PR 8 fixed one layer up.
+//! Eviction drops the compiled program only — the tier-1 trace stays
+//! cached, and a segment that stays hot simply recompiles.
+
+use pgr_native::fuse::{self, SuperOp};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use crate::ruleprog::SegTrace;
+use pgr_bytecode::Procedure;
+
+/// Multiplicative hasher for segment keys (`proc_idx << 32 | pc`).
+/// These maps sit on the per-replay hot path and their keys are
+/// VM-internal, so SipHash's flood resistance buys nothing — Fibonacci
+/// hashing mixes the low pc bits well and costs one multiply.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SegKeyHasher(u64);
+
+impl Hasher for SegKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("segment keys hash through write_u64");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(17);
+    }
+}
+
+/// A `HashMap` keyed by segment key, using [`SegKeyHasher`].
+pub type SegKeyMap<V> = HashMap<u64, V, BuildHasherDefault<SegKeyHasher>>;
+
+/// One positive segment-cache entry: the tier-1 decoded trace plus the
+/// tier-2 state that rides along with it, so the replay hot path
+/// decides the whole tier ladder under a single map lookup.
+#[derive(Debug)]
+pub struct SegEntry {
+    /// The decoded tier-1 trace.
+    pub trace: Arc<SegTrace>,
+    /// The compiled superinstruction program, once the segment is hot.
+    pub tier2: Option<Arc<Tier2Program>>,
+    /// Replays since caching (or since the last compile); reaching
+    /// [`TieredCache::threshold`] tiers the segment up.
+    pub heat: u32,
+    /// Hit-clock value of the most recent replay; tier-up eviction
+    /// picks the minimum-tick program as its victim.
+    pub tick: u64,
+}
+
+impl SegEntry {
+    /// A fresh entry for a just-recorded trace: cold, untiered.
+    pub fn new(trace: Arc<SegTrace>) -> SegEntry {
+        SegEntry {
+            trace,
+            tier2: None,
+            heat: 0,
+            tick: 0,
+        }
+    }
+}
+
+/// A hot segment compiled to superinstructions, plus the accounting
+/// tables that keep fused execution byte-identical to tier-1 replay.
+#[derive(Debug)]
+pub struct Tier2Program {
+    /// The superinstructions, in execution order.
+    pub(crate) ops: Box<[SuperOp]>,
+    /// `prefix[i]` = fuel the tier-1 replay has consumed through source
+    /// step `i` inclusive (`Σ pre_fuel[0..=i]`). A side exit or fault at
+    /// source step `i` refunds `total_fuel - prefix[i]`.
+    pub(crate) prefix: Box<[u64]>,
+    /// Total fuel of a fall-through replay (the source trace's).
+    pub(crate) total_fuel: u64,
+    /// Stream offset of the next segment on fall-through.
+    pub(crate) end_pc: u32,
+}
+
+impl Tier2Program {
+    /// Approximate resident size in bytes (the `vm.tier2.bytes` gauge).
+    pub fn bytes(&self) -> usize {
+        size_of::<Tier2Program>()
+            + self.ops.len() * size_of::<SuperOp>()
+            + self.prefix.len() * size_of::<u64>()
+    }
+
+    /// Number of superinstructions.
+    pub fn fused_ops(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Fuse a cached segment trace into a [`Tier2Program`], resolving
+/// branch labels through `proc`'s label table and global indices
+/// through the load-time `globals` table. Runs inline at tier-up: one
+/// linear pass over the already-resolved steps.
+pub fn compile(trace: &SegTrace, proc: &Procedure, globals: &[u32]) -> Tier2Program {
+    let steps: Vec<_> = trace.steps.iter().map(|s| (s.op, s.operands)).collect();
+    let ops = fuse::fuse_steps(
+        &steps,
+        |label| proc.labels.get(usize::from(label)).copied(),
+        |idx| globals.get(usize::from(idx)).copied(),
+    );
+    let mut prefix = Vec::with_capacity(trace.steps.len());
+    let mut consumed = 0u64;
+    for s in trace.steps.iter() {
+        consumed += u64::from(s.pre_fuel);
+        prefix.push(consumed);
+    }
+    Tier2Program {
+        ops: ops.into_boxed_slice(),
+        prefix: prefix.into_boxed_slice(),
+        total_fuel: trace.total_fuel,
+        end_pc: trace.end_pc,
+    }
+}
+
+/// A snapshot of tier-2 activity, for telemetry and the serve stats
+/// window ([`crate::Vm::tier2_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tier2Stats {
+    /// Segments compiled to superinstruction programs.
+    pub compiled: u64,
+    /// Compiled programs dropped by LRU eviction.
+    pub evicted: u64,
+    /// Superinstructions across all compilations.
+    pub fused_ops: u64,
+    /// Resident bytes of compiled programs.
+    pub bytes: u64,
+    /// Replays served from a tiered segment (fused or deoptimized).
+    pub hits: u64,
+    /// Tiered replays that fell back to tier-1 per-step replay
+    /// (telemetry or tracing active — both need per-step bookkeeping).
+    pub deopts: u64,
+    /// Compiled programs currently resident.
+    pub resident: u64,
+}
+
+/// The tier-2 policy and ledger: how hot a segment must get before it
+/// compiles, how many compiled programs may be resident, and the
+/// counters behind the `vm.tier2.*` metrics. The programs themselves
+/// live in their segment-cache entries ([`SegEntry::tier2`]); this
+/// struct enforces the bound at the rare compile moments — when
+/// admission would exceed [`TieredCache::cap`], the VM evicts the least
+/// recently replayed program (minimum [`SegEntry::tick`]) and reports
+/// it here so the byte and residency ledgers stay exact.
+#[derive(Debug)]
+pub struct TieredCache {
+    cap: usize,
+    /// Replay count at which a segment compiles.
+    threshold: u32,
+    pub(crate) stats: Tier2Stats,
+}
+
+impl TieredCache {
+    /// A ledger admitting at most `cap` compiled programs, tiering a
+    /// segment up after `threshold` replays (both clamped to min 1).
+    pub fn new(cap: usize, threshold: u32) -> TieredCache {
+        TieredCache {
+            cap: cap.max(1),
+            threshold: threshold.max(1),
+            stats: Tier2Stats::default(),
+        }
+    }
+
+    /// Replay count at which a segment compiles.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Maximum resident compiled programs.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Compiled programs currently resident.
+    pub fn resident(&self) -> u64 {
+        self.stats.resident
+    }
+
+    /// Count one replay served from a tiered segment (fused or
+    /// deoptimized).
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Count one deoptimized replay (a tiered segment serviced by the
+    /// per-step tier-1 loop because telemetry or tracing is active).
+    pub fn note_deopt(&mut self) {
+        self.stats.deopts += 1;
+    }
+
+    /// Admit a freshly compiled program to the ledger. The caller must
+    /// first bring residency under [`TieredCache::cap`] via
+    /// [`TieredCache::note_evicted`].
+    pub fn note_compiled(&mut self, prog: &Tier2Program) {
+        self.stats.compiled += 1;
+        self.stats.fused_ops += prog.fused_ops() as u64;
+        self.stats.bytes += prog.bytes() as u64;
+        self.stats.resident += 1;
+    }
+
+    /// Release an evicted program from the ledger.
+    pub fn note_evicted(&mut self, prog: &Tier2Program) {
+        self.stats.bytes -= prog.bytes() as u64;
+        self.stats.evicted += 1;
+        self.stats.resident -= 1;
+    }
+
+    /// Current stats snapshot.
+    pub fn stats(&self) -> Tier2Stats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ruleprog::{SegStep, SegTrace};
+    use pgr_bytecode::Opcode;
+
+    fn trace_of(n: usize) -> SegTrace {
+        let steps: Vec<SegStep> = (0..n)
+            .map(|i| SegStep {
+                op: Opcode::LIT1,
+                operands: [i as u8, 0, 0, 0],
+                pre_fuel: 1,
+                pre_rules: 0,
+                pre_depth: 1,
+            })
+            .collect();
+        SegTrace {
+            steps: steps.into_boxed_slice(),
+            tail_fuel: 1,
+            tail_rules: 0,
+            tail_depth: 0,
+            end_pc: 9,
+            total_fuel: n as u64 + 1,
+            has_calls: false,
+        }
+    }
+
+    #[test]
+    fn prefix_sums_anchor_each_step() {
+        let proc = Procedure::new("t");
+        let prog = compile(&trace_of(4), &proc, &[]);
+        assert_eq!(&*prog.prefix, &[1, 2, 3, 4]);
+        assert_eq!(prog.total_fuel, 5);
+        assert_eq!(prog.end_pc, 9);
+    }
+
+    #[test]
+    fn cap_and_threshold_clamp_to_one() {
+        let cache = TieredCache::new(0, 0);
+        assert_eq!(cache.cap(), 1);
+        assert_eq!(cache.threshold(), 1);
+    }
+
+    #[test]
+    fn ledger_tracks_compiles_and_evictions() {
+        let proc = Procedure::new("t");
+        let mut cache = TieredCache::new(2, 1);
+        let a = compile(&trace_of(4), &proc, &[]);
+        let b = compile(&trace_of(8), &proc, &[]);
+        cache.note_compiled(&a);
+        cache.note_compiled(&b);
+        let s = cache.stats();
+        assert_eq!(s.compiled, 2);
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.bytes, (a.bytes() + b.bytes()) as u64);
+        assert!(s.fused_ops >= 2);
+        cache.note_evicted(&a);
+        let s = cache.stats();
+        assert_eq!(s.evicted, 1);
+        assert_eq!(s.resident, 1);
+        assert_eq!(s.bytes, b.bytes() as u64, "evicted bytes not released");
+    }
+}

@@ -90,14 +90,15 @@ fn trained() -> &'static Trained {
 }
 
 /// The `vm.*` telemetry view both paths must agree on: fast-path-only
-/// families (`vm.segment_cache.*`, `vm.ruleprog.*`) are excluded, and
-/// the two walk gauges are excluded for fuel-exhausted runs (see the
-/// module docs).
+/// families (`vm.segment_cache.*`, `vm.ruleprog.*`, `vm.tier2.*`) are
+/// excluded, and the two walk gauges are excluded for fuel-exhausted
+/// runs (see the module docs).
 fn vm_view(m: &Metrics, exact_walk: bool) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
     let keep = |k: &str| {
         k.starts_with("vm.")
             && !k.starts_with("vm.segment_cache.")
             && !k.starts_with("vm.ruleprog.")
+            && !k.starts_with("vm.tier2.")
             && (exact_walk || (k != "vm.rules_walked" && k != "vm.walk_depth_peak"))
     };
     (
@@ -114,9 +115,24 @@ fn vm_view(m: &Metrics, exact_walk: bool) -> (BTreeMap<String, u64>, BTreeMap<St
     )
 }
 
-/// Compress `src` once, then run it under the fast path, the fast path
-/// with the segment cache disabled, and the reference walker; assert
-/// byte-identical results, traces, and telemetry.
+/// The tier ladder both matrices drive, as
+/// `(reference_walker, segment_cache_entries, tier, tier_up)` rows:
+/// tier 2 at the default threshold, tier 2 forced hot (`tier_up: 1`
+/// compiles every segment on its first replay), tier 1 (cache without
+/// tier-up), tier 0 / cache off, and the reference walker.
+const CONFIGS: [(bool, usize, u8, u32); 6] = [
+    (false, 1024, 2, 64),
+    (false, 1024, 2, 1),
+    (false, 1024, 1, 64),
+    (false, 1024, 0, 64),
+    (false, 0, 2, 64),
+    (true, 0, 2, 64),
+];
+
+/// Compress `src` once, then run it under every tier of the fast path
+/// (superinstructions, segment replay, cache disabled) and the
+/// reference walker; assert byte-identical results, traces, and
+/// telemetry.
 fn differential(src: &str, fuel: u64) -> Result<(), TestCaseError> {
     let program = assemble(src).unwrap();
     let trained = trained();
@@ -124,7 +140,7 @@ fn differential(src: &str, fuel: u64) -> Result<(), TestCaseError> {
     let ig = trained.initial();
 
     let mut results = Vec::new();
-    for (reference_walker, segment_cache_entries) in [(false, 1024), (false, 0), (true, 0)] {
+    for (reference_walker, segment_cache_entries, tier, tier_up) in CONFIGS {
         let recorder = Recorder::new();
         let config = VmConfig {
             fuel,
@@ -132,6 +148,8 @@ fn differential(src: &str, fuel: u64) -> Result<(), TestCaseError> {
             recorder: recorder.clone(),
             reference_walker,
             segment_cache_entries,
+            tier,
+            tier_up,
             ..VmConfig::default()
         };
         let mut vm = Vm::new_compressed(
@@ -152,16 +170,19 @@ fn differential(src: &str, fuel: u64) -> Result<(), TestCaseError> {
         prop_assert_eq!(vm_view(m0, exact_walk), vm_view(m, exact_walk));
     }
 
-    // Telemetry and tracing off selects the lean replay loop (upfront
-    // fuel burn with early-exit refunds); its step accounting must stay
+    // Telemetry and tracing off selects the lean replay loop and — for
+    // tiered segments — the fused tier-2 handlers (upfront fuel burn
+    // with early-exit refunds); their step accounting must stay
     // byte-identical to both the instrumented runs above and the other
     // quiet configurations.
     let mut quiet = Vec::new();
-    for (reference_walker, segment_cache_entries) in [(false, 1024), (false, 0), (true, 0)] {
+    for (reference_walker, segment_cache_entries, tier, tier_up) in CONFIGS {
         let config = VmConfig {
             fuel,
             reference_walker,
             segment_cache_entries,
+            tier,
+            tier_up,
             ..VmConfig::default()
         };
         let mut vm = Vm::new_compressed(
@@ -234,10 +255,13 @@ proptest! {
         program.procs.push(proc);
 
         let mut outcomes = Vec::new();
-        for reference_walker in [false, true] {
+        // `tier_up: 1` compiles every replayed segment immediately, so
+        // corrupt streams that loop exercise the fused side exits too.
+        for (reference_walker, tier_up) in [(false, 64), (false, 1), (true, 64)] {
             let config = VmConfig {
                 fuel: 50_000,
                 reference_walker,
+                tier_up,
                 ..VmConfig::default()
             };
             let mut vm = Vm::new_compressed(
@@ -250,7 +274,9 @@ proptest! {
             .unwrap();
             outcomes.push(vm.run());
         }
-        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        for o in &outcomes[1..] {
+            prop_assert_eq!(&outcomes[0], o);
+        }
         if let Ok(r) = &outcomes[0] {
             prop_assert!(r.steps <= 50_000);
         }

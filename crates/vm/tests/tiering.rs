@@ -1,0 +1,164 @@
+//! Tier-2 lifecycle tests: tier-up, deoptimization, forced lower
+//! tiers, and LRU eviction of compiled programs — the policy layer
+//! around the superinstruction engine whose *semantics* are pinned by
+//! `differential.rs`.
+
+use pgr_bytecode::asm::assemble;
+use pgr_core::{train, TrainConfig, Trained};
+use pgr_telemetry::Recorder;
+use pgr_vm::{RunResult, Tier2Stats, Vm, VmConfig};
+use std::sync::OnceLock;
+
+/// Counting loop: `for (i = 0; i < 24; i++) sum += 7; return sum`. Two
+/// distinct hot segments (the loop head and the loop body) replay every
+/// iteration.
+const LOOP: &str = "proc main frame=16 args=0\n\
+     \tLIT1 0\n\tADDRLP 0\n\tASGNU\n\
+     \tLIT1 0\n\tADDRLP 8\n\tASGNU\n\
+     \tlabel 0\n\
+     \tADDRLP 0\n\tINDIRU\n\tLIT1 24\n\tLTI\n\tBrTrue 1\n\
+     \tJUMPV 2\n\
+     \tlabel 1\n\
+     \tADDRLP 8\n\tINDIRU\n\tLIT1 7\n\tADDU\n\tADDRLP 8\n\tASGNU\n\
+     \tADDRLP 0\n\tINDIRU\n\tLIT1 1\n\tADDU\n\tADDRLP 0\n\tASGNU\n\
+     \tJUMPV 0\n\
+     \tlabel 2\n\
+     \tADDRLP 8\n\tINDIRU\n\tRETU\n\
+     endproc\nentry main\n";
+
+fn trained() -> &'static Trained {
+    static T: OnceLock<Trained> = OnceLock::new();
+    T.get_or_init(|| {
+        let program = assemble(LOOP).unwrap();
+        train(&[&program], &TrainConfig::default()).unwrap()
+    })
+}
+
+/// Compress the loop once, run it under `config`, and return the result
+/// plus the tier-2 stats snapshot.
+fn run_loop(config: VmConfig) -> (RunResult, Tier2Stats) {
+    let program = assemble(LOOP).unwrap();
+    let trained = trained();
+    let (cp, _) = trained.compress(&program).unwrap();
+    let ig = trained.initial();
+    let mut vm = Vm::new_compressed(
+        &cp.program,
+        trained.expanded(),
+        ig.nt_start,
+        ig.nt_byte,
+        config,
+    )
+    .unwrap();
+    let result = vm.run().unwrap();
+    (result, vm.tier2_stats())
+}
+
+#[test]
+fn hot_loop_tiers_up_and_runs_fused() {
+    let (reference, zeros) = run_loop(VmConfig {
+        tier: 0,
+        ..VmConfig::default()
+    });
+    assert_eq!(zeros, Tier2Stats::default());
+
+    // Quiet run (no telemetry, no tracing) with immediate tier-up: the
+    // loop segments compile and later iterations execute fused.
+    let (fused, stats) = run_loop(VmConfig {
+        tier_up: 1,
+        ..VmConfig::default()
+    });
+    assert!(stats.compiled >= 1, "hot segments should compile");
+    assert!(stats.fused_ops >= 1);
+    assert!(stats.bytes > 0);
+    assert!(stats.hits >= 1, "fused programs should serve replays");
+    assert_eq!(stats.deopts, 0, "quiet runs never deoptimize");
+    assert_eq!(fused, reference, "tier 2 must be byte-identical");
+}
+
+#[test]
+fn telemetry_active_deopts_every_tiered_replay() {
+    let recorder = Recorder::new();
+    let (result, stats) = run_loop(VmConfig {
+        tier_up: 1,
+        recorder: recorder.clone(),
+        ..VmConfig::default()
+    });
+    let (reference, _) = run_loop(VmConfig {
+        tier: 0,
+        ..VmConfig::default()
+    });
+    // Telemetry needs per-step bookkeeping, so every tiered replay
+    // falls back to the tier-1 per-step loop — and says so.
+    assert!(stats.hits >= 1);
+    assert_eq!(stats.hits, stats.deopts);
+    assert_eq!(result.ret, reference.ret);
+    assert_eq!(result.steps, reference.steps);
+
+    let m = recorder.snapshot();
+    assert_eq!(m.counters().get("vm.tier2.compiled"), Some(&stats.compiled));
+    assert_eq!(m.counters().get("vm.tier2.hits"), Some(&stats.hits));
+    assert_eq!(m.counters().get("vm.tier2.deopts"), Some(&stats.deopts));
+    assert_eq!(
+        m.counters().get("vm.tier2.fused_ops"),
+        Some(&stats.fused_ops)
+    );
+    assert_eq!(m.gauges().get("vm.tier2.bytes"), Some(&stats.bytes));
+}
+
+#[test]
+fn tier_flags_force_lower_tiers() {
+    // --tier 1: the segment cache replays, but nothing ever compiles.
+    let r1 = Recorder::new();
+    let (tier1, stats1) = run_loop(VmConfig {
+        tier: 1,
+        tier_up: 1,
+        recorder: r1.clone(),
+        ..VmConfig::default()
+    });
+    assert_eq!(stats1, Tier2Stats::default());
+    let m1 = r1.snapshot();
+    assert!(m1.counters().get("vm.segment_cache.hits").copied() > Some(0));
+    assert_eq!(m1.counters().get("vm.tier2.compiled"), None);
+
+    // --tier 0: even the segment cache is off — every segment is
+    // walked fresh.
+    let r0 = Recorder::new();
+    let (tier0, stats0) = run_loop(VmConfig {
+        tier: 0,
+        tier_up: 1,
+        recorder: r0.clone(),
+        ..VmConfig::default()
+    });
+    assert_eq!(stats0, Tier2Stats::default());
+    let m0 = r0.snapshot();
+    assert_eq!(m0.counters().get("vm.segment_cache.hits"), Some(&0));
+    assert_eq!(m0.counters().get("vm.segment_cache.misses"), Some(&0));
+    assert_eq!(m0.counters().get("vm.tier2.compiled"), None);
+
+    assert_eq!(tier0, tier1);
+}
+
+#[test]
+fn eviction_drops_tiered_programs_but_keeps_running() {
+    // A one-entry tier-2 cache under two hot segments: each tier-up
+    // evicts the other's program, execution stays correct, and the
+    // stats ledger balances.
+    let (reference, _) = run_loop(VmConfig {
+        tier: 0,
+        ..VmConfig::default()
+    });
+    let (result, stats) = run_loop(VmConfig {
+        tier_up: 1,
+        tier2_cache_entries: 1,
+        ..VmConfig::default()
+    });
+    assert!(stats.compiled >= 2, "both loop segments should tier up");
+    assert!(stats.evicted >= 1, "the one-entry cache must evict");
+    assert_eq!(stats.resident, 1);
+    assert_eq!(
+        stats.compiled - stats.evicted,
+        stats.resident,
+        "compile/evict ledger out of balance"
+    );
+    assert_eq!(result, reference);
+}
