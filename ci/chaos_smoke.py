@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Chaos smoke for `pgr serve` + `pgr chaos-proxy`, stdlib-only.
+
+Chaos mode — churn faulted clients through a running chaos proxy while
+healthy clients talk to the server directly:
+
+    python3 ci/chaos_smoke.py chaos <proxy-socket> <server-socket> \
+        <grammar-id> <image.pgrb> [--seconds S] [--conns N]
+
+The proxy injects seeded partial writes, mid-frame resets, stalls, and
+garbage; the server behind it must (a) never hang a client that uses
+socket timeouts, (b) keep answering healthy direct connections with
+byte-identical compress results throughout, and (c) have every
+connection slot back by the end — verified by seating a burst of fresh
+direct connections. Any assertion failure exits non-zero. On success
+the server is shut down in-band so the caller's `wait` completes.
+
+Fake-overloaded mode — a one-shot stand-in server for `pgr call`:
+
+    python3 ci/chaos_smoke.py fake-overloaded <socket> [--retry-after-ms M]
+
+Answers the first request line with an in-band
+`{"ok":false,"error":"overloaded","retry_after_ms":M}` and every
+subsequent line with `{"ok":true}`, then exits once an ok has been
+served. It asserts the client's retry arrived no sooner than ~M ms
+after the rejection — i.e. that the client honored the advertised
+backoff floor — so the CI step only needs to check `pgr call`'s exit
+status and verbose attempt counts.
+"""
+
+import base64
+import json
+import socket
+import sys
+import threading
+import time
+
+
+def fail(msg):
+    print(f"chaos smoke failure: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def opt(args, name, default):
+    if name in args:
+        return int(args[args.index(name) + 1])
+    return default
+
+
+def call(path, line, timeout=10.0):
+    """One request/response exchange on a fresh connection."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(path)
+        s.sendall(line.encode() + b"\n")
+        reply = recv_line(s)
+        if reply is None:
+            fail(f"server closed instead of answering {line[:60]}...")
+        return json.loads(reply)
+
+
+def recv_line(sock):
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        buf += chunk
+    return buf.split(b"\n", 1)[0]
+
+
+def chaos(argv):
+    proxy_path, direct_path, grammar_id, image_path = argv[:4]
+    seconds = opt(argv, "--seconds", 20)
+    conns = opt(argv, "--conns", 16)
+
+    image64 = base64.b64encode(open(image_path, "rb").read()).decode()
+    request = json.dumps({"op": "compress", "grammar": grammar_id, "image": image64})
+
+    golden = call(direct_path, request)
+    if not golden.get("ok") or "image" not in golden:
+        fail(f"golden compress failed: {golden}")
+    golden_image = golden["image"]
+
+    deadline = time.monotonic() + seconds
+    stats = {"sent": 0, "answered": 0, "dropped": 0}
+    failures = []
+
+    def churn():
+        """One faulted client: loop connections through the proxy until
+        the deadline, tolerating resets and in-band errors, never
+        hanging (every socket call is under a timeout)."""
+        while time.monotonic() < deadline:
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.settimeout(5.0)
+                s.connect(proxy_path)
+            except OSError:
+                time.sleep(0.05)
+                continue
+            with s:
+                for _ in range(4):
+                    if time.monotonic() >= deadline:
+                        break
+                    try:
+                        s.sendall(request.encode() + b"\n")
+                        stats["sent"] += 1
+                        if recv_line(s) is None:
+                            stats["dropped"] += 1
+                            break  # mid-frame reset: next connection
+                        stats["answered"] += 1
+                    except socket.timeout:
+                        failures.append("a faulted request hung past 5s")
+                        return
+                    except OSError:
+                        stats["dropped"] += 1
+                        break
+
+    def healthy():
+        """One healthy client, direct to the server: every answer must
+        be ok and byte-identical to the golden image."""
+        while time.monotonic() < deadline:
+            resp = call(direct_path, request)
+            if not resp.get("ok"):
+                failures.append(f"healthy request failed during chaos: {resp}")
+                return
+            if resp.get("image") != golden_image:
+                failures.append("healthy response bytes diverged during chaos")
+                return
+
+    threads = [threading.Thread(target=churn) for _ in range(conns)]
+    threads += [threading.Thread(target=healthy) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=seconds + 30)
+        if t.is_alive():
+            fail("a client thread is stuck — the server hung a request")
+    if failures:
+        fail(failures[0])
+    if stats["answered"] == 0:
+        fail(f"no faulted request ever completed: {stats}")
+
+    # Slot reclamation: a burst of fresh direct connections all seated
+    # and answered at once. A leaked slot per reset would make this
+    # impossible after a long churn.
+    burst = []
+    try:
+        for _ in range(8):
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.settimeout(10.0)
+            s.connect(direct_path)
+            s.sendall(b'{"op":"stats"}\n')
+            burst.append(s)
+        for s in burst:
+            resp = json.loads(recv_line(s))
+            if not resp.get("ok"):
+                fail(f"slot not reclaimed after chaos: {resp}")
+    finally:
+        for s in burst:
+            s.close()
+
+    resp = call(direct_path, '{"op":"shutdown"}')
+    if not resp.get("ok"):
+        fail(f"shutdown refused: {resp}")
+    print(json.dumps(stats))
+
+
+def fake_overloaded(argv):
+    path = argv[0]
+    retry_after_ms = opt(argv, "--retry-after-ms", 80)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(path)
+    server.listen(4)
+    server.settimeout(30.0)
+
+    rejected_at = None
+    first = True
+    while True:
+        conn, _ = server.accept()
+        with conn:
+            conn.settimeout(30.0)
+            while True:
+                line = recv_line(conn)
+                if line is None:
+                    break  # client reconnects; keep accepting
+                if first:
+                    first = False
+                    rejected_at = time.monotonic()
+                    conn.sendall(
+                        b'{"ok":false,"error":"overloaded","retry_after_ms":%d}\n'
+                        % retry_after_ms
+                    )
+                    continue
+                waited_ms = (time.monotonic() - rejected_at) * 1000.0
+                # 0.9 ×: scheduler slop, not a weaker contract.
+                if waited_ms < retry_after_ms * 0.9:
+                    fail(
+                        f"client retried after {waited_ms:.0f}ms, under the "
+                        f"{retry_after_ms}ms retry_after_ms floor"
+                    )
+                conn.sendall(b'{"ok":true}\n')
+                print(f"retry honored the floor: waited {waited_ms:.0f}ms")
+                return
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail(__doc__.strip())
+    mode, argv = sys.argv[1], sys.argv[2:]
+    if mode == "chaos":
+        chaos(argv)
+    elif mode == "fake-overloaded":
+        fake_overloaded(argv)
+    else:
+        fail(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main()

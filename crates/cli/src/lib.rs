@@ -66,6 +66,8 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         "metrics-check" => metrics_check(rest),
         "registry" => cmd_registry(rest),
         "serve" => cmd_serve(rest),
+        "call" => cmd_call(rest),
+        "chaos-proxy" => cmd_chaos_proxy(rest),
         "top" => cmd_top(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -76,7 +78,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
 }
 
 fn usage() -> String {
-    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|registry|serve|top|metrics-check|help> ...\n\
+    "usage: pgr <compile|disasm|train|compress|decompress|run|verify|stats|cgen|registry|serve|call|chaos-proxy|top|metrics-check|help> ...\n\
      \x20 compile <in.c> -o <out.pgrb> [-O]\n\
      \x20 disasm <in.pgrb>\n\
      \x20 train <in.pgrb>... -o <out.pgrg> [--cap N]\n\
@@ -93,7 +95,13 @@ fn usage() -> String {
      \x20 serve --socket <path> [--max-budget ITEMS[,COLUMNS]] [--threads N]\n\
      \x20     [--workers N] [--batch-window-us N] [--max-connections N]\n\
      \x20     [--max-queue N] [--max-engines N] [--thread-per-conn]\n\
-     \x20     [--slow-ms N [--slow-trace <out.ndjson>]]\n\
+     \x20     [--request-timeout-ms N] [--idle-timeout-ms N] [--max-line-bytes N]\n\
+     \x20     [--slow-ms N [--slow-trace <out.ndjson>] [--slow-trace-max-bytes N]]\n\
+     \x20 call --socket <path> [<request-json>] [--timeout-ms N] [--retries N]\n\
+     \x20     [--backoff-ms N] [--seed N] [--breaker-threshold N] [--verbose]\n\
+     \x20 chaos-proxy --listen <sock> --upstream <sock> [--seed N] [--duration-ms N]\n\
+     \x20     [--partial-per-1024 N] [--reset-per-1024 N] [--stall-per-1024 N]\n\
+     \x20     [--stall-ms N] [--garbage-per-1024 N]\n\
      \x20 top --socket <path> [--interval-ms N] [--iterations N]\n\
      \x20 metrics-check <metrics.json>\n\
      a <grammar> is a .pgrg path or id:HEX (full id or unique prefix) looked up in\n\
@@ -161,6 +169,23 @@ fn positionals(args: &[String]) -> Vec<&str> {
             || a == "--max-connections"
             || a == "--max-queue"
             || a == "--max-engines"
+            || a == "--request-timeout-ms"
+            || a == "--idle-timeout-ms"
+            || a == "--max-line-bytes"
+            || a == "--slow-trace-max-bytes"
+            || a == "--timeout-ms"
+            || a == "--retries"
+            || a == "--backoff-ms"
+            || a == "--seed"
+            || a == "--breaker-threshold"
+            || a == "--listen"
+            || a == "--upstream"
+            || a == "--duration-ms"
+            || a == "--partial-per-1024"
+            || a == "--reset-per-1024"
+            || a == "--stall-per-1024"
+            || a == "--stall-ms"
+            || a == "--garbage-per-1024"
         {
             skip = true;
             continue;
@@ -966,6 +991,19 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
     let max_connections = uint("--max-connections", defaults.max_connections as u64)? as usize;
     let max_queue = uint("--max-queue", defaults.max_queue as u64)? as usize;
     let max_engines = uint("--max-engines", defaults.max_engines as u64)? as usize;
+    let max_line_bytes = uint("--max-line-bytes", defaults.max_line_bytes as u64)? as usize;
+    let slow_trace_max_bytes = uint("--slow-trace-max-bytes", defaults.slow_trace_max_bytes)?;
+    let opt_uint = |name: &str| -> Result<Option<u64>, String> {
+        match opt_value(args, name) {
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("bad {name} {v:?}")),
+            None => Ok(None),
+        }
+    };
+    let request_timeout_ms = opt_uint("--request-timeout-ms")?;
+    let idle_timeout_ms = opt_uint("--idle-timeout-ms")?;
     let thread_per_conn = flag(args, "--thread-per-conn");
     let slow_trace: Option<std::path::PathBuf> = opt_value(args, "--slow-trace").map(Into::into);
     if slow_trace.is_some() && slow_ms.is_none() {
@@ -996,6 +1034,10 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
             max_queue,
             max_engines,
             thread_per_conn,
+            request_timeout_ms,
+            idle_timeout_ms,
+            max_line_bytes,
+            slow_trace_max_bytes,
         },
     )
     .map_err(pipeline_err)?;
@@ -1009,6 +1051,141 @@ fn cmd_serve(args: &[String]) -> Result<i32, String> {
     server.run().map_err(pipeline_err)?;
     emit_metrics(&metrics)?;
     eprintln!("pgr serve: shut down");
+    Ok(0)
+}
+
+/// `pgr call --socket <path> [<request-json>]`: send one request line
+/// (or every stdin line when no positional is given) through the
+/// retrying [`pgr_client::Client`] and print each response line to
+/// stdout. `--timeout-ms` propagates the deadline; `--retries`,
+/// `--backoff-ms`, `--seed`, and `--breaker-threshold` shape the retry
+/// policy; `--verbose` reports the client's attempt/retry/breaker
+/// counters on stderr. Exits 0 when every response was `ok`, 1 when any
+/// answered in-band error, or an error when the transport gave out.
+fn cmd_call(args: &[String]) -> Result<i32, String> {
+    use pgr_client::{CallError, Client, ClientConfig};
+    use std::io::BufRead as _;
+
+    let socket = required(args, "--socket")?;
+    let uint = |name: &str, default: u64| -> Result<u64, String> {
+        match opt_value(args, name) {
+            Some(v) => v.parse::<u64>().map_err(|_| format!("bad {name} {v:?}")),
+            None => Ok(default),
+        }
+    };
+    let defaults = ClientConfig::default();
+    let timeout_ms = match opt_value(args, "--timeout-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --timeout-ms {v:?}"))?,
+        ),
+        None => None,
+    };
+    let config = ClientConfig {
+        socket: socket.into(),
+        timeout_ms,
+        max_retries: uint("--retries", u64::from(defaults.max_retries))? as u32,
+        backoff_base_ms: uint("--backoff-ms", defaults.backoff_base_ms)?,
+        seed: uint("--seed", defaults.seed)?,
+        breaker_threshold: uint("--breaker-threshold", u64::from(defaults.breaker_threshold))?
+            as u32,
+        ..defaults
+    };
+    let verbose = flag(args, "--verbose");
+    let mut client = Client::new(config);
+    let pos = positionals(args);
+    let requests: Vec<String> = if pos.is_empty() {
+        std::io::stdin()
+            .lock()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("stdin: {e}"))?
+    } else {
+        pos.iter().map(|s| s.to_string()).collect()
+    };
+    let mut all_ok = true;
+    for request in &requests {
+        if request.trim().is_empty() {
+            continue;
+        }
+        let response = client.call(request).map_err(|e| match e {
+            CallError::BreakerOpen { .. } | CallError::RetriesExhausted { .. } => {
+                format!("{socket}: {e}")
+            }
+            CallError::BadRequest(_) => e.to_string(),
+        })?;
+        println!("{}", response.line);
+        all_ok &= response.ok;
+    }
+    if verbose {
+        let s = client.stats();
+        eprintln!(
+            "pgr call: {} attempt(s), {} retr(ies), {} connect(s), \
+             {} overloaded response(s) absorbed, breaker {:?}",
+            s.attempts,
+            s.retries,
+            s.connects,
+            s.overloaded,
+            client.breaker(),
+        );
+    }
+    Ok(i32::from(!all_ok))
+}
+
+/// `pgr chaos-proxy --listen <sock> --upstream <sock>`: run the
+/// socket-level fault proxy (see [`pgr_registry::chaos`]) for
+/// `--duration-ms` (0 = until killed), then print the fault counters.
+/// All fault decisions derive from `--seed`, so a failing chaos run is
+/// replayable from its command line alone.
+fn cmd_chaos_proxy(args: &[String]) -> Result<i32, String> {
+    use pgr_registry::{ChaosConfig, ChaosProxy};
+    use std::sync::atomic::Ordering;
+
+    let listen = required(args, "--listen")?;
+    let upstream = required(args, "--upstream")?;
+    let d = ChaosConfig::default();
+    let uint = |name: &str, default: u64| -> Result<u64, String> {
+        match opt_value(args, name) {
+            Some(v) => v.parse::<u64>().map_err(|_| format!("bad {name} {v:?}")),
+            None => Ok(default),
+        }
+    };
+    let rate = |name: &str, default: u16| -> Result<u16, String> {
+        let v = uint(name, u64::from(default))?;
+        u16::try_from(v.min(1024)).map_err(|_| format!("bad {name}"))
+    };
+    let config = ChaosConfig {
+        seed: uint("--seed", d.seed)?,
+        partial_write_per_1024: rate("--partial-per-1024", d.partial_write_per_1024)?,
+        reset_per_1024: rate("--reset-per-1024", d.reset_per_1024)?,
+        stall_per_1024: rate("--stall-per-1024", d.stall_per_1024)?,
+        stall_ms: uint("--stall-ms", d.stall_ms)?,
+        garbage_per_1024: rate("--garbage-per-1024", d.garbage_per_1024)?,
+    };
+    let duration_ms = uint("--duration-ms", 0)?;
+    let proxy = ChaosProxy::start(Path::new(listen), Path::new(upstream), config)
+        .map_err(|e| format!("{listen}: {e}"))?;
+    eprintln!(
+        "pgr chaos-proxy: {listen} -> {upstream} (seed {})",
+        config.seed
+    );
+    if duration_ms == 0 {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    let c = proxy.counters();
+    eprintln!(
+        "pgr chaos-proxy: {} connection(s), {} partial write(s), {} reset(s), \
+         {} stall(s), {} garbage line(s)",
+        c.connections.load(Ordering::SeqCst),
+        c.partial_writes.load(Ordering::SeqCst),
+        c.resets.load(Ordering::SeqCst),
+        c.stalls.load(Ordering::SeqCst),
+        c.garbage.load(Ordering::SeqCst),
+    );
+    proxy.stop();
     Ok(0)
 }
 
@@ -1078,6 +1255,17 @@ pub fn render_top(response: &str) -> Result<String, String> {
         quant(batch_wait, "p99"),
         num(window, "tier2_compiled"),
         num(window, "tier2_deopts"),
+    );
+    // Robustness counters: deadline expiries (and the subset the
+    // reactor's watchdog had to force), idle evictions, and oversized
+    // request lines, all within the rolling window.
+    let _ = writeln!(
+        out,
+        "deadline exceeded {} (forced {})   idle closed {}   line overflow {}",
+        num(window, "deadline_exceeded"),
+        num(window, "force_expired"),
+        num(window, "idle_closed"),
+        num(window, "line_overflow"),
     );
     out.push('\n');
     let _ = writeln!(

@@ -1,0 +1,586 @@
+//! # pgr-client
+//!
+//! A retrying NDJSON client for the pgr request server: connect (and
+//! reconnect) to the serve socket, stamp the caller's deadline into each
+//! request, and absorb the two failure shapes the server is *designed*
+//! to emit under load — transport drops and in-band `overloaded`
+//! rejections — with jittered exponential backoff and a consecutive-
+//! failure circuit breaker.
+//!
+//! The retry policy mirrors the server's contract (see
+//! `crates/registry/src/proto.rs`):
+//!
+//! - **Transport failures** (connect refused, reset, EOF before a
+//!   response line) are retried after reconnecting; the request may have
+//!   executed, so only retry idempotent requests — every pgr serve op is.
+//! - **`overloaded`** responses are retried, sleeping at least the
+//!   server's `retry_after_ms` hint (the hint is a floor under the
+//!   client's own backoff, never a ceiling over it).
+//! - **Every other in-band error** — including `deadline_exceeded` — is
+//!   final: the server answered; retrying would just repeat the answer
+//!   (or burn another deadline's worth of work).
+//!
+//! Backoff is *decorrelated-jitter* exponential: attempt `n` sleeps a
+//! uniformly random duration in `[base/2, min(cap, base << n)]`, with
+//! the randomness drawn from a seeded splitmix64 stream so a failing
+//! run replays byte-for-byte from its seed. After
+//! [`ClientConfig::breaker_threshold`] *consecutive* failed calls the
+//! breaker opens and calls fail fast (no socket traffic) until
+//! [`ClientConfig::breaker_cooldown_ms`] passes; the next call is the
+//! half-open probe — success closes the breaker, failure re-opens it
+//! for another cooldown.
+
+#![warn(missing_docs)]
+
+use pgr_telemetry::faults::splitmix64;
+use pgr_telemetry::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The fixed error token the server uses for admission-control
+/// rejections (retryable).
+pub const OVERLOADED: &str = "overloaded";
+/// The fixed error token the server uses for deadline expiry (final).
+pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
+/// Client knobs. `Default` gives a patient interactive client; tests
+/// and batch drivers tighten the numbers.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Path of the server's Unix socket.
+    pub socket: PathBuf,
+    /// Per-request deadline, stamped into each request as `timeout_ms`
+    /// (unless the request already carries one) and doubled into the
+    /// socket read timeout so a dead server cannot hold a call forever.
+    pub timeout_ms: Option<u64>,
+    /// Retry attempts *after* the first try (transport + `overloaded`
+    /// failures only).
+    pub max_retries: u32,
+    /// First-retry backoff; attempt `n` may wait up to `base << n`.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling per attempt.
+    pub backoff_cap_ms: u64,
+    /// Seed for the jitter stream — same seed, same sleeps.
+    pub seed: u64,
+    /// Consecutive failed *calls* (retries exhausted) that open the
+    /// circuit breaker. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before allowing the
+    /// half-open probe.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            socket: PathBuf::new(),
+            timeout_ms: None,
+            max_retries: 5,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 2_000,
+            seed: 0,
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 1_000,
+        }
+    }
+}
+
+/// Why a call failed for good.
+#[derive(Debug)]
+pub enum CallError {
+    /// The breaker is open; no socket traffic was attempted.
+    BreakerOpen {
+        /// Consecutive failures that opened it.
+        consecutive_failures: u32,
+    },
+    /// Transport + `overloaded` retries ran out.
+    RetriesExhausted {
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        last: String,
+    },
+    /// The request line itself is unusable (not a JSON object).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::BreakerOpen {
+                consecutive_failures,
+            } => write!(
+                f,
+                "circuit breaker open after {consecutive_failures} consecutive failures"
+            ),
+            CallError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+            CallError::BadRequest(why) => write!(f, "bad request line: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+/// One server answer: the raw NDJSON line plus the parsed `ok` flag and
+/// error token, pre-extracted because every caller checks them.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The raw response line (no trailing newline).
+    pub line: String,
+    /// The response's `"ok"` field.
+    pub ok: bool,
+    /// The response's `"error"` field, when `ok` is false.
+    pub error: Option<String>,
+}
+
+/// Counters the client keeps about its own behavior, for tests and for
+/// `pgr call --verbose`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Request attempts that reached a socket write.
+    pub attempts: u64,
+    /// Attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Times the stream was (re)established.
+    pub connects: u64,
+    /// `overloaded` responses absorbed.
+    pub overloaded: u64,
+    /// Times the breaker transitioned closed → open.
+    pub breaker_opens: u64,
+}
+
+/// Breaker state, observable for tests and stats lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Failing fast until the cooldown passes.
+    Open,
+    /// Cooldown passed; the next call is the probe.
+    HalfOpen,
+}
+
+/// A connection to the serve socket with retry, backoff, and breaker
+/// logic wrapped around one-line-in / one-line-out calls.
+pub struct Client {
+    config: ClientConfig,
+    stream: Option<BufReader<UnixStream>>,
+    rng_state: u64,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    stats: ClientStats,
+}
+
+impl Client {
+    /// A client for `config.socket`. Does not connect yet — the first
+    /// call does, so constructing a client against a not-yet-started
+    /// server is fine.
+    pub fn new(config: ClientConfig) -> Client {
+        Client {
+            rng_state: splitmix64(config.seed ^ 0x70_67_72_63_6c_69), // "pgrcli"
+            config,
+            stream: None,
+            consecutive_failures: 0,
+            opened_at: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client's behavior counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Current breaker state.
+    pub fn breaker(&self) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(t) => {
+                if t.elapsed() >= Duration::from_millis(self.config.breaker_cooldown_ms) {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Send one request line and return the server's answer. Retries
+    /// transport failures and `overloaded` rejections per the module
+    /// docs; any returned [`Response`] — success or in-band error — is
+    /// the server's final word.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::BreakerOpen`] without touching the socket when the
+    /// breaker is open; [`CallError::RetriesExhausted`] when every
+    /// attempt failed; [`CallError::BadRequest`] when `line` is not a
+    /// JSON object (nothing to stamp a deadline into).
+    pub fn call(&mut self, line: &str) -> Result<Response, CallError> {
+        match self.breaker() {
+            BreakerState::Closed | BreakerState::HalfOpen => {}
+            BreakerState::Open => {
+                return Err(CallError::BreakerOpen {
+                    consecutive_failures: self.consecutive_failures,
+                })
+            }
+        }
+        let request = self.stamp_deadline(line)?;
+        let mut last = String::new();
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            match self.attempt(&request) {
+                Ok(resp) if resp.error.as_deref() == Some(OVERLOADED) => {
+                    self.stats.overloaded += 1;
+                    last = "server overloaded (retry_after_ms hint honored)".to_string();
+                    let floor = json::parse(&resp.line)
+                        .ok()
+                        .and_then(|d| d.get("retry_after_ms").and_then(Value::as_u64))
+                        .unwrap_or(0);
+                    self.sleep_backoff(attempt, floor);
+                }
+                Ok(resp) => {
+                    self.record_success();
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    // The stream is suspect after any I/O failure; drop
+                    // it so the next attempt reconnects from scratch.
+                    self.stream = None;
+                    last = e.to_string();
+                    self.sleep_backoff(attempt, 0);
+                }
+            }
+        }
+        self.record_failure();
+        Err(CallError::RetriesExhausted {
+            attempts: self.config.max_retries + 1,
+            last,
+        })
+    }
+
+    /// One attempt: (re)connect if needed, write the line, read one
+    /// response line.
+    fn attempt(&mut self, request: &str) -> std::io::Result<Response> {
+        self.stats.attempts += 1;
+        if self.stream.is_none() {
+            let stream = UnixStream::connect(&self.config.socket)?;
+            if let Some(ms) = self.config.timeout_ms {
+                // 2× the request deadline: the server's watchdog answers
+                // a wedged worker within that bound, so a longer silence
+                // means the *transport* is dead, not the request slow.
+                let io = Duration::from_millis(ms.saturating_mul(2).max(1));
+                stream.set_read_timeout(Some(io))?;
+                stream.set_write_timeout(Some(io))?;
+            }
+            self.stream = Some(BufReader::new(stream));
+            self.stats.connects += 1;
+        }
+        let reader = self.stream.as_mut().expect("stream just ensured");
+        reader.get_mut().write_all(request.as_bytes())?;
+        reader.get_mut().write_all(b"\n")?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ));
+        }
+        let line = line.trim_end().to_string();
+        let doc = json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })?;
+        Ok(Response {
+            ok: doc.get("ok").and_then(Value::as_bool) == Some(true),
+            error: doc.get("error").and_then(Value::as_str).map(str::to_owned),
+            line,
+        })
+    }
+
+    /// Insert the configured `timeout_ms` into a request line that lacks
+    /// one, so the server's cooperative cancellation sees the caller's
+    /// deadline. A request carrying its own `timeout_ms` wins.
+    fn stamp_deadline(&self, line: &str) -> Result<String, CallError> {
+        let line = line.trim();
+        let Some(ms) = self.config.timeout_ms else {
+            return Ok(line.to_string());
+        };
+        let doc = json::parse(line).map_err(|e| CallError::BadRequest(e.to_string()))?;
+        if doc.as_obj().is_none() {
+            return Err(CallError::BadRequest("not a JSON object".into()));
+        }
+        if doc.get("timeout_ms").is_some() {
+            return Ok(line.to_string());
+        }
+        let inner = &line[1..line.len() - 1];
+        Ok(if inner.trim().is_empty() {
+            format!("{{\"timeout_ms\":{ms}}}")
+        } else {
+            format!("{{\"timeout_ms\":{ms},{inner}}}")
+        })
+    }
+
+    /// Sleep the jittered exponential backoff for `attempt`, never less
+    /// than the server's `retry_after_ms` floor.
+    fn sleep_backoff(&mut self, attempt: u32, floor_ms: u64) {
+        let ceiling = self
+            .config
+            .backoff_base_ms
+            .saturating_shl(attempt)
+            .min(self.config.backoff_cap_ms)
+            .max(1);
+        let span = ceiling - ceiling / 2 + 1;
+        self.rng_state = splitmix64(self.rng_state);
+        let ms = (ceiling / 2 + self.rng_state % span).max(floor_ms);
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+
+    fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.config.breaker_threshold > 0
+            && self.consecutive_failures >= self.config.breaker_threshold
+        {
+            if self.opened_at.is_none() {
+                self.stats.breaker_opens += 1;
+            }
+            self.opened_at = Some(Instant::now());
+        }
+    }
+}
+
+/// `u64::checked_shl` with saturation instead of wrap, for backoff
+/// doublings past 63 attempts.
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        self.checked_shl(n).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(socket: &std::path::Path) -> ClientConfig {
+        ClientConfig {
+            socket: socket.to_path_buf(),
+            timeout_ms: Some(2_000),
+            max_retries: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            seed: 7,
+            breaker_threshold: 2,
+            breaker_cooldown_ms: 50,
+        }
+    }
+
+    #[test]
+    fn deadline_is_stamped_but_never_overwritten() {
+        let c = Client::new(cfg(std::path::Path::new("/nonexistent")));
+        assert_eq!(
+            c.stamp_deadline("{\"op\":\"stats\"}").unwrap(),
+            "{\"timeout_ms\":2000,\"op\":\"stats\"}"
+        );
+        assert_eq!(
+            c.stamp_deadline("{\"op\":\"stats\",\"timeout_ms\":5}")
+                .unwrap(),
+            "{\"op\":\"stats\",\"timeout_ms\":5}"
+        );
+        assert_eq!(c.stamp_deadline("{}").unwrap(), "{\"timeout_ms\":2000}");
+        assert!(c.stamp_deadline("[1,2]").is_err());
+        // No configured deadline: the line passes through untouched.
+        let mut free = cfg(std::path::Path::new("/nonexistent"));
+        free.timeout_ms = None;
+        let c = Client::new(free);
+        assert_eq!(
+            c.stamp_deadline("{\"op\":\"x\"}").unwrap(),
+            "{\"op\":\"x\"}"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_half_opens_after_cooldown() {
+        let dir = std::env::temp_dir().join(format!("pgr-client-brk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("missing.sock");
+        let mut client = Client::new(cfg(&socket)); // nothing listening
+
+        assert!(matches!(
+            client.call("{\"op\":\"stats\"}"),
+            Err(CallError::RetriesExhausted { attempts: 3, .. })
+        ));
+        assert_eq!(client.breaker(), BreakerState::Closed, "one failure");
+        assert!(client.call("{\"op\":\"stats\"}").is_err());
+        assert_eq!(client.breaker(), BreakerState::Open, "threshold of 2 hit");
+        assert!(
+            matches!(
+                client.call("{\"op\":\"stats\"}"),
+                Err(CallError::BreakerOpen {
+                    consecutive_failures: 2
+                })
+            ),
+            "open breaker fails fast"
+        );
+        let attempts_while_open = client.stats().attempts;
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(client.breaker(), BreakerState::HalfOpen);
+        // The half-open probe is allowed through (and fails again here).
+        assert!(matches!(
+            client.call("{\"op\":\"stats\"}"),
+            Err(CallError::RetriesExhausted { .. })
+        ));
+        assert!(
+            client.stats().attempts > attempts_while_open,
+            "probe reached the socket"
+        );
+        assert_eq!(
+            client.breaker(),
+            BreakerState::Open,
+            "probe failure re-opens"
+        );
+        assert_eq!(client.stats().breaker_opens, 1, "re-open is not a new open");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed_and_honors_the_floor() {
+        // Same seed ⇒ same jitter stream (observable via rng_state).
+        let mut a = Client::new(cfg(std::path::Path::new("/nonexistent")));
+        let mut b = Client::new(cfg(std::path::Path::new("/nonexistent")));
+        for attempt in 0..3 {
+            a.sleep_backoff(attempt, 0);
+            b.sleep_backoff(attempt, 0);
+            assert_eq!(a.rng_state, b.rng_state);
+        }
+        // The floor dominates tiny backoffs: a 30 ms hint must sleep
+        // ≥ 30 ms even though the computed ceiling is 4 ms.
+        let t0 = Instant::now();
+        a.sleep_backoff(0, 30);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn overloaded_then_success_retries_in_band() {
+        use std::os::unix::net::UnixListener;
+
+        let dir = std::env::temp_dir().join(format!("pgr-client-ovl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("fake.sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            // First request: reject with a retry hint. The client
+            // retries on the same connection.
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"timeout_ms\":2000"), "deadline stamped");
+            let mut w = stream.try_clone().unwrap();
+            writeln!(
+                w,
+                "{{\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":5}}"
+            )
+            .unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            writeln!(w, "{{\"ok\":true,\"answer\":42}}").unwrap();
+        });
+
+        let mut client = Client::new(cfg(&socket));
+        let resp = client.call("{\"op\":\"stats\"}").expect("second try lands");
+        assert!(resp.ok);
+        assert!(resp.line.contains("\"answer\":42"));
+        let stats = client.stats();
+        assert_eq!(stats.overloaded, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.connects, 1, "in-band retry reuses the connection");
+        assert_eq!(client.breaker(), BreakerState::Closed);
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_band_errors_other_than_overloaded_are_final() {
+        use std::os::unix::net::UnixListener;
+
+        let dir = std::env::temp_dir().join(format!("pgr-client-fin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("fake.sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut w = stream;
+            writeln!(
+                w,
+                "{{\"ok\":false,\"error\":\"deadline_exceeded\",\"elapsed_ms\":9}}"
+            )
+            .unwrap();
+        });
+
+        let mut client = Client::new(cfg(&socket));
+        let resp = client
+            .call("{\"op\":\"stats\"}")
+            .expect("answered, not retried");
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_deref(), Some(DEADLINE_EXCEEDED));
+        assert_eq!(client.stats().retries, 0, "final errors are not retried");
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transport_drop_reconnects_and_retries() {
+        use std::os::unix::net::UnixListener;
+
+        let dir = std::env::temp_dir().join(format!("pgr-client-drop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("fake.sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: read the request, hang up without answering.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            drop(reader);
+            // Second connection: answer properly.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let mut w = stream;
+            writeln!(w, "{{\"ok\":true}}").unwrap();
+        });
+
+        let mut client = Client::new(cfg(&socket));
+        let resp = client.call("{\"op\":\"stats\"}").expect("reconnect lands");
+        assert!(resp.ok);
+        assert_eq!(client.stats().connects, 2, "dropped stream was rebuilt");
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

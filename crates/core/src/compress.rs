@@ -115,6 +115,15 @@ pub enum CompressError {
         /// The panic payload, if it was a string (the common case).
         message: String,
     },
+    /// The request's `CancelToken` fired (deadline passed or the owner
+    /// cancelled) before this entry finished encoding. Unlike a budget
+    /// trip this never degrades to verbatim fallback — the caller asked
+    /// for the work to *stop*, not to be answered more cheaply.
+    Cancelled {
+        /// Milliseconds between the token's creation (request arrival)
+        /// and the cancellation check that fired.
+        elapsed_ms: u64,
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -135,6 +144,9 @@ impl fmt::Display for CompressError {
                 f,
                 "{proc}: segment at {segment_offset}: encoder worker panicked: {message}"
             ),
+            CompressError::Cancelled { elapsed_ms } => {
+                write!(f, "compression cancelled after {elapsed_ms} ms")
+            }
         }
     }
 }
@@ -146,6 +158,7 @@ impl std::error::Error for CompressError {
             CompressError::Tokenize { error, .. } => Some(error),
             CompressError::NoParse { error, .. } => Some(error),
             CompressError::WorkerPanic { .. } => None,
+            CompressError::Cancelled { .. } => None,
         }
     }
 }

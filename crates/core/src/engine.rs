@@ -40,7 +40,7 @@ use pgr_earley::{ChartArena, EarleyBudget, NoParse, ShortestParser};
 use pgr_grammar::initial::tokenize_segment;
 use pgr_grammar::{Grammar, Nt, Terminal};
 use pgr_telemetry::faults::{self, FaultPoint};
-use pgr_telemetry::{names, trace, Metrics, Recorder, Stopwatch};
+use pgr_telemetry::{names, trace, CancelToken, Metrics, Recorder, Stopwatch};
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -293,6 +293,19 @@ impl SegmentCache {
         self.order.push_back(tokens.clone());
         self.map.insert(tokens, bytes);
     }
+}
+
+/// One request of a cancellable batch dispatch
+/// ([`Compressor::compress_batch_cancellable`]): a program, its work
+/// quota, and the cancellation token its owner can fire.
+pub struct BatchEntry<'p> {
+    /// The program to compress.
+    pub program: &'p Program,
+    /// This entry's Earley work quota.
+    pub budget: EarleyBudget,
+    /// This entry's cancellation handle; [`CancelToken::never`] when the
+    /// caller has no deadline.
+    pub cancel: CancelToken,
 }
 
 /// One unit of parallel work: a straight-line segment of one procedure
@@ -562,6 +575,30 @@ impl<'g> Compressor<'g> {
             .expect("one entry in, one result out")
     }
 
+    /// Compress a program under a per-call budget *and* a cancellation
+    /// token: the serving path's entry point, where a request deadline
+    /// must be able to stop an in-flight compression at the next segment
+    /// or chart-column boundary.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`]; a fired token yields
+    /// [`CompressError::Cancelled`].
+    pub fn compress_cancellable(
+        &self,
+        program: &Program,
+        budget: EarleyBudget,
+        cancel: CancelToken,
+    ) -> Result<(CompressedProgram, CompressionStats), CompressError> {
+        self.compress_batch_cancellable(&[BatchEntry {
+            program,
+            budget,
+            cancel,
+        }])
+        .pop()
+        .expect("one entry in, one result out")
+    }
+
     /// Compress several programs in one engine dispatch.
     ///
     /// All entries' segments are planned up front and fanned out across
@@ -579,6 +616,32 @@ impl<'g> Compressor<'g> {
         &self,
         entries: &[(&Program, EarleyBudget)],
     ) -> Vec<Result<(CompressedProgram, CompressionStats), CompressError>> {
+        let never = CancelToken::never();
+        let entries: Vec<BatchEntry<'_>> = entries
+            .iter()
+            .map(|&(program, budget)| BatchEntry {
+                program,
+                budget,
+                cancel: never.clone(),
+            })
+            .collect();
+        self.compress_batch_cancellable(&entries)
+    }
+
+    /// Like [`Compressor::compress_batch`], but each entry carries its
+    /// own [`CancelToken`] — requests batched together can have
+    /// different deadlines, and one entry's cancellation never affects
+    /// its neighbours (they share the dispatch, not the token).
+    ///
+    /// Tokens are polled at segment boundaries and (inside the parser)
+    /// at chart-column boundaries; a fired token yields
+    /// [`CompressError::Cancelled`] for that entry. Cancellation never
+    /// degrades to verbatim fallback: the owner asked for the work to
+    /// stop.
+    pub fn compress_batch_cancellable(
+        &self,
+        entries: &[BatchEntry<'_>],
+    ) -> Vec<Result<(CompressedProgram, CompressionStats), CompressError>> {
         let timed = self.timings_on();
 
         let cache_hits_before = self.cache_hits.load(Ordering::Relaxed);
@@ -592,10 +655,18 @@ impl<'g> Compressor<'g> {
         // whole batch.
         let mut jobs: Vec<Job> = Vec::new();
         let mut plans: Vec<Result<EntryPlan, CompressError>> = Vec::with_capacity(entries.len());
-        for (entry, &(program, _)) in entries.iter().enumerate() {
+        for (entry, request) in entries.iter().enumerate() {
+            // A request whose deadline already passed while queued never
+            // reaches canonicalization — the cheapest cancellation point.
+            if request.cancel.is_cancelled() {
+                plans.push(Err(CompressError::Cancelled {
+                    elapsed_ms: request.cancel.elapsed_ms(),
+                }));
+                continue;
+            }
             let trace_canon = self.recorder.trace_span(names::SPAN_COMPRESS_CANONICALIZE);
             let sw = Stopwatch::start_if(timed);
-            let canon = match canonicalize_program(program) {
+            let canon = match canonicalize_program(request.program) {
                 Ok(canon) => canon,
                 Err(error) => {
                     plans.push(Err(error.into()));
@@ -614,12 +685,13 @@ impl<'g> Compressor<'g> {
                 job_range: job_start..jobs.len(),
             }));
         }
-        let budgets: Vec<EarleyBudget> = entries.iter().map(|&(_, budget)| budget).collect();
+        let budgets: Vec<EarleyBudget> = entries.iter().map(|e| e.budget).collect();
+        let cancels: Vec<&CancelToken> = entries.iter().map(|e| &e.cancel).collect();
 
         // Encode: fan every entry's segments out across the worker pool
         // in one stride.
         let trace_encode = self.recorder.trace_span("compress.encode");
-        let results = self.run_jobs(&plans, &jobs, &budgets);
+        let results = self.run_jobs(&plans, &jobs, &budgets, &cancels);
         let mut results: Vec<Option<Result<EncodedSegment, CompressError>>> =
             results.into_iter().map(Some).collect();
         drop(trace_encode);
@@ -807,6 +879,7 @@ impl<'g> Compressor<'g> {
         plans: &[Result<EntryPlan, CompressError>],
         jobs: &[Job],
         budgets: &[EarleyBudget],
+        cancels: &[&CancelToken],
     ) -> Vec<Result<EncodedSegment, CompressError>> {
         let proc_of = |job: &Job| -> &Procedure {
             let plan = plans[job.entry]
@@ -825,6 +898,7 @@ impl<'g> Compressor<'g> {
                         proc_of(job),
                         job.range.clone(),
                         budgets[job.entry],
+                        cancels[job.entry],
                     )
                 })
                 .collect();
@@ -856,6 +930,7 @@ impl<'g> Compressor<'g> {
                                         proc_of(job),
                                         job.range.clone(),
                                         budgets[job.entry],
+                                        cancels[job.entry],
                                     ),
                                 ));
                             }
@@ -888,9 +963,10 @@ impl<'g> Compressor<'g> {
         proc: &Procedure,
         range: Range<usize>,
         budget: EarleyBudget,
+        cancel: &CancelToken,
     ) -> Result<EncodedSegment, CompressError> {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            self.encode_segment(arena, proc, range.clone(), budget)
+            self.encode_segment(arena, proc, range.clone(), budget, cancel)
         }));
         attempt.unwrap_or_else(|payload| {
             Err(CompressError::WorkerPanic {
@@ -918,7 +994,16 @@ impl<'g> Compressor<'g> {
         proc: &Procedure,
         range: Range<usize>,
         budget: EarleyBudget,
+        cancel: &CancelToken,
     ) -> Result<EncodedSegment, CompressError> {
+        // The segment boundary is the coarse cancellation point: a fired
+        // deadline stops this entry before the next tokenize/parse,
+        // while other entries in the same dispatch keep encoding.
+        if cancel.is_cancelled() {
+            return Err(CompressError::Cancelled {
+                elapsed_ms: cancel.elapsed_ms(),
+            });
+        }
         // One enabled check per segment; workers never read the clock
         // unless someone is observing.
         let timed = self.timings_on();
@@ -965,10 +1050,16 @@ impl<'g> Compressor<'g> {
             Err(NoParse::NoDerivation { furthest: 0 })
         } else {
             self.parser
-                .parse_into_budgeted(arena, self.start, &tokens, &budget)
+                .parse_into_cancellable(arena, self.start, &tokens, &budget, Some(cancel))
         };
         let derivation = match parsed {
             Ok(derivation) => derivation,
+            Err(NoParse::Cancelled { elapsed_ms }) => {
+                // Cancellation never degrades to the verbatim escape:
+                // the owner asked for the work to stop, and encoding the
+                // escape would still burn time on a dead request.
+                return Err(CompressError::Cancelled { elapsed_ms });
+            }
             Err(error) => {
                 let err = CompressError::NoParse {
                     proc: proc.name.clone(),

@@ -38,7 +38,9 @@ pub mod pipeline;
 
 pub use canonical::canonicalize_program;
 pub use compress::{CompressError, CompressedProgram, CompressionStats, DecompressError};
-pub use engine::{CacheStats, Compressor, CompressorConfig, CompressorConfigBuilder, PhaseTimings};
+pub use engine::{
+    BatchEntry, CacheStats, Compressor, CompressorConfig, CompressorConfigBuilder, PhaseTimings,
+};
 pub use expander::{expand, expand_with, ExpanderConfig, ExpansionStats};
 pub use pgr_earley::{EarleyBudget, NoParse};
 pub use pipeline::{train, TrainConfig, TrainError, Trained};

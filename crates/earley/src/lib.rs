@@ -63,7 +63,7 @@ pub use predict::PredictTable;
 use hash::U64Map;
 use pgr_grammar::symbol::TERMINAL_SPACE;
 use pgr_grammar::{Derivation, Grammar, Nt, RuleId, RuleTable, Terminal};
-use pgr_telemetry::{names, Metrics, Recorder};
+use pgr_telemetry::{names, CancelToken, Metrics, Recorder};
 use std::fmt;
 
 /// An error from the shortest-derivation parser.
@@ -89,6 +89,15 @@ pub enum NoParse {
         /// Chart columns the parse required (`tokens + 1`).
         columns: usize,
     },
+    /// The parse was abandoned because its [`CancelToken`] fired —
+    /// the request's deadline passed or the owner cancelled it. Like
+    /// [`NoParse::BudgetExceeded`], this is a resource decision, not a
+    /// language one.
+    Cancelled {
+        /// Milliseconds between the token's creation (request arrival)
+        /// and the cancellation check that fired.
+        elapsed_ms: u64,
+    },
 }
 
 impl fmt::Display for NoParse {
@@ -100,6 +109,10 @@ impl fmt::Display for NoParse {
             NoParse::BudgetExceeded { items, columns } => write!(
                 f,
                 "parse abandoned: Earley budget exceeded ({items} chart items, {columns} columns)"
+            ),
+            NoParse::Cancelled { elapsed_ms } => write!(
+                f,
+                "parse abandoned: request cancelled after {elapsed_ms} ms"
             ),
         }
     }
@@ -470,6 +483,29 @@ impl<'g> ShortestParser<'g> {
         tokens: &[Terminal],
         budget: &EarleyBudget,
     ) -> Result<Derivation, NoParse> {
+        self.parse_into_cancellable(arena, start, tokens, budget, None)
+    }
+
+    /// Like [`ShortestParser::parse_into_budgeted`], but additionally
+    /// abandon the parse with [`NoParse::Cancelled`] if `cancel` fires.
+    ///
+    /// The token is polled once per chart column (segment tokens are
+    /// capped at a few hundred, so the poll granularity is microseconds
+    /// of parser work, while an unarmed token costs one relaxed load).
+    /// A parse that completes is byte-identical to the uncancelled one.
+    ///
+    /// # Errors
+    ///
+    /// [`NoParse::NoDerivation`], [`NoParse::BudgetExceeded`], or
+    /// [`NoParse::Cancelled`] when `cancel` fired first.
+    pub fn parse_into_cancellable(
+        &self,
+        arena: &mut ChartArena,
+        start: Nt,
+        tokens: &[Terminal],
+        budget: &EarleyBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Derivation, NoParse> {
         let n = tokens.len();
         if n + 1 > budget.max_columns {
             // Over-long segments fail before any chart work (or arena
@@ -490,7 +526,7 @@ impl<'g> ShortestParser<'g> {
         let (outcome, chart_peak) = {
             let ChartArena { columns, work, .. } = &mut *arena;
             let chart = &mut columns[..=n];
-            let outcome = self.run(chart, work, start, tokens, budget, &mut counts);
+            let outcome = self.run(chart, work, start, tokens, budget, cancel, &mut counts);
             let peak = chart.iter().map(|c| c.states.len()).max().unwrap_or(0);
             (outcome, peak)
         };
@@ -535,6 +571,9 @@ impl<'g> ShortestParser<'g> {
             names::EARLEY_BUDGET_EXCEEDED,
             u64::from(matches!(outcome, Err(NoParse::BudgetExceeded { .. }))),
         );
+        if matches!(outcome, Err(NoParse::Cancelled { .. })) {
+            batch.add(names::EARLEY_CANCELLED, 1);
+        }
         batch.gauge_max(names::EARLEY_CHART_STATES_PEAK, chart_peak as u64);
         batch.gauge_max(names::EARLEY_CHART_COLUMNS_PEAK, columns_peak as u64);
         self.recorder.record(batch);
@@ -542,6 +581,7 @@ impl<'g> ShortestParser<'g> {
 
     /// The chart fixpoint proper. `chart` has `tokens.len() + 1` cleared
     /// columns; `work` is the (empty) shared worklist.
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &self,
         chart: &mut [Column],
@@ -549,6 +589,7 @@ impl<'g> ShortestParser<'g> {
         start: Nt,
         tokens: &[Terminal],
         budget: &EarleyBudget,
+        cancel: Option<&CancelToken>,
         counts: &mut ParseCounts,
     ) -> Result<Derivation, NoParse> {
         let n = tokens.len();
@@ -565,6 +606,17 @@ impl<'g> ShortestParser<'g> {
         );
 
         for k in 0..=n {
+            // Cancellation is polled at column boundaries: frequent
+            // enough that a fired deadline stops the parse within one
+            // column's work, cheap enough (one relaxed load when the
+            // token is unarmed) that the hot per-item loop never pays.
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(NoParse::Cancelled {
+                        elapsed_ms: token.elapsed_ms(),
+                    });
+                }
+            }
             // Items scanned in from k-1 seed the worklist (for k = 0 the
             // predictions above already queued themselves).
             if k > 0 {

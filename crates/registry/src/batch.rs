@@ -17,7 +17,7 @@
 //! the reactor thread. Mixed-grammar requests therefore never share a
 //! batch by construction.
 
-use pgr_telemetry::TraceId;
+use pgr_telemetry::{CancelToken, TraceId};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,11 @@ pub(crate) struct PendingRequest {
     /// The request's trace id, minted at intake so even rejections carry
     /// one.
     pub trace: TraceId,
+    /// The request's cancellation token, armed at intake with the
+    /// effective deadline (per-request `timeout_ms` clamped to the
+    /// server ceiling). The reactor's watchdog holds a clone and can
+    /// fire it after the worker misses the deadline.
+    pub cancel: CancelToken,
 }
 
 /// A finished request: the response line to write back, addressed to
@@ -156,6 +161,7 @@ mod tests {
             line: format!("{{\"op\":\"compress\",\"seq\":{seq}}}"),
             received,
             trace: TraceId::mint(),
+            cancel: CancelToken::new(),
         }
     }
 

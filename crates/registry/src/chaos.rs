@@ -1,0 +1,433 @@
+//! A socket-level fault proxy for torturing the serve loop.
+//!
+//! [`ChaosProxy`] sits between clients and a live `pgr serve` socket and
+//! injects the transport pathologies a healthy test network never
+//! produces: partial writes (byte-at-a-time dribble), mid-frame
+//! connection resets, stalls, and garbage bytes spliced into the request
+//! stream. The server under test must keep its invariants — every
+//! connection slot reclaimed, every healthy peer served, never a hang —
+//! no matter which subset of these fire.
+//!
+//! Fault decisions follow the same discipline as
+//! [`pgr_telemetry::faults`]: every verdict is a pure
+//! [`splitmix64`] hash of `(seed, connection index, direction, chunk
+//! index)`, so a failing chaos run replays exactly from its seed. There
+//! is no wall-clock randomness anywhere in this module.
+//!
+//! The proxy is deliberately boring engineering: one thread per
+//! direction per connection, blocking I/O, byte shuttling. It exists to
+//! be *trustworthy*, not fast — the interesting concurrency lives on the
+//! other side of the socket.
+
+use pgr_telemetry::faults::splitmix64;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault rates, each in 1024ths per forwarded chunk (1024 = always).
+/// The default plan is tame enough that most requests round-trip and
+/// vicious enough that every pathology fires in a short run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Reproducibility seed; every fault decision derives from it.
+    pub seed: u64,
+    /// Dribble a chunk byte-at-a-time instead of in one write.
+    pub partial_write_per_1024: u16,
+    /// Drop the connection mid-chunk (forward a prefix, then hang up).
+    pub reset_per_1024: u16,
+    /// Hold a chunk for [`ChaosConfig::stall_ms`] before forwarding.
+    pub stall_per_1024: u16,
+    /// Stall duration.
+    pub stall_ms: u64,
+    /// Splice a garbage line into the *request* stream ahead of the
+    /// chunk (responses are never corrupted: the proxied client's own
+    /// assertions stay meaningful).
+    pub garbage_per_1024: u16,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0,
+            partial_write_per_1024: 64,
+            reset_per_1024: 16,
+            stall_per_1024: 32,
+            stall_ms: 20,
+            garbage_per_1024: 32,
+        }
+    }
+}
+
+/// Counters of what actually fired, for test assertions ("the run was
+/// not accidentally fault-free") and the CLI's exit report.
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Chunks dribbled byte-at-a-time.
+    pub partial_writes: AtomicU64,
+    /// Connections reset mid-chunk.
+    pub resets: AtomicU64,
+    /// Chunks stalled.
+    pub stalls: AtomicU64,
+    /// Garbage lines spliced in.
+    pub garbage: AtomicU64,
+}
+
+/// A running fault proxy; dropping it (or calling [`ChaosProxy::stop`])
+/// unbinds the listen socket and stops accepting. Live shuttle threads
+/// finish their connections and exit on their own.
+pub struct ChaosProxy {
+    listen: PathBuf,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ChaosCounters>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start proxying `listen` → `upstream` with the given fault plan.
+    ///
+    /// # Errors
+    ///
+    /// When the listen socket cannot be bound.
+    pub fn start(
+        listen: &Path,
+        upstream: &Path,
+        config: ChaosConfig,
+    ) -> std::io::Result<ChaosProxy> {
+        let _ = std::fs::remove_file(listen);
+        let listener = UnixListener::bind(listen)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ChaosCounters::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let upstream = upstream.to_path_buf();
+            std::thread::spawn(move || {
+                for (conn_index, incoming) in listener.incoming().enumerate() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = incoming else { break };
+                    counters.connections.fetch_add(1, Ordering::SeqCst);
+                    let Ok(server) = UnixStream::connect(&upstream) else {
+                        // Upstream gone: drop the client; that *is* a
+                        // fault from its point of view.
+                        continue;
+                    };
+                    spawn_shuttles(client, server, config, conn_index as u64, &counters);
+                }
+            })
+        };
+        Ok(ChaosProxy {
+            listen: listen.to_path_buf(),
+            stop,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// What fired so far.
+    pub fn counters(&self) -> &ChaosCounters {
+        &self.counters
+    }
+
+    /// Stop accepting and unbind the listen socket.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection; the
+        // socket file may already be gone, which is fine.
+        let _ = UnixStream::connect(&self.listen);
+        let _ = std::fs::remove_file(&self.listen);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Direction tags folded into the fault hash so the two halves of one
+/// connection draw independent verdicts.
+const CLIENT_TO_SERVER: u64 = 0x1;
+const SERVER_TO_CLIENT: u64 = 0x2;
+
+fn spawn_shuttles(
+    client: UnixStream,
+    server: UnixStream,
+    config: ChaosConfig,
+    conn_index: u64,
+    counters: &Arc<ChaosCounters>,
+) {
+    let (c_read, c_write) = (client.try_clone(), client);
+    let (s_read, s_write) = (server.try_clone(), server);
+    let (Ok(c_read), Ok(s_read)) = (c_read, s_read) else {
+        return;
+    };
+    let up_counters = Arc::clone(counters);
+    std::thread::spawn(move || {
+        shuttle(
+            c_read,
+            s_write,
+            config,
+            conn_index,
+            CLIENT_TO_SERVER,
+            &up_counters,
+        );
+    });
+    let down_counters = Arc::clone(counters);
+    std::thread::spawn(move || {
+        shuttle(
+            s_read,
+            c_write,
+            config,
+            conn_index,
+            SERVER_TO_CLIENT,
+            &down_counters,
+        );
+    });
+}
+
+/// Forward bytes `from` → `to`, rolling the fault dice per chunk.
+/// Returns when either side closes or a reset fault fires.
+fn shuttle(
+    mut from: UnixStream,
+    mut to: UnixStream,
+    config: ChaosConfig,
+    conn_index: u64,
+    direction: u64,
+    counters: &ChaosCounters,
+) {
+    let mut chunk_index = 0u64;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = chunk_index;
+        chunk_index += 1;
+        let verdict = move |salt: u64| {
+            splitmix64(
+                config
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(conn_index << 32)
+                    ^ (direction << 24)
+                    ^ chunk
+                    ^ (salt << 48),
+            ) % 1024
+        };
+        if verdict(1) < u64::from(config.stall_per_1024) {
+            counters.stalls.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(config.stall_ms));
+        }
+        if direction == CLIENT_TO_SERVER && verdict(2) < u64::from(config.garbage_per_1024) {
+            counters.garbage.fetch_add(1, Ordering::SeqCst);
+            // A complete junk line: the server must answer it in-band
+            // (parse error) and keep the connection healthy.
+            if to.write_all(b"\x7bgarbage chunk, not json\n").is_err() {
+                break;
+            }
+        }
+        if verdict(3) < u64::from(config.reset_per_1024) {
+            counters.resets.fetch_add(1, Ordering::SeqCst);
+            // Forward half the chunk, then vanish mid-frame.
+            let _ = to.write_all(&buf[..n / 2]);
+            let _ = to.shutdown(std::net::Shutdown::Both);
+            let _ = from.shutdown(std::net::Shutdown::Both);
+            break;
+        }
+        let dribble = verdict(4) < u64::from(config.partial_write_per_1024);
+        if dribble {
+            counters.partial_writes.fetch_add(1, Ordering::SeqCst);
+            for byte in &buf[..n] {
+                if to.write_all(std::slice::from_ref(byte)).is_err() {
+                    return;
+                }
+            }
+        } else if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    // Half-close so the peer's reader sees EOF even while the opposite
+    // shuttle is still draining.
+    let _ = to.shutdown(std::net::Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgr-chaos-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// An upstream echo server: answers each request line with
+    /// `{"ok":true,"echo":<len>}`.
+    fn echo_upstream(socket: &Path) -> std::thread::JoinHandle<()> {
+        let listener = UnixListener::bind(socket).unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut w = stream;
+                    let mut line = String::new();
+                    while let Ok(n) = reader.read_line(&mut line) {
+                        if n == 0 {
+                            break;
+                        }
+                        let reply = format!("{{\"ok\":true,\"echo\":{}}}\n", line.trim_end().len());
+                        if w.write_all(reply.as_bytes()).is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        })
+    }
+
+    #[test]
+    fn faultless_plan_is_a_transparent_pipe() {
+        let dir = tmp("clean");
+        let (up, front) = (dir.join("up.sock"), dir.join("front.sock"));
+        let _server = echo_upstream(&up);
+        let plan = ChaosConfig {
+            seed: 1,
+            partial_write_per_1024: 0,
+            reset_per_1024: 0,
+            stall_per_1024: 0,
+            stall_ms: 0,
+            garbage_per_1024: 0,
+        };
+        let proxy = ChaosProxy::start(&front, &up, plan).unwrap();
+        let stream = UnixStream::connect(&front).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        for i in 0..10 {
+            writeln!(w, "{{\"i\":{i}}}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), format!("{{\"ok\":true,\"echo\":{}}}", 7));
+        }
+        assert_eq!(proxy.counters().connections.load(Ordering::SeqCst), 1);
+        assert_eq!(proxy.counters().resets.load(Ordering::SeqCst), 0);
+        proxy.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic_under_lockstep_traffic() {
+        // Strictly lockstep traffic (one request in flight at a time)
+        // with no connection-killing faults gives deterministic chunk
+        // boundaries in both directions, so the same seed must draw the
+        // same verdicts — exactly. Resets and garbage are excluded here
+        // on purpose: a mid-frame reset races the in-flight reply, so
+        // its *observable* chunk counts are inherently timing-dependent
+        // (their verdicts are still pure hashes).
+        let run = |tag: &str| {
+            let dir = tmp(tag);
+            let (up, front) = (dir.join("up.sock"), dir.join("front.sock"));
+            let _server = echo_upstream(&up);
+            let plan = ChaosConfig {
+                seed: 42,
+                partial_write_per_1024: 512,
+                reset_per_1024: 0,
+                stall_per_1024: 256,
+                stall_ms: 1,
+                garbage_per_1024: 0,
+            };
+            let proxy = ChaosProxy::start(&front, &up, plan).unwrap();
+            let stream = UnixStream::connect(&front).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            for i in 0..20 {
+                // One write syscall per line: `writeln!` on a raw stream
+                // may split the format fragments into separate writes,
+                // which would make the proxy's chunk boundaries (and so
+                // its per-chunk verdicts) timing-dependent.
+                w.write_all(format!("{{\"i\":{i}}}\n").as_bytes()).unwrap();
+                let mut line = String::new();
+                assert!(reader.read_line(&mut line).unwrap() > 0);
+            }
+            let c = proxy.counters();
+            let snapshot = (
+                c.partial_writes.load(Ordering::SeqCst),
+                c.stalls.load(Ordering::SeqCst),
+            );
+            proxy.stop();
+            let _ = std::fs::remove_dir_all(&dir);
+            snapshot
+        };
+        let first = run("det-a");
+        let second = run("det-b");
+        assert_eq!(first, second, "same seed, same traffic, same faults");
+        assert!(
+            first.0 > 0 && first.1 > 0,
+            "an aggressive plan must actually fire: {first:?}"
+        );
+    }
+
+    #[test]
+    fn resets_and_garbage_fire_and_the_proxy_survives_them() {
+        let dir = tmp("nasty");
+        let (up, front) = (dir.join("up.sock"), dir.join("front.sock"));
+        let _server = echo_upstream(&up);
+        let plan = ChaosConfig {
+            seed: 7,
+            partial_write_per_1024: 0,
+            reset_per_1024: 192,
+            stall_per_1024: 0,
+            stall_ms: 0,
+            garbage_per_1024: 256,
+        };
+        let proxy = ChaosProxy::start(&front, &up, plan).unwrap();
+        for conn in 0..16 {
+            let Ok(stream) = UnixStream::connect(&front) else {
+                continue;
+            };
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            for i in 0..6 {
+                if writeln!(w, "{{\"conn\":{conn},\"i\":{i}}}").is_err() {
+                    break;
+                }
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    break; // reset fault killed this connection
+                }
+            }
+        }
+        let c = proxy.counters();
+        assert!(c.resets.load(Ordering::SeqCst) > 0, "resets fired");
+        assert!(c.garbage.load(Ordering::SeqCst) > 0, "garbage fired");
+        assert_eq!(c.connections.load(Ordering::SeqCst), 16);
+        proxy.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

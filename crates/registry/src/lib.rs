@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod batch;
+pub mod chaos;
 pub mod id;
 pub mod proto;
 #[cfg(all(
@@ -45,6 +46,7 @@ pub mod store;
 pub(crate) mod sys;
 pub mod window;
 
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosProxy};
 pub use id::{sha256, GrammarId, ID_LEN};
 pub use proto::{base64_decode, base64_encode, ResponseLine};
 pub use serve::{ServeConfig, ServeError, Server};

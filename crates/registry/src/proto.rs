@@ -138,6 +138,18 @@ impl ResponseLine {
         )
     }
 
+    /// Build a complete deadline-expiry response: an in-band
+    /// `deadline_exceeded` error with the elapsed time, so a stuck or
+    /// slow request fails its own slot without tearing down the
+    /// connection. The error token is fixed so clients can match on it.
+    pub fn deadline_exceeded(elapsed_ms: u64, trace_hex: &str) -> String {
+        format!(
+            "{{\"ok\":false,\"error\":\"deadline_exceeded\",\"elapsed_ms\":{elapsed_ms},\
+             \"trace\":\"{}\"}}",
+            json_escape(trace_hex),
+        )
+    }
+
     /// Append a string field (JSON-escaped).
     pub fn str_field(mut self, key: &str, value: &str) -> ResponseLine {
         self.fields

@@ -37,8 +37,8 @@ use crate::serve::{handle_batch, handle_single, State};
 use crate::sys::{
     EpollEvent, Interest, Poller, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use pgr_telemetry::{names, TraceId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use pgr_telemetry::{names, CancelToken, TraceId};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -58,7 +58,20 @@ pub(crate) struct ReactorConfig {
     /// Per-grammar pending-batch bound; ×4, the global bound on queued
     /// single requests.
     pub max_queue: usize,
+    /// Evict connections silent this long with nothing in flight.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection request-line byte bound; overflow is answered
+    /// in-band and the connection closed.
+    pub max_line_bytes: usize,
 }
+
+/// How far past its deadline a request's worker may run before the
+/// watchdog force-expires the request from the reactor side. Cooperative
+/// cancellation (the worker polling its token) answers almost every
+/// deadline; the watchdog is the backstop for a worker wedged between
+/// cancellation points, so the *connection slot* is released even when
+/// the worker is not.
+const WATCHDOG_GRACE_FACTOR: u32 = 2;
 
 /// Epoll token of the listener.
 const LISTENER: u64 = 0;
@@ -177,6 +190,13 @@ struct Conn {
     read_closed: bool,
     /// What the poller currently watches this fd for.
     registered: Interest,
+    /// Last moment the peer showed signs of life (bytes read, response
+    /// written) — the idle-timeout clock.
+    last_activity: Instant,
+    /// Seqs the watchdog already answered with a synthesized
+    /// `deadline_exceeded`; the worker's late completion for one of
+    /// these must be discarded, not written as a duplicate response.
+    expired: HashSet<u64>,
 }
 
 impl Conn {
@@ -224,6 +244,114 @@ fn scan_str_field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
         from = from + at + needle.len();
     }
     None
+}
+
+/// Extract the unsigned-integer value of a top-level `"key":123` pair by
+/// lexical scan, under the same no-backslash contract as
+/// [`scan_str_field`]. Returns `None` on anything surprising; the full
+/// parse in the worker then arms the deadline instead.
+fn scan_num_field(line: &str, key: &str) -> Option<u64> {
+    let bytes = line.as_bytes();
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(at) = line[from..].find(&needle) {
+        let mut i = from + at + needle.len();
+        while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b':' {
+            i += 1;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_whitespace() {
+                i += 1;
+            }
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i == start {
+                return None; // key present but not a plain integer
+            }
+            return line[start..i].parse().ok();
+        }
+        // Matched a string *value* spelled like the key; keep looking.
+        from = from + at + needle.len();
+    }
+    None
+}
+
+/// One in-flight request the watchdog is timing: where its synthesized
+/// answer would go, when to give up on the worker, and the token to
+/// fire when doing so.
+struct Watched {
+    /// Force-expiry moment: `received + grace × deadline`.
+    expire_at: Instant,
+    /// The request's arrival, for the synthesized response's elapsed
+    /// figure.
+    received: Instant,
+    cancel: CancelToken,
+    trace_hex: String,
+}
+
+/// The reactor-side deadline watchdog: every request admitted with a
+/// deadline is tracked from intake to completion, and one whose worker
+/// misses the deadline by [`WATCHDOG_GRACE_FACTOR`] is answered
+/// in-band from the event thread — the connection's slot frees even if
+/// the worker never reports back.
+#[derive(Default)]
+struct Watchdog {
+    entries: HashMap<(u64, u64), Watched>,
+}
+
+impl Watchdog {
+    /// Start timing request (`conn`, `seq`).
+    fn register(
+        &mut self,
+        conn: u64,
+        seq: u64,
+        received: Instant,
+        deadline: Duration,
+        cancel: CancelToken,
+        trace_hex: String,
+    ) {
+        let grace = deadline.saturating_mul(WATCHDOG_GRACE_FACTOR);
+        self.entries.insert(
+            (conn, seq),
+            Watched {
+                expire_at: received + grace,
+                received,
+                cancel,
+                trace_hex,
+            },
+        );
+    }
+
+    /// The request completed (or its connection vanished): stop timing.
+    fn resolve(&mut self, conn: u64, seq: u64) {
+        self.entries.remove(&(conn, seq));
+    }
+
+    /// Drop every entry belonging to a closed connection.
+    fn forget_conn(&mut self, conn: u64) {
+        self.entries.retain(|&(c, _), _| c != conn);
+    }
+
+    /// The earliest force-expiry moment, for the poll timeout.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.entries.values().map(|w| w.expire_at).min()
+    }
+
+    /// Every entry due at `now`, removed and returned.
+    fn take_due(&mut self, now: Instant) -> Vec<((u64, u64), Watched)> {
+        let due: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, w)| w.expire_at <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        due.into_iter()
+            .filter_map(|k| self.entries.remove(&k).map(|w| (k, w)))
+            .collect()
+    }
 }
 
 /// Where a framed request line should go.
@@ -291,6 +419,7 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
     let queue_retry_ms = (cfg.batch_window.as_millis() as u64).max(1);
 
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut watchdog = Watchdog::default();
     let mut next_token = FIRST_CONN;
     let mut listening = true;
     let mut draining = false;
@@ -301,9 +430,19 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
             // Completions wake us; this is only a safety tick.
             Some(Duration::from_millis(20))
         } else {
-            batcher
-                .next_deadline()
-                .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+            // Sleep until whichever fires first: a batch window, a
+            // watchdog force-expiry, or an idle eviction.
+            let mut next = batcher.next_deadline();
+            if let Some(at) = watchdog.next_deadline() {
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
+            if let Some(idle) = cfg.idle_timeout {
+                if let Some(oldest) = conns.values().map(|c| c.last_activity).min() {
+                    let at = oldest + idle;
+                    next = Some(next.map_or(at, |n| n.min(at)));
+                }
+            }
+            next.map(|deadline| deadline.saturating_duration_since(Instant::now()))
         };
         let fired = poller.wait(&mut events, timeout)?;
 
@@ -345,7 +484,14 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
         pool.outstanding
             .fetch_sub(done.len() as u64, Ordering::Relaxed);
         for d in done {
+            watchdog.resolve(d.conn, d.seq);
             if let Some(conn) = conns.get_mut(&d.conn) {
+                // A request the watchdog already force-expired was
+                // answered from the event thread; the worker's late
+                // completion must be discarded, not written twice.
+                if conn.expired.remove(&d.seq) {
+                    continue;
+                }
                 // The write path skips next_write past requests it gave
                 // up on (peer died mid-pipeline); a completion arriving
                 // for such a seq must be discarded — promote_ready never
@@ -382,11 +528,13 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
                 &state,
                 &pool,
                 &mut batcher,
+                &mut watchdog,
                 conn,
                 draining,
                 pipeline_bound,
                 singles_bound,
                 queue_retry_ms,
+                cfg.max_line_bytes,
             );
         }
 
@@ -399,12 +547,55 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
             pool.push(Work::Batch(batch));
         }
 
+        // Watchdog sweep: any request whose worker has blown through
+        // the deadline *and* the grace window is answered from here —
+        // the token is fired so the worker stops at its next
+        // cancellation point, the synthesized response takes the
+        // request's seq slot, and the worker's eventual completion is
+        // discarded via `expired`.
+        for ((conn_token, seq), w) in watchdog.take_due(now) {
+            let Some(conn) = conns.get_mut(&conn_token) else {
+                continue; // peer already gone; nothing to answer
+            };
+            if seq < conn.next_write || conn.ready.contains_key(&seq) {
+                continue; // answered after all (or given up on)
+            }
+            w.cancel.cancel();
+            let elapsed_ms = now.duration_since(w.received).as_millis() as u64;
+            conn.ready.insert(
+                seq,
+                crate::proto::ResponseLine::deadline_exceeded(elapsed_ms, &w.trace_hex),
+            );
+            conn.expired.insert(seq);
+            state.recorder.add(names::SERVE_DEADLINE_FORCE_EXPIRED, 1);
+            state
+                .window
+                .lock()
+                .expect("window lock")
+                .record_deadline(state.start.elapsed().as_secs(), true);
+            promote_ready(conn);
+        }
+
         // Sync each connection's epoll interest with what it can
-        // currently make progress on, and reap finished connections.
+        // currently make progress on, and reap finished connections —
+        // including ones idle past the idle timeout with nothing in
+        // flight.
         let mut closed: Vec<u64> = Vec::new();
         for (&token, conn) in &mut conns {
+            let idle_expired = !draining
+                && cfg.idle_timeout.is_some_and(|idle| {
+                    conn.flushed() && now.duration_since(conn.last_activity) >= idle
+                });
+            if idle_expired {
+                state.recorder.add(names::SERVE_CONN_IDLE_CLOSED, 1);
+                state
+                    .window
+                    .lock()
+                    .expect("window lock")
+                    .record_idle_closed(state.start.elapsed().as_secs());
+            }
             let gone = conn.read_closed && conn.flushed() && conn.ready.is_empty();
-            if gone || (draining && conn.flushed()) {
+            if gone || idle_expired || (draining && conn.flushed()) {
                 let _ = poller.delete(conn.stream.as_raw_fd());
                 closed.push(token);
                 continue;
@@ -420,6 +611,7 @@ pub(crate) fn run(state: Arc<State>, listener: UnixListener, cfg: ReactorConfig)
             }
         }
         for token in closed {
+            watchdog.forget_conn(token);
             conns.remove(&token);
         }
 
@@ -483,6 +675,8 @@ fn accept_ready(
                         ready: BTreeMap::new(),
                         read_closed: false,
                         registered: read_only,
+                        last_activity: Instant::now(),
+                        expired: HashSet::new(),
                     },
                 );
             }
@@ -532,7 +726,10 @@ fn read_ready(conn: &mut Conn) {
                 conn.read_closed = true;
                 return;
             }
-            Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
@@ -544,17 +741,22 @@ fn read_ready(conn: &mut Conn) {
 }
 
 /// Frame complete lines out of the read buffer and route each, up to
-/// the connection's pipeline bound.
+/// the connection's pipeline bound. Every admitted request gets a
+/// [`CancelToken`] armed with its effective deadline (the request's own
+/// `timeout_ms`, clamped to the server ceiling) and, when a deadline
+/// exists, a watchdog entry for reactor-side force expiry.
 #[allow(clippy::too_many_arguments)]
 fn ingest(
     state: &Arc<State>,
     pool: &Pool,
     batcher: &mut Batcher,
+    watchdog: &mut Watchdog,
     conn: &mut Conn,
     draining: bool,
     pipeline_bound: u64,
     singles_bound: u64,
     queue_retry_ms: u64,
+    max_line_bytes: usize,
 ) {
     if draining {
         // Lines still buffered when shutdown lands were never accepted;
@@ -562,7 +764,21 @@ fn ingest(
         return;
     }
     while conn.in_flight() < pipeline_bound {
-        let Some(nl) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+        let nl = conn.read_buf.iter().position(|&b| b == b'\n');
+        // One request line past the byte bound — framed or still
+        // accumulating — is answered in-band and the connection closed:
+        // an unbounded read buffer is how one adversarial peer balloons
+        // the reactor's memory.
+        let oversized = max_line_bytes > 0
+            && match nl {
+                Some(nl) => nl > max_line_bytes,
+                None => conn.read_buf.len() > max_line_bytes,
+            };
+        if oversized {
+            line_overflow(state, conn, max_line_bytes);
+            return;
+        }
+        let Some(nl) = nl else {
             return;
         };
         let line_bytes: Vec<u8> = conn.read_buf.drain(..=nl).collect();
@@ -570,12 +786,47 @@ fn ingest(
             // Not UTF-8, so not JSON either; let the normal handler
             // produce the parse-error response (lossily decoded).
             let text = String::from_utf8_lossy(&line_bytes[..nl]).into_owned();
-            dispatch_single(state, pool, conn, text, singles_bound, queue_retry_ms);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            dispatch_single(
+                state,
+                pool,
+                conn,
+                PendingRequest {
+                    conn: conn.token,
+                    seq,
+                    line: text,
+                    received: Instant::now(),
+                    trace: TraceId::mint(),
+                    cancel: CancelToken::new(),
+                },
+                singles_bound,
+                queue_retry_ms,
+            );
             continue;
         };
         let line = text.trim();
         if line.is_empty() {
             continue;
+        }
+        let received = Instant::now();
+        let trace = TraceId::mint();
+        let cancel = CancelToken::new();
+        // Effective deadline: the scanned `timeout_ms` clamped to the
+        // server ceiling. Escaped lines defeat the lexical scan; they
+        // get the ceiling here and their own `timeout_ms` when the
+        // worker's full parse tightens the token (no watchdog entry for
+        // that tightening — cooperative cancellation still holds).
+        let requested = if line.contains('\\') {
+            None
+        } else {
+            scan_num_field(line, "timeout_ms")
+        };
+        let deadline = state
+            .effective_timeout_ms(requested)
+            .map(Duration::from_millis);
+        if let Some(d) = deadline {
+            cancel.set_deadline(d);
         }
         match route(line) {
             Route::Batch(grammar) => {
@@ -585,12 +836,18 @@ fn ingest(
                     conn: conn.token,
                     seq,
                     line: line.to_string(),
-                    received: Instant::now(),
-                    trace: TraceId::mint(),
+                    received,
+                    trace,
+                    cancel: cancel.clone(),
                 };
                 let grammar = grammar.to_string();
                 match batcher.push(&grammar, request) {
-                    Ok(()) => bump_queue_depth(state),
+                    Ok(()) => {
+                        bump_queue_depth(state);
+                        if let Some(d) = deadline {
+                            watchdog.register(conn.token, seq, received, d, cancel, trace.to_hex());
+                        }
+                    }
                     Err(bounced) => {
                         record_rejection(state);
                         conn.ready.insert(
@@ -604,61 +861,95 @@ fn ingest(
                 }
             }
             Route::Single => {
-                dispatch_single(
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let queued = dispatch_single(
                     state,
                     pool,
                     conn,
-                    line.to_string(),
+                    PendingRequest {
+                        conn: conn.token,
+                        seq,
+                        line: line.to_string(),
+                        received,
+                        trace,
+                        cancel: cancel.clone(),
+                    },
                     singles_bound,
                     queue_retry_ms,
                 );
+                if queued {
+                    if let Some(d) = deadline {
+                        watchdog.register(conn.token, seq, received, d, cancel, trace.to_hex());
+                    }
+                }
             }
         }
         promote_ready(conn);
     }
 }
 
+/// Answer a request line that blew the byte bound and close the
+/// connection: the in-band error takes the next seq slot (pipelined
+/// responses ahead of it still drain in order), reads stop, and the
+/// buffered oversize data is dropped.
+fn line_overflow(state: &Arc<State>, conn: &mut Conn, max_line_bytes: usize) {
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    state.recorder.add(names::SERVE_LINE_OVERFLOW, 1);
+    state
+        .window
+        .lock()
+        .expect("window lock")
+        .record_line_overflow(state.start.elapsed().as_secs());
+    conn.ready.insert(
+        seq,
+        crate::proto::ResponseLine::err_traced(
+            &format!("request line exceeds the {max_line_bytes}-byte bound"),
+            &TraceId::mint().to_hex(),
+            0,
+        ),
+    );
+    conn.read_buf.clear();
+    conn.read_buf.shrink_to_fit();
+    conn.read_closed = true;
+    promote_ready(conn);
+}
+
 /// Queue one request for individual handling, applying the global
 /// singles bound (stats and shutdown are exempt: operators must be able
-/// to observe and stop an overloaded server).
+/// to observe and stop an overloaded server). Returns whether the
+/// request reached the pool (`false` = rejected in-band).
 fn dispatch_single(
     state: &Arc<State>,
     pool: &Pool,
     conn: &mut Conn,
-    line: String,
+    req: PendingRequest,
     singles_bound: u64,
     queue_retry_ms: u64,
-) {
-    let seq = conn.next_seq;
-    conn.next_seq += 1;
-    let trace = TraceId::mint();
+) -> bool {
     // Match the actual `op` field, not a whole-line substring — a
     // payload merely *containing* "stats" must not bypass the bound.
     // Escapes defeat the lexical scan (see `route`), but no plain
     // stats/shutdown request needs them; an unscannable line simply
     // gets no exemption.
-    let op = if line.contains('\\') {
+    let op = if req.line.contains('\\') {
         None
     } else {
-        scan_str_field(&line, "op")
+        scan_str_field(&req.line, "op")
     };
     let exempt = matches!(op, Some("stats" | "shutdown"));
     if !exempt && state.queue_depth.load(Ordering::Relaxed) >= singles_bound {
         record_rejection(state);
         conn.ready.insert(
-            seq,
-            crate::proto::ResponseLine::overloaded(queue_retry_ms, &trace.to_hex()),
+            req.seq,
+            crate::proto::ResponseLine::overloaded(queue_retry_ms, &req.trace.to_hex()),
         );
-        return;
+        return false;
     }
     bump_queue_depth(state);
-    pool.push(Work::Single(PendingRequest {
-        conn: conn.token,
-        seq,
-        line,
-        received: Instant::now(),
-        trace,
-    }));
+    pool.push(Work::Single(req));
+    true
 }
 
 /// Count a request into the queue-depth gauge.
@@ -683,7 +974,13 @@ fn write_some(conn: &mut Conn) {
     while conn.write_pos < conn.write_buf.len() {
         match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => break,
-            Ok(n) => conn.write_pos += n,
+            Ok(n) => {
+                conn.write_pos += n;
+                // A freshly-written response resets the idle clock, so a
+                // peer is never evicted the instant its slow answer
+                // lands.
+                conn.last_activity = Instant::now();
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {

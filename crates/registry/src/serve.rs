@@ -55,18 +55,20 @@ use pgr_bytecode::{read_program_tagged, write_program_tagged, ImageKind, Program
 use pgr_core::{Compressor, CompressorConfig, EarleyBudget};
 use pgr_grammar::{Grammar, Nt};
 use pgr_telemetry::json::{self, Value};
-use pgr_telemetry::{names, trace, Metrics, Recorder, Stopwatch, TraceId, DEFAULT_TRACE_CAPACITY};
-use pgr_vm::{Vm, VmConfig};
+use pgr_telemetry::{
+    names, trace, CancelToken, Metrics, Recorder, Stopwatch, TraceId, DEFAULT_TRACE_CAPACITY,
+};
+use pgr_vm::{Vm, VmConfig, VmError};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The operations the server understands (shutdown aside). Metric names
 /// for each are pre-registered at bind.
@@ -114,7 +116,33 @@ pub struct ServeConfig {
     /// to the reactor; this mode is the benchmark baseline and the
     /// fallback on platforms without epoll.
     pub thread_per_conn: bool,
+    /// Server-wide request deadline ceiling in milliseconds. A request's
+    /// own `timeout_ms` field is clamped down to this; requests that
+    /// declare none inherit it. `None` means no server-imposed deadline
+    /// (per-request `timeout_ms` is still honored). Expiry is answered
+    /// in-band as `{"ok":false,"error":"deadline_exceeded"}`.
+    pub request_timeout_ms: Option<u64>,
+    /// Close connections that have been silent (no readable bytes, no
+    /// requests in flight) this long, in milliseconds. `None` keeps
+    /// idle connections forever. Reactor transport only.
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-connection bound on one request line's length in bytes; a
+    /// peer that exceeds it is answered in-band and closed. Reactor
+    /// transport only.
+    pub max_line_bytes: usize,
+    /// Size cap on the slow-trace NDJSON log. At the cap the log
+    /// rotates once to `<path>.old` (replacing any previous rotation),
+    /// so disk usage stays bounded at roughly twice the cap.
+    pub slow_trace_max_bytes: u64,
 }
+
+/// Default [`ServeConfig::max_line_bytes`]: generous enough for large
+/// base64 bytecode images, small enough that one adversarial peer
+/// cannot balloon the reactor's memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Default [`ServeConfig::slow_trace_max_bytes`].
+pub const DEFAULT_SLOW_TRACE_MAX_BYTES: u64 = 64 * 1024 * 1024;
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
@@ -131,6 +159,10 @@ impl Default for ServeConfig {
             max_queue: 64,
             max_engines: 64,
             thread_per_conn: false,
+            request_timeout_ms: None,
+            idle_timeout_ms: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            slow_trace_max_bytes: DEFAULT_SLOW_TRACE_MAX_BYTES,
         }
     }
 }
@@ -410,7 +442,54 @@ pub(crate) struct State {
     /// Slow-request threshold in micros, when slow tracing is on.
     slow_micros: Option<u64>,
     /// The open slow-trace NDJSON log, when slow tracing is on.
-    slow_log: Option<Mutex<File>>,
+    slow_log: Option<Mutex<SlowLog>>,
+    /// Server-wide request deadline ceiling, when one is configured.
+    pub(crate) request_timeout_ms: Option<u64>,
+}
+
+/// The slow-trace NDJSON log with a size cap and single-generation
+/// rotation: at the cap the current file is renamed to `<path>.old`
+/// (replacing any previous `.old`) and a fresh file is started, so an
+/// unattended server's trace dump never grows past ~2× the cap.
+struct SlowLog {
+    path: PathBuf,
+    file: File,
+    /// Bytes appended to the current generation.
+    written: u64,
+    /// Rotation threshold; 0 disables the cap.
+    cap: u64,
+}
+
+impl SlowLog {
+    fn open(path: PathBuf, cap: u64) -> io::Result<SlowLog> {
+        let file = File::options().create(true).append(true).open(&path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(SlowLog {
+            path,
+            file,
+            written,
+            cap,
+        })
+    }
+
+    fn append(&mut self, chunk: &[u8]) {
+        // Rotate before a write that would cross the cap — unless the
+        // current generation is empty (one oversized record still lands
+        // somewhere instead of rotating forever).
+        if self.cap > 0 && self.written > 0 && self.written + chunk.len() as u64 > self.cap {
+            let mut old = self.path.clone().into_os_string();
+            old.push(".old");
+            let _ = std::fs::rename(&self.path, &old);
+            if let Ok(fresh) = File::options().create(true).append(true).open(&self.path) {
+                self.file = fresh;
+                self.written = 0;
+            }
+        }
+        if self.file.write_all(chunk).is_ok() {
+            self.written += chunk.len() as u64;
+        }
+        let _ = self.file.flush();
+    }
 }
 
 /// What one request handler produced: the response under construction
@@ -529,9 +608,41 @@ impl State {
             out.push_str(&event.to_ndjson());
             out.push('\n');
         }
-        let mut file = log.lock().expect("slow log lock");
-        let _ = file.write_all(out.as_bytes());
-        let _ = file.flush();
+        log.lock().expect("slow log lock").append(out.as_bytes());
+    }
+
+    /// Clamp a request's declared `timeout_ms` to the server ceiling:
+    /// the tighter of the two wins, and a request that declares none
+    /// inherits the ceiling.
+    pub(crate) fn effective_timeout_ms(&self, requested: Option<u64>) -> Option<u64> {
+        match (requested, self.request_timeout_ms) {
+            (Some(r), Some(c)) => Some(r.min(c)),
+            (Some(r), None) => Some(r),
+            (None, ceiling) => ceiling,
+        }
+    }
+}
+
+/// The fixed in-band error token for a request that ran past its
+/// deadline. Clients match on it exactly, the same way they match
+/// `overloaded`.
+pub(crate) const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+
+/// Fold a compression failure into a response message, collapsing
+/// cancellation to the fixed `deadline_exceeded` token.
+fn compress_error_message(e: &pgr_core::CompressError) -> String {
+    match e {
+        pgr_core::CompressError::Cancelled { .. } => DEADLINE_EXCEEDED.to_string(),
+        other => error_chain(other),
+    }
+}
+
+/// Fold a VM failure into a response message, collapsing cancellation
+/// to the fixed `deadline_exceeded` token.
+fn vm_error_message(e: &VmError) -> String {
+    match e {
+        VmError::Cancelled { .. } => DEADLINE_EXCEEDED.to_string(),
+        other => error_chain(other),
     }
 }
 
@@ -547,7 +658,7 @@ fn image_of(doc: &Value) -> Result<(Program, ImageKind, Option<GrammarId>), Stri
     Ok((program, kind, raw_id.map(GrammarId::from_raw)))
 }
 
-fn handle_compress(state: &State, doc: &Value) -> Result<Handled, String> {
+fn handle_compress(state: &State, doc: &Value, cancel: &CancelToken) -> Result<Handled, String> {
     let (program, kind, _) = image_of(doc)?;
     if kind == ImageKind::Compressed {
         return Err("image is already compressed".into());
@@ -556,8 +667,8 @@ fn handle_compress(state: &State, doc: &Value) -> Result<Handled, String> {
     let (budget, clamped) = state.admit_budget(doc);
     let (cp, stats) = engine
         .compressor
-        .compress_budgeted(&program, budget)
-        .map_err(|e| error_chain(&e))?;
+        .compress_cancellable(&program, budget, cancel.clone())
+        .map_err(|e| compress_error_message(&e))?;
     let image = write_program_tagged(
         &cp.program,
         ImageKind::Compressed,
@@ -594,7 +705,7 @@ fn handle_decompress(state: &State, doc: &Value) -> Result<Handled, String> {
     ))
 }
 
-fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
+fn handle_run(state: &State, doc: &Value, cancel: &CancelToken) -> Result<Handled, String> {
     let (program, kind, header_id) = image_of(doc)?;
     let input = match doc.get("input").and_then(Value::as_str) {
         Some(text) => base64_decode(text).ok_or("\"input\" is not valid base64")?,
@@ -603,12 +714,13 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
     let config = VmConfig {
         input,
         recorder: state.recorder.clone(),
+        cancel: cancel.clone(),
         ..VmConfig::default()
     };
     let (result, grammar, tier2) = match kind {
         ImageKind::Uncompressed => {
-            let mut vm = Vm::new(&program, config).map_err(|e| error_chain(&e))?;
-            let result = vm.run().map_err(|e| error_chain(&e))?;
+            let mut vm = Vm::new(&program, config).map_err(|e| vm_error_message(&e))?;
+            let result = vm.run().map_err(|e| vm_error_message(&e))?;
             (result, None, vm.tier2_stats())
         }
         ImageKind::Compressed => {
@@ -620,8 +732,8 @@ fn handle_run(state: &State, doc: &Value) -> Result<Handled, String> {
                 engine.byte_nt,
                 config,
             )
-            .map_err(|e| error_chain(&e))?;
-            let result = vm.run().map_err(|e| error_chain(&e))?;
+            .map_err(|e| vm_error_message(&e))?;
+            let result = vm.run().map_err(|e| vm_error_message(&e))?;
             (result, Some(engine.id), vm.tier2_stats())
         }
     };
@@ -674,14 +786,20 @@ fn handle_stats(state: &State, received: Instant) -> Result<Handled, String> {
 /// the legacy transport's entry point, where a request is handled the
 /// moment it is read.
 fn handle_line(state: &State, line: &str) -> String {
-    handle_line_at(state, line, TraceId::mint(), Instant::now())
+    handle_line_at(
+        state,
+        line,
+        TraceId::mint(),
+        Instant::now(),
+        &CancelToken::new(),
+    )
 }
 
 /// Handle one reactor-queued request end to end: the response's latency
 /// runs from `req.received`, so queue wait is part of what the
 /// histograms see.
 pub(crate) fn handle_single(state: &State, req: PendingRequest) -> Done {
-    let response = handle_line_at(state, &req.line, req.trace, req.received);
+    let response = handle_line_at(state, &req.line, req.trace, req.received, &req.cancel);
     Done {
         conn: req.conn,
         seq: req.seq,
@@ -689,9 +807,15 @@ pub(crate) fn handle_single(state: &State, req: PendingRequest) -> Done {
     }
 }
 
-/// Handle one request line under a caller-supplied trace id and arrival
-/// time, returning the response line.
-fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> String {
+/// Handle one request line under a caller-supplied trace id, arrival
+/// time, and cancellation token, returning the response line.
+fn handle_line_at(
+    state: &State,
+    line: &str,
+    id: TraceId,
+    received: Instant,
+    cancel: &CancelToken,
+) -> String {
     // The trace id is installed as this thread's trace scope: every span
     // below — engine workers and the VM thread included, via explicit
     // propagation — attributes to this request.
@@ -706,6 +830,15 @@ fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> 
         .to_string();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<Handled, String> {
         let doc = parsed.map_err(|e| format!("bad request JSON: {e}"))?;
+        // Arm (or tighten) the deadline from the parsed request. The
+        // reactor usually armed the token at intake already; deadlines
+        // only tighten, so re-arming with the same value is a no-op,
+        // and this is where escaped lines the reactor's lexical scan
+        // could not vouch for get their deadline at all.
+        let requested = doc.get("timeout_ms").and_then(Value::as_u64);
+        if let Some(ms) = state.effective_timeout_ms(requested) {
+            cancel.set_deadline(Duration::from_millis(ms));
+        }
         let span_name = format!(
             "serve.{}",
             if op.is_empty() {
@@ -715,10 +848,17 @@ fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> 
             }
         );
         let _op_span = state.recorder.trace_span(&span_name);
+        // A request whose deadline passed while it sat queued fails
+        // cheaply here, before any engine or VM work starts. stats and
+        // shutdown stay exempt: operators must be able to observe and
+        // stop a wedged server.
+        if cancel.is_cancelled() && matches!(op.as_str(), "compress" | "decompress" | "run") {
+            return Err(DEADLINE_EXCEEDED.to_string());
+        }
         match op.as_str() {
-            "compress" => handle_compress(state, &doc),
+            "compress" => handle_compress(state, &doc, cancel),
             "decompress" => handle_decompress(state, &doc),
-            "run" => handle_run(state, &doc),
+            "run" => handle_run(state, &doc, cancel),
             "stats" => handle_stats(state, received),
             "shutdown" => {
                 state.running.store(false, Ordering::SeqCst);
@@ -743,6 +883,7 @@ fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> 
             state.recorder.add(&names::serve_request_errors(&op), 1);
         }
     };
+    let mut deadline_hit = false;
     let (response, grammar, ok) = match outcome {
         Ok(Ok((line, grammar))) => (
             line.str_field("trace", &id.to_hex()).finish(),
@@ -751,6 +892,10 @@ fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> 
         ),
         Ok(Err(message)) => {
             record_error();
+            if message == DEADLINE_EXCEEDED {
+                deadline_hit = true;
+                state.recorder.add(names::SERVE_DEADLINE_EXCEEDED, 1);
+            }
             (
                 ResponseLine::err_traced(&message, &id.to_hex(), micros),
                 None,
@@ -778,13 +923,14 @@ fn handle_line_at(state: &State, line: &str, id: TraceId, received: Instant) -> 
     // client typos can't grow the op map without bound.
     let window_op = if known_op { op.as_str() } else { "other" };
     let grammar_hex = grammar.map(|g| g.to_hex());
-    state.window.lock().expect("window lock").record(
-        state.start.elapsed().as_secs(),
-        window_op,
-        grammar_hex.as_deref(),
-        micros,
-        ok,
-    );
+    {
+        let now_sec = state.start.elapsed().as_secs();
+        let mut window = state.window.lock().expect("window lock");
+        window.record(now_sec, window_op, grammar_hex.as_deref(), micros, ok);
+        if deadline_hit {
+            window.record_deadline(now_sec, false);
+        }
+    }
     state.retire_trace(id, window_op, micros);
     response
 }
@@ -910,17 +1056,43 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
     let mut templates: Vec<Option<Result<ResponseLine, String>>> =
         (0..preps.len()).map(|_| None).collect();
     if let (Ok(engine), false) = (&engine, ready.is_empty()) {
-        let entries: Vec<(&Program, EarleyBudget)> = ready
+        // Each distinct line is compressed once and shared by every
+        // member that sent it, so the entry's cancellation token must
+        // not let one member's short deadline kill work a more patient
+        // member still wants: the group runs under the most generous
+        // member's token (an undeadlined member wins outright).
+        let group_cancel = |group: usize| -> CancelToken {
+            let mut best: Option<&CancelToken> = None;
+            for (req, &g) in batch.requests.iter().zip(&group_of) {
+                if g != group {
+                    continue;
+                }
+                match req.cancel.remaining() {
+                    None => return req.cancel.clone(),
+                    Some(left) => {
+                        if best.is_none_or(|b| b.remaining().is_some_and(|br| br < left)) {
+                            best = Some(&req.cancel);
+                        }
+                    }
+                }
+            }
+            best.cloned().unwrap_or_else(CancelToken::never)
+        };
+        let entries: Vec<pgr_core::BatchEntry<'_>> = ready
             .iter()
             .map(|&i| match &preps[i] {
                 Prep::Ready {
                     program, budget, ..
-                } => (program, *budget),
+                } => pgr_core::BatchEntry {
+                    program,
+                    budget: *budget,
+                    cancel: group_cancel(i),
+                },
                 _ => unreachable!("filtered to Ready"),
             })
             .collect();
         let results = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            engine.compressor.compress_batch(&entries)
+            engine.compressor.compress_batch_cancellable(&entries)
         }));
         match results {
             Ok(results) => {
@@ -943,7 +1115,7 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
                                 .num_field("fallback_segments", stats.fallback_segments as u64)
                                 .bool_field("clamped", clamped))
                         }
-                        Err(e) => Err(error_chain(&e)),
+                        Err(e) => Err(compress_error_message(&e)),
                     });
                 }
             }
@@ -970,6 +1142,7 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
                     line: req.line.clone(),
                     received: req.received,
                     trace: req.trace,
+                    cancel: req.cancel.clone(),
                 },
             ));
             continue;
@@ -979,6 +1152,7 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
         state
             .recorder
             .observe(names::SERVE_REQUEST_COMPRESS_MICROS, micros);
+        let mut deadline_hit = false;
         let (response, ok) = match &templates[group] {
             Some(Ok(template)) => {
                 if matches!(&preps[group], Prep::Ready { clamped: true, .. }) {
@@ -992,10 +1166,13 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
                     true,
                 )
             }
-            Some(Err(message)) => (
-                ResponseLine::err_traced(message, &req.trace.to_hex(), micros),
-                false,
-            ),
+            Some(Err(message)) => {
+                deadline_hit = message == DEADLINE_EXCEEDED;
+                (
+                    ResponseLine::err_traced(message, &req.trace.to_hex(), micros),
+                    false,
+                )
+            }
             None => {
                 let Prep::Failed(message) = &preps[group] else {
                     unreachable!("non-Ready groups carry a failure message");
@@ -1009,14 +1186,17 @@ pub(crate) fn handle_batch(state: &State, batch: Batch) -> Vec<Done> {
         if !ok {
             state.recorder.add(names::SERVE_ERRORS, 1);
             state.recorder.add(names::SERVE_REQUEST_COMPRESS_ERRORS, 1);
+            if deadline_hit {
+                state.recorder.add(names::SERVE_DEADLINE_EXCEEDED, 1);
+            }
         }
-        state.window.lock().expect("window lock").record(
-            now_sec,
-            "compress",
-            grammar_hex.as_deref(),
-            micros,
-            ok,
-        );
+        {
+            let mut window = state.window.lock().expect("window lock");
+            window.record(now_sec, "compress", grammar_hex.as_deref(), micros, ok);
+            if deadline_hit {
+                window.record_deadline(now_sec, false);
+            }
+        }
         state.retire_trace(req.trace, "compress", micros);
         out.push(Done {
             conn: req.conn,
@@ -1069,6 +1249,8 @@ pub struct Server {
     max_connections: usize,
     max_queue: usize,
     thread_per_conn: bool,
+    idle_timeout_ms: Option<u64>,
+    max_line_bytes: usize,
     state: Arc<State>,
 }
 
@@ -1103,6 +1285,10 @@ impl Server {
             names::SERVE_SLOW_REQUESTS,
             names::SERVE_REJECTED_OVERLOAD,
             names::SERVE_ENGINES_EVICTED,
+            names::SERVE_DEADLINE_EXCEEDED,
+            names::SERVE_DEADLINE_FORCE_EXPIRED,
+            names::SERVE_CONN_IDLE_CLOSED,
+            names::SERVE_LINE_OVERFLOW,
         ] {
             pre.add(counter, 0);
         }
@@ -1125,15 +1311,14 @@ impl Server {
                     .slow_trace
                     .clone()
                     .unwrap_or_else(|| socket.with_extension("slow.ndjson"));
-                let file = File::options()
-                    .create(true)
-                    .append(true)
-                    .open(&path)
-                    .map_err(|e| ServeError::SlowLog {
-                        path: path.display().to_string(),
-                        message: e.to_string(),
+                let log =
+                    SlowLog::open(path.clone(), config.slow_trace_max_bytes).map_err(|e| {
+                        ServeError::SlowLog {
+                            path: path.display().to_string(),
+                            message: e.to_string(),
+                        }
                     })?;
-                Some(Mutex::new(file))
+                Some(Mutex::new(log))
             }
             None => None,
         };
@@ -1145,6 +1330,8 @@ impl Server {
             max_connections: config.max_connections,
             max_queue: config.max_queue,
             thread_per_conn: config.thread_per_conn,
+            idle_timeout_ms: config.idle_timeout_ms,
+            max_line_bytes: config.max_line_bytes,
             state: Arc::new(State {
                 registry,
                 engines: EngineShards::new(config.max_engines),
@@ -1158,6 +1345,7 @@ impl Server {
                 queue_depth: AtomicU64::new(0),
                 slow_micros: config.slow_ms.map(|ms| ms.saturating_mul(1000)),
                 slow_log,
+                request_timeout_ms: config.request_timeout_ms,
             }),
         })
     }
@@ -1191,6 +1379,8 @@ impl Server {
                 batch_window: std::time::Duration::from_micros(self.batch_window_us.max(1)),
                 max_connections: self.max_connections,
                 max_queue: self.max_queue,
+                idle_timeout: self.idle_timeout_ms.map(Duration::from_millis),
+                max_line_bytes: self.max_line_bytes,
             };
             let state = Arc::clone(&self.state);
             let result = crate::reactor::run(state, self.listener, cfg);

@@ -269,14 +269,38 @@ impl Poller {
     /// Wait for readiness, filling `events` from the front; returns how
     /// many fired. `None` blocks indefinitely; `Some(d)` wakes after at
     /// most `d` (nanosecond precision where the kernel supports
-    /// `epoll_pwait2`, ceiling-rounded milliseconds otherwise). A signal
-    /// interruption reports as zero events.
+    /// `epoll_pwait2`, ceiling-rounded milliseconds otherwise).
+    ///
+    /// Signal interruptions are absorbed: the wait re-arms with the
+    /// remaining time until the deadline genuinely passes (or forever
+    /// for `None`). The old behaviour — reporting `EINTR` as zero
+    /// events — fabricated a spurious timeout, which with `None` told
+    /// an indefinitely-blocking caller that a deadline it never set had
+    /// expired.
     pub fn wait(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
         if events.is_empty() {
             // maxevents must be positive, and rounding it up to 1 would
             // license the kernel to write past a zero-length slice.
             return Ok(0);
         }
+        let start = std::time::Instant::now();
+        loop {
+            let remaining = match remaining_after(timeout, start.elapsed()) {
+                Some(r) => r,
+                // The deadline passed while we were being interrupted:
+                // now it really is a timeout.
+                None => return Ok(0),
+            };
+            match self.wait_once(events, remaining) {
+                Err(e) if e.raw_os_error() == Some(EINTR) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// One `epoll_pwait2`/`epoll_pwait` round; `EINTR` surfaces to the
+    /// caller ([`Poller::wait`] re-arms with the remaining time).
+    fn wait_once(&self, events: &mut [EpollEvent], timeout: Option<Duration>) -> io::Result<usize> {
         let ptr = events.as_mut_ptr() as usize;
         let cap = events.len();
         if !self.no_pwait2.load(Ordering::Relaxed) {
@@ -294,7 +318,6 @@ impl Poller {
                 Err(e) if e.raw_os_error() == Some(ENOSYS) => {
                     self.no_pwait2.store(true, Ordering::Relaxed);
                 }
-                Err(e) if e.raw_os_error() == Some(EINTR) => return Ok(0),
                 Err(e) => return Err(e),
             }
         }
@@ -308,17 +331,38 @@ impl Poller {
         };
         // SAFETY: as above; timeout is by value.
         let ret = unsafe { syscall6(nr::EPOLL_PWAIT, self.epfd as usize, ptr, cap, ms, 0, 8) };
-        match check(ret) {
-            Ok(n) => Ok(n),
-            Err(e) if e.raw_os_error() == Some(EINTR) => Ok(0),
-            Err(e) => Err(e),
-        }
+        check(ret)
+    }
+
+    /// Pretend `epoll_pwait2` already came back `ENOSYS`, forcing every
+    /// subsequent wait down the millisecond `epoll_pwait` path.
+    #[cfg(test)]
+    fn force_ms_fallback(&self) {
+        self.no_pwait2.store(true, Ordering::Relaxed);
     }
 }
 
 impl Drop for Poller {
     fn drop(&mut self) {
         close_fd(self.epfd);
+    }
+}
+
+/// How much wait time is left after a signal interruption `elapsed`
+/// into a wait armed with `timeout`. `None` means the deadline already
+/// passed (a genuine timeout); `Some(None)` means keep blocking
+/// indefinitely — an interrupted infinite wait must never report as a
+/// timeout.
+fn remaining_after(timeout: Option<Duration>, elapsed: Duration) -> Option<Option<Duration>> {
+    match timeout {
+        None => Some(None),
+        Some(d) => {
+            let left = d.checked_sub(elapsed)?;
+            if left.is_zero() {
+                return None;
+            }
+            Some(Some(left))
+        }
     }
 }
 
@@ -478,6 +522,71 @@ mod tests {
             .wait(&mut events, Some(Duration::ZERO))
             .expect("epoll_wait");
         assert_eq!(n, 0, "drained wake must quiesce level-triggered polling");
+    }
+
+    #[test]
+    fn ms_fallback_path_reports_readiness_and_timeouts() {
+        // Force the pre-5.11 `epoll_pwait` millisecond path and re-run
+        // the basic readiness contract through it.
+        let poller = Poller::new().expect("epoll_create1");
+        poller.force_ms_fallback();
+        let (mut a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller
+            .add(
+                b.as_raw_fd(),
+                42,
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )
+            .expect("epoll_ctl add");
+
+        let mut events = [EpollEvent::default(); 4];
+        // Sub-millisecond timeouts ceiling-round to 1ms on this path;
+        // either way the wait must return promptly with no events.
+        let start = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_micros(300)))
+            .expect("epoll_wait (ms fallback, sub-ms timeout)");
+        assert_eq!(n, 0);
+        assert!(start.elapsed() < Duration::from_millis(250));
+
+        a.write_all(b"ping").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("epoll_wait (ms fallback, readable)");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+    }
+
+    #[test]
+    fn remaining_after_rearms_correctly() {
+        // An interrupted infinite wait keeps blocking indefinitely —
+        // this is the spurious-timeout bug the re-arm loop fixes.
+        assert_eq!(remaining_after(None, Duration::from_secs(999)), Some(None));
+
+        // Mid-wait interruption re-arms with the time left.
+        assert_eq!(
+            remaining_after(Some(Duration::from_millis(100)), Duration::from_millis(30)),
+            Some(Some(Duration::from_millis(70)))
+        );
+
+        // Interruption at or past the deadline is a genuine timeout.
+        assert_eq!(
+            remaining_after(Some(Duration::from_millis(100)), Duration::from_millis(100)),
+            None
+        );
+        assert_eq!(
+            remaining_after(Some(Duration::from_millis(100)), Duration::from_millis(250)),
+            None
+        );
+
+        // A zero timeout polls once and reports timeout on interruption.
+        assert_eq!(remaining_after(Some(Duration::ZERO), Duration::ZERO), None);
     }
 
     #[test]

@@ -37,6 +37,15 @@ struct Slot {
     tier2_compiled: u64,
     /// Tiered replays deoptimized to tier-1 by run requests.
     tier2_deopts: u64,
+    /// Requests answered in-band with `deadline_exceeded`.
+    deadline_exceeded: u64,
+    /// Requests force-expired by the reactor watchdog (a subset of
+    /// `deadline_exceeded`).
+    force_expired: u64,
+    /// Connections closed for sitting idle past the idle timeout.
+    idle_closed: u64,
+    /// Connections closed for exceeding the request-line byte bound.
+    line_overflow: u64,
 }
 
 impl Slot {
@@ -51,6 +60,10 @@ impl Slot {
         self.batch_wait = Hist::default();
         self.tier2_compiled = 0;
         self.tier2_deopts = 0;
+        self.deadline_exceeded = 0;
+        self.force_expired = 0;
+        self.idle_closed = 0;
+        self.line_overflow = 0;
     }
 
     /// Whether the slot recorded anything at all (a batch dispatch or a
@@ -61,6 +74,10 @@ impl Slot {
             || self.batch_size.count > 0
             || self.tier2_compiled > 0
             || self.tier2_deopts > 0
+            || self.deadline_exceeded > 0
+            || self.force_expired > 0
+            || self.idle_closed > 0
+            || self.line_overflow > 0
     }
 }
 
@@ -96,6 +113,17 @@ pub struct WindowStats {
     /// Tiered replays deoptimized to tier-1 (telemetry or tracing
     /// active) by run requests inside the window.
     pub tier2_deopts: u64,
+    /// Requests answered `deadline_exceeded` inside the window.
+    pub deadline_exceeded: u64,
+    /// Requests force-expired by the reactor watchdog inside the window
+    /// (a subset of `deadline_exceeded`).
+    pub force_expired: u64,
+    /// Connections closed for idling past the idle timeout inside the
+    /// window.
+    pub idle_closed: u64,
+    /// Connections closed for exceeding the request-line byte bound
+    /// inside the window.
+    pub line_overflow: u64,
 }
 
 impl WindowStats {
@@ -138,7 +166,9 @@ impl WindowStats {
             "{{\"window_secs\":{},\"requests\":{},\"errors\":{},\"rejected\":{},\
              \"rps\":{:.3},\"error_rate\":{:.4},\"ops\":{},\"grammars\":{},\
              \"batch_size\":{},\"batch_wait\":{},\
-             \"tier2_compiled\":{},\"tier2_deopts\":{}}}",
+             \"tier2_compiled\":{},\"tier2_deopts\":{},\
+             \"deadline_exceeded\":{},\"force_expired\":{},\
+             \"idle_closed\":{},\"line_overflow\":{}}}",
             self.window_secs,
             self.requests,
             self.errors,
@@ -151,6 +181,10 @@ impl WindowStats {
             hist_json(&self.batch_wait),
             self.tier2_compiled,
             self.tier2_deopts,
+            self.deadline_exceeded,
+            self.force_expired,
+            self.idle_closed,
+            self.line_overflow,
         )
     }
 }
@@ -214,6 +248,29 @@ impl SlidingWindow {
         slot.tier2_deopts += deopts;
     }
 
+    /// Record one request answered in-band with `deadline_exceeded`;
+    /// `forced` marks a reactor-watchdog force expiry (the worker missed
+    /// the deadline by the grace factor) as opposed to a cooperative
+    /// cancellation the worker reported itself.
+    pub fn record_deadline(&mut self, now_sec: u64, forced: bool) {
+        let slot = self.slot_at(now_sec);
+        slot.deadline_exceeded += 1;
+        if forced {
+            slot.force_expired += 1;
+        }
+    }
+
+    /// Record one connection closed for idling past the idle timeout.
+    pub fn record_idle_closed(&mut self, now_sec: u64) {
+        self.slot_at(now_sec).idle_closed += 1;
+    }
+
+    /// Record one connection closed for exceeding the request-line byte
+    /// bound.
+    pub fn record_line_overflow(&mut self, now_sec: u64) {
+        self.slot_at(now_sec).line_overflow += 1;
+    }
+
     /// The live slot for `now_sec`, reset first if its second is stale.
     fn slot_at(&mut self, now_sec: u64) -> &mut Slot {
         let idx = (now_sec % self.secs) as usize;
@@ -243,6 +300,10 @@ impl SlidingWindow {
             stats.rejected += slot.rejected;
             stats.tier2_compiled += slot.tier2_compiled;
             stats.tier2_deopts += slot.tier2_deopts;
+            stats.deadline_exceeded += slot.deadline_exceeded;
+            stats.force_expired += slot.force_expired;
+            stats.idle_closed += slot.idle_closed;
+            stats.line_overflow += slot.line_overflow;
             stats.batch_size = stats.batch_size.merge(slot.batch_size);
             stats.batch_wait = stats.batch_wait.merge(slot.batch_wait);
             for (k, h) in &slot.per_op {
@@ -351,6 +412,39 @@ mod tests {
         use pgr_telemetry::json::Value;
         assert_eq!(doc.get("tier2_compiled").and_then(Value::as_u64), Some(3));
         assert_eq!(doc.get("tier2_deopts").and_then(Value::as_u64), Some(5));
+    }
+
+    #[test]
+    fn robustness_counters_roll_through_the_window() {
+        let mut w = SlidingWindow::new(3);
+        w.record_deadline(0, false);
+        w.record_deadline(0, true);
+        w.record_idle_closed(1);
+        w.record_line_overflow(1);
+
+        let all = w.aggregate(2);
+        assert_eq!(all.deadline_exceeded, 2);
+        assert_eq!(all.force_expired, 1, "forced expiry is a subset");
+        assert_eq!(all.idle_closed, 1);
+        assert_eq!(all.line_overflow, 1);
+
+        // A hygiene-only slot must count as live even with no requests.
+        assert_eq!(all.requests, 0);
+
+        // Second 0 expires at t=3.
+        let later = w.aggregate(3);
+        assert_eq!(later.deadline_exceeded, 0);
+        assert_eq!(later.idle_closed, 1);
+
+        let doc = pgr_telemetry::json::parse(&all.to_json()).expect("window JSON parses");
+        use pgr_telemetry::json::Value;
+        assert_eq!(
+            doc.get("deadline_exceeded").and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(doc.get("force_expired").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("idle_closed").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("line_overflow").and_then(Value::as_u64), Some(1));
     }
 
     #[test]

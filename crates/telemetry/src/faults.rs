@@ -218,7 +218,9 @@ pub fn fired(point: FaultPoint) -> u64 {
 
 /// The splitmix64 mixer (public-domain constants); a full-avalanche
 /// 64-bit permutation, so per-occurrence verdicts are decorrelated.
-fn splitmix64(mut x: u64) -> u64 {
+/// Public because the chaos proxy and the retrying client reuse the
+/// same seeded-determinism discipline for their fault/jitter decisions.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod faults;
 pub mod json;
 mod metrics;
@@ -60,6 +61,7 @@ mod recorder;
 mod sink;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use metrics::{Hist, Metrics, HIST_BUCKETS};
 pub use recorder::{Recorder, Span, Stopwatch, TraceSpan, DEFAULT_TRACE_CAPACITY};
 pub use sink::{JsonSink, Sink, TableSink};

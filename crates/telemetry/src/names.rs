@@ -47,6 +47,10 @@ pub const EARLEY_NO_PARSE: &str = "earley.no_parse";
 /// Earley: parses abandoned because they hit the configured work budget
 /// (`EarleyBudget`); a normal degraded outcome, not an input error.
 pub const EARLEY_BUDGET_EXCEEDED: &str = "earley.budget.exceeded";
+/// Earley: parses abandoned because the request's `CancelToken` fired
+/// (deadline passed or the owner cancelled); a degraded outcome like a
+/// budget trip, not an input error.
+pub const EARLEY_CANCELLED: &str = "earley.cancelled";
 /// Earley gauge: chart size high-water mark (states in the fullest
 /// column of any parse).
 pub const EARLEY_CHART_STATES_PEAK: &str = "earley.chart_states_peak";
@@ -208,6 +212,20 @@ pub const SERVE_BATCH_WAIT_MICROS: &str = "serve.batch.wait_micros";
 /// Serve: engines evicted from the sharded engine map by the
 /// `--max-engines` LRU bound (the grammar reloads on next use).
 pub const SERVE_ENGINES_EVICTED: &str = "serve.engines.evicted";
+/// Serve: requests that ran past their deadline and were answered with
+/// an in-band `deadline_exceeded` error by the worker (cooperative
+/// cancellation fired inside the engine or VM).
+pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline.exceeded";
+/// Serve: requests whose worker missed the deadline by the watchdog's
+/// grace factor, force-expired by the reactor (the client got the
+/// `deadline_exceeded` answer; the late worker result was discarded).
+pub const SERVE_DEADLINE_FORCE_EXPIRED: &str = "serve.deadline.force_expired";
+/// Serve: connections evicted by `--idle-timeout-ms` after sitting
+/// silent with no in-flight work.
+pub const SERVE_CONN_IDLE_CLOSED: &str = "serve.conn.idle_closed";
+/// Serve: connections that exceeded `--max-line-bytes` on a single
+/// unterminated request line — answered in-band then closed.
+pub const SERVE_LINE_OVERFLOW: &str = "serve.line.overflow";
 /// Prefix of the per-operation serve request metric family
 /// (`serve.request.<op>.micros` / `serve.request.<op>.errors`).
 pub const SERVE_REQUEST_PREFIX: &str = "serve.request.";

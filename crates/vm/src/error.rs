@@ -35,6 +35,14 @@ pub enum VmError {
     },
     /// The instruction budget was exhausted.
     OutOfFuel,
+    /// The run's `CancelToken` fired (the request deadline passed or
+    /// the owner cancelled it). Like `OutOfFuel`, a resource decision:
+    /// the program may well have completed given more time.
+    Cancelled {
+        /// Milliseconds between the token's creation (request arrival)
+        /// and the cancellation check that fired.
+        elapsed_ms: u64,
+    },
     /// Call depth exceeded the configured limit.
     CallDepthExceeded {
         /// The configured limit.
@@ -117,6 +125,9 @@ impl fmt::Display for VmError {
             }
             VmError::DivideByZero { proc } => write!(f, "{proc}: division by zero"),
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::Cancelled { elapsed_ms } => {
+                write!(f, "run cancelled after {elapsed_ms} ms")
+            }
             VmError::CallDepthExceeded { limit } => {
                 write!(f, "call depth exceeded {limit}")
             }

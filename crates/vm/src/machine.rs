@@ -21,7 +21,7 @@ use crate::value::Slot;
 use pgr_bytecode::{escape, GlobalEntry, Opcode, Procedure, Program};
 use pgr_grammar::{Grammar, Nt, Symbol, Terminal};
 use pgr_native::fuse::Fused;
-use pgr_telemetry::{names, trace, Metrics, Recorder};
+use pgr_telemetry::{names, trace, CancelToken, Metrics, Recorder};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -85,6 +85,11 @@ pub struct VmConfig {
     pub tier_up: u32,
     /// Tier-2 program cache capacity in entries (LRU-evicted).
     pub tier2_cache_entries: usize,
+    /// Cooperative-cancellation handle for this run. Polled at fuel-batch
+    /// boundaries (tier-1/2 replay windows) and on a coarse step stride
+    /// in the per-step loops; fires as [`VmError::Cancelled`]. Defaults
+    /// to [`CancelToken::never`], which costs one relaxed load per poll.
+    pub cancel: CancelToken,
 }
 
 impl Default for VmConfig {
@@ -103,6 +108,7 @@ impl Default for VmConfig {
             tier: 2,
             tier_up: 64,
             tier2_cache_entries: 256,
+            cancel: CancelToken::never(),
         }
     }
 }
@@ -226,6 +232,8 @@ pub struct Vm<'p> {
     verbatim_ok: bool,
     /// Verbatim escapes executed, for `vm.verbatim.segments`.
     verbatim_segments: u64,
+    /// The run's cooperative-cancellation handle.
+    cancel: CancelToken,
 }
 
 impl<'p> Vm<'p> {
@@ -362,6 +370,7 @@ impl<'p> Vm<'p> {
             ruleprog,
             verbatim_ok,
             verbatim_segments: 0,
+            cancel: config.cancel,
         })
     }
 
@@ -601,19 +610,42 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Steps between cancellation polls on the per-step interpreter
+    /// paths: frequent enough that a fired deadline stops a spinning
+    /// program within well under a millisecond, rare enough that the
+    /// poll (one relaxed load when unarmed) never shows in profiles.
+    const CANCEL_STRIDE_MASK: u64 = (1 << 16) - 1;
+
+    /// Poll the run's [`CancelToken`]; a fired token stops the run with
+    /// [`VmError::Cancelled`].
+    fn check_cancel(&self) -> Result<(), Stop> {
+        if self.cancel.is_cancelled() {
+            return Err(Stop::Error(VmError::Cancelled {
+                elapsed_ms: self.cancel.elapsed_ms(),
+            }));
+        }
+        Ok(())
+    }
+
     fn burn_fuel(&mut self) -> Result<(), Stop> {
         if self.fuel == 0 {
             return Err(Stop::Error(VmError::OutOfFuel));
         }
         self.fuel -= 1;
         self.steps += 1;
+        if self.steps & Self::CANCEL_STRIDE_MASK == 0 {
+            self.check_cancel()?;
+        }
         Ok(())
     }
 
     /// Burn `n` fuel in one go — exactly `n` calls to [`Vm::burn_fuel`]:
     /// when the budget runs short, the steps that fit are still counted
     /// before `OutOfFuel`, matching the reference walk dying mid-window.
+    /// Every batched refill is also a cancellation point: tier-1 replay
+    /// windows poll the token here without paying per-step.
     fn burn_fuel_n(&mut self, n: u64) -> Result<(), Stop> {
+        self.check_cancel()?;
         if self.fuel < n {
             self.steps += self.fuel;
             self.fuel = 0;
@@ -1217,6 +1249,7 @@ impl<'p> Vm<'p> {
         trace: &SegTrace,
         stack: &mut Vec<Slot>,
     ) -> Result<Replay, Stop> {
+        self.check_cancel()?;
         self.fuel -= trace.total_fuel;
         self.steps += trace.total_fuel;
         let mut consumed = 0u64;
@@ -1317,6 +1350,7 @@ impl<'p> Vm<'p> {
         prog: &Tier2Program,
         stack: &mut Vec<Slot>,
     ) -> Result<Replay, Stop> {
+        self.check_cancel()?;
         self.fuel -= prog.total_fuel;
         self.steps += prog.total_fuel;
         // A side exit at source step `i` has consumed `prefix[i]` fuel;

@@ -20,6 +20,7 @@
 //! | [`baselines`] | Huffman, LZSS+Huffman (gzip), Tunstall, superoperators |
 //! | [`native`] | synthetic x86 code-size model (Table 2) |
 //! | [`registry`] | content-addressed grammar store + the request server |
+//! | [`client`] | retrying NDJSON client for the request server |
 //!
 //! ## End to end
 //!
@@ -57,6 +58,7 @@ pub use error::{error_chain, PgrError};
 
 pub use pgr_baselines as baselines;
 pub use pgr_bytecode as bytecode;
+pub use pgr_client as client;
 pub use pgr_core as core;
 pub use pgr_corpus as corpus;
 pub use pgr_earley as earley;
